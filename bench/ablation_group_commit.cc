@@ -1,0 +1,48 @@
+// Extension ablation: the paper's log processor assembles fragments into
+// log pages and the back-end controller forces partial pages when blocked
+// updated pages must leave the cache (§3.1/§4.1.2).  Two knobs fall out —
+// how many fragments fill a log page, and how long a partial page may
+// age before it is forced — trading log-disk traffic against cache frames
+// pinned by the write-ahead rule and transaction completion time.
+
+#include "bench/bench_util.h"
+#include "machine/sim_logging.h"
+
+namespace dbmr::bench {
+namespace {
+
+void RunTable() {
+  TextTable t(
+      "Extension: log-page fill factor x force timeout "
+      "(Conventional-Random, logical logging, 1 log disk; measured only)");
+  t.SetHeader({"Frags/page", "Timeout (ms)", "Exec/page", "Completion",
+               "Blocked pages", "Log pages"});
+  for (int frags : {5, 20, 80}) {
+    for (double timeout : {100.0, 500.0, 2000.0}) {
+      machine::SimLoggingOptions o;
+      o.fragments_per_log_page = frags;
+      o.group_flush_timeout_ms = timeout;
+      auto r = Run(core::Configuration::kConvRandom,
+                   std::make_unique<machine::SimLogging>(o));
+      t.AddRow({std::to_string(frags), FormatFixed(timeout, 0),
+                FormatFixed(r.exec_time_per_page_ms, 2),
+                FormatFixed(r.completion_ms.mean(), 0),
+                FormatFixed(r.avg_blocked_pages, 1),
+                FormatFixed(r.extra.at("log_pages_written_0"), 0)});
+    }
+  }
+  t.Print();
+  std::printf(
+      "\nExpected shape: smaller pages / shorter timeouts free blocked "
+      "cache frames sooner (shorter completion) at the cost of more log "
+      "writes; throughput barely moves because the log disk has slack "
+      "either way — the robustness behind the paper's §5 conclusion.\n");
+}
+
+}  // namespace
+}  // namespace dbmr::bench
+
+int main() {
+  dbmr::bench::RunTable();
+  return 0;
+}

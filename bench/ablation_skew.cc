@@ -1,0 +1,60 @@
+// Extension ablation: the paper's random reference strings are uniform
+// over the database, making page-lock conflicts negligible.  Real
+// workloads are skewed; this sweep applies an 80/20-style hot spot of
+// shrinking size and shows how lock waits and deadlock restarts start to
+// separate the recovery architectures (longer lock hold times hurt more
+// when conflicts are common).
+
+#include "bench/bench_util.h"
+#include "machine/sim_logging.h"
+#include "machine/sim_overwrite.h"
+
+namespace dbmr::bench {
+namespace {
+
+machine::MachineResult RunSkewed(
+    double hot_fraction, std::unique_ptr<machine::RecoveryArch> arch) {
+  auto setup = core::StandardSetup(core::Configuration::kConvRandom,
+                                   kBenchTxns);
+  setup.workload.hot_fraction = hot_fraction;
+  setup.workload.hot_access_prob = hot_fraction > 0 ? 0.8 : 0.0;
+  setup.machine.mpl = 6;  // more concurrency -> more conflicts
+  return core::RunWith(setup, std::move(arch));
+}
+
+void RunTable() {
+  TextTable t(
+      "Extension: access skew (80% of references into a hot set), "
+      "Conventional-Random, MPL 6 — exec/page (ms) and deadlock restarts");
+  t.SetHeader({"Hot set", "Bare", "Logging", "Overwriting (no-undo)",
+               "Restarts (overwrite)"});
+  for (double hot : {0.0, 0.02, 0.01}) {
+    auto bare = RunSkewed(hot, std::make_unique<machine::BareArch>());
+    auto log = RunSkewed(hot, std::make_unique<machine::SimLogging>());
+    auto over = RunSkewed(hot, std::make_unique<machine::SimOverwrite>());
+    t.AddRow({hot == 0.0 ? std::string("uniform")
+                         : StrFormat("%.2f%% of DB", hot * 100),
+              FormatFixed(bare.exec_time_per_page_ms, 2),
+              FormatFixed(log.exec_time_per_page_ms, 2),
+              FormatFixed(over.exec_time_per_page_ms, 2),
+              StrFormat("%llu", static_cast<unsigned long long>(
+                                    over.deadlock_restarts))});
+  }
+  t.Print();
+  std::printf(
+      "\nExpected shape: skew raises lock waits for everyone, but the "
+      "overwriting architecture (locks held through the commit-time "
+      "scratch reads and home overwrites) degrades fastest — a cost "
+      "invisible in the paper's uniform workload.  (Below ~1%% hot sets "
+      "the write-set overlap saturates and deadlock-restart thrash "
+      "dominates every architecture; the no-wait 2PL scheduler the paper "
+      "assumes was never meant for that regime.)\n");
+}
+
+}  // namespace
+}  // namespace dbmr::bench
+
+int main() {
+  dbmr::bench::RunTable();
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Shared helpers for the table-reproduction benchmarks.
+//
+// Every bench prints the corresponding paper table with cells of the form
+// "paper / measured" so the shape comparison is immediate.  The simulated
+// workload (150 transactions per cell, seed 7) runs in well under a second
+// per cell.
+
+#ifndef DBMR_BENCH_BENCH_UTIL_H_
+#define DBMR_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/experiment.h"
+#include "util/str.h"
+#include "util/table.h"
+
+namespace dbmr::bench {
+
+/// Transactions simulated per table cell.
+inline constexpr int kBenchTxns = 150;
+
+/// Runs `arch` on configuration `c` with the standard machine.
+inline machine::MachineResult Run(
+    core::Configuration c, std::unique_ptr<machine::RecoveryArch> arch) {
+  return core::RunWith(core::StandardSetup(c, kBenchTxns), std::move(arch));
+}
+
+/// Runs `arch` on the Table 3 machine (75 QPs, 150 frames, parallel disks,
+/// sequential transactions).
+inline machine::MachineResult RunT3(
+    std::unique_ptr<machine::RecoveryArch> arch) {
+  return core::RunWith(core::Table3Setup(kBenchTxns), std::move(arch));
+}
+
+/// "paper / measured" with one decimal.
+inline std::string Cell(double paper, double measured) {
+  return PaperVsMeasured(paper, measured, 1);
+}
+
+/// Two-decimal variant for utilizations.
+inline std::string Cell2(double paper, double measured) {
+  return PaperVsMeasured(paper, measured, 2);
+}
+
+inline void PrintHeaderNote() {
+  std::printf(
+      "cells are \"paper / measured\"; absolute values are calibrated to an "
+      "IBM 3350 / VAX 11-750\nmodel, shapes are the reproduction target "
+      "(see EXPERIMENTS.md)\n\n");
+}
+
+}  // namespace dbmr::bench
+
+#endif  // DBMR_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,78 @@
+// google-benchmark microbenchmarks of the disk model: access throughput
+// for random and sequential request streams and parallel-access batching.
+
+#include <benchmark/benchmark.h>
+
+#include "hw/disk.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace dbmr::hw {
+namespace {
+
+void BM_ConventionalRandomStream(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator s;
+    DiskModel d(&s, "d", Ibm3350Geometry(), DiskKind::kConventional,
+                Rng(1));
+    Rng rng(2);
+    for (int i = 0; i < n; ++i) {
+      d.Submit(DiskRequest{
+          {static_cast<int32_t>(rng.UniformInt(0, 554)),
+           static_cast<int32_t>(rng.UniformInt(0, 119))},
+          false,
+          1,
+          nullptr});
+    }
+    s.Run();
+    benchmark::DoNotOptimize(d.accesses());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ConventionalRandomStream)->Arg(10000);
+
+void BM_ConventionalSequentialStream(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator s;
+    DiskModel d(&s, "d", Ibm3350Geometry(), DiskKind::kConventional,
+                Rng(1));
+    for (int i = 0; i < n; ++i) {
+      d.Submit(DiskRequest{{static_cast<int32_t>(i / 120),
+                            static_cast<int32_t>(i % 120)},
+                           false,
+                           1,
+                           nullptr});
+    }
+    s.Run();
+    benchmark::DoNotOptimize(d.accesses());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ConventionalSequentialStream)->Arg(10000);
+
+void BM_ParallelAccessBatching(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator s;
+    DiskModel d(&s, "d", Ibm3350Geometry(), DiskKind::kParallelAccess,
+                Rng(1));
+    for (int i = 0; i < n; ++i) {
+      d.Submit(DiskRequest{{static_cast<int32_t>(i / 120),
+                            static_cast<int32_t>(i % 120)},
+                           false,
+                           1,
+                           nullptr});
+    }
+    s.Run();
+    benchmark::DoNotOptimize(d.accesses());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ParallelAccessBatching)->Arg(10000);
+
+}  // namespace
+}  // namespace dbmr::hw
+
+BENCHMARK_MAIN();

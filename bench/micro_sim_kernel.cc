@@ -1,0 +1,81 @@
+// google-benchmark microbenchmarks of the discrete-event simulation
+// kernel: raw event throughput, cancellation, and server queueing.
+
+#include <benchmark/benchmark.h>
+
+#include "sim/server.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace dbmr::sim {
+namespace {
+
+void BM_ScheduleAndRun(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Simulator s;
+    Rng rng(1);
+    for (int i = 0; i < n; ++i) {
+      s.Schedule(rng.UniformDouble(0, 1000.0), [] {});
+    }
+    s.Run();
+    benchmark::DoNotOptimize(s.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ScheduleAndRun)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_NestedScheduling(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Simulator s;
+    int remaining = n;
+    std::function<void()> chain = [&] {
+      if (--remaining > 0) s.Schedule(1.0, chain);
+    };
+    s.Schedule(1.0, chain);
+    s.Run();
+    benchmark::DoNotOptimize(s.Now());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_NestedScheduling)->Arg(10000)->Arg(100000);
+
+void BM_CancelHalf(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Simulator s;
+    std::vector<EventId> ids;
+    ids.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      ids.push_back(s.Schedule(static_cast<TimeMs>(i), [] {}));
+    }
+    for (int i = 0; i < n; i += 2) {
+      s.Cancel(ids[static_cast<size_t>(i)]);
+    }
+    s.Run();
+    benchmark::DoNotOptimize(s.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CancelHalf)->Arg(10000);
+
+void BM_ServerPipeline(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Simulator s;
+    Server srv(&s, "srv");
+    for (int i = 0; i < n; ++i) {
+      srv.Submit(1.0, nullptr);
+    }
+    s.Run();
+    benchmark::DoNotOptimize(srv.jobs_completed());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ServerPipeline)->Arg(10000)->Arg(100000);
+
+}  // namespace
+}  // namespace dbmr::sim
+
+BENCHMARK_MAIN();

@@ -1,0 +1,181 @@
+// google-benchmark microbenchmarks of the functional recovery engines:
+// transaction commit cost and crash-recovery replay cost per mechanism.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "store/recovery/differential_engine.h"
+#include "store/recovery/overwrite_engine.h"
+#include "store/recovery/shadow_engine.h"
+#include "store/recovery/version_select_engine.h"
+#include "store/recovery/wal_engine.h"
+#include "store/virtual_disk.h"
+#include "util/rng.h"
+
+namespace dbmr::store {
+namespace {
+
+constexpr size_t kBlock = 4096;
+constexpr uint64_t kPages = 256;
+
+struct Fixture {
+  std::vector<std::unique_ptr<VirtualDisk>> disks;
+  std::unique_ptr<PageEngine> engine;
+};
+
+Fixture MakeEngine(const std::string& kind) {
+  Fixture f;
+  if (kind == "wal" || kind == "wal4") {
+    f.disks.push_back(std::make_unique<VirtualDisk>("data", kPages, kBlock));
+    const size_t n_logs = kind == "wal4" ? 4 : 1;
+    std::vector<VirtualDisk*> logs;
+    for (size_t i = 0; i < n_logs; ++i) {
+      f.disks.push_back(std::make_unique<VirtualDisk>("log", 4096, kBlock));
+      logs.push_back(f.disks.back().get());
+    }
+    f.engine = std::make_unique<WalEngine>(f.disks[0].get(), logs);
+  } else if (kind == "shadow") {
+    f.disks.push_back(
+        std::make_unique<VirtualDisk>("d", kPages * 2 + 16, kBlock));
+    f.engine = std::make_unique<ShadowEngine>(f.disks[0].get(), kPages);
+  } else if (kind == "overwrite") {
+    f.disks.push_back(
+        std::make_unique<VirtualDisk>("d", kPages + 256, kBlock));
+    OverwriteEngineOptions o;
+    o.list_blocks = 64;
+    o.scratch_blocks = 128;
+    f.engine = std::make_unique<OverwriteEngine>(f.disks[0].get(), kPages, o);
+  } else {
+    f.disks.push_back(
+        std::make_unique<VirtualDisk>("d", 2 * kPages + 128, kBlock));
+    f.engine =
+        std::make_unique<VersionSelectEngine>(f.disks[0].get(), kPages);
+  }
+  DBMR_CHECK(f.engine->Format().ok());
+  return f;
+}
+
+void RunCommitBench(benchmark::State& state, const std::string& kind) {
+  Fixture f = MakeEngine(kind);
+  Rng rng(7);
+  PageData payload(f.engine->payload_size(), 1);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    auto t = f.engine->Begin();
+    for (int w = 0; w < 4; ++w) {
+      payload[0] = static_cast<uint8_t>(i + static_cast<uint64_t>(w));
+      DBMR_CHECK(
+          f.engine
+              ->Write(*t, (i * 4 + static_cast<uint64_t>(w)) % kPages,
+                      payload)
+              .ok());
+    }
+    DBMR_CHECK(f.engine->Commit(*t).ok());
+    ++i;
+    if (i % 256 == 0) {
+      // Keep append-only structures bounded.
+      state.PauseTiming();
+      f.engine->Crash();
+      DBMR_CHECK(f.engine->Recover().ok());
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 4);
+}
+
+void RunRecoveryBench(benchmark::State& state, const std::string& kind) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Fixture f = MakeEngine(kind);
+    PageData payload(f.engine->payload_size(), 1);
+    for (uint64_t i = 0; i < 64; ++i) {
+      auto t = f.engine->Begin();
+      payload[0] = static_cast<uint8_t>(i);
+      DBMR_CHECK(f.engine->Write(*t, i % kPages, payload).ok());
+      DBMR_CHECK(f.engine->Commit(*t).ok());
+    }
+    f.engine->Crash();
+    state.ResumeTiming();
+    DBMR_CHECK(f.engine->Recover().ok());
+  }
+}
+
+void BM_CommitWal(benchmark::State& s) { RunCommitBench(s, "wal"); }
+void BM_CommitWal4(benchmark::State& s) { RunCommitBench(s, "wal4"); }
+void BM_CommitShadow(benchmark::State& s) { RunCommitBench(s, "shadow"); }
+void BM_CommitOverwrite(benchmark::State& s) {
+  RunCommitBench(s, "overwrite");
+}
+void BM_CommitVersionSelect(benchmark::State& s) {
+  RunCommitBench(s, "vs");
+}
+void BM_RecoverWal(benchmark::State& s) { RunRecoveryBench(s, "wal"); }
+void BM_RecoverWal4(benchmark::State& s) { RunRecoveryBench(s, "wal4"); }
+void BM_RecoverShadow(benchmark::State& s) { RunRecoveryBench(s, "shadow"); }
+void BM_RecoverOverwrite(benchmark::State& s) {
+  RunRecoveryBench(s, "overwrite");
+}
+void BM_RecoverVersionSelect(benchmark::State& s) {
+  RunRecoveryBench(s, "vs");
+}
+
+BENCHMARK(BM_CommitWal);
+BENCHMARK(BM_CommitWal4);
+BENCHMARK(BM_CommitShadow);
+BENCHMARK(BM_CommitOverwrite);
+BENCHMARK(BM_CommitVersionSelect);
+BENCHMARK(BM_RecoverWal);
+BENCHMARK(BM_RecoverWal4);
+BENCHMARK(BM_RecoverShadow);
+BENCHMARK(BM_RecoverOverwrite);
+BENCHMARK(BM_RecoverVersionSelect);
+
+void BM_CommitDifferential(benchmark::State& state) {
+  VirtualDisk disk("d", 1024, kBlock);
+  DifferentialEngineOptions o;
+  o.a_blocks = 384;
+  o.d_blocks = 384;
+  DifferentialEngine e(&disk, o);
+  DBMR_CHECK(e.Format().ok());
+  uint64_t i = 0;
+  for (auto _ : state) {
+    auto t = e.Begin();
+    for (int w = 0; w < 4; ++w) {
+      DBMR_CHECK(e.Insert(*t, (i * 4 + static_cast<uint64_t>(w)) % 512,
+                          i)
+                     .ok());
+    }
+    DBMR_CHECK(e.Commit(*t).ok());
+    if (++i % 512 == 0) {
+      state.PauseTiming();
+      DBMR_CHECK(e.Merge().ok());
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 4);
+}
+BENCHMARK(BM_CommitDifferential);
+
+void BM_MergeDifferential(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    VirtualDisk disk("d", 1024, kBlock);
+    DifferentialEngine e(&disk);
+    DBMR_CHECK(e.Format().ok());
+    for (uint64_t i = 0; i < 128; ++i) {
+      auto t = e.Begin();
+      DBMR_CHECK(e.Insert(*t, i, i).ok());
+      DBMR_CHECK(e.Commit(*t).ok());
+    }
+    state.ResumeTiming();
+    DBMR_CHECK(e.Merge().ok());
+  }
+}
+BENCHMARK(BM_MergeDifferential);
+
+}  // namespace
+}  // namespace dbmr::store
+
+BENCHMARK_MAIN();

@@ -1,0 +1,44 @@
+// Reproduces Table 1: Impact of Logging (logical logging, one log disk).
+
+#include "bench/bench_util.h"
+#include "machine/sim_logging.h"
+
+namespace dbmr::bench {
+namespace {
+
+struct PaperRow {
+  core::Configuration config;
+  double exec_bare, exec_log, compl_bare, compl_log;
+};
+
+constexpr PaperRow kPaper[] = {
+    {core::Configuration::kConvRandom, 18.0, 17.9, 7398.4, 7543.2},
+    {core::Configuration::kParRandom, 16.6, 16.5, 6476.0, 6649.9},
+    {core::Configuration::kConvSeq, 11.0, 11.4, 4016.5, 4333.5},
+    {core::Configuration::kParSeq, 1.9, 2.0, 758.1, 862.2},
+};
+
+void RunTable() {
+  TextTable t("Table 1. Impact of Logging");
+  t.SetHeader({"Configuration", "Exec/page w/o log", "Exec/page with log",
+               "Completion w/o log", "Completion with log"});
+  for (const PaperRow& row : kPaper) {
+    auto bare = Run(row.config, std::make_unique<machine::BareArch>());
+    auto logged = Run(row.config, std::make_unique<machine::SimLogging>());
+    t.AddRow({core::ConfigurationName(row.config),
+              Cell(row.exec_bare, bare.exec_time_per_page_ms),
+              Cell(row.exec_log, logged.exec_time_per_page_ms),
+              Cell(row.compl_bare, bare.completion_ms.mean()),
+              Cell(row.compl_log, logged.completion_ms.mean())});
+  }
+  t.Print();
+}
+
+}  // namespace
+}  // namespace dbmr::bench
+
+int main() {
+  dbmr::bench::PrintHeaderNote();
+  dbmr::bench::RunTable();
+  return 0;
+}

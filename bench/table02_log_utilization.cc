@@ -1,0 +1,41 @@
+// Reproduces Table 2: Log Characteristics (one log processor) — the log
+// disk is almost idle because the I/O bandwidth between the data disks and
+// the cache limits the update rate.
+
+#include "bench/bench_util.h"
+#include "machine/sim_logging.h"
+
+namespace dbmr::bench {
+namespace {
+
+struct PaperRow {
+  core::Configuration config;
+  double util;
+};
+
+constexpr PaperRow kPaper[] = {
+    {core::Configuration::kConvRandom, 0.02},
+    {core::Configuration::kParRandom, 0.02},
+    {core::Configuration::kConvSeq, 0.02},
+    {core::Configuration::kParSeq, 0.13},
+};
+
+void RunTable() {
+  TextTable t("Table 2. Log Characteristics (one log processor)");
+  t.SetHeader({"Configuration", "Log Disk Utilization"});
+  for (const PaperRow& row : kPaper) {
+    auto r = Run(row.config, std::make_unique<machine::SimLogging>());
+    t.AddRow({core::ConfigurationName(row.config),
+              Cell2(row.util, r.extra.at("log_disk_util_0"))});
+  }
+  t.Print();
+}
+
+}  // namespace
+}  // namespace dbmr::bench
+
+int main() {
+  dbmr::bench::PrintHeaderNote();
+  dbmr::bench::RunTable();
+  return 0;
+}

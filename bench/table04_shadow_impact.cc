@@ -1,0 +1,62 @@
+// Reproduces Table 4: Impact of the Shadow Mechanism (1 and 2 page-table
+// processors, page-table buffer of 10 pages).
+
+#include "bench/bench_util.h"
+#include "machine/sim_shadow.h"
+
+namespace dbmr::bench {
+namespace {
+
+struct PaperRow {
+  core::Configuration config;
+  double exec_bare, exec_1pt, exec_2pt;
+  double compl_bare, compl_1pt, compl_2pt;
+};
+
+constexpr PaperRow kPaper[] = {
+    {core::Configuration::kConvRandom, 18.00, 20.51, 17.99, 7398.41,
+     8367.19, 7758.92},
+    {core::Configuration::kParRandom, 16.62, 20.49, 16.69, 6476.04, 8352.91,
+     6962.23},
+    {core::Configuration::kConvSeq, 11.01, 10.98, 10.99, 4016.46, 4066.86,
+     4061.19},
+    {core::Configuration::kParSeq, 1.92, 1.94, 1.93, 758.06, 829.34,
+     816.29},
+};
+
+void RunTable() {
+  TextTable te("Table 4. Impact of the Shadow Mechanism — Exec/page (ms)");
+  te.SetHeader({"Configuration", "Bare", "1 PT Processor",
+                "2 PT Processors"});
+  TextTable tc("Table 4 (cont.) — Transaction Completion Time (ms)");
+  tc.SetHeader({"Configuration", "Bare", "1 PT Processor",
+                "2 PT Processors"});
+  for (const PaperRow& row : kPaper) {
+    auto bare = Run(row.config, std::make_unique<machine::BareArch>());
+    machine::SimShadowOptions one;
+    auto r1 = Run(row.config, std::make_unique<machine::SimShadow>(one));
+    machine::SimShadowOptions two;
+    two.num_pt_processors = 2;
+    auto r2 = Run(row.config, std::make_unique<machine::SimShadow>(two));
+    te.AddRow({core::ConfigurationName(row.config),
+               Cell(row.exec_bare, bare.exec_time_per_page_ms),
+               Cell(row.exec_1pt, r1.exec_time_per_page_ms),
+               Cell(row.exec_2pt, r2.exec_time_per_page_ms)});
+    tc.AddRow({core::ConfigurationName(row.config),
+               Cell(row.compl_bare, bare.completion_ms.mean()),
+               Cell(row.compl_1pt, r1.completion_ms.mean()),
+               Cell(row.compl_2pt, r2.completion_ms.mean())});
+  }
+  te.Print();
+  std::printf("\n");
+  tc.Print();
+}
+
+}  // namespace
+}  // namespace dbmr::bench
+
+int main() {
+  dbmr::bench::PrintHeaderNote();
+  dbmr::bench::RunTable();
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Reproduces Table 6: Execution Time per Page vs page-table buffer size
+// (random transactions, one page-table processor).
+
+#include "bench/bench_util.h"
+#include "machine/sim_shadow.h"
+
+namespace dbmr::bench {
+namespace {
+
+struct PaperRow {
+  core::Configuration config;
+  const char* label;
+  double bare;
+  double buf10, buf25, buf50;
+};
+
+constexpr PaperRow kPaper[] = {
+    {core::Configuration::kConvRandom, "Conventional", 18.00, 20.51, 18.02,
+     18.01},
+    {core::Configuration::kParRandom, "Parallel-access", 16.62, 20.49,
+     17.18, 16.70},
+};
+
+void RunTable() {
+  TextTable t(
+      "Table 6. Execution Time per Page vs Page-Table Buffer Size "
+      "(1 PT processor, random transactions)");
+  t.SetHeader({"Data Disk Type", "Bare", "buf=10", "buf=25", "buf=50"});
+  for (const PaperRow& row : kPaper) {
+    auto bare = Run(row.config, std::make_unique<machine::BareArch>());
+    std::vector<std::string> cells = {
+        row.label, Cell(row.bare, bare.exec_time_per_page_ms)};
+    const double paper[3] = {row.buf10, row.buf25, row.buf50};
+    const int sizes[3] = {10, 25, 50};
+    for (int i = 0; i < 3; ++i) {
+      machine::SimShadowOptions o;
+      o.pt_buffer_pages = sizes[i];
+      auto r = Run(row.config, std::make_unique<machine::SimShadow>(o));
+      cells.push_back(Cell(paper[i], r.exec_time_per_page_ms));
+    }
+    t.AddRow(cells);
+  }
+  t.Print();
+}
+
+}  // namespace
+}  // namespace dbmr::bench
+
+int main() {
+  dbmr::bench::PrintHeaderNote();
+  dbmr::bench::RunTable();
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Reproduces Table 8: Execution Time per Page for random transactions:
+// bare machine, "thru page-table" shadow, and the overwriting architecture.
+
+#include "bench/bench_util.h"
+#include "machine/sim_overwrite.h"
+#include "machine/sim_shadow.h"
+
+namespace dbmr::bench {
+namespace {
+
+struct PaperRow {
+  core::Configuration config;
+  const char* label;
+  double bare, thru_pt, overwrite;
+};
+
+constexpr PaperRow kPaper[] = {
+    {core::Configuration::kConvRandom, "Conventional", 18.00, 20.51, 26.94},
+    {core::Configuration::kParRandom, "Parallel-access", 16.62, 20.49,
+     21.65},
+};
+
+void RunTable() {
+  TextTable t("Table 8. Execution Time per Page (Random Transactions)");
+  t.SetHeader({"Data Disk Type", "Bare", "thru PageTable", "Overwriting"});
+  for (const PaperRow& row : kPaper) {
+    auto bare = Run(row.config, std::make_unique<machine::BareArch>());
+    auto pt = Run(row.config, std::make_unique<machine::SimShadow>());
+    auto over = Run(row.config, std::make_unique<machine::SimOverwrite>());
+    t.AddRow({row.label, Cell(row.bare, bare.exec_time_per_page_ms),
+              Cell(row.thru_pt, pt.exec_time_per_page_ms),
+              Cell(row.overwrite, over.exec_time_per_page_ms)});
+  }
+  t.Print();
+}
+
+}  // namespace
+}  // namespace dbmr::bench
+
+int main() {
+  dbmr::bench::PrintHeaderNote();
+  dbmr::bench::RunTable();
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Reproduces Table 11: Effect of the Size of the Differential Files on
+// Execution Time per Page — degradation grows nonlinearly with size.
+
+#include "bench/bench_util.h"
+#include "machine/sim_differential.h"
+
+namespace dbmr::bench {
+namespace {
+
+struct PaperRow {
+  core::Configuration config;
+  double bare;
+  double s10, s15, s20;
+};
+
+constexpr PaperRow kPaper[] = {
+    {core::Configuration::kConvRandom, 18.0, 19.2, 24.8, 37.0},
+    {core::Configuration::kParRandom, 16.6, 18.0, 24.4, 37.0},
+    {core::Configuration::kConvSeq, 11.0, 17.8, 25.8, 39.6},
+    {core::Configuration::kParSeq, 1.9, 13.9, 23.5, 36.4},
+};
+
+void RunTable() {
+  TextTable t(
+      "Table 11. Effect of Size of Differential Files on Exec/page (ms)");
+  t.SetHeader({"Configuration", "Bare", "10%", "15%", "20%"});
+  for (const PaperRow& row : kPaper) {
+    auto bare = Run(row.config, std::make_unique<machine::BareArch>());
+    std::vector<std::string> cells = {
+        core::ConfigurationName(row.config),
+        Cell(row.bare, bare.exec_time_per_page_ms)};
+    const double paper[3] = {row.s10, row.s15, row.s20};
+    const double sizes[3] = {0.10, 0.15, 0.20};
+    for (int i = 0; i < 3; ++i) {
+      machine::SimDifferentialOptions o;
+      o.diff_size = sizes[i];
+      auto r =
+          Run(row.config, std::make_unique<machine::SimDifferential>(o));
+      cells.push_back(Cell(paper[i], r.exec_time_per_page_ms));
+    }
+    t.AddRow(cells);
+  }
+  t.Print();
+}
+
+}  // namespace
+}  // namespace dbmr::bench
+
+int main() {
+  dbmr::bench::PrintHeaderNote();
+  dbmr::bench::RunTable();
+  return 0;
+}

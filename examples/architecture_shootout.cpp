@@ -1,0 +1,136 @@
+// Architecture shootout: runs every recovery architecture over all four of
+// the paper's configurations and ranks them by overhead relative to the
+// bare machine — a measured re-derivation of the paper's conclusion that
+// parallel logging wins.
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "machine/sim_differential.h"
+#include "machine/sim_logging.h"
+#include "machine/sim_overwrite.h"
+#include "machine/sim_shadow.h"
+#include "machine/sim_version_select.h"
+#include "util/str.h"
+#include "util/table.h"
+
+using namespace dbmr;  // NOLINT: example brevity
+
+namespace {
+
+struct Contender {
+  std::string label;
+  std::function<std::unique_ptr<machine::RecoveryArch>()> make;
+};
+
+}  // namespace
+
+int main() {
+  std::vector<Contender> contenders = {
+      {"parallel logging (1 disk)",
+       [] { return std::make_unique<machine::SimLogging>(); }},
+      {"shadow (2 PT processors)",
+       [] {
+         machine::SimShadowOptions o;
+         o.num_pt_processors = 2;
+         return std::make_unique<machine::SimShadow>(o);
+       }},
+      {"shadow (1 PT, buf 10)",
+       [] { return std::make_unique<machine::SimShadow>(); }},
+      {"shadow scrambled",
+       [] {
+         machine::SimShadowOptions o;
+         o.clustered = false;
+         return std::make_unique<machine::SimShadow>(o);
+       }},
+      {"overwriting (no-undo)",
+       [] { return std::make_unique<machine::SimOverwrite>(); }},
+      {"overwriting (no-redo)",
+       [] {
+         return std::make_unique<machine::SimOverwrite>(
+             machine::SimOverwriteMode::kNoRedo);
+       }},
+      {"version selection",
+       [] { return std::make_unique<machine::SimVersionSelect>(); }},
+      {"differential (optimal, 10%)",
+       [] { return std::make_unique<machine::SimDifferential>(); }},
+  };
+
+  const int kTxns = 100;
+  std::vector<double> bare_exec;
+  for (core::Configuration c : core::kAllConfigurations) {
+    bare_exec.push_back(
+        core::RunWith(core::StandardSetup(c, kTxns),
+                      std::make_unique<machine::BareArch>())
+            .exec_time_per_page_ms);
+  }
+
+  struct Scored {
+    std::string label;
+    std::vector<double> exec;
+    double worst_overhead = 0;  // max relative slowdown across configs
+    double mean_overhead = 0;
+  };
+  std::vector<Scored> scored;
+
+  for (const Contender& ctd : contenders) {
+    Scored s;
+    s.label = ctd.label;
+    double sum = 0;
+    for (size_t i = 0; i < 4; ++i) {
+      auto r = core::RunWith(
+          core::StandardSetup(core::kAllConfigurations[i], kTxns),
+          ctd.make());
+      s.exec.push_back(r.exec_time_per_page_ms);
+      double overhead = r.exec_time_per_page_ms / bare_exec[i] - 1.0;
+      s.worst_overhead = std::max(s.worst_overhead, overhead);
+      sum += overhead;
+    }
+    s.mean_overhead = sum / 4.0;
+    scored.push_back(std::move(s));
+  }
+  std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+    return a.worst_overhead < b.worst_overhead;
+  });
+
+  TextTable t("Recovery architecture shootout — exec time/page (ms) and "
+              "overhead vs bare machine");
+  t.SetHeader({"Rank", "Architecture", "Conv-Rand", "Par-Rand", "Conv-Seq",
+               "Par-Seq", "Worst ovh", "Mean ovh"});
+  t.AddRow({"-", "bare machine", FormatFixed(bare_exec[0], 1),
+            FormatFixed(bare_exec[1], 1), FormatFixed(bare_exec[2], 1),
+            FormatFixed(bare_exec[3], 1), "-", "-"});
+  t.AddSeparator();
+  int rank = 1;
+  for (const auto& s : scored) {
+    t.AddRow({std::to_string(rank++), s.label, FormatFixed(s.exec[0], 1),
+              FormatFixed(s.exec[1], 1), FormatFixed(s.exec[2], 1),
+              FormatFixed(s.exec[3], 1),
+              StrFormat("%+.0f%%", s.worst_overhead * 100),
+              StrFormat("%+.0f%%", s.mean_overhead * 100)});
+  }
+  t.Print();
+  // The clustered shadow variants only rank well under the paper's
+  // "logically adjacent pages stay physically clustered" assumption, which
+  // §5 calls difficult to justify in practice (see the scrambled row for
+  // the realistic case).  Among assumption-free architectures, parallel
+  // logging must come out on top — the paper's conclusion.
+  std::printf(
+      "\nPaper §5: \"the parallel logging emerges as the best recovery "
+      "architecture.\"\nNote: the clustered shadow rows assume physical "
+      "clustering survives copy-on-write;\nthe scrambled row is the same "
+      "architecture without that assumption.\n");
+  for (const auto& s : scored) {
+    if (s.label.find("shadow") != std::string::npos &&
+        s.label.find("scrambled") == std::string::npos) {
+      continue;  // clustered shadow: assumption-dependent
+    }
+    return s.label.find("logging") != std::string::npos ? 0 : 1;
+  }
+  return 1;
+}

@@ -1,0 +1,83 @@
+// Differential files as a hypothetical database (paper §3.3, after
+// Stonebraker): the base file B stays read-only while additions and
+// deletions accumulate in A and D — so "what-if" modifications can be
+// explored transactionally and thrown away, or folded into the base with
+// an atomic Merge.
+
+#include <cstdio>
+#include <vector>
+
+#include "store/recovery/differential_engine.h"
+#include "store/virtual_disk.h"
+
+using namespace dbmr;  // NOLINT: example brevity
+
+namespace {
+
+void PrintRelation(store::DifferentialEngine* db, const char* label) {
+  auto t = db->Begin();
+  std::vector<store::Tuple> rows;
+  DBMR_CHECK(db->Scan(*t, &rows).ok());
+  DBMR_CHECK(db->Commit(*t).ok());
+  std::printf("%-28s |", label);
+  for (const auto& r : rows) {
+    std::printf(" %llu->%llu", (unsigned long long)r.key,
+                (unsigned long long)r.value);
+  }
+  std::printf("   (B=%llu tuples, A=%zu, D=%zu)\n",
+              (unsigned long long)db->base_tuples(), db->a_entries(),
+              db->d_entries());
+}
+
+}  // namespace
+
+int main() {
+  store::VirtualDisk disk("d", 512);
+  store::DifferentialEngine db(&disk);
+  DBMR_CHECK(db.Format().ok());
+
+  // Load a small parts relation and merge it into the base file.
+  {
+    auto t = db.Begin();
+    for (uint64_t part = 1; part <= 6; ++part) {
+      DBMR_CHECK(db.Insert(*t, part, part * 100).ok());
+    }
+    DBMR_CHECK(db.Commit(*t).ok());
+  }
+  DBMR_CHECK(db.Merge().ok());
+  PrintRelation(&db, "base relation");
+
+  // Hypothesis 1: discontinue part 3, re-price part 5.  Explore, dislike,
+  // abort — the base never changed.
+  {
+    auto t = db.Begin();
+    DBMR_CHECK(db.Remove(*t, 3).ok());
+    DBMR_CHECK(db.Insert(*t, 5, 999).ok());
+    std::vector<store::Tuple> preview;
+    DBMR_CHECK(db.Scan(*t, &preview).ok());
+    std::printf("hypothesis preview           | %zu tuples (part 3 gone, "
+                "part 5 at 999)\n",
+                preview.size());
+    DBMR_CHECK(db.Abort(*t).ok());
+  }
+  PrintRelation(&db, "after aborted hypothesis");
+
+  // Hypothesis 2: accepted — commit appends to A/D only; B is untouched
+  // until the next merge.
+  {
+    auto t = db.Begin();
+    DBMR_CHECK(db.Remove(*t, 6).ok());
+    DBMR_CHECK(db.Insert(*t, 7, 700).ok());
+    DBMR_CHECK(db.Commit(*t).ok());
+  }
+  PrintRelation(&db, "accepted change (pre-merge)");
+
+  // A crash here loses nothing: A and D are anchored by the master block.
+  db.Crash();
+  DBMR_CHECK(db.Recover().ok());
+  PrintRelation(&db, "after crash + recovery");
+
+  DBMR_CHECK(db.Merge().ok());
+  PrintRelation(&db, "after merge");
+  return 0;
+}

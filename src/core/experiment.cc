@@ -1,0 +1,70 @@
+#include "core/experiment.h"
+
+#include "machine/machine.h"
+
+namespace dbmr::core {
+
+const char* ConfigurationName(Configuration c) {
+  switch (c) {
+    case Configuration::kConvRandom:
+      return "Conventional-Random";
+    case Configuration::kParRandom:
+      return "Parallel-Random";
+    case Configuration::kConvSeq:
+      return "Conventional-Sequential";
+    case Configuration::kParSeq:
+      return "Parallel-Sequential";
+  }
+  return "unknown";
+}
+
+ExperimentSetup StandardSetup(Configuration c, int num_txns, uint64_t seed) {
+  ExperimentSetup s;
+  s.machine.seed = seed;
+  switch (c) {
+    case Configuration::kConvRandom:
+    case Configuration::kConvSeq:
+      s.machine.disk_kind = hw::DiskKind::kConventional;
+      break;
+    case Configuration::kParRandom:
+    case Configuration::kParSeq:
+      s.machine.disk_kind = hw::DiskKind::kParallelAccess;
+      break;
+  }
+  s.workload.kind = (c == Configuration::kConvRandom ||
+                     c == Configuration::kParRandom)
+                        ? workload::ReferenceKind::kRandom
+                        : workload::ReferenceKind::kSequential;
+  s.workload.num_transactions = num_txns;
+  s.workload.db_pages = s.machine.db_pages;
+  s.workload.seed = seed;
+  return s;
+}
+
+ExperimentSetup Table3Setup(int num_txns, uint64_t seed) {
+  ExperimentSetup s = StandardSetup(Configuration::kParSeq, num_txns, seed);
+  s.machine.num_query_processors = 75;
+  s.machine.cache_frames = 150;
+  return s;
+}
+
+machine::MachineResult RunWith(
+    const ExperimentSetup& setup,
+    std::unique_ptr<machine::RecoveryArch> arch) {
+  auto txns = workload::GenerateWorkload(setup.workload);
+  machine::Machine m(setup.machine, std::move(txns), std::move(arch));
+  return m.Run();
+}
+
+std::vector<machine::MachineResult> RunAllConfigs(
+    const std::function<std::unique_ptr<machine::RecoveryArch>()>& make_arch,
+    int num_txns, uint64_t seed) {
+  std::vector<machine::MachineResult> results;
+  for (Configuration c : kAllConfigurations) {
+    results.push_back(
+        RunWith(StandardSetup(c, num_txns, seed), make_arch()));
+  }
+  return results;
+}
+
+}  // namespace dbmr::core

@@ -1,0 +1,73 @@
+// Experiment harness: the paper's standard configurations and helpers to
+// run a recovery architecture against them.
+//
+// This is the main entry point of the library for reproducing the paper:
+//
+//   auto setup = core::StandardSetup(core::Configuration::kConvRandom);
+//   auto result = core::RunWith(setup, std::make_unique<machine::SimLogging>());
+//   printf("%.1f ms/page\n", result.exec_time_per_page_ms);
+
+#ifndef DBMR_CORE_EXPERIMENT_H_
+#define DBMR_CORE_EXPERIMENT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "machine/config.h"
+#include "machine/recovery_arch.h"
+#include "workload/workload.h"
+
+namespace dbmr::core {
+
+/// The four experimental configurations of §4.
+enum class Configuration {
+  kConvRandom,
+  kParRandom,
+  kConvSeq,
+  kParSeq,
+};
+
+/// All four, in the paper's table order.
+inline constexpr Configuration kAllConfigurations[] = {
+    Configuration::kConvRandom,
+    Configuration::kParRandom,
+    Configuration::kConvSeq,
+    Configuration::kParSeq,
+};
+
+/// Paper-style display name ("Conventional-Random", ...).
+const char* ConfigurationName(Configuration c);
+
+/// Machine + workload parameters for one experiment.
+struct ExperimentSetup {
+  machine::MachineConfig machine;
+  workload::WorkloadOptions workload;
+};
+
+/// The paper's baseline machine (25 query processors, 100 cache frames,
+/// 2 data disks) with the given configuration's disk kind and reference
+/// pattern.  `num_txns` scales simulation length (more = tighter
+/// confidence, slower); results stabilize around 60.
+ExperimentSetup StandardSetup(Configuration c, int num_txns = 60,
+                              uint64_t seed = 7);
+
+/// The scaled-up machine of Table 3: 75 query processors, 150 cache
+/// frames, 2 parallel-access data disks, sequential transactions.
+ExperimentSetup Table3Setup(int num_txns = 60, uint64_t seed = 7);
+
+/// Builds the machine, runs the workload, returns the metrics.
+machine::MachineResult RunWith(
+    const ExperimentSetup& setup,
+    std::unique_ptr<machine::RecoveryArch> arch);
+
+/// Runs one architecture (fresh instance per configuration) across all
+/// four standard configurations.
+std::vector<machine::MachineResult> RunAllConfigs(
+    const std::function<std::unique_ptr<machine::RecoveryArch>()>& make_arch,
+    int num_txns = 60, uint64_t seed = 7);
+
+}  // namespace dbmr::core
+
+#endif  // DBMR_CORE_EXPERIMENT_H_

@@ -1,0 +1,23 @@
+#include "hw/channel.h"
+
+#include <utility>
+
+namespace dbmr::hw {
+
+Channel::Channel(sim::Simulator* sim, std::string name,
+                 double megabytes_per_sec)
+    : mb_per_sec_(megabytes_per_sec), server_(sim, std::move(name)) {
+  DBMR_CHECK(megabytes_per_sec > 0.0);
+}
+
+sim::TimeMs Channel::TransferTime(int64_t bytes) const {
+  const double seconds =
+      static_cast<double>(bytes) / (mb_per_sec_ * 1024.0 * 1024.0);
+  return sim::SecondsMs(seconds);
+}
+
+void Channel::Send(int64_t bytes, std::function<void()> done) {
+  server_.Submit(TransferTime(bytes), std::move(done));
+}
+
+}  // namespace dbmr::hw

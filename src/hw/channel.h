@@ -1,0 +1,41 @@
+// Bandwidth-limited communication channel.
+//
+// Models the interconnection between query processors and log processors
+// (paper §4.1.3).  A message of b bytes occupies the channel for
+// b / bandwidth seconds; messages queue FCFS.
+
+#ifndef DBMR_HW_CHANNEL_H_
+#define DBMR_HW_CHANNEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/server.h"
+
+namespace dbmr::hw {
+
+/// FCFS serial channel with a fixed bandwidth in megabytes per second.
+class Channel {
+ public:
+  Channel(sim::Simulator* sim, std::string name, double megabytes_per_sec);
+
+  /// Enqueues a `bytes`-byte message; `done` fires on delivery.
+  void Send(int64_t bytes, std::function<void()> done);
+
+  double Utilization() const { return server_.Utilization(); }
+  double AvgQueueLength() const { return server_.AvgQueueLength(); }
+  uint64_t messages_delivered() const { return server_.jobs_completed(); }
+  double bandwidth_mb_per_sec() const { return mb_per_sec_; }
+
+  /// Transfer time for a message of the given size.
+  sim::TimeMs TransferTime(int64_t bytes) const;
+
+ private:
+  double mb_per_sec_;
+  sim::Server server_;
+};
+
+}  // namespace dbmr::hw
+
+#endif  // DBMR_HW_CHANNEL_H_

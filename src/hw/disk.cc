@@ -1,0 +1,116 @@
+#include "hw/disk.h"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+namespace dbmr::hw {
+
+const char* DiskKindName(DiskKind kind) {
+  switch (kind) {
+    case DiskKind::kConventional:
+      return "conventional";
+    case DiskKind::kParallelAccess:
+      return "parallel-access";
+  }
+  return "unknown";
+}
+
+DiskModel::DiskModel(sim::Simulator* sim, std::string name,
+                     DiskGeometry geometry, DiskKind kind, Rng rng)
+    : sim_(sim),
+      name_(std::move(name)),
+      geometry_(geometry),
+      kind_(kind),
+      rng_(rng) {
+  DBMR_CHECK(sim != nullptr);
+  busy_stat_.Set(sim_->Now(), 0.0);
+  queue_stat_.Set(sim_->Now(), 0.0);
+}
+
+void DiskModel::Submit(DiskRequest req) {
+  DBMR_CHECK(req.addr.cylinder >= 0 && req.addr.cylinder < geometry_.cylinders);
+  DBMR_CHECK(req.addr.slot >= 0 && req.addr.slot < geometry_.pages_per_cylinder());
+  queue_.push_back(Pending{std::move(req), sim_->Now()});
+  queue_stat_.Set(sim_->Now(), static_cast<double>(queue_.size()));
+  if (!busy_) StartNextAccess();
+}
+
+void DiskModel::StartNextAccess() {
+  DBMR_CHECK(!busy_ && !queue_.empty());
+
+  // Gather the batch for this access.  A conventional drive always moves
+  // exactly the front request.  A parallel-access drive sweeps the queue for
+  // every same-operation request on the front request's cylinder (the heads
+  // read/write all tracks of the cylinder in one revolution).
+  std::vector<Pending> batch;
+  batch.push_back(std::move(queue_.front()));
+  queue_.pop_front();
+  if (kind_ == DiskKind::kParallelAccess) {
+    const int32_t cyl = batch.front().req.addr.cylinder;
+    const bool is_write = batch.front().req.is_write;
+    const size_t max_batch =
+        static_cast<size_t>(geometry_.pages_per_cylinder());
+    for (auto it = queue_.begin();
+         it != queue_.end() && batch.size() < max_batch;) {
+      if (it->req.addr.cylinder == cyl && it->req.is_write == is_write) {
+        batch.push_back(std::move(*it));
+        it = queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  queue_stat_.Set(sim_->Now(), static_cast<double>(queue_.size()));
+
+  const int32_t target = batch.front().req.addr.cylinder;
+  const sim::TimeMs seek = geometry_.SeekTime(arm_cylinder_, target);
+  // Sequentially continuing accesses (next slot on the cylinder the head
+  // already sits on) catch the platter almost in position and pay only a
+  // residual rotational delay; everything else pays a uniform full one.
+  const bool continuing =
+      target == arm_cylinder_ && batch.front().req.addr.slot == next_slot_;
+  arm_cylinder_ = target;
+  next_slot_ = batch.back().req.addr.slot + batch.back().req.transfer_pages;
+  const sim::TimeMs latency =
+      continuing ? rng_.UniformDouble(0.0, geometry_.rotation_ms / 4.0)
+                 : rng_.UniformDouble(0.0, geometry_.rotation_ms);
+  // With parallel heads, ceil(units / tracks) page positions must pass
+  // under the heads; a conventional drive transfers every unit serially.
+  double units = 0;
+  for (const auto& p : batch) {
+    units += static_cast<double>(p.req.transfer_pages);
+  }
+  const double passes =
+      kind_ == DiskKind::kParallelAccess
+          ? std::ceil(units /
+                      static_cast<double>(geometry_.tracks_per_cylinder))
+          : units;
+  const sim::TimeMs transfer = geometry_.page_transfer_ms * passes;
+  const sim::TimeMs service =
+      geometry_.access_overhead_ms + seek + latency + transfer;
+
+  busy_ = true;
+  busy_stat_.Set(sim_->Now(), 1.0);
+  ++accesses_;
+  pages_ += batch.size();
+  batch_stat_.Add(static_cast<double>(batch.size()));
+  for (const auto& p : batch) wait_stat_.Add(sim_->Now() - p.enqueued);
+
+  sim_->Schedule(service, [this, batch = std::move(batch)]() mutable {
+    busy_ = false;
+    busy_stat_.Set(sim_->Now(), 0.0);
+    if (!queue_.empty()) StartNextAccess();
+    for (auto& p : batch) {
+      if (p.req.done) p.req.done();
+    }
+  });
+}
+
+double DiskModel::Utilization() const { return busy_stat_.Average(sim_->Now()); }
+
+double DiskModel::AvgQueueLength() const {
+  return queue_stat_.Average(sim_->Now());
+}
+
+}  // namespace dbmr::hw

@@ -1,0 +1,114 @@
+// Disk drive model with FCFS queueing and cylinder batching.
+//
+// Two kinds of drives are modeled, matching the paper:
+//
+//  * kConventional — each access moves exactly one page:
+//      overhead + seek + rotational latency + one page transfer.
+//  * kParallelAccess — a SURE/DBC-style drive whose heads operate in
+//    parallel: one access services every queued same-operation request on
+//    the target cylinder; transfer time covers ceil(m / tracks) page times.
+//
+// Rotational latency is sampled uniformly in [0, rotation) from the disk's
+// own RNG stream, so runs are deterministic given a seed.
+
+#ifndef DBMR_HW_DISK_H_
+#define DBMR_HW_DISK_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "hw/disk_geometry.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace dbmr::hw {
+
+/// The two drive types evaluated in the paper.
+enum class DiskKind {
+  kConventional,
+  kParallelAccess,
+};
+
+const char* DiskKindName(DiskKind kind);
+
+/// A queued page access.
+struct DiskRequest {
+  DiskPageAddr addr;
+  bool is_write = false;
+  /// Blocks moved by this request in one access (e.g. the version-selection
+  /// architecture reads both adjacent copies of a page: 2).
+  int32_t transfer_pages = 1;
+  /// Completion callback; invoked when the access carrying this request
+  /// finishes.
+  std::function<void()> done;
+};
+
+/// One disk drive.
+class DiskModel {
+ public:
+  DiskModel(sim::Simulator* sim, std::string name, DiskGeometry geometry,
+            DiskKind kind, Rng rng);
+
+  DiskModel(const DiskModel&) = delete;
+  DiskModel& operator=(const DiskModel&) = delete;
+
+  /// Enqueues a page access.
+  void Submit(DiskRequest req);
+
+  bool busy() const { return busy_; }
+  size_t QueueLength() const { return queue_.size(); }
+  const std::string& name() const { return name_; }
+  const DiskGeometry& geometry() const { return geometry_; }
+  DiskKind kind() const { return kind_; }
+
+  /// Fraction of time the drive was busy since construction.
+  double Utilization() const;
+
+  /// Number of physical accesses performed (a parallel-access batch counts
+  /// as one).
+  uint64_t accesses() const { return accesses_; }
+
+  /// Total pages moved (every request counts as one page).
+  uint64_t pages_transferred() const { return pages_; }
+
+  /// Distribution of batch sizes (pages per access).
+  const RunningStat& batch_stat() const { return batch_stat_; }
+
+  /// Distribution of per-request queueing delay.
+  const RunningStat& wait_stat() const { return wait_stat_; }
+
+  double AvgQueueLength() const;
+
+ private:
+  struct Pending {
+    DiskRequest req;
+    sim::TimeMs enqueued;
+  };
+
+  void StartNextAccess();
+
+  sim::Simulator* sim_;
+  std::string name_;
+  DiskGeometry geometry_;
+  DiskKind kind_;
+  Rng rng_;
+
+  bool busy_ = false;
+  int32_t arm_cylinder_ = 0;
+  int32_t next_slot_ = -1;
+  std::deque<Pending> queue_;
+
+  uint64_t accesses_ = 0;
+  uint64_t pages_ = 0;
+  TimeWeightedStat busy_stat_;
+  TimeWeightedStat queue_stat_;
+  RunningStat batch_stat_;
+  RunningStat wait_stat_;
+};
+
+}  // namespace dbmr::hw
+
+#endif  // DBMR_HW_DISK_H_

@@ -1,0 +1,70 @@
+// Disk geometry and service-time parameters.
+//
+// Defaults model the IBM 3350 drives used in the paper: 555 cylinders of 30
+// tracks, about four 4 KB pages per track, 16.7 ms rotation, and a linear
+// seek profile.  Every disk access additionally pays a fixed overhead for
+// controller/channel work and head settling, which calibrates the bare
+// machine to the paper's Table 1 baseline (see machine/params.h).
+
+#ifndef DBMR_HW_DISK_GEOMETRY_H_
+#define DBMR_HW_DISK_GEOMETRY_H_
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace dbmr::hw {
+
+/// Physical address of a page slot on one disk.
+struct DiskPageAddr {
+  int32_t cylinder = 0;
+  /// Page slot within the cylinder, in [0, pages_per_cylinder).
+  int32_t slot = 0;
+
+  bool operator==(const DiskPageAddr&) const = default;
+};
+
+/// Geometry and timing of a disk drive.
+struct DiskGeometry {
+  int32_t cylinders = 555;
+  int32_t tracks_per_cylinder = 30;
+  int32_t pages_per_track = 4;
+
+  /// Fixed cost charged on every access (controller, settle).
+  sim::TimeMs access_overhead_ms = 10.0;
+  /// Additional seek cost per cylinder of arm travel.
+  sim::TimeMs seek_ms_per_cylinder = 0.085;
+  /// One full platter rotation; expected rotational delay is half of this.
+  sim::TimeMs rotation_ms = 16.7;
+  /// Transfer time for one 4 KB page.
+  sim::TimeMs page_transfer_ms = 3.6;
+
+  int32_t pages_per_cylinder() const {
+    return tracks_per_cylinder * pages_per_track;
+  }
+
+  int64_t capacity_pages() const {
+    return static_cast<int64_t>(cylinders) * pages_per_cylinder();
+  }
+
+  /// Arm-travel time between two cylinders (0 when equal).
+  sim::TimeMs SeekTime(int32_t from, int32_t to) const {
+    int32_t d = from > to ? from - to : to - from;
+    return d == 0 ? 0.0 : seek_ms_per_cylinder * static_cast<double>(d);
+  }
+
+  /// Maps a linear page index on this disk to its physical address.
+  DiskPageAddr AddrOfPage(int64_t page_index) const {
+    DiskPageAddr a;
+    a.cylinder = static_cast<int32_t>(page_index / pages_per_cylinder());
+    a.slot = static_cast<int32_t>(page_index % pages_per_cylinder());
+    return a;
+  }
+};
+
+/// Returns the IBM 3350 geometry used throughout the paper's experiments.
+inline DiskGeometry Ibm3350Geometry() { return DiskGeometry{}; }
+
+}  // namespace dbmr::hw
+
+#endif  // DBMR_HW_DISK_GEOMETRY_H_

@@ -1,0 +1,90 @@
+// Configuration and result types for the database-machine simulator.
+
+#ifndef DBMR_MACHINE_CONFIG_H_
+#define DBMR_MACHINE_CONFIG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hw/disk.h"
+#include "hw/disk_geometry.h"
+#include "util/stats.h"
+
+namespace dbmr::machine {
+
+/// Physical location of a logical page: which data disk and where on it.
+struct Placement {
+  int disk = 0;
+  hw::DiskPageAddr addr;
+};
+
+/// The database machine of §2/§4: query processors, a page-addressable
+/// disk cache managed by the back-end controller, data disks, and an I/O
+/// processor (implicit in the disk queues).
+struct MachineConfig {
+  /// Paper baseline: 25 VAX 11/750-class query processors.
+  int num_query_processors = 25;
+  /// Paper baseline: 100 frames of 4K bytes.
+  int cache_frames = 100;
+  /// Paper baseline: 2 data disks (IBM 3350 class).
+  int num_data_disks = 2;
+  hw::DiskKind disk_kind = hw::DiskKind::kConventional;
+  hw::DiskGeometry geometry = hw::Ibm3350Geometry();
+  /// Concurrently admitted transactions (multiprogramming level).
+  int mpl = 3;
+  /// CPU time for a query processor to process one 4K data page.
+  sim::TimeMs cpu_ms_per_page = 45.0;
+  /// Logical database size in pages; must fit the unreserved data area.
+  uint64_t db_pages = 120000;
+  /// Cylinders at the end of each drive reserved for recovery structures
+  /// (scratch areas, differential files).
+  int reserved_cylinders = 20;
+  /// Consecutive reads the back-end controller issues for one transaction
+  /// before rotating to the next (anticipatory read-ahead granularity).
+  int read_ahead_chunk = 30;
+  /// Extension beyond the paper: open-system arrivals.  When > 0,
+  /// transactions arrive with exponentially distributed interarrival times
+  /// of this mean instead of the paper's closed batch, queueing for
+  /// admission when `mpl` transactions are already active.  Completion is
+  /// then measured from arrival (a response time).
+  sim::TimeMs mean_interarrival_ms = 0.0;
+  uint64_t seed = 1;
+
+  /// Pages of data area per disk (excluding the reserved cylinders).
+  int64_t data_pages_per_disk() const {
+    return static_cast<int64_t>(geometry.cylinders - reserved_cylinders) *
+           geometry.pages_per_cylinder();
+  }
+};
+
+/// Metrics of one simulated run.
+struct MachineResult {
+  std::string arch_name;
+  double total_time_ms = 0;
+  /// Denominator of the paper's throughput metric: pages read plus pages
+  /// in write sets, a property of the workload (so architectures are
+  /// directly comparable).
+  uint64_t total_pages = 0;
+  double exec_time_per_page_ms = 0;
+  /// Transaction completion time: first cache-frame allocation to the last
+  /// updated page reaching disk (commit protocol included).
+  RunningStat completion_ms;
+  uint64_t pages_read = 0;
+  uint64_t pages_written = 0;  // physical updated-page writes
+  std::vector<double> data_disk_util;
+  std::vector<uint64_t> data_disk_accesses;
+  double qp_util = 0;
+  /// Average number of cache frames held by updated pages waiting for
+  /// recovery data to reach stable storage (paper §4.1.2).
+  double avg_blocked_pages = 0;
+  uint64_t deadlock_restarts = 0;
+  /// Architecture-specific extras: log-disk utilizations, page-table disk
+  /// utilization, buffer hit rates, ...
+  std::map<std::string, double> extra;
+};
+
+}  // namespace dbmr::machine
+
+#endif  // DBMR_MACHINE_CONFIG_H_

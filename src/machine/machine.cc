@@ -1,0 +1,336 @@
+#include "machine/machine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/str.h"
+
+namespace dbmr::machine {
+
+Placement RecoveryArch::ReadPlacement(uint64_t page) {
+  return machine_->HomePlacement(page);
+}
+
+void RecoveryArch::WriteUpdatedPage(txn::TxnId t, uint64_t page,
+                                    std::function<void()> done) {
+  Placement pl = machine_->HomePlacement(page);
+  machine_->data_disk(pl.disk)->Submit(hw::DiskRequest{
+      pl.addr, /*is_write=*/true, 1,
+      [this, t, done = std::move(done)] {
+        machine_->NoteHomeWrite(t);
+        done();
+      }});
+}
+
+Machine::Machine(const MachineConfig& config,
+                 std::vector<workload::TransactionSpec> workload,
+                 std::unique_ptr<RecoveryArch> arch)
+    : config_(config),
+      workload_(std::move(workload)),
+      arch_(std::move(arch)),
+      rng_(config.seed) {
+  DBMR_CHECK(arch_ != nullptr);
+  DBMR_CHECK(config_.num_query_processors > 0);
+  DBMR_CHECK(config_.cache_frames > 0);
+  DBMR_CHECK(config_.num_data_disks > 0);
+  DBMR_CHECK(static_cast<int64_t>(config_.db_pages) <=
+             config_.data_pages_per_disk() * config_.num_data_disks);
+  for (int i = 0; i < config_.num_data_disks; ++i) {
+    data_disks_.push_back(std::make_unique<hw::DiskModel>(
+        &sim_, StrFormat("data%d", i), config_.geometry, config_.disk_kind,
+        rng_.Fork()));
+  }
+  free_frames_ = config_.cache_frames;
+  qp_busy_stat_.Set(0.0, 0.0);
+  blocked_pages_stat_.Set(0.0, 0.0);
+  arch_->Attach(this);
+}
+
+Machine::~Machine() = default;
+
+Placement Machine::HomePlacement(uint64_t page) const {
+  const auto ppc = static_cast<uint64_t>(config_.geometry.pages_per_cylinder());
+  const auto ndisks = static_cast<uint64_t>(config_.num_data_disks);
+  const uint64_t cyl_group = page / ppc;
+  Placement pl;
+  pl.disk = static_cast<int>(cyl_group % ndisks);
+  pl.addr.cylinder = static_cast<int32_t>(cyl_group / ndisks);
+  pl.addr.slot = static_cast<int32_t>(page % ppc);
+  DBMR_CHECK(pl.addr.cylinder <
+             config_.geometry.cylinders - config_.reserved_cylinders);
+  return pl;
+}
+
+Placement Machine::ScratchPlacement(int disk, uint64_t index) const {
+  const auto ppc = static_cast<uint64_t>(config_.geometry.pages_per_cylinder());
+  const auto reserved =
+      static_cast<uint64_t>(config_.reserved_cylinders) * ppc;
+  Placement pl;
+  pl.disk = disk;
+  const uint64_t slot_index = index % reserved;
+  pl.addr.cylinder =
+      static_cast<int32_t>(config_.geometry.cylinders -
+                           config_.reserved_cylinders +
+                           static_cast<int32_t>(slot_index / ppc));
+  pl.addr.slot = static_cast<int32_t>(slot_index % ppc);
+  return pl;
+}
+
+bool Machine::TryTakeFrame() {
+  if (free_frames_ <= 0) return false;
+  --free_frames_;
+  return true;
+}
+
+void Machine::ReturnFrame() {
+  ++free_frames_;
+  Pump();
+}
+
+void Machine::NoteHomeWrite(txn::TxnId t) {
+  (void)t;
+  ++pages_written_;
+}
+
+MachineResult Machine::Run() {
+  runs_.reserve(workload_.size());
+  for (const auto& spec : workload_) {
+    auto run = std::make_unique<TxnRun>();
+    run->spec = &spec;
+    runs_.push_back(std::move(run));
+  }
+  if (config_.mean_interarrival_ms > 0.0) {
+    // Open system: exponential arrivals; admit up to the MPL on arrival,
+    // queue otherwise.  Completion then measures response time.
+    sim::TimeMs when = 0.0;
+    for (auto& run : runs_) {
+      when += rng_.Exponential(config_.mean_interarrival_ms);
+      TxnRun* txn = run.get();
+      sim_.ScheduleAt(when, [this, txn] {
+        txn->admit_time = sim_.Now();
+        pending_.push_back(txn);
+        if (static_cast<int>(active_.size()) < config_.mpl) AdmitNext();
+        Pump();
+      });
+    }
+  } else {
+    for (auto& run : runs_) pending_.push_back(run.get());
+    for (int i = 0; i < config_.mpl; ++i) AdmitNext();
+  }
+  Pump();
+  sim_.Run();
+  DBMR_CHECK(completed_txns_ == static_cast<int>(workload_.size()));
+
+  MachineResult r;
+  r.arch_name = arch_->name();
+  r.total_time_ms = completion_end_;
+  r.total_pages = workload::TotalPages(workload_);
+  r.exec_time_per_page_ms =
+      r.total_time_ms / static_cast<double>(r.total_pages);
+  r.completion_ms = completion_ms_;
+  r.pages_read = pages_read_;
+  r.pages_written = pages_written_;
+  for (auto& d : data_disks_) {
+    r.data_disk_util.push_back(d->Utilization());
+    r.data_disk_accesses.push_back(d->accesses());
+  }
+  r.qp_util = qp_busy_stat_.Average(sim_.Now()) /
+              static_cast<double>(config_.num_query_processors);
+  r.avg_blocked_pages = blocked_pages_stat_.Average(sim_.Now());
+  r.deadlock_restarts = deadlock_restarts_;
+  arch_->ContributeStats(&r);
+  return r;
+}
+
+void Machine::AdmitNext() {
+  if (pending_.empty()) return;
+  TxnRun* txn = pending_.front();
+  pending_.pop_front();
+  // In the open system admit_time was stamped at arrival (so queueing for
+  // admission counts toward the response time); in the closed batch it is
+  // stamped here, at first cache-frame eligibility, per the paper.
+  if (config_.mean_interarrival_ms <= 0.0) txn->admit_time = sim_.Now();
+  active_.push_back(txn);
+}
+
+void Machine::Pump() {
+  if (pumping_) {
+    repump_ = true;
+    return;
+  }
+  pumping_ = true;
+  do {
+    repump_ = false;
+    // Assign ready pages to free query processors.
+    while (busy_qps_ < config_.num_query_processors && !ready_.empty()) {
+      PageWork w = ready_.front();
+      ready_.pop_front();
+      StartProcessing(w);
+    }
+    // Issue anticipatory reads round-robin across active transactions
+    // while cache frames remain.
+    bool progress = true;
+    while (progress && free_frames_ > 0) {
+      progress = false;
+      for (TxnRun* txn : active_) {
+        if (free_frames_ <= 0) break;
+        if (txn->doomed || txn->paused || txn->committing) continue;
+        for (int k = 0; k < config_.read_ahead_chunk; ++k) {
+          if (free_frames_ <= 0 || txn->doomed) break;
+          if (txn->next_read >= txn->spec->reads.size()) break;
+          IssueRead(txn);
+          progress = true;
+        }
+      }
+    }
+  } while (repump_);
+  pumping_ = false;
+}
+
+void Machine::IssueRead(TxnRun* txn) {
+  const uint64_t page = txn->spec->reads[txn->next_read++];
+  const bool is_write = txn->spec->write_set.count(page) > 0;
+  ++txn->outstanding;
+  --free_frames_;
+
+  // Write-set pages take their exclusive lock up front, avoiding upgrade
+  // deadlocks (the write set is known to the compiled transaction).
+  const txn::LockMode mode =
+      is_write ? txn::LockMode::kExclusive : txn::LockMode::kShared;
+  const txn::TxnId id = txn->spec->id;
+  auto res = locks_.Acquire(id, page, mode, [this, txn, page, is_write] {
+    --txn->waiting_locks;
+    if (txn->doomed) {
+      ++free_frames_;
+      --txn->outstanding;
+      if (txn->outstanding == 0) RestartTxn(txn);
+      Pump();
+      return;
+    }
+    StartRead(txn, page, is_write);
+  });
+  switch (res) {
+    case txn::AcquireResult::kGranted:
+      StartRead(txn, page, is_write);
+      break;
+    case txn::AcquireResult::kWaiting:
+      ++txn->waiting_locks;
+      break;
+    case txn::AcquireResult::kDeadlock: {
+      // Victim: drain in-flight pages, then restart from scratch.
+      ++free_frames_;
+      --txn->outstanding;
+      txn->doomed = true;
+      locks_.ReleaseAll(id);
+      // Reclaim reads stuck waiting for locks (their queued requests were
+      // just dropped by ReleaseAll).
+      free_frames_ += txn->waiting_locks;
+      txn->outstanding -= txn->waiting_locks;
+      txn->waiting_locks = 0;
+      if (txn->outstanding == 0) RestartTxn(txn);
+      break;
+    }
+  }
+}
+
+void Machine::StartRead(TxnRun* txn, uint64_t page, bool is_write) {
+  const txn::TxnId id = txn->spec->id;
+  arch_->BeforeRead(id, page, [this, txn, page, is_write] {
+    Placement pl = arch_->ReadPlacement(page);
+    data_disks_[static_cast<size_t>(pl.disk)]->Submit(hw::DiskRequest{
+        pl.addr, /*is_write=*/false, arch_->ReadTransferPages(),
+        [this, txn, page, is_write] {
+          ++pages_read_;
+          OnReadDone(PageWork{txn, page, is_write});
+        }});
+  });
+}
+
+void Machine::OnReadDone(PageWork work) {
+  ready_.push_back(work);
+  Pump();
+}
+
+void Machine::StartProcessing(PageWork work) {
+  ++busy_qps_;
+  qp_busy_stat_.Set(sim_.Now(), static_cast<double>(busy_qps_));
+  const sim::TimeMs service =
+      config_.cpu_ms_per_page +
+      arch_->ExtraCpu(work.txn->spec->id, work.page, work.is_write);
+  sim_.Schedule(service, [this, work] {
+    --busy_qps_;
+    qp_busy_stat_.Set(sim_.Now(), static_cast<double>(busy_qps_));
+    OnProcessed(work);
+  });
+}
+
+void Machine::OnProcessed(PageWork work) {
+  if (!work.is_write || work.txn->doomed) {
+    RetirePage(work);
+    return;
+  }
+  // The query processor produced an updated page; recovery data must be
+  // collected, after which the page may be written back.
+  ++blocked_pages_;
+  blocked_pages_stat_.Set(sim_.Now(), static_cast<double>(blocked_pages_));
+  const txn::TxnId id = work.txn->spec->id;
+  arch_->CollectRecoveryData(id, work.page, [this, work, id] {
+    --blocked_pages_;
+    blocked_pages_stat_.Set(sim_.Now(),
+                            static_cast<double>(blocked_pages_));
+    arch_->WriteUpdatedPage(id, work.page, [this, work] {
+      RetirePage(work);
+    });
+  });
+}
+
+void Machine::RetirePage(PageWork work) {
+  ++free_frames_;
+  --work.txn->outstanding;
+  MaybeComplete(work.txn);
+  Pump();
+}
+
+void Machine::MaybeComplete(TxnRun* txn) {
+  if (txn->outstanding != 0) return;
+  if (txn->doomed) {
+    RestartTxn(txn);
+    return;
+  }
+  if (txn->committing) return;
+  if (txn->next_read < txn->spec->reads.size()) return;
+  txn->committing = true;
+  arch_->OnCommit(txn->spec->id, [this, txn] { CompleteTxn(txn); });
+}
+
+void Machine::CompleteTxn(TxnRun* txn) {
+  completion_ms_.Add(sim_.Now() - txn->admit_time);
+  completion_end_ = std::max(completion_end_, sim_.Now());
+  locks_.ReleaseAll(txn->spec->id);
+  active_.erase(std::find(active_.begin(), active_.end(), txn));
+  ++completed_txns_;
+  AdmitNext();
+  Pump();
+}
+
+void Machine::RestartTxn(TxnRun* txn) {
+  ++deadlock_restarts_;
+  ++txn->restarts;
+  arch_->OnRestart(txn->spec->id);
+  locks_.ReleaseAll(txn->spec->id);
+  txn->doomed = false;
+  txn->next_read = 0;
+  txn->committing = false;
+  // Randomized backoff before the rerun: immediate restarts of mutually
+  // conflicting transactions re-collide indefinitely under heavy skew.
+  txn->paused = true;
+  const sim::TimeMs backoff =
+      rng_.Exponential(100.0 * std::min(txn->restarts, 10));
+  sim_.Schedule(backoff, [this, txn] {
+    txn->paused = false;
+    Pump();
+  });
+  Pump();
+}
+
+}  // namespace dbmr::machine

@@ -1,0 +1,137 @@
+// The multiprocessor database machine simulator (paper §2 and §4).
+//
+// Event-driven model of the multiprocessor-cache architecture: the
+// back-end controller admits transactions up to the multiprogramming
+// level, allocates cache frames, issues anticipatory data-page reads
+// (through the recovery architecture's read path), assigns ready pages to
+// free query processors, collects recovery data for updated pages, writes
+// them back under the architecture's write discipline, and runs the
+// commit protocol.  Page-level two-phase locking with deadlock-victim
+// restart is provided by txn::LockManager.
+//
+// Metrics follow the paper: average execution time per page (machine time
+// over total pages read+written by the workload) and average transaction
+// completion time (first cache-frame allocation to the last updated page
+// on disk), plus device utilizations and the blocked-page diagnostic.
+
+#ifndef DBMR_MACHINE_MACHINE_H_
+#define DBMR_MACHINE_MACHINE_H_
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "hw/disk.h"
+#include "machine/config.h"
+#include "machine/recovery_arch.h"
+#include "sim/simulator.h"
+#include "txn/lock_manager.h"
+#include "util/rng.h"
+#include "workload/workload.h"
+
+namespace dbmr::machine {
+
+/// One simulated database machine run.
+class Machine {
+ public:
+  Machine(const MachineConfig& config,
+          std::vector<workload::TransactionSpec> workload,
+          std::unique_ptr<RecoveryArch> arch);
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+  ~Machine();
+
+  /// Executes the workload to completion and returns the metrics.
+  MachineResult Run();
+
+  /// --- Context API used by recovery architectures ---------------------
+  sim::Simulator* simulator() { return &sim_; }
+  const MachineConfig& config() const { return config_; }
+  Rng* rng() { return &rng_; }
+  int num_data_disks() const { return config_.num_data_disks; }
+  hw::DiskModel* data_disk(int i) { return data_disks_[static_cast<size_t>(i)].get(); }
+
+  /// Home placement of a logical page: cylinders are striped across the
+  /// data disks so sequential scans engage every drive.
+  Placement HomePlacement(uint64_t page) const;
+
+  /// A slot in the reserved scratch area at the end of a drive.
+  Placement ScratchPlacement(int disk, uint64_t index) const;
+
+  /// Transient cache frames for recovery traffic (e.g. log fragments
+  /// routed through the disk cache).  TryTakeFrame returns false when the
+  /// cache is full; callers then skip the cache optimization.
+  bool TryTakeFrame();
+  void ReturnFrame();
+
+  /// Pages the architecture writes home on behalf of a transaction should
+  /// report here so the completion-time metric sees them.
+  void NoteHomeWrite(txn::TxnId t);
+
+  /// Physical updated-page writes performed by the architecture (for the
+  /// pages_written statistic).
+  void NotePhysicalWrite() { ++pages_written_; }
+
+ private:
+  struct TxnRun {
+    const workload::TransactionSpec* spec = nullptr;
+    size_t next_read = 0;
+    int outstanding = 0;  // pages issued and not yet retired
+    bool committing = false;
+    bool doomed = false;  // deadlock victim draining before restart
+    bool paused = false;  // restart backoff in progress
+    int waiting_locks = 0;
+    sim::TimeMs admit_time = 0;
+    int restarts = 0;
+  };
+  struct PageWork {
+    TxnRun* txn = nullptr;
+    uint64_t page = 0;
+    bool is_write = false;
+  };
+
+  void AdmitNext();
+  void Pump();
+  void IssueRead(TxnRun* txn);
+  void StartRead(TxnRun* txn, uint64_t page, bool is_write);
+  void OnReadDone(PageWork work);
+  void StartProcessing(PageWork work);
+  void OnProcessed(PageWork work);
+  void RetirePage(PageWork work);
+  void MaybeComplete(TxnRun* txn);
+  void CompleteTxn(TxnRun* txn);
+  void RestartTxn(TxnRun* txn);
+
+  MachineConfig config_;
+  std::vector<workload::TransactionSpec> workload_;
+  std::unique_ptr<RecoveryArch> arch_;
+  sim::Simulator sim_;
+  Rng rng_;
+  txn::LockManager locks_;
+  std::vector<std::unique_ptr<hw::DiskModel>> data_disks_;
+
+  std::vector<std::unique_ptr<TxnRun>> runs_;
+  std::deque<TxnRun*> pending_;  // not yet admitted
+  std::vector<TxnRun*> active_;
+  std::deque<PageWork> ready_;  // pages in cache awaiting a QP
+  int free_frames_ = 0;
+  int busy_qps_ = 0;
+  int completed_txns_ = 0;
+  bool pumping_ = false;
+  bool repump_ = false;
+  sim::TimeMs completion_end_ = 0;
+
+  TimeWeightedStat qp_busy_stat_;
+  TimeWeightedStat blocked_pages_stat_;
+  int blocked_pages_ = 0;
+  uint64_t pages_read_ = 0;
+  uint64_t pages_written_ = 0;
+  uint64_t deadlock_restarts_ = 0;
+  RunningStat completion_ms_;
+
+  friend class RecoveryArch;
+};
+
+}  // namespace dbmr::machine
+
+#endif  // DBMR_MACHINE_MACHINE_H_

@@ -1,0 +1,109 @@
+// Interface between the database-machine simulator and a recovery
+// architecture (paper §3).
+//
+// The machine drives each page of a transaction through
+//   read -> query-processor processing -> [if updated] collect recovery
+//   data -> write back -> ... -> commit protocol
+// and the architecture intercepts the stages it changes: a page-table
+// lookup before the read (shadow), extra CPU during processing
+// (differential files), write-ahead blocking before the write-back
+// (logging), redirected writes (overwriting, shadow), and the commit
+// protocol itself.
+
+#ifndef DBMR_MACHINE_RECOVERY_ARCH_H_
+#define DBMR_MACHINE_RECOVERY_ARCH_H_
+
+#include <functional>
+#include <string>
+
+#include "machine/config.h"
+#include "sim/time.h"
+#include "txn/types.h"
+
+namespace dbmr::machine {
+
+class Machine;
+
+/// A pluggable recovery architecture.
+class RecoveryArch {
+ public:
+  virtual ~RecoveryArch() = default;
+
+  /// Architecture name for reports ("bare", "logging", ...).
+  virtual std::string name() const = 0;
+
+  /// Called once before the run; the machine outlives the architecture's
+  /// use of it.  Architectures allocate their extra devices here.
+  virtual void Attach(Machine* machine) { machine_ = machine; }
+
+  /// Preamble before a data-page read may be issued (e.g. the shadow
+  /// architecture's page-table lookup).  Must invoke `done` exactly once
+  /// (possibly immediately).
+  virtual void BeforeRead(txn::TxnId t, uint64_t page,
+                          std::function<void()> done) {
+    (void)t;
+    (void)page;
+    done();
+  }
+
+  /// Physical location a read of `page` goes to; default is the home
+  /// placement (the shadow architecture's scrambled mode randomizes it).
+  virtual Placement ReadPlacement(uint64_t page);
+
+  /// Blocks transferred by one read of `page` (version selection reads
+  /// both copies: 2).
+  virtual int ReadTransferPages() const { return 1; }
+
+  /// Extra query-processor time to process this page (differential files:
+  /// set union/difference work).
+  virtual sim::TimeMs ExtraCpu(txn::TxnId t, uint64_t page, bool is_write) {
+    (void)t;
+    (void)page;
+    (void)is_write;
+    return 0.0;
+  }
+
+  /// Collects recovery data for an updated page (build a log fragment,
+  /// save a shadow, ...).  Must invoke `ready` exactly once when the page
+  /// is allowed to be written to disk — the write-ahead rule.
+  virtual void CollectRecoveryData(txn::TxnId t, uint64_t page,
+                                   std::function<void()> ready) {
+    (void)t;
+    (void)page;
+    ready();
+  }
+
+  /// Writes the updated page to disk and invokes `done` when its
+  /// stable-storage destiny (for the completion-time metric) is resolved.
+  /// The default writes the page to its home placement.
+  virtual void WriteUpdatedPage(txn::TxnId t, uint64_t page,
+                                std::function<void()> done);
+
+  /// Commit protocol after every page is processed and written (force the
+  /// log tail, flip the page table, overwrite shadows, ...).
+  virtual void OnCommit(txn::TxnId t, std::function<void()> done) {
+    (void)t;
+    done();
+  }
+
+  /// A deadlock victim is about to re-run from its first page; drop any
+  /// per-transaction recovery state collected so far (the paper's
+  /// scheduler aborts the victim, which discards its recovery data).
+  virtual void OnRestart(txn::TxnId t) { (void)t; }
+
+  /// Adds architecture-specific metrics to the result.
+  virtual void ContributeStats(MachineResult* result) { (void)result; }
+
+ protected:
+  Machine* machine_ = nullptr;
+};
+
+/// The bare machine: no recovery data collected at all (paper's baseline).
+class BareArch : public RecoveryArch {
+ public:
+  std::string name() const override { return "bare"; }
+};
+
+}  // namespace dbmr::machine
+
+#endif  // DBMR_MACHINE_RECOVERY_ARCH_H_

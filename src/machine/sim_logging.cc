@@ -1,0 +1,225 @@
+#include "machine/sim_logging.h"
+
+#include <utility>
+
+#include "util/str.h"
+
+namespace dbmr::machine {
+
+const char* LogSelectName(LogSelect s) {
+  switch (s) {
+    case LogSelect::kCyclic:
+      return "cyclic";
+    case LogSelect::kRandom:
+      return "random";
+    case LogSelect::kQpMod:
+      return "QpNo mod TotLp";
+    case LogSelect::kTxnMod:
+      return "TranNo mod TotLp";
+  }
+  return "unknown";
+}
+
+SimLogging::SimLogging(SimLoggingOptions options) : opts_(options) {
+  DBMR_CHECK(opts_.num_log_processors >= 1);
+  DBMR_CHECK(opts_.fragments_per_log_page >= 1);
+}
+
+SimLogging::~SimLogging() = default;
+
+std::string SimLogging::name() const {
+  return StrFormat("logging-x%d-%s", opts_.num_log_processors,
+                   opts_.physical ? "physical" : "logical");
+}
+
+void SimLogging::Attach(Machine* machine) {
+  RecoveryArch::Attach(machine);
+  for (int i = 0; i < opts_.num_log_processors; ++i) {
+    auto lp = std::make_unique<LogProcessor>();
+    lp->disk = std::make_unique<hw::DiskModel>(
+        machine->simulator(), StrFormat("log%d", i), opts_.log_geometry,
+        hw::DiskKind::kConventional, machine->rng()->Fork());
+    lps_.push_back(std::move(lp));
+  }
+  if (!opts_.route_via_cache) {
+    channel_ = std::make_unique<hw::Channel>(
+        machine->simulator(), "qp-lp-link", opts_.channel_mb_per_sec);
+  }
+}
+
+sim::TimeMs SimLogging::ExtraCpu(txn::TxnId t, uint64_t page,
+                                 bool is_write) {
+  (void)t;
+  (void)page;
+  // Constructing the log fragment costs query-processor cycles (absorbed
+  // by slack capacity unless the QPs are the bottleneck, §4.1.1).
+  return is_write ? opts_.fragment_cpu_ms : 0.0;
+}
+
+size_t SimLogging::ChooseProcessor(txn::TxnId t) {
+  const auto n = static_cast<size_t>(opts_.num_log_processors);
+  switch (opts_.select) {
+    case LogSelect::kCyclic:
+      return cyclic_++ % n;
+    case LogSelect::kRandom:
+      return static_cast<size_t>(
+          machine_->rng()->UniformInt(0, static_cast<int64_t>(n) - 1));
+    case LogSelect::kQpMod: {
+      // The producing query processor's number: the machine assigns pages
+      // to whichever processor frees first, which cycles through the pool.
+      size_t qp = qp_cursor_++ %
+                  static_cast<size_t>(machine_->config().num_query_processors);
+      return qp % n;
+    }
+    case LogSelect::kTxnMod:
+      return static_cast<size_t>(t % n);
+  }
+  return 0;
+}
+
+void SimLogging::CollectRecoveryData(txn::TxnId t, uint64_t page,
+                                     std::function<void()> ready) {
+  const size_t lp_idx = ChooseProcessor(t);
+  ++undurable_[t];
+
+  if (opts_.route_via_cache) {
+    // The fragment is staged in a cache frame until the log processor
+    // picks it up; the cache interconnect is fast relative to everything
+    // else, so the frame is held only briefly.
+    const bool have_frame = machine_->TryTakeFrame();
+    const sim::TimeMs staging = 0.5;
+    machine_->simulator()->Schedule(
+        staging, [this, lp_idx, t, page, have_frame,
+                  ready = std::move(ready)]() mutable {
+          if (have_frame) machine_->ReturnFrame();
+          DeliverFragment(lp_idx, t, page, std::move(ready));
+        });
+    return;
+  }
+  channel_->Send(opts_.fragment_bytes,
+                 [this, lp_idx, t, page, ready = std::move(ready)]() mutable {
+                   DeliverFragment(lp_idx, t, page, std::move(ready));
+                 });
+}
+
+hw::DiskPageAddr SimLogging::NextLogAddr(LogProcessor* lp) {
+  const auto& g = opts_.log_geometry;
+  const uint64_t slot = lp->next_slot++;
+  hw::DiskPageAddr addr;
+  addr.cylinder = static_cast<int32_t>(
+      (slot / static_cast<uint64_t>(g.pages_per_cylinder())) %
+      static_cast<uint64_t>(g.cylinders));
+  addr.slot = static_cast<int32_t>(
+      slot % static_cast<uint64_t>(g.pages_per_cylinder()));
+  return addr;
+}
+
+void SimLogging::DeliverFragment(size_t lp_idx, txn::TxnId t, uint64_t page,
+                                 std::function<void()> ready) {
+  (void)page;
+  LogProcessor* lp = lps_[lp_idx].get();
+
+  if (opts_.physical) {
+    // Before image and after image: two full log pages, written at once.
+    Group group;
+    group.fragments = 1;
+    group.readies.push_back(std::move(ready));
+    group.txn_fragments[t] = 1;
+    lp->disk->Submit(hw::DiskRequest{NextLogAddr(lp), true, 1, nullptr});
+    lp->disk->Submit(hw::DiskRequest{
+        NextLogAddr(lp), true, 1,
+        [this, lp, group = std::move(group)]() mutable {
+          lp->pages_written += 2;
+          OnLogPageWritten(std::move(group));
+        }});
+    return;
+  }
+
+  Group& g = lp->current;
+  ++g.fragments;
+  g.readies.push_back(std::move(ready));
+  ++g.txn_fragments[t];
+  if (g.fragments == 1) {
+    // First fragment of a fresh page: arm the flush timer so blocked
+    // updated pages cannot pin the cache indefinitely.
+    const uint64_t gen = lp->group_gen;
+    machine_->simulator()->Schedule(
+        opts_.group_flush_timeout_ms, [this, lp, gen] {
+          if (lp->group_gen == gen) FlushGroup(lp);
+        });
+  }
+  // A commit waiting on this transaction must not sit behind a slow-
+  // filling page: force immediately.
+  if (g.fragments >= opts_.fragments_per_log_page ||
+      commit_waiters_.count(t) > 0) {
+    FlushGroup(lp);
+  }
+}
+
+void SimLogging::FlushGroup(LogProcessor* lp) {
+  if (lp->current.fragments == 0) return;
+  Group group = std::move(lp->current);
+  lp->current = Group{};
+  ++lp->group_gen;
+  WriteLogPage(lp, std::move(group));
+}
+
+void SimLogging::WriteLogPage(LogProcessor* lp, Group group) {
+  lp->disk->Submit(hw::DiskRequest{
+      NextLogAddr(lp), true, 1,
+      [this, lp, group = std::move(group)]() mutable {
+        ++lp->pages_written;
+        OnLogPageWritten(std::move(group));
+      }});
+}
+
+void SimLogging::OnLogPageWritten(Group group) {
+  for (auto& ready : group.readies) ready();
+  for (const auto& [t, count] : group.txn_fragments) {
+    auto it = undurable_.find(t);
+    DBMR_CHECK(it != undurable_.end());
+    it->second -= count;
+    if (it->second == 0) {
+      undurable_.erase(it);
+      auto w = commit_waiters_.find(t);
+      if (w != commit_waiters_.end()) {
+        auto done = std::move(w->second);
+        commit_waiters_.erase(w);
+        done();
+      }
+    }
+  }
+}
+
+void SimLogging::OnCommit(txn::TxnId t, std::function<void()> done) {
+  auto it = undurable_.find(t);
+  if (it == undurable_.end()) {
+    done();
+    return;
+  }
+  // Force every partial log page holding this transaction's fragments;
+  // fragments still in transit flush on arrival (DeliverFragment checks
+  // commit_waiters_).
+  commit_waiters_.emplace(t, std::move(done));
+  for (auto& lp : lps_) {
+    if (lp->current.txn_fragments.count(t) > 0) FlushGroup(lp.get());
+  }
+}
+
+void SimLogging::ContributeStats(MachineResult* result) {
+  for (size_t i = 0; i < lps_.size(); ++i) {
+    result->extra[StrFormat("log_disk_util_%zu", i)] =
+        lps_[i]->disk->Utilization();
+    result->extra[StrFormat("log_pages_written_%zu", i)] =
+        static_cast<double>(lps_[i]->pages_written);
+  }
+  if (channel_) {
+    result->extra["log_channel_util"] = channel_->Utilization();
+  }
+}
+
+double SimLogging::LogDiskUtilization(int i) const {
+  return lps_[static_cast<size_t>(i)]->disk->Utilization();
+}
+
+}  // namespace dbmr::machine

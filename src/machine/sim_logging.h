@@ -1,0 +1,113 @@
+// Parallel-logging recovery architecture for the machine simulator
+// (paper §3.1, §4.1).
+//
+// N log processors, each with a conventional log disk.  Query processors
+// emit a log fragment per updated page; the fragment travels either over a
+// dedicated interconnect of configurable bandwidth or through the disk
+// cache (occupying a frame in transit).  The chosen log processor
+// assembles fragments into log pages (logical logging) or writes full
+// before/after image pages immediately (physical logging).  The
+// write-ahead rule holds an updated page in the cache until the log page
+// carrying its fragment is on the log disk; commit forces the partial log
+// pages holding the transaction's fragments.
+
+#ifndef DBMR_MACHINE_SIM_LOGGING_H_
+#define DBMR_MACHINE_SIM_LOGGING_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "hw/channel.h"
+#include "hw/disk.h"
+#include "machine/machine.h"
+#include "machine/recovery_arch.h"
+
+namespace dbmr::machine {
+
+/// Log-processor selection policies (paper §4.1.2).
+enum class LogSelect {
+  kCyclic,
+  kRandom,
+  kQpMod,   ///< producing query processor's number mod #log processors
+  kTxnMod,  ///< transaction number mod #log processors
+};
+
+const char* LogSelectName(LogSelect s);
+
+/// Options for the logging architecture.
+struct SimLoggingOptions {
+  int num_log_processors = 1;
+  /// Logical: fragments assembled into log pages.  Physical: every update
+  /// writes its full before and after image pages (paper §4.1.2, Table 3).
+  bool physical = false;
+  LogSelect select = LogSelect::kCyclic;
+  /// Route fragments through the disk cache instead of a dedicated
+  /// interconnect (paper §4.1.3).
+  bool route_via_cache = false;
+  double channel_mb_per_sec = 1.0;
+  int fragment_bytes = 200;
+  /// Fragments that fill one 4K log page in logical mode.
+  int fragments_per_log_page = 20;
+  /// Extra query-processor time to construct a fragment.
+  sim::TimeMs fragment_cpu_ms = 2.0;
+  /// A partially filled log page is forced after this long — the paper's
+  /// back-end controller similarly asks the log processor to flush when a
+  /// blocked updated page must leave the cache.
+  sim::TimeMs group_flush_timeout_ms = 500.0;
+  hw::DiskGeometry log_geometry = hw::Ibm3350Geometry();
+};
+
+/// The parallel-logging architecture.
+class SimLogging : public RecoveryArch {
+ public:
+  explicit SimLogging(SimLoggingOptions options = {});
+  ~SimLogging() override;
+
+  std::string name() const override;
+  void Attach(Machine* machine) override;
+  sim::TimeMs ExtraCpu(txn::TxnId t, uint64_t page, bool is_write) override;
+  void CollectRecoveryData(txn::TxnId t, uint64_t page,
+                           std::function<void()> ready) override;
+  void OnCommit(txn::TxnId t, std::function<void()> done) override;
+  void ContributeStats(MachineResult* result) override;
+
+  /// Utilization of log disk `i` (tests, Table 2).
+  double LogDiskUtilization(int i) const;
+
+ private:
+  struct Group {
+    int fragments = 0;
+    std::vector<std::function<void()>> readies;
+    std::unordered_map<txn::TxnId, int> txn_fragments;
+  };
+  struct LogProcessor {
+    std::unique_ptr<hw::DiskModel> disk;
+    Group current;
+    uint64_t group_gen = 0;  // bumps when the current group flushes
+    uint64_t next_slot = 0;  // sequential log-page placement
+    uint64_t pages_written = 0;
+  };
+
+  size_t ChooseProcessor(txn::TxnId t);
+  void DeliverFragment(size_t lp_idx, txn::TxnId t, uint64_t page,
+                       std::function<void()> ready);
+  void FlushGroup(LogProcessor* lp);
+  void WriteLogPage(LogProcessor* lp, Group group);
+  void OnLogPageWritten(Group group);
+  hw::DiskPageAddr NextLogAddr(LogProcessor* lp);
+
+  SimLoggingOptions opts_;
+  std::vector<std::unique_ptr<LogProcessor>> lps_;
+  std::unique_ptr<hw::Channel> channel_;
+  size_t cyclic_ = 0;
+  size_t qp_cursor_ = 0;
+  /// Fragments of each transaction not yet on a log disk.
+  std::unordered_map<txn::TxnId, int> undurable_;
+  /// Commit waiters blocked on their last fragments.
+  std::unordered_map<txn::TxnId, std::function<void()>> commit_waiters_;
+};
+
+}  // namespace dbmr::machine
+
+#endif  // DBMR_MACHINE_SIM_LOGGING_H_

@@ -1,0 +1,90 @@
+#include "machine/sim_overwrite.h"
+
+#include <memory>
+#include <utility>
+
+#include "util/str.h"
+
+namespace dbmr::machine {
+
+SimOverwrite::SimOverwrite(SimOverwriteMode mode) : mode_(mode) {}
+
+std::string SimOverwrite::name() const {
+  return mode_ == SimOverwriteMode::kNoUndo ? "overwrite-noundo"
+                                            : "overwrite-noredo";
+}
+
+Placement SimOverwrite::AllocScratch(int disk) {
+  if (scratch_cursor_.empty()) {
+    scratch_cursor_.assign(
+        static_cast<size_t>(machine_->num_data_disks()), 0);
+  }
+  return machine_->ScratchPlacement(
+      disk, scratch_cursor_[static_cast<size_t>(disk)]++);
+}
+
+void SimOverwrite::WriteUpdatedPage(txn::TxnId t, uint64_t page,
+                                    std::function<void()> done) {
+  const Placement home = machine_->HomePlacement(page);
+  const Placement scratch = AllocScratch(home.disk);
+
+  if (mode_ == SimOverwriteMode::kNoUndo) {
+    // Current copy to scratch now; shadow overwritten at commit.
+    pending_[t].emplace_back(page, scratch);
+    ++scratch_writes_;
+    machine_->data_disk(scratch.disk)->Submit(
+        hw::DiskRequest{scratch.addr, true, 1, std::move(done)});
+    return;
+  }
+
+  // kNoRedo: save the shadow (already in the cache) to scratch, then
+  // overwrite the home location in place.
+  ++scratch_writes_;
+  machine_->data_disk(scratch.disk)->Submit(hw::DiskRequest{
+      scratch.addr, true, 1, [this, t, home, done = std::move(done)]() mutable {
+        ++home_writes_;
+        machine_->data_disk(home.disk)->Submit(hw::DiskRequest{
+            home.addr, true, 1, [this, t, done = std::move(done)] {
+              machine_->NoteHomeWrite(t);
+              done();
+            }});
+      }});
+}
+
+void SimOverwrite::OnCommit(txn::TxnId t, std::function<void()> done) {
+  auto it = pending_.find(t);
+  if (it == pending_.end() || it->second.empty()) {
+    pending_.erase(t);
+    done();
+    return;
+  }
+  // No-undo commit: read every updated page back from scratch (parallel
+  // drives can take a whole scratch cylinder in one access), then
+  // overwrite the shadows at home; locks are held throughout.
+  auto pages = std::move(it->second);
+  pending_.erase(it);
+  auto remaining = std::make_shared<int>(static_cast<int>(pages.size()));
+  auto shared_done = std::make_shared<std::function<void()>>(std::move(done));
+  for (auto& [page, scratch] : pages) {
+    ++scratch_reads_;
+    const uint64_t p = page;
+    machine_->data_disk(scratch.disk)->Submit(hw::DiskRequest{
+        scratch.addr, false, 1, [this, t, p, remaining, shared_done] {
+          const Placement home = machine_->HomePlacement(p);
+          ++home_writes_;
+          machine_->data_disk(home.disk)->Submit(hw::DiskRequest{
+              home.addr, true, 1, [this, t, remaining, shared_done] {
+                machine_->NoteHomeWrite(t);
+                if (--*remaining == 0) (*shared_done)();
+              }});
+        }});
+  }
+}
+
+void SimOverwrite::ContributeStats(MachineResult* result) {
+  result->extra["scratch_writes"] = static_cast<double>(scratch_writes_);
+  result->extra["scratch_reads"] = static_cast<double>(scratch_reads_);
+  result->extra["home_overwrites"] = static_cast<double>(home_writes_);
+}
+
+}  // namespace dbmr::machine

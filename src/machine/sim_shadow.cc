@@ -1,0 +1,206 @@
+#include "machine/sim_shadow.h"
+
+#include <utility>
+
+#include "util/str.h"
+
+namespace dbmr::machine {
+
+SimShadow::SimShadow(SimShadowOptions options) : opts_(options) {
+  DBMR_CHECK(opts_.num_pt_processors >= 1);
+  DBMR_CHECK(opts_.pt_buffer_pages >= 1);
+}
+
+SimShadow::~SimShadow() = default;
+
+std::string SimShadow::name() const {
+  return StrFormat("shadow-%dpt-buf%d%s", opts_.num_pt_processors,
+                   opts_.pt_buffer_pages,
+                   opts_.clustered ? "" : "-scrambled");
+}
+
+void SimShadow::Attach(Machine* machine) {
+  RecoveryArch::Attach(machine);
+  for (int i = 0; i < opts_.num_pt_processors; ++i) {
+    auto pt = std::make_unique<PtProcessor>();
+    pt->cpu = std::make_unique<sim::Server>(machine->simulator(),
+                                            StrFormat("ptproc%d", i));
+    pt->disk = std::make_unique<hw::DiskModel>(
+        machine->simulator(), StrFormat("ptdisk%d", i), opts_.pt_geometry,
+        hw::DiskKind::kConventional, machine->rng()->Fork());
+    pts_.push_back(std::move(pt));
+  }
+}
+
+hw::DiskPageAddr SimShadow::PtAddr(uint64_t pt_page) const {
+  // The page table occupies the first cylinders of its disk; with one disk
+  // per processor, consecutive page-table pages interleave across them.
+  const uint64_t local =
+      pt_page / static_cast<uint64_t>(opts_.num_pt_processors);
+  const auto ppc =
+      static_cast<uint64_t>(opts_.pt_geometry.pages_per_cylinder());
+  hw::DiskPageAddr addr;
+  addr.cylinder = static_cast<int32_t>(local / ppc);
+  addr.slot = static_cast<int32_t>(local % ppc);
+  return addr;
+}
+
+bool SimShadow::BufferContains(uint64_t pt_page) const {
+  return buffer_.count(pt_page) > 0;
+}
+
+void SimShadow::BufferInsert(uint64_t pt_page) {
+  auto it = buffer_.find(pt_page);
+  if (it != buffer_.end()) {
+    lru_.erase(it->second);
+    lru_.push_front(pt_page);
+    it->second = lru_.begin();
+    return;
+  }
+  if (buffer_.size() >= static_cast<size_t>(opts_.pt_buffer_pages)) {
+    buffer_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  lru_.push_front(pt_page);
+  buffer_.emplace(pt_page, lru_.begin());
+}
+
+void SimShadow::FetchPtPage(uint64_t pt_page, std::function<void()> done) {
+  if (BufferContains(pt_page)) {
+    ++hits_;
+    BufferInsert(pt_page);  // touch
+    done();
+    return;
+  }
+  ++misses_;
+  auto it = inflight_fetches_.find(pt_page);
+  if (it != inflight_fetches_.end()) {
+    it->second.push_back(std::move(done));
+    return;
+  }
+  inflight_fetches_[pt_page].push_back(std::move(done));
+  PtProcessor* pt = pts_[ProcessorOf(pt_page)].get();
+  ++pt->lookups;
+  // Miss path: the page-table processor locates and interprets the entry,
+  // then its disk fetches the page-table page.
+  pt->cpu->Submit(opts_.pt_cpu_ms, [this, pt, pt_page] {
+    pt->disk->Submit(hw::DiskRequest{
+        PtAddr(pt_page), false, 1, [this, pt_page] {
+          BufferInsert(pt_page);
+          auto waiters = std::move(inflight_fetches_[pt_page]);
+          inflight_fetches_.erase(pt_page);
+          for (auto& w : waiters) w();
+        }});
+  });
+}
+
+void SimShadow::BeforeRead(txn::TxnId t, uint64_t page,
+                           std::function<void()> done) {
+  (void)t;
+  // The disk address of the data page comes from its page-table entry.
+  FetchPtPage(PtPageOf(page), std::move(done));
+}
+
+Placement SimShadow::ScrambledPlacement(uint64_t page) const {
+  // Copy-on-write relocation has destroyed adjacency: hash the page id to
+  // a pseudo-random slot of the data area (stable per page).
+  uint64_t h = page * 0x9e3779b97f4a7c15ULL;
+  h ^= h >> 29;
+  const auto& cfg = machine_->config();
+  const uint64_t data_pages =
+      static_cast<uint64_t>(cfg.data_pages_per_disk());
+  Placement pl;
+  pl.disk = static_cast<int>(h % static_cast<uint64_t>(cfg.num_data_disks));
+  const uint64_t local = (h >> 8) % data_pages;
+  const auto ppc = static_cast<uint64_t>(cfg.geometry.pages_per_cylinder());
+  pl.addr.cylinder = static_cast<int32_t>(local / ppc);
+  pl.addr.slot = static_cast<int32_t>(local % ppc);
+  return pl;
+}
+
+bool SimShadow::PageIsClustered(uint64_t page) const {
+  if (!opts_.clustered) return false;
+  if (opts_.cluster_fraction >= 1.0) return true;
+  // Stable per-page pseudo-random draw against the clustering fraction.
+  uint64_t h = (page + 1) * 0xd1b54a32d192ed03ULL;
+  h ^= h >> 32;
+  const double u =
+      static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u < opts_.cluster_fraction;
+}
+
+Placement SimShadow::ReadPlacement(uint64_t page) {
+  if (PageIsClustered(page)) return machine_->HomePlacement(page);
+  return ScrambledPlacement(page);
+}
+
+void SimShadow::WriteUpdatedPage(txn::TxnId t, uint64_t page,
+                                 std::function<void()> done) {
+  // Copy-on-write: the new copy goes to a fresh block.  Under the
+  // clustered assumption the allocator found one next to the original; in
+  // scrambled mode it is anywhere.
+  dirty_pt_pages_[t].insert(PtPageOf(page));
+  Placement pl = PageIsClustered(page) ? machine_->HomePlacement(page)
+                                       : ScrambledPlacement(page);
+  machine_->data_disk(pl.disk)->Submit(hw::DiskRequest{
+      pl.addr, true, 1, [this, t, done = std::move(done)] {
+        machine_->NoteHomeWrite(t);
+        done();
+      }});
+}
+
+void SimShadow::OnCommit(txn::TxnId t, std::function<void()> done) {
+  auto it = dirty_pt_pages_.find(t);
+  if (it == dirty_pt_pages_.end() || it->second.empty()) {
+    dirty_pt_pages_.erase(t);
+    done();
+    return;
+  }
+  // Update the page-table entries of the write set: reread any evicted
+  // page-table page, then write the new shadow table pages.
+  auto remaining = std::make_shared<int>(static_cast<int>(it->second.size()));
+  auto shared_done = std::make_shared<std::function<void()>>(std::move(done));
+  for (uint64_t pt_page : it->second) {
+    auto finish_write = [this, pt_page, remaining, shared_done] {
+      PtProcessor* pt = pts_[ProcessorOf(pt_page)].get();
+      ++pt_writes_;
+      pt->cpu->Submit(opts_.pt_cpu_ms, [pt, pt_page, remaining, shared_done,
+                                        this] {
+        pt->disk->Submit(hw::DiskRequest{
+            PtAddr(pt_page), true, 1, [remaining, shared_done] {
+              if (--*remaining == 0) (*shared_done)();
+            }});
+      });
+    };
+    if (BufferContains(pt_page)) {
+      BufferInsert(pt_page);
+      finish_write();
+    } else {
+      ++commit_rereads_;
+      FetchPtPage(pt_page, finish_write);
+    }
+  }
+  dirty_pt_pages_.erase(t);
+}
+
+void SimShadow::ContributeStats(MachineResult* result) {
+  for (size_t i = 0; i < pts_.size(); ++i) {
+    result->extra[StrFormat("pt_disk_util_%zu", i)] =
+        pts_[i]->disk->Utilization();
+  }
+  result->extra["pt_buffer_hit_rate"] = BufferHitRate();
+  result->extra["pt_commit_rereads"] = static_cast<double>(commit_rereads_);
+  result->extra["pt_writes"] = static_cast<double>(pt_writes_);
+}
+
+double SimShadow::PtDiskUtilization(int i) const {
+  return pts_[static_cast<size_t>(i)]->disk->Utilization();
+}
+
+double SimShadow::BufferHitRate() const {
+  const uint64_t total = hits_ + misses_;
+  return total == 0 ? 0.0
+                    : static_cast<double>(hits_) / static_cast<double>(total);
+}
+
+}  // namespace dbmr::machine

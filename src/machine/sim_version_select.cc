@@ -1,0 +1,34 @@
+#include "machine/sim_version_select.h"
+
+#include <utility>
+
+namespace dbmr::machine {
+
+void SimVersionSelect::WriteUpdatedPage(txn::TxnId t, uint64_t page,
+                                        std::function<void()> done) {
+  // The new version overwrites the adjacent non-current block: a single
+  // one-page write at (essentially) the home location.
+  Placement pl = machine_->HomePlacement(page);
+  machine_->data_disk(pl.disk)->Submit(hw::DiskRequest{
+      pl.addr, true, 1, [this, t, done = std::move(done)] {
+        machine_->NoteHomeWrite(t);
+        done();
+      }});
+}
+
+void SimVersionSelect::OnCommit(txn::TxnId t, std::function<void()> done) {
+  (void)t;
+  // Append the transaction id to the stable commit list: one page write
+  // in the reserved area of disk 0.
+  ++commit_list_writes_;
+  Placement pl = machine_->ScratchPlacement(0, commit_list_writes_ % 16);
+  machine_->data_disk(pl.disk)->Submit(
+      hw::DiskRequest{pl.addr, true, 1, std::move(done)});
+}
+
+void SimVersionSelect::ContributeStats(MachineResult* result) {
+  result->extra["commit_list_writes"] =
+      static_cast<double>(commit_list_writes_);
+}
+
+}  // namespace dbmr::machine

@@ -1,0 +1,56 @@
+// Version-selection recovery architecture for the machine simulator
+// (paper §3.2.2.1, §4.2.5).
+//
+// Two physically adjacent blocks hold the current and shadow copy of every
+// page; a read fetches BOTH and applies version selection, doubling the
+// transfer per access.  A small stable commit-list write per committing
+// transaction provides the commit point.  The paper argues (without
+// simulating) that this loses because the machine is I/O-bandwidth bound;
+// this architecture lets the claim be measured (bench/ablation_version_select).
+
+#ifndef DBMR_MACHINE_SIM_VERSION_SELECT_H_
+#define DBMR_MACHINE_SIM_VERSION_SELECT_H_
+
+#include "machine/machine.h"
+#include "machine/recovery_arch.h"
+
+namespace dbmr::machine {
+
+/// Options for version selection.
+struct SimVersionSelectOptions {
+  /// Paper §4.2.5: "unless the disk heads are augmented with enough
+  /// intelligence to perform on-the-fly version selection, the average
+  /// time to access a data page will increase."  With smart heads the
+  /// drive returns only the current copy (one page per read).
+  bool smart_heads = false;
+};
+
+/// The version-selection architecture.
+class SimVersionSelect : public RecoveryArch {
+ public:
+  explicit SimVersionSelect(SimVersionSelectOptions options = {})
+      : opts_(options) {}
+
+  std::string name() const override {
+    return opts_.smart_heads ? "version-select-smart" : "version-select";
+  }
+
+  /// Both copies of the page come back in one access — unless the heads
+  /// select on the fly.
+  int ReadTransferPages() const override {
+    return opts_.smart_heads ? 1 : 2;
+  }
+
+  void WriteUpdatedPage(txn::TxnId t, uint64_t page,
+                        std::function<void()> done) override;
+  void OnCommit(txn::TxnId t, std::function<void()> done) override;
+  void ContributeStats(MachineResult* result) override;
+
+ private:
+  SimVersionSelectOptions opts_;
+  uint64_t commit_list_writes_ = 0;
+};
+
+}  // namespace dbmr::machine
+
+#endif  // DBMR_MACHINE_SIM_VERSION_SELECT_H_

@@ -1,0 +1,47 @@
+#include "sim/server.h"
+
+namespace dbmr::sim {
+
+Server::Server(Simulator* sim, std::string name)
+    : sim_(sim), name_(std::move(name)) {
+  DBMR_CHECK(sim != nullptr);
+  busy_stat_.Set(sim_->Now(), 0.0);
+  queue_stat_.Set(sim_->Now(), 0.0);
+}
+
+void Server::Submit(Job job) {
+  DBMR_CHECK(job.service != nullptr);
+  queue_.push_back(Pending{std::move(job), sim_->Now()});
+  queue_stat_.Set(sim_->Now(), static_cast<double>(queue_.size()));
+  if (!busy_) StartNext();
+}
+
+void Server::Submit(TimeMs service_time, std::function<void()> done) {
+  Submit(Job{[service_time] { return service_time; }, std::move(done)});
+}
+
+void Server::StartNext() {
+  DBMR_CHECK(!busy_ && !queue_.empty());
+  Pending p = std::move(queue_.front());
+  queue_.pop_front();
+  queue_stat_.Set(sim_->Now(), static_cast<double>(queue_.size()));
+  busy_ = true;
+  busy_stat_.Set(sim_->Now(), 1.0);
+  wait_stat_.Add(sim_->Now() - p.enqueued);
+  TimeMs service = p.job.service();
+  DBMR_CHECK(service >= 0.0);
+  service_stat_.Add(service);
+  sim_->Schedule(service, [this, done = std::move(p.job.done)]() mutable {
+    OnComplete(std::move(done));
+  });
+}
+
+void Server::OnComplete(std::function<void()> done) {
+  busy_ = false;
+  busy_stat_.Set(sim_->Now(), 0.0);
+  ++completed_;
+  if (!queue_.empty()) StartNext();
+  if (done) done();
+}
+
+}  // namespace dbmr::sim

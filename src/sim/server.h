@@ -1,0 +1,85 @@
+// A single-server FCFS queueing station.
+//
+// Servers model the query processors, page-table processors, log
+// processors, and communication channels of the database machine.  Service
+// time is computed lazily when a job is dispatched, so it can depend on
+// server state at dispatch time.  Disks need batched dispatch and therefore
+// have their own model (hw::DiskModel) built on the same simulator.
+
+#ifndef DBMR_SIM_SERVER_H_
+#define DBMR_SIM_SERVER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "sim/simulator.h"
+#include "sim/time.h"
+#include "util/stats.h"
+
+namespace dbmr::sim {
+
+/// A unit of work for a Server.
+struct Job {
+  /// Computes the service time; invoked once, when the job starts service.
+  std::function<TimeMs()> service;
+  /// Invoked when service completes.
+  std::function<void()> done;
+};
+
+/// Single server with an unbounded FCFS queue and utilization accounting.
+class Server {
+ public:
+  Server(Simulator* sim, std::string name);
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+  virtual ~Server() = default;
+
+  /// Enqueues a job; it starts immediately if the server is idle.
+  void Submit(Job job);
+
+  /// Convenience overload with a fixed service time.
+  void Submit(TimeMs service_time, std::function<void()> done);
+
+  bool busy() const { return busy_; }
+  size_t QueueLength() const { return queue_.size(); }
+  const std::string& name() const { return name_; }
+
+  /// Fraction of time busy over [construction, now].
+  double Utilization() const { return busy_stat_.Average(sim_->Now()); }
+
+  /// Time-weighted average queue length (excluding the job in service).
+  double AvgQueueLength() const { return queue_stat_.Average(sim_->Now()); }
+
+  const RunningStat& wait_stat() const { return wait_stat_; }
+  const RunningStat& service_stat() const { return service_stat_; }
+  uint64_t jobs_completed() const { return completed_; }
+
+ protected:
+  Simulator* sim() { return sim_; }
+
+ private:
+  struct Pending {
+    Job job;
+    TimeMs enqueued;
+  };
+
+  void StartNext();
+  void OnComplete(std::function<void()> done);
+
+  Simulator* sim_;
+  std::string name_;
+  bool busy_ = false;
+  std::deque<Pending> queue_;
+  uint64_t completed_ = 0;
+  TimeWeightedStat busy_stat_;
+  TimeWeightedStat queue_stat_;
+  RunningStat wait_stat_;
+  RunningStat service_stat_;
+};
+
+}  // namespace dbmr::sim
+
+#endif  // DBMR_SIM_SERVER_H_

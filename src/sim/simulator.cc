@@ -1,0 +1,52 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace dbmr::sim {
+
+EventId Simulator::Schedule(TimeMs delay, std::function<void()> fn) {
+  if (delay < 0.0) delay = 0.0;
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+EventId Simulator::ScheduleAt(TimeMs when, std::function<void()> fn) {
+  DBMR_CHECK(fn != nullptr);
+  if (when < now_) when = now_;
+  EventId id = next_id_++;
+  heap_.push(Event{when, next_seq_++, id, std::move(fn)});
+  live_.insert(id);
+  return id;
+}
+
+bool Simulator::Cancel(EventId id) {
+  // Lazy cancellation: drop the id from the live set; the heap entry is
+  // skipped when it reaches the top.
+  return live_.erase(id) > 0;
+}
+
+bool Simulator::SkimCancelled() {
+  while (!heap_.empty() && live_.find(heap_.top().id) == live_.end()) {
+    heap_.pop();
+  }
+  return !heap_.empty();
+}
+
+bool Simulator::Step() {
+  if (!SkimCancelled()) return false;
+  Event ev = heap_.top();
+  heap_.pop();
+  live_.erase(ev.id);
+  now_ = ev.when;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+void Simulator::Run(TimeMs until) {
+  while (SkimCancelled()) {
+    if (heap_.top().when > until) return;
+    Step();
+  }
+}
+
+}  // namespace dbmr::sim

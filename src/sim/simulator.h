@@ -1,0 +1,90 @@
+// Discrete-event simulation kernel.
+//
+// A Simulator owns a future-event list (binary heap with lazy cancellation)
+// and a simulated clock.  Model components schedule closures; the kernel
+// executes them in (time, insertion-order) sequence.  Everything is
+// single-threaded and deterministic.
+
+#ifndef DBMR_SIM_SIMULATOR_H_
+#define DBMR_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+#include "util/status.h"
+
+namespace dbmr::sim {
+
+/// Identifies a scheduled event; usable to cancel it before it fires.
+using EventId = uint64_t;
+
+/// Sentinel for "no event".
+inline constexpr EventId kNoEvent = 0;
+
+/// The event-driven simulation engine.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  TimeMs Now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` ms from now.  Negative delays clamp to 0
+  /// (the event still runs after all earlier-scheduled events at Now()).
+  EventId Schedule(TimeMs delay, std::function<void()> fn);
+
+  /// Schedules `fn` at absolute time `when`; times before Now() clamp to
+  /// Now().
+  EventId ScheduleAt(TimeMs when, std::function<void()> fn);
+
+  /// Cancels a pending event.  Returns true if the event existed and had
+  /// not yet fired; cancelling a fired or unknown event is a no-op.
+  bool Cancel(EventId id);
+
+  /// Executes the next pending event.  Returns false if none remain.
+  bool Step();
+
+  /// Runs until the event list drains or the clock passes `until`.
+  /// Events scheduled exactly at `until` are executed.
+  void Run(TimeMs until = kTimeInfinity);
+
+  /// Number of pending (non-cancelled) events.
+  size_t PendingEvents() const { return live_.size(); }
+
+  /// Total events executed since construction.
+  uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct Event {
+    TimeMs when;
+    uint64_t seq;  // tie-breaker: FIFO among equal timestamps
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pops cancelled entries off the heap top; returns false if empty.
+  bool SkimCancelled();
+
+  TimeMs now_ = 0.0;
+  uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::unordered_set<EventId> live_;  // scheduled and not fired/cancelled
+};
+
+}  // namespace dbmr::sim
+
+#endif  // DBMR_SIM_SIMULATOR_H_

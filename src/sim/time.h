@@ -1,0 +1,29 @@
+// Simulated-time definitions.
+//
+// The paper reports all results in milliseconds; simulated time is a double
+// count of milliseconds.  Event ordering ties are broken by insertion
+// sequence, so runs are fully deterministic.
+
+#ifndef DBMR_SIM_TIME_H_
+#define DBMR_SIM_TIME_H_
+
+#include <limits>
+
+namespace dbmr::sim {
+
+/// Simulated time in milliseconds.
+using TimeMs = double;
+
+/// A time later than any schedulable event.
+inline constexpr TimeMs kTimeInfinity =
+    std::numeric_limits<TimeMs>::infinity();
+
+/// Converts seconds to simulated milliseconds.
+constexpr TimeMs SecondsMs(double s) { return s * 1000.0; }
+
+/// Converts microseconds to simulated milliseconds.
+constexpr TimeMs MicrosMs(double us) { return us / 1000.0; }
+
+}  // namespace dbmr::sim
+
+#endif  // DBMR_SIM_TIME_H_

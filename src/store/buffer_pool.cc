@@ -1,0 +1,115 @@
+#include "store/buffer_pool.h"
+
+#include <utility>
+
+namespace dbmr::store {
+
+BufferPool::BufferPool(size_t capacity, Fetcher fetcher, Flusher flusher)
+    : capacity_(capacity),
+      fetcher_(std::move(fetcher)),
+      flusher_(std::move(flusher)) {
+  DBMR_CHECK(capacity_ > 0);
+  DBMR_CHECK(fetcher_ != nullptr && flusher_ != nullptr);
+}
+
+void BufferPool::Touch(txn::PageId page, Frame& frame) {
+  lru_.erase(frame.lru_pos);
+  lru_.push_front(page);
+  frame.lru_pos = lru_.begin();
+}
+
+Status BufferPool::EnsureCapacity() {
+  if (frames_.size() < capacity_) return Status::OK();
+  // Evict from the LRU end.
+  DBMR_CHECK(!lru_.empty());
+  txn::PageId victim = lru_.back();
+  auto it = frames_.find(victim);
+  DBMR_CHECK(it != frames_.end());
+  if (it->second.dirty) {
+    DBMR_RETURN_IF_ERROR(flusher_(victim, it->second.data));
+  }
+  lru_.pop_back();
+  frames_.erase(it);
+  ++evictions_;
+  return Status::OK();
+}
+
+Status BufferPool::Get(txn::PageId page, PageData* out) {
+  auto it = frames_.find(page);
+  if (it != frames_.end()) {
+    ++hits_;
+    Touch(page, it->second);
+    *out = it->second.data;
+    return Status::OK();
+  }
+  ++misses_;
+  DBMR_RETURN_IF_ERROR(EnsureCapacity());
+  PageData data;
+  DBMR_RETURN_IF_ERROR(fetcher_(page, &data));
+  lru_.push_front(page);
+  Frame frame;
+  frame.data = data;
+  frame.dirty = false;
+  frame.lru_pos = lru_.begin();
+  frames_.emplace(page, std::move(frame));
+  *out = std::move(data);
+  return Status::OK();
+}
+
+Status BufferPool::Put(txn::PageId page, PageData data) {
+  auto it = frames_.find(page);
+  if (it != frames_.end()) {
+    it->second.data = std::move(data);
+    it->second.dirty = true;
+    Touch(page, it->second);
+    return Status::OK();
+  }
+  DBMR_RETURN_IF_ERROR(EnsureCapacity());
+  lru_.push_front(page);
+  Frame frame;
+  frame.data = std::move(data);
+  frame.dirty = true;
+  frame.lru_pos = lru_.begin();
+  frames_.emplace(page, std::move(frame));
+  return Status::OK();
+}
+
+Status BufferPool::FlushPage(txn::PageId page) {
+  auto it = frames_.find(page);
+  if (it == frames_.end() || !it->second.dirty) return Status::OK();
+  DBMR_RETURN_IF_ERROR(flusher_(page, it->second.data));
+  it->second.dirty = false;
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  for (auto& [page, frame] : frames_) {
+    if (!frame.dirty) continue;
+    DBMR_RETURN_IF_ERROR(flusher_(page, frame.data));
+    frame.dirty = false;
+  }
+  return Status::OK();
+}
+
+void BufferPool::Discard(txn::PageId page) {
+  auto it = frames_.find(page);
+  if (it == frames_.end()) return;
+  lru_.erase(it->second.lru_pos);
+  frames_.erase(it);
+}
+
+void BufferPool::DiscardAll() {
+  frames_.clear();
+  lru_.clear();
+}
+
+bool BufferPool::Contains(txn::PageId page) const {
+  return frames_.count(page) > 0;
+}
+
+bool BufferPool::IsDirty(txn::PageId page) const {
+  auto it = frames_.find(page);
+  return it != frames_.end() && it->second.dirty;
+}
+
+}  // namespace dbmr::store

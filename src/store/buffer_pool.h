@@ -1,0 +1,93 @@
+// Fixed-capacity page buffer with LRU replacement.
+//
+// This models the paper's disk cache on the functional side.  The pool maps
+// logical page ids to frames; the owner supplies the fetch and flush
+// policies (a recovery engine decides where a page lives on disk and
+// whether a dirty page may be written yet — the WAL rule).
+
+#ifndef DBMR_STORE_BUFFER_POOL_H_
+#define DBMR_STORE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "store/page.h"
+#include "txn/types.h"
+#include "util/status.h"
+
+namespace dbmr::store {
+
+/// LRU page cache.  Frames hold copies of page contents; dirty frames are
+/// written back through the owner-provided flusher on eviction.
+class BufferPool {
+ public:
+  /// `flusher(page, data)` must persist a dirty page (enforcing any
+  /// write-ahead constraint itself) and return OK, or an error to veto the
+  /// eviction.
+  using Flusher =
+      std::function<Status(txn::PageId page, const PageData& data)>;
+  /// `fetcher(page, out)` must load the page image from disk.
+  using Fetcher = std::function<Status(txn::PageId page, PageData* out)>;
+
+  BufferPool(size_t capacity, Fetcher fetcher, Flusher flusher);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Returns the frame contents of `page`, faulting it in if needed
+  /// (possibly evicting the LRU unpinned frame).
+  Status Get(txn::PageId page, PageData* out);
+
+  /// Installs new contents for `page` and marks the frame dirty.
+  Status Put(txn::PageId page, PageData data);
+
+  /// Writes a dirty page through the flusher and marks it clean.
+  /// No-op when the page is absent or clean.
+  Status FlushPage(txn::PageId page);
+
+  /// Flushes every dirty frame (checkpoint / commit support).
+  Status FlushAll();
+
+  /// Drops the page from the pool without flushing (used when aborting a
+  /// transaction whose dirty images must not survive).
+  void Discard(txn::PageId page);
+
+  /// Drops every frame without flushing — the volatile part of a crash.
+  void DiscardAll();
+
+  bool Contains(txn::PageId page) const;
+  bool IsDirty(txn::PageId page) const;
+  size_t size() const { return frames_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+
+ private:
+  struct Frame {
+    PageData data;
+    bool dirty = false;
+    std::list<txn::PageId>::iterator lru_pos;
+  };
+
+  /// Makes room for one more frame; evicts the LRU entry if at capacity.
+  Status EnsureCapacity();
+  void Touch(txn::PageId page, Frame& frame);
+
+  size_t capacity_;
+  Fetcher fetcher_;
+  Flusher flusher_;
+  std::unordered_map<txn::PageId, Frame> frames_;
+  std::list<txn::PageId> lru_;  // front = most recent
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace dbmr::store
+
+#endif  // DBMR_STORE_BUFFER_POOL_H_

@@ -1,0 +1,67 @@
+// Little-endian scalar encoding and checksumming for on-"disk" structures.
+
+#ifndef DBMR_STORE_CODEC_H_
+#define DBMR_STORE_CODEC_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "store/page.h"
+#include "util/status.h"
+
+namespace dbmr::store {
+
+/// Writes a little-endian u64 at `offset`; the buffer must be large enough.
+inline void PutU64(PageData& buf, size_t offset, uint64_t v) {
+  DBMR_CHECK(offset + 8 <= buf.size());
+  for (int i = 0; i < 8; ++i) {
+    buf[offset + static_cast<size_t>(i)] =
+        static_cast<uint8_t>(v >> (8 * i));
+  }
+}
+
+/// Reads a little-endian u64 at `offset`.
+inline uint64_t GetU64(const PageData& buf, size_t offset) {
+  DBMR_CHECK(offset + 8 <= buf.size());
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | buf[offset + static_cast<size_t>(i)];
+  }
+  return v;
+}
+
+inline void PutU32(PageData& buf, size_t offset, uint32_t v) {
+  DBMR_CHECK(offset + 4 <= buf.size());
+  for (int i = 0; i < 4; ++i) {
+    buf[offset + static_cast<size_t>(i)] =
+        static_cast<uint8_t>(v >> (8 * i));
+  }
+}
+
+inline uint32_t GetU32(const PageData& buf, size_t offset) {
+  DBMR_CHECK(offset + 4 <= buf.size());
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | buf[offset + static_cast<size_t>(i)];
+  }
+  return v;
+}
+
+/// FNV-1a 64-bit hash, used as a page checksum to detect torn writes.
+inline uint64_t Fnv1a(const uint8_t* data, size_t n) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline uint64_t Checksum(const PageData& buf, size_t from, size_t to) {
+  DBMR_CHECK(from <= to && to <= buf.size());
+  return Fnv1a(buf.data() + from, to - from);
+}
+
+}  // namespace dbmr::store
+
+#endif  // DBMR_STORE_CODEC_H_

@@ -1,0 +1,24 @@
+// Page-data definitions for the functional storage engines.
+
+#ifndef DBMR_STORE_PAGE_H_
+#define DBMR_STORE_PAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dbmr::store {
+
+/// Raw bytes of one disk block / page.  Size is fixed per VirtualDisk
+/// (default 4096, the paper's page size; tests use smaller pages).
+using PageData = std::vector<uint8_t>;
+
+/// The paper's page size.
+inline constexpr size_t kDefaultPageSize = 4096;
+
+/// Physical block number on a VirtualDisk.
+using BlockId = uint64_t;
+
+}  // namespace dbmr::store
+
+#endif  // DBMR_STORE_PAGE_H_

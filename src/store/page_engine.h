@@ -1,0 +1,74 @@
+// Common interface of the functional page-store engines.
+//
+// Each recovery mechanism from the paper (§3) is implemented as a working
+// engine over crash-able VirtualDisks: transactions read and write whole
+// pages under page-level two-phase locking, and after a crash the engine's
+// Recover() restores a state in which every committed transaction's writes
+// are present and no uncommitted transaction's writes are visible.
+//
+// Concurrency model: the engines are synchronous and single-threaded; lock
+// conflicts use no-wait semantics (the request fails with kAborted and the
+// caller aborts or retries).  The event-driven machine simulator models
+// waiting; here we only need serializable correctness.
+
+#ifndef DBMR_STORE_PAGE_ENGINE_H_
+#define DBMR_STORE_PAGE_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "store/page.h"
+#include "txn/types.h"
+#include "util/status.h"
+
+namespace dbmr::store {
+
+/// Abstract transactional page store with crash recovery.
+class PageEngine {
+ public:
+  virtual ~PageEngine() = default;
+
+  /// Initializes on-disk structures on fresh disks.  Destroys any existing
+  /// content.
+  virtual Status Format() = 0;
+
+  /// Rebuilds volatile state from stable storage and performs the
+  /// mechanism's recovery actions.  Must be called after a crash (and may
+  /// be called on a freshly formatted store).
+  virtual Status Recover() = 0;
+
+  /// Starts a transaction.
+  virtual Result<txn::TxnId> Begin() = 0;
+
+  /// Reads `page` under a shared lock into `out` (payload bytes only,
+  /// exactly payload_size() long).
+  virtual Status Read(txn::TxnId t, txn::PageId page, PageData* out) = 0;
+
+  /// Writes `page` (payload of exactly payload_size() bytes) under an
+  /// exclusive lock.
+  virtual Status Write(txn::TxnId t, txn::PageId page,
+                       const PageData& payload) = 0;
+
+  /// Commits; on OK the transaction's writes are durable.
+  virtual Status Commit(txn::TxnId t) = 0;
+
+  /// Rolls back all of the transaction's writes.
+  virtual Status Abort(txn::TxnId t) = 0;
+
+  /// Simulates losing all volatile state.  Active transactions vanish;
+  /// stable storage keeps whatever reached it.  Call Recover() next.
+  virtual void Crash() = 0;
+
+  /// Usable bytes per page (block size minus the engine's page header).
+  virtual size_t payload_size() const = 0;
+
+  /// Number of logical pages in the store.
+  virtual uint64_t num_pages() const = 0;
+
+  /// Mechanism name for diagnostics ("wal", "shadow", ...).
+  virtual std::string name() const = 0;
+};
+
+}  // namespace dbmr::store
+
+#endif  // DBMR_STORE_PAGE_ENGINE_H_

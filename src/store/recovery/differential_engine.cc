@@ -1,0 +1,445 @@
+#include "store/recovery/differential_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "store/codec.h"
+#include "store/recovery/log_format.h"
+#include "util/str.h"
+
+namespace dbmr::store {
+
+namespace {
+constexpr uint64_t kMasterMagic = 0x4442'4d52'4449'4631ULL;  // "DBMRDIF1"
+constexpr size_t kARecord = 24;  // key, value, seq
+constexpr size_t kDRecord = 16;  // key, seq
+}  // namespace
+
+DifferentialEngine::DifferentialEngine(VirtualDisk* disk,
+                                       DifferentialEngineOptions options)
+    : disk_(disk), opts_(options) {
+  DBMR_CHECK(disk != nullptr);
+  a_stream_.first = 1;
+  a_stream_.blocks = opts_.a_blocks;
+  d_stream_.first = a_stream_.first + opts_.a_blocks;
+  d_stream_.blocks = opts_.d_blocks;
+  DBMR_CHECK(BaseStart(1) + opts_.base_blocks <= disk->num_blocks());
+}
+
+BlockId DifferentialEngine::BaseStart(int which) const {
+  return 1 + opts_.a_blocks + opts_.d_blocks +
+         static_cast<BlockId>(which) * opts_.base_blocks;
+}
+
+Status DifferentialEngine::WriteMaster() {
+  PageData block(disk_->block_size(), 0);
+  PutU64(block, 0, kMasterMagic);
+  PutU64(block, 8, generation_);
+  PutU64(block, 16, static_cast<uint64_t>(current_base_));
+  PutU64(block, 24, b_.size());
+  PutU64(block, 32, a_stream_.epoch);
+  PutU64(block, 40, a_stream_.anchor);
+  PutU64(block, 48, d_stream_.epoch);
+  PutU64(block, 56, d_stream_.anchor);
+  PutU64(block, 64, seq_);
+  return disk_->Write(0, block);
+}
+
+Status DifferentialEngine::LoadMaster() {
+  PageData block;
+  DBMR_RETURN_IF_ERROR(disk_->Read(0, &block));
+  if (GetU64(block, 0) != kMasterMagic) {
+    return Status::Corruption("differential master invalid");
+  }
+  generation_ = GetU64(block, 8);
+  current_base_ = static_cast<int>(GetU64(block, 16));
+  if (current_base_ != 0 && current_base_ != 1) {
+    return Status::Corruption("differential master names a bad base");
+  }
+  const uint64_t b_count = GetU64(block, 24);
+  a_stream_.epoch = GetU64(block, 32);
+  a_stream_.anchor = GetU64(block, 40);
+  d_stream_.epoch = GetU64(block, 48);
+  d_stream_.anchor = GetU64(block, 56);
+  seq_ = GetU64(block, 64);
+  return ReadBase(current_base_, b_count, &b_);
+}
+
+Status DifferentialEngine::WriteBase(
+    int which, const std::map<uint64_t, uint64_t>& tuples) {
+  const size_t per_block = disk_->block_size() / 16;
+  if (tuples.size() > per_block * opts_.base_blocks) {
+    return Status::ResourceExhausted("base file area full");
+  }
+  auto it = tuples.begin();
+  for (uint64_t b = 0; b < opts_.base_blocks && it != tuples.end(); ++b) {
+    PageData block(disk_->block_size(), 0);
+    for (size_t i = 0; i < per_block && it != tuples.end(); ++i, ++it) {
+      PutU64(block, i * 16, it->first);
+      PutU64(block, i * 16 + 8, it->second);
+    }
+    DBMR_RETURN_IF_ERROR(disk_->Write(BaseStart(which) + b, block));
+  }
+  return Status::OK();
+}
+
+Status DifferentialEngine::ReadBase(
+    int which, uint64_t count, std::map<uint64_t, uint64_t>* out) const {
+  out->clear();
+  const size_t per_block = disk_->block_size() / 16;
+  uint64_t remaining = count;
+  for (uint64_t b = 0; b < opts_.base_blocks && remaining > 0; ++b) {
+    PageData block;
+    DBMR_RETURN_IF_ERROR(disk_->Read(BaseStart(which) + b, &block));
+    for (size_t i = 0; i < per_block && remaining > 0; ++i, --remaining) {
+      out->emplace(GetU64(block, i * 16), GetU64(block, i * 16 + 8));
+    }
+  }
+  if (remaining != 0) return Status::Corruption("base file truncated");
+  return Status::OK();
+}
+
+Status DifferentialEngine::AppendToStream(Stream* s,
+                                          const std::vector<uint8_t>& bytes) {
+  s->tail.insert(s->tail.end(), bytes.begin(), bytes.end());
+  s->length += bytes.size();
+  return Status::OK();
+}
+
+Status DifferentialEngine::ForceStream(Stream* s) {
+  const size_t cap = StreamCap();
+  while (!s->tail.empty()) {
+    const size_t used = std::min(cap, s->tail.size());
+    if (s->next_block >= s->first + s->blocks) {
+      return Status::ResourceExhausted("differential file full");
+    }
+    PageData block(disk_->block_size(), 0);
+    LogBlockHeader h;
+    h.epoch = s->epoch;
+    h.used_bytes = static_cast<uint32_t>(used);
+    h.EncodeTo(block);
+    std::copy(s->tail.begin(), s->tail.begin() + static_cast<long>(used),
+              block.begin() + LogBlockHeader::kSize);
+    DBMR_RETURN_IF_ERROR(disk_->Write(s->next_block, block));
+    if (used == cap) {
+      s->tail.erase(s->tail.begin(), s->tail.begin() + static_cast<long>(used));
+      ++s->next_block;
+    } else {
+      break;  // partial tail kept for group fill
+    }
+  }
+  return Status::OK();
+}
+
+Status DifferentialEngine::ScanStream(const Stream& s,
+                                      std::vector<uint8_t>* out) const {
+  // Reads the committed prefix: `anchor` bytes, cut out of epoch-matching
+  // blocks.  Bytes past the anchor are uncommitted garbage.
+  out->clear();
+  const size_t cap = StreamCap();
+  uint64_t remaining = s.anchor;
+  for (BlockId b = s.first; b < s.first + s.blocks && remaining > 0; ++b) {
+    PageData block;
+    DBMR_RETURN_IF_ERROR(disk_->Read(b, &block));
+    LogBlockHeader h = LogBlockHeader::DecodeFrom(block);
+    if (h.epoch != s.epoch || h.used_bytes > cap) {
+      return Status::Corruption("differential stream truncated");
+    }
+    const uint64_t take = std::min<uint64_t>(remaining, h.used_bytes);
+    out->insert(out->end(), block.begin() + LogBlockHeader::kSize,
+                block.begin() + LogBlockHeader::kSize +
+                    static_cast<long>(take));
+    remaining -= take;
+    if (remaining > 0 && h.used_bytes < cap) {
+      return Status::Corruption("differential stream short");
+    }
+  }
+  if (remaining != 0) {
+    return Status::Corruption("differential stream anchor beyond data");
+  }
+  return Status::OK();
+}
+
+Status DifferentialEngine::LoadStreamWriter(Stream* s) {
+  const size_t cap = StreamCap();
+  s->next_block = s->first + s->anchor / cap;
+  s->length = s->anchor;
+  s->tail.clear();
+  const size_t partial = static_cast<size_t>(s->anchor % cap);
+  if (partial > 0) {
+    PageData block;
+    DBMR_RETURN_IF_ERROR(disk_->Read(s->next_block, &block));
+    LogBlockHeader h = LogBlockHeader::DecodeFrom(block);
+    if (h.epoch != s->epoch || h.used_bytes < partial) {
+      return Status::Corruption("differential stream tail invalid");
+    }
+    s->tail.assign(block.begin() + LogBlockHeader::kSize,
+                   block.begin() + LogBlockHeader::kSize +
+                       static_cast<long>(partial));
+  }
+  return Status::OK();
+}
+
+Status DifferentialEngine::ResetStream(Stream* s, uint64_t new_epoch) {
+  s->epoch = new_epoch;
+  s->anchor = 0;
+  s->length = 0;
+  s->tail.clear();
+  s->next_block = s->first;
+  return Status::OK();
+}
+
+Status DifferentialEngine::Format() {
+  b_.clear();
+  a_.clear();
+  d_.clear();
+  seq_ = 0;
+  current_base_ = 0;
+  generation_ = 1;
+  // Epochs advance past any previous life of the disk.
+  PageData block;
+  uint64_t old_epoch = 0;
+  if (disk_->Read(0, &block).ok() && GetU64(block, 0) == kMasterMagic) {
+    old_epoch = std::max(GetU64(block, 32), GetU64(block, 48));
+  }
+  DBMR_RETURN_IF_ERROR(ResetStream(&a_stream_, old_epoch + 1));
+  DBMR_RETURN_IF_ERROR(ResetStream(&d_stream_, old_epoch + 1));
+  DBMR_RETURN_IF_ERROR(WriteBase(0, b_));
+  DBMR_RETURN_IF_ERROR(WriteMaster());
+  active_.clear();
+  locks_.Reset();
+  next_txn_ = 1;
+  return Status::OK();
+}
+
+Status DifferentialEngine::Recover() {
+  disk_->ClearCrashState();
+  DBMR_RETURN_IF_ERROR(LoadMaster());
+  a_.clear();
+  d_.clear();
+  std::vector<uint8_t> bytes;
+  DBMR_RETURN_IF_ERROR(ScanStream(a_stream_, &bytes));
+  if (bytes.size() % kARecord != 0) {
+    return Status::Corruption("A file not record-aligned");
+  }
+  PageData view(bytes.begin(), bytes.end());
+  for (size_t p = 0; p < bytes.size(); p += kARecord) {
+    const uint64_t key = GetU64(view, p);
+    const uint64_t value = GetU64(view, p + 8);
+    const uint64_t seq = GetU64(view, p + 16);
+    auto& slot = a_[key];
+    if (seq >= slot.first) slot = {seq, value};
+  }
+  DBMR_RETURN_IF_ERROR(ScanStream(d_stream_, &bytes));
+  if (bytes.size() % kDRecord != 0) {
+    return Status::Corruption("D file not record-aligned");
+  }
+  view.assign(bytes.begin(), bytes.end());
+  for (size_t p = 0; p < bytes.size(); p += kDRecord) {
+    const uint64_t key = GetU64(view, p);
+    const uint64_t seq = GetU64(view, p + 8);
+    auto& slot = d_[key];
+    if (seq >= slot) slot = seq;
+  }
+  DBMR_RETURN_IF_ERROR(LoadStreamWriter(&a_stream_));
+  DBMR_RETURN_IF_ERROR(LoadStreamWriter(&d_stream_));
+  active_.clear();
+  locks_.Reset();
+  return Status::OK();
+}
+
+Result<txn::TxnId> DifferentialEngine::Begin() {
+  txn::TxnId t = next_txn_++;
+  active_.emplace(t, ActiveTxn{});
+  return t;
+}
+
+Status DifferentialEngine::Insert(txn::TxnId t, uint64_t key,
+                                  uint64_t value) {
+  auto it = active_.find(t);
+  if (it == active_.end()) {
+    return Status::FailedPrecondition("transaction not active");
+  }
+  if (!locks_.TryAcquire(t, key, txn::LockMode::kExclusive)) {
+    return Status::Aborted("lock conflict (no-wait)");
+  }
+  it->second.ops.push_back(Op{OpKind::kInsert, key, value});
+  return Status::OK();
+}
+
+Status DifferentialEngine::Remove(txn::TxnId t, uint64_t key) {
+  auto it = active_.find(t);
+  if (it == active_.end()) {
+    return Status::FailedPrecondition("transaction not active");
+  }
+  if (!locks_.TryAcquire(t, key, txn::LockMode::kExclusive)) {
+    return Status::Aborted("lock conflict (no-wait)");
+  }
+  it->second.ops.push_back(Op{OpKind::kDelete, key, 0});
+  return Status::OK();
+}
+
+std::optional<uint64_t> DifferentialEngine::CommittedLookup(
+    uint64_t key) const {
+  auto a = a_.find(key);
+  auto d = d_.find(key);
+  const uint64_t a_seq = a != a_.end() ? a->second.first : 0;
+  const uint64_t d_seq = d != d_.end() ? d->second : 0;
+  if (a != a_.end() && (d == d_.end() || a_seq > d_seq)) {
+    return a->second.second;
+  }
+  if (d != d_.end()) return std::nullopt;
+  auto b = b_.find(key);
+  if (b != b_.end()) return b->second;
+  return std::nullopt;
+}
+
+Result<std::optional<uint64_t>> DifferentialEngine::Lookup(txn::TxnId t,
+                                                           uint64_t key) {
+  auto it = active_.find(t);
+  if (it == active_.end()) {
+    return Status::FailedPrecondition("transaction not active");
+  }
+  if (!locks_.TryAcquire(t, key, txn::LockMode::kShared)) {
+    return Status::Aborted("lock conflict (no-wait)");
+  }
+  // Own buffered operations win, latest first.
+  for (auto op = it->second.ops.rbegin(); op != it->second.ops.rend();
+       ++op) {
+    if (op->key != key) continue;
+    if (op->kind == OpKind::kInsert) {
+      return std::optional<uint64_t>(op->value);
+    }
+    return std::optional<uint64_t>(std::nullopt);
+  }
+  return CommittedLookup(key);
+}
+
+Status DifferentialEngine::Scan(txn::TxnId t, std::vector<Tuple>* out) {
+  auto it = active_.find(t);
+  if (it == active_.end()) {
+    return Status::FailedPrecondition("transaction not active");
+  }
+  std::map<uint64_t, std::optional<uint64_t>> view;
+  for (const auto& [key, value] : b_) {
+    view[key] = CommittedLookup(key);
+  }
+  for (const auto& [key, sv] : a_) {
+    view[key] = CommittedLookup(key);
+  }
+  for (const Op& op : it->second.ops) {
+    view[op.key] = op.kind == OpKind::kInsert
+                       ? std::optional<uint64_t>(op.value)
+                       : std::nullopt;
+  }
+  out->clear();
+  for (const auto& [key, value] : view) {
+    if (value.has_value()) out->push_back(Tuple{key, *value});
+  }
+  return Status::OK();
+}
+
+Status DifferentialEngine::Commit(txn::TxnId t) {
+  auto it = active_.find(t);
+  if (it == active_.end()) {
+    return Status::FailedPrecondition("transaction not active");
+  }
+  ActiveTxn& at = it->second;
+  if (!at.ops.empty()) {
+    struct Applied {
+      uint64_t key;
+      uint64_t seq;
+      std::optional<uint64_t> value;
+    };
+    std::vector<Applied> applied;
+    for (const Op& op : at.ops) {
+      const uint64_t seq = ++seq_;
+      if (op.kind == OpKind::kInsert) {
+        PageData rec(kARecord, 0);
+        PutU64(rec, 0, op.key);
+        PutU64(rec, 8, op.value);
+        PutU64(rec, 16, seq);
+        DBMR_RETURN_IF_ERROR(
+            AppendToStream(&a_stream_, {rec.begin(), rec.end()}));
+        applied.push_back(Applied{op.key, seq, op.value});
+      } else {
+        PageData rec(kDRecord, 0);
+        PutU64(rec, 0, op.key);
+        PutU64(rec, 8, seq);
+        DBMR_RETURN_IF_ERROR(
+            AppendToStream(&d_stream_, {rec.begin(), rec.end()}));
+        applied.push_back(Applied{op.key, seq, std::nullopt});
+      }
+    }
+    DBMR_RETURN_IF_ERROR(ForceStream(&a_stream_));
+    DBMR_RETURN_IF_ERROR(ForceStream(&d_stream_));
+    a_stream_.anchor = a_stream_.length;
+    d_stream_.anchor = d_stream_.length;
+    ++generation_;
+    Status st = WriteMaster();
+    if (!st.ok()) return st;  // commit never happened; caller crashes
+    // --- commit point passed ---
+    for (const Applied& ap : applied) {
+      if (ap.value.has_value()) {
+        a_[ap.key] = {ap.seq, *ap.value};
+      } else {
+        d_[ap.key] = ap.seq;
+      }
+    }
+  }
+  ++commits_;
+  locks_.ReleaseAll(t);
+  active_.erase(it);
+  return Status::OK();
+}
+
+Status DifferentialEngine::Abort(txn::TxnId t) {
+  auto it = active_.find(t);
+  if (it == active_.end()) {
+    return Status::FailedPrecondition("transaction not active");
+  }
+  locks_.ReleaseAll(t);
+  active_.erase(it);
+  return Status::OK();
+}
+
+void DifferentialEngine::Crash() {
+  active_.clear();
+  locks_.Reset();
+  // Maps, anchors, and stream writers are stale; Recover() reloads them.
+}
+
+Status DifferentialEngine::Merge() {
+  if (!active_.empty()) {
+    return Status::FailedPrecondition("merge requires no active transactions");
+  }
+  std::map<uint64_t, uint64_t> folded = b_;
+  for (const auto& [key, sv] : a_) {
+    auto v = CommittedLookup(key);
+    if (v.has_value()) {
+      folded[key] = *v;
+    } else {
+      folded.erase(key);
+    }
+  }
+  for (const auto& [key, seq] : d_) {
+    if (!CommittedLookup(key).has_value()) folded.erase(key);
+  }
+  const int alternate = 1 - current_base_;
+  DBMR_RETURN_IF_ERROR(WriteBase(alternate, folded));
+  // Atomically switch: new base, empty differential files (fresh epochs).
+  b_ = std::move(folded);
+  current_base_ = alternate;
+  const uint64_t new_epoch =
+      std::max(a_stream_.epoch, d_stream_.epoch) + 1;
+  DBMR_RETURN_IF_ERROR(ResetStream(&a_stream_, new_epoch));
+  DBMR_RETURN_IF_ERROR(ResetStream(&d_stream_, new_epoch));
+  ++generation_;
+  DBMR_RETURN_IF_ERROR(WriteMaster());
+  a_.clear();
+  d_.clear();
+  ++merges_;
+  return Status::OK();
+}
+
+}  // namespace dbmr::store

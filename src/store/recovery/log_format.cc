@@ -1,0 +1,109 @@
+#include "store/recovery/log_format.h"
+
+#include <cstring>
+
+#include "store/codec.h"
+#include "util/str.h"
+
+namespace dbmr::store {
+
+namespace {
+// Record wire layout:
+//   u32 total_len | u8 kind | u64 txn | u64 page | u64 page_version |
+//   u32 offset | u32 before_len | u32 after_len | before | after
+constexpr size_t kRecordFixed = 4 + 1 + 8 + 8 + 8 + 4 + 4 + 4;
+}  // namespace
+
+size_t LogRecord::EncodedSize() const {
+  return kRecordFixed + before.size() + after.size();
+}
+
+size_t EncodeLogRecord(const LogRecord& rec, PageData& buf, size_t pos) {
+  const size_t total = rec.EncodedSize();
+  DBMR_CHECK(pos + total <= buf.size());
+  PutU32(buf, pos, static_cast<uint32_t>(total));
+  buf[pos + 4] = static_cast<uint8_t>(rec.kind);
+  PutU64(buf, pos + 5, rec.txn);
+  PutU64(buf, pos + 13, rec.page);
+  PutU64(buf, pos + 21, rec.page_version);
+  PutU32(buf, pos + 29, rec.offset);
+  PutU32(buf, pos + 33, static_cast<uint32_t>(rec.before.size()));
+  PutU32(buf, pos + 37, static_cast<uint32_t>(rec.after.size()));
+  size_t p = pos + kRecordFixed;
+  if (!rec.before.empty()) {
+    std::memcpy(buf.data() + p, rec.before.data(), rec.before.size());
+    p += rec.before.size();
+  }
+  if (!rec.after.empty()) {
+    std::memcpy(buf.data() + p, rec.after.data(), rec.after.size());
+    p += rec.after.size();
+  }
+  DBMR_CHECK(p == pos + total);
+  return p;
+}
+
+Status DecodeLogRecord(const PageData& buf, size_t* pos, LogRecord* out) {
+  size_t p = *pos;
+  if (p + kRecordFixed > buf.size()) {
+    return Status::Corruption("log record header past block end");
+  }
+  const uint32_t total = GetU32(buf, p);
+  if (total < kRecordFixed || p + total > buf.size()) {
+    return Status::Corruption(
+        StrFormat("log record length %u invalid at offset %zu", total, p));
+  }
+  out->kind = static_cast<LogRecordKind>(buf[p + 4]);
+  out->txn = GetU64(buf, p + 5);
+  out->page = GetU64(buf, p + 13);
+  out->page_version = GetU64(buf, p + 21);
+  out->offset = GetU32(buf, p + 29);
+  const uint32_t blen = GetU32(buf, p + 33);
+  const uint32_t alen = GetU32(buf, p + 37);
+  if (kRecordFixed + blen + alen != total) {
+    return Status::Corruption("log record image lengths inconsistent");
+  }
+  size_t q = p + kRecordFixed;
+  out->before.assign(buf.begin() + static_cast<long>(q),
+                     buf.begin() + static_cast<long>(q + blen));
+  q += blen;
+  out->after.assign(buf.begin() + static_cast<long>(q),
+                    buf.begin() + static_cast<long>(q + alen));
+  *pos = p + total;
+  return Status::OK();
+}
+
+void LogBlockHeader::EncodeTo(PageData& block) const {
+  DBMR_CHECK(block.size() >= kSize);
+  PutU64(block, 0, epoch);
+  PutU32(block, 8, used_bytes);
+  PutU32(block, 12, n_records);
+}
+
+LogBlockHeader LogBlockHeader::DecodeFrom(const PageData& block) {
+  DBMR_CHECK(block.size() >= kSize);
+  LogBlockHeader h;
+  h.epoch = GetU64(block, 0);
+  h.used_bytes = GetU32(block, 8);
+  h.n_records = GetU32(block, 12);
+  return h;
+}
+
+void LogMaster::EncodeTo(PageData& block) const {
+  DBMR_CHECK(block.size() >= 32);
+  PutU64(block, 0, kMagic);
+  PutU64(block, 8, epoch);
+  PutU64(block, 16, start_block);
+  PutU64(block, 24, start_offset);
+}
+
+Status LogMaster::DecodeFrom(const PageData& block, LogMaster* out) {
+  if (block.size() < 32 || GetU64(block, 0) != kMagic) {
+    return Status::Corruption("bad log master block");
+  }
+  out->epoch = GetU64(block, 8);
+  out->start_block = GetU64(block, 16);
+  out->start_offset = GetU64(block, 24);
+  return Status::OK();
+}
+
+}  // namespace dbmr::store

@@ -1,0 +1,91 @@
+// On-disk log record and log block encoding for the WAL engine.
+//
+// A log is an append-only sequence of fixed-size blocks on a VirtualDisk.
+// Block 0 is the log master: {magic, epoch, start_block}.  Data blocks
+// carry {epoch, used_bytes, n_records} followed by packed records.  A
+// partially filled block may be rewritten in place with more records (same
+// epoch, larger n_records) — the standard group-fill technique; recovery
+// reads whatever state of the block survived.
+//
+// Record kinds:
+//   kUpdate — page update: before/after images (physical) or byte-range
+//             diffs (logical), plus the page's new version number.
+//   kClr    — compensation record written by Abort; redo-only.
+//   kCommit / kAbort — transaction outcome.
+//   kCheckpoint — quiescent checkpoint marker.
+
+#ifndef DBMR_STORE_RECOVERY_LOG_FORMAT_H_
+#define DBMR_STORE_RECOVERY_LOG_FORMAT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "store/page.h"
+#include "txn/types.h"
+#include "util/status.h"
+
+namespace dbmr::store {
+
+/// Types of log records.
+enum class LogRecordKind : uint8_t {
+  kUpdate = 1,
+  kClr = 2,
+  kCommit = 3,
+  kAbort = 4,
+  kCheckpoint = 5,
+};
+
+/// A decoded log record.
+struct LogRecord {
+  LogRecordKind kind = LogRecordKind::kUpdate;
+  txn::TxnId txn = txn::kNoTxn;
+  txn::PageId page = 0;
+  /// Version the page has AFTER this update applies.
+  uint64_t page_version = 0;
+  /// Byte offset of the (possibly partial) images within the page payload.
+  uint32_t offset = 0;
+  std::vector<uint8_t> before;
+  std::vector<uint8_t> after;
+
+  /// Encoded size in bytes.
+  size_t EncodedSize() const;
+};
+
+/// Serializes `rec` at `pos` in `buf` (which must have room).
+/// Returns the new position.
+size_t EncodeLogRecord(const LogRecord& rec, PageData& buf, size_t pos);
+
+/// Parses one record at `pos`; advances `*pos`.
+Status DecodeLogRecord(const PageData& buf, size_t* pos, LogRecord* out);
+
+/// Header layout of a log data block.
+struct LogBlockHeader {
+  uint64_t epoch = 0;
+  uint32_t used_bytes = 0;
+  uint32_t n_records = 0;
+
+  static constexpr size_t kSize = 16;
+
+  void EncodeTo(PageData& block) const;
+  static LogBlockHeader DecodeFrom(const PageData& block);
+};
+
+/// Log master block (block 0).  `start_block`/`start_offset` give the scan
+/// origin: a fuzzy checkpoint advances them past records that are no
+/// longer needed (everything before the oldest active transaction's first
+/// record) without quiescing the system.
+struct LogMaster {
+  static constexpr uint64_t kMagic = 0x4442'4d52'4c4f'4731ULL;  // "DBMRLOG1"
+  uint64_t epoch = 1;
+  uint64_t start_block = 1;
+  /// Bytes to skip within the first scanned block (records before the
+  /// checkpoint horizon that share its block).
+  uint64_t start_offset = 0;
+
+  void EncodeTo(PageData& block) const;
+  static Status DecodeFrom(const PageData& block, LogMaster* out);
+};
+
+}  // namespace dbmr::store
+
+#endif  // DBMR_STORE_RECOVERY_LOG_FORMAT_H_

@@ -1,0 +1,271 @@
+#include "store/recovery/shadow_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "store/codec.h"
+#include "util/str.h"
+
+namespace dbmr::store {
+
+namespace {
+constexpr uint64_t kMasterMagic = 0x4442'4d52'5348'4431ULL;  // "DBMRSHD1"
+}  // namespace
+
+ShadowEngine::ShadowEngine(VirtualDisk* disk, uint64_t num_pages,
+                           ShadowEngineOptions options)
+    : disk_(disk), num_pages_(num_pages), opts_(options) {
+  DBMR_CHECK(disk != nullptr);
+  DBMR_CHECK(num_pages > 0);
+  // Need master + two tables + at least one data block per page + slack.
+  DBMR_CHECK(DataStart() + num_pages < disk_->num_blocks());
+}
+
+uint64_t ShadowEngine::TableBlocks() const {
+  const uint64_t entries_per_block = disk_->block_size() / 8;
+  return (num_pages_ + entries_per_block - 1) / entries_per_block;
+}
+
+BlockId ShadowEngine::TableStart(int which) const {
+  return 1 + static_cast<BlockId>(which) * TableBlocks();
+}
+
+BlockId ShadowEngine::DataStart() const { return 1 + 2 * TableBlocks(); }
+
+Status ShadowEngine::WriteMaster(int which, uint64_t generation) {
+  PageData block(disk_->block_size(), 0);
+  PutU64(block, 0, kMasterMagic);
+  PutU64(block, 8, static_cast<uint64_t>(which));
+  PutU64(block, 16, generation);
+  return disk_->Write(0, block);
+}
+
+Status ShadowEngine::WriteTable(int which,
+                                const std::vector<BlockId>& table) {
+  const uint64_t per_block = disk_->block_size() / 8;
+  for (uint64_t b = 0; b < TableBlocks(); ++b) {
+    PageData block(disk_->block_size(), 0);
+    for (uint64_t i = 0; i < per_block; ++i) {
+      uint64_t idx = b * per_block + i;
+      if (idx >= num_pages_) break;
+      PutU64(block, static_cast<size_t>(i * 8), table[idx]);
+    }
+    DBMR_RETURN_IF_ERROR(disk_->Write(TableStart(which) + b, block));
+  }
+  return Status::OK();
+}
+
+Status ShadowEngine::ReadTable(int which, std::vector<BlockId>* table) const {
+  const uint64_t per_block = disk_->block_size() / 8;
+  table->assign(num_pages_, 0);
+  for (uint64_t b = 0; b < TableBlocks(); ++b) {
+    PageData block;
+    DBMR_RETURN_IF_ERROR(disk_->Read(TableStart(which) + b, &block));
+    for (uint64_t i = 0; i < per_block; ++i) {
+      uint64_t idx = b * per_block + i;
+      if (idx >= num_pages_) break;
+      (*table)[idx] = GetU64(block, static_cast<size_t>(i * 8));
+    }
+  }
+  return Status::OK();
+}
+
+Status ShadowEngine::Format() {
+  // Identity layout: page i lives at DataStart() + i.
+  committed_table_.assign(num_pages_, 0);
+  for (uint64_t i = 0; i < num_pages_; ++i) {
+    committed_table_[i] = DataStart() + i;
+  }
+  PageData zero(disk_->block_size(), 0);
+  for (BlockId b = DataStart(); b < disk_->num_blocks(); ++b) {
+    DBMR_RETURN_IF_ERROR(disk_->Write(b, zero));
+  }
+  DBMR_RETURN_IF_ERROR(WriteTable(0, committed_table_));
+  DBMR_RETURN_IF_ERROR(WriteTable(1, committed_table_));
+  DBMR_RETURN_IF_ERROR(WriteMaster(0, 1));
+  current_table_ = 0;
+  generation_ = 1;
+  RebuildFreeSet();
+  active_.clear();
+  locks_.Reset();
+  next_txn_ = 1;
+  return Status::OK();
+}
+
+void ShadowEngine::RebuildFreeSet() {
+  free_.clear();
+  std::set<BlockId> used(committed_table_.begin(), committed_table_.end());
+  for (BlockId b = DataStart(); b < disk_->num_blocks(); ++b) {
+    if (used.find(b) == used.end()) free_.insert(b);
+  }
+}
+
+Status ShadowEngine::Recover() {
+  disk_->ClearCrashState();
+  PageData block;
+  DBMR_RETURN_IF_ERROR(disk_->Read(0, &block));
+  if (GetU64(block, 0) != kMasterMagic) {
+    return Status::Corruption("shadow master record invalid");
+  }
+  current_table_ = static_cast<int>(GetU64(block, 8));
+  if (current_table_ != 0 && current_table_ != 1) {
+    return Status::Corruption("shadow master names a bad table");
+  }
+  generation_ = GetU64(block, 16);
+  DBMR_RETURN_IF_ERROR(ReadTable(current_table_, &committed_table_));
+  // Blocks allocated by in-flight transactions are unreferenced by the
+  // committed table and simply fall back into the free set: undo for free.
+  RebuildFreeSet();
+  active_.clear();
+  locks_.Reset();
+  return Status::OK();
+}
+
+Result<txn::TxnId> ShadowEngine::Begin() {
+  txn::TxnId t = next_txn_++;
+  active_.emplace(t, ActiveTxn{});
+  return t;
+}
+
+BlockId ShadowEngine::ResolveBlock(const ActiveTxn& at,
+                                   txn::PageId page) const {
+  auto it = at.mapping.find(page);
+  if (it != at.mapping.end()) return it->second;
+  return committed_table_[page];
+}
+
+Status ShadowEngine::Read(txn::TxnId t, txn::PageId page, PageData* out) {
+  auto it = active_.find(t);
+  if (it == active_.end()) {
+    return Status::FailedPrecondition("transaction not active");
+  }
+  if (page >= num_pages_) return Status::OutOfRange("page id");
+  if (!locks_.TryAcquire(t, page, txn::LockMode::kShared)) {
+    return Status::Aborted("lock conflict (no-wait)");
+  }
+  return disk_->Read(ResolveBlock(it->second, page), out);
+}
+
+Result<BlockId> ShadowEngine::AllocBlock(BlockId near) {
+  if (free_.empty()) {
+    return Status::ResourceExhausted("no free shadow blocks");
+  }
+  if (opts_.alloc == ShadowAllocPolicy::kFirstFree) {
+    BlockId b = *free_.begin();
+    free_.erase(free_.begin());
+    return b;
+  }
+  // kNearShadow: closest free block to `near`.
+  auto hi = free_.lower_bound(near);
+  BlockId best;
+  if (hi == free_.end()) {
+    best = *std::prev(hi);
+  } else if (hi == free_.begin()) {
+    best = *hi;
+  } else {
+    BlockId above = *hi;
+    BlockId below = *std::prev(hi);
+    best = (above - near <= near - below) ? above : below;
+  }
+  free_.erase(best);
+  return best;
+}
+
+Status ShadowEngine::Write(txn::TxnId t, txn::PageId page,
+                           const PageData& payload) {
+  auto it = active_.find(t);
+  if (it == active_.end()) {
+    return Status::FailedPrecondition("transaction not active");
+  }
+  if (page >= num_pages_) return Status::OutOfRange("page id");
+  if (payload.size() != payload_size()) {
+    return Status::InvalidArgument(
+        StrFormat("payload size %zu != %zu", payload.size(),
+                  payload_size()));
+  }
+  if (!locks_.TryAcquire(t, page, txn::LockMode::kExclusive)) {
+    return Status::Aborted("lock conflict (no-wait)");
+  }
+  ActiveTxn& at = it->second;
+  auto prev = at.mapping.find(page);
+  if (prev != at.mapping.end()) {
+    // Second write by the same transaction: overwrite its own new copy in
+    // place (it is not a shadow of anything).
+    return disk_->Write(prev->second, payload);
+  }
+  auto blk = AllocBlock(committed_table_[page]);
+  DBMR_RETURN_IF_ERROR(blk.status());
+  Status st = disk_->Write(*blk, payload);
+  if (!st.ok()) {
+    free_.insert(*blk);
+    return st;
+  }
+  at.mapping.emplace(page, *blk);
+  return Status::OK();
+}
+
+Status ShadowEngine::Commit(txn::TxnId t) {
+  auto it = active_.find(t);
+  if (it == active_.end()) {
+    return Status::FailedPrecondition("transaction not active");
+  }
+  ActiveTxn& at = it->second;
+  if (at.mapping.empty()) {  // read-only: nothing to flip
+    locks_.ReleaseAll(t);
+    active_.erase(it);
+    ++commits_;
+    return Status::OK();
+  }
+  std::vector<BlockId> new_table = committed_table_;
+  for (const auto& [page, block] : at.mapping) new_table[page] = block;
+  const int alternate = 1 - current_table_;
+  DBMR_RETURN_IF_ERROR(WriteTable(alternate, new_table));
+  DBMR_RETURN_IF_ERROR(WriteMaster(alternate, generation_ + 1));
+  // --- commit point passed ---
+  for (const auto& [page, block] : at.mapping) {
+    free_.insert(committed_table_[page]);  // old shadow reusable
+  }
+  committed_table_ = std::move(new_table);
+  current_table_ = alternate;
+  ++generation_;
+  ++table_flips_;
+  ++commits_;
+  locks_.ReleaseAll(t);
+  active_.erase(it);
+  return Status::OK();
+}
+
+Status ShadowEngine::Abort(txn::TxnId t) {
+  auto it = active_.find(t);
+  if (it == active_.end()) {
+    return Status::FailedPrecondition("transaction not active");
+  }
+  for (const auto& [page, block] : it->second.mapping) free_.insert(block);
+  locks_.ReleaseAll(t);
+  active_.erase(it);
+  return Status::OK();
+}
+
+void ShadowEngine::Crash() {
+  // All volatile state is reconstructed by Recover(); blocks held by
+  // in-flight transactions leak back via RebuildFreeSet.
+  active_.clear();
+  locks_.Reset();
+}
+
+BlockId ShadowEngine::CommittedBlockOf(txn::PageId page) const {
+  DBMR_CHECK(page < num_pages_);
+  return committed_table_[page];
+}
+
+double ShadowEngine::ClusteringFactor() const {
+  if (num_pages_ < 2) return 1.0;
+  uint64_t adjacent = 0;
+  for (uint64_t i = 0; i + 1 < num_pages_; ++i) {
+    if (committed_table_[i] + 1 == committed_table_[i + 1]) ++adjacent;
+  }
+  return static_cast<double>(adjacent) /
+         static_cast<double>(num_pages_ - 1);
+}
+
+}  // namespace dbmr::store

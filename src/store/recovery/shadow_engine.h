@@ -1,0 +1,113 @@
+// Shadow-paging ("thru page-table") engine, System R style (paper §3.2).
+//
+// Every logical page is reached through a page table mapping it to a
+// physical block.  An update never overwrites the current block: the new
+// image goes to a freshly allocated block (copy-on-write), and the
+// transaction's private mapping points at it while the committed table
+// still points at the shadow.  Commit serializes the updated table into
+// the alternate on-disk table copy and then atomically flips a one-block
+// master record — the commit point.  Recovery is trivial by construction:
+// read the master, load the table it points to; no redo, no undo.
+//
+// The defining costs the paper measures — indirection through the page
+// table on every access, and the loss of physical clustering as pages are
+// relocated — are modeled on the performance side (machine/SimShadow);
+// this engine establishes the mechanism's correctness.
+
+#ifndef DBMR_STORE_RECOVERY_SHADOW_ENGINE_H_
+#define DBMR_STORE_RECOVERY_SHADOW_ENGINE_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "store/page_engine.h"
+#include "store/virtual_disk.h"
+#include "txn/lock_manager.h"
+
+namespace dbmr::store {
+
+/// How the copy-on-write allocator picks a free block (paper §4.2.3: the
+/// shadow mechanism tends to scramble logical adjacency).
+enum class ShadowAllocPolicy {
+  kFirstFree,    ///< lowest-numbered free block (scrambles over time)
+  kNearShadow,   ///< free block closest to the shadow copy (clustering)
+};
+
+/// Options for ShadowEngine.
+struct ShadowEngineOptions {
+  ShadowAllocPolicy alloc = ShadowAllocPolicy::kFirstFree;
+};
+
+/// Shadow page-table engine over a single VirtualDisk.
+class ShadowEngine : public PageEngine {
+ public:
+  /// Lays out: block 0 master, two page-table copies, then a data area.
+  /// `num_pages` logical pages; the disk must leave enough spare data
+  /// blocks for copy-on-write (at least the write-set sizes of concurrent
+  /// transactions).
+  ShadowEngine(VirtualDisk* disk, uint64_t num_pages,
+               ShadowEngineOptions options = {});
+
+  Status Format() override;
+  Status Recover() override;
+  Result<txn::TxnId> Begin() override;
+  Status Read(txn::TxnId t, txn::PageId page, PageData* out) override;
+  Status Write(txn::TxnId t, txn::PageId page,
+               const PageData& payload) override;
+  Status Commit(txn::TxnId t) override;
+  Status Abort(txn::TxnId t) override;
+  void Crash() override;
+  size_t payload_size() const override { return disk_->block_size(); }
+  uint64_t num_pages() const override { return num_pages_; }
+  std::string name() const override { return "shadow"; }
+
+  /// --- Introspection ---------------------------------------------------
+  /// Physical block currently mapped to `page` in the committed table.
+  BlockId CommittedBlockOf(txn::PageId page) const;
+  size_t free_blocks() const { return free_.size(); }
+  uint64_t commits() const { return commits_; }
+  uint64_t table_flips() const { return table_flips_; }
+  /// Fraction of logically adjacent page pairs whose physical blocks are
+  /// also adjacent — the clustering the paper's Table 7 worries about.
+  double ClusteringFactor() const;
+  txn::LockManager& lock_manager() { return locks_; }
+
+ private:
+  struct ActiveTxn {
+    /// page -> freshly allocated block holding this txn's current copy.
+    std::unordered_map<txn::PageId, BlockId> mapping;
+  };
+
+  uint64_t TableBlocks() const;
+  BlockId TableStart(int which) const;
+  BlockId DataStart() const;
+  Status WriteMaster(int which, uint64_t generation);
+  Status WriteTable(int which, const std::vector<BlockId>& table);
+  Status ReadTable(int which, std::vector<BlockId>* table) const;
+  Result<BlockId> AllocBlock(BlockId near);
+  /// Block serving reads of `page` for transaction `t`.
+  BlockId ResolveBlock(const ActiveTxn& at, txn::PageId page) const;
+  void RebuildFreeSet();
+
+  VirtualDisk* disk_;
+  uint64_t num_pages_;
+  ShadowEngineOptions opts_;
+  txn::LockManager locks_;
+
+  std::vector<BlockId> committed_table_;
+  std::set<BlockId> free_;  // ordered for deterministic allocation
+  int current_table_ = 0;
+  uint64_t generation_ = 0;
+  std::unordered_map<txn::TxnId, ActiveTxn> active_;
+  txn::TxnId next_txn_ = 1;
+
+  uint64_t commits_ = 0;
+  uint64_t table_flips_ = 0;
+};
+
+}  // namespace dbmr::store
+
+#endif  // DBMR_STORE_RECOVERY_SHADOW_ENGINE_H_

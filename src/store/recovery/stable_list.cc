@@ -1,0 +1,149 @@
+#include "store/recovery/stable_list.h"
+
+#include <algorithm>
+
+#include "store/codec.h"
+#include "store/recovery/log_format.h"
+#include "util/str.h"
+
+namespace dbmr::store {
+
+namespace {
+constexpr uint64_t kListMagic = 0x4442'4d52'4c53'5431ULL;  // "DBMRLST1"
+}  // namespace
+
+StableList::StableList(VirtualDisk* disk, BlockId master_block,
+                       BlockId first_block, uint64_t num_blocks)
+    : disk_(disk),
+      master_block_(master_block),
+      first_block_(first_block),
+      num_blocks_(num_blocks) {
+  DBMR_CHECK(disk != nullptr);
+  DBMR_CHECK(num_blocks > 0);
+  DBMR_CHECK(first_block + num_blocks <= disk->num_blocks());
+}
+
+Status StableList::WriteMaster() {
+  PageData block(disk_->block_size(), 0);
+  PutU64(block, 0, kListMagic);
+  PutU64(block, 8, epoch_);
+  return disk_->Write(master_block_, block);
+}
+
+Status StableList::Load() {
+  PageData block;
+  DBMR_RETURN_IF_ERROR(disk_->Read(master_block_, &block));
+  if (GetU64(block, 0) != kListMagic) {
+    return Status::Corruption("stable list master invalid");
+  }
+  epoch_ = GetU64(block, 8);
+  // Writer state resumes from the durable scan; simplest is to require a
+  // Truncate() before appending again, which every caller does after
+  // recovery.  Position conservatively at the end of the durable data.
+  std::vector<std::vector<uint8_t>> records;
+  DBMR_RETURN_IF_ERROR(Scan(&records));
+  uint64_t bytes = 0;
+  for (const auto& r : records) bytes += 4 + r.size();
+  appended_bytes_ = flushed_bytes_ = bytes;
+  next_block_ = first_block_ + bytes / Cap();
+  pending_.clear();
+  return Status::OK();
+}
+
+Status StableList::Truncate() {
+  PageData block;
+  Status st = disk_->Read(master_block_, &block);
+  uint64_t old_epoch = 0;
+  if (st.ok() && GetU64(block, 0) == kListMagic) {
+    old_epoch = GetU64(block, 8);
+  }
+  epoch_ = old_epoch + 1;
+  next_block_ = first_block_;
+  pending_.clear();
+  appended_bytes_ = 0;
+  flushed_bytes_ = 0;
+  return WriteMaster();
+}
+
+Status StableList::Append(const std::vector<uint8_t>& blob) {
+  DBMR_CHECK(epoch_ > 0);  // Truncate/Load must have run
+  std::vector<uint8_t> framed(4 + blob.size());
+  PageData tmp(4, 0);
+  PutU32(tmp, 0, static_cast<uint32_t>(blob.size()));
+  std::copy(tmp.begin(), tmp.end(), framed.begin());
+  std::copy(blob.begin(), blob.end(), framed.begin() + 4);
+  pending_.insert(pending_.end(), framed.begin(), framed.end());
+  appended_bytes_ += framed.size();
+  return Status::OK();
+}
+
+Status StableList::Force() {
+  if (!HasUnforced()) return Status::OK();
+  const size_t cap = Cap();
+  while (!pending_.empty()) {
+    const size_t used = std::min(cap, pending_.size());
+    if (next_block_ >= first_block_ + num_blocks_) {
+      return Status::ResourceExhausted("stable list full");
+    }
+    PageData block(disk_->block_size(), 0);
+    LogBlockHeader h;
+    h.epoch = epoch_;
+    h.used_bytes = static_cast<uint32_t>(used);
+    h.EncodeTo(block);
+    std::copy(pending_.begin(), pending_.begin() + static_cast<long>(used),
+              block.begin() + LogBlockHeader::kSize);
+    DBMR_RETURN_IF_ERROR(disk_->Write(next_block_, block));
+    if (used == cap) {
+      pending_.erase(pending_.begin(),
+                     pending_.begin() + static_cast<long>(used));
+      ++next_block_;
+    } else {
+      break;  // partial tail stays buffered for group fill
+    }
+  }
+  flushed_bytes_ = appended_bytes_;
+  return Status::OK();
+}
+
+void StableList::DropVolatile() {
+  // Discard unforced bytes.  The durable prefix of the partial tail block
+  // is also dropped from the buffer; callers always Truncate after a crash
+  // (via recovery), so the writer never appends to a stale tail.
+  pending_.clear();
+  appended_bytes_ = flushed_bytes_;
+}
+
+Status StableList::Scan(std::vector<std::vector<uint8_t>>* out) const {
+  PageData mblock;
+  DBMR_RETURN_IF_ERROR(disk_->Read(master_block_, &mblock));
+  if (GetU64(mblock, 0) != kListMagic) {
+    return Status::Corruption("stable list master invalid");
+  }
+  const uint64_t epoch = GetU64(mblock, 8);
+  const size_t cap = Cap();
+
+  std::vector<uint8_t> stream;
+  for (BlockId b = first_block_; b < first_block_ + num_blocks_; ++b) {
+    PageData block;
+    DBMR_RETURN_IF_ERROR(disk_->Read(b, &block));
+    LogBlockHeader h = LogBlockHeader::DecodeFrom(block);
+    if (h.epoch != epoch || h.used_bytes == 0 || h.used_bytes > cap) break;
+    stream.insert(stream.end(), block.begin() + LogBlockHeader::kSize,
+                  block.begin() + LogBlockHeader::kSize + h.used_bytes);
+    if (h.used_bytes < cap) break;
+  }
+
+  size_t pos = 0;
+  while (pos + 4 <= stream.size()) {
+    PageData view(stream.begin() + static_cast<long>(pos),
+                  stream.begin() + static_cast<long>(pos) + 4);
+    const uint32_t len = GetU32(view, 0);
+    if (pos + 4 + len > stream.size()) break;  // truncated tail record
+    out->emplace_back(stream.begin() + static_cast<long>(pos + 4),
+                      stream.begin() + static_cast<long>(pos + 4 + len));
+    pos += 4 + len;
+  }
+  return Status::OK();
+}
+
+}  // namespace dbmr::store

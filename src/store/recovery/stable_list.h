@@ -1,0 +1,72 @@
+// A small append-only list of records on stable storage.
+//
+// Several recovery mechanisms in the paper need "a list of transactions
+// that should survive system crash" (§3.2.2.2) — uncommitted transactions
+// for the no-redo overwriting architecture, committed-but-unapplied ones
+// for no-undo, and the commit list of the version-selection scheme.  This
+// class provides that primitive: length-framed byte blobs appended to a
+// block region with group-fill partial-block rewrites, an epoch-stamped
+// master block, and whole-list truncation.
+
+#ifndef DBMR_STORE_RECOVERY_STABLE_LIST_H_
+#define DBMR_STORE_RECOVERY_STABLE_LIST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "store/virtual_disk.h"
+
+namespace dbmr::store {
+
+/// Append-only record list over a block range of a VirtualDisk.
+class StableList {
+ public:
+  /// Uses blocks [first_block, first_block + num_blocks) for data and
+  /// `master_block` for the epoch master.
+  StableList(VirtualDisk* disk, BlockId master_block, BlockId first_block,
+             uint64_t num_blocks);
+
+  /// Initializes/advances the epoch, invalidating all existing records.
+  Status Truncate();
+
+  /// Loads the master (after a restart).  Scanning is independent; this
+  /// only positions the writer state consistently for Truncate/Append.
+  Status Load();
+
+  /// Buffers a record; durable only after Force().
+  Status Append(const std::vector<uint8_t>& blob);
+
+  /// Writes buffered records to disk (group-fill: the partial tail block
+  /// is rewritten in place).
+  Status Force();
+
+  /// Reads every durable record, in append order.
+  Status Scan(std::vector<std::vector<uint8_t>>* out) const;
+
+  /// Drops buffered-but-unforced records (volatile loss on crash).
+  void DropVolatile();
+
+  uint64_t epoch() const { return epoch_; }
+  uint64_t appended_bytes() const { return appended_bytes_; }
+  uint64_t flushed_bytes() const { return flushed_bytes_; }
+  bool HasUnforced() const { return flushed_bytes_ != appended_bytes_; }
+
+ private:
+  size_t Cap() const { return disk_->block_size() - 16; }
+  Status WriteMaster();
+
+  VirtualDisk* disk_;
+  BlockId master_block_;
+  BlockId first_block_;
+  uint64_t num_blocks_;
+
+  uint64_t epoch_ = 0;
+  BlockId next_block_ = 0;  // first not-finalized block
+  std::vector<uint8_t> pending_;  // bytes from start of next_block_ onward
+  uint64_t appended_bytes_ = 0;
+  uint64_t flushed_bytes_ = 0;
+};
+
+}  // namespace dbmr::store
+
+#endif  // DBMR_STORE_RECOVERY_STABLE_LIST_H_

@@ -1,0 +1,260 @@
+#include "store/recovery/version_select_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "store/codec.h"
+#include "util/str.h"
+
+namespace dbmr::store {
+
+namespace {
+// Copy layout: [u64 magic][u64 stamp][u64 writer][u64 checksum][payload].
+constexpr uint64_t kCopyMagic = 0x4442'4d52'5653'4c31ULL;  // "DBMRVSL1"
+constexpr size_t kCopyHeader = 32;
+}  // namespace
+
+VersionSelectEngine::VersionSelectEngine(VirtualDisk* disk,
+                                         uint64_t num_pages,
+                                         VersionSelectEngineOptions options)
+    : disk_(disk),
+      num_pages_(num_pages),
+      opts_(options),
+      commit_list_(disk, 0, 1, options.list_blocks) {
+  DBMR_CHECK(disk != nullptr);
+  DBMR_CHECK(num_pages > 0);
+  DBMR_CHECK(1 + opts_.list_blocks + 2 * num_pages <= disk->num_blocks());
+  cache_.resize(num_pages);
+}
+
+size_t VersionSelectEngine::payload_size() const {
+  return disk_->block_size() - kCopyHeader;
+}
+
+BlockId VersionSelectEngine::CopyBlock(txn::PageId page, int which) const {
+  return 1 + opts_.list_blocks + page * 2 + static_cast<BlockId>(which);
+}
+
+Status VersionSelectEngine::WriteCopy(txn::PageId page, int which,
+                                      uint64_t stamp, txn::TxnId writer,
+                                      const PageData& payload) {
+  PageData block(disk_->block_size(), 0);
+  PutU64(block, 0, kCopyMagic);
+  PutU64(block, 8, stamp);
+  PutU64(block, 16, writer);
+  std::copy(payload.begin(), payload.end(), block.begin() + kCopyHeader);
+  PutU64(block, 24, Checksum(block, kCopyHeader, block.size()) ^
+                        (stamp * 0x9e3779b97f4a7c15ULL + writer));
+  return disk_->Write(CopyBlock(page, which), block);
+}
+
+Status VersionSelectEngine::ReadCopy(txn::PageId page, int which,
+                                     Copy* out) const {
+  PageData block;
+  DBMR_RETURN_IF_ERROR(disk_->Read(CopyBlock(page, which), &block));
+  out->valid = false;
+  if (GetU64(block, 0) != kCopyMagic) return Status::OK();
+  out->stamp = GetU64(block, 8);
+  out->writer = GetU64(block, 16);
+  const uint64_t want =
+      Checksum(block, kCopyHeader, block.size()) ^
+      (out->stamp * 0x9e3779b97f4a7c15ULL + out->writer);
+  if (GetU64(block, 24) != want) {
+    ++torn_rejected_;
+    return Status::OK();
+  }
+  out->payload.assign(block.begin() + kCopyHeader, block.end());
+  out->valid = true;
+  return Status::OK();
+}
+
+int VersionSelectEngine::Select(
+    const Copy& a, const Copy& b,
+    const std::unordered_set<txn::TxnId>& committed) {
+  auto eligible = [&](const Copy& c) {
+    return c.valid && (c.writer == 0 || committed.count(c.writer) > 0);
+  };
+  const bool ea = eligible(a);
+  const bool eb = eligible(b);
+  if (ea && eb) return a.stamp >= b.stamp ? 0 : 1;
+  if (ea) return 0;
+  if (eb) return 1;
+  return -1;
+}
+
+Status VersionSelectEngine::Format() {
+  DBMR_RETURN_IF_ERROR(commit_list_.Truncate());
+  PageData empty(payload_size(), 0);
+  for (txn::PageId p = 0; p < num_pages_; ++p) {
+    DBMR_RETURN_IF_ERROR(WriteCopy(p, 0, 0, 0, empty));
+    DBMR_RETURN_IF_ERROR(WriteCopy(p, 1, 0, 0, empty));
+    cache_[p] = Cached{0, 0};
+  }
+  committed_.clear();
+  active_.clear();
+  locks_.Reset();
+  stamp_counter_ = 0;
+  next_txn_ = 1;
+  return Status::OK();
+}
+
+Result<txn::TxnId> VersionSelectEngine::Begin() {
+  txn::TxnId t = next_txn_++;
+  active_.emplace(t, ActiveTxn{});
+  return t;
+}
+
+Status VersionSelectEngine::Read(txn::TxnId t, txn::PageId page,
+                                 PageData* out) {
+  auto it = active_.find(t);
+  if (it == active_.end()) {
+    return Status::FailedPrecondition("transaction not active");
+  }
+  if (page >= num_pages_) return Status::OutOfRange("page id");
+  if (!locks_.TryAcquire(t, page, txn::LockMode::kShared)) {
+    return Status::Aborted("lock conflict (no-wait)");
+  }
+  // Own uncommitted write lives in the non-current copy.
+  const bool own = it->second.written.count(page) > 0;
+  const int which = own ? 1 - cache_[page].current : cache_[page].current;
+  Copy c;
+  DBMR_RETURN_IF_ERROR(ReadCopy(page, which, &c));
+  if (!c.valid) return Status::Corruption("selected copy invalid");
+  *out = std::move(c.payload);
+  return Status::OK();
+}
+
+Status VersionSelectEngine::Write(txn::TxnId t, txn::PageId page,
+                                  const PageData& payload) {
+  auto it = active_.find(t);
+  if (it == active_.end()) {
+    return Status::FailedPrecondition("transaction not active");
+  }
+  if (page >= num_pages_) return Status::OutOfRange("page id");
+  if (payload.size() != payload_size()) {
+    return Status::InvalidArgument(
+        StrFormat("payload size %zu != %zu", payload.size(),
+                  payload_size()));
+  }
+  if (!locks_.TryAcquire(t, page, txn::LockMode::kExclusive)) {
+    return Status::Aborted("lock conflict (no-wait)");
+  }
+  const int target = 1 - cache_[page].current;
+  DBMR_RETURN_IF_ERROR(
+      WriteCopy(page, target, ++stamp_counter_, t, payload));
+  it->second.written.insert(page);
+  return Status::OK();
+}
+
+Status VersionSelectEngine::Commit(txn::TxnId t) {
+  auto it = active_.find(t);
+  if (it == active_.end()) {
+    return Status::FailedPrecondition("transaction not active");
+  }
+  ActiveTxn& at = it->second;
+  if (!at.written.empty()) {
+    PageData blob(8, 0);
+    PutU64(blob, 0, t);
+    DBMR_RETURN_IF_ERROR(
+        commit_list_.Append({blob.begin(), blob.end()}));
+    DBMR_RETURN_IF_ERROR(commit_list_.Force());
+    // --- commit point passed ---
+    committed_.insert(t);
+    for (txn::PageId page : at.written) {
+      cache_[page].current = 1 - cache_[page].current;
+    }
+  }
+  ++commits_;
+  locks_.ReleaseAll(t);
+  active_.erase(it);
+  return Status::OK();
+}
+
+Status VersionSelectEngine::Abort(txn::TxnId t) {
+  auto it = active_.find(t);
+  if (it == active_.end()) {
+    return Status::FailedPrecondition("transaction not active");
+  }
+  // The non-current copies it wrote simply lose version selection.
+  locks_.ReleaseAll(t);
+  active_.erase(it);
+  return Status::OK();
+}
+
+void VersionSelectEngine::Crash() {
+  active_.clear();
+  locks_.Reset();
+  commit_list_.DropVolatile();
+}
+
+int VersionSelectEngine::SelectCurrent(txn::PageId page) const {
+  Copy a, b;
+  if (!ReadCopy(page, 0, &a).ok() || !ReadCopy(page, 1, &b).ok()) return -1;
+  return Select(a, b, committed_);
+}
+
+Status VersionSelectEngine::Recover() {
+  disk_->ClearCrashState();
+  DBMR_RETURN_IF_ERROR(commit_list_.Load());
+  std::vector<std::vector<uint8_t>> records;
+  DBMR_RETURN_IF_ERROR(commit_list_.Scan(&records));
+  committed_.clear();
+  txn::TxnId max_txn = 0;
+  for (const auto& blob : records) {
+    if (blob.size() != 8) return Status::Corruption("bad commit record");
+    PageData view(blob.begin(), blob.end());
+    txn::TxnId t = GetU64(view, 0);
+    committed_.insert(t);
+    max_txn = std::max(max_txn, t);
+  }
+
+  // Version-select every page; normalize current copies so the commit list
+  // can be truncated.  Normalization writes the selected content into the
+  // shadow slot under the system writer id (0); if that write tears, the
+  // old copy still wins selection because the list is truncated only after
+  // every page is normalized.
+  stamp_counter_ = 0;
+  bool any_normalized = false;
+  for (txn::PageId p = 0; p < num_pages_; ++p) {
+    Copy c[2];
+    DBMR_RETURN_IF_ERROR(ReadCopy(p, 0, &c[0]));
+    DBMR_RETURN_IF_ERROR(ReadCopy(p, 1, &c[1]));
+    for (const Copy& cc : c) {
+      if (cc.valid) {
+        stamp_counter_ = std::max(stamp_counter_, cc.stamp);
+        max_txn = std::max(max_txn, cc.writer);
+      }
+    }
+    int cur = Select(c[0], c[1], committed_);
+    if (cur < 0) {
+      return Status::Corruption(
+          StrFormat("page %llu has no valid committed copy",
+                    static_cast<unsigned long long>(p)));
+    }
+    cache_[p] = Cached{cur, c[cur].stamp};
+  }
+  for (txn::PageId p = 0; p < num_pages_; ++p) {
+    Copy c[2];
+    DBMR_RETURN_IF_ERROR(ReadCopy(p, 0, &c[0]));
+    DBMR_RETURN_IF_ERROR(ReadCopy(p, 1, &c[1]));
+    int cur = Select(c[0], c[1], committed_);
+    DBMR_CHECK(cur >= 0);
+    if (c[cur].writer != 0) {
+      const int shadow = 1 - cur;
+      DBMR_RETURN_IF_ERROR(
+          WriteCopy(p, shadow, ++stamp_counter_, 0, c[cur].payload));
+      cache_[p] = Cached{shadow, stamp_counter_};
+      any_normalized = true;
+    }
+  }
+  if (any_normalized || !records.empty()) {
+    DBMR_RETURN_IF_ERROR(commit_list_.Truncate());
+    committed_.clear();
+  }
+  active_.clear();
+  locks_.Reset();
+  next_txn_ = max_txn + 1;
+  return Status::OK();
+}
+
+}  // namespace dbmr::store

@@ -1,0 +1,521 @@
+#include "store/recovery/wal_engine.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "store/codec.h"
+#include "util/str.h"
+
+namespace dbmr::store {
+
+namespace {
+/// Data page block layout: [u64 version][payload].
+constexpr size_t kPageHeader = 8;
+
+uint64_t BlockVersion(const PageData& block) { return GetU64(block, 0); }
+void SetBlockVersion(PageData& block, uint64_t v) { PutU64(block, 0, v); }
+}  // namespace
+
+WalEngine::WalEngine(VirtualDisk* data_disk,
+                     std::vector<VirtualDisk*> log_disks,
+                     WalEngineOptions options)
+    : data_(data_disk), opts_(options), rng_(options.rng_seed) {
+  DBMR_CHECK(data_ != nullptr);
+  DBMR_CHECK(!log_disks.empty());
+  for (VirtualDisk* d : log_disks) {
+    DBMR_CHECK(d != nullptr);
+    DBMR_CHECK(d->block_size() == data_->block_size());
+    LogStream s;
+    s.disk = d;
+    logs_.push_back(std::move(s));
+  }
+  pool_ = std::make_unique<BufferPool>(
+      opts_.pool_frames,
+      [this](txn::PageId p, PageData* out) { return FetchBlock(p, out); },
+      [this](txn::PageId p, const PageData& b) {
+        return FlushDataPage(p, b);
+      });
+}
+
+size_t WalEngine::payload_size() const {
+  return data_->block_size() - kPageHeader;
+}
+
+size_t WalEngine::PayloadBytesPerLogBlock() const {
+  return data_->block_size() - LogBlockHeader::kSize;
+}
+
+std::string WalEngine::name() const {
+  return logs_.size() == 1 ? "wal" : StrFormat("wal-x%zu", logs_.size());
+}
+
+uint64_t WalEngine::stream_records(size_t i) const {
+  DBMR_CHECK(i < logs_.size());
+  return logs_[i].records;
+}
+
+Status WalEngine::Format() {
+  // Zero the data disk so reused disks start from version 0 everywhere.
+  PageData zero(data_->block_size(), 0);
+  for (BlockId b = 0; b < data_->num_blocks(); ++b) {
+    DBMR_RETURN_IF_ERROR(data_->Write(b, zero));
+  }
+  // Epochs must advance past any previous life of these disks; resetting to
+  // epoch 1 would let a scan run off the new tail into stale epoch-1 blocks
+  // surviving from before the reformat.
+  DBMR_RETURN_IF_ERROR(TruncateLogs());
+  for (auto& s : logs_) s.records = 0;
+  pool_->DiscardAll();
+  active_.clear();
+  wal_point_.clear();
+  locks_.Reset();
+  next_txn_ = 1;
+  return Status::OK();
+}
+
+Result<txn::TxnId> WalEngine::Begin() {
+  txn::TxnId t = next_txn_++;
+  active_.emplace(t, ActiveTxn{});
+  return t;
+}
+
+Status WalEngine::FetchBlock(txn::PageId page, PageData* out) {
+  if (page >= data_->num_blocks()) {
+    return Status::OutOfRange(StrFormat("page %llu out of range",
+                                        (unsigned long long)page));
+  }
+  return data_->Read(page, out);
+}
+
+Status WalEngine::FlushDataPage(txn::PageId page, const PageData& block) {
+  // WAL rule: force the stream holding this page's latest update record
+  // before the data page may reach disk.
+  auto it = wal_point_.find(page);
+  if (it != wal_point_.end()) {
+    for (const auto& [log_idx, watermark] : it->second) {
+      if (logs_[log_idx].flushed_bytes < watermark) {
+        DBMR_RETURN_IF_ERROR(ForceLog(log_idx));
+      }
+    }
+  }
+  DBMR_RETURN_IF_ERROR(data_->Write(page, block));
+  if (it != wal_point_.end()) wal_point_.erase(it);
+  return Status::OK();
+}
+
+size_t WalEngine::ChooseLog(txn::TxnId t) {
+  switch (opts_.policy) {
+    case LogSelectPolicy::kCyclic:
+      return cyclic_next_++ % logs_.size();
+    case LogSelectPolicy::kRandom:
+      return static_cast<size_t>(
+          rng_.UniformInt(0, static_cast<int64_t>(logs_.size()) - 1));
+    case LogSelectPolicy::kTxnMod:
+      return static_cast<size_t>(t % logs_.size());
+  }
+  return 0;
+}
+
+Status WalEngine::AppendRecord(size_t log_idx, const LogRecord& rec) {
+  LogStream& s = logs_[log_idx];
+  PageData tmp(rec.EncodedSize(), 0);
+  EncodeLogRecord(rec, tmp, 0);
+  s.pending.insert(s.pending.end(), tmp.begin(), tmp.end());
+  s.appended_bytes += tmp.size();
+  ++s.records;
+  ++records_appended_;
+  return Status::OK();
+}
+
+Status WalEngine::ForceLog(size_t log_idx) {
+  LogStream& s = logs_[log_idx];
+  if (s.flushed_bytes == s.appended_bytes) return Status::OK();
+  ++forces_;
+  const size_t cap = PayloadBytesPerLogBlock();
+  // `pending` holds the bytes of the stream from the start of block
+  // `next_block` onward (durable prefix of the partial block included).
+  while (!s.pending.empty()) {
+    const size_t used = std::min(cap, s.pending.size());
+    if (s.next_block >= s.disk->num_blocks()) {
+      return Status::ResourceExhausted(
+          StrFormat("log %s full", s.disk->name().c_str()));
+    }
+    PageData block(s.disk->block_size(), 0);
+    LogBlockHeader h;
+    h.epoch = s.epoch;
+    h.used_bytes = static_cast<uint32_t>(used);
+    h.EncodeTo(block);
+    std::copy(s.pending.begin(),
+              s.pending.begin() + static_cast<long>(used),
+              block.begin() + LogBlockHeader::kSize);
+    DBMR_RETURN_IF_ERROR(s.disk->Write(s.next_block, block));
+    if (used == cap) {
+      // Block finalized; it will never be rewritten.
+      s.pending.erase(s.pending.begin(),
+                      s.pending.begin() + static_cast<long>(used));
+      ++s.next_block;
+      s.flushed_bytes =
+          (s.next_block - s.start_block) * cap;
+    } else {
+      // Partial block stays buffered for in-place group fill.
+      s.flushed_bytes = (s.next_block - s.start_block) * cap + used;
+      break;
+    }
+  }
+  s.flushed_bytes = s.appended_bytes;
+  return Status::OK();
+}
+
+Status WalEngine::ForceLogsOf(const ActiveTxn& at, size_t also) {
+  for (size_t idx : at.logs_used) {
+    if (idx == also) continue;
+    DBMR_RETURN_IF_ERROR(ForceLog(idx));
+  }
+  return ForceLog(also);
+}
+
+Status WalEngine::Read(txn::TxnId t, txn::PageId page, PageData* out) {
+  auto it = active_.find(t);
+  if (it == active_.end()) {
+    return Status::FailedPrecondition("transaction not active");
+  }
+  if (!locks_.TryAcquire(t, page, txn::LockMode::kShared)) {
+    return Status::Aborted("lock conflict (no-wait)");
+  }
+  PageData block;
+  DBMR_RETURN_IF_ERROR(pool_->Get(page, &block));
+  out->assign(block.begin() + kPageHeader, block.end());
+  return Status::OK();
+}
+
+Status WalEngine::Write(txn::TxnId t, txn::PageId page,
+                        const PageData& payload) {
+  auto it = active_.find(t);
+  if (it == active_.end()) {
+    return Status::FailedPrecondition("transaction not active");
+  }
+  if (payload.size() != payload_size()) {
+    return Status::InvalidArgument(
+        StrFormat("payload size %zu != %zu", payload.size(),
+                  payload_size()));
+  }
+  if (!locks_.TryAcquire(t, page, txn::LockMode::kExclusive)) {
+    return Status::Aborted("lock conflict (no-wait)");
+  }
+  PageData block;
+  DBMR_RETURN_IF_ERROR(pool_->Get(page, &block));
+  const uint64_t version = BlockVersion(block);
+
+  LogRecord rec;
+  rec.kind = LogRecordKind::kUpdate;
+  rec.txn = t;
+  rec.page = page;
+  rec.page_version = version + 1;
+  if (opts_.mode == LoggingMode::kPhysical) {
+    rec.offset = 0;
+    rec.before.assign(block.begin() + kPageHeader, block.end());
+    rec.after = payload;
+  } else {
+    // Logical: byte-range diff of the payload.
+    size_t lo = 0;
+    size_t hi = payload.size();
+    const uint8_t* old = block.data() + kPageHeader;
+    while (lo < payload.size() && old[lo] == payload[lo]) ++lo;
+    if (lo == payload.size()) {
+      // Identical content: nothing to log or write.
+      return Status::OK();
+    }
+    while (hi > lo && old[hi - 1] == payload[hi - 1]) --hi;
+    rec.offset = static_cast<uint32_t>(lo);
+    rec.before.assign(old + lo, old + hi);
+    rec.after.assign(payload.begin() + static_cast<long>(lo),
+                     payload.begin() + static_cast<long>(hi));
+  }
+
+  const size_t idx = ChooseLog(t);
+  DBMR_RETURN_IF_ERROR(AppendRecord(idx, rec));
+  wal_point_[page][idx] = logs_[idx].appended_bytes;
+  it->second.logs_used.insert(idx);
+  it->second.first_pos.try_emplace(
+      idx, logs_[idx].appended_bytes - rec.EncodedSize());
+  it->second.undo.push_back(UndoEntry{page, rec.offset, rec.before});
+
+  SetBlockVersion(block, version + 1);
+  std::copy(payload.begin(), payload.end(), block.begin() + kPageHeader);
+  return pool_->Put(page, std::move(block));
+}
+
+Status WalEngine::Commit(txn::TxnId t) {
+  auto it = active_.find(t);
+  if (it == active_.end()) {
+    return Status::FailedPrecondition("transaction not active");
+  }
+  LogRecord rec;
+  rec.kind = LogRecordKind::kCommit;
+  rec.txn = t;
+  const size_t idx = ChooseLog(t);
+  DBMR_RETURN_IF_ERROR(AppendRecord(idx, rec));
+  DBMR_RETURN_IF_ERROR(ForceLogsOf(it->second, idx));
+  ++commits_;
+  locks_.ReleaseAll(t);
+  active_.erase(it);
+  return Status::OK();
+}
+
+Status WalEngine::Abort(txn::TxnId t) {
+  auto it = active_.find(t);
+  if (it == active_.end()) {
+    return Status::FailedPrecondition("transaction not active");
+  }
+  ActiveTxn& at = it->second;
+  // Undo in reverse order, writing redo-only CLRs so the rollback itself
+  // survives a crash.
+  for (auto u = at.undo.rbegin(); u != at.undo.rend(); ++u) {
+    PageData block;
+    DBMR_RETURN_IF_ERROR(pool_->Get(u->page, &block));
+    const uint64_t version = BlockVersion(block);
+    LogRecord clr;
+    clr.kind = LogRecordKind::kClr;
+    clr.txn = t;
+    clr.page = u->page;
+    clr.page_version = version + 1;
+    clr.offset = u->offset;
+    clr.after = u->before;
+    const size_t idx = ChooseLog(t);
+    DBMR_RETURN_IF_ERROR(AppendRecord(idx, clr));
+    wal_point_[u->page][idx] = logs_[idx].appended_bytes;
+    at.logs_used.insert(idx);
+    at.first_pos.try_emplace(idx,
+                             logs_[idx].appended_bytes - clr.EncodedSize());
+    SetBlockVersion(block, version + 1);
+    std::copy(u->before.begin(), u->before.end(),
+              block.begin() + kPageHeader + u->offset);
+    DBMR_RETURN_IF_ERROR(pool_->Put(u->page, std::move(block)));
+  }
+  LogRecord rec;
+  rec.kind = LogRecordKind::kAbort;
+  rec.txn = t;
+  DBMR_RETURN_IF_ERROR(AppendRecord(ChooseLog(t), rec));
+  ++aborts_;
+  locks_.ReleaseAll(t);
+  active_.erase(it);
+  return Status::OK();
+}
+
+void WalEngine::Crash() {
+  pool_->DiscardAll();
+  active_.clear();
+  wal_point_.clear();
+  locks_.Reset();
+  for (auto& s : logs_) {
+    // Volatile log buffers vanish; only what was forced survives.
+    s.pending.clear();
+    s.appended_bytes = s.flushed_bytes;
+  }
+}
+
+Status WalEngine::ScanStream(size_t idx, std::vector<LogRecord>* out) const {
+  const LogStream& s = logs_[idx];
+  const size_t cap = PayloadBytesPerLogBlock();
+  PageData master_block;
+  DBMR_RETURN_IF_ERROR(s.disk->Read(0, &master_block));
+  LogMaster m;
+  DBMR_RETURN_IF_ERROR(LogMaster::DecodeFrom(master_block, &m));
+
+  std::vector<uint8_t> stream;
+  bool first = true;
+  for (BlockId b = m.start_block; b < s.disk->num_blocks(); ++b) {
+    PageData block;
+    DBMR_RETURN_IF_ERROR(s.disk->Read(b, &block));
+    LogBlockHeader h = LogBlockHeader::DecodeFrom(block);
+    if (h.epoch != m.epoch || h.used_bytes == 0 || h.used_bytes > cap) {
+      break;
+    }
+    // A fuzzy checkpoint may have moved the scan origin mid-block.
+    size_t skip = 0;
+    if (first) {
+      first = false;
+      if (m.start_offset >= h.used_bytes) {
+        if (h.used_bytes < cap) break;
+        continue;  // horizon consumed the whole (finalized) block
+      }
+      skip = static_cast<size_t>(m.start_offset);
+    }
+    stream.insert(
+        stream.end(),
+        block.begin() + LogBlockHeader::kSize + static_cast<long>(skip),
+        block.begin() + LogBlockHeader::kSize + h.used_bytes);
+    if (h.used_bytes < cap) break;  // partial block is always the last
+  }
+
+  PageData view(stream.begin(), stream.end());
+  size_t pos = 0;
+  while (pos < view.size()) {
+    LogRecord rec;
+    size_t before = pos;
+    Status st = DecodeLogRecord(view, &pos, &rec);
+    if (!st.ok()) {
+      // A truncated trailing record was never fully durable; ignore it.
+      pos = before;
+      break;
+    }
+    out->push_back(std::move(rec));
+  }
+  return Status::OK();
+}
+
+Status WalEngine::ApplyRecordImage(PageData& block, const LogRecord& rec,
+                                   bool redo) const {
+  const std::vector<uint8_t>& img = redo ? rec.after : rec.before;
+  if (kPageHeader + rec.offset + img.size() > block.size()) {
+    return Status::Corruption("log image exceeds page bounds");
+  }
+  std::copy(img.begin(), img.end(),
+            block.begin() + kPageHeader + rec.offset);
+  return Status::OK();
+}
+
+Status WalEngine::Recover() {
+  data_->ClearCrashState();
+  for (auto& s : logs_) s.disk->ClearCrashState();
+
+  // 1. Analysis: scan every stream independently.
+  std::vector<std::vector<LogRecord>> per_stream(logs_.size());
+  std::unordered_set<txn::TxnId> committed;
+  txn::TxnId max_txn = 0;
+  for (size_t i = 0; i < logs_.size(); ++i) {
+    DBMR_RETURN_IF_ERROR(ScanStream(i, &per_stream[i]));
+    for (const LogRecord& r : per_stream[i]) {
+      max_txn = std::max(max_txn, r.txn);
+      if (r.kind == LogRecordKind::kCommit) committed.insert(r.txn);
+    }
+  }
+
+  // Per-page chains of redo-eligible records (committed updates and CLRs)
+  // and of each uncommitted transaction's updates, keyed by page version.
+  // Per-page version numbers make cross-stream merging unnecessary.
+  struct PageChains {
+    std::map<uint64_t, const LogRecord*> redo;                 // by version
+    std::map<uint64_t, const LogRecord*> undo;                 // by version
+  };
+  std::unordered_map<txn::PageId, PageChains> chains;
+  for (const auto& stream : per_stream) {
+    for (const LogRecord& r : stream) {
+      if (r.kind == LogRecordKind::kUpdate) {
+        if (committed.count(r.txn)) {
+          chains[r.page].redo[r.page_version] = &r;
+        } else {
+          chains[r.page].undo[r.page_version] = &r;
+        }
+      } else if (r.kind == LogRecordKind::kClr) {
+        chains[r.page].redo[r.page_version] = &r;
+      }
+    }
+  }
+
+  // 2. Per page: UNDO first, then REDO.  The page on disk may carry an
+  // uncommitted (or aborted-but-uncompensated) transaction's flushed
+  // update; later committed diffs were computed against the pre-image of
+  // that transaction, so its bytes must come off before they go on.
+  // Version gaps in the redo chain are then content-neutral: every
+  // committed record is durable (commit forces), so a missing version can
+  // only be a lost uncommitted update + CLR pair, which cancels.
+  for (auto& [page, pc] : chains) {
+    PageData block;
+    DBMR_RETURN_IF_ERROR(data_->Read(page, &block));
+    uint64_t v = BlockVersion(block);
+    const uint64_t v0 = v;
+    // Undo: walk back down while the page's version belongs to an
+    // uncommitted transaction's update.
+    while (true) {
+      auto it = pc.undo.find(v);
+      if (it == pc.undo.end()) break;
+      DBMR_RETURN_IF_ERROR(
+          ApplyRecordImage(block, *it->second, /*redo=*/false));
+      --v;
+      ++undo_applied_;
+    }
+    for (auto& [version, rec] : pc.redo) {
+      if (version <= v) continue;
+      DBMR_RETURN_IF_ERROR(ApplyRecordImage(block, *rec, /*redo=*/true));
+      v = version;
+      ++redo_applied_;
+    }
+    if (v != v0 || !pc.redo.empty() || !pc.undo.empty()) {
+      SetBlockVersion(block, v);
+      DBMR_RETURN_IF_ERROR(data_->Write(page, block));
+    }
+  }
+
+  // 4. Truncate the logs: all surviving state is home now.
+  DBMR_RETURN_IF_ERROR(TruncateLogs());
+
+  pool_->DiscardAll();
+  active_.clear();
+  wal_point_.clear();
+  locks_.Reset();
+  next_txn_ = max_txn + 1;
+  return Status::OK();
+}
+
+Status WalEngine::TruncateLogs() {
+  for (auto& s : logs_) {
+    PageData master_block;
+    DBMR_RETURN_IF_ERROR(s.disk->Read(0, &master_block));
+    LogMaster m;
+    Status st = LogMaster::DecodeFrom(master_block, &m);
+    uint64_t epoch = st.ok() ? m.epoch + 1 : 1;
+    s.epoch = epoch;
+    s.start_block = 1;
+    s.next_block = 1;
+    s.pending.clear();
+    s.appended_bytes = 0;
+    s.flushed_bytes = 0;
+    LogMaster nm{};
+    nm.epoch = epoch;
+    nm.start_block = 1;
+    PageData block(s.disk->block_size(), 0);
+    nm.EncodeTo(block);
+    DBMR_RETURN_IF_ERROR(s.disk->Write(0, block));
+  }
+  return Status::OK();
+}
+
+Status WalEngine::Checkpoint() {
+  // Flushing enforces the write-ahead rule per page, so everything a
+  // committed (or aborted-and-compensated) transaction did is home after
+  // this; only active transactions still need their log records.
+  DBMR_RETURN_IF_ERROR(pool_->FlushAll());
+  wal_point_.clear();
+  if (active_.empty()) {
+    ++full_checkpoints_;
+    return TruncateLogs();
+  }
+
+  // Fuzzy checkpoint: advance each stream's recovery-scan origin to the
+  // oldest active transaction's first record on that stream.  No
+  // quiescing; transactions keep appending behind the new horizon.
+  ++fuzzy_checkpoints_;
+  const size_t cap = PayloadBytesPerLogBlock();
+  for (size_t i = 0; i < logs_.size(); ++i) {
+    LogStream& stm = logs_[i];
+    uint64_t horizon = stm.flushed_bytes;
+    for (const auto& [t, at] : active_) {
+      auto fp = at.first_pos.find(i);
+      if (fp != at.first_pos.end()) {
+        horizon = std::min(horizon, fp->second);
+      }
+    }
+    LogMaster m{};
+    m.epoch = stm.epoch;
+    m.start_block = stm.start_block + horizon / cap;
+    m.start_offset = horizon % cap;
+    PageData block(stm.disk->block_size(), 0);
+    m.EncodeTo(block);
+    DBMR_RETURN_IF_ERROR(stm.disk->Write(0, block));
+  }
+  return Status::OK();
+}
+
+}  // namespace dbmr::store

@@ -1,0 +1,138 @@
+#include "store/relation.h"
+
+#include <algorithm>
+
+#include "store/codec.h"
+#include "util/str.h"
+
+namespace dbmr::store {
+
+Relation::Relation(PageEngine* engine, uint64_t first_page,
+                   uint64_t num_pages, size_t record_size)
+    : engine_(engine),
+      first_page_(first_page),
+      num_pages_(num_pages),
+      record_size_(record_size) {
+  DBMR_CHECK(engine != nullptr);
+  DBMR_CHECK(record_size > 0);
+  DBMR_CHECK(first_page + num_pages <= engine->num_pages());
+  DBMR_CHECK(engine->payload_size() >= 8 + record_size);
+  slots_per_page_ =
+      std::min<size_t>(64, (engine->payload_size() - 8) / record_size);
+}
+
+Status Relation::CheckId(RecordId id) const {
+  if (id / 64 >= num_pages_ || SlotOf(id) >= slots_per_page_) {
+    return Status::OutOfRange(
+        StrFormat("record id %llu outside the relation",
+                  static_cast<unsigned long long>(id)));
+  }
+  return Status::OK();
+}
+
+Result<RecordId> Relation::Insert(txn::TxnId t,
+                                  const std::vector<uint8_t>& record) {
+  if (record.size() != record_size_) {
+    return Status::InvalidArgument("record size mismatch");
+  }
+  for (uint64_t probe = 0; probe < num_pages_; ++probe) {
+    const uint64_t page_idx = (insert_cursor_ + probe) % num_pages_;
+    PageData page;
+    DBMR_RETURN_IF_ERROR(
+        engine_->Read(t, first_page_ + page_idx, &page));
+    uint64_t bitmap = GetU64(page, 0);
+    size_t slot = slots_per_page_;
+    for (size_t s = 0; s < slots_per_page_; ++s) {
+      if ((bitmap & (uint64_t{1} << s)) == 0) {
+        slot = s;
+        break;
+      }
+    }
+    if (slot == slots_per_page_) continue;  // page full
+    bitmap |= uint64_t{1} << slot;
+    PutU64(page, 0, bitmap);
+    std::copy(record.begin(), record.end(),
+              page.begin() + static_cast<long>(SlotOffset(slot)));
+    DBMR_RETURN_IF_ERROR(engine_->Write(t, first_page_ + page_idx, page));
+    insert_cursor_ = page_idx;
+    return page_idx * 64 + slot;
+  }
+  return Status::ResourceExhausted("relation full");
+}
+
+Result<std::vector<uint8_t>> Relation::Get(txn::TxnId t, RecordId id) {
+  DBMR_RETURN_IF_ERROR(CheckId(id));
+  PageData page;
+  DBMR_RETURN_IF_ERROR(engine_->Read(t, PageOf(id), &page));
+  const uint64_t bitmap = GetU64(page, 0);
+  if ((bitmap & (uint64_t{1} << SlotOf(id))) == 0) {
+    return Status::NotFound("record deleted or never inserted");
+  }
+  const size_t off = SlotOffset(SlotOf(id));
+  return std::vector<uint8_t>(
+      page.begin() + static_cast<long>(off),
+      page.begin() + static_cast<long>(off + record_size_));
+}
+
+Status Relation::Update(txn::TxnId t, RecordId id,
+                        const std::vector<uint8_t>& record) {
+  if (record.size() != record_size_) {
+    return Status::InvalidArgument("record size mismatch");
+  }
+  DBMR_RETURN_IF_ERROR(CheckId(id));
+  PageData page;
+  DBMR_RETURN_IF_ERROR(engine_->Read(t, PageOf(id), &page));
+  const uint64_t bitmap = GetU64(page, 0);
+  if ((bitmap & (uint64_t{1} << SlotOf(id))) == 0) {
+    return Status::NotFound("record deleted or never inserted");
+  }
+  std::copy(record.begin(), record.end(),
+            page.begin() + static_cast<long>(SlotOffset(SlotOf(id))));
+  return engine_->Write(t, PageOf(id), page);
+}
+
+Status Relation::Erase(txn::TxnId t, RecordId id) {
+  DBMR_RETURN_IF_ERROR(CheckId(id));
+  PageData page;
+  DBMR_RETURN_IF_ERROR(engine_->Read(t, PageOf(id), &page));
+  uint64_t bitmap = GetU64(page, 0);
+  const uint64_t bit = uint64_t{1} << SlotOf(id);
+  if ((bitmap & bit) == 0) {
+    return Status::NotFound("record deleted or never inserted");
+  }
+  bitmap &= ~bit;
+  PutU64(page, 0, bitmap);
+  return engine_->Write(t, PageOf(id), page);
+}
+
+Status Relation::Scan(
+    txn::TxnId t,
+    const std::function<bool(RecordId, const std::vector<uint8_t>&)>&
+        visit) {
+  for (uint64_t page_idx = 0; page_idx < num_pages_; ++page_idx) {
+    PageData page;
+    DBMR_RETURN_IF_ERROR(engine_->Read(t, first_page_ + page_idx, &page));
+    const uint64_t bitmap = GetU64(page, 0);
+    if (bitmap == 0) continue;
+    for (size_t s = 0; s < slots_per_page_; ++s) {
+      if ((bitmap & (uint64_t{1} << s)) == 0) continue;
+      const size_t off = SlotOffset(s);
+      std::vector<uint8_t> record(
+          page.begin() + static_cast<long>(off),
+          page.begin() + static_cast<long>(off + record_size_));
+      if (!visit(page_idx * 64 + s, record)) return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> Relation::Count(txn::TxnId t) {
+  uint64_t n = 0;
+  DBMR_RETURN_IF_ERROR(Scan(t, [&n](RecordId, const std::vector<uint8_t>&) {
+    ++n;
+    return true;
+  }));
+  return n;
+}
+
+}  // namespace dbmr::store

@@ -1,0 +1,72 @@
+#include "store/virtual_disk.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/str.h"
+
+namespace dbmr::store {
+
+VirtualDisk::VirtualDisk(std::string name, uint64_t num_blocks,
+                         size_t block_size)
+    : name_(std::move(name)), block_size_(block_size) {
+  DBMR_CHECK(block_size >= 64);  // engines need room for headers
+  blocks_.assign(num_blocks, PageData(block_size, 0));
+}
+
+Status VirtualDisk::Read(BlockId b, PageData* out) const {
+  if (b >= blocks_.size()) {
+    return Status::OutOfRange(
+        StrFormat("disk %s: read of block %llu beyond %llu", name_.c_str(),
+                  static_cast<unsigned long long>(b),
+                  static_cast<unsigned long long>(blocks_.size())));
+  }
+  ++reads_;
+  *out = blocks_[b];
+  return Status::OK();
+}
+
+Status VirtualDisk::Write(BlockId b, const PageData& data) {
+  if (b >= blocks_.size()) {
+    return Status::OutOfRange(
+        StrFormat("disk %s: write of block %llu beyond %llu", name_.c_str(),
+                  static_cast<unsigned long long>(b),
+                  static_cast<unsigned long long>(blocks_.size())));
+  }
+  if (data.size() != block_size_) {
+    return Status::InvalidArgument(
+        StrFormat("disk %s: write size %zu != block size %zu", name_.c_str(),
+                  data.size(), block_size_));
+  }
+  const bool shared_exhausted = shared_counter_ != nullptr &&
+                                *shared_counter_ <= 0;
+  if (crashed_ || writes_remaining_ == 0 || shared_exhausted) {
+    if (!crashed_ && torn_mode_) {
+      // Tear exactly the first failing write, then fail cleanly.
+      size_t n = std::min(torn_prefix_, block_size_);
+      std::copy(data.begin(), data.begin() + static_cast<long>(n),
+                blocks_[b].begin());
+    }
+    crashed_ = true;
+    return Status::Aborted(
+        StrFormat("disk %s: injected crash", name_.c_str()));
+  }
+  if (writes_remaining_ > 0) --writes_remaining_;
+  if (shared_counter_ != nullptr) --*shared_counter_;
+  blocks_[b] = data;
+  ++writes_;
+  if (observer_) observer_(b, data);
+  return Status::OK();
+}
+
+void VirtualDisk::SetTornWriteMode(bool enabled, size_t torn_prefix_bytes) {
+  torn_mode_ = enabled;
+  torn_prefix_ = torn_prefix_bytes;
+}
+
+void VirtualDisk::ClearCrashState() {
+  crashed_ = false;
+  writes_remaining_ = -1;
+}
+
+}  // namespace dbmr::store

@@ -1,0 +1,107 @@
+// Crash-able stable-storage model.
+//
+// A VirtualDisk is an array of fixed-size blocks with synchronous reads and
+// writes.  It is the "disk" under the functional recovery engines: its
+// contents survive a simulated crash, while everything the engines keep in
+// RAM does not.
+//
+// Crash injection: tests arm the disk with FailAfterWrites(n); the first n
+// subsequent writes succeed, and every later write fails with
+// StatusCode::kAborted without modifying the block (an atomic page write
+// that never happened).  Optionally, the failing write can instead tear the
+// block — writing only a prefix — to exercise checksum-based torn-write
+// detection.
+//
+// A write observer hook lets tests audit write ordering (e.g. the WAL rule:
+// no data page reaches disk before its log record).
+
+#ifndef DBMR_STORE_VIRTUAL_DISK_H_
+#define DBMR_STORE_VIRTUAL_DISK_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "store/page.h"
+#include "util/status.h"
+
+namespace dbmr::store {
+
+/// Stable storage: an array of blocks that survives Crash().
+class VirtualDisk {
+ public:
+  /// Creates a disk of `num_blocks` zero-filled blocks of `block_size`
+  /// bytes.
+  VirtualDisk(std::string name, uint64_t num_blocks,
+              size_t block_size = kDefaultPageSize);
+
+  VirtualDisk(const VirtualDisk&) = delete;
+  VirtualDisk& operator=(const VirtualDisk&) = delete;
+
+  /// Reads block `b` into `out` (resized to block_size).
+  Status Read(BlockId b, PageData* out) const;
+
+  /// Writes block `b`.  `data` must be exactly block_size bytes.
+  /// Fails with kAborted once the injected crash point is reached.
+  Status Write(BlockId b, const PageData& data);
+
+  uint64_t num_blocks() const { return blocks_.size(); }
+  size_t block_size() const { return block_size_; }
+  const std::string& name() const { return name_; }
+
+  uint64_t reads() const { return reads_; }
+  uint64_t writes() const { return writes_; }
+  void ResetCounters() { reads_ = writes_ = 0; }
+
+  /// --- Crash injection ------------------------------------------------
+
+  /// Allows `n` more successful writes; the (n+1)-th and later writes fail.
+  /// Pass a negative value to disable injection (the default).
+  void FailAfterWrites(int64_t n) { writes_remaining_ = n; }
+
+  /// Shares a write budget across several disks: each successful write on
+  /// any participating disk decrements the counter, and once it would go
+  /// negative, writes fail ("crash after N writes anywhere").  Pass nullptr
+  /// to detach.
+  void SetSharedFailCounter(std::shared_ptr<int64_t> counter) {
+    shared_counter_ = std::move(counter);
+  }
+
+  /// If set, the first failing write tears the block: the first
+  /// `torn_prefix_bytes` bytes are written, the rest keeps its old content.
+  void SetTornWriteMode(bool enabled, size_t torn_prefix_bytes);
+
+  /// True once an injected failure has occurred.
+  bool crashed() const { return crashed_; }
+
+  /// Clears the injected-failure state so a recovered engine can write
+  /// again (disk contents are untouched — that is the point).
+  void ClearCrashState();
+
+  /// --- Observation ----------------------------------------------------
+
+  using WriteObserver =
+      std::function<void(BlockId block, const PageData& data)>;
+
+  /// Called after every successful write (not for failed/torn ones).
+  void SetWriteObserver(WriteObserver obs) { observer_ = std::move(obs); }
+
+ private:
+  std::string name_;
+  size_t block_size_;
+  std::vector<PageData> blocks_;
+  mutable uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+  int64_t writes_remaining_ = -1;  // < 0: no injection
+  std::shared_ptr<int64_t> shared_counter_;
+  bool crashed_ = false;
+  bool torn_mode_ = false;
+  size_t torn_prefix_ = 0;
+  WriteObserver observer_;
+};
+
+}  // namespace dbmr::store
+
+#endif  // DBMR_STORE_VIRTUAL_DISK_H_

@@ -1,0 +1,266 @@
+#include "txn/lock_manager.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace dbmr::txn {
+
+const char* LockModeName(LockMode mode) {
+  switch (mode) {
+    case LockMode::kShared:
+      return "S";
+    case LockMode::kExclusive:
+      return "X";
+  }
+  return "?";
+}
+
+bool LockManager::Compatible(const PageLock& pl, TxnId txn, LockMode mode) {
+  for (const auto& [holder, held_mode] : pl.holders) {
+    if (holder == txn) continue;  // own locks never conflict
+    if (mode == LockMode::kExclusive || held_mode == LockMode::kExclusive) {
+      return false;
+    }
+  }
+  return true;
+}
+
+AcquireResult LockManager::Acquire(TxnId txn, PageId page, LockMode mode,
+                                   GrantCallback on_grant) {
+  PageLock& pl = table_[page];
+
+  auto held_it = pl.holders.find(txn);
+  const bool already_holds = held_it != pl.holders.end();
+  if (already_holds) {
+    // Re-request in same or weaker mode: immediate.
+    if (held_it->second == LockMode::kExclusive ||
+        mode == LockMode::kShared) {
+      return AcquireResult::kGranted;
+    }
+    // S -> X upgrade.
+    if (Compatible(pl, txn, LockMode::kExclusive)) {
+      held_it->second = LockMode::kExclusive;
+      return AcquireResult::kGranted;
+    }
+    if (WouldDeadlock(txn, page, LockMode::kExclusive)) {
+      ++deadlocks_;
+      return AcquireResult::kDeadlock;
+    }
+    // Upgrades wait ahead of ordinary requests to avoid upgrade starvation.
+    pl.waiters.push_front(
+        Request{txn, LockMode::kExclusive, /*is_upgrade=*/true,
+                std::move(on_grant)});
+    waiting_on_[txn].insert(page);
+    ++waits_;
+    return AcquireResult::kWaiting;
+  }
+
+  // Fresh request: grant only if compatible AND nobody is already queued
+  // (FCFS, prevents writer starvation).
+  if (pl.waiters.empty() && Compatible(pl, txn, mode)) {
+    pl.holders.emplace(txn, mode);
+    held_[txn].insert(page);
+    return AcquireResult::kGranted;
+  }
+  if (WouldDeadlock(txn, page, mode)) {
+    ++deadlocks_;
+    return AcquireResult::kDeadlock;
+  }
+  pl.waiters.push_back(Request{txn, mode, false, std::move(on_grant)});
+  waiting_on_[txn].insert(page);
+  ++waits_;
+  return AcquireResult::kWaiting;
+}
+
+bool LockManager::TryAcquire(TxnId txn, PageId page, LockMode mode) {
+  PageLock& pl = table_[page];
+  auto held_it = pl.holders.find(txn);
+  if (held_it != pl.holders.end()) {
+    if (held_it->second == LockMode::kExclusive ||
+        mode == LockMode::kShared) {
+      return true;
+    }
+    if (Compatible(pl, txn, LockMode::kExclusive)) {
+      held_it->second = LockMode::kExclusive;
+      return true;
+    }
+    return false;
+  }
+  if (pl.waiters.empty() && Compatible(pl, txn, mode)) {
+    pl.holders.emplace(txn, mode);
+    held_[txn].insert(page);
+    return true;
+  }
+  if (pl.holders.empty() && pl.waiters.empty()) table_.erase(page);
+  return false;
+}
+
+Status LockManager::Release(TxnId txn, PageId page) {
+  auto it = table_.find(page);
+  if (it == table_.end() || it->second.holders.erase(txn) == 0) {
+    return Status::NotFound("lock not held");
+  }
+  auto held_it = held_.find(txn);
+  if (held_it != held_.end()) {
+    held_it->second.erase(page);
+    if (held_it->second.empty()) held_.erase(held_it);
+  }
+  PumpQueue(page);
+  return Status::OK();
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  // Drop queued requests first so PumpQueue never grants to a dying txn.
+  auto wait_it = waiting_on_.find(txn);
+  if (wait_it != waiting_on_.end()) {
+    for (PageId page : wait_it->second) {
+      auto it = table_.find(page);
+      if (it == table_.end()) continue;
+      auto& waiters = it->second.waiters;
+      waiters.erase(std::remove_if(waiters.begin(), waiters.end(),
+                                   [txn](const Request& r) {
+                                     return r.txn == txn;
+                                   }),
+                    waiters.end());
+    }
+    waiting_on_.erase(wait_it);
+  }
+
+  auto held_it = held_.find(txn);
+  if (held_it == held_.end()) return;
+  std::vector<PageId> pages(held_it->second.begin(), held_it->second.end());
+  held_.erase(held_it);
+  for (PageId page : pages) {
+    auto it = table_.find(page);
+    if (it == table_.end()) continue;
+    it->second.holders.erase(txn);
+    PumpQueue(page);
+  }
+}
+
+void LockManager::Reset() {
+  table_.clear();
+  held_.clear();
+  waiting_on_.clear();
+}
+
+void LockManager::PumpQueue(PageId page) {
+  auto it = table_.find(page);
+  if (it == table_.end()) return;
+  PageLock& pl = it->second;
+
+  std::vector<GrantCallback> callbacks;
+  while (!pl.waiters.empty()) {
+    Request& front = pl.waiters.front();
+    if (front.is_upgrade) {
+      if (!Compatible(pl, front.txn, LockMode::kExclusive)) break;
+      pl.holders[front.txn] = LockMode::kExclusive;
+      // The base lock may have been released while the upgrade waited;
+      // (re-)index the hold so ReleaseAll keeps working.
+      held_[front.txn].insert(page);
+    } else {
+      if (!Compatible(pl, front.txn, front.mode)) break;
+      // The transaction may already hold the page (e.g. an S grant raced
+      // ahead of this queued X request); never downgrade, and upgrade an
+      // existing hold when this request is exclusive.
+      auto [holder, inserted] = pl.holders.emplace(front.txn, front.mode);
+      if (!inserted && front.mode == LockMode::kExclusive) {
+        holder->second = LockMode::kExclusive;
+      }
+      held_[front.txn].insert(page);
+    }
+    auto waiting_it = waiting_on_.find(front.txn);
+    if (waiting_it != waiting_on_.end()) {
+      waiting_it->second.erase(page);
+      if (waiting_it->second.empty()) waiting_on_.erase(waiting_it);
+    }
+    if (front.on_grant) callbacks.push_back(std::move(front.on_grant));
+    pl.waiters.pop_front();
+  }
+  if (pl.holders.empty() && pl.waiters.empty()) table_.erase(it);
+
+  // Fire callbacks after the table is consistent; grants may re-enter.
+  for (auto& cb : callbacks) cb();
+}
+
+void LockManager::BlockersOf(TxnId txn, PageId page, LockMode mode,
+                             std::vector<TxnId>* out) const {
+  auto it = table_.find(page);
+  if (it == table_.end()) return;
+  const PageLock& pl = it->second;
+  for (const auto& [holder, held_mode] : pl.holders) {
+    if (holder == txn) continue;
+    if (mode == LockMode::kExclusive || held_mode == LockMode::kExclusive) {
+      out->push_back(holder);
+    }
+  }
+  // FCFS: we also wait behind every queued request (they will be granted
+  // first), so they are blockers too.
+  for (const auto& r : pl.waiters) {
+    if (r.txn != txn) out->push_back(r.txn);
+  }
+}
+
+bool LockManager::WouldDeadlock(TxnId waiter, PageId page,
+                                LockMode mode) const {
+  // DFS over the waits-for graph starting from the transactions `waiter`
+  // would block on; a path back to `waiter` is a cycle.
+  std::vector<TxnId> stack;
+  BlockersOf(waiter, page, mode, &stack);
+  std::unordered_set<TxnId> visited;
+  while (!stack.empty()) {
+    TxnId t = stack.back();
+    stack.pop_back();
+    if (t == waiter) return true;
+    if (!visited.insert(t).second) continue;
+    auto it = waiting_on_.find(t);
+    if (it == waiting_on_.end()) continue;
+    for (PageId p : it->second) {
+      auto tbl = table_.find(p);
+      if (tbl == table_.end()) continue;
+      // Mode t is waiting for on p:
+      LockMode wmode = LockMode::kShared;
+      for (const auto& r : tbl->second.waiters) {
+        if (r.txn == t) {
+          wmode = r.mode;
+          break;
+        }
+      }
+      BlockersOf(t, p, wmode, &stack);
+    }
+  }
+  return false;
+}
+
+bool LockManager::Holds(TxnId txn, PageId page, LockMode mode) const {
+  auto it = table_.find(page);
+  if (it == table_.end()) return false;
+  auto h = it->second.holders.find(txn);
+  if (h == it->second.holders.end()) return false;
+  return mode == LockMode::kShared || h->second == LockMode::kExclusive;
+}
+
+size_t LockManager::LockCount(TxnId txn) const {
+  auto it = held_.find(txn);
+  return it == held_.end() ? 0 : it->second.size();
+}
+
+size_t LockManager::TotalGranted() const {
+  size_t n = 0;
+  for (const auto& [page, pl] : table_) n += pl.holders.size();
+  return n;
+}
+
+size_t LockManager::TotalWaiting() const {
+  size_t n = 0;
+  for (const auto& [page, pl] : table_) n += pl.waiters.size();
+  return n;
+}
+
+std::vector<PageId> LockManager::HeldPages(TxnId txn) const {
+  auto it = held_.find(txn);
+  if (it == held_.end()) return {};
+  return std::vector<PageId>(it->second.begin(), it->second.end());
+}
+
+}  // namespace dbmr::txn

@@ -1,0 +1,21 @@
+// Common identifier types for transactions and pages.
+
+#ifndef DBMR_TXN_TYPES_H_
+#define DBMR_TXN_TYPES_H_
+
+#include <cstdint>
+
+namespace dbmr::txn {
+
+/// Transaction identifier; assigned monotonically by the scheduler.
+using TxnId = uint64_t;
+
+/// Logical page identifier, global across the database.
+using PageId = uint64_t;
+
+/// Sentinel for "no transaction".
+inline constexpr TxnId kNoTxn = 0;
+
+}  // namespace dbmr::txn
+
+#endif  // DBMR_TXN_TYPES_H_

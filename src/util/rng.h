@@ -1,0 +1,53 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic choices in the simulator and the workload generator draw
+// from Rng so that experiments are exactly reproducible from a seed.  The
+// generator is a 64-bit SplitMix64-seeded xoshiro256**, implemented here so
+// results are stable across standard-library versions (std::mt19937
+// distributions are not portable across implementations).
+
+#ifndef DBMR_UTIL_RNG_H_
+#define DBMR_UTIL_RNG_H_
+
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace dbmr {
+
+/// Deterministic, seedable random number generator.
+class Rng {
+ public:
+  /// Seeds the generator.  Two Rng instances with equal seeds produce
+  /// identical streams.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Returns the next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [lo, hi], inclusive.  Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double Exponential(double mean);
+
+  /// Derives an independent child generator; useful for giving each model
+  /// component its own stream so adding a component does not perturb others.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace dbmr
+
+#endif  // DBMR_UTIL_RNG_H_

@@ -1,0 +1,120 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.h"
+#include "util/str.h"
+
+namespace dbmr {
+
+void RunningStat::Add(double x) {
+  ++count_;
+  sum_ += x;
+  if (count_ == 1) {
+    min_ = max_ = x;
+    mean_ = x;
+    m2_ = 0.0;
+    return;
+  }
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStat::Merge(const RunningStat& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  double delta = other.mean_ - mean_;
+  int64_t n = count_ + other.count_;
+  double na = static_cast<double>(count_);
+  double nb = static_cast<double>(other.count_);
+  m2_ += other.m2_ + delta * delta * na * nb / static_cast<double>(n);
+  mean_ = (na * mean_ + nb * other.mean_) / static_cast<double>(n);
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ = n;
+}
+
+void RunningStat::Reset() { *this = RunningStat(); }
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+std::string RunningStat::ToString() const {
+  return StrFormat("n=%lld mean=%.3f min=%.3f max=%.3f sd=%.3f",
+                   static_cast<long long>(count_), mean(), min(), max(),
+                   stddev());
+}
+
+void TimeWeightedStat::Set(double now, double value) {
+  if (!started_) {
+    started_ = true;
+    start_time_ = last_time_ = now;
+    current_ = value;
+    return;
+  }
+  DBMR_CHECK(now >= last_time_);
+  weighted_sum_ += current_ * (now - last_time_);
+  last_time_ = now;
+  current_ = value;
+}
+
+double TimeWeightedStat::Average(double as_of) const {
+  if (!started_ || as_of <= start_time_) return current_;
+  double total = weighted_sum_ + current_ * (as_of - last_time_);
+  return total / (as_of - start_time_);
+}
+
+Histogram::Histogram(double lo, double hi, int buckets)
+    : lo_(lo), hi_(hi), buckets_(static_cast<size_t>(buckets), 0) {
+  DBMR_CHECK(hi > lo && buckets > 0);
+  width_ = (hi - lo) / buckets;
+}
+
+void Histogram::Add(double x) {
+  int idx = static_cast<int>((x - lo_) / width_);
+  idx = std::clamp(idx, 0, num_buckets() - 1);
+  ++buckets_[static_cast<size_t>(idx)];
+  ++count_;
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return lo_;
+  q = std::clamp(q, 0.0, 1.0);
+  double target = q * static_cast<double>(count_);
+  int64_t seen = 0;
+  for (int i = 0; i < num_buckets(); ++i) {
+    int64_t b = buckets_[static_cast<size_t>(i)];
+    if (seen + b >= target) {
+      double frac = b > 0 ? (target - static_cast<double>(seen)) /
+                                static_cast<double>(b)
+                          : 0.0;
+      return lo_ + (i + frac) * width_;
+    }
+    seen += b;
+  }
+  return hi_;
+}
+
+std::string Histogram::ToString() const {
+  std::string out;
+  for (int i = 0; i < num_buckets(); ++i) {
+    out += StrFormat("[%8.2f, %8.2f): %lld\n", lo_ + i * width_,
+                     lo_ + (i + 1) * width_,
+                     static_cast<long long>(buckets_[static_cast<size_t>(i)]));
+  }
+  return out;
+}
+
+}  // namespace dbmr

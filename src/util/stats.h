@@ -1,0 +1,90 @@
+// Statistics accumulators used by the simulator for metrics collection.
+
+#ifndef DBMR_UTIL_STATS_H_
+#define DBMR_UTIL_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dbmr {
+
+/// Accumulates count/mean/min/max/variance of observations (Welford).
+class RunningStat {
+ public:
+  void Add(double x);
+  void Merge(const RunningStat& other);
+  void Reset();
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two observations.
+  double variance() const;
+  double stddev() const;
+
+  std::string ToString() const;
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Tracks the time-weighted average of a piecewise-constant quantity, e.g.
+/// queue length or the number of busy servers.  Utilization of a device is
+/// the time-weighted average of its busy indicator.
+class TimeWeightedStat {
+ public:
+  /// Records that the tracked value becomes `value` at time `now`.
+  /// Times must be non-decreasing.
+  void Set(double now, double value);
+
+  /// Adds `delta` to the current value at time `now`.
+  void Add(double now, double delta) { Set(now, current_ + delta); }
+
+  /// Time-weighted mean over [first Set, as_of].
+  double Average(double as_of) const;
+
+  double current() const { return current_; }
+
+ private:
+  bool started_ = false;
+  double start_time_ = 0.0;
+  double last_time_ = 0.0;
+  double current_ = 0.0;
+  double weighted_sum_ = 0.0;
+};
+
+/// Fixed-bucket histogram over [lo, hi); out-of-range values clamp to the
+/// edge buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int buckets);
+
+  void Add(double x);
+  int64_t count() const { return count_; }
+  int64_t bucket_count(int i) const { return buckets_.at(i); }
+  int num_buckets() const { return static_cast<int>(buckets_.size()); }
+
+  /// Linear-interpolated quantile in [0,1].
+  double Quantile(double q) const;
+
+  std::string ToString() const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<int64_t> buckets_;
+  int64_t count_ = 0;
+};
+
+}  // namespace dbmr
+
+#endif  // DBMR_UTIL_STATS_H_

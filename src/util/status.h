@@ -1,0 +1,155 @@
+// Status / Result error-handling primitives, in the RocksDB/Arrow style.
+//
+// Library code in this project does not throw exceptions across module
+// boundaries; fallible operations return a Status (or a Result<T> carrying a
+// value).  Programming errors use DBMR_CHECK, which aborts with a message.
+
+#ifndef DBMR_UTIL_STATUS_H_
+#define DBMR_UTIL_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace dbmr {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kCorruption,
+  kAborted,   // e.g. transaction chosen as a deadlock victim
+  kInternal,
+};
+
+/// Returns a short human-readable name for a StatusCode.
+const char* StatusCodeName(StatusCode code);
+
+/// A lightweight success/error value.  Ok statuses allocate nothing.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A Status or a value of type T.  Accessing the value of an error Result is
+/// a checked fatal error.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}          // NOLINT(runtime/explicit)
+  Result(Status status) : v_(std::move(status)) {}   // NOLINT(runtime/explicit)
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    if (ok()) return kOk;
+    return std::get<Status>(v_);
+  }
+
+  T& value() {
+    CheckOk();
+    return std::get<T>(v_);
+  }
+  const T& value() const {
+    CheckOk();
+    return std::get<T>(v_);
+  }
+
+  T ValueOr(T fallback) const { return ok() ? std::get<T>(v_) : fallback; }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::fprintf(stderr, "Result::value() on error: %s\n",
+                   std::get<Status>(v_).ToString().c_str());
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> v_;
+};
+
+}  // namespace dbmr
+
+/// Aborts with a message when `cond` is false.  For programmer errors only.
+#define DBMR_CHECK(cond)                                                   \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "DBMR_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+/// Propagates a non-OK Status to the caller.
+#define DBMR_RETURN_IF_ERROR(expr)              \
+  do {                                          \
+    ::dbmr::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+#endif  // DBMR_UTIL_STATUS_H_

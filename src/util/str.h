@@ -1,0 +1,25 @@
+// Small string-formatting helpers shared across the library.
+
+#ifndef DBMR_UTIL_STR_H_
+#define DBMR_UTIL_STR_H_
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace dbmr {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Formats a double with `digits` digits after the decimal point.
+std::string FormatFixed(double value, int digits);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+}  // namespace dbmr
+
+#endif  // DBMR_UTIL_STR_H_

@@ -1,0 +1,76 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/str.h"
+
+namespace dbmr {
+
+void TextTable::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  rows_.push_back(Row{false, std::move(row)});
+}
+
+void TextTable::AddSeparator() { rows_.push_back(Row{true, {}}); }
+
+std::string TextTable::Render() const {
+  size_t cols = header_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.cells.size());
+  std::vector<size_t> width(cols, 0);
+  auto measure = [&](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      width[i] = std::max(width[i], cells[i].size());
+    }
+  };
+  measure(header_);
+  for (const auto& r : rows_) {
+    if (!r.separator) measure(r.cells);
+  }
+
+  auto rule = [&](char corner, char fill) {
+    std::string line(1, corner);
+    for (size_t i = 0; i < cols; ++i) {
+      line += std::string(width[i] + 2, fill);
+      line += corner;
+    }
+    line += '\n';
+    return line;
+  };
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (size_t i = 0; i < cols; ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string();
+      line += ' ';
+      line += c;
+      line += std::string(width[i] - c.size() + 1, ' ');
+      line += '|';
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string out;
+  if (!title_.empty()) out += title_ + "\n";
+  out += rule('+', '-');
+  if (!header_.empty()) {
+    out += render_row(header_);
+    out += rule('+', '=');
+  }
+  for (const auto& r : rows_) {
+    out += r.separator ? rule('+', '-') : render_row(r.cells);
+  }
+  out += rule('+', '-');
+  return out;
+}
+
+void TextTable::Print() const { std::fputs(Render().c_str(), stdout); }
+
+std::string PaperVsMeasured(double paper, double measured, int digits) {
+  return StrFormat("%.*f / %.*f", digits, paper, digits, measured);
+}
+
+}  // namespace dbmr

@@ -1,0 +1,52 @@
+// ASCII table rendering for benchmark / experiment output.
+//
+// Every bench binary prints its paper table with the same rows and columns
+// as the publication, so results can be compared cell-by-cell.
+
+#ifndef DBMR_UTIL_TABLE_H_
+#define DBMR_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace dbmr {
+
+/// A simple column-aligned text table.
+class TextTable {
+ public:
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the column headers; defines the column count.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a data row.  Rows shorter than the header are padded with "".
+  void AddRow(std::vector<std::string> row);
+
+  /// Appends a horizontal separator line.
+  void AddSeparator();
+
+  /// Renders the table with box-drawing rules.
+  std::string Render() const;
+
+  /// Renders and writes to stdout.
+  void Print() const;
+
+  const std::string& title() const { return title_; }
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+/// Helper for "paper X.X / measured Y.Y" cells used in EXPERIMENTS output.
+std::string PaperVsMeasured(double paper, double measured, int digits = 1);
+
+}  // namespace dbmr
+
+#endif  // DBMR_UTIL_TABLE_H_

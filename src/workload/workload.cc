@@ -1,0 +1,78 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+
+namespace dbmr::workload {
+
+const char* ReferenceKindName(ReferenceKind kind) {
+  switch (kind) {
+    case ReferenceKind::kRandom:
+      return "random";
+    case ReferenceKind::kSequential:
+      return "sequential";
+  }
+  return "unknown";
+}
+
+std::vector<TransactionSpec> GenerateWorkload(const WorkloadOptions& options) {
+  DBMR_CHECK(options.num_transactions > 0);
+  DBMR_CHECK(options.min_pages >= 1 &&
+             options.max_pages >= options.min_pages);
+  DBMR_CHECK(options.db_pages >=
+             static_cast<uint64_t>(options.max_pages));
+  Rng rng(options.seed);
+  std::vector<TransactionSpec> txns;
+  txns.reserve(static_cast<size_t>(options.num_transactions));
+
+  for (int i = 0; i < options.num_transactions; ++i) {
+    TransactionSpec t;
+    t.id = static_cast<txn::TxnId>(i + 1);
+    const int n = static_cast<int>(
+        rng.UniformInt(options.min_pages, options.max_pages));
+    t.reads.reserve(static_cast<size_t>(n));
+
+    if (options.kind == ReferenceKind::kSequential) {
+      const uint64_t start = static_cast<uint64_t>(rng.UniformInt(
+          0, static_cast<int64_t>(options.db_pages) - n));
+      for (int k = 0; k < n; ++k) {
+        t.reads.push_back(start + static_cast<uint64_t>(k));
+      }
+    } else {
+      std::unordered_set<uint64_t> seen;
+      const auto hot_pages = static_cast<int64_t>(
+          static_cast<double>(options.db_pages) * options.hot_fraction);
+      while (t.reads.size() < static_cast<size_t>(n)) {
+        uint64_t p;
+        if (hot_pages > 0 && rng.Bernoulli(options.hot_access_prob)) {
+          p = static_cast<uint64_t>(rng.UniformInt(0, hot_pages - 1));
+        } else {
+          p = static_cast<uint64_t>(rng.UniformInt(
+              0, static_cast<int64_t>(options.db_pages) - 1));
+        }
+        if (seen.insert(p).second) t.reads.push_back(p);
+      }
+    }
+
+    // Write set: a random subset, write_fraction of the reads (rounded).
+    const auto num_writes = static_cast<size_t>(
+        static_cast<double>(n) * options.write_fraction + 0.5);
+    std::vector<uint64_t> pool = t.reads;
+    // Fisher-Yates prefix shuffle for the sample.
+    for (size_t k = 0; k < num_writes && k < pool.size(); ++k) {
+      size_t j = static_cast<size_t>(rng.UniformInt(
+          static_cast<int64_t>(k), static_cast<int64_t>(pool.size()) - 1));
+      std::swap(pool[k], pool[j]);
+      t.write_set.insert(pool[k]);
+    }
+    txns.push_back(std::move(t));
+  }
+  return txns;
+}
+
+uint64_t TotalPages(const std::vector<TransactionSpec>& txns) {
+  uint64_t total = 0;
+  for (const auto& t : txns) total += t.num_reads() + t.num_writes();
+  return total;
+}
+
+}  // namespace dbmr::workload

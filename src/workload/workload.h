@@ -1,0 +1,68 @@
+// Transaction workload generation (paper §4).
+//
+// "A transaction was modeled by the number of pages it accesses.  This
+//  value was assumed to be a uniform random variable in the range of 1 to
+//  250 pages.  Both random and sequential reference strings ... The write
+//  set of a transaction was assumed to be a random subset of its read set
+//  and was taken to be 20% of the pages read."
+
+#ifndef DBMR_WORKLOAD_WORKLOAD_H_
+#define DBMR_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "txn/types.h"
+#include "util/rng.h"
+
+namespace dbmr::workload {
+
+/// Reference-string shape.
+enum class ReferenceKind {
+  kRandom,
+  kSequential,
+};
+
+const char* ReferenceKindName(ReferenceKind kind);
+
+/// One generated transaction.
+struct TransactionSpec {
+  txn::TxnId id = 0;
+  /// Ordered read reference string (logical page ids).
+  std::vector<uint64_t> reads;
+  /// Pages that are updated after being read (subset of `reads`).
+  std::unordered_set<uint64_t> write_set;
+
+  size_t num_reads() const { return reads.size(); }
+  size_t num_writes() const { return write_set.size(); }
+};
+
+/// Workload parameters.
+struct WorkloadOptions {
+  int num_transactions = 100;
+  int min_pages = 1;
+  int max_pages = 250;
+  double write_fraction = 0.2;
+  ReferenceKind kind = ReferenceKind::kRandom;
+  /// Logical database size in pages.
+  uint64_t db_pages = 100000;
+  /// Extension beyond the paper: access skew for random reference
+  /// strings.  With probability `hot_access_prob` a reference lands in the
+  /// first `hot_fraction` of the database (e.g. 0.2/0.8 gives the classic
+  /// 80/20 rule).  0 disables skew (the paper's uniform model).
+  double hot_fraction = 0.0;
+  double hot_access_prob = 0.0;
+  uint64_t seed = 1;
+};
+
+/// Generates a deterministic workload from the options.
+std::vector<TransactionSpec> GenerateWorkload(const WorkloadOptions& options);
+
+/// Total pages read plus pages written across the workload — the
+/// denominator of the paper's "execution time per page" metric.
+uint64_t TotalPages(const std::vector<TransactionSpec>& txns);
+
+}  // namespace dbmr::workload
+
+#endif  // DBMR_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,142 @@
+// Unit tests for the LRU buffer pool.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "store/buffer_pool.h"
+
+namespace dbmr::store {
+namespace {
+
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  BufferPoolTest() { Rebuild(2); }
+
+  void Rebuild(size_t capacity) {
+    pool_ = std::make_unique<BufferPool>(
+        capacity,
+        [this](txn::PageId p, PageData* out) {
+          ++fetches_;
+          auto it = backing_.find(p);
+          *out = it != backing_.end() ? it->second : PageData(16, 0);
+          return Status::OK();
+        },
+        [this](txn::PageId p, const PageData& d) {
+          if (veto_flush_) return Status::Aborted("flush vetoed");
+          backing_[p] = d;
+          flushes_.push_back(p);
+          return Status::OK();
+        });
+  }
+
+  std::map<txn::PageId, PageData> backing_;
+  std::vector<txn::PageId> flushes_;
+  int fetches_ = 0;
+  bool veto_flush_ = false;
+  std::unique_ptr<BufferPool> pool_;
+};
+
+TEST_F(BufferPoolTest, GetFaultsInOnce) {
+  backing_[5] = PageData(16, 7);
+  PageData out;
+  ASSERT_TRUE(pool_->Get(5, &out).ok());
+  EXPECT_EQ(out, PageData(16, 7));
+  ASSERT_TRUE(pool_->Get(5, &out).ok());
+  EXPECT_EQ(fetches_, 1);
+  EXPECT_EQ(pool_->hits(), 1u);
+  EXPECT_EQ(pool_->misses(), 1u);
+}
+
+TEST_F(BufferPoolTest, PutMarksDirtyAndReadsBack) {
+  ASSERT_TRUE(pool_->Put(3, PageData(16, 9)).ok());
+  EXPECT_TRUE(pool_->IsDirty(3));
+  PageData out;
+  ASSERT_TRUE(pool_->Get(3, &out).ok());
+  EXPECT_EQ(out, PageData(16, 9));
+  EXPECT_EQ(fetches_, 0);  // never read from disk
+}
+
+TEST_F(BufferPoolTest, EvictionWritesBackDirtyLru) {
+  ASSERT_TRUE(pool_->Put(1, PageData(16, 1)).ok());
+  ASSERT_TRUE(pool_->Put(2, PageData(16, 2)).ok());
+  ASSERT_TRUE(pool_->Put(3, PageData(16, 3)).ok());  // evicts page 1
+  EXPECT_EQ(flushes_, (std::vector<txn::PageId>{1}));
+  EXPECT_FALSE(pool_->Contains(1));
+  EXPECT_EQ(backing_[1], PageData(16, 1));
+  EXPECT_EQ(pool_->evictions(), 1u);
+}
+
+TEST_F(BufferPoolTest, CleanEvictionSkipsFlush) {
+  backing_[1] = PageData(16, 1);
+  backing_[2] = PageData(16, 2);
+  PageData out;
+  ASSERT_TRUE(pool_->Get(1, &out).ok());
+  ASSERT_TRUE(pool_->Get(2, &out).ok());
+  ASSERT_TRUE(pool_->Get(3, &out).ok());  // evicts clean page 1
+  EXPECT_TRUE(flushes_.empty());
+}
+
+TEST_F(BufferPoolTest, LruOrderRespectsTouches) {
+  ASSERT_TRUE(pool_->Put(1, PageData(16, 1)).ok());
+  ASSERT_TRUE(pool_->Put(2, PageData(16, 2)).ok());
+  PageData out;
+  ASSERT_TRUE(pool_->Get(1, &out).ok());               // 1 now MRU
+  ASSERT_TRUE(pool_->Put(3, PageData(16, 3)).ok());    // evicts 2
+  EXPECT_TRUE(pool_->Contains(1));
+  EXPECT_FALSE(pool_->Contains(2));
+}
+
+TEST_F(BufferPoolTest, FlushVetoPropagates) {
+  ASSERT_TRUE(pool_->Put(1, PageData(16, 1)).ok());
+  ASSERT_TRUE(pool_->Put(2, PageData(16, 2)).ok());
+  veto_flush_ = true;
+  EXPECT_TRUE(pool_->Put(3, PageData(16, 3)).IsAborted());
+}
+
+TEST_F(BufferPoolTest, FlushPageAndFlushAll) {
+  ASSERT_TRUE(pool_->Put(1, PageData(16, 1)).ok());
+  ASSERT_TRUE(pool_->Put(2, PageData(16, 2)).ok());
+  ASSERT_TRUE(pool_->FlushPage(1).ok());
+  EXPECT_FALSE(pool_->IsDirty(1));
+  EXPECT_TRUE(pool_->IsDirty(2));
+  ASSERT_TRUE(pool_->FlushAll().ok());
+  EXPECT_FALSE(pool_->IsDirty(2));
+  // Flushing a clean or absent page is a no-op.
+  ASSERT_TRUE(pool_->FlushPage(1).ok());
+  ASSERT_TRUE(pool_->FlushPage(99).ok());
+  EXPECT_EQ(flushes_.size(), 2u);
+}
+
+TEST_F(BufferPoolTest, DiscardDropsWithoutFlush) {
+  ASSERT_TRUE(pool_->Put(1, PageData(16, 1)).ok());
+  pool_->Discard(1);
+  EXPECT_FALSE(pool_->Contains(1));
+  EXPECT_TRUE(flushes_.empty());
+  // Re-reading sees the (unwritten) backing copy.
+  PageData out;
+  ASSERT_TRUE(pool_->Get(1, &out).ok());
+  EXPECT_EQ(out, PageData(16, 0));
+}
+
+TEST_F(BufferPoolTest, DiscardAllEmptiesPool) {
+  ASSERT_TRUE(pool_->Put(1, PageData(16, 1)).ok());
+  ASSERT_TRUE(pool_->Put(2, PageData(16, 2)).ok());
+  pool_->DiscardAll();
+  EXPECT_EQ(pool_->size(), 0u);
+  EXPECT_TRUE(flushes_.empty());
+}
+
+TEST_F(BufferPoolTest, CapacityOneThrashes) {
+  Rebuild(1);
+  PageData out;
+  ASSERT_TRUE(pool_->Get(1, &out).ok());
+  ASSERT_TRUE(pool_->Get(2, &out).ok());
+  ASSERT_TRUE(pool_->Get(1, &out).ok());
+  EXPECT_EQ(fetches_, 3);
+  EXPECT_EQ(pool_->evictions(), 2u);
+}
+
+}  // namespace
+}  // namespace dbmr::store

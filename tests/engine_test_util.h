@@ -1,0 +1,233 @@
+// Shared correctness harness for the functional page-store engines.
+//
+// Every recovery mechanism must satisfy the same contract (paper §3:
+// "insuring that recovery can still be performed correctly"):
+//
+//   durability  — a transaction whose Commit() returned OK is fully visible
+//                 after any later crash + recovery;
+//   atomicity   — a transaction that aborted, or was active at the crash,
+//                 leaves no trace;  a transaction whose Commit() failed
+//                 mid-crash may surface either entirely or not at all,
+//                 never partially.
+//
+// The harness runs a randomized page workload against a reference model
+// (an in-memory map of committed page images) and checks the contract,
+// optionally crashing after a budgeted number of physical writes.
+
+#ifndef DBMR_TESTS_ENGINE_TEST_UTIL_H_
+#define DBMR_TESTS_ENGINE_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "store/page_engine.h"
+#include "util/rng.h"
+
+namespace dbmr::store::testing {
+
+/// A page image keyed by page id; absent pages are all-zero.
+using ReferenceState = std::map<txn::PageId, PageData>;
+
+inline PageData ExpectedImage(const ReferenceState& ref, txn::PageId page,
+                              size_t payload_size) {
+  auto it = ref.find(page);
+  return it != ref.end() ? it->second : PageData(payload_size, 0);
+}
+
+/// Reads every page the reference knows about (plus page 0) through a
+/// fresh transaction and asserts it matches.
+inline void VerifyMatchesReference(PageEngine* e, const ReferenceState& ref) {
+  auto t = e->Begin();
+  ASSERT_TRUE(t.ok());
+  for (const auto& [page, want] : ref) {
+    PageData got;
+    ASSERT_TRUE(e->Read(*t, page, &got).ok())
+        << e->name() << " page " << page;
+    ASSERT_EQ(got, want) << e->name() << " page " << page;
+  }
+  ASSERT_TRUE(e->Commit(*t).ok());
+}
+
+/// One randomized transaction: writes `num_writes` random pages with
+/// deterministic content derived from (txn nonce, page).
+struct TxnPlan {
+  std::vector<std::pair<txn::PageId, PageData>> writes;
+};
+
+inline TxnPlan MakePlan(Rng& rng, uint64_t nonce, uint64_t num_pages,
+                        size_t payload, int num_writes) {
+  TxnPlan plan;
+  for (int i = 0; i < num_writes; ++i) {
+    txn::PageId page = static_cast<txn::PageId>(
+        rng.UniformInt(0, static_cast<int64_t>(num_pages) - 1));
+    PageData data(payload, 0);
+    for (size_t b = 0; b < payload; ++b) {
+      data[b] = static_cast<uint8_t>((nonce * 131 + page * 31 + b) & 0xFF);
+    }
+    plan.writes.emplace_back(page, std::move(data));
+  }
+  return plan;
+}
+
+/// Runs `rounds` sequential transactions with random commits and aborts,
+/// interleaved with clean crashes (no write failures), checking the
+/// reference after every recovery.
+inline void RunRandomWorkload(PageEngine* e, uint64_t seed, int rounds,
+                              double abort_prob = 0.3,
+                              double crash_prob = 0.15) {
+  Rng rng(seed);
+  ReferenceState ref;
+  const uint64_t pages = e->num_pages();
+  const size_t payload = e->payload_size();
+
+  for (int round = 0; round < rounds; ++round) {
+    TxnPlan plan = MakePlan(rng, static_cast<uint64_t>(round) + 1, pages,
+                            payload, static_cast<int>(rng.UniformInt(1, 6)));
+    auto t = e->Begin();
+    ASSERT_TRUE(t.ok());
+    bool doomed = false;
+    for (auto& [page, data] : plan.writes) {
+      Status st = e->Write(*t, page, data);
+      if (st.IsAborted()) {  // lock conflict under no-wait; give up
+        ASSERT_TRUE(e->Abort(*t).ok());
+        doomed = true;
+        break;
+      }
+      ASSERT_TRUE(st.ok()) << st.ToString();
+    }
+    if (doomed) continue;
+
+    double coin = rng.UniformDouble();
+    if (coin < abort_prob) {
+      ASSERT_TRUE(e->Abort(*t).ok());
+    } else {
+      ASSERT_TRUE(e->Commit(*t).ok());
+      for (auto& [page, data] : plan.writes) ref[page] = data;
+    }
+
+    if (rng.UniformDouble() < crash_prob) {
+      e->Crash();
+      ASSERT_TRUE(e->Recover().ok());
+    }
+    if (round % 7 == 0) {
+      VerifyMatchesReference(e, ref);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+  VerifyMatchesReference(e, ref);
+}
+
+/// Crash-everywhere sweep.  The caller supplies:
+///   * `arm(budget)`   — allow `budget` more physical writes, then fail;
+///   * `disarm()`      — clear injection so recovery can write freely.
+///
+/// For each budget 0,1,2,... the harness replays a deterministic workload
+/// until an injected failure surfaces, then recovers and checks the
+/// all-or-nothing contract.  Stops when a full run completes with no
+/// failure (every crash point has been exercised).
+inline void RunCrashEverywhere(PageEngine* e,
+                               const std::function<void(int64_t)>& arm,
+                               const std::function<void()>& disarm,
+                               uint64_t seed, int txns_per_run = 12) {
+  const uint64_t pages = e->num_pages();
+  const size_t payload = e->payload_size();
+
+  for (int64_t budget = 0; budget < 100000; ++budget) {
+    disarm();
+    ASSERT_TRUE(e->Format().ok());
+    ASSERT_TRUE(e->Recover().ok());
+    ReferenceState ref;
+    arm(budget);
+
+    bool crashed = false;
+    // Outcome bookkeeping for the transaction whose commit was in flight.
+    std::vector<std::pair<txn::PageId, PageData>> in_doubt;
+    ReferenceState ref_if_committed;
+
+    Rng rng(seed);
+    for (int i = 0; i < txns_per_run && !crashed; ++i) {
+      TxnPlan plan = MakePlan(rng, static_cast<uint64_t>(i) + 1, pages,
+                              payload,
+                              static_cast<int>(rng.UniformInt(1, 5)));
+      auto t = e->Begin();
+      ASSERT_TRUE(t.ok());
+      for (auto& [page, data] : plan.writes) {
+        Status st = e->Write(*t, page, data);
+        if (st.IsAborted()) {
+          crashed = true;
+          break;
+        }
+        ASSERT_TRUE(st.ok()) << st.ToString();
+      }
+      if (crashed) break;
+
+      const bool do_abort = rng.UniformDouble() < 0.25;
+      if (do_abort) {
+        Status st = e->Abort(*t);
+        if (!st.ok()) {
+          crashed = true;
+          break;
+        }
+      } else {
+        Status st = e->Commit(*t);
+        if (!st.ok()) {
+          // Commit was cut down mid-flight: both outcomes are legal.
+          crashed = true;
+          ref_if_committed = ref;
+          std::map<txn::PageId, PageData> final_writes;
+          for (auto& [page, data] : plan.writes) final_writes[page] = data;
+          for (auto& [page, data] : final_writes) {
+            ref_if_committed[page] = data;
+            in_doubt.emplace_back(page, data);
+          }
+          break;
+        }
+        for (auto& [page, data] : plan.writes) ref[page] = data;
+      }
+    }
+
+    if (!crashed) {
+      // The whole workload fit under this budget; sweep complete.
+      disarm();
+      VerifyMatchesReference(e, ref);
+      return;  // sweep complete
+    }
+
+    disarm();
+    e->Crash();
+    ASSERT_TRUE(e->Recover().ok()) << e->name() << " budget " << budget;
+
+    if (in_doubt.empty()) {
+      VerifyMatchesReference(e, ref);
+      if (::testing::Test::HasFatalFailure()) {
+        FAIL() << "state mismatch after recovery at write budget " << budget;
+      }
+    } else {
+      // All-or-nothing: the in-doubt transaction's pages must collectively
+      // match either the pre-commit or post-commit reference.
+      auto probe = e->Begin();
+      ASSERT_TRUE(probe.ok());
+      PageData got;
+      ASSERT_TRUE(e->Read(*probe, in_doubt[0].first, &got).ok());
+      const bool committed =
+          got == ExpectedImage(ref_if_committed, in_doubt[0].first, payload) &&
+          got != ExpectedImage(ref, in_doubt[0].first, payload);
+      ASSERT_TRUE(e->Commit(*probe).ok());
+      VerifyMatchesReference(e, committed ? ref_if_committed : ref);
+      if (::testing::Test::HasFatalFailure()) {
+        FAIL() << "in-doubt transaction not atomic at write budget "
+               << budget;
+      }
+    }
+  }
+  FAIL() << "crash sweep did not terminate";
+}
+
+}  // namespace dbmr::store::testing
+
+#endif  // DBMR_TESTS_ENGINE_TEST_UTIL_H_

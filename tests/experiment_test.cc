@@ -1,0 +1,82 @@
+// Tests for the experiment harness (core API).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/experiment.h"
+#include "machine/machine.h"
+
+namespace dbmr::core {
+namespace {
+
+TEST(ExperimentTest, StandardSetupMatchesPaperBaseline) {
+  auto s = StandardSetup(Configuration::kConvRandom);
+  EXPECT_EQ(s.machine.num_query_processors, 25);
+  EXPECT_EQ(s.machine.cache_frames, 100);
+  EXPECT_EQ(s.machine.num_data_disks, 2);
+  EXPECT_EQ(s.machine.disk_kind, hw::DiskKind::kConventional);
+  EXPECT_EQ(s.workload.kind, workload::ReferenceKind::kRandom);
+  EXPECT_EQ(s.workload.min_pages, 1);
+  EXPECT_EQ(s.workload.max_pages, 250);
+  EXPECT_DOUBLE_EQ(s.workload.write_fraction, 0.2);
+}
+
+TEST(ExperimentTest, ConfigurationsMapToDiskAndReference) {
+  EXPECT_EQ(StandardSetup(Configuration::kParRandom).machine.disk_kind,
+            hw::DiskKind::kParallelAccess);
+  EXPECT_EQ(StandardSetup(Configuration::kParRandom).workload.kind,
+            workload::ReferenceKind::kRandom);
+  EXPECT_EQ(StandardSetup(Configuration::kConvSeq).machine.disk_kind,
+            hw::DiskKind::kConventional);
+  EXPECT_EQ(StandardSetup(Configuration::kConvSeq).workload.kind,
+            workload::ReferenceKind::kSequential);
+}
+
+TEST(ExperimentTest, ConfigurationNames) {
+  EXPECT_STREQ(ConfigurationName(Configuration::kConvRandom),
+               "Conventional-Random");
+  EXPECT_STREQ(ConfigurationName(Configuration::kParSeq),
+               "Parallel-Sequential");
+}
+
+TEST(ExperimentTest, Table3SetupScalesTheMachine) {
+  auto s = Table3Setup();
+  EXPECT_EQ(s.machine.num_query_processors, 75);
+  EXPECT_EQ(s.machine.cache_frames, 150);
+  EXPECT_EQ(s.machine.disk_kind, hw::DiskKind::kParallelAccess);
+  EXPECT_EQ(s.workload.kind, workload::ReferenceKind::kSequential);
+}
+
+TEST(ExperimentTest, RunWithProducesMetrics) {
+  auto r = RunWith(StandardSetup(Configuration::kConvRandom, 10),
+                   std::make_unique<machine::BareArch>());
+  EXPECT_EQ(r.arch_name, "bare");
+  EXPECT_GT(r.exec_time_per_page_ms, 0.0);
+  EXPECT_EQ(r.completion_ms.count(), 10);
+  EXPECT_EQ(r.data_disk_util.size(), 2u);
+}
+
+TEST(ExperimentTest, RunAllConfigsCoversAllFour) {
+  auto results = RunAllConfigs(
+      [] { return std::make_unique<machine::BareArch>(); }, 10);
+  ASSERT_EQ(results.size(), 4u);
+  for (const auto& r : results) {
+    EXPECT_EQ(r.completion_ms.count(), 10);
+  }
+  // Order follows kAllConfigurations: the last is Parallel-Sequential,
+  // the fastest configuration.
+  EXPECT_LT(results[3].exec_time_per_page_ms,
+            results[0].exec_time_per_page_ms);
+}
+
+TEST(ExperimentTest, SeedChangesWorkload) {
+  auto a = RunWith(StandardSetup(Configuration::kConvRandom, 10, 1),
+                   std::make_unique<machine::BareArch>());
+  auto b = RunWith(StandardSetup(Configuration::kConvRandom, 10, 2),
+                   std::make_unique<machine::BareArch>());
+  EXPECT_NE(a.total_time_ms, b.total_time_ms);
+}
+
+}  // namespace
+}  // namespace dbmr::core

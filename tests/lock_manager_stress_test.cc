@@ -1,0 +1,167 @@
+// Randomized stress test of the lock manager: thousands of interleaved
+// acquire/release operations with continuously checked invariants.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "txn/lock_manager.h"
+#include "util/rng.h"
+
+namespace dbmr::txn {
+namespace {
+
+constexpr int kTxns = 12;
+constexpr PageId kPages = 20;
+
+/// Tracks what each transaction should currently hold, mirroring grants.
+class Oracle {
+ public:
+  void Granted(TxnId t, PageId p, LockMode m) {
+    auto& mode = held_[t][p];
+    if (m == LockMode::kExclusive) mode = LockMode::kExclusive;
+  }
+  void Released(TxnId t, PageId p) { held_[t].erase(p); }
+  void ReleasedAll(TxnId t) { held_.erase(t); }
+
+  /// Core safety invariant: an exclusive holder excludes all others.
+  void CheckMutualExclusion() const {
+    for (PageId p = 0; p < kPages; ++p) {
+      int holders = 0;
+      int exclusive = 0;
+      for (const auto& [t, pages] : held_) {
+        auto it = pages.find(p);
+        if (it == pages.end()) continue;
+        ++holders;
+        if (it->second == LockMode::kExclusive) ++exclusive;
+      }
+      ASSERT_LE(exclusive, 1) << "two exclusive holders on page " << p;
+      if (exclusive == 1) {
+        ASSERT_EQ(holders, 1) << "exclusive plus shared on page " << p;
+      }
+    }
+  }
+
+  const std::map<TxnId, std::map<PageId, LockMode>>& held() const {
+    return held_;
+  }
+
+ private:
+  std::map<TxnId, std::map<PageId, LockMode>> held_;
+};
+
+TEST(LockManagerStressTest, RandomizedInvariantSweep) {
+  Rng rng(20240707);
+  LockManager lm;
+  Oracle oracle;
+  // Outstanding waiting requests: (txn, page, mode) granted via callback.
+  struct Waiting {
+    TxnId t;
+    PageId p;
+    LockMode m;
+    bool granted = false;
+  };
+  std::vector<std::unique_ptr<Waiting>> waits;
+
+  int granted_now = 0;
+  int waited = 0;
+  int deadlocked = 0;
+
+  for (int step = 0; step < 20000; ++step) {
+    TxnId t = static_cast<TxnId>(rng.UniformInt(1, kTxns));
+    double coin = rng.UniformDouble();
+    if (coin < 0.55) {
+      PageId p = static_cast<PageId>(rng.UniformInt(0, kPages - 1));
+      LockMode m = rng.Bernoulli(0.3) ? LockMode::kExclusive
+                                      : LockMode::kShared;
+      auto w = std::make_unique<Waiting>();
+      w->t = t;
+      w->p = p;
+      w->m = m;
+      Waiting* wp = w.get();
+      auto res = lm.Acquire(t, p, m, [wp] { wp->granted = true; });
+      switch (res) {
+        case AcquireResult::kGranted:
+          oracle.Granted(t, p, m);
+          ++granted_now;
+          break;
+        case AcquireResult::kWaiting:
+          waits.push_back(std::move(w));
+          ++waited;
+          break;
+        case AcquireResult::kDeadlock:
+          // Victim policy: requester releases everything.
+          lm.ReleaseAll(t);
+          oracle.ReleasedAll(t);
+          ++deadlocked;
+          break;
+      }
+    } else if (coin < 0.8) {
+      // Release one held lock, if any.
+      auto it = oracle.held().find(t);
+      if (it != oracle.held().end() && !it->second.empty()) {
+        PageId p = it->second.begin()->first;
+        ASSERT_TRUE(lm.Release(t, p).ok());
+        oracle.Released(t, p);
+      }
+    } else {
+      lm.ReleaseAll(t);
+      oracle.ReleasedAll(t);
+    }
+
+    // Collect deferred grants (they may fire during releases above).
+    for (auto& w : waits) {
+      if (w->granted) {
+        oracle.Granted(w->t, w->p, w->m);
+        w->granted = false;
+        w->t = kNoTxn;  // consumed
+      }
+    }
+    waits.erase(std::remove_if(waits.begin(), waits.end(),
+                               [](const auto& w) {
+                                 return w->t == kNoTxn;
+                               }),
+                waits.end());
+
+    oracle.CheckMutualExclusion();
+    // Cross-check a sample of the oracle against the lock manager.
+    for (const auto& [txn, pages] : oracle.held()) {
+      for (const auto& [page, mode] : pages) {
+        ASSERT_TRUE(lm.Holds(txn, page, LockMode::kShared))
+            << "txn " << txn << " page " << page;
+        if (mode == LockMode::kExclusive) {
+          ASSERT_TRUE(lm.Holds(txn, page, LockMode::kExclusive));
+        }
+      }
+    }
+  }
+  // The sweep must have exercised all three outcomes.
+  EXPECT_GT(granted_now, 1000);
+  EXPECT_GT(waited, 100);
+  EXPECT_GT(deadlocked, 0);
+}
+
+TEST(LockManagerStressTest, DrainAlwaysPossible) {
+  // After any prefix of random operations, releasing every transaction
+  // empties the table (no stuck queue entries).
+  Rng rng(99);
+  for (int round = 0; round < 50; ++round) {
+    LockManager lm;
+    for (int step = 0; step < 300; ++step) {
+      TxnId t = static_cast<TxnId>(rng.UniformInt(1, 6));
+      PageId p = static_cast<PageId>(rng.UniformInt(0, 5));
+      LockMode m = rng.Bernoulli(0.5) ? LockMode::kExclusive
+                                      : LockMode::kShared;
+      auto res = lm.Acquire(t, p, m, [] {});
+      if (res == AcquireResult::kDeadlock) lm.ReleaseAll(t);
+    }
+    for (TxnId t = 1; t <= 6; ++t) lm.ReleaseAll(t);
+    EXPECT_EQ(lm.TotalGranted(), 0u);
+    EXPECT_EQ(lm.TotalWaiting(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace dbmr::txn

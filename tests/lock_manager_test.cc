@@ -1,0 +1,206 @@
+// Unit tests for page-level locking and deadlock detection.
+
+#include <gtest/gtest.h>
+
+#include "txn/lock_manager.h"
+
+namespace dbmr::txn {
+namespace {
+
+TEST(LockManagerTest, SharedLocksCompatible) {
+  LockManager lm;
+  EXPECT_EQ(lm.Acquire(1, 10, LockMode::kShared, nullptr),
+            AcquireResult::kGranted);
+  EXPECT_EQ(lm.Acquire(2, 10, LockMode::kShared, nullptr),
+            AcquireResult::kGranted);
+  EXPECT_TRUE(lm.Holds(1, 10, LockMode::kShared));
+  EXPECT_TRUE(lm.Holds(2, 10, LockMode::kShared));
+  EXPECT_EQ(lm.TotalGranted(), 2u);
+}
+
+TEST(LockManagerTest, ExclusiveConflicts) {
+  LockManager lm;
+  EXPECT_EQ(lm.Acquire(1, 10, LockMode::kExclusive, nullptr),
+            AcquireResult::kGranted);
+  bool granted = false;
+  EXPECT_EQ(lm.Acquire(2, 10, LockMode::kShared, [&] { granted = true; }),
+            AcquireResult::kWaiting);
+  EXPECT_FALSE(granted);
+  ASSERT_TRUE(lm.Release(1, 10).ok());
+  EXPECT_TRUE(granted);
+  EXPECT_TRUE(lm.Holds(2, 10, LockMode::kShared));
+}
+
+TEST(LockManagerTest, ReentrantAcquire) {
+  LockManager lm;
+  EXPECT_EQ(lm.Acquire(1, 10, LockMode::kExclusive, nullptr),
+            AcquireResult::kGranted);
+  EXPECT_EQ(lm.Acquire(1, 10, LockMode::kExclusive, nullptr),
+            AcquireResult::kGranted);
+  EXPECT_EQ(lm.Acquire(1, 10, LockMode::kShared, nullptr),
+            AcquireResult::kGranted);
+  EXPECT_EQ(lm.LockCount(1), 1u);
+}
+
+TEST(LockManagerTest, UpgradeWhenSoleHolder) {
+  LockManager lm;
+  EXPECT_EQ(lm.Acquire(1, 10, LockMode::kShared, nullptr),
+            AcquireResult::kGranted);
+  EXPECT_EQ(lm.Acquire(1, 10, LockMode::kExclusive, nullptr),
+            AcquireResult::kGranted);
+  EXPECT_TRUE(lm.Holds(1, 10, LockMode::kExclusive));
+}
+
+TEST(LockManagerTest, UpgradeWaitsForOtherReaders) {
+  LockManager lm;
+  ASSERT_EQ(lm.Acquire(1, 10, LockMode::kShared, nullptr),
+            AcquireResult::kGranted);
+  ASSERT_EQ(lm.Acquire(2, 10, LockMode::kShared, nullptr),
+            AcquireResult::kGranted);
+  bool upgraded = false;
+  EXPECT_EQ(lm.Acquire(1, 10, LockMode::kExclusive, [&] { upgraded = true; }),
+            AcquireResult::kWaiting);
+  EXPECT_FALSE(upgraded);
+  ASSERT_TRUE(lm.Release(2, 10).ok());
+  EXPECT_TRUE(upgraded);
+  EXPECT_TRUE(lm.Holds(1, 10, LockMode::kExclusive));
+}
+
+TEST(LockManagerTest, FcfsNoBargingPastWaiters) {
+  LockManager lm;
+  ASSERT_EQ(lm.Acquire(1, 10, LockMode::kShared, nullptr),
+            AcquireResult::kGranted);
+  bool writer_granted = false;
+  ASSERT_EQ(
+      lm.Acquire(2, 10, LockMode::kExclusive, [&] { writer_granted = true; }),
+      AcquireResult::kWaiting);
+  // A new reader must NOT jump ahead of the queued writer.
+  bool reader_granted = false;
+  EXPECT_EQ(
+      lm.Acquire(3, 10, LockMode::kShared, [&] { reader_granted = true; }),
+      AcquireResult::kWaiting);
+  ASSERT_TRUE(lm.Release(1, 10).ok());
+  EXPECT_TRUE(writer_granted);
+  EXPECT_FALSE(reader_granted);
+  ASSERT_TRUE(lm.Release(2, 10).ok());
+  EXPECT_TRUE(reader_granted);
+}
+
+TEST(LockManagerTest, DeadlockDetected) {
+  LockManager lm;
+  ASSERT_EQ(lm.Acquire(1, 10, LockMode::kExclusive, nullptr),
+            AcquireResult::kGranted);
+  ASSERT_EQ(lm.Acquire(2, 20, LockMode::kExclusive, nullptr),
+            AcquireResult::kGranted);
+  ASSERT_EQ(lm.Acquire(1, 20, LockMode::kExclusive, nullptr),
+            AcquireResult::kWaiting);
+  // 2 requesting 10 closes the cycle 1 -> 2 -> 1.
+  EXPECT_EQ(lm.Acquire(2, 10, LockMode::kExclusive, nullptr),
+            AcquireResult::kDeadlock);
+  EXPECT_EQ(lm.deadlocks_detected(), 1u);
+}
+
+TEST(LockManagerTest, ThreeWayDeadlockDetected) {
+  LockManager lm;
+  ASSERT_EQ(lm.Acquire(1, 10, LockMode::kExclusive, nullptr),
+            AcquireResult::kGranted);
+  ASSERT_EQ(lm.Acquire(2, 20, LockMode::kExclusive, nullptr),
+            AcquireResult::kGranted);
+  ASSERT_EQ(lm.Acquire(3, 30, LockMode::kExclusive, nullptr),
+            AcquireResult::kGranted);
+  ASSERT_EQ(lm.Acquire(1, 20, LockMode::kExclusive, nullptr),
+            AcquireResult::kWaiting);
+  ASSERT_EQ(lm.Acquire(2, 30, LockMode::kExclusive, nullptr),
+            AcquireResult::kWaiting);
+  EXPECT_EQ(lm.Acquire(3, 10, LockMode::kExclusive, nullptr),
+            AcquireResult::kDeadlock);
+}
+
+TEST(LockManagerTest, NoFalseDeadlock) {
+  LockManager lm;
+  ASSERT_EQ(lm.Acquire(1, 10, LockMode::kExclusive, nullptr),
+            AcquireResult::kGranted);
+  ASSERT_EQ(lm.Acquire(2, 20, LockMode::kExclusive, nullptr),
+            AcquireResult::kGranted);
+  // A chain 3 -> 1 and 3 -> 2 is not a cycle.
+  EXPECT_EQ(lm.Acquire(3, 10, LockMode::kExclusive, nullptr),
+            AcquireResult::kWaiting);
+  EXPECT_EQ(lm.deadlocks_detected(), 0u);
+}
+
+TEST(LockManagerTest, ReleaseAllWakesWaiters) {
+  LockManager lm;
+  ASSERT_EQ(lm.Acquire(1, 10, LockMode::kExclusive, nullptr),
+            AcquireResult::kGranted);
+  ASSERT_EQ(lm.Acquire(1, 20, LockMode::kExclusive, nullptr),
+            AcquireResult::kGranted);
+  int granted = 0;
+  ASSERT_EQ(lm.Acquire(2, 10, LockMode::kExclusive, [&] { ++granted; }),
+            AcquireResult::kWaiting);
+  ASSERT_EQ(lm.Acquire(3, 20, LockMode::kExclusive, [&] { ++granted; }),
+            AcquireResult::kWaiting);
+  lm.ReleaseAll(1);
+  EXPECT_EQ(granted, 2);
+  EXPECT_EQ(lm.LockCount(1), 0u);
+}
+
+TEST(LockManagerTest, ReleaseAllRemovesQueuedRequests) {
+  LockManager lm;
+  ASSERT_EQ(lm.Acquire(1, 10, LockMode::kExclusive, nullptr),
+            AcquireResult::kGranted);
+  bool granted = false;
+  ASSERT_EQ(lm.Acquire(2, 10, LockMode::kExclusive, [&] { granted = true; }),
+            AcquireResult::kWaiting);
+  lm.ReleaseAll(2);  // abort the waiter
+  ASSERT_TRUE(lm.Release(1, 10).ok());
+  EXPECT_FALSE(granted);  // dead waiter must not be granted
+  EXPECT_EQ(lm.TotalGranted(), 0u);
+}
+
+TEST(LockManagerTest, ReleaseUnheldLockFails) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Release(1, 10).IsNotFound());
+}
+
+TEST(LockManagerTest, TryAcquireNeverQueues) {
+  LockManager lm;
+  EXPECT_TRUE(lm.TryAcquire(1, 10, LockMode::kExclusive));
+  EXPECT_FALSE(lm.TryAcquire(2, 10, LockMode::kShared));
+  EXPECT_EQ(lm.TotalWaiting(), 0u);
+  // Reentrant and upgrade paths.
+  EXPECT_TRUE(lm.TryAcquire(1, 10, LockMode::kShared));
+  ASSERT_TRUE(lm.Release(1, 10).ok());
+  EXPECT_TRUE(lm.TryAcquire(2, 10, LockMode::kShared));
+  EXPECT_TRUE(lm.TryAcquire(2, 10, LockMode::kExclusive));  // sole holder
+}
+
+TEST(LockManagerTest, HeldPagesReportsLocks) {
+  LockManager lm;
+  ASSERT_TRUE(lm.TryAcquire(1, 10, LockMode::kShared));
+  ASSERT_TRUE(lm.TryAcquire(1, 20, LockMode::kExclusive));
+  auto pages = lm.HeldPages(1);
+  EXPECT_EQ(pages.size(), 2u);
+}
+
+TEST(LockManagerTest, ResetClearsEverything) {
+  LockManager lm;
+  ASSERT_TRUE(lm.TryAcquire(1, 10, LockMode::kExclusive));
+  ASSERT_EQ(lm.Acquire(2, 10, LockMode::kExclusive, nullptr),
+            AcquireResult::kWaiting);
+  lm.Reset();
+  EXPECT_EQ(lm.TotalGranted(), 0u);
+  EXPECT_EQ(lm.TotalWaiting(), 0u);
+  EXPECT_TRUE(lm.TryAcquire(3, 10, LockMode::kExclusive));
+}
+
+TEST(LockManagerTest, WaitCounterIncrements) {
+  LockManager lm;
+  ASSERT_TRUE(lm.TryAcquire(1, 10, LockMode::kExclusive));
+  ASSERT_EQ(lm.Acquire(2, 10, LockMode::kShared, nullptr),
+            AcquireResult::kWaiting);
+  EXPECT_EQ(lm.waits(), 1u);
+  EXPECT_EQ(lm.TotalWaiting(), 1u);
+}
+
+}  // namespace
+}  // namespace dbmr::txn

@@ -1,0 +1,118 @@
+// Unit tests for log record / block / master encoding.
+
+#include <gtest/gtest.h>
+
+#include "store/recovery/log_format.h"
+
+namespace dbmr::store {
+namespace {
+
+LogRecord SampleUpdate() {
+  LogRecord r;
+  r.kind = LogRecordKind::kUpdate;
+  r.txn = 42;
+  r.page = 1234;
+  r.page_version = 7;
+  r.offset = 16;
+  r.before = {1, 2, 3};
+  r.after = {9, 8, 7, 6};
+  return r;
+}
+
+TEST(LogFormatTest, RecordRoundTrips) {
+  LogRecord r = SampleUpdate();
+  PageData buf(r.EncodedSize(), 0);
+  size_t end = EncodeLogRecord(r, buf, 0);
+  EXPECT_EQ(end, r.EncodedSize());
+
+  LogRecord d;
+  size_t pos = 0;
+  ASSERT_TRUE(DecodeLogRecord(buf, &pos, &d).ok());
+  EXPECT_EQ(pos, end);
+  EXPECT_EQ(d.kind, r.kind);
+  EXPECT_EQ(d.txn, r.txn);
+  EXPECT_EQ(d.page, r.page);
+  EXPECT_EQ(d.page_version, r.page_version);
+  EXPECT_EQ(d.offset, r.offset);
+  EXPECT_EQ(d.before, r.before);
+  EXPECT_EQ(d.after, r.after);
+}
+
+TEST(LogFormatTest, EmptyImagesRoundTrip) {
+  LogRecord r;
+  r.kind = LogRecordKind::kCommit;
+  r.txn = 9;
+  PageData buf(r.EncodedSize(), 0);
+  EncodeLogRecord(r, buf, 0);
+  LogRecord d;
+  size_t pos = 0;
+  ASSERT_TRUE(DecodeLogRecord(buf, &pos, &d).ok());
+  EXPECT_EQ(d.kind, LogRecordKind::kCommit);
+  EXPECT_TRUE(d.before.empty());
+  EXPECT_TRUE(d.after.empty());
+}
+
+TEST(LogFormatTest, SequentialRecordsDecode) {
+  LogRecord a = SampleUpdate();
+  LogRecord b = SampleUpdate();
+  b.txn = 43;
+  PageData buf(a.EncodedSize() + b.EncodedSize(), 0);
+  size_t p = EncodeLogRecord(a, buf, 0);
+  EncodeLogRecord(b, buf, p);
+  size_t pos = 0;
+  LogRecord d1, d2;
+  ASSERT_TRUE(DecodeLogRecord(buf, &pos, &d1).ok());
+  ASSERT_TRUE(DecodeLogRecord(buf, &pos, &d2).ok());
+  EXPECT_EQ(d1.txn, 42u);
+  EXPECT_EQ(d2.txn, 43u);
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(LogFormatTest, TruncatedRecordRejected) {
+  LogRecord r = SampleUpdate();
+  PageData buf(r.EncodedSize(), 0);
+  EncodeLogRecord(r, buf, 0);
+  buf.resize(r.EncodedSize() - 2);  // cut the tail
+  LogRecord d;
+  size_t pos = 0;
+  EXPECT_FALSE(DecodeLogRecord(buf, &pos, &d).ok());
+  EXPECT_EQ(pos, 0u);  // position untouched on failure
+}
+
+TEST(LogFormatTest, GarbageLengthRejected) {
+  PageData buf(64, 0xFF);
+  LogRecord d;
+  size_t pos = 0;
+  EXPECT_TRUE(DecodeLogRecord(buf, &pos, &d).IsCorruption());
+}
+
+TEST(LogFormatTest, BlockHeaderRoundTrips) {
+  PageData block(128, 0);
+  LogBlockHeader h;
+  h.epoch = 12;
+  h.used_bytes = 100;
+  h.n_records = 3;
+  h.EncodeTo(block);
+  LogBlockHeader d = LogBlockHeader::DecodeFrom(block);
+  EXPECT_EQ(d.epoch, 12u);
+  EXPECT_EQ(d.used_bytes, 100u);
+  EXPECT_EQ(d.n_records, 3u);
+}
+
+TEST(LogFormatTest, MasterRoundTripsAndValidates) {
+  PageData block(128, 0);
+  LogMaster m;
+  m.epoch = 5;
+  m.start_block = 17;
+  m.EncodeTo(block);
+  LogMaster d;
+  ASSERT_TRUE(LogMaster::DecodeFrom(block, &d).ok());
+  EXPECT_EQ(d.epoch, 5u);
+  EXPECT_EQ(d.start_block, 17u);
+
+  PageData junk(128, 0xAB);
+  EXPECT_TRUE(LogMaster::DecodeFrom(junk, &d).IsCorruption());
+}
+
+}  // namespace
+}  // namespace dbmr::store

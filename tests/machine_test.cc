@@ -1,0 +1,197 @@
+// Tests for the database-machine simulator with the bare architecture:
+// completeness, conservation laws, determinism, and the paper's first-
+// order performance shapes.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/experiment.h"
+#include "machine/machine.h"
+
+namespace dbmr::machine {
+namespace {
+
+using core::Configuration;
+using core::RunWith;
+using core::StandardSetup;
+
+MachineResult RunBare(Configuration c, int txns = 40, uint64_t seed = 7) {
+  return RunWith(StandardSetup(c, txns, seed), std::make_unique<BareArch>());
+}
+
+TEST(MachineTest, AllTransactionsComplete) {
+  auto r = RunBare(Configuration::kConvRandom, 20);
+  EXPECT_EQ(r.completion_ms.count(), 20);
+  EXPECT_GT(r.total_time_ms, 0.0);
+}
+
+TEST(MachineTest, PageConservation) {
+  auto setup = StandardSetup(Configuration::kConvRandom, 20);
+  auto txns = workload::GenerateWorkload(setup.workload);
+  uint64_t reads = 0, writes = 0;
+  for (const auto& t : txns) {
+    reads += t.num_reads();
+    writes += t.num_writes();
+  }
+  Machine m(setup.machine, txns, std::make_unique<BareArch>());
+  auto r = m.Run();
+  EXPECT_EQ(r.pages_read, reads);
+  EXPECT_EQ(r.pages_written, writes);
+  EXPECT_EQ(r.total_pages, reads + writes);
+}
+
+TEST(MachineTest, DeterministicAcrossRuns) {
+  auto a = RunBare(Configuration::kParSeq, 25, 3);
+  auto b = RunBare(Configuration::kParSeq, 25, 3);
+  EXPECT_DOUBLE_EQ(a.total_time_ms, b.total_time_ms);
+  EXPECT_DOUBLE_EQ(a.completion_ms.mean(), b.completion_ms.mean());
+}
+
+TEST(MachineTest, UtilizationsAreFractions) {
+  auto r = RunBare(Configuration::kConvRandom, 20);
+  for (double u : r.data_disk_util) {
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0 + 1e-9);
+  }
+  EXPECT_GE(r.qp_util, 0.0);
+  EXPECT_LE(r.qp_util, 1.0 + 1e-9);
+}
+
+TEST(MachineTest, RandomWorkloadIsDiskBound) {
+  // The paper's central observation about the bare machine: the I/O
+  // bandwidth between the disks and the cache limits throughput.
+  auto r = RunBare(Configuration::kConvRandom, 30);
+  EXPECT_GT(r.data_disk_util[0], 0.9);
+  EXPECT_LT(r.qp_util, 0.5);
+}
+
+TEST(MachineTest, SequentialFasterThanRandom) {
+  auto rnd = RunBare(Configuration::kConvRandom, 30);
+  auto seq = RunBare(Configuration::kConvSeq, 30);
+  EXPECT_LT(seq.exec_time_per_page_ms, rnd.exec_time_per_page_ms);
+}
+
+TEST(MachineTest, ParallelSequentialIsAnOrderOfMagnitudeFaster) {
+  auto conv = RunBare(Configuration::kConvSeq, 30);
+  auto par = RunBare(Configuration::kParSeq, 30);
+  EXPECT_LT(par.exec_time_per_page_ms, conv.exec_time_per_page_ms / 4.0);
+}
+
+TEST(MachineTest, BareShapesMatchPaperTable1) {
+  // Calibration guard: the bare machine must stay in the neighborhood of
+  // the paper's Table 1 baseline (18.0 / 16.6 / 11.0 / 1.9 ms per page).
+  EXPECT_NEAR(RunBare(Configuration::kConvRandom, 60).exec_time_per_page_ms,
+              18.0, 2.5);
+  EXPECT_NEAR(RunBare(Configuration::kParRandom, 60).exec_time_per_page_ms,
+              16.6, 2.5);
+  EXPECT_NEAR(RunBare(Configuration::kConvSeq, 60).exec_time_per_page_ms,
+              11.0, 2.0);
+  EXPECT_NEAR(RunBare(Configuration::kParSeq, 60).exec_time_per_page_ms,
+              1.9, 0.8);
+}
+
+TEST(MachineTest, CompletionTimeBoundedByTotal) {
+  auto r = RunBare(Configuration::kConvRandom, 20);
+  EXPECT_GT(r.completion_ms.min(), 0.0);
+  EXPECT_LE(r.completion_ms.max(), r.total_time_ms);
+}
+
+TEST(MachineTest, HomePlacementStripesAcrossDisks) {
+  auto setup = StandardSetup(Configuration::kConvRandom, 1);
+  Machine m(setup.machine, workload::GenerateWorkload(setup.workload),
+            std::make_unique<BareArch>());
+  const auto ppc =
+      static_cast<uint64_t>(setup.machine.geometry.pages_per_cylinder());
+  Placement p0 = m.HomePlacement(0);
+  Placement p1 = m.HomePlacement(ppc);          // next cylinder group
+  Placement p2 = m.HomePlacement(2 * ppc);
+  EXPECT_EQ(p0.disk, 0);
+  EXPECT_EQ(p1.disk, 1);
+  EXPECT_EQ(p2.disk, 0);
+  EXPECT_EQ(p2.addr.cylinder, p0.addr.cylinder + 1);
+}
+
+TEST(MachineTest, ScratchPlacementInReservedArea) {
+  auto setup = StandardSetup(Configuration::kConvRandom, 1);
+  Machine m(setup.machine, workload::GenerateWorkload(setup.workload),
+            std::make_unique<BareArch>());
+  Placement s = m.ScratchPlacement(1, 5);
+  EXPECT_EQ(s.disk, 1);
+  EXPECT_GE(s.addr.cylinder, setup.machine.geometry.cylinders -
+                                 setup.machine.reserved_cylinders);
+  EXPECT_LT(s.addr.cylinder, setup.machine.geometry.cylinders);
+}
+
+TEST(MachineTest, SequentialOverlapsCauseLockWaitsNotLivelock) {
+  // Sequential transactions overlap ranges and must still all complete.
+  auto setup = StandardSetup(Configuration::kConvSeq, 40, 5);
+  setup.workload.db_pages = 2000;  // force heavy overlap
+  setup.machine.db_pages = 120000;
+  auto r = RunWith(setup, std::make_unique<BareArch>());
+  EXPECT_EQ(r.completion_ms.count(), 40);
+}
+
+TEST(MachineTest, HighContentionRandomCompletes) {
+  auto setup = StandardSetup(Configuration::kConvRandom, 40, 5);
+  setup.workload.db_pages = 500;  // tiny database: many conflicts
+  setup.workload.max_pages = 40;
+  auto r = RunWith(setup, std::make_unique<BareArch>());
+  EXPECT_EQ(r.completion_ms.count(), 40);
+}
+
+TEST(MachineTest, MplOneSerializesTransactions) {
+  auto setup = StandardSetup(Configuration::kConvRandom, 10);
+  setup.machine.mpl = 1;
+  auto serial = RunWith(setup, std::make_unique<BareArch>());
+  auto parallel = RunBare(Configuration::kConvRandom, 10);
+  // Serial completion per txn is faster (no sharing), total time similar
+  // or worse.
+  EXPECT_LT(serial.completion_ms.mean(), parallel.completion_ms.mean());
+  EXPECT_EQ(serial.completion_ms.count(), 10);
+}
+
+TEST(MachineTest, OpenSystemLightLoadHasShortResponses) {
+  auto setup = StandardSetup(Configuration::kConvRandom, 20);
+  setup.machine.mean_interarrival_ms = 30000.0;  // nearly idle machine
+  auto r = RunWith(setup, std::make_unique<BareArch>());
+  EXPECT_EQ(r.completion_ms.count(), 20);
+  // At light load a transaction runs nearly alone: response close to the
+  // MPL=1 service time (~150 pages * ~18 ms / overlap).
+  auto serial = StandardSetup(Configuration::kConvRandom, 20);
+  serial.machine.mpl = 1;
+  auto alone = RunWith(serial, std::make_unique<BareArch>());
+  EXPECT_LT(r.completion_ms.mean(), alone.completion_ms.mean() * 1.5);
+}
+
+TEST(MachineTest, OpenSystemHeavyLoadQueues) {
+  auto light = StandardSetup(Configuration::kConvRandom, 30);
+  light.machine.mean_interarrival_ms = 20000.0;
+  auto heavy = StandardSetup(Configuration::kConvRandom, 30);
+  heavy.machine.mean_interarrival_ms = 3000.0;  // near saturation
+  auto rl = RunWith(light, std::make_unique<BareArch>());
+  auto rh = RunWith(heavy, std::make_unique<BareArch>());
+  EXPECT_GT(rh.completion_ms.mean(), rl.completion_ms.mean() * 1.5);
+}
+
+TEST(MachineTest, SkewedWorkloadStillCompletes) {
+  auto setup = StandardSetup(Configuration::kConvRandom, 30);
+  setup.workload.hot_fraction = 0.001;
+  setup.workload.hot_access_prob = 0.8;
+  setup.machine.mpl = 6;
+  auto r = RunWith(setup, std::make_unique<BareArch>());
+  EXPECT_EQ(r.completion_ms.count(), 30);
+}
+
+TEST(MachineTest, MoreCacheFramesNeverHurtMuch) {
+  auto small = StandardSetup(Configuration::kParSeq, 20);
+  small.machine.cache_frames = 40;
+  auto large = StandardSetup(Configuration::kParSeq, 20);
+  large.machine.cache_frames = 200;
+  auto rs = RunWith(small, std::make_unique<BareArch>());
+  auto rl = RunWith(large, std::make_unique<BareArch>());
+  EXPECT_LT(rl.exec_time_per_page_ms, rs.exec_time_per_page_ms * 1.15);
+}
+
+}  // namespace
+}  // namespace dbmr::machine

@@ -1,0 +1,276 @@
+// Cross-engine contract tests: every functional recovery engine must obey
+// the same transactional page-store semantics.  Parameterized over engine
+// factories so a behavior added to the contract is checked five ways.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine_test_util.h"
+#include "store/recovery/overwrite_engine.h"
+#include "store/recovery/shadow_engine.h"
+#include "store/recovery/version_select_engine.h"
+#include "store/recovery/wal_engine.h"
+#include "store/virtual_disk.h"
+
+namespace dbmr::store {
+namespace {
+
+constexpr size_t kBlock = 256;
+constexpr uint64_t kPages = 24;
+
+/// Owns the disks and the engine under test.
+struct EngineUnderTest {
+  std::vector<std::unique_ptr<VirtualDisk>> disks;
+  std::unique_ptr<PageEngine> engine;
+
+  void ArmSharedCounter(std::shared_ptr<int64_t> counter) {
+    for (auto& d : disks) d->SetSharedFailCounter(counter);
+  }
+  void ClearCrash() {
+    for (auto& d : disks) d->ClearCrashState();
+  }
+};
+
+using Factory = std::function<EngineUnderTest()>;
+
+struct EngineParam {
+  std::string name;
+  Factory make;
+};
+
+EngineUnderTest MakeWal(size_t n_logs) {
+  EngineUnderTest e;
+  e.disks.push_back(std::make_unique<VirtualDisk>("data", kPages, kBlock));
+  std::vector<VirtualDisk*> logs;
+  for (size_t i = 0; i < n_logs; ++i) {
+    e.disks.push_back(std::make_unique<VirtualDisk>("log", 2048, kBlock));
+    logs.push_back(e.disks.back().get());
+  }
+  WalEngineOptions o;
+  o.pool_frames = 6;
+  e.engine = std::make_unique<WalEngine>(e.disks[0].get(), logs, o);
+  EXPECT_TRUE(e.engine->Format().ok());
+  return e;
+}
+
+std::vector<EngineParam> AllEngines() {
+  return {
+      {"wal1", [] { return MakeWal(1); }},
+      {"wal3", [] { return MakeWal(3); }},
+      {"shadow",
+       [] {
+         EngineUnderTest e;
+         e.disks.push_back(
+             std::make_unique<VirtualDisk>("d", kPages * 3 + 8, kBlock));
+         e.engine =
+             std::make_unique<ShadowEngine>(e.disks[0].get(), kPages);
+         EXPECT_TRUE(e.engine->Format().ok());
+         return e;
+       }},
+      {"overwrite_noundo",
+       [] {
+         EngineUnderTest e;
+         e.disks.push_back(
+             std::make_unique<VirtualDisk>("d", kPages + 97, kBlock));
+         OverwriteEngineOptions o;
+         o.list_blocks = 48;
+         o.scratch_blocks = 48;
+         e.engine = std::make_unique<OverwriteEngine>(e.disks[0].get(),
+                                                      kPages, o);
+         EXPECT_TRUE(e.engine->Format().ok());
+         return e;
+       }},
+      {"overwrite_noredo",
+       [] {
+         EngineUnderTest e;
+         e.disks.push_back(
+             std::make_unique<VirtualDisk>("d", kPages + 97, kBlock));
+         OverwriteEngineOptions o;
+         o.mode = OverwriteMode::kNoRedo;
+         o.list_blocks = 48;
+         o.scratch_blocks = 48;
+         e.engine = std::make_unique<OverwriteEngine>(e.disks[0].get(),
+                                                      kPages, o);
+         EXPECT_TRUE(e.engine->Format().ok());
+         return e;
+       }},
+      {"version_select",
+       [] {
+         EngineUnderTest e;
+         e.disks.push_back(std::make_unique<VirtualDisk>(
+             "d", 1 + 48 + 2 * kPages, kBlock));
+         VersionSelectEngineOptions o;
+         o.list_blocks = 48;
+         e.engine = std::make_unique<VersionSelectEngine>(e.disks[0].get(),
+                                                          kPages, o);
+         EXPECT_TRUE(e.engine->Format().ok());
+         return e;
+       }},
+  };
+}
+
+class PageEngineContractTest : public ::testing::TestWithParam<EngineParam> {
+ protected:
+  void SetUp() override { eut_ = GetParam().make(); }
+  PageEngine* engine() { return eut_.engine.get(); }
+  PageData Payload(uint8_t fill) {
+    return PageData(engine()->payload_size(), fill);
+  }
+  EngineUnderTest eut_;
+};
+
+TEST_P(PageEngineContractTest, NameIsNonEmpty) {
+  EXPECT_FALSE(engine()->name().empty());
+  EXPECT_EQ(engine()->num_pages(), kPages);
+  EXPECT_GT(engine()->payload_size(), 0u);
+  EXPECT_LE(engine()->payload_size(), kBlock);
+}
+
+TEST_P(PageEngineContractTest, FreshPagesReadZero) {
+  auto t = engine()->Begin();
+  ASSERT_TRUE(t.ok());
+  for (txn::PageId p : {txn::PageId{0}, txn::PageId{kPages - 1}}) {
+    PageData out;
+    ASSERT_TRUE(engine()->Read(*t, p, &out).ok());
+    EXPECT_EQ(out, Payload(0));
+  }
+  EXPECT_TRUE(engine()->Commit(*t).ok());
+}
+
+TEST_P(PageEngineContractTest, ReadYourOwnWrites) {
+  auto t = engine()->Begin();
+  ASSERT_TRUE(engine()->Write(*t, 3, Payload(7)).ok());
+  PageData out;
+  ASSERT_TRUE(engine()->Read(*t, 3, &out).ok());
+  EXPECT_EQ(out, Payload(7));
+  ASSERT_TRUE(engine()->Write(*t, 3, Payload(8)).ok());
+  ASSERT_TRUE(engine()->Read(*t, 3, &out).ok());
+  EXPECT_EQ(out, Payload(8));
+  ASSERT_TRUE(engine()->Commit(*t).ok());
+}
+
+TEST_P(PageEngineContractTest, AbortHidesWrites) {
+  auto t = engine()->Begin();
+  ASSERT_TRUE(engine()->Write(*t, 3, Payload(7)).ok());
+  ASSERT_TRUE(engine()->Abort(*t).ok());
+  auto t2 = engine()->Begin();
+  PageData out;
+  ASSERT_TRUE(engine()->Read(*t2, 3, &out).ok());
+  EXPECT_EQ(out, Payload(0));
+}
+
+TEST_P(PageEngineContractTest, IsolationUnderLocks) {
+  auto writer = engine()->Begin();
+  auto reader = engine()->Begin();
+  ASSERT_TRUE(engine()->Write(*writer, 3, Payload(7)).ok());
+  PageData out;
+  EXPECT_TRUE(engine()->Read(*reader, 3, &out).IsAborted());
+  ASSERT_TRUE(engine()->Commit(*writer).ok());
+  ASSERT_TRUE(engine()->Read(*reader, 3, &out).ok());
+  EXPECT_EQ(out, Payload(7));
+}
+
+TEST_P(PageEngineContractTest, WrongSizeAndUnknownTxnRejected) {
+  auto t = engine()->Begin();
+  EXPECT_EQ(engine()->Write(*t, 1, PageData(1, 0)).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine()->Commit(99999).code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(engine()->Abort(*t).ok());
+}
+
+TEST_P(PageEngineContractTest, OutOfRangePageRejected) {
+  auto t = engine()->Begin();
+  PageData out;
+  Status st = engine()->Read(*t, kPages + 5, &out);
+  EXPECT_TRUE(st.code() == StatusCode::kOutOfRange ||
+              st.code() == StatusCode::kInvalidArgument)
+      << st.ToString();
+}
+
+TEST_P(PageEngineContractTest, CommittedSurviveCrash) {
+  auto t = engine()->Begin();
+  ASSERT_TRUE(engine()->Write(*t, 2, Payload(5)).ok());
+  ASSERT_TRUE(engine()->Write(*t, 9, Payload(6)).ok());
+  ASSERT_TRUE(engine()->Commit(*t).ok());
+  engine()->Crash();
+  ASSERT_TRUE(engine()->Recover().ok());
+  auto t2 = engine()->Begin();
+  PageData out;
+  ASSERT_TRUE(engine()->Read(*t2, 2, &out).ok());
+  EXPECT_EQ(out, Payload(5));
+  ASSERT_TRUE(engine()->Read(*t2, 9, &out).ok());
+  EXPECT_EQ(out, Payload(6));
+}
+
+TEST_P(PageEngineContractTest, ActiveVanishOnCrash) {
+  auto t = engine()->Begin();
+  ASSERT_TRUE(engine()->Write(*t, 2, Payload(5)).ok());
+  engine()->Crash();
+  ASSERT_TRUE(engine()->Recover().ok());
+  auto t2 = engine()->Begin();
+  PageData out;
+  ASSERT_TRUE(engine()->Read(*t2, 2, &out).ok());
+  EXPECT_EQ(out, Payload(0));
+}
+
+TEST_P(PageEngineContractTest, LocksReleasedAfterCrashRecovery) {
+  auto t = engine()->Begin();
+  ASSERT_TRUE(engine()->Write(*t, 2, Payload(5)).ok());
+  engine()->Crash();
+  ASSERT_TRUE(engine()->Recover().ok());
+  auto t2 = engine()->Begin();
+  EXPECT_TRUE(engine()->Write(*t2, 2, Payload(6)).ok());
+  ASSERT_TRUE(engine()->Commit(*t2).ok());
+}
+
+TEST_P(PageEngineContractTest, DoubleRecoverIsIdempotent) {
+  auto t = engine()->Begin();
+  ASSERT_TRUE(engine()->Write(*t, 2, Payload(5)).ok());
+  ASSERT_TRUE(engine()->Commit(*t).ok());
+  engine()->Crash();
+  ASSERT_TRUE(engine()->Recover().ok());
+  engine()->Crash();
+  ASSERT_TRUE(engine()->Recover().ok());
+  auto t2 = engine()->Begin();
+  PageData out;
+  ASSERT_TRUE(engine()->Read(*t2, 2, &out).ok());
+  EXPECT_EQ(out, Payload(5));
+}
+
+TEST_P(PageEngineContractTest, ManySequentialTransactions) {
+  for (int i = 0; i < 30; ++i) {
+    auto t = engine()->Begin();
+    ASSERT_TRUE(engine()
+                    ->Write(*t, static_cast<txn::PageId>(i % kPages),
+                            Payload(static_cast<uint8_t>(i + 1)))
+                    .ok());
+    if (i % 4 == 3) {
+      ASSERT_TRUE(engine()->Abort(*t).ok());
+    } else {
+      ASSERT_TRUE(engine()->Commit(*t).ok());
+    }
+  }
+  // Spot-check the last committed value of page 0 (i = 24: payload 25).
+  auto t = engine()->Begin();
+  PageData out;
+  ASSERT_TRUE(engine()->Read(*t, 0, &out).ok());
+  EXPECT_EQ(out, Payload(25));
+}
+
+TEST_P(PageEngineContractTest, RandomWorkloadShort) {
+  testing::RunRandomWorkload(engine(), 4242, 60);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, PageEngineContractTest, ::testing::ValuesIn(AllEngines()),
+    [](const ::testing::TestParamInfo<EngineParam>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace dbmr::store

@@ -1,0 +1,163 @@
+// Reproduction guards: key cells of the paper's tables must stay within
+// tolerance of the published values.  These tests protect the calibration
+// — if a model change moves a headline shape, they fail before the bench
+// output quietly drifts.
+//
+// Tolerances are generous (shapes, not absolute milliseconds), but tight
+// enough that the orderings and crossovers of §4–§5 cannot invert.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/experiment.h"
+#include "machine/sim_differential.h"
+#include "machine/sim_logging.h"
+#include "machine/sim_overwrite.h"
+#include "machine/sim_shadow.h"
+#include "machine/sim_version_select.h"
+
+namespace dbmr::machine {
+namespace {
+
+using core::Configuration;
+using core::RunWith;
+using core::StandardSetup;
+using core::Table3Setup;
+
+constexpr int kTxns = 100;
+
+double Exec(Configuration c, std::unique_ptr<RecoveryArch> arch) {
+  return RunWith(StandardSetup(c, kTxns), std::move(arch))
+      .exec_time_per_page_ms;
+}
+
+TEST(PaperShapesTest, Table1BareBaseline) {
+  EXPECT_NEAR(Exec(Configuration::kConvRandom,
+                   std::make_unique<BareArch>()),
+              18.0, 2.0);
+  EXPECT_NEAR(Exec(Configuration::kParRandom, std::make_unique<BareArch>()),
+              16.6, 2.0);
+  EXPECT_NEAR(Exec(Configuration::kConvSeq, std::make_unique<BareArch>()),
+              11.0, 1.5);
+  EXPECT_NEAR(Exec(Configuration::kParSeq, std::make_unique<BareArch>()),
+              1.9, 0.7);
+}
+
+TEST(PaperShapesTest, Table3OneLogDiskBottleneck) {
+  SimLoggingOptions o;
+  o.physical = true;
+  auto r = RunWith(Table3Setup(kTxns), std::make_unique<SimLogging>(o));
+  // Paper: 5.1 ms/page with one log disk (bare: 0.9).
+  EXPECT_NEAR(r.exec_time_per_page_ms, 5.1, 1.2);
+}
+
+TEST(PaperShapesTest, Table3FiveLogDisksRecover) {
+  SimLoggingOptions o;
+  o.physical = true;
+  o.num_log_processors = 5;
+  auto r = RunWith(Table3Setup(kTxns), std::make_unique<SimLogging>(o));
+  EXPECT_NEAR(r.exec_time_per_page_ms, 1.3, 0.5);
+}
+
+TEST(PaperShapesTest, Table4OnePtDegradation) {
+  double one = Exec(Configuration::kConvRandom,
+                    std::make_unique<SimShadow>());
+  EXPECT_NEAR(one, 20.5, 2.5);
+}
+
+TEST(PaperShapesTest, Table7ScrambledCatastrophe) {
+  SimShadowOptions o;
+  o.clustered = false;
+  double scrambled =
+      Exec(Configuration::kParSeq, std::make_unique<SimShadow>(o));
+  // Paper: 18.54 against a bare 1.92 — the most dramatic number in the
+  // evaluation.
+  EXPECT_NEAR(scrambled, 18.5, 3.5);
+}
+
+TEST(PaperShapesTest, Table9BasicDifferentialIsQpBound) {
+  SimDifferentialOptions o;
+  o.optimal = false;
+  for (Configuration c :
+       {Configuration::kConvRandom, Configuration::kParSeq}) {
+    double e = Exec(c, std::make_unique<SimDifferential>(o));
+    EXPECT_NEAR(e, 37.6, 3.0) << core::ConfigurationName(c);
+  }
+}
+
+TEST(PaperShapesTest, Table11NonlinearAtTwentyPercent) {
+  SimDifferentialOptions o;
+  o.diff_size = 0.20;
+  double e = Exec(Configuration::kConvRandom,
+                  std::make_unique<SimDifferential>(o));
+  EXPECT_NEAR(e, 37.0, 4.0);
+}
+
+TEST(PaperShapesTest, Table12LoggingTracksBareEverywhere) {
+  for (Configuration c : core::kAllConfigurations) {
+    double bare = Exec(c, std::make_unique<BareArch>());
+    double logging = Exec(c, std::make_unique<SimLogging>());
+    EXPECT_LT(logging, bare * 1.25) << core::ConfigurationName(c);
+  }
+}
+
+TEST(PaperShapesTest, Table12OrderingsConvRandom) {
+  double bare =
+      Exec(Configuration::kConvRandom, std::make_unique<BareArch>());
+  double logging =
+      Exec(Configuration::kConvRandom, std::make_unique<SimLogging>());
+  double shadow1 =
+      Exec(Configuration::kConvRandom, std::make_unique<SimShadow>());
+  double over =
+      Exec(Configuration::kConvRandom, std::make_unique<SimOverwrite>());
+  // Paper column order for Conventional-Random: 18.0 / 17.9 / 20.5 / 26.9.
+  EXPECT_LT(logging, shadow1);
+  EXPECT_LT(shadow1, over);
+  EXPECT_NEAR(logging, bare, bare * 0.1);
+}
+
+// --------------------------------------------------- extension behaviors
+
+TEST(ExtensionTest, MergeFrequencyAddsDiskLoad) {
+  SimDifferentialOptions never;
+  SimDifferentialOptions often;
+  often.merge_every_output_pages = 20;
+  double e_never = Exec(Configuration::kConvRandom,
+                        std::make_unique<SimDifferential>(never));
+  auto r_often = RunWith(StandardSetup(Configuration::kConvRandom, kTxns),
+                         std::make_unique<SimDifferential>(often));
+  EXPECT_GT(r_often.exec_time_per_page_ms, e_never * 1.05);
+  EXPECT_GT(r_often.extra.at("diff_merges"), 0.0);
+  EXPECT_GT(r_often.extra.at("diff_merge_ios"), 0.0);
+}
+
+TEST(ExtensionTest, SmartHeadsRemoveVersionSelectPenalty) {
+  double plain = Exec(Configuration::kConvSeq,
+                      std::make_unique<SimVersionSelect>());
+  SimVersionSelectOptions o;
+  o.smart_heads = true;
+  double smart =
+      Exec(Configuration::kConvSeq, std::make_unique<SimVersionSelect>(o));
+  EXPECT_LT(smart, plain * 0.85);
+}
+
+TEST(ExtensionTest, ClusteringDecayIsMonotone) {
+  double prev = 0.0;
+  for (double frac : {1.0, 0.75, 0.5, 0.25}) {
+    SimShadowOptions o;
+    o.cluster_fraction = frac;
+    double e =
+        Exec(Configuration::kParSeq, std::make_unique<SimShadow>(o));
+    EXPECT_GT(e, prev) << "fraction " << frac;
+    prev = e;
+  }
+  SimShadowOptions scrambled;
+  scrambled.clustered = false;
+  EXPECT_GT(Exec(Configuration::kParSeq,
+                 std::make_unique<SimShadow>(scrambled)),
+            prev * 0.9);
+}
+
+}  // namespace
+}  // namespace dbmr::machine

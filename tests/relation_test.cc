@@ -1,0 +1,256 @@
+// Tests for the record-oriented Relation layer over the page engines —
+// including that it inherits crash atomicity from whichever recovery
+// mechanism runs underneath.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "store/codec.h"
+#include "store/recovery/shadow_engine.h"
+#include "store/recovery/wal_engine.h"
+#include "store/relation.h"
+#include "store/virtual_disk.h"
+#include "util/rng.h"
+
+namespace dbmr::store {
+namespace {
+
+constexpr size_t kBlock = 256;
+constexpr size_t kRecord = 24;
+
+std::vector<uint8_t> Rec(uint64_t key, uint64_t value) {
+  std::vector<uint8_t> r(kRecord, 0);
+  PageData view(r.begin(), r.end());
+  PutU64(view, 0, key);
+  PutU64(view, 8, value);
+  return {view.begin(), view.end()};
+}
+
+uint64_t KeyOf(const std::vector<uint8_t>& r) {
+  PageData view(r.begin(), r.end());
+  return GetU64(view, 0);
+}
+
+class RelationTest : public ::testing::Test {
+ protected:
+  RelationTest()
+      : data_("data", 32, kBlock),
+        log_("log", 2048, kBlock),
+        engine_(&data_, {&log_}) {
+    EXPECT_TRUE(engine_.Format().ok());
+    rel_ = std::make_unique<Relation>(&engine_, 0, 16, kRecord);
+  }
+
+  VirtualDisk data_;
+  VirtualDisk log_;
+  WalEngine engine_;
+  std::unique_ptr<Relation> rel_;
+};
+
+TEST_F(RelationTest, InsertGetRoundTrip) {
+  auto t = engine_.Begin();
+  auto id = rel_->Insert(*t, Rec(1, 100));
+  ASSERT_TRUE(id.ok());
+  auto got = rel_->Get(*t, *id);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, Rec(1, 100));
+  ASSERT_TRUE(engine_.Commit(*t).ok());
+}
+
+TEST_F(RelationTest, RecordIdsAreStable) {
+  auto t = engine_.Begin();
+  auto a = rel_->Insert(*t, Rec(1, 1));
+  auto b = rel_->Insert(*t, Rec(2, 2));
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(*a, *b);
+  ASSERT_TRUE(engine_.Commit(*t).ok());
+  auto t2 = engine_.Begin();
+  EXPECT_EQ(KeyOf(*rel_->Get(*t2, *a)), 1u);
+  EXPECT_EQ(KeyOf(*rel_->Get(*t2, *b)), 2u);
+}
+
+TEST_F(RelationTest, UpdateInPlace) {
+  auto t = engine_.Begin();
+  auto id = rel_->Insert(*t, Rec(1, 100));
+  ASSERT_TRUE(rel_->Update(*t, *id, Rec(1, 200)).ok());
+  auto got = rel_->Get(*t, *id);
+  EXPECT_EQ(*got, Rec(1, 200));
+  ASSERT_TRUE(engine_.Commit(*t).ok());
+}
+
+TEST_F(RelationTest, EraseFreesSlotForReuse) {
+  auto t = engine_.Begin();
+  auto id = rel_->Insert(*t, Rec(1, 100));
+  ASSERT_TRUE(rel_->Erase(*t, *id).ok());
+  EXPECT_TRUE(rel_->Get(*t, *id).status().IsNotFound());
+  auto id2 = rel_->Insert(*t, Rec(2, 200));
+  ASSERT_TRUE(id2.ok());
+  EXPECT_EQ(*id2, *id);  // first-fit reuses the freed slot
+  ASSERT_TRUE(engine_.Commit(*t).ok());
+}
+
+TEST_F(RelationTest, EraseTwiceIsNotFound) {
+  auto t = engine_.Begin();
+  auto id = rel_->Insert(*t, Rec(1, 100));
+  ASSERT_TRUE(rel_->Erase(*t, *id).ok());
+  EXPECT_TRUE(rel_->Erase(*t, *id).IsNotFound());
+}
+
+TEST_F(RelationTest, ScanVisitsAllLiveRecords) {
+  auto t = engine_.Begin();
+  for (uint64_t k = 0; k < 20; ++k) {
+    ASSERT_TRUE(rel_->Insert(*t, Rec(k, k * 10)).ok());
+  }
+  std::map<uint64_t, int> seen;
+  ASSERT_TRUE(rel_->Scan(*t, [&](RecordId, const std::vector<uint8_t>& r) {
+                    ++seen[KeyOf(r)];
+                    return true;
+                  }).ok());
+  EXPECT_EQ(seen.size(), 20u);
+  auto count = rel_->Count(*t);
+  EXPECT_EQ(*count, 20u);
+  ASSERT_TRUE(engine_.Commit(*t).ok());
+}
+
+TEST_F(RelationTest, ScanEarlyStop) {
+  auto t = engine_.Begin();
+  for (uint64_t k = 0; k < 10; ++k) {
+    ASSERT_TRUE(rel_->Insert(*t, Rec(k, k)).ok());
+  }
+  int visited = 0;
+  ASSERT_TRUE(rel_->Scan(*t, [&](RecordId, const std::vector<uint8_t>&) {
+                    return ++visited < 3;
+                  }).ok());
+  EXPECT_EQ(visited, 3);
+}
+
+TEST_F(RelationTest, FillsToCapacityThenExhausts) {
+  auto t = engine_.Begin();
+  const uint64_t cap = rel_->capacity();
+  for (uint64_t k = 0; k < cap; ++k) {
+    ASSERT_TRUE(rel_->Insert(*t, Rec(k, k)).ok()) << k;
+  }
+  EXPECT_EQ(rel_->Insert(*t, Rec(999, 999)).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST_F(RelationTest, WrongRecordSizeRejected) {
+  auto t = engine_.Begin();
+  EXPECT_EQ(rel_->Insert(*t, std::vector<uint8_t>(3, 0)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(RelationTest, OutOfRangeIdRejected) {
+  auto t = engine_.Begin();
+  EXPECT_EQ(rel_->Get(*t, 64 * 1000).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST_F(RelationTest, AbortRollsBackRecordOperations) {
+  auto t = engine_.Begin();
+  auto id = rel_->Insert(*t, Rec(1, 100));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(engine_.Commit(*t).ok());
+
+  auto t2 = engine_.Begin();
+  ASSERT_TRUE(rel_->Update(*t2, *id, Rec(1, 999)).ok());
+  ASSERT_TRUE(rel_->Insert(*t2, Rec(2, 200)).ok());
+  ASSERT_TRUE(engine_.Abort(*t2).ok());
+
+  auto t3 = engine_.Begin();
+  EXPECT_EQ(*rel_->Get(*t3, *id), Rec(1, 100));
+  EXPECT_EQ(*rel_->Count(*t3), 1u);
+}
+
+TEST_F(RelationTest, CommittedRecordsSurviveCrash) {
+  RecordId id;
+  {
+    auto t = engine_.Begin();
+    auto r = rel_->Insert(*t, Rec(7, 700));
+    ASSERT_TRUE(r.ok());
+    id = *r;
+    ASSERT_TRUE(engine_.Commit(*t).ok());
+  }
+  engine_.Crash();
+  ASSERT_TRUE(engine_.Recover().ok());
+  auto t = engine_.Begin();
+  EXPECT_EQ(*rel_->Get(*t, id), Rec(7, 700));
+}
+
+TEST_F(RelationTest, WorksOverShadowEngineToo) {
+  VirtualDisk disk("d", 80, kBlock);
+  ShadowEngine shadow(&disk, 16);
+  ASSERT_TRUE(shadow.Format().ok());
+  Relation rel(&shadow, 0, 16, kRecord);
+  auto t = shadow.Begin();
+  auto id = rel.Insert(*t, Rec(5, 50));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(shadow.Commit(*t).ok());
+  shadow.Crash();
+  ASSERT_TRUE(shadow.Recover().ok());
+  auto t2 = shadow.Begin();
+  EXPECT_EQ(*rel.Get(*t2, *id), Rec(5, 50));
+}
+
+TEST_F(RelationTest, RandomWorkloadAgainstReferenceMap) {
+  Rng rng(13);
+  std::map<RecordId, std::vector<uint8_t>> ref;
+  for (int round = 0; round < 60; ++round) {
+    auto t = engine_.Begin();
+    std::map<RecordId, std::optional<std::vector<uint8_t>>> staged;
+    for (int op = 0; op < 4; ++op) {
+      double coin = rng.UniformDouble();
+      if (coin < 0.5 || ref.empty()) {
+        auto rec = Rec(rng.Next() % 1000, rng.Next());
+        auto id = rel_->Insert(*t, rec);
+        if (!id.ok()) continue;  // full
+        staged[*id] = rec;
+      } else {
+        auto it = ref.begin();
+        std::advance(it, static_cast<long>(rng.Next() % ref.size()));
+        if (coin < 0.75) {
+          auto rec = Rec(rng.Next() % 1000, rng.Next());
+          if (rel_->Update(*t, it->first, rec).ok()) {
+            staged[it->first] = rec;
+          }
+        } else {
+          if (rel_->Erase(*t, it->first).ok()) {
+            staged[it->first] = std::nullopt;
+          }
+        }
+      }
+    }
+    if (rng.Bernoulli(0.25)) {
+      ASSERT_TRUE(engine_.Abort(*t).ok());
+    } else {
+      ASSERT_TRUE(engine_.Commit(*t).ok());
+      for (auto& [id, rec] : staged) {
+        if (rec.has_value()) {
+          ref[id] = *rec;
+        } else {
+          ref.erase(id);
+        }
+      }
+    }
+    if (rng.Bernoulli(0.15)) {
+      engine_.Crash();
+      ASSERT_TRUE(engine_.Recover().ok());
+    }
+    if (round % 10 == 9) {
+      auto tv = engine_.Begin();
+      std::map<RecordId, std::vector<uint8_t>> got;
+      ASSERT_TRUE(
+          rel_->Scan(*tv, [&](RecordId id, const std::vector<uint8_t>& r) {
+                got[id] = r;
+                return true;
+              }).ok());
+      ASSERT_TRUE(engine_.Commit(*tv).ok());
+      ASSERT_EQ(got, ref) << "round " << round;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dbmr::store

@@ -1,0 +1,207 @@
+// Tests for the shadow page-table engine: copy-on-write behavior, atomic
+// table flips, no-redo/no-undo recovery, allocation policies, clustering
+// decay, and crash-everywhere recovery properties.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "engine_test_util.h"
+#include "store/recovery/shadow_engine.h"
+#include "store/virtual_disk.h"
+
+namespace dbmr::store {
+namespace {
+
+constexpr size_t kBlock = 256;
+constexpr uint64_t kPages = 32;
+constexpr uint64_t kDiskBlocks = 128;  // pages + COW slack + tables
+
+struct ShadowFixture {
+  explicit ShadowFixture(ShadowEngineOptions opts = {}) {
+    disk = std::make_unique<VirtualDisk>("d", kDiskBlocks, kBlock);
+    engine = std::make_unique<ShadowEngine>(disk.get(), kPages, opts);
+    EXPECT_TRUE(engine->Format().ok());
+  }
+  PageData Payload(uint8_t fill) const {
+    return PageData(engine->payload_size(), fill);
+  }
+  std::unique_ptr<VirtualDisk> disk;
+  std::unique_ptr<ShadowEngine> engine;
+};
+
+TEST(ShadowEngineTest, CommitAndReadBack) {
+  ShadowFixture f;
+  auto t = f.engine->Begin();
+  ASSERT_TRUE(f.engine->Write(*t, 3, f.Payload(9)).ok());
+  ASSERT_TRUE(f.engine->Commit(*t).ok());
+  auto t2 = f.engine->Begin();
+  PageData out;
+  ASSERT_TRUE(f.engine->Read(*t2, 3, &out).ok());
+  EXPECT_EQ(out, f.Payload(9));
+}
+
+TEST(ShadowEngineTest, WriteRelocatesPage) {
+  ShadowFixture f;
+  BlockId before = f.engine->CommittedBlockOf(3);
+  size_t free_before = f.engine->free_blocks();
+  auto t = f.engine->Begin();
+  ASSERT_TRUE(f.engine->Write(*t, 3, f.Payload(9)).ok());
+  ASSERT_TRUE(f.engine->Commit(*t).ok());
+  EXPECT_NE(f.engine->CommittedBlockOf(3), before);
+  // One block allocated for the new copy, the shadow freed: net zero.
+  EXPECT_EQ(f.engine->free_blocks(), free_before);
+}
+
+TEST(ShadowEngineTest, UncommittedWritesVanishOnCrash) {
+  ShadowFixture f;
+  auto t = f.engine->Begin();
+  ASSERT_TRUE(f.engine->Write(*t, 3, f.Payload(9)).ok());
+  f.engine->Crash();
+  ASSERT_TRUE(f.engine->Recover().ok());
+  auto t2 = f.engine->Begin();
+  PageData out;
+  ASSERT_TRUE(f.engine->Read(*t2, 3, &out).ok());
+  EXPECT_EQ(out, f.Payload(0));
+}
+
+TEST(ShadowEngineTest, CommittedStateNeedsNoRedo) {
+  // Shadow is force-at-commit by construction: after the master flip, the
+  // data is already home; recovery does no page writes at all.
+  ShadowFixture f;
+  auto t = f.engine->Begin();
+  ASSERT_TRUE(f.engine->Write(*t, 3, f.Payload(9)).ok());
+  ASSERT_TRUE(f.engine->Commit(*t).ok());
+  uint64_t writes_before = f.disk->writes();
+  f.engine->Crash();
+  ASSERT_TRUE(f.engine->Recover().ok());
+  EXPECT_EQ(f.disk->writes(), writes_before);  // recovery wrote nothing
+  auto t2 = f.engine->Begin();
+  PageData out;
+  ASSERT_TRUE(f.engine->Read(*t2, 3, &out).ok());
+  EXPECT_EQ(out, f.Payload(9));
+}
+
+TEST(ShadowEngineTest, AbortReturnsBlocksToFreePool) {
+  ShadowFixture f;
+  size_t free_before = f.engine->free_blocks();
+  auto t = f.engine->Begin();
+  ASSERT_TRUE(f.engine->Write(*t, 1, f.Payload(1)).ok());
+  ASSERT_TRUE(f.engine->Write(*t, 2, f.Payload(2)).ok());
+  EXPECT_EQ(f.engine->free_blocks(), free_before - 2);
+  ASSERT_TRUE(f.engine->Abort(*t).ok());
+  EXPECT_EQ(f.engine->free_blocks(), free_before);
+}
+
+TEST(ShadowEngineTest, SecondWriteBySameTxnReusesBlock) {
+  ShadowFixture f;
+  size_t free_before = f.engine->free_blocks();
+  auto t = f.engine->Begin();
+  ASSERT_TRUE(f.engine->Write(*t, 1, f.Payload(1)).ok());
+  ASSERT_TRUE(f.engine->Write(*t, 1, f.Payload(2)).ok());
+  EXPECT_EQ(f.engine->free_blocks(), free_before - 1);
+  ASSERT_TRUE(f.engine->Commit(*t).ok());
+  auto t2 = f.engine->Begin();
+  PageData out;
+  ASSERT_TRUE(f.engine->Read(*t2, 1, &out).ok());
+  EXPECT_EQ(out, f.Payload(2));
+}
+
+TEST(ShadowEngineTest, TableFlipAlternates) {
+  ShadowFixture f;
+  for (int i = 0; i < 3; ++i) {
+    auto t = f.engine->Begin();
+    ASSERT_TRUE(
+        f.engine->Write(*t, 0, f.Payload(static_cast<uint8_t>(i + 1))).ok());
+    ASSERT_TRUE(f.engine->Commit(*t).ok());
+  }
+  EXPECT_EQ(f.engine->table_flips(), 3u);
+}
+
+TEST(ShadowEngineTest, ReadOnlyCommitSkipsTableWrite) {
+  ShadowFixture f;
+  uint64_t writes_before = f.disk->writes();
+  auto t = f.engine->Begin();
+  PageData out;
+  ASSERT_TRUE(f.engine->Read(*t, 5, &out).ok());
+  ASSERT_TRUE(f.engine->Commit(*t).ok());
+  EXPECT_EQ(f.disk->writes(), writes_before);
+}
+
+TEST(ShadowEngineTest, FreePoolExhaustionReported) {
+  ShadowFixture f;
+  auto t = f.engine->Begin();
+  Status st = Status::OK();
+  for (txn::PageId p = 0; p < kPages && st.ok(); ++p) {
+    st = f.engine->Write(*t, p, f.Payload(1));
+  }
+  // 128 blocks - master - 2 tables (1 block each) - 32 home = 93 free;
+  // a single transaction cannot exhaust them with 32 pages.  Grab the rest
+  // through repeated uncommitted transactions' writes... instead verify by
+  // a targeted small disk.
+  auto small = std::make_unique<VirtualDisk>("s", 36, kBlock);
+  ShadowEngine tight(small.get(), kPages);
+  ASSERT_TRUE(tight.Format().ok());
+  auto tt = tight.Begin();
+  Status last = Status::OK();
+  for (txn::PageId p = 0; p < kPages && last.ok(); ++p) {
+    last = tight.Write(*tt, p, PageData(tight.payload_size(), 1));
+  }
+  EXPECT_EQ(last.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ShadowEngineTest, ClusteringDecaysWithFirstFree) {
+  ShadowFixture f;  // kFirstFree
+  EXPECT_DOUBLE_EQ(f.engine->ClusteringFactor(), 1.0);
+  Rng rng(3);
+  for (int i = 0; i < 40; ++i) {
+    auto t = f.engine->Begin();
+    txn::PageId p =
+        static_cast<txn::PageId>(rng.UniformInt(0, kPages - 1));
+    ASSERT_TRUE(f.engine->Write(*t, p, f.Payload(1)).ok());
+    ASSERT_TRUE(f.engine->Commit(*t).ok());
+  }
+  // The paper's §4.2.3 concern: logically adjacent pages scatter.
+  EXPECT_LT(f.engine->ClusteringFactor(), 0.8);
+}
+
+TEST(ShadowEngineTest, NearShadowPolicyPreservesMoreClustering) {
+  ShadowEngineOptions near_opts;
+  near_opts.alloc = ShadowAllocPolicy::kNearShadow;
+  ShadowFixture scatter;  // first-free
+  ShadowFixture cluster(near_opts);
+  Rng rng(3);
+  for (int i = 0; i < 60; ++i) {
+    txn::PageId p =
+        static_cast<txn::PageId>(rng.UniformInt(0, kPages - 1));
+    for (ShadowFixture* f : {&scatter, &cluster}) {
+      auto t = f->engine->Begin();
+      ASSERT_TRUE(f->engine->Write(*t, p, f->Payload(1)).ok());
+      ASSERT_TRUE(f->engine->Commit(*t).ok());
+    }
+  }
+  EXPECT_GE(cluster.engine->ClusteringFactor(),
+            scatter.engine->ClusteringFactor());
+}
+
+TEST(ShadowEngineTest, RandomWorkloadWithCleanCrashes) {
+  ShadowFixture f;
+  testing::RunRandomWorkload(f.engine.get(), 999, 120);
+}
+
+TEST(ShadowEngineTest, CrashEverywhereSweep) {
+  ShadowFixture f;
+  auto counter = std::make_shared<int64_t>(int64_t{1} << 30);
+  f.disk->SetSharedFailCounter(counter);
+  testing::RunCrashEverywhere(
+      f.engine.get(), [&](int64_t n) { *counter = n; },
+      [&] {
+        *counter = int64_t{1} << 30;
+        f.disk->ClearCrashState();
+      },
+      424242);
+}
+
+}  // namespace
+}  // namespace dbmr::store

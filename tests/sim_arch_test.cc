@@ -1,0 +1,370 @@
+// Tests for the simulated recovery architectures: each §3 mechanism's
+// characteristic behavior and the paper's qualitative results.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/experiment.h"
+#include "machine/sim_differential.h"
+#include "machine/sim_logging.h"
+#include "machine/sim_overwrite.h"
+#include "machine/sim_shadow.h"
+#include "machine/sim_version_select.h"
+
+namespace dbmr::machine {
+namespace {
+
+using core::Configuration;
+using core::RunWith;
+using core::StandardSetup;
+using core::Table3Setup;
+
+// ---------------------------------------------------------------- logging
+
+TEST(SimLoggingTest, LogicalLoggingBarelyAffectsThroughput) {
+  auto bare = RunWith(StandardSetup(Configuration::kConvRandom, 40),
+                      std::make_unique<BareArch>());
+  auto logged = RunWith(StandardSetup(Configuration::kConvRandom, 40),
+                        std::make_unique<SimLogging>());
+  // Paper Table 1: throughput essentially unchanged.
+  EXPECT_NEAR(logged.exec_time_per_page_ms, bare.exec_time_per_page_ms,
+              bare.exec_time_per_page_ms * 0.12);
+}
+
+TEST(SimLoggingTest, LogDiskNearlyIdleWithLogicalLogging) {
+  auto r = RunWith(StandardSetup(Configuration::kConvRandom, 40),
+                   std::make_unique<SimLogging>());
+  // Paper Table 2: utilization ~0.02.
+  EXPECT_LT(r.extra["log_disk_util_0"], 0.15);
+  EXPECT_GT(r.extra["log_pages_written_0"], 0.0);
+}
+
+TEST(SimLoggingTest, UpdatedPagesBlockInCacheForTheLog) {
+  auto r = RunWith(StandardSetup(Configuration::kConvRandom, 40),
+                   std::make_unique<SimLogging>());
+  EXPECT_GT(r.avg_blocked_pages, 0.0);
+  // Paper: "on average, there were less than 5 pages ... waiting".
+  EXPECT_LT(r.avg_blocked_pages, 10.0);
+}
+
+TEST(SimLoggingTest, PhysicalLoggingWithOneDiskBottlenecks) {
+  auto bare = RunWith(Table3Setup(40), std::make_unique<BareArch>());
+  SimLoggingOptions o;
+  o.physical = true;
+  auto r = RunWith(Table3Setup(40), std::make_unique<SimLogging>(o));
+  // Paper Table 3: 0.9 -> 5.1 ms/page.
+  EXPECT_GT(r.exec_time_per_page_ms, bare.exec_time_per_page_ms * 3.0);
+  EXPECT_GT(r.avg_blocked_pages, 20.0);  // frames pinned by blocked pages
+}
+
+TEST(SimLoggingTest, MoreLogDisksRestorePerformance) {
+  SimLoggingOptions one;
+  one.physical = true;
+  SimLoggingOptions five;
+  five.physical = true;
+  five.num_log_processors = 5;
+  auto r1 = RunWith(Table3Setup(40), std::make_unique<SimLogging>(one));
+  auto r5 = RunWith(Table3Setup(40), std::make_unique<SimLogging>(five));
+  EXPECT_LT(r5.exec_time_per_page_ms, r1.exec_time_per_page_ms / 2.5);
+}
+
+TEST(SimLoggingTest, TxnModSelectionIsTheLoser) {
+  SimLoggingOptions cyc;
+  cyc.physical = true;
+  cyc.num_log_processors = 4;
+  SimLoggingOptions tm = cyc;
+  tm.select = LogSelect::kTxnMod;
+  auto rc = RunWith(Table3Setup(40), std::make_unique<SimLogging>(cyc));
+  auto rt = RunWith(Table3Setup(40), std::make_unique<SimLogging>(tm));
+  // Paper §4.1.2: with few concurrent transactions, TranNo mod TotLp
+  // congests one log processor while others idle.
+  EXPECT_GT(rt.exec_time_per_page_ms, rc.exec_time_per_page_ms * 1.15);
+}
+
+TEST(SimLoggingTest, SelectionPoliciesSpreadLoadComparably) {
+  for (LogSelect s :
+       {LogSelect::kCyclic, LogSelect::kRandom, LogSelect::kQpMod}) {
+    SimLoggingOptions o;
+    o.physical = true;
+    o.num_log_processors = 3;
+    o.select = s;
+    auto r = RunWith(Table3Setup(30), std::make_unique<SimLogging>(o));
+    double lo = 1.0, hi = 0.0;
+    for (int i = 0; i < 3; ++i) {
+      double u = r.extra["log_disk_util_" + std::to_string(i)];
+      lo = std::min(lo, u);
+      hi = std::max(hi, u);
+    }
+    EXPECT_LT(hi - lo, 0.25) << LogSelectName(s);
+  }
+}
+
+TEST(SimLoggingTest, InsensitiveToChannelBandwidth) {
+  // Paper §4.1.3: 1.0 vs 0.01 MB/s barely matters.
+  SimLoggingOptions fast;
+  fast.channel_mb_per_sec = 1.0;
+  SimLoggingOptions slow;
+  slow.channel_mb_per_sec = 0.01;
+  auto rf = RunWith(StandardSetup(Configuration::kConvRandom, 40),
+                    std::make_unique<SimLogging>(fast));
+  auto rs = RunWith(StandardSetup(Configuration::kConvRandom, 40),
+                    std::make_unique<SimLogging>(slow));
+  EXPECT_NEAR(rs.exec_time_per_page_ms, rf.exec_time_per_page_ms,
+              rf.exec_time_per_page_ms * 0.1);
+}
+
+TEST(SimLoggingTest, RoutingThroughCacheCostsNothing) {
+  SimLoggingOptions via;
+  via.route_via_cache = true;
+  auto direct = RunWith(StandardSetup(Configuration::kConvRandom, 40),
+                        std::make_unique<SimLogging>());
+  auto cached = RunWith(StandardSetup(Configuration::kConvRandom, 40),
+                        std::make_unique<SimLogging>(via));
+  EXPECT_NEAR(cached.exec_time_per_page_ms, direct.exec_time_per_page_ms,
+              direct.exec_time_per_page_ms * 0.1);
+}
+
+TEST(SimLoggingTest, CommitForcesPendingFragments) {
+  auto r = RunWith(StandardSetup(Configuration::kConvRandom, 20),
+                   std::make_unique<SimLogging>());
+  // Every transaction's fragments must be durable at commit; with 20
+  // transactions there are at least that many forced log pages.
+  EXPECT_GE(r.extra["log_pages_written_0"], 20.0);
+}
+
+// ----------------------------------------------------------------- shadow
+
+TEST(SimShadowTest, OnePtProcessorDegradesRandomWorkloads) {
+  auto bare = RunWith(StandardSetup(Configuration::kConvRandom, 80),
+                      std::make_unique<BareArch>());
+  auto r = RunWith(StandardSetup(Configuration::kConvRandom, 80),
+                   std::make_unique<SimShadow>());
+  // Paper Table 4: 18.0 -> 20.5.
+  EXPECT_GT(r.exec_time_per_page_ms, bare.exec_time_per_page_ms * 1.05);
+  EXPECT_GT(r.extra["pt_disk_util_0"], 0.9);
+}
+
+TEST(SimShadowTest, TwoPtProcessorsRemoveTheBottleneck) {
+  SimShadowOptions two;
+  two.num_pt_processors = 2;
+  auto bare = RunWith(StandardSetup(Configuration::kConvRandom, 80),
+                      std::make_unique<BareArch>());
+  auto r = RunWith(StandardSetup(Configuration::kConvRandom, 80),
+                   std::make_unique<SimShadow>(two));
+  EXPECT_NEAR(r.exec_time_per_page_ms, bare.exec_time_per_page_ms,
+              bare.exec_time_per_page_ms * 0.06);
+}
+
+TEST(SimShadowTest, LargeBufferAnnulsTheDegradation) {
+  SimShadowOptions big;
+  big.pt_buffer_pages = 50;
+  auto one = RunWith(StandardSetup(Configuration::kConvRandom, 80),
+                     std::make_unique<SimShadow>());
+  auto r = RunWith(StandardSetup(Configuration::kConvRandom, 80),
+                   std::make_unique<SimShadow>(big));
+  // Paper Table 6: buffer 50 recovers the bare throughput.
+  EXPECT_LT(r.exec_time_per_page_ms, one.exec_time_per_page_ms * 0.95);
+}
+
+TEST(SimShadowTest, SequentialWorkloadsBarelyTouchThePageTable) {
+  auto r = RunWith(StandardSetup(Configuration::kConvSeq, 40),
+                   std::make_unique<SimShadow>());
+  // At most two page-table pages per transaction (paper §4.2.1).
+  EXPECT_LT(r.extra["pt_disk_util_0"], 0.15);
+  EXPECT_GT(r.extra["pt_buffer_hit_rate"], 0.5);
+}
+
+TEST(SimShadowTest, ScramblingDevastatesSequentialWorkloads) {
+  SimShadowOptions scrambled;
+  scrambled.clustered = false;
+  auto clustered = RunWith(StandardSetup(Configuration::kParSeq, 40),
+                           std::make_unique<SimShadow>());
+  auto r = RunWith(StandardSetup(Configuration::kParSeq, 40),
+                   std::make_unique<SimShadow>(scrambled));
+  // Paper Table 7: 1.94 -> 18.54 ms/page on parallel-access disks.
+  EXPECT_GT(r.exec_time_per_page_ms,
+            clustered.exec_time_per_page_ms * 5.0);
+}
+
+TEST(SimShadowTest, ScramblingDoublesSequentialAccessTimeOnConventional) {
+  SimShadowOptions scrambled;
+  scrambled.clustered = false;
+  auto clustered = RunWith(StandardSetup(Configuration::kConvSeq, 40),
+                           std::make_unique<SimShadow>());
+  auto r = RunWith(StandardSetup(Configuration::kConvSeq, 40),
+                   std::make_unique<SimShadow>(scrambled));
+  // Paper Table 7: 10.98 -> 20.74.
+  EXPECT_GT(r.exec_time_per_page_ms,
+            clustered.exec_time_per_page_ms * 1.5);
+}
+
+// -------------------------------------------------------------- overwrite
+
+TEST(SimOverwriteTest, ExtraIosHurtConventionalRandom) {
+  auto bare = RunWith(StandardSetup(Configuration::kConvRandom, 40),
+                      std::make_unique<BareArch>());
+  auto r = RunWith(StandardSetup(Configuration::kConvRandom, 40),
+                   std::make_unique<SimOverwrite>());
+  // Paper Table 8: 18.0 -> 26.9.
+  EXPECT_GT(r.exec_time_per_page_ms, bare.exec_time_per_page_ms * 1.2);
+}
+
+TEST(SimOverwriteTest, ParallelDisksAbsorbTheOverwrites) {
+  auto bare = RunWith(StandardSetup(Configuration::kParSeq, 40),
+                      std::make_unique<BareArch>());
+  auto r = RunWith(StandardSetup(Configuration::kParSeq, 40),
+                   std::make_unique<SimOverwrite>());
+  // Paper Table 7: 1.92 -> 2.31 only.
+  EXPECT_LT(r.exec_time_per_page_ms, bare.exec_time_per_page_ms * 1.6);
+}
+
+TEST(SimOverwriteTest, NoUndoDoesScratchReadsAndHomeWrites) {
+  auto setup = StandardSetup(Configuration::kConvRandom, 20);
+  auto txns = workload::GenerateWorkload(setup.workload);
+  uint64_t updates = 0;
+  for (const auto& t : txns) updates += t.num_writes();
+  Machine m(setup.machine, txns, std::make_unique<SimOverwrite>());
+  auto r = m.Run();
+  EXPECT_EQ(static_cast<uint64_t>(r.extra["scratch_writes"]), updates);
+  EXPECT_EQ(static_cast<uint64_t>(r.extra["scratch_reads"]), updates);
+  EXPECT_EQ(static_cast<uint64_t>(r.extra["home_overwrites"]), updates);
+}
+
+TEST(SimOverwriteTest, NoRedoSkipsCommitTimeIo) {
+  auto r = RunWith(StandardSetup(Configuration::kConvRandom, 20),
+                   std::make_unique<SimOverwrite>(SimOverwriteMode::kNoRedo));
+  EXPECT_EQ(r.extra["scratch_reads"], 0.0);
+  EXPECT_GT(r.extra["scratch_writes"], 0.0);
+  EXPECT_GT(r.extra["home_overwrites"], 0.0);
+}
+
+// ------------------------------------------------------------ differential
+
+TEST(SimDifferentialTest, BasicStrategySaturatesQueryProcessors) {
+  SimDifferentialOptions basic;
+  basic.optimal = false;
+  auto r = RunWith(StandardSetup(Configuration::kConvRandom, 30),
+                   std::make_unique<SimDifferential>(basic));
+  // Paper §4.3.1: with the basic approach the QPs, not the disks, limit
+  // the machine, uniformly across configurations.
+  EXPECT_GT(r.qp_util, 0.9);
+  EXPECT_LT(r.data_disk_util[0], 0.8);
+}
+
+TEST(SimDifferentialTest, BasicStrategyUniformAcrossConfigs) {
+  SimDifferentialOptions basic;
+  basic.optimal = false;
+  auto a = RunWith(StandardSetup(Configuration::kConvRandom, 30),
+                   std::make_unique<SimDifferential>(basic));
+  auto b = RunWith(StandardSetup(Configuration::kParSeq, 30),
+                   std::make_unique<SimDifferential>(basic));
+  EXPECT_NEAR(a.exec_time_per_page_ms, b.exec_time_per_page_ms,
+              a.exec_time_per_page_ms * 0.1);
+}
+
+TEST(SimDifferentialTest, OptimalStrategyRecoversMostThroughput) {
+  SimDifferentialOptions basic;
+  basic.optimal = false;
+  auto rb = RunWith(StandardSetup(Configuration::kConvRandom, 30),
+                    std::make_unique<SimDifferential>(basic));
+  auto ro = RunWith(StandardSetup(Configuration::kConvRandom, 30),
+                    std::make_unique<SimDifferential>());
+  EXPECT_LT(ro.exec_time_per_page_ms, rb.exec_time_per_page_ms * 0.66);
+}
+
+TEST(SimDifferentialTest, DegradationGrowsNonlinearlyWithSize) {
+  double prev = 0;
+  std::vector<double> deltas;
+  auto bare = RunWith(StandardSetup(Configuration::kConvRandom, 30),
+                      std::make_unique<BareArch>());
+  for (double size : {0.10, 0.15, 0.20}) {
+    SimDifferentialOptions o;
+    o.diff_size = size;
+    auto r = RunWith(StandardSetup(Configuration::kConvRandom, 30),
+                     std::make_unique<SimDifferential>(o));
+    EXPECT_GT(r.exec_time_per_page_ms, prev);
+    deltas.push_back(r.exec_time_per_page_ms - bare.exec_time_per_page_ms);
+    prev = r.exec_time_per_page_ms;
+  }
+  // Nonlinear: the 15->20 step exceeds the 10->15 step.
+  EXPECT_GT(deltas[2] - deltas[1], deltas[1] - deltas[0]);
+}
+
+TEST(SimDifferentialTest, OutputFractionShrinksWrites) {
+  auto setup = StandardSetup(Configuration::kConvRandom, 20);
+  auto txns = workload::GenerateWorkload(setup.workload);
+  uint64_t updates = 0;
+  for (const auto& t : txns) updates += t.num_writes();
+  Machine m(setup.machine, txns, std::make_unique<SimDifferential>());
+  auto r = m.Run();
+  const auto outputs = static_cast<uint64_t>(r.extra["diff_output_pages"]);
+  // Exact tuple volume is 10% of the updates; per-transaction
+  // fragmentation (§4.3.2) adds up to one partial page per transaction,
+  // ~0.5 in expectation.
+  const double exact = static_cast<double>(updates) * 0.10;
+  const double fragmentation = 0.5 * static_cast<double>(txns.size());
+  EXPECT_NEAR(static_cast<double>(outputs), exact + fragmentation,
+              fragmentation);
+  EXPECT_GE(static_cast<double>(outputs), exact);
+}
+
+TEST(SimDifferentialTest, FragmentationMakesOutputSublinear) {
+  // The paper's Table 10 insight: halving the output fraction does not
+  // halve the writes, because each transaction still flushes a partial
+  // output page at commit.
+  auto outputs_at = [](double fraction, bool fragmented) {
+    auto setup = StandardSetup(Configuration::kConvRandom, 20);
+    SimDifferentialOptions o;
+    o.output_fraction = fraction;
+    o.per_txn_fragmentation = fragmented;
+    auto r = RunWith(setup, std::make_unique<SimDifferential>(o));
+    return r.extra.at("diff_output_pages");
+  };
+  const double frag10 = outputs_at(0.10, true);
+  const double frag50 = outputs_at(0.50, true);
+  const double ideal10 = outputs_at(0.10, false);
+  const double ideal50 = outputs_at(0.50, false);
+  // Idealized accounting is ~linear; fragmented accounting is sublinear.
+  EXPECT_NEAR(ideal50 / ideal10, 5.0, 0.6);
+  EXPECT_LT(frag50 / frag10, 4.8);
+  EXPECT_LT(frag50 / frag10, ideal50 / ideal10);
+  EXPECT_GT(frag10, ideal10);  // fragmentation always costs pages
+}
+
+TEST(SimDifferentialTest, ExtraReadsProportionalToDiffSize) {
+  auto setup = StandardSetup(Configuration::kConvRandom, 20);
+  auto txns = workload::GenerateWorkload(setup.workload);
+  Machine m(setup.machine, txns, std::make_unique<SimDifferential>());
+  auto r = m.Run();
+  // Two Bernoulli(0.10) trials per base-page read.
+  const double expected =
+      static_cast<double>(r.pages_read) * 0.2 /
+      (1.0 + 0.2);  // pages_read includes the extra reads themselves
+  EXPECT_NEAR(r.extra["diff_extra_reads"], expected, expected * 0.35);
+}
+
+// --------------------------------------------------------- version select
+
+TEST(SimVersionSelectTest, ReadsFetchBothCopies) {
+  auto setup = StandardSetup(Configuration::kConvRandom, 20);
+  Machine m(setup.machine, workload::GenerateWorkload(setup.workload),
+            std::make_unique<SimVersionSelect>());
+  auto r = m.Run();
+  EXPECT_GT(r.extra["commit_list_writes"], 0.0);
+}
+
+TEST(SimVersionSelectTest, SlowerThanThruPageTable) {
+  // Paper §4.2.5: version selection loses to the thru-page-table shadow
+  // with adequate buffering, because the machine is I/O-bandwidth bound.
+  SimShadowOptions two;
+  two.num_pt_processors = 2;
+  auto pt = RunWith(StandardSetup(Configuration::kConvRandom, 40),
+                    std::make_unique<SimShadow>(two));
+  auto vs = RunWith(StandardSetup(Configuration::kConvRandom, 40),
+                    std::make_unique<SimVersionSelect>());
+  EXPECT_GT(vs.exec_time_per_page_ms, pt.exec_time_per_page_ms * 1.05);
+}
+
+}  // namespace
+}  // namespace dbmr::machine

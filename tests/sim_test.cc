@@ -1,0 +1,177 @@
+// Unit tests for the discrete-event simulation kernel.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/server.h"
+#include "sim/simulator.h"
+
+namespace dbmr::sim {
+namespace {
+
+TEST(SimulatorTest, StartsAtZero) {
+  Simulator s;
+  EXPECT_EQ(s.Now(), 0.0);
+  EXPECT_EQ(s.PendingEvents(), 0u);
+}
+
+TEST(SimulatorTest, ExecutesInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.Schedule(30.0, [&] { order.push_back(3); });
+  s.Schedule(10.0, [&] { order.push_back(1); });
+  s.Schedule(20.0, [&] { order.push_back(2); });
+  s.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.Now(), 30.0);
+}
+
+TEST(SimulatorTest, FifoAmongEqualTimestamps) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.Schedule(5.0, [&, i] { order.push_back(i); });
+  }
+  s.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(SimulatorTest, NestedSchedulingAdvancesClock) {
+  Simulator s;
+  double second_fired_at = -1;
+  s.Schedule(10.0, [&] {
+    s.Schedule(5.0, [&] { second_fired_at = s.Now(); });
+  });
+  s.Run();
+  EXPECT_EQ(second_fired_at, 15.0);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator s;
+  bool fired = false;
+  EventId id = s.Schedule(10.0, [&] { fired = true; });
+  EXPECT_TRUE(s.Cancel(id));
+  s.Run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(s.PendingEvents(), 0u);
+}
+
+TEST(SimulatorTest, CancelFiredEventIsNoop) {
+  Simulator s;
+  EventId id = s.Schedule(1.0, [] {});
+  s.Run();
+  EXPECT_FALSE(s.Cancel(id));
+}
+
+TEST(SimulatorTest, CancelUnknownIdIsNoop) {
+  Simulator s;
+  EXPECT_FALSE(s.Cancel(9999));
+  EXPECT_FALSE(s.Cancel(kNoEvent));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBound) {
+  Simulator s;
+  int fired = 0;
+  for (int i = 1; i <= 10; ++i) {
+    s.Schedule(i * 10.0, [&] { ++fired; });
+  }
+  s.Run(50.0);
+  EXPECT_EQ(fired, 5);  // events at 10..50 inclusive
+  EXPECT_EQ(s.PendingEvents(), 5u);
+  s.Run();
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(SimulatorTest, NegativeDelayClampsToNow) {
+  Simulator s;
+  double fired_at = -1;
+  s.Schedule(10.0, [&] {
+    s.Schedule(-5.0, [&] { fired_at = s.Now(); });
+  });
+  s.Run();
+  EXPECT_EQ(fired_at, 10.0);
+}
+
+TEST(SimulatorTest, StepReturnsFalseWhenEmpty) {
+  Simulator s;
+  EXPECT_FALSE(s.Step());
+  s.Schedule(1.0, [] {});
+  EXPECT_TRUE(s.Step());
+  EXPECT_FALSE(s.Step());
+  EXPECT_EQ(s.events_executed(), 1u);
+}
+
+TEST(ServerTest, ProcessesSequentially) {
+  Simulator sim;
+  Server srv(&sim, "cpu");
+  std::vector<double> completions;
+  for (int i = 0; i < 3; ++i) {
+    srv.Submit(10.0, [&] { completions.push_back(sim.Now()); });
+  }
+  sim.Run();
+  EXPECT_EQ(completions, (std::vector<double>{10.0, 20.0, 30.0}));
+  EXPECT_EQ(srv.jobs_completed(), 3u);
+}
+
+TEST(ServerTest, UtilizationAccounting) {
+  Simulator sim;
+  Server srv(&sim, "cpu");
+  srv.Submit(25.0, nullptr);
+  sim.Run();
+  // Busy 25 out of 25 elapsed.
+  EXPECT_NEAR(srv.Utilization(), 1.0, 1e-9);
+  // Idle until 100: utilization 25%.
+  sim.Schedule(75.0, [] {});
+  sim.Run();
+  EXPECT_NEAR(srv.Utilization(), 0.25, 1e-9);
+}
+
+TEST(ServerTest, WaitTimeMeasured) {
+  Simulator sim;
+  Server srv(&sim, "cpu");
+  srv.Submit(10.0, nullptr);
+  srv.Submit(10.0, nullptr);  // waits 10
+  sim.Run();
+  EXPECT_DOUBLE_EQ(srv.wait_stat().mean(), 5.0);  // 0 and 10
+  EXPECT_DOUBLE_EQ(srv.service_stat().mean(), 10.0);
+}
+
+TEST(ServerTest, LazyServiceTimeSeesDispatchState) {
+  Simulator sim;
+  Server srv(&sim, "cpu");
+  double seen_at = -1;
+  srv.Submit(10.0, nullptr);
+  srv.Submit(Job{[&] {
+                   seen_at = sim.Now();
+                   return 1.0;
+                 },
+                 nullptr});
+  sim.Run();
+  EXPECT_EQ(seen_at, 10.0);  // computed when dispatched, not when queued
+}
+
+TEST(ServerTest, SubmitFromCompletionCallback) {
+  Simulator sim;
+  Server srv(&sim, "cpu");
+  std::vector<double> times;
+  srv.Submit(5.0, [&] {
+    times.push_back(sim.Now());
+    srv.Submit(5.0, [&] { times.push_back(sim.Now()); });
+  });
+  sim.Run();
+  EXPECT_EQ(times, (std::vector<double>{5.0, 10.0}));
+}
+
+TEST(ServerTest, AvgQueueLength) {
+  Simulator sim;
+  Server srv(&sim, "cpu");
+  // Three jobs at t=0, each 10ms: queue holds 2 on [0,10), 1 on [10,20),
+  // 0 on [20,30).  Average over [0,30) = 1.
+  for (int i = 0; i < 3; ++i) srv.Submit(10.0, nullptr);
+  sim.Run();
+  EXPECT_NEAR(srv.AvgQueueLength(), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace dbmr::sim

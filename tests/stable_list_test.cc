@@ -1,0 +1,127 @@
+// Unit tests for the stable record list.
+
+#include <gtest/gtest.h>
+
+#include "store/recovery/stable_list.h"
+
+namespace dbmr::store {
+namespace {
+
+constexpr size_t kBlock = 128;
+
+std::vector<uint8_t> Blob(uint8_t v, size_t n = 8) {
+  return std::vector<uint8_t>(n, v);
+}
+
+TEST(StableListTest, AppendForceScanRoundTrip) {
+  VirtualDisk d("d", 32, kBlock);
+  StableList list(&d, 0, 1, 31);
+  ASSERT_TRUE(list.Truncate().ok());
+  ASSERT_TRUE(list.Append(Blob(1)).ok());
+  ASSERT_TRUE(list.Append(Blob(2)).ok());
+  ASSERT_TRUE(list.Force().ok());
+  std::vector<std::vector<uint8_t>> out;
+  ASSERT_TRUE(list.Scan(&out).ok());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], Blob(1));
+  EXPECT_EQ(out[1], Blob(2));
+}
+
+TEST(StableListTest, UnforcedRecordsNotDurable) {
+  VirtualDisk d("d", 32, kBlock);
+  StableList list(&d, 0, 1, 31);
+  ASSERT_TRUE(list.Truncate().ok());
+  ASSERT_TRUE(list.Append(Blob(1)).ok());
+  EXPECT_TRUE(list.HasUnforced());
+  std::vector<std::vector<uint8_t>> out;
+  ASSERT_TRUE(list.Scan(&out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(StableListTest, DropVolatileLosesUnforcedOnly) {
+  VirtualDisk d("d", 32, kBlock);
+  StableList list(&d, 0, 1, 31);
+  ASSERT_TRUE(list.Truncate().ok());
+  ASSERT_TRUE(list.Append(Blob(1)).ok());
+  ASSERT_TRUE(list.Force().ok());
+  ASSERT_TRUE(list.Append(Blob(2)).ok());
+  list.DropVolatile();
+  std::vector<std::vector<uint8_t>> out;
+  ASSERT_TRUE(list.Scan(&out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], Blob(1));
+}
+
+TEST(StableListTest, RecordsSpanBlocks) {
+  VirtualDisk d("d", 32, kBlock);
+  StableList list(&d, 0, 1, 31);
+  ASSERT_TRUE(list.Truncate().ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(list.Append(Blob(static_cast<uint8_t>(i), 40)).ok());
+  }
+  ASSERT_TRUE(list.Force().ok());
+  std::vector<std::vector<uint8_t>> out;
+  ASSERT_TRUE(list.Scan(&out).ok());
+  ASSERT_EQ(out.size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(out[static_cast<size_t>(i)],
+              Blob(static_cast<uint8_t>(i), 40));
+  }
+}
+
+TEST(StableListTest, TruncateInvalidatesOldRecords) {
+  VirtualDisk d("d", 32, kBlock);
+  StableList list(&d, 0, 1, 31);
+  ASSERT_TRUE(list.Truncate().ok());
+  ASSERT_TRUE(list.Append(Blob(1)).ok());
+  ASSERT_TRUE(list.Force().ok());
+  ASSERT_TRUE(list.Truncate().ok());
+  std::vector<std::vector<uint8_t>> out;
+  ASSERT_TRUE(list.Scan(&out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(StableListTest, LoadResumesAfterRestart) {
+  VirtualDisk d("d", 32, kBlock);
+  {
+    StableList list(&d, 0, 1, 31);
+    ASSERT_TRUE(list.Truncate().ok());
+    ASSERT_TRUE(list.Append(Blob(7)).ok());
+    ASSERT_TRUE(list.Force().ok());
+  }
+  StableList list2(&d, 0, 1, 31);
+  ASSERT_TRUE(list2.Load().ok());
+  std::vector<std::vector<uint8_t>> out;
+  ASSERT_TRUE(list2.Scan(&out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], Blob(7));
+  EXPECT_EQ(list2.epoch(), 1u);
+}
+
+TEST(StableListTest, FullListReportsExhausted) {
+  VirtualDisk d("d", 4, kBlock);
+  StableList list(&d, 0, 1, 3);
+  ASSERT_TRUE(list.Truncate().ok());
+  Status st = Status::OK();
+  for (int i = 0; i < 100 && st.ok(); ++i) {
+    st = list.Append(Blob(static_cast<uint8_t>(i), 40));
+    if (st.ok()) st = list.Force();
+  }
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(StableListTest, GroupFillKeepsEarlierRecords) {
+  VirtualDisk d("d", 32, kBlock);
+  StableList list(&d, 0, 1, 31);
+  ASSERT_TRUE(list.Truncate().ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(list.Append(Blob(static_cast<uint8_t>(i))).ok());
+    ASSERT_TRUE(list.Force().ok());  // rewrite partial block each time
+  }
+  std::vector<std::vector<uint8_t>> out;
+  ASSERT_TRUE(list.Scan(&out).ok());
+  ASSERT_EQ(out.size(), 5u);
+}
+
+}  // namespace
+}  // namespace dbmr::store

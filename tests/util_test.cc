@@ -1,0 +1,250 @@
+// Unit tests for util: Status/Result, Rng, stats accumulators, strings,
+// tables.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/str.h"
+#include "util/table.h"
+
+namespace dbmr {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing page 7");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "missing page 7");
+  EXPECT_EQ(s.ToString(), "NotFound: missing page 7");
+}
+
+TEST(StatusTest, CodeNamesAreDistinct) {
+  std::set<std::string> names;
+  for (StatusCode c :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
+        StatusCode::kFailedPrecondition, StatusCode::kResourceExhausted,
+        StatusCode::kCorruption, StatusCode::kAborted,
+        StatusCode::kInternal}) {
+    names.insert(StatusCodeName(c));
+  }
+  EXPECT_EQ(names.size(), 10u);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status::OK());
+  EXPECT_EQ(Status::Aborted("x"), Status::Aborted("x"));
+  EXPECT_FALSE(Status::Aborted("x") == Status::Aborted("y"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.ValueOr(-1), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::Corruption("bad block"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCorruption());
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.Next() == b.Next();
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = r.UniformInt(1, 250);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 250);
+  }
+}
+
+TEST(RngTest, UniformIntCoversWholeRange) {
+  Rng r(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(r.UniformInt(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, UniformIntMeanNearCenter) {
+  // The paper's transaction size is U(1, 250); check the generator's mean.
+  Rng r(99);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(r.UniformInt(1, 250));
+  EXPECT_NEAR(sum / n, 125.5, 1.0);
+}
+
+TEST(RngTest, UniformDoubleInHalfOpenUnit) {
+  Rng r(5);
+  for (int i = 0; i < 10000; ++i) {
+    double v = r.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliEdges) {
+  Rng r(5);
+  EXPECT_FALSE(r.Bernoulli(0.0));
+  EXPECT_TRUE(r.Bernoulli(1.0));
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng r(11);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += r.Bernoulli(0.2);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.2, 0.01);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng r(13);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += r.Exponential(10.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.2);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(42);
+  Rng child = a.Fork();
+  // The child stream should not replay the parent's.
+  int same = 0;
+  Rng parent_copy(42);
+  (void)parent_copy.Next();  // advance past the fork draw
+  for (int i = 0; i < 64; ++i) same += child.Next() == parent_copy.Next();
+  EXPECT_LT(same, 4);
+}
+
+TEST(RunningStatTest, BasicMoments) {
+  RunningStat s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.Add(v);
+  EXPECT_EQ(s.count(), 4);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(RunningStatTest, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatTest, MergeMatchesCombinedStream) {
+  Rng r(3);
+  RunningStat all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    double v = r.UniformDouble(0, 100);
+    all.Add(v);
+    (i % 2 ? a : b).Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(TimeWeightedStatTest, PiecewiseConstantAverage) {
+  TimeWeightedStat s;
+  s.Set(0.0, 1.0);   // value 1 on [0, 10)
+  s.Set(10.0, 3.0);  // value 3 on [10, 20)
+  EXPECT_DOUBLE_EQ(s.Average(20.0), 2.0);
+}
+
+TEST(TimeWeightedStatTest, UtilizationOfBusyIndicator) {
+  TimeWeightedStat s;
+  s.Set(0.0, 0.0);
+  s.Set(2.0, 1.0);
+  s.Set(7.0, 0.0);
+  EXPECT_DOUBLE_EQ(s.Average(10.0), 0.5);
+}
+
+TEST(TimeWeightedStatTest, AddAdjustsCurrent) {
+  TimeWeightedStat s;
+  s.Set(0.0, 0.0);
+  s.Add(0.0, 2.0);
+  EXPECT_DOUBLE_EQ(s.current(), 2.0);
+  s.Add(5.0, -1.0);
+  EXPECT_DOUBLE_EQ(s.current(), 1.0);
+  EXPECT_DOUBLE_EQ(s.Average(10.0), 1.5);
+}
+
+TEST(HistogramTest, CountsAndQuantiles) {
+  Histogram h(0.0, 100.0, 10);
+  for (int i = 0; i < 100; ++i) h.Add(i + 0.5);
+  EXPECT_EQ(h.count(), 100);
+  EXPECT_NEAR(h.Quantile(0.5), 50.0, 10.0);
+  EXPECT_NEAR(h.Quantile(0.0), 0.0, 10.0);
+}
+
+TEST(HistogramTest, OutOfRangeClampsToEdges) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(-100.0);
+  h.Add(100.0);
+  EXPECT_EQ(h.bucket_count(0), 1);
+  EXPECT_EQ(h.bucket_count(4), 1);
+}
+
+TEST(StrTest, StrFormat) {
+  EXPECT_EQ(StrFormat("x=%d y=%.2f", 3, 1.5), "x=3 y=1.50");
+  EXPECT_EQ(StrFormat("%s", ""), "");
+}
+
+TEST(StrTest, FormatFixed) { EXPECT_EQ(FormatFixed(3.14159, 2), "3.14"); }
+
+TEST(StrTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"one"}, ","), "one");
+}
+
+TEST(TextTableTest, RendersAlignedCells) {
+  TextTable t("Table X");
+  t.SetHeader({"Config", "Value"});
+  t.AddRow({"conv-random", "18.0"});
+  t.AddRow({"par-seq", "1.9"});
+  std::string out = t.Render();
+  EXPECT_NE(out.find("Table X"), std::string::npos);
+  EXPECT_NE(out.find("conv-random"), std::string::npos);
+  EXPECT_NE(out.find("| 1.9"), std::string::npos);
+}
+
+TEST(TextTableTest, PaperVsMeasured) {
+  EXPECT_EQ(PaperVsMeasured(18.0, 17.5), "18.0 / 17.5");
+  EXPECT_EQ(PaperVsMeasured(1.0, 2.0, 2), "1.00 / 2.00");
+}
+
+}  // namespace
+}  // namespace dbmr

@@ -1,0 +1,95 @@
+// Unit tests for the crash-able stable-storage model.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "store/virtual_disk.h"
+
+namespace dbmr::store {
+namespace {
+
+PageData Filled(size_t n, uint8_t v) { return PageData(n, v); }
+
+TEST(VirtualDiskTest, StartsZeroFilled) {
+  VirtualDisk d("d", 4, 128);
+  PageData out;
+  ASSERT_TRUE(d.Read(0, &out).ok());
+  EXPECT_EQ(out, Filled(128, 0));
+}
+
+TEST(VirtualDiskTest, WriteThenReadBack) {
+  VirtualDisk d("d", 4, 128);
+  ASSERT_TRUE(d.Write(2, Filled(128, 7)).ok());
+  PageData out;
+  ASSERT_TRUE(d.Read(2, &out).ok());
+  EXPECT_EQ(out, Filled(128, 7));
+  EXPECT_EQ(d.writes(), 1u);
+  EXPECT_EQ(d.reads(), 1u);
+}
+
+TEST(VirtualDiskTest, OutOfRangeRejected) {
+  VirtualDisk d("d", 4, 128);
+  PageData out;
+  EXPECT_EQ(d.Read(4, &out).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(d.Write(4, Filled(128, 1)).code(), StatusCode::kOutOfRange);
+}
+
+TEST(VirtualDiskTest, WrongSizeRejected) {
+  VirtualDisk d("d", 4, 128);
+  EXPECT_EQ(d.Write(0, Filled(64, 1)).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(VirtualDiskTest, FailAfterWritesInjectsCrash) {
+  VirtualDisk d("d", 4, 128);
+  d.FailAfterWrites(2);
+  EXPECT_TRUE(d.Write(0, Filled(128, 1)).ok());
+  EXPECT_TRUE(d.Write(1, Filled(128, 2)).ok());
+  EXPECT_TRUE(d.Write(2, Filled(128, 3)).IsAborted());
+  EXPECT_TRUE(d.crashed());
+  // Failed write must not modify the block.
+  PageData out;
+  ASSERT_TRUE(d.Read(2, &out).ok());
+  EXPECT_EQ(out, Filled(128, 0));
+  // Subsequent writes keep failing until the crash state clears.
+  EXPECT_TRUE(d.Write(3, Filled(128, 4)).IsAborted());
+  d.ClearCrashState();
+  EXPECT_TRUE(d.Write(3, Filled(128, 4)).ok());
+}
+
+TEST(VirtualDiskTest, ContentsSurviveCrash) {
+  VirtualDisk d("d", 4, 128);
+  ASSERT_TRUE(d.Write(1, Filled(128, 9)).ok());
+  d.FailAfterWrites(0);
+  EXPECT_TRUE(d.Write(1, Filled(128, 5)).IsAborted());
+  d.ClearCrashState();
+  PageData out;
+  ASSERT_TRUE(d.Read(1, &out).ok());
+  EXPECT_EQ(out, Filled(128, 9));  // pre-crash content intact
+}
+
+TEST(VirtualDiskTest, TornWriteLeavesPrefix) {
+  VirtualDisk d("d", 2, 128);
+  ASSERT_TRUE(d.Write(0, Filled(128, 1)).ok());
+  d.SetTornWriteMode(true, 32);
+  d.FailAfterWrites(0);
+  EXPECT_TRUE(d.Write(0, Filled(128, 2)).IsAborted());
+  PageData out;
+  ASSERT_TRUE(d.Read(0, &out).ok());
+  for (size_t i = 0; i < 32; ++i) EXPECT_EQ(out[i], 2) << i;
+  for (size_t i = 32; i < 128; ++i) EXPECT_EQ(out[i], 1) << i;
+}
+
+TEST(VirtualDiskTest, WriteObserverSeesSuccessfulWrites) {
+  VirtualDisk d("d", 4, 128);
+  std::vector<BlockId> observed;
+  d.SetWriteObserver(
+      [&](BlockId b, const PageData&) { observed.push_back(b); });
+  ASSERT_TRUE(d.Write(3, Filled(128, 1)).ok());
+  d.FailAfterWrites(0);
+  (void)d.Write(2, Filled(128, 1));
+  EXPECT_EQ(observed, (std::vector<BlockId>{3}));
+}
+
+}  // namespace
+}  // namespace dbmr::store

@@ -1,0 +1,555 @@
+// Tests for the WAL engine: basic transactional behavior, the WAL rule,
+// parallel log streams, logical vs physical logging, checkpointing, and
+// crash-everywhere recovery properties.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "engine_test_util.h"
+#include "store/recovery/wal_engine.h"
+#include "store/virtual_disk.h"
+
+namespace dbmr::store {
+namespace {
+
+constexpr size_t kBlock = 256;
+constexpr uint64_t kDataBlocks = 64;
+constexpr uint64_t kLogBlocks = 4096;
+
+struct WalFixture {
+  explicit WalFixture(size_t n_logs, WalEngineOptions opts = {}) {
+    data = std::make_unique<VirtualDisk>("data", kDataBlocks, kBlock);
+    std::vector<VirtualDisk*> log_ptrs;
+    for (size_t i = 0; i < n_logs; ++i) {
+      logs.push_back(std::make_unique<VirtualDisk>("log" + std::to_string(i),
+                                                   kLogBlocks, kBlock));
+      log_ptrs.push_back(logs.back().get());
+    }
+    engine = std::make_unique<WalEngine>(data.get(), log_ptrs, opts);
+    EXPECT_TRUE(engine->Format().ok());
+  }
+
+  PageData Payload(uint8_t fill) const {
+    return PageData(engine->payload_size(), fill);
+  }
+
+  std::unique_ptr<VirtualDisk> data;
+  std::vector<std::unique_ptr<VirtualDisk>> logs;
+  std::unique_ptr<WalEngine> engine;
+};
+
+TEST(WalEngineTest, ReadOfFreshPageIsZero) {
+  WalFixture f(1);
+  auto t = f.engine->Begin();
+  ASSERT_TRUE(t.ok());
+  PageData out;
+  ASSERT_TRUE(f.engine->Read(*t, 3, &out).ok());
+  EXPECT_EQ(out, f.Payload(0));
+}
+
+TEST(WalEngineTest, WriteReadBackWithinTxn) {
+  WalFixture f(1);
+  auto t = f.engine->Begin();
+  ASSERT_TRUE(f.engine->Write(*t, 5, f.Payload(7)).ok());
+  PageData out;
+  ASSERT_TRUE(f.engine->Read(*t, 5, &out).ok());
+  EXPECT_EQ(out, f.Payload(7));
+}
+
+TEST(WalEngineTest, CommittedWriteVisibleToLaterTxn) {
+  WalFixture f(1);
+  auto t = f.engine->Begin();
+  ASSERT_TRUE(f.engine->Write(*t, 5, f.Payload(7)).ok());
+  ASSERT_TRUE(f.engine->Commit(*t).ok());
+  auto t2 = f.engine->Begin();
+  PageData out;
+  ASSERT_TRUE(f.engine->Read(*t2, 5, &out).ok());
+  EXPECT_EQ(out, f.Payload(7));
+}
+
+TEST(WalEngineTest, AbortRollsBack) {
+  WalFixture f(1);
+  auto t = f.engine->Begin();
+  ASSERT_TRUE(f.engine->Write(*t, 5, f.Payload(7)).ok());
+  ASSERT_TRUE(f.engine->Write(*t, 6, f.Payload(8)).ok());
+  ASSERT_TRUE(f.engine->Abort(*t).ok());
+  auto t2 = f.engine->Begin();
+  PageData out;
+  ASSERT_TRUE(f.engine->Read(*t2, 5, &out).ok());
+  EXPECT_EQ(out, f.Payload(0));
+  ASSERT_TRUE(f.engine->Read(*t2, 6, &out).ok());
+  EXPECT_EQ(out, f.Payload(0));
+}
+
+TEST(WalEngineTest, UncommittedInvisibleAfterCrash) {
+  WalFixture f(1);
+  auto t = f.engine->Begin();
+  ASSERT_TRUE(f.engine->Write(*t, 5, f.Payload(7)).ok());
+  f.engine->Crash();
+  ASSERT_TRUE(f.engine->Recover().ok());
+  auto t2 = f.engine->Begin();
+  PageData out;
+  ASSERT_TRUE(f.engine->Read(*t2, 5, &out).ok());
+  EXPECT_EQ(out, f.Payload(0));
+}
+
+TEST(WalEngineTest, CommittedSurvivesCrashWithoutDataFlush) {
+  // No-force: pages stay dirty in the pool at commit; recovery must REDO.
+  WalFixture f(1);
+  auto t = f.engine->Begin();
+  ASSERT_TRUE(f.engine->Write(*t, 5, f.Payload(7)).ok());
+  ASSERT_TRUE(f.engine->Commit(*t).ok());
+  f.engine->Crash();
+  ASSERT_TRUE(f.engine->Recover().ok());
+  EXPECT_GE(f.engine->redo_applied(), 1u);
+  auto t2 = f.engine->Begin();
+  PageData out;
+  ASSERT_TRUE(f.engine->Read(*t2, 5, &out).ok());
+  EXPECT_EQ(out, f.Payload(7));
+}
+
+TEST(WalEngineTest, StolenDirtyPageUndoneAfterCrash) {
+  // Steal: force an uncommitted dirty page to disk through a tiny pool,
+  // then crash; recovery must UNDO it from the before image.
+  WalEngineOptions opts;
+  opts.pool_frames = 2;
+  WalFixture f(1, opts);
+  // Committed baseline on page 1.
+  auto t0 = f.engine->Begin();
+  ASSERT_TRUE(f.engine->Write(*t0, 1, f.Payload(3)).ok());
+  ASSERT_TRUE(f.engine->Commit(*t0).ok());
+  ASSERT_TRUE(f.engine->Checkpoint().ok());
+
+  auto t = f.engine->Begin();
+  ASSERT_TRUE(f.engine->Write(*t, 1, f.Payload(9)).ok());
+  // Touch other pages to evict page 1 (dirty, uncommitted) to disk.
+  auto t2 = f.engine->Begin();
+  PageData out;
+  ASSERT_TRUE(f.engine->Read(*t2, 2, &out).ok());
+  ASSERT_TRUE(f.engine->Read(*t2, 3, &out).ok());
+  ASSERT_TRUE(f.engine->Read(*t2, 4, &out).ok());
+
+  f.engine->Crash();
+  ASSERT_TRUE(f.engine->Recover().ok());
+  EXPECT_GE(f.engine->undo_applied(), 1u);
+  auto t3 = f.engine->Begin();
+  ASSERT_TRUE(f.engine->Read(*t3, 1, &out).ok());
+  EXPECT_EQ(out, f.Payload(3));
+}
+
+TEST(WalEngineTest, WalRuleLogBeforeData) {
+  // Audit physical write ordering: when a data page hits the disk, the log
+  // record covering its latest update must already be durable.
+  WalEngineOptions opts;
+  opts.pool_frames = 2;
+  WalFixture f(1, opts);
+
+  uint64_t log_writes_seen = 0;
+  f.logs[0]->SetWriteObserver(
+      [&](BlockId, const PageData&) { ++log_writes_seen; });
+  std::vector<uint64_t> log_writes_at_data_write;
+  f.data->SetWriteObserver([&](BlockId, const PageData&) {
+    log_writes_at_data_write.push_back(log_writes_seen);
+  });
+
+  auto t = f.engine->Begin();
+  ASSERT_TRUE(f.engine->Write(*t, 1, f.Payload(9)).ok());
+  // Evict page 1 by touching others.
+  auto t2 = f.engine->Begin();
+  PageData out;
+  ASSERT_TRUE(f.engine->Read(*t2, 2, &out).ok());
+  ASSERT_TRUE(f.engine->Read(*t2, 3, &out).ok());
+  ASSERT_TRUE(f.engine->Read(*t2, 4, &out).ok());
+
+  ASSERT_FALSE(log_writes_at_data_write.empty());
+  for (uint64_t n : log_writes_at_data_write) {
+    EXPECT_GE(n, 1u) << "data page written before any log write";
+  }
+}
+
+TEST(WalEngineTest, CommitForcesTheLog) {
+  WalFixture f(1);
+  auto t = f.engine->Begin();
+  ASSERT_TRUE(f.engine->Write(*t, 1, f.Payload(9)).ok());
+  uint64_t before = f.logs[0]->writes();
+  ASSERT_TRUE(f.engine->Commit(*t).ok());
+  EXPECT_GT(f.logs[0]->writes(), before);
+  EXPECT_GE(f.engine->log_forces(), 1u);
+}
+
+TEST(WalEngineTest, GroupFillRewritesPartialBlock) {
+  // Several small commits should land in the same log block, rewritten in
+  // place, not one block per commit.
+  WalFixture f(1);
+  std::map<BlockId, int> writes_per_block;
+  f.logs[0]->SetWriteObserver(
+      [&](BlockId b, const PageData&) { ++writes_per_block[b]; });
+  for (int i = 0; i < 4; ++i) {
+    auto t = f.engine->Begin();
+    PageData p = f.Payload(0);
+    p[0] = static_cast<uint8_t>(i + 1);
+    ASSERT_TRUE(f.engine->Write(*t, static_cast<txn::PageId>(i), p).ok());
+    ASSERT_TRUE(f.engine->Commit(*t).ok());
+  }
+  // Small commits share log blocks: the first data block is rewritten in
+  // place several times, and the workload never reaches block 3.
+  EXPECT_GE(writes_per_block[1], 2);
+  EXPECT_EQ(writes_per_block.count(3), 0u);
+}
+
+TEST(WalEngineTest, LockConflictReturnsAborted) {
+  WalFixture f(1);
+  auto t1 = f.engine->Begin();
+  auto t2 = f.engine->Begin();
+  ASSERT_TRUE(f.engine->Write(*t1, 1, f.Payload(1)).ok());
+  EXPECT_TRUE(f.engine->Write(*t2, 1, f.Payload(2)).IsAborted());
+  PageData out;
+  EXPECT_TRUE(f.engine->Read(*t2, 1, &out).IsAborted());
+}
+
+TEST(WalEngineTest, OperationsOnUnknownTxnFail) {
+  WalFixture f(1);
+  PageData out;
+  EXPECT_EQ(f.engine->Read(99, 1, &out).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(f.engine->Commit(99).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(f.engine->Abort(99).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(WalEngineTest, WrongPayloadSizeRejected) {
+  WalFixture f(1);
+  auto t = f.engine->Begin();
+  EXPECT_EQ(f.engine->Write(*t, 1, PageData(3, 0)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(WalEngineTest, PageOutOfRangeRejected) {
+  WalFixture f(1);
+  auto t = f.engine->Begin();
+  PageData out;
+  EXPECT_EQ(f.engine->Read(*t, kDataBlocks + 1, &out).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(WalEngineTest, CheckpointTruncatesLogs) {
+  WalFixture f(1);
+  for (int i = 0; i < 3; ++i) {
+    auto t = f.engine->Begin();
+    ASSERT_TRUE(
+        f.engine->Write(*t, static_cast<txn::PageId>(i), f.Payload(5)).ok());
+    ASSERT_TRUE(f.engine->Commit(*t).ok());
+  }
+  ASSERT_TRUE(f.engine->Checkpoint().ok());
+  // After the checkpoint, recovery has nothing to replay.
+  f.engine->Crash();
+  ASSERT_TRUE(f.engine->Recover().ok());
+  EXPECT_EQ(f.engine->redo_applied(), 0u);
+  auto t = f.engine->Begin();
+  PageData out;
+  ASSERT_TRUE(f.engine->Read(*t, 0, &out).ok());
+  EXPECT_EQ(out, f.Payload(5));
+}
+
+TEST(WalEngineTest, QuiescentCheckpointTruncates) {
+  WalFixture f(1);
+  auto t = f.engine->Begin();
+  ASSERT_TRUE(f.engine->Write(*t, 1, f.Payload(1)).ok());
+  ASSERT_TRUE(f.engine->Commit(*t).ok());
+  ASSERT_TRUE(f.engine->Checkpoint().ok());
+  EXPECT_EQ(f.engine->full_checkpoints(), 1u);
+  EXPECT_EQ(f.engine->fuzzy_checkpoints(), 0u);
+}
+
+TEST(WalEngineTest, FuzzyCheckpointWithActiveTransactions) {
+  // Paper's companion [13]: checkpointing without complete quiescing.
+  WalFixture f(2);
+  // Committed work that the fuzzy checkpoint should retire from the logs.
+  for (int i = 0; i < 5; ++i) {
+    auto t = f.engine->Begin();
+    ASSERT_TRUE(f.engine
+                    ->Write(*t, static_cast<txn::PageId>(i),
+                            f.Payload(static_cast<uint8_t>(i + 1)))
+                    .ok());
+    ASSERT_TRUE(f.engine->Commit(*t).ok());
+  }
+  // An active transaction straddles the checkpoint.
+  auto active = f.engine->Begin();
+  ASSERT_TRUE(f.engine->Write(*active, 10, f.Payload(99)).ok());
+
+  ASSERT_TRUE(f.engine->Checkpoint().ok());
+  EXPECT_EQ(f.engine->fuzzy_checkpoints(), 1u);
+
+  // The transaction continues across the checkpoint and commits.
+  ASSERT_TRUE(f.engine->Write(*active, 11, f.Payload(98)).ok());
+  ASSERT_TRUE(f.engine->Commit(*active).ok());
+
+  f.engine->Crash();
+  ASSERT_TRUE(f.engine->Recover().ok());
+  auto t2 = f.engine->Begin();
+  PageData out;
+  // Pre-checkpoint committed work: already home, visible.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        f.engine->Read(*t2, static_cast<txn::PageId>(i), &out).ok());
+    EXPECT_EQ(out, f.Payload(static_cast<uint8_t>(i + 1)));
+  }
+  // The straddling transaction: fully committed and durable.
+  ASSERT_TRUE(f.engine->Read(*t2, 10, &out).ok());
+  EXPECT_EQ(out, f.Payload(99));
+  ASSERT_TRUE(f.engine->Read(*t2, 11, &out).ok());
+  EXPECT_EQ(out, f.Payload(98));
+}
+
+TEST(WalEngineTest, FuzzyCheckpointRetiresRedoWork) {
+  WalFixture f(1);
+  for (int i = 0; i < 4; ++i) {
+    auto t = f.engine->Begin();
+    ASSERT_TRUE(f.engine
+                    ->Write(*t, static_cast<txn::PageId>(i),
+                            f.Payload(7))
+                    .ok());
+    ASSERT_TRUE(f.engine->Commit(*t).ok());
+  }
+  auto active = f.engine->Begin();
+  ASSERT_TRUE(f.engine->Write(*active, 20, f.Payload(5)).ok());
+  ASSERT_TRUE(f.engine->Checkpoint().ok());
+  f.engine->Crash();
+  ASSERT_TRUE(f.engine->Recover().ok());
+  // Only the straddling (uncommitted) transaction's records remain in the
+  // scan; nothing committed needs redo.
+  EXPECT_EQ(f.engine->redo_applied(), 0u);
+  auto t2 = f.engine->Begin();
+  PageData out;
+  ASSERT_TRUE(f.engine->Read(*t2, 20, &out).ok());
+  EXPECT_EQ(out, f.Payload(0));  // uncommitted straddler rolled back
+  ASSERT_TRUE(f.engine->Read(*t2, 0, &out).ok());
+  EXPECT_EQ(out, f.Payload(7));
+}
+
+TEST(WalEngineTest, FuzzyCheckpointAbortedStraddlerUndone) {
+  // The straddling transaction's dirty page is stolen to disk after the
+  // fuzzy checkpoint; a crash must still undo it from the retained log.
+  WalEngineOptions opts;
+  opts.pool_frames = 2;
+  WalFixture f(1, opts);
+  auto t0 = f.engine->Begin();
+  ASSERT_TRUE(f.engine->Write(*t0, 1, f.Payload(3)).ok());
+  ASSERT_TRUE(f.engine->Commit(*t0).ok());
+
+  auto active = f.engine->Begin();
+  ASSERT_TRUE(f.engine->Write(*active, 1, f.Payload(9)).ok());
+  ASSERT_TRUE(f.engine->Checkpoint().ok());  // fuzzy: flushes page 1 dirty
+  EXPECT_EQ(f.engine->fuzzy_checkpoints(), 1u);
+
+  f.engine->Crash();
+  ASSERT_TRUE(f.engine->Recover().ok());
+  EXPECT_GE(f.engine->undo_applied(), 1u);
+  auto t2 = f.engine->Begin();
+  PageData out;
+  ASSERT_TRUE(f.engine->Read(*t2, 1, &out).ok());
+  EXPECT_EQ(out, f.Payload(3));
+}
+
+TEST(WalEngineTest, RepeatedFuzzyCheckpointsAdvanceMonotonically) {
+  WalFixture f(1);
+  auto long_runner = f.engine->Begin();
+  ASSERT_TRUE(f.engine->Write(*long_runner, 30, f.Payload(1)).ok());
+  for (int i = 0; i < 6; ++i) {
+    auto t = f.engine->Begin();
+    ASSERT_TRUE(f.engine
+                    ->Write(*t, static_cast<txn::PageId>(i),
+                            f.Payload(static_cast<uint8_t>(i + 1)))
+                    .ok());
+    ASSERT_TRUE(f.engine->Commit(*t).ok());
+    ASSERT_TRUE(f.engine->Checkpoint().ok());
+  }
+  EXPECT_EQ(f.engine->fuzzy_checkpoints(), 6u);
+  ASSERT_TRUE(f.engine->Commit(*long_runner).ok());
+  f.engine->Crash();
+  ASSERT_TRUE(f.engine->Recover().ok());
+  auto t2 = f.engine->Begin();
+  PageData out;
+  ASSERT_TRUE(f.engine->Read(*t2, 30, &out).ok());
+  EXPECT_EQ(out, f.Payload(1));
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(
+        f.engine->Read(*t2, static_cast<txn::PageId>(i), &out).ok());
+    EXPECT_EQ(out, f.Payload(static_cast<uint8_t>(i + 1)));
+  }
+}
+
+TEST(WalEngineTest, ParallelStreamsAllUsed) {
+  WalEngineOptions opts;
+  opts.policy = LogSelectPolicy::kCyclic;
+  WalFixture f(3, opts);
+  auto t = f.engine->Begin();
+  for (txn::PageId p = 0; p < 6; ++p) {
+    ASSERT_TRUE(f.engine->Write(*t, p, f.Payload(1)).ok());
+  }
+  ASSERT_TRUE(f.engine->Commit(*t).ok());
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_GE(f.engine->stream_records(i), 2u) << "stream " << i;
+  }
+}
+
+TEST(WalEngineTest, ParallelRecoveryWithoutMerging) {
+  // Distribute one transaction's records over 3 streams, crash before any
+  // data page flush, and recover purely from the distributed logs.
+  WalFixture f(3);
+  auto t = f.engine->Begin();
+  for (txn::PageId p = 0; p < 9; ++p) {
+    PageData d = f.Payload(static_cast<uint8_t>(p + 1));
+    ASSERT_TRUE(f.engine->Write(*t, p, d).ok());
+  }
+  ASSERT_TRUE(f.engine->Commit(*t).ok());
+  f.engine->Crash();
+  ASSERT_TRUE(f.engine->Recover().ok());
+  auto t2 = f.engine->Begin();
+  for (txn::PageId p = 0; p < 9; ++p) {
+    PageData out;
+    ASSERT_TRUE(f.engine->Read(*t2, p, &out).ok());
+    EXPECT_EQ(out, f.Payload(static_cast<uint8_t>(p + 1)));
+  }
+}
+
+TEST(WalEngineTest, RepeatedUpdatesToSamePageRecover) {
+  WalFixture f(2);
+  auto t = f.engine->Begin();
+  for (int i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(
+        f.engine->Write(*t, 3, f.Payload(static_cast<uint8_t>(i))).ok());
+  }
+  ASSERT_TRUE(f.engine->Commit(*t).ok());
+  f.engine->Crash();
+  ASSERT_TRUE(f.engine->Recover().ok());
+  auto t2 = f.engine->Begin();
+  PageData out;
+  ASSERT_TRUE(f.engine->Read(*t2, 3, &out).ok());
+  EXPECT_EQ(out, f.Payload(5));
+}
+
+TEST(WalEngineTest, IdenticalWriteIsNoop) {
+  WalFixture f(1);
+  auto t = f.engine->Begin();
+  ASSERT_TRUE(f.engine->Write(*t, 1, f.Payload(0)).ok());  // same as fresh
+  EXPECT_EQ(f.engine->records_appended(), 0u);
+  ASSERT_TRUE(f.engine->Commit(*t).ok());
+}
+
+class WalWorkloadTest
+    : public ::testing::TestWithParam<std::tuple<size_t, LoggingMode>> {};
+
+TEST_P(WalWorkloadTest, RandomWorkloadWithCleanCrashes) {
+  auto [n_logs, mode] = GetParam();
+  WalEngineOptions opts;
+  opts.mode = mode;
+  opts.pool_frames = 8;
+  WalFixture f(n_logs, opts);
+  testing::RunRandomWorkload(f.engine.get(), 12345 + n_logs, 120);
+}
+
+TEST_P(WalWorkloadTest, CrashEverywhereSweep) {
+  auto [n_logs, mode] = GetParam();
+  WalEngineOptions opts;
+  opts.mode = mode;
+  opts.pool_frames = 4;
+  WalFixture f(n_logs, opts);
+  auto counter = std::make_shared<int64_t>(1 << 30);
+  f.data->SetSharedFailCounter(counter);
+  for (auto& l : f.logs) l->SetSharedFailCounter(counter);
+  testing::RunCrashEverywhere(
+      f.engine.get(), [&](int64_t n) { *counter = n; },
+      [&] {
+        *counter = int64_t{1} << 30;
+        f.data->ClearCrashState();
+        for (auto& l : f.logs) l->ClearCrashState();
+      },
+      777);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Streams, WalWorkloadTest,
+    ::testing::Combine(::testing::Values(size_t{1}, size_t{2}, size_t{4}),
+                       ::testing::Values(LoggingMode::kLogical,
+                                         LoggingMode::kPhysical)),
+    [](const ::testing::TestParamInfo<std::tuple<size_t, LoggingMode>>& i) {
+      return "logs" + std::to_string(std::get<0>(i.param)) +
+             (std::get<1>(i.param) == LoggingMode::kLogical ? "_logical"
+                                                            : "_physical");
+    });
+
+TEST(WalEngineTest, FlushedAbortedUpdateUndoneBeforeLaterRedo) {
+  // Regression for a recovery-ordering bug: transaction A updates a page
+  // which is STOLEN to disk, A aborts (its compensation record is lost in
+  // the crash because it sits on a log stream the next commit never
+  // forces), then B updates the same page and commits.  Recovery must
+  // first UNDO A's flushed bytes and only then REDO B's diff — the old
+  // redo-first order left A's bytes outside B's diff range on the page.
+  WalEngineOptions opts;
+  opts.policy = LogSelectPolicy::kTxnMod;  // txn id picks the stream
+  opts.pool_frames = 2;
+  WalFixture f(2, opts);
+
+  // Baseline: txn 1 (stream 1) commits page 1 = 3.
+  auto t1 = f.engine->Begin();
+  ASSERT_TRUE(f.engine->Write(*t1, 1, f.Payload(3)).ok());
+  ASSERT_TRUE(f.engine->Commit(*t1).ok());
+
+  // Txn 2 (stream 0) updates page 1 and has it stolen to disk.
+  auto t2 = f.engine->Begin();
+  ASSERT_TRUE(f.engine->Write(*t2, 1, f.Payload(9)).ok());
+  auto reader = f.engine->Begin();
+  PageData out;
+  ASSERT_TRUE(f.engine->Read(*reader, 2, &out).ok());
+  ASSERT_TRUE(f.engine->Read(*reader, 3, &out).ok());
+  ASSERT_TRUE(f.engine->Read(*reader, 4, &out).ok());  // evicts page 1
+  ASSERT_TRUE(f.engine->Abort(*reader).ok());
+  // Abort txn 2: its CLR lands on stream 0 and stays unforced.
+  ASSERT_TRUE(f.engine->Abort(*t2).ok());
+
+  // Txn 3 (stream 1) rewrites page 1 and commits (forces stream 1 only).
+  auto t3 = f.engine->Begin();
+  ASSERT_TRUE(f.engine->Write(*t3, 1, f.Payload(5)).ok());
+  ASSERT_TRUE(f.engine->Commit(*t3).ok());
+
+  f.engine->Crash();  // stream 0's CLR and abort record vanish
+  ASSERT_TRUE(f.engine->Recover().ok());
+  EXPECT_GE(f.engine->undo_applied(), 1u);
+  auto t4 = f.engine->Begin();
+  ASSERT_TRUE(f.engine->Read(*t4, 1, &out).ok());
+  EXPECT_EQ(out, f.Payload(5));
+}
+
+TEST(WalEngineTest, PolicyTxnModRoutesDeterministically) {
+  WalEngineOptions opts;
+  opts.policy = LogSelectPolicy::kTxnMod;
+  WalFixture f(2, opts);
+  auto t = f.engine->Begin();  // txn id 1 -> stream 1
+  ASSERT_TRUE(f.engine->Write(*t, 0, f.Payload(1)).ok());
+  ASSERT_TRUE(f.engine->Write(*t, 1, f.Payload(1)).ok());
+  EXPECT_EQ(f.engine->stream_records(1), 2u);
+  EXPECT_EQ(f.engine->stream_records(0), 0u);
+  ASSERT_TRUE(f.engine->Commit(*t).ok());
+}
+
+TEST(WalEngineTest, LogFullReportsResourceExhausted) {
+  WalFixture f(1);
+  // Shrink: rebuild with a tiny log.
+  auto small_log = std::make_unique<VirtualDisk>("tiny", 3, kBlock);
+  WalEngine e(f.data.get(), {small_log.get()});
+  ASSERT_TRUE(e.Format().ok());
+  Status last = Status::OK();
+  for (int i = 0; i < 200 && last.ok(); ++i) {
+    auto t = e.Begin();
+    PageData p(e.payload_size(), static_cast<uint8_t>(i));
+    last = e.Write(*t, static_cast<txn::PageId>(i % kDataBlocks), p);
+    if (last.ok()) last = e.Commit(*t);
+  }
+  EXPECT_EQ(last.code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace dbmr::store

@@ -1,0 +1,149 @@
+// Unit tests for the workload generator (paper §4 transaction model).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "workload/workload.h"
+
+namespace dbmr::workload {
+namespace {
+
+WorkloadOptions SmallOptions(ReferenceKind kind) {
+  WorkloadOptions o;
+  o.num_transactions = 50;
+  o.kind = kind;
+  o.db_pages = 10000;
+  o.seed = 11;
+  return o;
+}
+
+TEST(WorkloadTest, DeterministicFromSeed) {
+  auto a = GenerateWorkload(SmallOptions(ReferenceKind::kRandom));
+  auto b = GenerateWorkload(SmallOptions(ReferenceKind::kRandom));
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].reads, b[i].reads);
+    EXPECT_EQ(a[i].write_set, b[i].write_set);
+  }
+}
+
+TEST(WorkloadTest, SizesWithinPaperBounds) {
+  auto txns = GenerateWorkload(SmallOptions(ReferenceKind::kRandom));
+  for (const auto& t : txns) {
+    EXPECT_GE(t.num_reads(), 1u);
+    EXPECT_LE(t.num_reads(), 250u);
+  }
+}
+
+TEST(WorkloadTest, MeanSizeNearUniformCenter) {
+  WorkloadOptions o = SmallOptions(ReferenceKind::kRandom);
+  o.num_transactions = 2000;
+  auto txns = GenerateWorkload(o);
+  double sum = 0;
+  for (const auto& t : txns) sum += static_cast<double>(t.num_reads());
+  EXPECT_NEAR(sum / static_cast<double>(txns.size()), 125.5, 5.0);
+}
+
+TEST(WorkloadTest, WriteSetIsSubsetOfReads) {
+  auto txns = GenerateWorkload(SmallOptions(ReferenceKind::kRandom));
+  for (const auto& t : txns) {
+    for (uint64_t w : t.write_set) {
+      EXPECT_NE(std::find(t.reads.begin(), t.reads.end(), w),
+                t.reads.end());
+    }
+  }
+}
+
+TEST(WorkloadTest, WriteFractionIsTwentyPercent) {
+  WorkloadOptions o = SmallOptions(ReferenceKind::kRandom);
+  o.num_transactions = 500;
+  auto txns = GenerateWorkload(o);
+  uint64_t reads = 0, writes = 0;
+  for (const auto& t : txns) {
+    reads += t.num_reads();
+    writes += t.num_writes();
+  }
+  EXPECT_NEAR(static_cast<double>(writes) / static_cast<double>(reads), 0.2,
+              0.02);
+}
+
+TEST(WorkloadTest, SequentialRunsAreContiguous) {
+  auto txns = GenerateWorkload(SmallOptions(ReferenceKind::kSequential));
+  for (const auto& t : txns) {
+    for (size_t i = 1; i < t.reads.size(); ++i) {
+      EXPECT_EQ(t.reads[i], t.reads[i - 1] + 1);
+    }
+  }
+}
+
+TEST(WorkloadTest, RandomReadsAreDistinct) {
+  auto txns = GenerateWorkload(SmallOptions(ReferenceKind::kRandom));
+  for (const auto& t : txns) {
+    std::unordered_set<uint64_t> seen(t.reads.begin(), t.reads.end());
+    EXPECT_EQ(seen.size(), t.reads.size());
+  }
+}
+
+TEST(WorkloadTest, PagesWithinDatabase) {
+  auto txns = GenerateWorkload(SmallOptions(ReferenceKind::kSequential));
+  for (const auto& t : txns) {
+    for (uint64_t p : t.reads) EXPECT_LT(p, 10000u);
+  }
+}
+
+TEST(WorkloadTest, TotalPagesCountsReadsPlusWrites) {
+  WorkloadOptions o = SmallOptions(ReferenceKind::kRandom);
+  o.num_transactions = 10;
+  auto txns = GenerateWorkload(o);
+  uint64_t expect = 0;
+  for (const auto& t : txns) expect += t.num_reads() + t.num_writes();
+  EXPECT_EQ(TotalPages(txns), expect);
+}
+
+TEST(WorkloadTest, IdsAreSequentialFromOne) {
+  auto txns = GenerateWorkload(SmallOptions(ReferenceKind::kRandom));
+  for (size_t i = 0; i < txns.size(); ++i) {
+    EXPECT_EQ(txns[i].id, i + 1);
+  }
+}
+
+TEST(WorkloadTest, HotSpotSkewConcentratesReferences) {
+  WorkloadOptions o = SmallOptions(ReferenceKind::kRandom);
+  o.num_transactions = 300;
+  o.hot_fraction = 0.01;
+  o.hot_access_prob = 0.8;
+  auto txns = GenerateWorkload(o);
+  uint64_t hot = 0, total = 0;
+  const auto hot_limit = static_cast<uint64_t>(
+      static_cast<double>(o.db_pages) * o.hot_fraction);
+  for (const auto& t : txns) {
+    for (uint64_t p : t.reads) {
+      ++total;
+      if (p < hot_limit) ++hot;
+    }
+  }
+  // ~80% of references in ~1% of the pages (a little less: distinct-page
+  // sampling rejects duplicates inside the tiny hot set).
+  EXPECT_GT(static_cast<double>(hot) / static_cast<double>(total), 0.45);
+}
+
+TEST(WorkloadTest, ZeroSkewMatchesUniform) {
+  WorkloadOptions o = SmallOptions(ReferenceKind::kRandom);
+  auto uniform = GenerateWorkload(o);
+  o.hot_fraction = 0.0;
+  o.hot_access_prob = 0.0;
+  auto same = GenerateWorkload(o);
+  EXPECT_EQ(uniform[0].reads, same[0].reads);
+}
+
+TEST(WorkloadTest, DifferentSeedsDiffer) {
+  WorkloadOptions o = SmallOptions(ReferenceKind::kRandom);
+  auto a = GenerateWorkload(o);
+  o.seed = 12;
+  auto b = GenerateWorkload(o);
+  EXPECT_NE(a[0].reads, b[0].reads);
+}
+
+}  // namespace
+}  // namespace dbmr::workload

@@ -1,0 +1,234 @@
+// dbmr — command-line front end for the database-machine simulator.
+//
+// Run any recovery architecture against any configuration without writing
+// code:
+//
+//   dbmr --arch=logging --config=conv-random --txns=150
+//   dbmr --arch=logging --log-disks=4 --physical --config=table3
+//   dbmr --arch=shadow --pt-processors=2 --pt-buffer=50 --config=par-random
+//   dbmr --arch=differential --diff-size=0.15 --basic
+//   dbmr --arch=overwrite --mode=noredo --config=conv-seq
+//   dbmr --arch=bare --config=conv-random --interarrival=5000
+//
+// Prints the §4 metrics: execution time per page, transaction completion
+// time (mean and tail), device utilizations, and architecture extras.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/experiment.h"
+#include "machine/sim_differential.h"
+#include "machine/sim_logging.h"
+#include "machine/sim_overwrite.h"
+#include "machine/sim_shadow.h"
+#include "machine/sim_version_select.h"
+#include "util/str.h"
+
+namespace {
+
+using namespace dbmr;  // NOLINT: binary-local
+
+struct Flags {
+  std::map<std::string, std::string> values;
+
+  bool Has(const std::string& key) const { return values.count(key) > 0; }
+  std::string Get(const std::string& key, const std::string& dflt) const {
+    auto it = values.find(key);
+    return it == values.end() ? dflt : it->second;
+  }
+  double GetDouble(const std::string& key, double dflt) const {
+    auto it = values.find(key);
+    return it == values.end() ? dflt : std::atof(it->second.c_str());
+  }
+  int GetInt(const std::string& key, int dflt) const {
+    auto it = values.find(key);
+    return it == values.end() ? dflt : std::atoi(it->second.c_str());
+  }
+};
+
+[[noreturn]] void Usage(const char* msg) {
+  if (msg != nullptr) std::fprintf(stderr, "error: %s\n\n", msg);
+  std::fprintf(stderr, R"(usage: dbmr [flags]
+
+  --arch=ARCH        bare | logging | shadow | overwrite | version-select |
+                     differential                           (default: bare)
+  --config=CONF      conv-random | par-random | conv-seq | par-seq | table3
+                                                            (default: conv-random)
+  --txns=N           transactions to simulate               (default: 150)
+  --seed=N           RNG seed                               (default: 7)
+  --mpl=N            multiprogramming level                 (default: 3)
+  --interarrival=MS  open system: mean interarrival (0 = closed batch)
+  --hot-fraction=F / --hot-prob=P   workload skew           (default: off)
+
+logging:
+  --log-disks=N      log processors/disks                   (default: 1)
+  --physical         physical (before+after image) logging
+  --select=POLICY    cyclic | random | qpmod | txnmod       (default: cyclic)
+  --via-cache        route fragments through the disk cache
+  --bandwidth=MBPS   dedicated channel bandwidth            (default: 1.0)
+
+shadow:
+  --pt-processors=N  page-table processors                  (default: 1)
+  --pt-buffer=N      page-table buffer pages                (default: 10)
+  --scrambled        logically adjacent pages not clustered
+  --cluster-fraction=F  partial clustering                  (default: 1.0)
+
+overwrite:
+  --mode=MODE        noundo | noredo                        (default: noundo)
+
+version-select:
+  --smart-heads      on-the-fly version selection
+
+differential:
+  --diff-size=F      A/D size relative to B                 (default: 0.10)
+  --output-fraction=F                                       (default: 0.10)
+  --basic            basic instead of optimal query processing
+  --merge-every=N    fold A/D into B every N output pages   (default: off)
+)");
+  std::exit(msg == nullptr ? 0 : 2);
+}
+
+Flags Parse(int argc, char** argv) {
+  Flags f;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") Usage(nullptr);
+    if (arg.rfind("--", 0) != 0) Usage("flags start with --");
+    auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      f.values[arg.substr(2)] = "1";
+    } else {
+      f.values[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+    }
+  }
+  return f;
+}
+
+std::unique_ptr<machine::RecoveryArch> MakeArch(const Flags& f) {
+  const std::string arch = f.Get("arch", "bare");
+  if (arch == "bare") return std::make_unique<machine::BareArch>();
+  if (arch == "logging") {
+    machine::SimLoggingOptions o;
+    o.num_log_processors = f.GetInt("log-disks", 1);
+    o.physical = f.Has("physical");
+    o.route_via_cache = f.Has("via-cache");
+    o.channel_mb_per_sec = f.GetDouble("bandwidth", 1.0);
+    const std::string sel = f.Get("select", "cyclic");
+    if (sel == "cyclic") {
+      o.select = machine::LogSelect::kCyclic;
+    } else if (sel == "random") {
+      o.select = machine::LogSelect::kRandom;
+    } else if (sel == "qpmod") {
+      o.select = machine::LogSelect::kQpMod;
+    } else if (sel == "txnmod") {
+      o.select = machine::LogSelect::kTxnMod;
+    } else {
+      Usage("unknown --select");
+    }
+    return std::make_unique<machine::SimLogging>(o);
+  }
+  if (arch == "shadow") {
+    machine::SimShadowOptions o;
+    o.num_pt_processors = f.GetInt("pt-processors", 1);
+    o.pt_buffer_pages = f.GetInt("pt-buffer", 10);
+    o.clustered = !f.Has("scrambled");
+    o.cluster_fraction = f.GetDouble("cluster-fraction", 1.0);
+    return std::make_unique<machine::SimShadow>(o);
+  }
+  if (arch == "overwrite") {
+    const std::string mode = f.Get("mode", "noundo");
+    if (mode == "noundo") {
+      return std::make_unique<machine::SimOverwrite>(
+          machine::SimOverwriteMode::kNoUndo);
+    }
+    if (mode == "noredo") {
+      return std::make_unique<machine::SimOverwrite>(
+          machine::SimOverwriteMode::kNoRedo);
+    }
+    Usage("unknown --mode");
+  }
+  if (arch == "version-select") {
+    machine::SimVersionSelectOptions o;
+    o.smart_heads = f.Has("smart-heads");
+    return std::make_unique<machine::SimVersionSelect>(o);
+  }
+  if (arch == "differential") {
+    machine::SimDifferentialOptions o;
+    o.diff_size = f.GetDouble("diff-size", 0.10);
+    o.output_fraction = f.GetDouble("output-fraction", 0.10);
+    o.optimal = !f.Has("basic");
+    o.merge_every_output_pages = f.GetInt("merge-every", 0);
+    return std::make_unique<machine::SimDifferential>(o);
+  }
+  Usage("unknown --arch");
+}
+
+core::ExperimentSetup MakeSetup(const Flags& f) {
+  const std::string conf = f.Get("config", "conv-random");
+  const int txns = f.GetInt("txns", 150);
+  const auto seed = static_cast<uint64_t>(f.GetInt("seed", 7));
+  core::ExperimentSetup s;
+  if (conf == "table3") {
+    s = core::Table3Setup(txns, seed);
+  } else {
+    core::Configuration c;
+    if (conf == "conv-random") {
+      c = core::Configuration::kConvRandom;
+    } else if (conf == "par-random") {
+      c = core::Configuration::kParRandom;
+    } else if (conf == "conv-seq") {
+      c = core::Configuration::kConvSeq;
+    } else if (conf == "par-seq") {
+      c = core::Configuration::kParSeq;
+    } else {
+      Usage("unknown --config");
+    }
+    s = core::StandardSetup(c, txns, seed);
+  }
+  if (f.Has("mpl")) s.machine.mpl = f.GetInt("mpl", 3);
+  s.machine.mean_interarrival_ms = f.GetDouble("interarrival", 0.0);
+  s.workload.hot_fraction = f.GetDouble("hot-fraction", 0.0);
+  s.workload.hot_access_prob = f.GetDouble("hot-prob", 0.8);
+  if (s.workload.hot_fraction <= 0.0) s.workload.hot_access_prob = 0.0;
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags f = Parse(argc, argv);
+  core::ExperimentSetup setup = MakeSetup(f);
+  auto result = core::RunWith(setup, MakeArch(f));
+
+  std::printf("architecture      : %s\n", result.arch_name.c_str());
+  std::printf("configuration     : %s, %d txns, seed %d\n",
+              f.Get("config", "conv-random").c_str(),
+              f.GetInt("txns", 150), f.GetInt("seed", 7));
+  std::printf("exec time / page  : %.2f ms\n", result.exec_time_per_page_ms);
+  std::printf("completion        : mean %.1f ms, min %.1f, max %.1f\n",
+              result.completion_ms.mean(), result.completion_ms.min(),
+              result.completion_ms.max());
+  std::printf("total time        : %.1f ms for %llu pages\n",
+              result.total_time_ms,
+              static_cast<unsigned long long>(result.total_pages));
+  for (size_t i = 0; i < result.data_disk_util.size(); ++i) {
+    std::printf("data disk %zu util  : %.2f (%llu accesses)\n", i,
+                result.data_disk_util[i],
+                static_cast<unsigned long long>(
+                    result.data_disk_accesses[i]));
+  }
+  std::printf("query proc util   : %.2f\n", result.qp_util);
+  std::printf("blocked pages avg : %.1f\n", result.avg_blocked_pages);
+  if (result.deadlock_restarts > 0) {
+    std::printf("deadlock restarts : %llu\n",
+                static_cast<unsigned long long>(result.deadlock_restarts));
+  }
+  for (const auto& [key, value] : result.extra) {
+    std::printf("%-18s: %.3f\n", key.c_str(), value);
+  }
+  return 0;
+}

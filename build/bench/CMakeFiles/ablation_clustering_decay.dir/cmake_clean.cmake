@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_clustering_decay.dir/ablation_clustering_decay.cc.o"
+  "CMakeFiles/ablation_clustering_decay.dir/ablation_clustering_decay.cc.o.d"
+  "ablation_clustering_decay"
+  "ablation_clustering_decay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_clustering_decay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

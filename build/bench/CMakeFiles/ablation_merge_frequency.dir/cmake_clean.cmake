@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_merge_frequency.dir/ablation_merge_frequency.cc.o"
+  "CMakeFiles/ablation_merge_frequency.dir/ablation_merge_frequency.cc.o.d"
+  "ablation_merge_frequency"
+  "ablation_merge_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_merge_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_open_system.dir/ablation_open_system.cc.o"
+  "CMakeFiles/ablation_open_system.dir/ablation_open_system.cc.o.d"
+  "ablation_open_system"
+  "ablation_open_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_open_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

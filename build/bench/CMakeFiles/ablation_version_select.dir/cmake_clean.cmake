@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_version_select.dir/ablation_version_select.cc.o"
+  "CMakeFiles/ablation_version_select.dir/ablation_version_select.cc.o.d"
+  "ablation_version_select"
+  "ablation_version_select.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_version_select.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_disk_model.dir/micro_disk_model.cc.o"
+  "CMakeFiles/micro_disk_model.dir/micro_disk_model.cc.o.d"
+  "micro_disk_model"
+  "micro_disk_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_disk_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

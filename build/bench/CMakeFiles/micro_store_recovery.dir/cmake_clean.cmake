@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_store_recovery.dir/micro_store_recovery.cc.o"
+  "CMakeFiles/micro_store_recovery.dir/micro_store_recovery.cc.o.d"
+  "micro_store_recovery"
+  "micro_store_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_store_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table01_logging_impact.dir/table01_logging_impact.cc.o"
+  "CMakeFiles/table01_logging_impact.dir/table01_logging_impact.cc.o.d"
+  "table01_logging_impact"
+  "table01_logging_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table01_logging_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

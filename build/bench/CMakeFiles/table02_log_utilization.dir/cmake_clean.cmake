@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table02_log_utilization.dir/table02_log_utilization.cc.o"
+  "CMakeFiles/table02_log_utilization.dir/table02_log_utilization.cc.o.d"
+  "table02_log_utilization"
+  "table02_log_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table02_log_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

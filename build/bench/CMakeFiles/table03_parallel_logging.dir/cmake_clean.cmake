@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table03_parallel_logging.dir/table03_parallel_logging.cc.o"
+  "CMakeFiles/table03_parallel_logging.dir/table03_parallel_logging.cc.o.d"
+  "table03_parallel_logging"
+  "table03_parallel_logging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table03_parallel_logging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table04_shadow_impact.dir/table04_shadow_impact.cc.o"
+  "CMakeFiles/table04_shadow_impact.dir/table04_shadow_impact.cc.o.d"
+  "table04_shadow_impact"
+  "table04_shadow_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table04_shadow_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

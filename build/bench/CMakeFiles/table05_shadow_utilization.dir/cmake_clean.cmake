@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table05_shadow_utilization.dir/table05_shadow_utilization.cc.o"
+  "CMakeFiles/table05_shadow_utilization.dir/table05_shadow_utilization.cc.o.d"
+  "table05_shadow_utilization"
+  "table05_shadow_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table05_shadow_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

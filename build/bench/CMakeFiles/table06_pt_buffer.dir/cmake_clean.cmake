@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table06_pt_buffer.dir/table06_pt_buffer.cc.o"
+  "CMakeFiles/table06_pt_buffer.dir/table06_pt_buffer.cc.o.d"
+  "table06_pt_buffer"
+  "table06_pt_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table06_pt_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

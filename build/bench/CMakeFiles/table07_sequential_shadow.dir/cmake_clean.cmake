@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table07_sequential_shadow.dir/table07_sequential_shadow.cc.o"
+  "CMakeFiles/table07_sequential_shadow.dir/table07_sequential_shadow.cc.o.d"
+  "table07_sequential_shadow"
+  "table07_sequential_shadow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table07_sequential_shadow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

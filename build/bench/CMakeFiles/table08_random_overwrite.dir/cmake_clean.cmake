@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table08_random_overwrite.dir/table08_random_overwrite.cc.o"
+  "CMakeFiles/table08_random_overwrite.dir/table08_random_overwrite.cc.o.d"
+  "table08_random_overwrite"
+  "table08_random_overwrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table08_random_overwrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

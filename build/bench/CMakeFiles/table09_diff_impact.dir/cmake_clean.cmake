@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table09_diff_impact.dir/table09_diff_impact.cc.o"
+  "CMakeFiles/table09_diff_impact.dir/table09_diff_impact.cc.o.d"
+  "table09_diff_impact"
+  "table09_diff_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table09_diff_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table10_output_fraction.dir/table10_output_fraction.cc.o"
+  "CMakeFiles/table10_output_fraction.dir/table10_output_fraction.cc.o.d"
+  "table10_output_fraction"
+  "table10_output_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table10_output_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

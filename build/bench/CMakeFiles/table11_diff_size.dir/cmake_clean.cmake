@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table11_diff_size.dir/table11_diff_size.cc.o"
+  "CMakeFiles/table11_diff_size.dir/table11_diff_size.cc.o.d"
+  "table11_diff_size"
+  "table11_diff_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table11_diff_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table12_comparison.dir/table12_comparison.cc.o"
+  "CMakeFiles/table12_comparison.dir/table12_comparison.cc.o.d"
+  "table12_comparison"
+  "table12_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table12_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

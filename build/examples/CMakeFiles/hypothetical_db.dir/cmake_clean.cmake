@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypothetical_db.dir/hypothetical_db.cpp.o"
+  "CMakeFiles/hypothetical_db.dir/hypothetical_db.cpp.o.d"
+  "hypothetical_db"
+  "hypothetical_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypothetical_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

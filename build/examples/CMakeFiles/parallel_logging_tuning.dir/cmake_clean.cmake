@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_logging_tuning.dir/parallel_logging_tuning.cpp.o"
+  "CMakeFiles/parallel_logging_tuning.dir/parallel_logging_tuning.cpp.o.d"
+  "parallel_logging_tuning"
+  "parallel_logging_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_logging_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/relational_workload.cpp" "examples/CMakeFiles/relational_workload.dir/relational_workload.cpp.o" "gcc" "examples/CMakeFiles/relational_workload.dir/relational_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dbmr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/dbmr_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/dbmr_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/dbmr_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dbmr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dbmr_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/dbmr_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dbmr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relational_workload.dir/relational_workload.cpp.o"
+  "CMakeFiles/relational_workload.dir/relational_workload.cpp.o.d"
+  "relational_workload"
+  "relational_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relational_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbmr_core.dir/experiment.cc.o"
+  "CMakeFiles/dbmr_core.dir/experiment.cc.o.d"
+  "libdbmr_core.a"
+  "libdbmr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbmr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

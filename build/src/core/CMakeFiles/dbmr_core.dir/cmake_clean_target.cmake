@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdbmr_core.a"
+)

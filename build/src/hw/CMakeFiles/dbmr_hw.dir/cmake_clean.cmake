@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbmr_hw.dir/channel.cc.o"
+  "CMakeFiles/dbmr_hw.dir/channel.cc.o.d"
+  "CMakeFiles/dbmr_hw.dir/disk.cc.o"
+  "CMakeFiles/dbmr_hw.dir/disk.cc.o.d"
+  "libdbmr_hw.a"
+  "libdbmr_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbmr_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

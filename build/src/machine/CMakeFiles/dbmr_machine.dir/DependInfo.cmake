@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machine/machine.cc" "src/machine/CMakeFiles/dbmr_machine.dir/machine.cc.o" "gcc" "src/machine/CMakeFiles/dbmr_machine.dir/machine.cc.o.d"
+  "/root/repo/src/machine/sim_differential.cc" "src/machine/CMakeFiles/dbmr_machine.dir/sim_differential.cc.o" "gcc" "src/machine/CMakeFiles/dbmr_machine.dir/sim_differential.cc.o.d"
+  "/root/repo/src/machine/sim_logging.cc" "src/machine/CMakeFiles/dbmr_machine.dir/sim_logging.cc.o" "gcc" "src/machine/CMakeFiles/dbmr_machine.dir/sim_logging.cc.o.d"
+  "/root/repo/src/machine/sim_overwrite.cc" "src/machine/CMakeFiles/dbmr_machine.dir/sim_overwrite.cc.o" "gcc" "src/machine/CMakeFiles/dbmr_machine.dir/sim_overwrite.cc.o.d"
+  "/root/repo/src/machine/sim_shadow.cc" "src/machine/CMakeFiles/dbmr_machine.dir/sim_shadow.cc.o" "gcc" "src/machine/CMakeFiles/dbmr_machine.dir/sim_shadow.cc.o.d"
+  "/root/repo/src/machine/sim_version_select.cc" "src/machine/CMakeFiles/dbmr_machine.dir/sim_version_select.cc.o" "gcc" "src/machine/CMakeFiles/dbmr_machine.dir/sim_version_select.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/dbmr_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dbmr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/dbmr_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dbmr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dbmr_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbmr_machine.dir/machine.cc.o"
+  "CMakeFiles/dbmr_machine.dir/machine.cc.o.d"
+  "CMakeFiles/dbmr_machine.dir/sim_differential.cc.o"
+  "CMakeFiles/dbmr_machine.dir/sim_differential.cc.o.d"
+  "CMakeFiles/dbmr_machine.dir/sim_logging.cc.o"
+  "CMakeFiles/dbmr_machine.dir/sim_logging.cc.o.d"
+  "CMakeFiles/dbmr_machine.dir/sim_overwrite.cc.o"
+  "CMakeFiles/dbmr_machine.dir/sim_overwrite.cc.o.d"
+  "CMakeFiles/dbmr_machine.dir/sim_shadow.cc.o"
+  "CMakeFiles/dbmr_machine.dir/sim_shadow.cc.o.d"
+  "CMakeFiles/dbmr_machine.dir/sim_version_select.cc.o"
+  "CMakeFiles/dbmr_machine.dir/sim_version_select.cc.o.d"
+  "libdbmr_machine.a"
+  "libdbmr_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbmr_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

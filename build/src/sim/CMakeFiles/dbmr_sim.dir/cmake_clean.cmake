@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbmr_sim.dir/server.cc.o"
+  "CMakeFiles/dbmr_sim.dir/server.cc.o.d"
+  "CMakeFiles/dbmr_sim.dir/simulator.cc.o"
+  "CMakeFiles/dbmr_sim.dir/simulator.cc.o.d"
+  "libdbmr_sim.a"
+  "libdbmr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbmr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/store/buffer_pool.cc" "src/store/CMakeFiles/dbmr_store.dir/buffer_pool.cc.o" "gcc" "src/store/CMakeFiles/dbmr_store.dir/buffer_pool.cc.o.d"
+  "/root/repo/src/store/recovery/differential_engine.cc" "src/store/CMakeFiles/dbmr_store.dir/recovery/differential_engine.cc.o" "gcc" "src/store/CMakeFiles/dbmr_store.dir/recovery/differential_engine.cc.o.d"
+  "/root/repo/src/store/recovery/log_format.cc" "src/store/CMakeFiles/dbmr_store.dir/recovery/log_format.cc.o" "gcc" "src/store/CMakeFiles/dbmr_store.dir/recovery/log_format.cc.o.d"
+  "/root/repo/src/store/recovery/overwrite_engine.cc" "src/store/CMakeFiles/dbmr_store.dir/recovery/overwrite_engine.cc.o" "gcc" "src/store/CMakeFiles/dbmr_store.dir/recovery/overwrite_engine.cc.o.d"
+  "/root/repo/src/store/recovery/shadow_engine.cc" "src/store/CMakeFiles/dbmr_store.dir/recovery/shadow_engine.cc.o" "gcc" "src/store/CMakeFiles/dbmr_store.dir/recovery/shadow_engine.cc.o.d"
+  "/root/repo/src/store/recovery/stable_list.cc" "src/store/CMakeFiles/dbmr_store.dir/recovery/stable_list.cc.o" "gcc" "src/store/CMakeFiles/dbmr_store.dir/recovery/stable_list.cc.o.d"
+  "/root/repo/src/store/recovery/version_select_engine.cc" "src/store/CMakeFiles/dbmr_store.dir/recovery/version_select_engine.cc.o" "gcc" "src/store/CMakeFiles/dbmr_store.dir/recovery/version_select_engine.cc.o.d"
+  "/root/repo/src/store/recovery/wal_engine.cc" "src/store/CMakeFiles/dbmr_store.dir/recovery/wal_engine.cc.o" "gcc" "src/store/CMakeFiles/dbmr_store.dir/recovery/wal_engine.cc.o.d"
+  "/root/repo/src/store/relation.cc" "src/store/CMakeFiles/dbmr_store.dir/relation.cc.o" "gcc" "src/store/CMakeFiles/dbmr_store.dir/relation.cc.o.d"
+  "/root/repo/src/store/virtual_disk.cc" "src/store/CMakeFiles/dbmr_store.dir/virtual_disk.cc.o" "gcc" "src/store/CMakeFiles/dbmr_store.dir/virtual_disk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/txn/CMakeFiles/dbmr_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dbmr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

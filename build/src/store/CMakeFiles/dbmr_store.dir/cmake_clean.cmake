@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbmr_store.dir/buffer_pool.cc.o"
+  "CMakeFiles/dbmr_store.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/dbmr_store.dir/recovery/differential_engine.cc.o"
+  "CMakeFiles/dbmr_store.dir/recovery/differential_engine.cc.o.d"
+  "CMakeFiles/dbmr_store.dir/recovery/log_format.cc.o"
+  "CMakeFiles/dbmr_store.dir/recovery/log_format.cc.o.d"
+  "CMakeFiles/dbmr_store.dir/recovery/overwrite_engine.cc.o"
+  "CMakeFiles/dbmr_store.dir/recovery/overwrite_engine.cc.o.d"
+  "CMakeFiles/dbmr_store.dir/recovery/shadow_engine.cc.o"
+  "CMakeFiles/dbmr_store.dir/recovery/shadow_engine.cc.o.d"
+  "CMakeFiles/dbmr_store.dir/recovery/stable_list.cc.o"
+  "CMakeFiles/dbmr_store.dir/recovery/stable_list.cc.o.d"
+  "CMakeFiles/dbmr_store.dir/recovery/version_select_engine.cc.o"
+  "CMakeFiles/dbmr_store.dir/recovery/version_select_engine.cc.o.d"
+  "CMakeFiles/dbmr_store.dir/recovery/wal_engine.cc.o"
+  "CMakeFiles/dbmr_store.dir/recovery/wal_engine.cc.o.d"
+  "CMakeFiles/dbmr_store.dir/relation.cc.o"
+  "CMakeFiles/dbmr_store.dir/relation.cc.o.d"
+  "CMakeFiles/dbmr_store.dir/virtual_disk.cc.o"
+  "CMakeFiles/dbmr_store.dir/virtual_disk.cc.o.d"
+  "libdbmr_store.a"
+  "libdbmr_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbmr_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbmr_txn.dir/lock_manager.cc.o"
+  "CMakeFiles/dbmr_txn.dir/lock_manager.cc.o.d"
+  "libdbmr_txn.a"
+  "libdbmr_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbmr_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

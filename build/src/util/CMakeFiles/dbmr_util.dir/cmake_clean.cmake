@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbmr_util.dir/rng.cc.o"
+  "CMakeFiles/dbmr_util.dir/rng.cc.o.d"
+  "CMakeFiles/dbmr_util.dir/stats.cc.o"
+  "CMakeFiles/dbmr_util.dir/stats.cc.o.d"
+  "CMakeFiles/dbmr_util.dir/status.cc.o"
+  "CMakeFiles/dbmr_util.dir/status.cc.o.d"
+  "CMakeFiles/dbmr_util.dir/str.cc.o"
+  "CMakeFiles/dbmr_util.dir/str.cc.o.d"
+  "CMakeFiles/dbmr_util.dir/table.cc.o"
+  "CMakeFiles/dbmr_util.dir/table.cc.o.d"
+  "libdbmr_util.a"
+  "libdbmr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbmr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbmr_workload.dir/workload.cc.o"
+  "CMakeFiles/dbmr_workload.dir/workload.cc.o.d"
+  "libdbmr_workload.a"
+  "libdbmr_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbmr_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

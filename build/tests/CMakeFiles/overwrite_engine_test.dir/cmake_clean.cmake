@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overwrite_engine_test.dir/overwrite_engine_test.cc.o"
+  "CMakeFiles/overwrite_engine_test.dir/overwrite_engine_test.cc.o.d"
+  "overwrite_engine_test"
+  "overwrite_engine_test.pdb"
+  "overwrite_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overwrite_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

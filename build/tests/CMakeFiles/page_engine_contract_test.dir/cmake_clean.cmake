@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/page_engine_contract_test.dir/page_engine_contract_test.cc.o"
+  "CMakeFiles/page_engine_contract_test.dir/page_engine_contract_test.cc.o.d"
+  "page_engine_contract_test"
+  "page_engine_contract_test.pdb"
+  "page_engine_contract_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/page_engine_contract_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

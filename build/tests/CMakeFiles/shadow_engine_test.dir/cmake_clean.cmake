@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shadow_engine_test.dir/shadow_engine_test.cc.o"
+  "CMakeFiles/shadow_engine_test.dir/shadow_engine_test.cc.o.d"
+  "shadow_engine_test"
+  "shadow_engine_test.pdb"
+  "shadow_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shadow_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_arch_test.dir/sim_arch_test.cc.o"
+  "CMakeFiles/sim_arch_test.dir/sim_arch_test.cc.o.d"
+  "sim_arch_test"
+  "sim_arch_test.pdb"
+  "sim_arch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_arch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

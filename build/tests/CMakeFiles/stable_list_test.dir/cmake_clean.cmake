@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stable_list_test.dir/stable_list_test.cc.o"
+  "CMakeFiles/stable_list_test.dir/stable_list_test.cc.o.d"
+  "stable_list_test"
+  "stable_list_test.pdb"
+  "stable_list_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stable_list_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

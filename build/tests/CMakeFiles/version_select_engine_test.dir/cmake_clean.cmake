@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/version_select_engine_test.dir/version_select_engine_test.cc.o"
+  "CMakeFiles/version_select_engine_test.dir/version_select_engine_test.cc.o.d"
+  "version_select_engine_test"
+  "version_select_engine_test.pdb"
+  "version_select_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/version_select_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

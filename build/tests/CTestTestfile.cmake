@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_test[1]_include.cmake")
+include("/root/repo/build/tests/lock_manager_test[1]_include.cmake")
+include("/root/repo/build/tests/virtual_disk_test[1]_include.cmake")
+include("/root/repo/build/tests/buffer_pool_test[1]_include.cmake")
+include("/root/repo/build/tests/log_format_test[1]_include.cmake")
+include("/root/repo/build/tests/wal_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/stable_list_test[1]_include.cmake")
+include("/root/repo/build/tests/shadow_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/overwrite_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/version_select_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/differential_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/machine_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_arch_test[1]_include.cmake")
+include("/root/repo/build/tests/experiment_test[1]_include.cmake")
+include("/root/repo/build/tests/page_engine_contract_test[1]_include.cmake")
+include("/root/repo/build/tests/paper_shapes_test[1]_include.cmake")
+include("/root/repo/build/tests/lock_manager_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_equivalence_test[1]_include.cmake")
+include("/root/repo/build/tests/relation_test[1]_include.cmake")

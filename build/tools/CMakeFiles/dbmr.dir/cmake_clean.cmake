@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbmr.dir/dbmr_cli.cc.o"
+  "CMakeFiles/dbmr.dir/dbmr_cli.cc.o.d"
+  "dbmr"
+  "dbmr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbmr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -11,8 +11,11 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/experiment.h"
+#include "core/grid.h"
 #include "util/str.h"
 #include "util/table.h"
 
@@ -32,6 +35,30 @@ inline machine::MachineResult Run(
 inline machine::MachineResult RunT3(
     std::unique_ptr<machine::RecoveryArch> arch) {
   return core::RunWith(core::Table3Setup(kBenchTxns), std::move(arch));
+}
+
+/// Runs several architecture variants across all four §4 configurations as
+/// one parallel grid (one thread per core).  Cells keep the standard seed —
+/// SeedPolicy::kFromSetup — so every cell is bit-identical to the serial
+/// Run() it replaces and the printed tables still match the paper record.
+/// Results are arch-major: results[a * 4 + c] is `arches[a]` on
+/// `kAllConfigurations[c]`.
+inline std::vector<machine::MachineResult> RunConfigGrid(
+    std::vector<std::pair<std::string, core::ArchFactory>> arches) {
+  core::GridSpec spec;
+  spec.name = "bench";
+  spec.seed_policy = core::SeedPolicy::kFromSetup;
+  for (auto& [label, factory] : arches) {
+    spec.AddConfigSweep(label, std::move(factory), kBenchTxns);
+  }
+  core::MetricsRegistry run =
+      core::RunGrid(spec, core::GridRunOptions{/*jobs=*/0});
+  std::vector<machine::MachineResult> results;
+  results.reserve(run.size());
+  for (const core::CellMetrics& cell : run.cells()) {
+    results.push_back(cell.result);
+  }
+  return results;
 }
 
 /// "paper / measured" with one decimal.

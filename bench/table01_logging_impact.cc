@@ -1,5 +1,7 @@
 // Reproduces Table 1: Impact of Logging (logical logging, one log disk).
 
+#include <iterator>
+
 #include "bench/bench_util.h"
 #include "machine/sim_logging.h"
 
@@ -19,12 +21,19 @@ constexpr PaperRow kPaper[] = {
 };
 
 void RunTable() {
+  // All eight cells (bare and logging on each configuration) run as one
+  // parallel grid; results are arch-major in configuration order.
+  auto results = RunConfigGrid(
+      {{"bare", [] { return std::make_unique<machine::BareArch>(); }},
+       {"logging", [] { return std::make_unique<machine::SimLogging>(); }}});
+
   TextTable t("Table 1. Impact of Logging");
   t.SetHeader({"Configuration", "Exec/page w/o log", "Exec/page with log",
                "Completion w/o log", "Completion with log"});
-  for (const PaperRow& row : kPaper) {
-    auto bare = Run(row.config, std::make_unique<machine::BareArch>());
-    auto logged = Run(row.config, std::make_unique<machine::SimLogging>());
+  for (size_t i = 0; i < std::size(kPaper); ++i) {
+    const PaperRow& row = kPaper[i];
+    const auto& bare = results[i];
+    const auto& logged = results[std::size(kPaper) + i];
     t.AddRow({core::ConfigurationName(row.config),
               Cell(row.exec_bare, bare.exec_time_per_page_ms),
               Cell(row.exec_log, logged.exec_time_per_page_ms),

@@ -2,6 +2,8 @@
 // comparison of all recovery architectures, the paper's headline result:
 // parallel logging has the best overall performance.
 
+#include <iterator>
+
 #include "bench/bench_util.h"
 #include "machine/sim_differential.h"
 #include "machine/sim_logging.h"
@@ -28,37 +30,47 @@ constexpr PaperRow kPaper[] = {
 };
 
 void RunTable() {
+  // The grand comparison is a 8-architecture × 4-configuration grid (32
+  // independent simulations); run it as one parallel grid, arch-major.
+  machine::SimShadowOptions buf50;
+  buf50.pt_buffer_pages = 50;
+  machine::SimShadowOptions two;
+  two.num_pt_processors = 2;
+  machine::SimShadowOptions scram;
+  scram.clustered = false;
+  auto results = RunConfigGrid(
+      {{"bare", [] { return std::make_unique<machine::BareArch>(); }},
+       {"logging", [] { return std::make_unique<machine::SimLogging>(); }},
+       {"shadow-buf10", [] { return std::make_unique<machine::SimShadow>(); }},
+       {"shadow-buf50",
+        [buf50] { return std::make_unique<machine::SimShadow>(buf50); }},
+       {"shadow-2pt",
+        [two] { return std::make_unique<machine::SimShadow>(two); }},
+       {"scrambled",
+        [scram] { return std::make_unique<machine::SimShadow>(scram); }},
+       {"overwrite", [] { return std::make_unique<machine::SimOverwrite>(); }},
+       {"differential",
+        [] { return std::make_unique<machine::SimDifferential>(); }}});
+  auto exec = [&results](size_t arch, size_t config) {
+    return results[arch * 4 + config].exec_time_per_page_ms;
+  };
+
   TextTable t(
       "Table 12. Average Execution Time per Page (ms) — all architectures");
   t.SetHeader({"Configuration", "Bare", "Logging (1 disk)",
                "Shadow 1PT buf=10", "Shadow 1PT buf=50", "Shadow 2PT",
                "Scrambled", "Overwriting", "Differential"});
-  for (const PaperRow& row : kPaper) {
-    auto bare = Run(row.config, std::make_unique<machine::BareArch>());
-    auto log = Run(row.config, std::make_unique<machine::SimLogging>());
-    auto pt10 = Run(row.config, std::make_unique<machine::SimShadow>());
-    machine::SimShadowOptions buf50;
-    buf50.pt_buffer_pages = 50;
-    auto pt50 =
-        Run(row.config, std::make_unique<machine::SimShadow>(buf50));
-    machine::SimShadowOptions two;
-    two.num_pt_processors = 2;
-    auto pt2 = Run(row.config, std::make_unique<machine::SimShadow>(two));
-    machine::SimShadowOptions scram;
-    scram.clustered = false;
-    auto sc = Run(row.config, std::make_unique<machine::SimShadow>(scram));
-    auto over = Run(row.config, std::make_unique<machine::SimOverwrite>());
-    auto diff =
-        Run(row.config, std::make_unique<machine::SimDifferential>());
+  for (size_t i = 0; i < std::size(kPaper); ++i) {
+    const PaperRow& row = kPaper[i];
     t.AddRow({core::ConfigurationName(row.config),
-              Cell(row.bare, bare.exec_time_per_page_ms),
-              Cell(row.logging, log.exec_time_per_page_ms),
-              Cell(row.pt_buf10, pt10.exec_time_per_page_ms),
-              Cell(row.pt_buf50, pt50.exec_time_per_page_ms),
-              Cell(row.pt2, pt2.exec_time_per_page_ms),
-              Cell(row.scrambled, sc.exec_time_per_page_ms),
-              Cell(row.overwrite, over.exec_time_per_page_ms),
-              Cell(row.diff, diff.exec_time_per_page_ms)});
+              Cell(row.bare, exec(0, i)),
+              Cell(row.logging, exec(1, i)),
+              Cell(row.pt_buf10, exec(2, i)),
+              Cell(row.pt_buf50, exec(3, i)),
+              Cell(row.pt2, exec(4, i)),
+              Cell(row.scrambled, exec(5, i)),
+              Cell(row.overwrite, exec(6, i)),
+              Cell(row.diff, exec(7, i))});
   }
   t.Print();
   std::printf(

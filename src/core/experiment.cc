@@ -1,5 +1,6 @@
 #include "core/experiment.h"
 
+#include "core/grid.h"
 #include "machine/machine.h"
 
 namespace dbmr::core {
@@ -58,12 +59,15 @@ machine::MachineResult RunWith(
 
 std::vector<machine::MachineResult> RunAllConfigs(
     const std::function<std::unique_ptr<machine::RecoveryArch>()>& make_arch,
-    int num_txns, uint64_t seed) {
+    int num_txns, uint64_t seed, int jobs) {
+  GridSpec spec;
+  spec.base_seed = seed;
+  spec.seed_policy = SeedPolicy::kFromSetup;  // all cells at `seed`, as ever
+  spec.AddConfigSweep("all-configs", make_arch, num_txns);
+  MetricsRegistry run = RunGrid(spec, GridRunOptions{jobs});
   std::vector<machine::MachineResult> results;
-  for (Configuration c : kAllConfigurations) {
-    results.push_back(
-        RunWith(StandardSetup(c, num_txns, seed), make_arch()));
-  }
+  results.reserve(run.size());
+  for (const CellMetrics& cell : run.cells()) results.push_back(cell.result);
   return results;
 }
 

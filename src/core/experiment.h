@@ -63,10 +63,12 @@ machine::MachineResult RunWith(
     std::unique_ptr<machine::RecoveryArch> arch);
 
 /// Runs one architecture (fresh instance per configuration) across all
-/// four standard configurations.
+/// four standard configurations, on `jobs` worker threads (0 = one per
+/// hardware thread).  Every configuration uses `seed` exactly as before,
+/// so results do not depend on `jobs`.
 std::vector<machine::MachineResult> RunAllConfigs(
     const std::function<std::unique_ptr<machine::RecoveryArch>()>& make_arch,
-    int num_txns = 60, uint64_t seed = 7);
+    int num_txns = 60, uint64_t seed = 7, int jobs = 1);
 
 }  // namespace dbmr::core
 

@@ -1,0 +1,105 @@
+#include "core/grid.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace dbmr::core {
+
+GridSpec& GridSpec::AddConfigSweep(
+    const std::string& arch_label, ArchFactory make_arch, int num_txns,
+    std::vector<std::pair<std::string, std::string>> params) {
+  for (Configuration c : kAllConfigurations) {
+    GridCellSpec cell;
+    cell.config_name = ConfigurationName(c);
+    cell.arch_label = arch_label;
+    cell.setup = StandardSetup(c, num_txns, base_seed);
+    cell.make_arch = make_arch;
+    cell.params = params;
+    cells.push_back(std::move(cell));
+  }
+  return *this;
+}
+
+uint64_t DeriveCellSeed(uint64_t base_seed, uint64_t cell_index) {
+  uint64_t z = base_seed + 0x9e3779b97f4a7c15ULL * (cell_index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+MetricsRegistry RunGrid(const GridSpec& spec, const GridRunOptions& opts) {
+  using Clock = std::chrono::steady_clock;
+  const size_t num_cells = spec.cells.size();
+  size_t jobs = opts.jobs > 0
+                    ? static_cast<size_t>(opts.jobs)
+                    : std::max(1u, std::thread::hardware_concurrency());
+  jobs = std::max<size_t>(1, std::min(jobs, num_cells));
+
+  // Results land in a pre-sized slot per cell, so the registry's order is
+  // the spec's cell order no matter which worker ran which cell when.
+  std::vector<CellMetrics> results(num_cells);
+  std::atomic<size_t> next{0};
+  const auto run_started = Clock::now();
+
+  auto worker = [&spec, &results, &next] {
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= spec.cells.size()) return;
+      const GridCellSpec& c = spec.cells[i];
+      ExperimentSetup setup = c.setup;
+      if (spec.seed_policy == SeedPolicy::kDerived) {
+        const uint64_t seed = DeriveCellSeed(spec.base_seed, i);
+        setup.machine.seed = seed;
+        setup.workload.seed = seed;
+      }
+      const auto cell_started = Clock::now();
+      machine::MachineResult r = RunWith(setup, c.make_arch());
+      const std::chrono::duration<double, std::milli> wall =
+          Clock::now() - cell_started;
+
+      CellMetrics m;
+      m.cell_index = static_cast<int>(i);
+      m.config_name = c.config_name;
+      m.arch_label = c.arch_label.empty() ? r.arch_name : c.arch_label;
+      m.cell_name = c.name.empty() ? m.arch_label + "/" + m.config_name
+                                   : c.name;
+      m.seed = setup.machine.seed;
+      m.num_txns = setup.workload.num_transactions;
+      m.params = c.params;
+      m.wall_ms = wall.count();
+      m.result = std::move(r);
+      results[i] = std::move(m);
+    }
+  };
+
+  if (jobs == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (size_t t = 0; t < jobs; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  const std::chrono::duration<double, std::milli> total =
+      Clock::now() - run_started;
+  MetricsRegistry registry;
+  registry.SetRunInfo(spec.name, spec.base_seed, static_cast<int>(jobs));
+  registry.set_total_wall_ms(total.count());
+  for (CellMetrics& m : results) registry.Add(std::move(m));
+  return registry;
+}
+
+GridSpec StandardGrid(const std::string& grid_name,
+                      const std::string& arch_label, ArchFactory make_arch,
+                      int num_txns, uint64_t base_seed) {
+  GridSpec spec;
+  spec.name = grid_name;
+  spec.base_seed = base_seed;
+  spec.AddConfigSweep(arch_label, std::move(make_arch), num_txns);
+  return spec;
+}
+
+}  // namespace dbmr::core

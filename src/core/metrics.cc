@@ -1,0 +1,188 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "util/csv.h"
+#include "util/str.h"
+
+namespace dbmr::core {
+namespace {
+
+JsonValue CompletionToJson(const RunningStat& s) {
+  JsonValue o = JsonValue::Object();
+  o["count"] = JsonValue(s.count());
+  o["mean"] = JsonValue(s.mean());
+  o["min"] = JsonValue(s.min());
+  o["max"] = JsonValue(s.max());
+  o["stddev"] = JsonValue(s.stddev());
+  return o;
+}
+
+JsonValue ResultToJson(const machine::MachineResult& r) {
+  JsonValue m = JsonValue::Object();
+  m["total_time_ms"] = JsonValue(r.total_time_ms);
+  m["total_pages"] = JsonValue(r.total_pages);
+  m["exec_time_per_page_ms"] = JsonValue(r.exec_time_per_page_ms);
+  m["completion_ms"] = CompletionToJson(r.completion_ms);
+  m["pages_read"] = JsonValue(r.pages_read);
+  m["pages_written"] = JsonValue(r.pages_written);
+  JsonValue utils = JsonValue::Array();
+  for (double u : r.data_disk_util) utils.Append(JsonValue(u));
+  m["data_disk_util"] = std::move(utils);
+  JsonValue accesses = JsonValue::Array();
+  for (uint64_t a : r.data_disk_accesses) accesses.Append(JsonValue(a));
+  m["data_disk_accesses"] = std::move(accesses);
+  m["qp_util"] = JsonValue(r.qp_util);
+  m["avg_blocked_pages"] = JsonValue(r.avg_blocked_pages);
+  m["deadlock_restarts"] = JsonValue(r.deadlock_restarts);
+  JsonValue extra = JsonValue::Object();
+  for (const auto& [k, v] : r.extra) extra[k] = JsonValue(v);
+  m["extra"] = std::move(extra);
+  return m;
+}
+
+Status WriteStringToFile(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::InvalidArgument(
+        StrFormat("cannot open %s for writing", path.c_str()));
+  }
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != text.size() || !close_ok) {
+    return Status::Internal(StrFormat("short write to %s", path.c_str()));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void MetricsRegistry::SetRunInfo(std::string grid_name, uint64_t base_seed,
+                                 int jobs) {
+  grid_name_ = std::move(grid_name);
+  base_seed_ = base_seed;
+  jobs_ = jobs;
+}
+
+JsonValue MetricsRegistry::ToJsonValue(
+    const MetricsExportOptions& opts) const {
+  JsonValue root = JsonValue::Object();
+  root["grid"] = JsonValue(grid_name_);
+  root["base_seed"] = JsonValue(base_seed_);
+  root["num_cells"] = JsonValue(static_cast<int64_t>(cells_.size()));
+  if (opts.include_host_timing) {
+    root["jobs"] = JsonValue(static_cast<int64_t>(jobs_));
+    root["total_wall_ms"] = JsonValue(total_wall_ms_);
+  }
+  JsonValue cells = JsonValue::Array();
+  for (const CellMetrics& c : cells_) {
+    JsonValue cell = JsonValue::Object();
+    cell["index"] = JsonValue(static_cast<int64_t>(c.cell_index));
+    cell["name"] = JsonValue(c.cell_name);
+    cell["config"] = JsonValue(c.config_name);
+    cell["arch"] = JsonValue(c.arch_label);
+    cell["seed"] = JsonValue(c.seed);
+    cell["num_txns"] = JsonValue(static_cast<int64_t>(c.num_txns));
+    JsonValue params = JsonValue::Object();
+    for (const auto& [k, v] : c.params) params[k] = JsonValue(v);
+    cell["params"] = std::move(params);
+    cell["metrics"] = ResultToJson(c.result);
+    if (opts.include_host_timing) cell["wall_ms"] = JsonValue(c.wall_ms);
+    cells.Append(std::move(cell));
+  }
+  root["cells"] = std::move(cells);
+  return root;
+}
+
+std::string MetricsRegistry::ToJson(const MetricsExportOptions& opts) const {
+  std::string out = ToJsonValue(opts).Dump(opts.json_indent);
+  out += '\n';
+  return out;
+}
+
+std::string MetricsRegistry::ToCsv(const MetricsExportOptions& opts) const {
+  // Column layout: fixed metadata + core metrics, then per-disk columns and
+  // the sorted union of architecture extras (blank where a cell lacks the
+  // key), then optional host timing.
+  size_t max_disks = 0;
+  std::set<std::string> extra_keys;
+  for (const CellMetrics& c : cells_) {
+    max_disks = std::max(max_disks, c.result.data_disk_util.size());
+    for (const auto& [k, v] : c.result.extra) extra_keys.insert(k);
+  }
+
+  std::vector<std::string> header = {
+      "index", "name", "config", "arch", "seed", "num_txns", "params",
+      "total_time_ms", "total_pages", "exec_time_per_page_ms",
+      "completion_mean_ms", "completion_min_ms", "completion_max_ms",
+      "completion_stddev_ms", "pages_read", "pages_written", "qp_util",
+      "avg_blocked_pages", "deadlock_restarts"};
+  for (size_t d = 0; d < max_disks; ++d) {
+    header.push_back(StrFormat("data_disk_util_%zu", d));
+    header.push_back(StrFormat("data_disk_accesses_%zu", d));
+  }
+  for (const std::string& k : extra_keys) header.push_back(k);
+  if (opts.include_host_timing) header.push_back("wall_ms");
+
+  CsvWriter w;
+  w.SetHeader(header);
+  for (const CellMetrics& c : cells_) {
+    const machine::MachineResult& r = c.result;
+    std::vector<std::string> param_strs;
+    for (const auto& [k, v] : c.params) param_strs.push_back(k + "=" + v);
+    std::vector<std::string> row = {
+        std::to_string(c.cell_index),
+        c.cell_name,
+        c.config_name,
+        c.arch_label,
+        std::to_string(c.seed),
+        std::to_string(c.num_txns),
+        Join(param_strs, ";"),
+        FormatDoubleRoundTrip(r.total_time_ms),
+        std::to_string(r.total_pages),
+        FormatDoubleRoundTrip(r.exec_time_per_page_ms),
+        FormatDoubleRoundTrip(r.completion_ms.mean()),
+        FormatDoubleRoundTrip(r.completion_ms.min()),
+        FormatDoubleRoundTrip(r.completion_ms.max()),
+        FormatDoubleRoundTrip(r.completion_ms.stddev()),
+        std::to_string(r.pages_read),
+        std::to_string(r.pages_written),
+        FormatDoubleRoundTrip(r.qp_util),
+        FormatDoubleRoundTrip(r.avg_blocked_pages),
+        std::to_string(r.deadlock_restarts)};
+    for (size_t d = 0; d < max_disks; ++d) {
+      if (d < r.data_disk_util.size()) {
+        row.push_back(FormatDoubleRoundTrip(r.data_disk_util[d]));
+        row.push_back(std::to_string(r.data_disk_accesses[d]));
+      } else {
+        row.push_back("");
+        row.push_back("");
+      }
+    }
+    for (const std::string& k : extra_keys) {
+      auto it = r.extra.find(k);
+      row.push_back(it == r.extra.end()
+                        ? ""
+                        : FormatDoubleRoundTrip(it->second));
+    }
+    if (opts.include_host_timing) {
+      row.push_back(FormatDoubleRoundTrip(c.wall_ms));
+    }
+    w.AddRow(std::move(row));
+  }
+  return w.ToString();
+}
+
+Status MetricsRegistry::WriteJsonFile(const std::string& path,
+                                      const MetricsExportOptions& opts) const {
+  return WriteStringToFile(path, ToJson(opts));
+}
+
+Status MetricsRegistry::WriteCsvFile(const std::string& path,
+                                     const MetricsExportOptions& opts) const {
+  return WriteStringToFile(path, ToCsv(opts));
+}
+
+}  // namespace dbmr::core

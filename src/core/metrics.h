@@ -1,0 +1,88 @@
+// Structured metrics capture and export for experiment grids.
+//
+// Every grid cell records the full machine::MachineResult plus run
+// metadata (configuration, architecture, seed, transaction count, sweep
+// parameters, host wall time).  A MetricsRegistry holds the cells of one
+// run in cell-index order and serializes them to JSON and CSV.
+//
+// Determinism contract: with `include_host_timing` disabled, the exported
+// bytes depend only on the grid specification and seeds — never on thread
+// count, scheduling, or host speed.  tests/grid_runner_test.cc holds the
+// system to this.
+
+#ifndef DBMR_CORE_METRICS_H_
+#define DBMR_CORE_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "machine/config.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace dbmr::core {
+
+/// Everything recorded about one executed grid cell.
+struct CellMetrics {
+  int cell_index = 0;
+  /// Display name, e.g. "logging/Conventional-Random".
+  std::string cell_name;
+  std::string config_name;
+  /// The grid's label for the architecture variant (may carry knob values,
+  /// e.g. "shadow-buf50"); result.arch_name has the architecture's own name.
+  std::string arch_label;
+  uint64_t seed = 0;
+  int num_txns = 0;
+  /// Sweep-parameter values for this cell, in declaration order.
+  std::vector<std::pair<std::string, std::string>> params;
+  /// Host wall-clock time spent simulating this cell.  Excluded from
+  /// deterministic exports.
+  double wall_ms = 0.0;
+  machine::MachineResult result;
+};
+
+struct MetricsExportOptions {
+  /// Include host-dependent fields (per-cell wall_ms, run-level jobs and
+  /// total_wall_ms).  Disable to get byte-identical exports regardless of
+  /// thread count.
+  bool include_host_timing = true;
+  /// Spaces per JSON nesting level; < 0 renders compact.
+  int json_indent = 2;
+};
+
+/// The cells of one grid run, in cell-index order.
+class MetricsRegistry {
+ public:
+  void SetRunInfo(std::string grid_name, uint64_t base_seed, int jobs);
+  void set_total_wall_ms(double ms) { total_wall_ms_ = ms; }
+
+  void Add(CellMetrics cell) { cells_.push_back(std::move(cell)); }
+
+  const std::vector<CellMetrics>& cells() const { return cells_; }
+  size_t size() const { return cells_.size(); }
+  const std::string& grid_name() const { return grid_name_; }
+  uint64_t base_seed() const { return base_seed_; }
+
+  /// The full run as a JSON document / text / CSV text.
+  JsonValue ToJsonValue(const MetricsExportOptions& opts = {}) const;
+  std::string ToJson(const MetricsExportOptions& opts = {}) const;
+  std::string ToCsv(const MetricsExportOptions& opts = {}) const;
+
+  Status WriteJsonFile(const std::string& path,
+                       const MetricsExportOptions& opts = {}) const;
+  Status WriteCsvFile(const std::string& path,
+                      const MetricsExportOptions& opts = {}) const;
+
+ private:
+  std::string grid_name_ = "grid";
+  uint64_t base_seed_ = 0;
+  int jobs_ = 1;
+  double total_wall_ms_ = 0.0;
+  std::vector<CellMetrics> cells_;
+};
+
+}  // namespace dbmr::core
+
+#endif  // DBMR_CORE_METRICS_H_

@@ -1,5 +1,6 @@
 #include "hw/disk.h"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 #include <vector>
@@ -33,6 +34,7 @@ void DiskModel::Submit(DiskRequest req) {
   DBMR_CHECK(req.addr.slot >= 0 && req.addr.slot < geometry_.pages_per_cylinder());
   queue_.push_back(Pending{std::move(req), sim_->Now()});
   queue_stat_.Set(sim_->Now(), static_cast<double>(queue_.size()));
+  max_queue_ = std::max(max_queue_, queue_.size());
   if (!busy_) StartNextAccess();
 }
 

@@ -82,6 +82,9 @@ class DiskModel {
 
   double AvgQueueLength() const;
 
+  /// Longest the request queue ever got (excluding requests in service).
+  size_t max_queue_length() const { return max_queue_; }
+
  private:
   struct Pending {
     DiskRequest req;
@@ -100,6 +103,7 @@ class DiskModel {
   int32_t arm_cylinder_ = 0;
   int32_t next_slot_ = -1;
   std::deque<Pending> queue_;
+  size_t max_queue_ = 0;
 
   uint64_t accesses_ = 0;
   uint64_t pages_ = 0;

@@ -138,6 +138,14 @@ MachineResult Machine::Run() {
               static_cast<double>(config_.num_query_processors);
   r.avg_blocked_pages = blocked_pages_stat_.Average(sim_.Now());
   r.deadlock_restarts = deadlock_restarts_;
+  const sim::SimCounters& sc = sim_.counters();
+  r.extra["sim_events_executed"] = static_cast<double>(sc.events_executed);
+  r.extra["sim_events_scheduled"] = static_cast<double>(sc.events_scheduled);
+  r.extra["sim_max_heap_depth"] = static_cast<double>(sc.max_heap_depth);
+  for (size_t i = 0; i < data_disks_.size(); ++i) {
+    r.extra[StrFormat("data_disk_queue_highwater_%zu", i)] =
+        static_cast<double>(data_disks_[i]->max_queue_length());
+  }
   arch_->ContributeStats(&r);
   return r;
 }

@@ -212,6 +212,8 @@ void SimLogging::ContributeStats(MachineResult* result) {
         lps_[i]->disk->Utilization();
     result->extra[StrFormat("log_pages_written_%zu", i)] =
         static_cast<double>(lps_[i]->pages_written);
+    result->extra[StrFormat("log_disk_queue_highwater_%zu", i)] =
+        static_cast<double>(lps_[i]->disk->max_queue_length());
   }
   if (channel_) {
     result->extra["log_channel_util"] = channel_->Utilization();

@@ -1,5 +1,7 @@
 #include "sim/server.h"
 
+#include <algorithm>
+
 namespace dbmr::sim {
 
 Server::Server(Simulator* sim, std::string name)
@@ -13,6 +15,7 @@ void Server::Submit(Job job) {
   DBMR_CHECK(job.service != nullptr);
   queue_.push_back(Pending{std::move(job), sim_->Now()});
   queue_stat_.Set(sim_->Now(), static_cast<double>(queue_.size()));
+  max_queue_ = std::max(max_queue_, queue_.size());
   if (!busy_) StartNext();
 }
 

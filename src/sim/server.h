@@ -53,6 +53,9 @@ class Server {
   /// Time-weighted average queue length (excluding the job in service).
   double AvgQueueLength() const { return queue_stat_.Average(sim_->Now()); }
 
+  /// Longest the queue ever got (excluding the job in service).
+  size_t max_queue_length() const { return max_queue_; }
+
   const RunningStat& wait_stat() const { return wait_stat_; }
   const RunningStat& service_stat() const { return service_stat_; }
   uint64_t jobs_completed() const { return completed_; }
@@ -73,6 +76,7 @@ class Server {
   std::string name_;
   bool busy_ = false;
   std::deque<Pending> queue_;
+  size_t max_queue_ = 0;
   uint64_t completed_ = 0;
   TimeWeightedStat busy_stat_;
   TimeWeightedStat queue_stat_;

@@ -1,5 +1,6 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace dbmr::sim {
@@ -15,13 +16,18 @@ EventId Simulator::ScheduleAt(TimeMs when, std::function<void()> fn) {
   EventId id = next_id_++;
   heap_.push(Event{when, next_seq_++, id, std::move(fn)});
   live_.insert(id);
+  ++counters_.events_scheduled;
+  counters_.max_heap_depth =
+      std::max<uint64_t>(counters_.max_heap_depth, heap_.size());
   return id;
 }
 
 bool Simulator::Cancel(EventId id) {
   // Lazy cancellation: drop the id from the live set; the heap entry is
   // skipped when it reaches the top.
-  return live_.erase(id) > 0;
+  if (live_.erase(id) == 0) return false;
+  ++counters_.events_cancelled;
+  return true;
 }
 
 bool Simulator::SkimCancelled() {
@@ -37,7 +43,7 @@ bool Simulator::Step() {
   heap_.pop();
   live_.erase(ev.id);
   now_ = ev.when;
-  ++executed_;
+  ++counters_.events_executed;
   ev.fn();
   return true;
 }

@@ -25,6 +25,17 @@ using EventId = uint64_t;
 /// Sentinel for "no event".
 inline constexpr EventId kNoEvent = 0;
 
+/// Kernel-level counters, captured per run for the metrics layer.  All
+/// values are deterministic functions of the model, never of wall time.
+struct SimCounters {
+  uint64_t events_scheduled = 0;
+  uint64_t events_executed = 0;
+  uint64_t events_cancelled = 0;
+  /// Deepest the future-event heap ever got (lazily-cancelled entries
+  /// included, since they occupy real heap slots until skimmed).
+  uint64_t max_heap_depth = 0;
+};
+
 /// The event-driven simulation engine.
 class Simulator {
  public:
@@ -58,7 +69,10 @@ class Simulator {
   size_t PendingEvents() const { return live_.size(); }
 
   /// Total events executed since construction.
-  uint64_t events_executed() const { return executed_; }
+  uint64_t events_executed() const { return counters_.events_executed; }
+
+  /// Scheduled/executed/cancelled totals and heap-depth highwater.
+  const SimCounters& counters() const { return counters_; }
 
  private:
   struct Event {
@@ -80,7 +94,7 @@ class Simulator {
   TimeMs now_ = 0.0;
   uint64_t next_seq_ = 0;
   EventId next_id_ = 1;
-  uint64_t executed_ = 0;
+  SimCounters counters_;
   std::priority_queue<Event, std::vector<Event>, Later> heap_;
   std::unordered_set<EventId> live_;  // scheduled and not fired/cancelled
 };

@@ -1,0 +1,50 @@
+// RFC 4180-style CSV writing and parsing.
+//
+// The metrics layer exports one row per grid cell; fields containing a
+// comma, quote, or newline are quoted with doubled inner quotes.  The
+// parser accepts exactly what the writer emits (plus CRLF line endings),
+// so exports round-trip.
+
+#ifndef DBMR_UTIL_CSV_H_
+#define DBMR_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dbmr {
+
+/// Accumulates a header plus data rows and renders them as CSV text.
+class CsvWriter {
+ public:
+  /// Sets the column names; defines the expected row width.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a data row.  Rows shorter than the header are padded with
+  /// empty fields; longer rows are a checked fatal error.
+  void AddRow(std::vector<std::string> row);
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Renders header + rows, one "\n"-terminated line each.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Quotes `field` if it contains a comma, quote, CR, or LF.
+std::string CsvEscape(const std::string& field);
+
+/// Parses CSV text into rows of fields (the header, if any, is row 0).
+/// Handles quoted fields with embedded commas/newlines/doubled quotes and
+/// both "\n" and "\r\n" line endings; a trailing newline does not produce
+/// an empty final row.
+Result<std::vector<std::vector<std::string>>> ParseCsv(
+    const std::string& text);
+
+}  // namespace dbmr
+
+#endif  // DBMR_UTIL_CSV_H_

@@ -1,0 +1,447 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/str.h"
+
+namespace dbmr {
+
+std::string FormatDoubleRoundTrip(double value) {
+  if (std::isnan(value)) return "nan";
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  // Integral doubles within int64 range print without a fraction but keep
+  // a ".0" marker so the value parses back as a double.
+  char buf[40];
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
+  std::string s = buf;
+  if (s.find_first_of(".eEn") == std::string::npos) s += ".0";
+  return s;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+bool JsonValue::AsBool() const {
+  DBMR_CHECK(type_ == Type::kBool);
+  return bool_;
+}
+
+int64_t JsonValue::AsInt() const {
+  if (type_ == Type::kUint) {
+    DBMR_CHECK(uint_ <= static_cast<uint64_t>(INT64_MAX));
+    return static_cast<int64_t>(uint_);
+  }
+  DBMR_CHECK(type_ == Type::kInt);
+  return int_;
+}
+
+uint64_t JsonValue::AsUint() const {
+  if (type_ == Type::kInt) {
+    DBMR_CHECK(int_ >= 0);
+    return static_cast<uint64_t>(int_);
+  }
+  DBMR_CHECK(type_ == Type::kUint);
+  return uint_;
+}
+
+double JsonValue::AsDouble() const {
+  switch (type_) {
+    case Type::kInt: return static_cast<double>(int_);
+    case Type::kUint: return static_cast<double>(uint_);
+    case Type::kDouble: return double_;
+    default: DBMR_CHECK(false && "AsDouble on non-number"); return 0.0;
+  }
+}
+
+const std::string& JsonValue::AsString() const {
+  DBMR_CHECK(type_ == Type::kString);
+  return str_;
+}
+
+size_t JsonValue::size() const {
+  if (type_ == Type::kArray) return arr_.size();
+  if (type_ == Type::kObject) return obj_.size();
+  return 0;
+}
+
+void JsonValue::Append(JsonValue v) {
+  DBMR_CHECK(type_ == Type::kArray);
+  arr_.push_back(std::move(v));
+}
+
+const JsonValue& JsonValue::at(size_t i) const {
+  DBMR_CHECK(type_ == Type::kArray && i < arr_.size());
+  return arr_[i];
+}
+
+JsonValue& JsonValue::operator[](const std::string& key) {
+  DBMR_CHECK(type_ == Type::kObject);
+  for (auto& [k, v] : obj_) {
+    if (k == key) return v;
+  }
+  obj_.emplace_back(key, JsonValue());
+  return obj_.back().second;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void JsonValue::DumpTo(std::string* out, int indent, int depth) const {
+  const bool pretty = indent >= 0;
+  const std::string pad = pretty ? std::string(
+      static_cast<size_t>(indent) * static_cast<size_t>(depth + 1), ' ')
+      : "";
+  const std::string close_pad = pretty ? std::string(
+      static_cast<size_t>(indent) * static_cast<size_t>(depth), ' ')
+      : "";
+  const char* nl = pretty ? "\n" : "";
+  const char* kv_sep = pretty ? ": " : ":";
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      break;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      break;
+    case Type::kInt:
+      *out += std::to_string(int_);
+      break;
+    case Type::kUint:
+      *out += std::to_string(uint_);
+      break;
+    case Type::kDouble:
+      if (!std::isfinite(double_)) {
+        *out += "null";
+      } else {
+        *out += FormatDoubleRoundTrip(double_);
+      }
+      break;
+    case Type::kString:
+      *out += JsonEscape(str_);
+      break;
+    case Type::kArray: {
+      if (arr_.empty()) {
+        *out += "[]";
+        break;
+      }
+      *out += '[';
+      *out += nl;
+      for (size_t i = 0; i < arr_.size(); ++i) {
+        *out += pad;
+        arr_[i].DumpTo(out, indent, depth + 1);
+        if (i + 1 < arr_.size()) *out += ',';
+        *out += nl;
+      }
+      *out += close_pad;
+      *out += ']';
+      break;
+    }
+    case Type::kObject: {
+      if (obj_.empty()) {
+        *out += "{}";
+        break;
+      }
+      *out += '{';
+      *out += nl;
+      for (size_t i = 0; i < obj_.size(); ++i) {
+        *out += pad;
+        *out += JsonEscape(obj_[i].first);
+        *out += kv_sep;
+        obj_[i].second.DumpTo(out, indent, depth + 1);
+        if (i + 1 < obj_.size()) *out += ',';
+        *out += nl;
+      }
+      *out += close_pad;
+      *out += '}';
+      break;
+    }
+  }
+}
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+bool JsonValue::operator==(const JsonValue& other) const {
+  if (type_ != other.type_) {
+    // Numbers compare across int/uint representations by value.
+    if (is_number() && other.is_number() && type_ != Type::kDouble &&
+        other.type_ != Type::kDouble) {
+      if (type_ == Type::kInt && int_ < 0) return false;
+      if (other.type_ == Type::kInt && other.int_ < 0) return false;
+      return AsUint() == other.AsUint();
+    }
+    return false;
+  }
+  switch (type_) {
+    case Type::kNull: return true;
+    case Type::kBool: return bool_ == other.bool_;
+    case Type::kInt: return int_ == other.int_;
+    case Type::kUint: return uint_ == other.uint_;
+    case Type::kDouble: return double_ == other.double_;
+    case Type::kString: return str_ == other.str_;
+    case Type::kArray: return arr_ == other.arr_;
+    case Type::kObject: return obj_ == other.obj_;
+  }
+  return false;
+}
+
+namespace {
+
+/// Recursive-descent JSON parser over a string.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue v;
+    Status st = ParseValue(&v, 0);
+    if (!st.ok()) return st;
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 200;
+
+  Status Error(const std::string& msg) const {
+    return Status::InvalidArgument(
+        StrFormat("JSON parse error at offset %zu: %s", pos_, msg.c_str()));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(const char* w) {
+    size_t n = std::strlen(w);
+    if (text_.compare(pos_, n, w) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    char c = text_[pos_];
+    if (c == '{') return ParseObject(out, depth);
+    if (c == '[') return ParseArray(out, depth);
+    if (c == '"') {
+      std::string s;
+      DBMR_RETURN_IF_ERROR(ParseString(&s));
+      *out = JsonValue(std::move(s));
+      return Status::OK();
+    }
+    if (ConsumeWord("null")) {
+      *out = JsonValue();
+      return Status::OK();
+    }
+    if (ConsumeWord("true")) {
+      *out = JsonValue(true);
+      return Status::OK();
+    }
+    if (ConsumeWord("false")) {
+      *out = JsonValue(false);
+      return Status::OK();
+    }
+    return ParseNumber(out);
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    Consume('{');
+    *out = JsonValue::Object();
+    SkipWhitespace();
+    if (Consume('}')) return Status::OK();
+    for (;;) {
+      SkipWhitespace();
+      std::string key;
+      DBMR_RETURN_IF_ERROR(ParseString(&key));
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' in object");
+      JsonValue v;
+      DBMR_RETURN_IF_ERROR(ParseValue(&v, depth + 1));
+      (*out)[key] = std::move(v);
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::OK();
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    Consume('[');
+    *out = JsonValue::Array();
+    SkipWhitespace();
+    if (Consume(']')) return Status::OK();
+    for (;;) {
+      JsonValue v;
+      DBMR_RETURN_IF_ERROR(ParseValue(&v, depth + 1));
+      out->Append(std::move(v));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::OK();
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Error("expected string");
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case '/': *out += '/'; break;
+        case 'b': *out += '\b'; break;
+        case 'f': *out += '\f'; break;
+        case 'n': *out += '\n'; break;
+        case 'r': *out += '\r'; break;
+        case 't': *out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Error("bad hex digit in \\u escape");
+            }
+          }
+          // Encode as UTF-8 (surrogate pairs are not recombined; the
+          // metrics layer never emits them).
+          if (code < 0x80) {
+            *out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            *out += static_cast<char>(0xC0 | (code >> 6));
+            *out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            *out += static_cast<char>(0xE0 | (code >> 12));
+            *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            *out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return Error("bad escape character");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           ((text_[pos_] >= '0' && text_[pos_] <= '9') || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected a value");
+    const std::string tok = text_.substr(start, pos_ - start);
+    const bool integral =
+        tok.find_first_of(".eE") == std::string::npos;
+    if (integral) {
+      errno = 0;
+      char* end = nullptr;
+      if (tok[0] == '-') {
+        long long v = std::strtoll(tok.c_str(), &end, 10);
+        if (errno == 0 && end == tok.c_str() + tok.size()) {
+          *out = JsonValue(static_cast<int64_t>(v));
+          return Status::OK();
+        }
+      } else {
+        unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+        if (errno == 0 && end == tok.c_str() + tok.size()) {
+          *out = JsonValue(static_cast<uint64_t>(v));
+          return Status::OK();
+        }
+      }
+      // Out of 64-bit range: fall through to double.
+    }
+    char* end = nullptr;
+    double v = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size()) return Error("malformed number");
+    *out = JsonValue(v);
+    return Status::OK();
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> JsonValue::Parse(const std::string& text) {
+  return JsonParser(text).Parse();
+}
+
+}  // namespace dbmr

@@ -1,0 +1,115 @@
+// A small, dependency-free JSON document model: build, serialize, parse.
+//
+// Used by the metrics layer to export experiment-grid results.  Two
+// properties matter there and are guaranteed here:
+//
+//  * Deterministic output.  Object members keep insertion order, doubles
+//    are formatted with the shortest representation that round-trips
+//    exactly (strtod(Dump(x)) == x), and 64-bit integers are kept as
+//    integers rather than being squeezed through a double.  Equal
+//    documents therefore always serialize to identical bytes.
+//  * Round-tripping.  Parse(Dump(v)) reproduces v, including the
+//    int/uint/double distinction for numbers that look integral.
+
+#ifndef DBMR_UTIL_JSON_H_
+#define DBMR_UTIL_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dbmr {
+
+/// One JSON value: null, bool, number (int64/uint64/double), string,
+/// array, or object.  Objects preserve insertion order.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kInt, kUint, kDouble, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+  JsonValue(bool b) : type_(Type::kBool), bool_(b) {}            // NOLINT
+  JsonValue(int v) : type_(Type::kInt), int_(v) {}               // NOLINT
+  JsonValue(int64_t v) : type_(Type::kInt), int_(v) {}           // NOLINT
+  JsonValue(uint64_t v) : type_(Type::kUint), uint_(v) {}        // NOLINT
+  JsonValue(double v) : type_(Type::kDouble), double_(v) {}      // NOLINT
+  JsonValue(const char* s) : type_(Type::kString), str_(s) {}    // NOLINT
+  JsonValue(std::string s) : type_(Type::kString), str_(std::move(s)) {}  // NOLINT
+
+  static JsonValue Array() { return JsonValue(Type::kArray); }
+  static JsonValue Object() { return JsonValue(Type::kObject); }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const {
+    return type_ == Type::kInt || type_ == Type::kUint ||
+           type_ == Type::kDouble;
+  }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; calling one on the wrong type is a checked fatal
+  /// error.  AsDouble accepts any numeric value.
+  bool AsBool() const;
+  int64_t AsInt() const;
+  uint64_t AsUint() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+
+  /// Array/object element count; 0 for scalars.
+  size_t size() const;
+
+  /// --- arrays -----------------------------------------------------------
+  void Append(JsonValue v);
+  const JsonValue& at(size_t i) const;
+
+  /// --- objects (insertion-ordered) --------------------------------------
+  /// Returns the member named `key`, inserting a null member if absent.
+  JsonValue& operator[](const std::string& key);
+  /// Returns the member named `key`, or nullptr.
+  const JsonValue* Find(const std::string& key) const;
+  const std::vector<std::pair<std::string, JsonValue>>& items() const {
+    return obj_;
+  }
+
+  /// Serializes.  indent < 0 renders one compact line; indent >= 0 pretty-
+  /// prints with that many spaces per nesting level.  Non-finite doubles
+  /// (not representable in JSON) render as null.
+  std::string Dump(int indent = -1) const;
+
+  /// Parses a complete JSON document; trailing non-whitespace is an error.
+  static Result<JsonValue> Parse(const std::string& text);
+
+  bool operator==(const JsonValue& other) const;
+  bool operator!=(const JsonValue& other) const { return !(*this == other); }
+
+ private:
+  explicit JsonValue(Type t) : type_(t) {}
+
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  uint64_t uint_ = 0;
+  double double_ = 0.0;
+  std::string str_;
+  std::vector<JsonValue> arr_;
+  std::vector<std::pair<std::string, JsonValue>> obj_;
+};
+
+/// Shortest decimal string that strtod parses back to exactly `value`
+/// ("0.1", not "0.10000000000000001").  Non-finite values format as
+/// "inf"/"-inf"/"nan" (callers that need strict JSON must handle those).
+std::string FormatDoubleRoundTrip(double value);
+
+/// Escapes and quotes `s` as a JSON string literal.
+std::string JsonEscape(const std::string& s);
+
+}  // namespace dbmr
+
+#endif  // DBMR_UTIL_JSON_H_

@@ -1,0 +1,147 @@
+// Tests for the JSON document model and the CSV writer/parser that back
+// the metrics-export layer.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "util/csv.h"
+#include "util/json.h"
+
+namespace dbmr {
+namespace {
+
+TEST(JsonTest, ScalarsDump) {
+  EXPECT_EQ(JsonValue().Dump(), "null");
+  EXPECT_EQ(JsonValue(true).Dump(), "true");
+  EXPECT_EQ(JsonValue(false).Dump(), "false");
+  EXPECT_EQ(JsonValue(static_cast<int64_t>(-12)).Dump(), "-12");
+  EXPECT_EQ(JsonValue(static_cast<uint64_t>(18446744073709551615ULL)).Dump(),
+            "18446744073709551615");
+  EXPECT_EQ(JsonValue(0.5).Dump(), "0.5");
+  EXPECT_EQ(JsonValue(3.0).Dump(), "3.0");
+  EXPECT_EQ(JsonValue("hi").Dump(), "\"hi\"");
+}
+
+TEST(JsonTest, StringEscaping) {
+  EXPECT_EQ(JsonValue("a\"b\\c\n\t").Dump(), "\"a\\\"b\\\\c\\n\\t\"");
+  EXPECT_EQ(JsonValue(std::string(1, '\x01')).Dump(), "\"\\u0001\"");
+}
+
+TEST(JsonTest, ObjectsKeepInsertionOrder) {
+  JsonValue o = JsonValue::Object();
+  o["zebra"] = JsonValue(1);
+  o["alpha"] = JsonValue(2);
+  EXPECT_EQ(o.Dump(), "{\"zebra\":1,\"alpha\":2}");
+  o["zebra"] = JsonValue(3);  // update in place, no reorder
+  EXPECT_EQ(o.Dump(), "{\"zebra\":3,\"alpha\":2}");
+}
+
+TEST(JsonTest, PrettyPrinting) {
+  JsonValue o = JsonValue::Object();
+  o["a"] = JsonValue(1);
+  JsonValue arr = JsonValue::Array();
+  arr.Append(JsonValue(true));
+  o["b"] = std::move(arr);
+  EXPECT_EQ(o.Dump(2), "{\n  \"a\": 1,\n  \"b\": [\n    true\n  ]\n}");
+}
+
+TEST(JsonTest, ParsePrimitives) {
+  EXPECT_TRUE(JsonValue::Parse("null")->is_null());
+  EXPECT_EQ(JsonValue::Parse("true")->AsBool(), true);
+  EXPECT_EQ(JsonValue::Parse("-42")->AsInt(), -42);
+  EXPECT_EQ(JsonValue::Parse("18446744073709551615")->AsUint(),
+            18446744073709551615ULL);
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("2.5e3")->AsDouble(), 2500.0);
+  EXPECT_EQ(JsonValue::Parse("\"a\\u0041b\"")->AsString(), "aAb");
+}
+
+TEST(JsonTest, ParseNested) {
+  auto v = JsonValue::Parse(
+      " { \"cells\" : [ {\"x\": 1}, {\"x\": 2.5} ], \"n\" : 2 } ");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(v->Find("n")->AsInt(), 2);
+  ASSERT_EQ(v->Find("cells")->size(), 2u);
+  EXPECT_EQ(v->Find("cells")->at(0).Find("x")->AsInt(), 1);
+  EXPECT_DOUBLE_EQ(v->Find("cells")->at(1).Find("x")->AsDouble(), 2.5);
+}
+
+TEST(JsonTest, ParseErrors) {
+  EXPECT_FALSE(JsonValue::Parse("").ok());
+  EXPECT_FALSE(JsonValue::Parse("{").ok());
+  EXPECT_FALSE(JsonValue::Parse("[1,]").ok());
+  EXPECT_FALSE(JsonValue::Parse("1 trailing").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"unterminated").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(JsonValue::Parse("nul").ok());
+}
+
+TEST(JsonTest, DumpParseRoundTripsExactDoubles) {
+  const double values[] = {0.1, 1.0 / 3.0, 12345.6789,
+                           std::numeric_limits<double>::denorm_min(),
+                           -0.0, 1e300};
+  for (double d : values) {
+    auto v = JsonValue::Parse(JsonValue(d).Dump());
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(v->AsDouble(), d) << d;
+  }
+}
+
+TEST(JsonTest, FormatDoubleIsShortest) {
+  EXPECT_EQ(FormatDoubleRoundTrip(0.1), "0.1");
+  EXPECT_EQ(FormatDoubleRoundTrip(2.0), "2.0");
+  EXPECT_EQ(FormatDoubleRoundTrip(-7.25), "-7.25");
+}
+
+TEST(JsonTest, EqualityIsStructural) {
+  auto a = JsonValue::Parse("{\"x\":[1,2],\"y\":\"z\"}");
+  auto b = JsonValue::Parse("{\"x\":[1,2],\"y\":\"z\"}");
+  auto c = JsonValue::Parse("{\"x\":[1,3],\"y\":\"z\"}");
+  EXPECT_EQ(*a, *b);
+  EXPECT_NE(*a, *c);
+}
+
+TEST(CsvTest, EscapesOnlyWhenNeeded) {
+  EXPECT_EQ(CsvEscape("plain"), "plain");
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvEscape("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(CsvTest, WriterPadsShortRows) {
+  CsvWriter w;
+  w.SetHeader({"a", "b", "c"});
+  w.AddRow({"1"});
+  EXPECT_EQ(w.ToString(), "a,b,c\n1,,\n");
+}
+
+TEST(CsvTest, RoundTripsQuotedFields) {
+  CsvWriter w;
+  w.SetHeader({"name", "note"});
+  w.AddRow({"x,y", "he said \"go\"\nthen left"});
+  w.AddRow({"", "plain"});
+  auto rows = ParseCsv(w.ToString());
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 3u);
+  EXPECT_EQ((*rows)[1][0], "x,y");
+  EXPECT_EQ((*rows)[1][1], "he said \"go\"\nthen left");
+  EXPECT_EQ((*rows)[2][0], "");
+  EXPECT_EQ((*rows)[2][1], "plain");
+}
+
+TEST(CsvTest, ParsesCrlfAndNoTrailingNewline) {
+  auto rows = ParseCsv("a,b\r\n1,2");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[1][1], "2");
+}
+
+TEST(CsvTest, RejectsMalformedQuoting) {
+  EXPECT_FALSE(ParseCsv("a,b\"c\n").ok());
+  EXPECT_FALSE(ParseCsv("\"unterminated").ok());
+}
+
+}  // namespace
+}  // namespace dbmr

@@ -173,5 +173,31 @@ TEST(ServerTest, AvgQueueLength) {
   EXPECT_NEAR(srv.AvgQueueLength(), 1.0, 1e-9);
 }
 
+TEST(ServerTest, MaxQueueLengthHighwater) {
+  Simulator sim;
+  Server srv(&sim, "cpu");
+  for (int i = 0; i < 4; ++i) srv.Submit(10.0, nullptr);
+  EXPECT_EQ(srv.max_queue_length(), 3u);  // one in service, three queued
+  sim.Run();
+  EXPECT_EQ(srv.max_queue_length(), 3u);  // highwater persists after drain
+}
+
+TEST(SimulatorTest, CountersTrackScheduleExecuteCancel) {
+  Simulator sim;
+  EventId a = sim.Schedule(1.0, [] {});
+  sim.Schedule(2.0, [] {});
+  sim.Schedule(3.0, [] {});
+  EXPECT_EQ(sim.counters().events_scheduled, 3u);
+  EXPECT_EQ(sim.counters().max_heap_depth, 3u);
+  sim.Cancel(a);
+  EXPECT_EQ(sim.counters().events_cancelled, 1u);
+  sim.Cancel(a);  // double-cancel is a no-op and is not recounted
+  EXPECT_EQ(sim.counters().events_cancelled, 1u);
+  sim.Run();
+  EXPECT_EQ(sim.counters().events_executed, 2u);
+  EXPECT_EQ(sim.events_executed(), 2u);
+  EXPECT_EQ(sim.counters().max_heap_depth, 3u);
+}
+
 }  // namespace
 }  // namespace dbmr::sim

@@ -9,9 +9,13 @@
 //   dbmr --arch=differential --diff-size=0.15 --basic
 //   dbmr --arch=overwrite --mode=noredo --config=conv-seq
 //   dbmr --arch=bare --config=conv-random --interarrival=5000
+//   dbmr --arch=logging --grid --jobs=8 --out=run.json
 //
 // Prints the §4 metrics: execution time per page, transaction completion
 // time (mean and tail), device utilizations, and architecture extras.
+// With --grid, runs all four §4 configurations in parallel and can export
+// the full structured metrics as JSON (--out) and CSV (--csv); see
+// docs/CLI.md.
 
 #include <cstdio>
 #include <cstdlib>
@@ -21,12 +25,15 @@
 #include <string>
 
 #include "core/experiment.h"
+#include "core/grid.h"
+#include "core/metrics.h"
 #include "machine/sim_differential.h"
 #include "machine/sim_logging.h"
 #include "machine/sim_overwrite.h"
 #include "machine/sim_shadow.h"
 #include "machine/sim_version_select.h"
 #include "util/str.h"
+#include "util/table.h"
 
 namespace {
 
@@ -63,6 +70,17 @@ struct Flags {
   --mpl=N            multiprogramming level                 (default: 3)
   --interarrival=MS  open system: mean interarrival (0 = closed batch)
   --hot-fraction=F / --hot-prob=P   workload skew           (default: off)
+
+grid mode (parallel experiment grid + metrics export):
+  --grid             run --arch across all four standard configurations on
+                     a thread pool (--config is ignored); each cell gets a
+                     seed derived from --seed and its cell index, so results
+                     are identical for every --jobs value
+  --jobs=N           worker threads for --grid     (default: 0 = all cores)
+  --out=FILE         write grid metrics as JSON
+  --csv=FILE         write grid metrics as CSV
+  --no-timing        omit host wall-time fields from exports (bytes then
+                     depend only on the grid spec and seeds)
 
 logging:
   --log-disks=N      log processors/disks                   (default: 1)
@@ -167,6 +185,15 @@ std::unique_ptr<machine::RecoveryArch> MakeArch(const Flags& f) {
   Usage("unknown --arch");
 }
 
+/// Machine/workload modifiers shared by the single-run and grid paths.
+void ApplyCommonFlags(const Flags& f, core::ExperimentSetup* s) {
+  if (f.Has("mpl")) s->machine.mpl = f.GetInt("mpl", 3);
+  s->machine.mean_interarrival_ms = f.GetDouble("interarrival", 0.0);
+  s->workload.hot_fraction = f.GetDouble("hot-fraction", 0.0);
+  s->workload.hot_access_prob = f.GetDouble("hot-prob", 0.8);
+  if (s->workload.hot_fraction <= 0.0) s->workload.hot_access_prob = 0.0;
+}
+
 core::ExperimentSetup MakeSetup(const Flags& f) {
   const std::string conf = f.Get("config", "conv-random");
   const int txns = f.GetInt("txns", 150);
@@ -189,18 +216,76 @@ core::ExperimentSetup MakeSetup(const Flags& f) {
     }
     s = core::StandardSetup(c, txns, seed);
   }
-  if (f.Has("mpl")) s.machine.mpl = f.GetInt("mpl", 3);
-  s.machine.mean_interarrival_ms = f.GetDouble("interarrival", 0.0);
-  s.workload.hot_fraction = f.GetDouble("hot-fraction", 0.0);
-  s.workload.hot_access_prob = f.GetDouble("hot-prob", 0.8);
-  if (s.workload.hot_fraction <= 0.0) s.workload.hot_access_prob = 0.0;
+  ApplyCommonFlags(f, &s);
   return s;
+}
+
+int RunGridMode(const Flags& f) {
+  const std::string arch = f.Get("arch", "bare");
+  const int txns = f.GetInt("txns", 150);
+  const auto seed = static_cast<uint64_t>(f.GetInt("seed", 7));
+  MakeArch(f);  // validate architecture flags before spawning workers
+
+  core::GridSpec spec;
+  spec.name = "dbmr-" + arch;
+  spec.base_seed = seed;
+  for (core::Configuration c : core::kAllConfigurations) {
+    core::GridCellSpec cell;
+    cell.config_name = core::ConfigurationName(c);
+    cell.arch_label = arch;
+    cell.setup = core::StandardSetup(c, txns, seed);
+    ApplyCommonFlags(f, &cell.setup);
+    cell.make_arch = [f] { return MakeArch(f); };
+    spec.cells.push_back(std::move(cell));
+  }
+
+  core::GridRunOptions run_opts;
+  run_opts.jobs = f.GetInt("jobs", 0);
+  core::MetricsRegistry run = core::RunGrid(spec, run_opts);
+
+  TextTable t(StrFormat("%s grid — %d txns, base seed %llu", arch.c_str(),
+                        txns, static_cast<unsigned long long>(seed)));
+  t.SetHeader({"Cell", "Seed", "Exec/page (ms)", "Completion mean (ms)",
+               "QP util", "Wall (ms)"});
+  for (const core::CellMetrics& cell : run.cells()) {
+    t.AddRow({cell.cell_name, std::to_string(cell.seed),
+              FormatFixed(cell.result.exec_time_per_page_ms, 2),
+              FormatFixed(cell.result.completion_ms.mean(), 1),
+              FormatFixed(cell.result.qp_util, 2),
+              FormatFixed(cell.wall_ms, 0)});
+  }
+  t.Print();
+
+  core::MetricsExportOptions export_opts;
+  export_opts.include_host_timing = !f.Has("no-timing");
+  if (f.Has("out")) {
+    Status st = run.WriteJsonFile(f.Get("out", ""), export_opts);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote JSON metrics to %s\n", f.Get("out", "").c_str());
+  }
+  if (f.Has("csv")) {
+    Status st = run.WriteCsvFile(f.Get("csv", ""), export_opts);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote CSV metrics to %s\n", f.Get("csv", "").c_str());
+  }
+  if (!f.Has("out") && !f.Has("csv")) {
+    std::printf(
+        "(use --out=FILE.json / --csv=FILE.csv to export the metrics)\n");
+  }
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   Flags f = Parse(argc, argv);
+  if (f.Has("grid")) return RunGridMode(f);
   core::ExperimentSetup setup = MakeSetup(f);
   auto result = core::RunWith(setup, MakeArch(f));
 

@@ -39,7 +39,11 @@ bool Simulator::SkimCancelled() {
 
 bool Simulator::Step() {
   if (!SkimCancelled()) return false;
-  Event ev = heap_.top();
+  // priority_queue::top() is const-only, but moving the closure out before
+  // pop() is safe: the heap never inspects `fn`, so sift-down of a
+  // moved-from element is fine.  This avoids a full std::function copy
+  // (and its heap allocation) per executed event.
+  Event ev = std::move(const_cast<Event&>(heap_.top()));
   heap_.pop();
   live_.erase(ev.id);
   now_ = ev.when;

@@ -1,7 +1,12 @@
 // google-benchmark microbenchmarks of the discrete-event simulation
-// kernel: raw event throughput, cancellation, and server queueing.
+// kernel: raw event throughput, cancellation, slot-pool churn, and server
+// queueing.  tools/bench_baseline runs the same workloads without the
+// google-benchmark harness and exports BENCH_kernel.json for the perf
+// trajectory; keep the two in sync.
 
 #include <benchmark/benchmark.h>
+
+#include <vector>
 
 #include "sim/server.h"
 #include "sim/simulator.h"
@@ -25,15 +30,21 @@ void BM_ScheduleAndRun(benchmark::State& state) {
 }
 BENCHMARK(BM_ScheduleAndRun)->Arg(1000)->Arg(10000)->Arg(100000);
 
+/// Self-rescheduling functor: 16 bytes, always stored inline.
+struct Chain {
+  Simulator* s;
+  int* remaining;
+  void operator()() const {
+    if (--*remaining > 0) s->Schedule(1.0, Chain{s, remaining});
+  }
+};
+
 void BM_NestedScheduling(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   for (auto _ : state) {
     Simulator s;
     int remaining = n;
-    std::function<void()> chain = [&] {
-      if (--remaining > 0) s.Schedule(1.0, chain);
-    };
-    s.Schedule(1.0, chain);
+    s.Schedule(1.0, Chain{&s, &remaining});
     s.Run();
     benchmark::DoNotOptimize(s.Now());
   }
@@ -59,6 +70,58 @@ void BM_CancelHalf(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_CancelHalf)->Arg(10000);
+
+/// Schedule/cancel/fire interleaved: every live event is shadowed by a
+/// timeout that is cancelled before it fires — the disk/log-flush pattern.
+/// Exercises O(1) cancellation plus immediate slot reuse.
+void BM_ScheduleCancelFire(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Simulator s;
+    Rng rng(1);
+    for (int i = 0; i < n; ++i) {
+      const EventId timeout = s.Schedule(1e9, [] {});
+      s.Schedule(rng.UniformDouble(0, 1000.0),
+                 [&s, timeout] { s.Cancel(timeout); });
+    }
+    s.Run();
+    benchmark::DoNotOptimize(s.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * n * 2);
+}
+BENCHMARK(BM_ScheduleCancelFire)->Arg(10000)->Arg(100000);
+
+/// Steady-state churn: K events outstanding, each firing schedules its
+/// replacement until N total have run.  The pool and heap stay at constant
+/// depth, so this isolates per-event cost from container growth.
+void BM_Churn(benchmark::State& state) {
+  const int outstanding = 256;
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Simulator s;
+    s.Reserve(outstanding);
+    Rng rng(1);
+    int remaining = n;
+    struct Replace {
+      Simulator* s;
+      Rng* rng;
+      int* remaining;
+      void operator()() const {
+        if (--*remaining > 0) {
+          s->Schedule(rng->UniformDouble(0.0, 100.0),
+                      Replace{s, rng, remaining});
+        }
+      }
+    };
+    for (int i = 0; i < outstanding; ++i) {
+      s.Schedule(rng.UniformDouble(0.0, 100.0), Replace{&s, &rng, &remaining});
+    }
+    s.Run();
+    benchmark::DoNotOptimize(s.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Churn)->Arg(100000);
 
 void BM_ServerPipeline(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

@@ -16,7 +16,7 @@ sim::TimeMs Channel::TransferTime(int64_t bytes) const {
   return sim::SecondsMs(seconds);
 }
 
-void Channel::Send(int64_t bytes, std::function<void()> done) {
+void Channel::Send(int64_t bytes, sim::InlineTask done) {
   server_.Submit(TransferTime(bytes), std::move(done));
 }
 

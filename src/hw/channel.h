@@ -8,9 +8,9 @@
 #define DBMR_HW_CHANNEL_H_
 
 #include <cstdint>
-#include <functional>
 #include <string>
 
+#include "sim/inline_task.h"
 #include "sim/server.h"
 
 namespace dbmr::hw {
@@ -21,7 +21,7 @@ class Channel {
   Channel(sim::Simulator* sim, std::string name, double megabytes_per_sec);
 
   /// Enqueues a `bytes`-byte message; `done` fires on delivery.
-  void Send(int64_t bytes, std::function<void()> done);
+  void Send(int64_t bytes, sim::InlineTask done);
 
   double Utilization() const { return server_.Utilization(); }
   double AvgQueueLength() const { return server_.AvgQueueLength(); }

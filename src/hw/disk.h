@@ -16,10 +16,10 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <string>
 
 #include "hw/disk_geometry.h"
+#include "sim/inline_task.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -42,8 +42,8 @@ struct DiskRequest {
   /// architecture reads both adjacent copies of a page: 2).
   int32_t transfer_pages = 1;
   /// Completion callback; invoked when the access carrying this request
-  /// finishes.
-  std::function<void()> done;
+  /// finishes.  Move-only, like the request itself.
+  sim::InlineTask done;
 };
 
 /// One disk drive.

@@ -142,6 +142,8 @@ MachineResult Machine::Run() {
   r.extra["sim_events_executed"] = static_cast<double>(sc.events_executed);
   r.extra["sim_events_scheduled"] = static_cast<double>(sc.events_scheduled);
   r.extra["sim_max_heap_depth"] = static_cast<double>(sc.max_heap_depth);
+  r.extra["sim_slot_pool_highwater"] =
+      static_cast<double>(sc.slot_pool_highwater);
   for (size_t i = 0; i < data_disks_.size(); ++i) {
     r.extra[StrFormat("data_disk_queue_highwater_%zu", i)] =
         static_cast<double>(data_disks_[i]->max_queue_length());

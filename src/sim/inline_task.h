@@ -1,0 +1,147 @@
+// InlineFn — a move-only callable with small-buffer optimization.
+//
+// The event kernel executes tens of millions of closures per simulated
+// run; std::function pays a heap allocation for any capture bigger than
+// two words and drags copy machinery the kernel never uses.  InlineFn
+// stores captures up to kInlineFnStorage bytes directly inside the
+// object, is move-only (so captures can own resources), and falls back
+// to a single heap cell only for oversized captures.  Dispatch is a
+// per-type static ops table — three function pointers — rather than a
+// virtual base, so an empty InlineFn is one null pointer test.
+//
+// InlineTask (= InlineFn<void()>) is the kernel's event payload; servers
+// and disks reuse the template for their service/done callbacks.
+
+#ifndef DBMR_SIM_INLINE_TASK_H_
+#define DBMR_SIM_INLINE_TASK_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace dbmr::sim {
+
+/// Capture bytes stored inline.  48 covers every hot-path closure in the
+/// tree (the largest, a disk-batch completion, is 32; a server done
+/// forwarding a std::function is 40) while keeping the event-pool slot —
+/// InlineFn + generation + free-link — at exactly one cache line.
+inline constexpr size_t kInlineFnStorage = 48;
+
+template <class Sig>
+class InlineFn;  // only the R() specialization exists
+
+template <class R>
+class InlineFn<R()> {
+ public:
+  InlineFn() = default;
+  InlineFn(std::nullptr_t) {}  // NOLINT: mirrors std::function
+
+  /// Wraps any callable `f` with signature R().  Captures of at most
+  /// kInlineFnStorage bytes (and standard alignment) live inline; larger
+  /// ones cost one heap allocation.
+  template <class F, class D = std::decay_t<F>,
+            class = std::enable_if_t<!std::is_same_v<D, InlineFn> &&
+                                     std::is_invocable_r_v<R, D&>>>
+  InlineFn(F&& f) {  // NOLINT: implicit, mirrors std::function
+    if constexpr (FitsInline<D>()) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      ops_ = InlineOps<D>();
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+      ops_ = HeapOps<D>();
+    }
+  }
+
+  InlineFn(InlineFn&& other) noexcept { MoveFrom(std::move(other)); }
+  InlineFn& operator=(InlineFn&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+  ~InlineFn() { Reset(); }
+
+  InlineFn& operator=(std::nullptr_t) {
+    Reset();
+    return *this;
+  }
+
+  /// True if a callable is held.
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  R operator()() { return ops_->invoke(storage_); }
+
+  /// True if the capture lives in the inline buffer (diagnostics/tests).
+  bool is_inline() const { return ops_ != nullptr && ops_->inline_stored; }
+
+  /// Compile-time: would callable D be stored inline?
+  template <class D>
+  static constexpr bool FitsInline() {
+    return sizeof(D) <= kInlineFnStorage &&
+           alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(void* storage);
+    void (*relocate)(void* from, void* to);  // move-construct, destroy source
+    void (*destroy)(void* storage);
+    bool inline_stored;
+  };
+
+  template <class D>
+  static const Ops* InlineOps() {
+    static constexpr Ops ops = {
+        [](void* s) -> R { return (*static_cast<D*>(s))(); },
+        [](void* from, void* to) {
+          D* src = static_cast<D*>(from);
+          ::new (to) D(std::move(*src));
+          src->~D();
+        },
+        [](void* s) { static_cast<D*>(s)->~D(); },
+        /*inline_stored=*/true,
+    };
+    return &ops;
+  }
+
+  template <class D>
+  static const Ops* HeapOps() {
+    static constexpr Ops ops = {
+        [](void* s) -> R { return (**static_cast<D**>(s))(); },
+        [](void* from, void* to) { ::new (to) D*(*static_cast<D**>(from)); },
+        [](void* s) { delete *static_cast<D**>(s); },
+        /*inline_stored=*/false,
+    };
+    return &ops;
+  }
+
+  void MoveFrom(InlineFn&& other) {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(other.storage_, storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) unsigned char storage_[kInlineFnStorage];
+};
+
+/// The kernel's event payload.
+using InlineTask = InlineFn<void()>;
+
+}  // namespace dbmr::sim
+
+#endif  // DBMR_SIM_INLINE_TASK_H_

@@ -12,14 +12,14 @@ Server::Server(Simulator* sim, std::string name)
 }
 
 void Server::Submit(Job job) {
-  DBMR_CHECK(job.service != nullptr);
+  DBMR_CHECK(static_cast<bool>(job.service));
   queue_.push_back(Pending{std::move(job), sim_->Now()});
   queue_stat_.Set(sim_->Now(), static_cast<double>(queue_.size()));
   max_queue_ = std::max(max_queue_, queue_.size());
   if (!busy_) StartNext();
 }
 
-void Server::Submit(TimeMs service_time, std::function<void()> done) {
+void Server::Submit(TimeMs service_time, InlineTask done) {
   Submit(Job{[service_time] { return service_time; }, std::move(done)});
 }
 
@@ -34,12 +34,14 @@ void Server::StartNext() {
   TimeMs service = p.job.service();
   DBMR_CHECK(service >= 0.0);
   service_stat_.Add(service);
-  sim_->Schedule(service, [this, done = std::move(p.job.done)]() mutable {
-    OnComplete(std::move(done));
-  });
+  // The done callback parks in the server (a server serves exactly one job
+  // at a time), so the completion closure captures only `this`.
+  in_service_done_ = std::move(p.job.done);
+  sim_->Schedule(service, [this] { OnComplete(); });
 }
 
-void Server::OnComplete(std::function<void()> done) {
+void Server::OnComplete() {
+  InlineTask done = std::move(in_service_done_);
   busy_ = false;
   busy_stat_.Set(sim_->Now(), 0.0);
   ++completed_;

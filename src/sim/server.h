@@ -5,16 +5,21 @@
 // time is computed lazily when a job is dispatched, so it can depend on
 // server state at dispatch time.  Disks need batched dispatch and therefore
 // have their own model (hw::DiskModel) built on the same simulator.
+//
+// Callbacks are InlineTask/InlineFn (move-only, small-buffer optimized);
+// the done callback of the job in service is parked in the server itself,
+// so the completion event's capture is a single pointer and the dispatch
+// path never allocates.
 
 #ifndef DBMR_SIM_SERVER_H_
 #define DBMR_SIM_SERVER_H_
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <string>
 #include <utility>
 
+#include "sim/inline_task.h"
 #include "sim/simulator.h"
 #include "sim/time.h"
 #include "util/stats.h"
@@ -24,9 +29,9 @@ namespace dbmr::sim {
 /// A unit of work for a Server.
 struct Job {
   /// Computes the service time; invoked once, when the job starts service.
-  std::function<TimeMs()> service;
+  InlineFn<TimeMs()> service;
   /// Invoked when service completes.
-  std::function<void()> done;
+  InlineTask done;
 };
 
 /// Single server with an unbounded FCFS queue and utilization accounting.
@@ -41,7 +46,7 @@ class Server {
   void Submit(Job job);
 
   /// Convenience overload with a fixed service time.
-  void Submit(TimeMs service_time, std::function<void()> done);
+  void Submit(TimeMs service_time, InlineTask done);
 
   bool busy() const { return busy_; }
   size_t QueueLength() const { return queue_.size(); }
@@ -70,12 +75,13 @@ class Server {
   };
 
   void StartNext();
-  void OnComplete(std::function<void()> done);
+  void OnComplete();
 
   Simulator* sim_;
   std::string name_;
   bool busy_ = false;
   std::deque<Pending> queue_;
+  InlineTask in_service_done_;  // done callback of the job in service
   size_t max_queue_ = 0;
   uint64_t completed_ = 0;
   TimeWeightedStat busy_stat_;

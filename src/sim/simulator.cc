@@ -5,58 +5,147 @@
 
 namespace dbmr::sim {
 
-EventId Simulator::Schedule(TimeMs delay, std::function<void()> fn) {
+namespace {
+
+constexpr uint32_t SlotOf(EventId id) {
+  return static_cast<uint32_t>(id & 0xffffffffu);
+}
+constexpr uint32_t GenOf(EventId id) { return static_cast<uint32_t>(id >> 32); }
+constexpr EventId MakeId(uint32_t slot, uint32_t gen) {
+  return (static_cast<EventId>(gen) << 32) | slot;
+}
+
+}  // namespace
+
+EventId Simulator::Schedule(TimeMs delay, InlineTask fn) {
   if (delay < 0.0) delay = 0.0;
   return ScheduleAt(now_ + delay, std::move(fn));
 }
 
-EventId Simulator::ScheduleAt(TimeMs when, std::function<void()> fn) {
-  DBMR_CHECK(fn != nullptr);
+EventId Simulator::ScheduleAt(TimeMs when, InlineTask fn) {
+  DBMR_CHECK(static_cast<bool>(fn));
   if (when < now_) when = now_;
-  EventId id = next_id_++;
-  heap_.push(Event{when, next_seq_++, id, std::move(fn)});
-  live_.insert(id);
+  const uint32_t slot = AcquireSlot();
+  Slot& s = slots_[slot];
+  s.task = std::move(fn);
+  HeapPush(HeapEntry{when, next_seq_++, slot, s.gen});
+  ++live_count_;
   ++counters_.events_scheduled;
   counters_.max_heap_depth =
       std::max<uint64_t>(counters_.max_heap_depth, heap_.size());
-  return id;
+  counters_.slot_pool_highwater =
+      std::max<uint64_t>(counters_.slot_pool_highwater, live_count_);
+  return MakeId(slot, s.gen);
 }
 
 bool Simulator::Cancel(EventId id) {
-  // Lazy cancellation: drop the id from the live set; the heap entry is
-  // skipped when it reaches the top.
-  if (live_.erase(id) == 0) return false;
+  // O(1): the id is stale iff its generation no longer matches the slot's.
+  // The heap entry stays behind (lazy cancellation, as the heap always
+  // worked) and is skimmed when it surfaces; the slot and its closure are
+  // reclaimed immediately.
+  const uint32_t slot = SlotOf(id);
+  if (slot >= slots_.size() || slots_[slot].gen != GenOf(id)) return false;
+  ReleaseSlot(slot);
+  --live_count_;
   ++counters_.events_cancelled;
   return true;
 }
 
-bool Simulator::SkimCancelled() {
-  while (!heap_.empty() && live_.find(heap_.top().id) == live_.end()) {
-    heap_.pop();
+uint32_t Simulator::AcquireSlot() {
+  if (free_head_ != kNilSlot) {
+    const uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    slots_[slot].next_free = kNilSlot;
+    return slot;
   }
-  return !heap_.empty();
+  DBMR_CHECK(slots_.size() < kNilSlot);
+  slots_.emplace_back();
+  return static_cast<uint32_t>(slots_.size() - 1);
+}
+
+void Simulator::ReleaseSlot(uint32_t index) {
+  Slot& s = slots_[index];
+  s.task = nullptr;  // destroy the closure (and what it owns) now
+  // Bump the generation so every outstanding id and heap entry for this
+  // slot goes stale.  Generations never take the value 0: a valid EventId
+  // is therefore never kNoEvent, even for slot 0.
+  if (++s.gen == 0) s.gen = 1;
+  s.next_free = free_head_;
+  free_head_ = index;
+}
+
+void Simulator::HeapPush(HeapEntry entry) {
+  // Array d-ary heap over POD entries; (when, seq) is a strict total
+  // order (seq is unique), so execution order is independent of the
+  // heap's internal layout.  Arity 4 halves the depth of the pop-side
+  // sift-down — the expensive direction on a drained heap — and keeps a
+  // node's children inside 1.5 cache lines (4 × 24 bytes).
+  size_t i = heap_.size();
+  heap_.push_back(entry);
+  while (i > 0) {
+    const size_t parent = (i - 1) / kHeapArity;
+    if (!EntryBefore(entry, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = entry;
+}
+
+void Simulator::HeapPopTop() {
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  const size_t n = heap_.size();
+  if (n == 0) return;
+  size_t i = 0;
+  while (true) {
+    const size_t first_child = kHeapArity * i + 1;
+    if (first_child >= n) break;
+    const size_t end = std::min(first_child + kHeapArity, n);
+    size_t best = first_child;
+    for (size_t c = first_child + 1; c < end; ++c) {
+      if (EntryBefore(heap_[c], heap_[best])) best = c;
+    }
+    if (!EntryBefore(heap_[best], last)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = last;
+}
+
+bool Simulator::SkimCancelled() {
+  while (!heap_.empty()) {
+    const HeapEntry& top = heap_.front();
+    if (slots_[top.slot].gen == top.gen) return true;
+    HeapPopTop();
+  }
+  return false;
 }
 
 bool Simulator::Step() {
   if (!SkimCancelled()) return false;
-  // priority_queue::top() is const-only, but moving the closure out before
-  // pop() is safe: the heap never inspects `fn`, so sift-down of a
-  // moved-from element is fine.  This avoids a full std::function copy
-  // (and its heap allocation) per executed event.
-  Event ev = std::move(const_cast<Event&>(heap_.top()));
-  heap_.pop();
-  live_.erase(ev.id);
-  now_ = ev.when;
+  const HeapEntry top = heap_.front();
+  HeapPopTop();
+  // Move the closure out and retire the slot before invoking: the task may
+  // itself schedule (growing slots_/heap_) or try to cancel its own id.
+  InlineTask task = std::move(slots_[top.slot].task);
+  ReleaseSlot(top.slot);
+  --live_count_;
+  now_ = top.when;
   ++counters_.events_executed;
-  ev.fn();
+  task();
   return true;
 }
 
 void Simulator::Run(TimeMs until) {
   while (SkimCancelled()) {
-    if (heap_.top().when > until) return;
+    if (heap_.front().when > until) return;
     Step();
   }
+}
+
+void Simulator::Reserve(size_t n) {
+  heap_.reserve(n);
+  slots_.reserve(n);
 }
 
 }  // namespace dbmr::sim

@@ -1,25 +1,43 @@
 // Discrete-event simulation kernel.
 //
-// A Simulator owns a future-event list (binary heap with lazy cancellation)
-// and a simulated clock.  Model components schedule closures; the kernel
-// executes them in (time, insertion-order) sequence.  Everything is
-// single-threaded and deterministic.
+// A Simulator owns a future-event list and a simulated clock.  Model
+// components schedule closures; the kernel executes them in
+// (time, insertion-order) sequence.  Everything is single-threaded and
+// deterministic.
+//
+// Internals are built for an allocation-free hot path:
+//
+//  * Closures are InlineTask values (small-buffer optimized, move-only);
+//    captures up to kInlineFnStorage bytes never touch the heap.
+//  * Pending events live in a slot pool addressed by generation-tagged
+//    EventId (slot index in the low 32 bits, generation in the high 32).
+//    Cancel is an O(1) generation compare — no hash-set lookup — and a
+//    fired or cancelled slot is recycled through an intrusive free list.
+//  * The future-event list is a hand-rolled binary heap over 24-byte POD
+//    entries (when, seq, slot, gen); sift-up/down moves PODs only, never
+//    a closure.  Cancelled events stay in the heap and are skimmed when
+//    they surface, exactly like the historical lazy-cancellation scheme,
+//    so heap-depth accounting is unchanged.
+//
+// After Reserve(n), scheduling events with inline-sized captures performs
+// zero heap allocations (verified by tests/sim_alloc_test.cc).
 
 #ifndef DBMR_SIM_SIMULATOR_H_
 #define DBMR_SIM_SIMULATOR_H_
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/inline_task.h"
 #include "sim/time.h"
 #include "util/status.h"
 
 namespace dbmr::sim {
 
 /// Identifies a scheduled event; usable to cancel it before it fires.
+/// Packs a pool-slot index (low 32 bits) and that slot's generation at
+/// scheduling time (high 32 bits); a live slot's generation is never 0,
+/// so no valid id equals kNoEvent.
 using EventId = uint64_t;
 
 /// Sentinel for "no event".
@@ -34,6 +52,10 @@ struct SimCounters {
   /// Deepest the future-event heap ever got (lazily-cancelled entries
   /// included, since they occupy real heap slots until skimmed).
   uint64_t max_heap_depth = 0;
+  /// Most event-pool slots ever in use at once.  Unlike max_heap_depth
+  /// this excludes lazily-cancelled entries — a cancelled event's slot is
+  /// recycled immediately — so it is the true pending-event highwater.
+  uint64_t slot_pool_highwater = 0;
 };
 
 /// The event-driven simulation engine.
@@ -48,11 +70,11 @@ class Simulator {
 
   /// Schedules `fn` to run `delay` ms from now.  Negative delays clamp to 0
   /// (the event still runs after all earlier-scheduled events at Now()).
-  EventId Schedule(TimeMs delay, std::function<void()> fn);
+  EventId Schedule(TimeMs delay, InlineTask fn);
 
   /// Schedules `fn` at absolute time `when`; times before Now() clamp to
   /// Now().
-  EventId ScheduleAt(TimeMs when, std::function<void()> fn);
+  EventId ScheduleAt(TimeMs when, InlineTask fn);
 
   /// Cancels a pending event.  Returns true if the event existed and had
   /// not yet fired; cancelling a fired or unknown event is a no-op.
@@ -65,38 +87,63 @@ class Simulator {
   /// Events scheduled exactly at `until` are executed.
   void Run(TimeMs until = kTimeInfinity);
 
+  /// Pre-sizes the slot pool and event heap for `n` concurrent events, so
+  /// subsequent scheduling within that bound never allocates.
+  void Reserve(size_t n);
+
   /// Number of pending (non-cancelled) events.
-  size_t PendingEvents() const { return live_.size(); }
+  size_t PendingEvents() const { return live_count_; }
 
   /// Total events executed since construction.
   uint64_t events_executed() const { return counters_.events_executed; }
 
-  /// Scheduled/executed/cancelled totals and heap-depth highwater.
+  /// Scheduled/executed/cancelled totals and heap/pool highwaters.
   const SimCounters& counters() const { return counters_; }
 
  private:
-  struct Event {
+  /// One future-event-list entry; 24 bytes of POD, cheap to sift.  `gen`
+  /// snapshots the slot generation at scheduling time: the entry is stale
+  /// (cancelled or already fired) iff it no longer matches the slot.
+  struct HeapEntry {
     TimeMs when;
     uint64_t seq;  // tie-breaker: FIFO among equal timestamps
-    EventId id;
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
+    uint32_t slot;
+    uint32_t gen;
   };
 
-  /// Pops cancelled entries off the heap top; returns false if empty.
+  /// One pool slot: the closure plus its current generation, threaded on
+  /// an intrusive free list while unused.  64 bytes with the 48-byte
+  /// inline task buffer — one cache line per pending event.
+  struct Slot {
+    InlineTask task;
+    uint32_t gen = 1;
+    uint32_t next_free = kNilSlot;
+  };
+
+  static constexpr uint32_t kNilSlot = 0xffffffffu;
+  static constexpr size_t kHeapArity = 4;
+
+  static bool EntryBefore(const HeapEntry& a, const HeapEntry& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.seq < b.seq;
+  }
+
+  uint32_t AcquireSlot();
+  void ReleaseSlot(uint32_t index);
+  void HeapPush(HeapEntry entry);
+  void HeapPopTop();
+
+  /// Pops stale (cancelled) entries off the heap top; returns false if no
+  /// live event remains.
   bool SkimCancelled();
 
   TimeMs now_ = 0.0;
   uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
+  size_t live_count_ = 0;
   SimCounters counters_;
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
-  std::unordered_set<EventId> live_;  // scheduled and not fired/cancelled
+  std::vector<HeapEntry> heap_;
+  std::vector<Slot> slots_;
+  uint32_t free_head_ = kNilSlot;
 };
 
 }  // namespace dbmr::sim

@@ -132,6 +132,7 @@ TEST(GridRunnerTest, JsonExportRoundTrips) {
     EXPECT_NE(extra->Find("log_disk_util_0"), nullptr);
     EXPECT_GT(extra->Find("sim_events_executed")->AsDouble(), 0.0);
     EXPECT_GT(extra->Find("sim_max_heap_depth")->AsDouble(), 0.0);
+    EXPECT_GT(extra->Find("sim_slot_pool_highwater")->AsDouble(), 0.0);
   }
 }
 

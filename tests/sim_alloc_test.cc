@@ -1,0 +1,146 @@
+// Allocation accounting for the event kernel.
+//
+// Overrides global operator new/delete with counting versions (which is
+// why this test lives in its own binary) and asserts the kernel's
+// documented guarantee: after Reserve(), scheduling and firing events
+// whose captures fit the InlineTask buffer performs zero heap
+// allocations.  Also pins down the complementary fact that oversized
+// captures cost exactly one allocation each, so a regression in either
+// direction fails loudly.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+#include "sim/server.h"
+#include "sim/simulator.h"
+
+namespace {
+
+std::atomic<uint64_t> g_allocations{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_allocations;
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  ++g_allocations;
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace dbmr::sim {
+namespace {
+
+uint64_t AllocationCount() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+TEST(SimAllocTest, InlineCapturesScheduleAndFireWithoutAllocating) {
+  constexpr int kEvents = 1000;
+  Simulator sim;
+  sim.Reserve(kEvents);
+  int fired = 0;
+
+  const uint64_t before = AllocationCount();
+  for (int i = 0; i < kEvents; ++i) {
+    sim.Schedule(static_cast<TimeMs>(i % 97), [&fired] { ++fired; });
+  }
+  sim.Run();
+  const uint64_t after = AllocationCount();
+
+  EXPECT_EQ(fired, kEvents);
+  EXPECT_EQ(after - before, 0u)
+      << "inline-capture events must not touch the heap";
+}
+
+TEST(SimAllocTest, CancelIsAllocationFree) {
+  constexpr int kEvents = 256;
+  Simulator sim;
+  sim.Reserve(kEvents);
+  EventId ids[kEvents];
+
+  const uint64_t before = AllocationCount();
+  for (int i = 0; i < kEvents; ++i) {
+    ids[i] = sim.Schedule(static_cast<TimeMs>(i), [] {});
+  }
+  for (int i = 0; i < kEvents; i += 2) {
+    sim.Cancel(ids[i]);
+  }
+  sim.Run();
+  const uint64_t after = AllocationCount();
+
+  EXPECT_EQ(after - before, 0u);
+  EXPECT_EQ(sim.counters().events_cancelled,
+            static_cast<uint64_t>(kEvents / 2));
+}
+
+TEST(SimAllocTest, SteadyStateChurnReusesSlotsWithoutAllocating) {
+  // 32 events outstanding, each firing schedules its replacement: the
+  // pool and heap stay at constant depth, so no growth and no churn-time
+  // allocation is ever justified.
+  constexpr int kOutstanding = 32;
+  constexpr int kTotal = 5000;
+  Simulator sim;
+  sim.Reserve(kOutstanding);
+  int remaining = kTotal;
+  struct Replace {
+    Simulator* sim;
+    int* remaining;
+    void operator()() const {
+      if (--*remaining > 0) {
+        sim->Schedule(1.0, Replace{sim, remaining});
+      }
+    }
+  };
+
+  const uint64_t before = AllocationCount();
+  for (int i = 0; i < kOutstanding; ++i) {
+    sim.Schedule(1.0, Replace{&sim, &remaining});
+  }
+  sim.Run();
+  const uint64_t after = AllocationCount();
+
+  EXPECT_EQ(after - before, 0u);
+  // Once `remaining` hits zero the other kOutstanding-1 in-flight events
+  // still drain (without rescheduling).
+  EXPECT_EQ(sim.events_executed(),
+            static_cast<uint64_t>(kTotal + kOutstanding - 1));
+  EXPECT_EQ(sim.counters().slot_pool_highwater,
+            static_cast<uint64_t>(kOutstanding));
+}
+
+TEST(SimAllocTest, OversizedCaptureCostsExactlyOneAllocation) {
+  struct Big {
+    char bytes[kInlineFnStorage + 16];
+  };
+  Simulator sim;
+  sim.Reserve(4);
+  Big big{};
+
+  const uint64_t before = AllocationCount();
+  sim.Schedule(1.0, [big] { (void)big; });
+  const uint64_t after_schedule = AllocationCount();
+  sim.Run();
+  const uint64_t after_run = AllocationCount();
+
+  EXPECT_EQ(after_schedule - before, 1u);  // the heap-fallback cell
+  EXPECT_EQ(after_run - after_schedule, 0u);
+}
+
+}  // namespace
+}  // namespace dbmr::sim

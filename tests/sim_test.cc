@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "sim/server.h"
@@ -197,6 +199,171 @@ TEST(SimulatorTest, CountersTrackScheduleExecuteCancel) {
   EXPECT_EQ(sim.counters().events_executed, 2u);
   EXPECT_EQ(sim.events_executed(), 2u);
   EXPECT_EQ(sim.counters().max_heap_depth, 3u);
+}
+
+TEST(SimulatorTest, SlotPoolHighwaterTracksPeakPendingEvents) {
+  Simulator sim;
+  EventId a = sim.Schedule(10.0, [] {});
+  sim.Schedule(20.0, [] {});
+  sim.Schedule(30.0, [] {});
+  EXPECT_EQ(sim.counters().slot_pool_highwater, 3u);
+  // Cancelling frees the slot immediately: the highwater, unlike
+  // max_heap_depth, never counts lazily-cancelled entries.
+  sim.Cancel(a);
+  sim.Schedule(40.0, [] {});
+  EXPECT_EQ(sim.counters().slot_pool_highwater, 3u);
+  sim.Schedule(50.0, [] {});
+  EXPECT_EQ(sim.counters().slot_pool_highwater, 4u);
+  sim.Run();
+  EXPECT_EQ(sim.counters().slot_pool_highwater, 4u);
+  EXPECT_EQ(sim.counters().max_heap_depth, 5u);  // cancelled entry lingered
+}
+
+TEST(SimulatorTest, EventIdsAreUniqueAcrossSlotReuse) {
+  Simulator sim;
+  // Fire an event, then schedule another: the slot is recycled but the
+  // generation tag makes the new id distinct from the old one.
+  EventId a = sim.Schedule(1.0, [] {});
+  sim.Run();
+  EventId b = sim.Schedule(1.0, [] {});
+  EXPECT_NE(a, b);
+  EXPECT_NE(b, kNoEvent);
+  // The stale id does not cancel the slot's new occupant.
+  EXPECT_FALSE(sim.Cancel(a));
+  EXPECT_EQ(sim.PendingEvents(), 1u);
+  EXPECT_TRUE(sim.Cancel(b));
+}
+
+TEST(SimulatorTest, StaleIdAfterCancelAndReuseIsRejected) {
+  Simulator sim;
+  EventId a = sim.Schedule(10.0, [] {});
+  EXPECT_TRUE(sim.Cancel(a));
+  bool fired = false;
+  EventId b = sim.Schedule(10.0, [&] { fired = true; });  // reuses the slot
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(sim.Cancel(a));  // stale id must not hit the reused slot
+  sim.Run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, CancelOwnEventDuringExecutionIsNoop) {
+  Simulator sim;
+  EventId id = kNoEvent;
+  bool cancel_result = true;
+  id = sim.Schedule(1.0, [&] { cancel_result = sim.Cancel(id); });
+  sim.Run();
+  EXPECT_FALSE(cancel_result);  // a firing event has already left the pool
+  EXPECT_EQ(sim.counters().events_cancelled, 0u);
+}
+
+TEST(SimulatorTest, CancelOtherPendingEventFromCallback) {
+  Simulator sim;
+  bool late_fired = false;
+  EventId late = sim.Schedule(20.0, [&] { late_fired = true; });
+  sim.Schedule(10.0, [&] { EXPECT_TRUE(sim.Cancel(late)); });
+  sim.Run();
+  EXPECT_FALSE(late_fired);
+  EXPECT_EQ(sim.counters().events_cancelled, 1u);
+}
+
+TEST(SimulatorTest, FifoTieBreakSurvivesInterleavedCancels) {
+  Simulator sim;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 20; ++i) {
+    ids.push_back(sim.Schedule(5.0, [&, i] { order.push_back(i); }));
+  }
+  for (int i = 1; i < 20; i += 2) {
+    EXPECT_TRUE(sim.Cancel(ids[static_cast<size_t>(i)]));
+  }
+  sim.Run();
+  std::vector<int> expected;
+  for (int i = 0; i < 20; i += 2) expected.push_back(i);
+  EXPECT_EQ(order, expected);  // even ids, still in submission order
+}
+
+TEST(SimulatorTest, ReserveDoesNotDisturbScheduling) {
+  Simulator sim;
+  sim.Reserve(64);
+  std::vector<int> order;
+  sim.Schedule(2.0, [&] { order.push_back(2); });
+  sim.Schedule(1.0, [&] { order.push_back(1); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SimulatorTest, ClosureDestroyedPromptlyOnCancelAndFire) {
+  Simulator sim;
+  auto token = std::make_shared<int>(42);
+  EXPECT_EQ(token.use_count(), 1);
+  EventId a = sim.Schedule(10.0, [keep = token] {});
+  EXPECT_EQ(token.use_count(), 2);
+  sim.Cancel(a);  // cancellation releases the capture immediately
+  EXPECT_EQ(token.use_count(), 1);
+  sim.Schedule(5.0, [keep = token] {});
+  EXPECT_EQ(token.use_count(), 2);
+  sim.Run();  // firing releases the capture too
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(InlineTaskTest, SmallCapturesStoreInline) {
+  int hits = 0;
+  InlineTask t = [&hits] { ++hits; };
+  EXPECT_TRUE(static_cast<bool>(t));
+  EXPECT_TRUE(t.is_inline());
+  t();
+  t();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineTaskTest, OversizedCapturesFallBackToHeap) {
+  struct Big {
+    char bytes[kInlineFnStorage + 16];
+  };
+  Big big{};
+  big.bytes[0] = 7;
+  int sum = 0;
+  InlineTask t = [big, &sum] { sum += big.bytes[0]; };
+  EXPECT_FALSE(t.is_inline());
+  t();
+  EXPECT_EQ(sum, 7);
+}
+
+TEST(InlineTaskTest, MovePreservesCallableAndEmptiesSource) {
+  int hits = 0;
+  InlineTask a = [&hits] { ++hits; };
+  InlineTask b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT: testing moved-from state
+  EXPECT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineTaskTest, DestructionReleasesOwnedCapture) {
+  auto token = std::make_shared<int>(1);
+  {
+    InlineTask t = [keep = token] {};
+    EXPECT_EQ(token.use_count(), 2);
+    InlineTask moved = std::move(t);
+    EXPECT_EQ(token.use_count(), 2);  // move transfers, not copies
+  }
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(InlineTaskTest, NullptrAndEmptyAreFalse) {
+  InlineTask empty;
+  InlineTask null_init = nullptr;
+  EXPECT_FALSE(static_cast<bool>(empty));
+  EXPECT_FALSE(static_cast<bool>(null_init));
+  InlineTask t = [] {};
+  t = nullptr;
+  EXPECT_FALSE(static_cast<bool>(t));
+}
+
+TEST(InlineFnTest, ReturnsValues) {
+  InlineFn<TimeMs()> f = [] { return 12.5; };
+  EXPECT_TRUE(f.is_inline());
+  EXPECT_DOUBLE_EQ(f(), 12.5);
 }
 
 }  // namespace

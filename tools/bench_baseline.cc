@@ -1,0 +1,211 @@
+// bench_baseline — perf-trajectory snapshot of the event kernel.
+//
+// Runs the micro_sim_kernel workloads without the google-benchmark
+// harness and writes the results as JSON, so a checked-in baseline
+// (BENCH_kernel.json at the repo root) can be regenerated and diffed
+// across kernel changes:
+//
+//   bench_baseline --out=BENCH_kernel.json
+//   bench_baseline --items=200000 --reps=7        # heavier run, stdout only
+//
+// Each workload is repeated --reps times and the best wall-clock rep is
+// reported (the minimum is the standard low-noise estimator for
+// single-threaded microbenchmarks).  See docs/BENCHMARKS.md.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <string>
+#include <vector>
+
+#include "sim/server.h"
+#include "sim/simulator.h"
+#include "util/json.h"
+#include "util/rng.h"
+#include "util/str.h"
+
+namespace {
+
+using namespace dbmr;       // NOLINT: binary-local
+using namespace dbmr::sim;  // NOLINT: binary-local
+
+using Clock = std::chrono::steady_clock;
+
+/// Wall-clock nanoseconds consumed by `fn()`.
+template <class Fn>
+double TimeNs(Fn&& fn) {
+  const Clock::time_point start = Clock::now();
+  fn();
+  const Clock::time_point stop = Clock::now();
+  return std::chrono::duration<double, std::nano>(stop - start).count();
+}
+
+struct WorkloadResult {
+  std::string name;
+  int64_t items = 0;   // events (or jobs) processed per rep
+  int reps = 0;
+  double best_ns = 0;  // fastest rep, wall clock
+};
+
+/// Runs `body` (which processes `items` events) `reps` times; keeps best.
+template <class Body>
+WorkloadResult Measure(std::string name, int64_t items, int reps,
+                       Body&& body) {
+  WorkloadResult r;
+  r.name = std::move(name);
+  r.items = items;
+  r.reps = reps;
+  for (int i = 0; i < reps; ++i) {
+    const double ns = TimeNs(body);
+    if (i == 0 || ns < r.best_ns) r.best_ns = ns;
+  }
+  return r;
+}
+
+/// Self-rescheduling functor, mirroring micro_sim_kernel's Chain.
+struct Chain {
+  Simulator* s;
+  int* remaining;
+  void operator()() const {
+    if (--*remaining > 0) s->Schedule(1.0, Chain{s, remaining});
+  }
+};
+
+std::vector<WorkloadResult> RunAll(int items, int reps) {
+  std::vector<WorkloadResult> out;
+
+  out.push_back(Measure("schedule_fire_random", items, reps, [items] {
+    Simulator s;
+    Rng rng(1);
+    for (int i = 0; i < items; ++i) {
+      s.Schedule(rng.UniformDouble(0, 1000.0), [] {});
+    }
+    s.Run();
+  }));
+
+  out.push_back(Measure("schedule_fire_chain", items, reps, [items] {
+    Simulator s;
+    int remaining = items;
+    s.Schedule(1.0, Chain{&s, &remaining});
+    s.Run();
+  }));
+
+  out.push_back(Measure("schedule_cancel_fire", 2 * items, reps, [items] {
+    Simulator s;
+    Rng rng(1);
+    for (int i = 0; i < items; ++i) {
+      const EventId timeout = s.Schedule(1e9, [] {});
+      s.Schedule(rng.UniformDouble(0, 1000.0),
+                 [&s, timeout] { s.Cancel(timeout); });
+    }
+    s.Run();
+  }));
+
+  out.push_back(Measure("churn_256_outstanding", items, reps, [items] {
+    constexpr int kOutstanding = 256;
+    Simulator s;
+    s.Reserve(kOutstanding);
+    Rng rng(1);
+    int remaining = items;
+    struct Replace {
+      Simulator* s;
+      Rng* rng;
+      int* remaining;
+      void operator()() const {
+        if (--*remaining > 0) {
+          s->Schedule(rng->UniformDouble(0.0, 100.0),
+                      Replace{s, rng, remaining});
+        }
+      }
+    };
+    for (int i = 0; i < kOutstanding; ++i) {
+      s.Schedule(rng.UniformDouble(0.0, 100.0), Replace{&s, &rng, &remaining});
+    }
+    s.Run();
+  }));
+
+  out.push_back(Measure("server_pipeline", items, reps, [items] {
+    Simulator s;
+    Server srv(&s, "srv");
+    for (int i = 0; i < items; ++i) {
+      srv.Submit(1.0, nullptr);
+    }
+    s.Run();
+  }));
+
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  int items = 100000;
+  int reps = 5;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--out=", 6) == 0) {
+      out_path = arg + 6;
+    } else if (std::strncmp(arg, "--items=", 8) == 0) {
+      items = std::atoi(arg + 8);
+    } else if (std::strncmp(arg, "--reps=", 7) == 0) {
+      reps = std::atoi(arg + 7);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_baseline [--out=FILE] [--items=N] "
+                   "[--reps=R]\n");
+      return 2;
+    }
+  }
+  if (items <= 0 || reps <= 0) {
+    std::fprintf(stderr, "error: --items and --reps must be positive\n");
+    return 2;
+  }
+
+  const std::vector<WorkloadResult> results = RunAll(items, reps);
+
+  std::printf("%-24s %12s %14s %14s\n", "workload", "items/rep", "ns/item",
+              "items/sec");
+  JsonValue workloads = JsonValue::Array();
+  for (const WorkloadResult& r : results) {
+    const double ns_per_item = r.best_ns / static_cast<double>(r.items);
+    const double per_sec = 1e9 / ns_per_item;
+    std::printf("%-24s %12lld %14.2f %14.0f\n", r.name.c_str(),
+                static_cast<long long>(r.items), ns_per_item, per_sec);
+    JsonValue w = JsonValue::Object();
+    w["name"] = r.name;
+    w["items_per_rep"] = static_cast<int64_t>(r.items);
+    w["reps"] = r.reps;
+    w["best_ns_per_item"] = ns_per_item;
+    w["items_per_sec"] = per_sec;
+    workloads.Append(std::move(w));
+  }
+
+  if (!out_path.empty()) {
+    JsonValue doc = JsonValue::Object();
+    doc["bench"] = "sim_kernel";
+    doc["schema_version"] = static_cast<int64_t>(1);
+    char stamp[32];
+    const std::time_t now = std::time(nullptr);
+    std::tm tm_utc;
+    gmtime_r(&now, &tm_utc);
+    std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+    doc["generated_at"] = stamp;
+    doc["items"] = static_cast<int64_t>(items);
+    doc["reps"] = static_cast<int64_t>(reps);
+    doc["workloads"] = std::move(workloads);
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    const std::string text = doc.Dump(2);
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}

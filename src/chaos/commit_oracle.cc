@@ -1,0 +1,123 @@
+#include "chaos/commit_oracle.h"
+
+#include <utility>
+
+#include "util/str.h"
+
+namespace dbmr::chaos {
+
+CommitOracle::CommitOracle(uint64_t num_pages, size_t payload_size)
+    : num_pages_(num_pages), payload_size_(payload_size) {}
+
+void CommitOracle::Reset() {
+  committed_.clear();
+  active_.clear();
+  in_doubt_.clear();
+}
+
+void CommitOracle::OnWrite(txn::TxnId t, txn::PageId page,
+                           const PageData& payload) {
+  active_[t][page] = payload;
+}
+
+void CommitOracle::OnAbort(txn::TxnId t) { active_.erase(t); }
+
+void CommitOracle::OnCommitOk(txn::TxnId t) {
+  auto it = active_.find(t);
+  if (it == active_.end()) return;  // read-only or writeless transaction
+  for (auto& [page, data] : it->second) committed_[page] = data;
+  active_.erase(it);
+}
+
+void CommitOracle::OnCommitInDoubt(txn::TxnId t) {
+  auto it = active_.find(t);
+  DBMR_CHECK(in_doubt_.empty());  // one fault per replay
+  if (it != active_.end()) {
+    in_doubt_ = std::move(it->second);
+    active_.erase(it);
+  }
+}
+
+void CommitOracle::OnCrash() { active_.clear(); }
+
+PageData CommitOracle::Expected(txn::PageId page) const {
+  auto it = committed_.find(page);
+  return it != committed_.end() ? it->second : PageData(payload_size_, 0);
+}
+
+Status CommitOracle::Verify(store::PageEngine* e,
+                            InDoubtResolution* resolution,
+                            std::string* detail) const {
+  if (resolution != nullptr) *resolution = InDoubtResolution::kNone;
+
+  auto fail = [&](std::string msg) {
+    if (detail != nullptr) *detail = msg;
+    return Status::Internal(std::move(msg));
+  };
+
+  auto t = e->Begin();
+  if (!t.ok()) {
+    if (detail != nullptr) *detail = "Begin: " + t.status().ToString();
+    return t.status();
+  }
+
+  // Classify the in-doubt transaction's pages: did its image surface?
+  int saw_new = 0, saw_old = 0;
+  Status result = Status::OK();
+  for (txn::PageId page = 0; page < num_pages_; ++page) {
+    PageData got;
+    Status st = e->Read(*t, page, &got);
+    if (!st.ok()) {
+      (void)e->Abort(*t);
+      if (detail != nullptr) {
+        *detail = StrFormat("Read(page %llu): %s",
+                            static_cast<unsigned long long>(page),
+                            st.ToString().c_str());
+      }
+      return st;
+    }
+    const PageData want_old = Expected(page);
+    auto in_doubt = in_doubt_.find(page);
+    if (in_doubt == in_doubt_.end()) {
+      if (got != want_old) {
+        result = fail(StrFormat(
+            "page %llu diverges from the committed state",
+            static_cast<unsigned long long>(page)));
+        break;
+      }
+      continue;
+    }
+    const PageData& want_new = in_doubt->second;
+    const bool matches_new = got == want_new;
+    const bool matches_old = got == want_old;
+    if (matches_new && matches_old) continue;  // indistinguishable
+    if (matches_new) {
+      ++saw_new;
+    } else if (matches_old) {
+      ++saw_old;
+    } else {
+      result = fail(StrFormat(
+          "page %llu matches neither the pre- nor post-commit image of "
+          "the in-doubt transaction",
+          static_cast<unsigned long long>(page)));
+      break;
+    }
+  }
+  (void)e->Abort(*t);
+  if (!result.ok()) return result;
+
+  if (saw_new > 0 && saw_old > 0) {
+    return fail(StrFormat(
+        "in-doubt transaction surfaced partially (%d pages new, %d pages "
+        "old): atomicity violated",
+        saw_new, saw_old));
+  }
+  if (resolution != nullptr && !in_doubt_.empty()) {
+    *resolution = saw_new > 0   ? InDoubtResolution::kCommitted
+                  : saw_old > 0 ? InDoubtResolution::kRolledBack
+                                : InDoubtResolution::kEither;
+  }
+  return Status::OK();
+}
+
+}  // namespace dbmr::chaos

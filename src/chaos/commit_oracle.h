@@ -1,0 +1,98 @@
+// Reference model of the transactional page-store contract.
+//
+// The oracle shadows a workload as it runs against a PageEngine: it
+// records each transaction's buffered writes and their outcome (committed,
+// aborted, vanished in a crash, or in doubt because Commit() itself was
+// cut down by a fault).  After recovery, Verify() reads every page of the
+// engine and checks the two §3 invariants:
+//
+//   durability — every write of a transaction whose Commit() returned OK
+//                is present;
+//   atomicity  — no write of an aborted, active-at-crash, or never-started
+//                transaction is visible, and an in-doubt transaction
+//                surfaces either entirely or not at all, never partially.
+//
+// The oracle is engine-agnostic and deterministic; it holds no disk state
+// of its own, so the same oracle instance is reused across replays by
+// calling Reset().
+
+#ifndef DBMR_CHAOS_COMMIT_ORACLE_H_
+#define DBMR_CHAOS_COMMIT_ORACLE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "store/page_engine.h"
+#include "txn/types.h"
+#include "util/status.h"
+
+namespace dbmr::chaos {
+
+using store::PageData;
+
+/// How Verify() resolved an in-doubt transaction.
+enum class InDoubtResolution {
+  kNone,       ///< there was no in-doubt transaction
+  kCommitted,  ///< its writes surfaced (the commit record made it)
+  kRolledBack, ///< its writes are absent
+  kEither,     ///< indistinguishable (its writes equal the prior state)
+};
+
+/// The committed-state reference model.
+class CommitOracle {
+ public:
+  CommitOracle(uint64_t num_pages, size_t payload_size);
+
+  /// Forgets everything (fresh store, all pages zero).
+  void Reset();
+
+  /// Records a successful engine Write() of an active transaction.
+  void OnWrite(txn::TxnId t, txn::PageId page, const PageData& payload);
+
+  /// The transaction aborted (voluntarily or as a lock victim).
+  void OnAbort(txn::TxnId t);
+
+  /// The transaction's Commit() returned OK: its writes are durable.
+  void OnCommitOk(txn::TxnId t);
+
+  /// The transaction's Commit() failed on an injected fault: it may
+  /// surface fully or not at all after recovery.  At most one transaction
+  /// may be in doubt per replay (the workload stops at the first fault).
+  void OnCommitInDoubt(txn::TxnId t);
+
+  /// A crash wiped volatile state: all still-active transactions vanish
+  /// (an in-doubt commit stays in doubt).
+  void OnCrash();
+
+  /// The committed image of `page` (all-zero when never written).
+  PageData Expected(txn::PageId page) const;
+
+  bool has_in_doubt() const { return !in_doubt_.empty(); }
+
+  /// Reads every page of `e` through a fresh transaction and checks the
+  /// contract.  On success sets `resolution` (if non-null) to how the
+  /// in-doubt transaction, if any, resolved.  Failure statuses:
+  ///   kInternal   — state mismatch (a real recovery violation);
+  ///   anything else — an engine Read/Begin failed with that status
+  ///                   (corruption detected, I/O fault still armed, ...).
+  Status Verify(store::PageEngine* e,
+                InDoubtResolution* resolution = nullptr,
+                std::string* detail = nullptr) const;
+
+ private:
+  uint64_t num_pages_;
+  size_t payload_size_;
+  /// Committed page images; absent means all-zero.
+  std::map<txn::PageId, PageData> committed_;
+  /// Buffered writes of live transactions (latest image per page).
+  std::unordered_map<txn::TxnId, std::map<txn::PageId, PageData>> active_;
+  /// Write set of the single in-doubt transaction (empty map = none).
+  std::map<txn::PageId, PageData> in_doubt_;
+};
+
+}  // namespace dbmr::chaos
+
+#endif  // DBMR_CHAOS_COMMIT_ORACLE_H_

@@ -1,0 +1,585 @@
+#include "chaos/crash_sweeper.h"
+
+#include <utility>
+
+#include "util/rng.h"
+#include "util/str.h"
+
+namespace dbmr::chaos {
+
+namespace {
+
+/// Backstop for the nested sweeps: recovery of these fixtures performs at
+/// most a few hundred I/Os, so a nested index this large means recovery
+/// never manages to complete and the sweep would not terminate.
+constexpr int64_t kNestedSweepCap = 100000;
+
+PageData RandomPayload(Rng& rng, size_t n) {
+  PageData p(n);
+  for (size_t i = 0; i < n; ++i) p[i] = static_cast<uint8_t>(rng.Next());
+  return p;
+}
+
+}  // namespace
+
+JsonValue Violation::ToJson() const {
+  JsonValue v = JsonValue::Object();
+  v["engine"] = engine;
+  v["kind"] = kind;
+  v["seed"] = seed;
+  v["crash_index"] = crash_index;
+  v["nested_index"] = nested_index;
+  v["detail"] = detail;
+  v["repro"] = repro;
+  return v;
+}
+
+JsonValue SweepReport::ToJson() const {
+  JsonValue v = JsonValue::Object();
+  v["engine"] = engine;
+  v["seed"] = seed;
+  v["completed"] = completed;
+  v["schedules"] = schedules;
+  v["write_crash_points"] = write_crash_points;
+  v["nested_write_crash_points"] = nested_write_crash_points;
+  v["nested_read_crash_points"] = nested_read_crash_points;
+  v["transient_points"] = transient_points;
+  JsonValue flips = JsonValue::Object();
+  flips["trials"] = bit_flips.trials;
+  flips["detected"] = bit_flips.detected;
+  flips["masked"] = bit_flips.masked;
+  flips["silent"] = bit_flips.silent;
+  v["bit_flips"] = std::move(flips);
+  v["disk_reads"] = disk_reads;
+  v["disk_writes"] = disk_writes;
+  JsonValue f = JsonValue::Object();
+  f["write_failures"] = faults.write_failures;
+  f["read_failures"] = faults.read_failures;
+  f["transient_writes"] = faults.transient_writes;
+  f["transient_reads"] = faults.transient_reads;
+  f["torn_writes"] = faults.torn_writes;
+  f["bit_flips"] = faults.bit_flips;
+  v["faults_injected"] = std::move(f);
+  JsonValue viols = JsonValue::Array();
+  for (const Violation& viol : violations) viols.Append(viol.ToJson());
+  v["violations"] = std::move(viols);
+  return v;
+}
+
+CrashSweeper::CrashSweeper(std::string engine_name, SweepOptions options)
+    : name_(std::move(engine_name)), opts_(options) {
+  factory_ = [this]() { return MakeEngineFixture(name_, opts_.fixture); };
+}
+
+CrashSweeper::CrashSweeper(std::string engine_name, FixtureFactory factory,
+                           SweepOptions options)
+    : name_(std::move(engine_name)),
+      factory_(std::move(factory)),
+      opts_(options) {}
+
+void CrashSweeper::AddViolation(SweepReport* report, const std::string& kind,
+                                int64_t crash_index, int64_t nested_index,
+                                bool nested_reads,
+                                const std::string& detail) const {
+  Violation v;
+  v.engine = name_;
+  v.kind = kind;
+  v.seed = opts_.seed;
+  v.crash_index = crash_index;
+  v.nested_index = nested_index;
+  v.detail = detail;
+  std::string repro = StrFormat(
+      "dbmr_torture --engine=%s --seed=%llu --txns=%d", name_.c_str(),
+      static_cast<unsigned long long>(opts_.seed), opts_.txns);
+  if (crash_index >= 0) {
+    repro += StrFormat(" --crash-index=%lld",
+                       static_cast<long long>(crash_index));
+  }
+  if (nested_index >= 0) {
+    repro += StrFormat(" --nested-index=%lld",
+                       static_cast<long long>(nested_index));
+    if (nested_reads) repro += " --nested-reads";
+  }
+  if (opts_.torn_writes) repro += " --torn";
+  v.repro = std::move(repro);
+  report->violations.push_back(std::move(v));
+}
+
+void CrashSweeper::Absorb(const EngineFixture& fx,
+                          SweepReport* report) const {
+  report->disk_reads += fx.TotalReads();
+  report->disk_writes += fx.TotalWrites();
+  report->faults += fx.TotalFaults();
+}
+
+CrashSweeper::ReplayOutcome CrashSweeper::Replay(EngineFixture& fx,
+                                                 CommitOracle& oracle,
+                                                 bool transient) {
+  ReplayOutcome out;
+  Rng rng(opts_.seed);
+  store::PageEngine* e = fx.engine.get();
+  const uint64_t pages = e->num_pages();
+  const size_t payload = e->payload_size();
+
+  // In transient mode the single armed fault heals itself, so a retry of
+  // the failed operation (or an abort of the victim transaction) must keep
+  // the workload running with no crash-recovery needed.  In fail-stop mode
+  // the first kIoError is the injected crash point: stop right there.
+  for (int i = 0; i < opts_.txns; ++i) {
+    auto t = e->Begin();
+    if (!t.ok() && t.status().IsIoError() && transient) t = e->Begin();
+    if (!t.ok()) {
+      if (t.status().IsIoError()) {
+        out.crashed = true;
+      } else {
+        out.error = t.status();
+      }
+      return out;
+    }
+
+    if (opts_.reads_in_workload) {
+      const txn::PageId page = static_cast<txn::PageId>(
+          rng.UniformInt(0, static_cast<int64_t>(pages) - 1));
+      PageData got;
+      Status st = e->Read(*t, page, &got);
+      if (!st.ok() && st.IsIoError() && transient) st = e->Read(*t, page, &got);
+      if (!st.ok()) {
+        if (st.IsIoError()) {
+          out.crashed = true;
+          out.txn_in_flight = true;
+          out.victim = *t;
+        } else {
+          out.error = st;
+        }
+        return out;
+      }
+      if (got != oracle.Expected(page)) {
+        out.error = Status::Internal(StrFormat(
+            "workload read of page %llu diverges from the committed state",
+            static_cast<unsigned long long>(page)));
+        return out;
+      }
+    }
+
+    const int n_writes =
+        static_cast<int>(rng.UniformInt(1, opts_.max_writes_per_txn));
+    bool txn_gone = false;
+    for (int w = 0; w < n_writes; ++w) {
+      const txn::PageId page = static_cast<txn::PageId>(
+          rng.UniformInt(0, static_cast<int64_t>(pages) - 1));
+      const PageData data = RandomPayload(rng, payload);
+      Status st = e->Write(*t, page, data);
+      if (st.ok()) {
+        oracle.OnWrite(*t, page, data);
+        continue;
+      }
+      if (!st.IsIoError()) {
+        out.error = st;
+        return out;
+      }
+      if (!transient) {
+        out.crashed = true;
+        out.txn_in_flight = true;
+        out.victim = *t;
+        return out;
+      }
+      // Transient write fault: the disk healed, but the engine may have
+      // torn down internal state for the failed write, so the safe
+      // self-healing response is to abort the victim and move on.
+      Status ab = e->Abort(*t);
+      if (!ab.ok() && ab.IsIoError()) ab = e->Abort(*t);
+      if (ab.ok() || ab.code() == StatusCode::kFailedPrecondition) {
+        oracle.OnAbort(*t);
+        txn_gone = true;
+        break;
+      }
+      out.crashed = true;
+      out.txn_in_flight = true;
+      out.victim = *t;
+      return out;
+    }
+    // Keep the rng stream aligned across replays regardless of faults:
+    // the commit/abort coin is always tossed.
+    const bool abort = rng.Bernoulli(opts_.abort_prob);
+    if (txn_gone) continue;
+
+    Status st = abort ? e->Abort(*t) : e->Commit(*t);
+    if (st.ok()) {
+      if (abort) {
+        oracle.OnAbort(*t);
+      } else {
+        oracle.OnCommitOk(*t);
+      }
+      continue;
+    }
+    if (!st.IsIoError()) {
+      out.error = st;
+      return out;
+    }
+    if (abort) {
+      // The abort was cut down; the transaction dies with the crash and
+      // its writes must not surface — same contract either way.  In
+      // transient mode retry once (the fault healed).
+      if (transient) {
+        Status ab = e->Abort(*t);
+        if (ab.ok() || ab.code() == StatusCode::kFailedPrecondition) {
+          oracle.OnAbort(*t);
+          continue;
+        }
+      }
+      out.crashed = true;
+      out.txn_in_flight = true;
+      out.victim = *t;
+      return out;
+    }
+    // Commit was cut down: the transaction is in doubt.  Even a transient
+    // fault forces crash-recovery here — the engine cannot tell how much
+    // of the commit reached stable storage.
+    oracle.OnCommitInDoubt(*t);
+    out.crashed = true;
+    out.in_doubt = true;
+    out.victim = *t;
+    return out;
+  }
+  return out;
+}
+
+bool CrashSweeper::CrashPoint(SweepReport* report, int64_t budget,
+                              int64_t nested_index, bool nested_reads) {
+  auto fxr = MakeFixture();
+  if (!fxr.ok()) {
+    AddViolation(report, "fixture", budget, nested_index, nested_reads,
+                 fxr.status().ToString());
+    return true;  // nothing more to sweep
+  }
+  EngineFixture fx = std::move(*fxr);
+  CommitOracle oracle(fx.engine->num_pages(), fx.engine->payload_size());
+  if (opts_.torn_writes) fx.SetTornWrites(true, opts_.torn_prefix_bytes);
+
+  fx.ArmWrites(budget);
+  ReplayOutcome out = Replay(fx, oracle, /*transient=*/false);
+  ++report->schedules;
+
+  auto finish = [&]() { Absorb(fx, report); };
+
+  if (!out.error.ok()) {
+    AddViolation(report, "workload", budget, nested_index, nested_reads,
+                 out.error.ToString());
+    finish();
+    return true;
+  }
+
+  if (!out.crashed) {
+    // The whole workload fit under the budget: verify the final state and
+    // signal natural termination of the write-crash sweep.
+    fx.Disarm();
+    std::string detail;
+    Status st = oracle.Verify(fx.engine.get(), nullptr, &detail);
+    if (!st.ok()) {
+      AddViolation(report, "final-state", budget, nested_index, nested_reads,
+                   detail.empty() ? st.ToString() : detail);
+    }
+    finish();
+    return true;
+  }
+
+  // The injected crash point fired: lose volatile state.
+  oracle.OnCrash();
+  fx.engine->Crash();
+
+  if (nested_index >= 0) {
+    // Cut Recover() itself down after `nested_index` writes (or reads).
+    fx.Disarm();
+    if (nested_reads) {
+      fx.ArmReads(nested_index);
+    } else {
+      fx.ArmWrites(nested_index);
+    }
+    Status st = fx.engine->Recover();
+    if (st.ok()) {
+      if (fx.AnyCrashed()) {
+        AddViolation(report, "recover-swallowed-fault", budget, nested_index,
+                     nested_reads,
+                     "Recover() reported success although an injected fault "
+                     "fired during it");
+        finish();
+        return true;
+      }
+      // Recovery completed without reaching the nested fault: this outer
+      // crash point's nested sweep is exhausted.
+      finish();
+      return true;
+    }
+    // Recovery itself crashed; a second recovery must succeed and restore
+    // a correct state.
+    fx.engine->Crash();
+    fx.Disarm();
+    Status st2 = fx.engine->Recover();
+    if (!st2.ok()) {
+      AddViolation(report, "nested-recover", budget, nested_index,
+                   nested_reads, st2.ToString());
+      finish();
+      return false;
+    }
+    std::string detail;
+    InDoubtResolution res = InDoubtResolution::kNone;
+    Status vst = oracle.Verify(fx.engine.get(), &res, &detail);
+    if (!vst.ok()) {
+      AddViolation(report, "nested-post-state", budget, nested_index,
+                   nested_reads, detail.empty() ? vst.ToString() : detail);
+    }
+    finish();
+    return false;
+  }
+
+  // Plain crash point: recover once and verify.
+  fx.Disarm();
+  Status st = fx.engine->Recover();
+  if (!st.ok()) {
+    AddViolation(report, "recover", budget, -1, false, st.ToString());
+    finish();
+    return false;
+  }
+  std::string detail;
+  InDoubtResolution first = InDoubtResolution::kNone;
+  Status vst = oracle.Verify(fx.engine.get(), &first, &detail);
+  if (!vst.ok()) {
+    AddViolation(report, "post-crash-state", budget, -1, false,
+                 detail.empty() ? vst.ToString() : detail);
+    finish();
+    return false;
+  }
+
+  if (opts_.double_recover) {
+    // Idempotence: crashing again right after recovery and recovering a
+    // second time must succeed and must not flip the fate of an in-doubt
+    // transaction (kCommitted <-> kRolledBack).
+    fx.engine->Crash();
+    oracle.OnCrash();
+    fx.Disarm();
+    Status st2 = fx.engine->Recover();
+    if (!st2.ok()) {
+      AddViolation(report, "double-recover", budget, -1, false,
+                   st2.ToString());
+      finish();
+      return false;
+    }
+    InDoubtResolution second = InDoubtResolution::kNone;
+    Status vst2 = oracle.Verify(fx.engine.get(), &second, &detail);
+    if (!vst2.ok()) {
+      AddViolation(report, "double-recover", budget, -1, false,
+                   detail.empty() ? vst2.ToString() : detail);
+    } else if ((first == InDoubtResolution::kCommitted &&
+                second == InDoubtResolution::kRolledBack) ||
+               (first == InDoubtResolution::kRolledBack &&
+                second == InDoubtResolution::kCommitted)) {
+      AddViolation(
+          report, "double-recover", budget, -1, false,
+          StrFormat("in-doubt resolution flipped between recoveries "
+                    "(%s then %s)",
+                    first == InDoubtResolution::kCommitted ? "committed"
+                                                           : "rolled back",
+                    second == InDoubtResolution::kCommitted ? "committed"
+                                                            : "rolled back"));
+    }
+  }
+  finish();
+  return false;
+}
+
+void CrashSweeper::SweepWriteCrashes(SweepReport* report) {
+  for (int64_t b = 0;; ++b) {
+    if (opts_.max_crash_points >= 0 && b >= opts_.max_crash_points) {
+      report->completed = false;
+      return;
+    }
+    if (CrashPoint(report, b, -1, false)) break;
+    ++report->write_crash_points;
+
+    if (opts_.nested_recovery_crashes) {
+      for (int64_t n = 0;; ++n) {
+        if (n > kNestedSweepCap) {
+          AddViolation(report, "nested-sweep-diverged", b, n, false,
+                       "recovery never completed under any write budget");
+          break;
+        }
+        if (CrashPoint(report, b, n, false)) break;
+        ++report->nested_write_crash_points;
+      }
+    }
+    if (opts_.nested_recovery_read_crashes) {
+      for (int64_t n = 0;; ++n) {
+        if (n > kNestedSweepCap) {
+          AddViolation(report, "nested-sweep-diverged", b, n, true,
+                       "recovery never completed under any read budget");
+          break;
+        }
+        if (CrashPoint(report, b, n, true)) break;
+        ++report->nested_read_crash_points;
+      }
+    }
+  }
+  report->completed = true;
+}
+
+void CrashSweeper::SweepTransient(SweepReport* report, bool read_path) {
+  // One self-healing fault per replay, swept over every disk and every
+  // operation index on that disk.  The sweep of a disk ends when a whole
+  // replay runs without the armed fault firing.
+  size_t n_disks = 0;
+  {
+    auto fxr = MakeFixture();
+    if (!fxr.ok()) return;  // already reported by the write sweep
+    n_disks = fxr->disks.size();
+  }
+  for (size_t d = 0; d < n_disks; ++d) {
+    for (int64_t k = 0;; ++k) {
+      if (k > kNestedSweepCap) break;
+      auto fxr = MakeFixture();
+      if (!fxr.ok()) return;
+      EngineFixture fx = std::move(*fxr);
+      CommitOracle oracle(fx.engine->num_pages(), fx.engine->payload_size());
+      if (read_path) {
+        fx.disks[d]->ArmTransientReadError(k);
+      } else {
+        fx.disks[d]->ArmTransientWriteError(k);
+      }
+      ReplayOutcome out = Replay(fx, oracle, /*transient=*/true);
+      ++report->schedules;
+      const store::FaultCounters fc = fx.TotalFaults();
+      const bool fired =
+          (read_path ? fc.transient_reads : fc.transient_writes) > 0;
+
+      if (!out.error.ok()) {
+        AddViolation(report, "workload", -1, -1, false,
+                     StrFormat("transient %s fault on disk %zu op %lld: %s",
+                               read_path ? "read" : "write", d,
+                               static_cast<long long>(k),
+                               out.error.ToString().c_str()));
+        Absorb(fx, report);
+        break;
+      }
+      if (!fired) {
+        // The workload no longer reaches operation k on this disk.
+        Absorb(fx, report);
+        break;
+      }
+      ++report->transient_points;
+
+      if (out.crashed) {
+        // The fault hit Commit() (or an unabortable spot): fall back to
+        // crash-recovery.  Nothing stays armed — the fault already healed
+        // — so recovery must succeed with no operator intervention.
+        oracle.OnCrash();
+        fx.engine->Crash();
+        Status st = fx.engine->Recover();
+        if (!st.ok()) {
+          AddViolation(report, "transient-recover", -1, -1, false,
+                       StrFormat("disk %zu op %lld: %s", d,
+                                 static_cast<long long>(k),
+                                 st.ToString().c_str()));
+          Absorb(fx, report);
+          continue;
+        }
+      }
+      std::string detail;
+      Status vst = oracle.Verify(fx.engine.get(), nullptr, &detail);
+      if (!vst.ok()) {
+        AddViolation(report, "transient-post-state", -1, -1, false,
+                     StrFormat("disk %zu op %lld: %s", d,
+                               static_cast<long long>(k),
+                               (detail.empty() ? vst.ToString() : detail)
+                                   .c_str()));
+      }
+      Absorb(fx, report);
+    }
+  }
+}
+
+void CrashSweeper::RunBitFlips(SweepReport* report) {
+  Rng flip_rng(opts_.seed ^ 0xb17f11b5ULL);
+  for (int trial = 0; trial < opts_.bit_flip_trials; ++trial) {
+    auto fxr = MakeFixture();
+    if (!fxr.ok()) return;
+    EngineFixture fx = std::move(*fxr);
+    CommitOracle oracle(fx.engine->num_pages(), fx.engine->payload_size());
+
+    // Record every (disk, block) the workload touches so the flip lands
+    // somewhere meaningful.
+    std::vector<std::pair<size_t, store::BlockId>> written;
+    for (size_t d = 0; d < fx.disks.size(); ++d) {
+      fx.disks[d]->SetWriteObserver(
+          [d, &written](store::BlockId b, const PageData&) {
+            written.emplace_back(d, b);
+          });
+    }
+    ReplayOutcome out = Replay(fx, oracle, /*transient=*/false);
+    ++report->schedules;
+    if (!out.error.ok() || out.crashed || written.empty()) {
+      Absorb(fx, report);
+      continue;
+    }
+
+    const auto& [d, block] = written[static_cast<size_t>(flip_rng.UniformInt(
+        0, static_cast<int64_t>(written.size()) - 1))];
+    const size_t byte = static_cast<size_t>(flip_rng.UniformInt(
+        0, static_cast<int64_t>(fx.disks[d]->block_size()) - 1));
+    const uint8_t mask =
+        static_cast<uint8_t>(1u << flip_rng.UniformInt(0, 7));
+
+    fx.engine->Crash();
+    oracle.OnCrash();
+    (void)fx.disks[d]->FlipBit(block, byte, mask);
+
+    ++report->bit_flips.trials;
+    Status st = fx.engine->Recover();
+    if (!st.ok()) {
+      ++report->bit_flips.detected;  // recovery refused the corrupt store
+      Absorb(fx, report);
+      continue;
+    }
+    std::string detail;
+    Status vst = oracle.Verify(fx.engine.get(), nullptr, &detail);
+    if (vst.ok()) {
+      ++report->bit_flips.masked;
+    } else if (vst.code() == StatusCode::kInternal) {
+      ++report->bit_flips.silent;  // wrong data served without an error
+    } else {
+      ++report->bit_flips.detected;  // a read surfaced the corruption
+    }
+    Absorb(fx, report);
+  }
+}
+
+SweepReport CrashSweeper::Run() {
+  SweepReport report;
+  report.engine = name_;
+  report.seed = opts_.seed;
+  SweepWriteCrashes(&report);
+  if (opts_.transient_faults) {
+    SweepTransient(&report, /*read_path=*/false);
+    SweepTransient(&report, /*read_path=*/true);
+  }
+  if (opts_.bit_flip_trials > 0) RunBitFlips(&report);
+  return report;
+}
+
+SweepReport CrashSweeper::RunOne(int64_t crash_index, int64_t nested_index,
+                                 bool nested_reads) {
+  SweepReport report;
+  report.engine = name_;
+  report.seed = opts_.seed;
+  report.completed = true;
+  if (!CrashPoint(&report, crash_index, nested_index, nested_reads)) {
+    if (nested_index < 0) {
+      ++report.write_crash_points;
+    } else if (nested_reads) {
+      ++report.nested_read_crash_points;
+    } else {
+      ++report.nested_write_crash_points;
+    }
+  }
+  return report;
+}
+
+}  // namespace dbmr::chaos

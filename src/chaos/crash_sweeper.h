@@ -1,0 +1,179 @@
+// Deterministic crash-schedule explorer in the simulation-testing
+// tradition: replay one seeded workload against a recovery engine,
+// crashing at EVERY reachable fault point in turn, and check the
+// committed-state oracle after each recovery.
+//
+// Fault schedules explored per (engine, seed):
+//
+//  * Write crashes — for every write index w, fail-stop the disks after w
+//    successful writes, then Crash() + Recover() and verify.  The sweep
+//    terminates naturally when a whole replay fits under the budget.
+//  * Nested crashes — for every write index w, replay to the same crash,
+//    then cut Recover() itself down at every one of ITS write indices
+//    (and, optionally, read indices), crash again, and require the second
+//    recovery to succeed and verify.
+//  * Double recovery — after every successful recovery, Crash() +
+//    Recover() again and require the same oracle resolution (idempotence).
+//  * Transient faults — for every disk and operation index, fail exactly
+//    one read/write with a self-healing error; the harness retries reads,
+//    aborts the victim transaction when possible, falls back to
+//    crash-recovery otherwise, and requires recovery to succeed with NO
+//    operator intervention (the fault healed itself).
+//  * Bit flips — flip one stored bit in a block the workload wrote, then
+//    crash-recover and classify the outcome: detected (an error
+//    surfaced), masked (state still correct — e.g. the flip hit garbage
+//    or a checksummed shadow copy), or silent (wrong data served).  Flips
+//    are reported as statistics, not violations: only the version-select
+//    architecture claims media-failure detection, and even it falls back
+//    to the surviving (older) copy.
+//
+// Everything is deterministic: a violation is reproducible from
+// (engine, seed, crash_index[, nested_index]) alone, and RunOne() replays
+// exactly one such schedule.
+
+#ifndef DBMR_CHAOS_CRASH_SWEEPER_H_
+#define DBMR_CHAOS_CRASH_SWEEPER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "chaos/commit_oracle.h"
+#include "chaos/engine_zoo.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace dbmr::chaos {
+
+/// What to explore and how hard.
+struct SweepOptions {
+  uint64_t seed = 1;
+  /// Transactions per replay.
+  int txns = 8;
+  /// Each transaction writes 1..max_writes_per_txn random pages.
+  int max_writes_per_txn = 4;
+  /// Probability a transaction aborts instead of committing.
+  double abort_prob = 0.25;
+  /// Each transaction reads one random page (and the harness checks the
+  /// value against the oracle) before writing.
+  bool reads_in_workload = true;
+
+  bool nested_recovery_crashes = true;
+  bool nested_recovery_read_crashes = true;
+  bool double_recover = true;
+  bool transient_faults = true;
+  /// Torn-write sweeps assume the engine detects partial block writes;
+  /// only version-select checksums its pages, so this defaults off.
+  bool torn_writes = false;
+  size_t torn_prefix_bytes = 96;
+  /// Bit-flip trials per (engine, seed); statistics only.
+  int bit_flip_trials = 16;
+  /// Caps the write-crash sweep (< 0: exhaustive, the default).
+  int64_t max_crash_points = -1;
+
+  FixtureOptions fixture;
+};
+
+/// One contract violation, with everything needed to replay it.
+struct Violation {
+  std::string engine;
+  /// Schedule kind: "final-state", "recover", "post-crash-state",
+  /// "double-recover", "nested-recover", "nested-post-state",
+  /// "transient-recover", "transient-post-state", "workload", ...
+  std::string kind;
+  uint64_t seed = 0;
+  int64_t crash_index = -1;   ///< write budget of the outer crash
+  int64_t nested_index = -1;  ///< write/read budget inside Recover()
+  std::string detail;
+  /// dbmr_torture flags reproducing this schedule.
+  std::string repro;
+
+  JsonValue ToJson() const;
+};
+
+/// Outcome counts of the bit-flip trials.
+struct BitFlipStats {
+  int64_t trials = 0;
+  int64_t detected = 0;  ///< recovery or a later read surfaced an error
+  int64_t masked = 0;    ///< state still matched the oracle
+  int64_t silent = 0;    ///< wrong data served with no error
+};
+
+/// Everything one sweep of one (engine, seed) explored and found.
+struct SweepReport {
+  std::string engine;
+  uint64_t seed = 0;
+  bool completed = false;  ///< swept to natural termination (not capped)
+  int64_t schedules = 0;   ///< full workload replays executed
+  int64_t write_crash_points = 0;
+  int64_t nested_write_crash_points = 0;
+  int64_t nested_read_crash_points = 0;
+  int64_t transient_points = 0;
+  BitFlipStats bit_flips;
+  /// Physical I/O and injected faults summed over every replay.
+  uint64_t disk_reads = 0;
+  uint64_t disk_writes = 0;
+  store::FaultCounters faults;
+  std::vector<Violation> violations;
+
+  JsonValue ToJson() const;
+};
+
+/// The sweeper.  A factory builds a fresh, formatted fixture per replay,
+/// so every schedule starts from the same initial state.
+class CrashSweeper {
+ public:
+  using FixtureFactory = std::function<Result<EngineFixture>()>;
+
+  /// Sweeps the named zoo engine.
+  CrashSweeper(std::string engine_name, SweepOptions options);
+
+  /// Sweeps a custom fixture (tests use this to plant broken engines).
+  CrashSweeper(std::string engine_name, FixtureFactory factory,
+               SweepOptions options);
+
+  /// Runs every enabled schedule family and returns the report.
+  SweepReport Run();
+
+  /// Replays exactly one schedule: crash after `crash_index` writes, and,
+  /// if `nested_index` >= 0, cut recovery down after that many writes
+  /// (reads when `nested_reads`).  Violations (if any) land in the report.
+  SweepReport RunOne(int64_t crash_index, int64_t nested_index = -1,
+                     bool nested_reads = false);
+
+ private:
+  struct ReplayOutcome {
+    bool crashed = false;       ///< a fail-stop fault surfaced
+    bool txn_in_flight = false; ///< the fault hit mid-transaction
+    txn::TxnId victim = 0;      ///< transaction hit by the fault
+    bool in_doubt = false;      ///< the fault hit inside Commit()
+    Status error;               ///< first unexpected (non-fault) failure
+  };
+
+  Result<EngineFixture> MakeFixture() { return factory_(); }
+  /// Replays the seeded workload, feeding `oracle`.  Stops at the first
+  /// injected fault.  `transient` relaxes fault handling to the
+  /// retry/abort path (see .cc).
+  ReplayOutcome Replay(EngineFixture& fx, CommitOracle& oracle,
+                       bool transient);
+  void Absorb(const EngineFixture& fx, SweepReport* report) const;
+  void AddViolation(SweepReport* report, const std::string& kind,
+                    int64_t crash_index, int64_t nested_index,
+                    bool nested_reads, const std::string& detail) const;
+
+  /// Sub-sweeps, factored for RunOne reuse.
+  void SweepWriteCrashes(SweepReport* report);
+  bool CrashPoint(SweepReport* report, int64_t budget, int64_t nested_index,
+                  bool nested_reads);
+  void SweepTransient(SweepReport* report, bool read_path);
+  void RunBitFlips(SweepReport* report);
+
+  std::string name_;
+  FixtureFactory factory_;
+  SweepOptions opts_;
+};
+
+}  // namespace dbmr::chaos
+
+#endif  // DBMR_CHAOS_CRASH_SWEEPER_H_

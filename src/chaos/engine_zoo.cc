@@ -1,0 +1,144 @@
+#include "chaos/engine_zoo.h"
+
+#include <utility>
+
+#include "store/recovery/differential_page_engine.h"
+#include "store/recovery/overwrite_engine.h"
+#include "store/recovery/shadow_engine.h"
+#include "store/recovery/version_select_engine.h"
+#include "store/recovery/wal_engine.h"
+#include "util/str.h"
+
+namespace dbmr::chaos {
+
+namespace {
+
+constexpr int64_t kUnlimited = int64_t{1} << 40;
+
+store::VirtualDisk* AddDisk(EngineFixture* fx, const std::string& name,
+                            uint64_t blocks, size_t block_size) {
+  fx->disks.push_back(
+      std::make_unique<store::VirtualDisk>(name, blocks, block_size));
+  store::VirtualDisk* d = fx->disks.back().get();
+  d->SetSharedFailCounter(fx->write_budget);
+  d->SetSharedReadFailCounter(fx->read_budget);
+  return d;
+}
+
+}  // namespace
+
+void EngineFixture::Disarm() {
+  *write_budget = kUnlimited;
+  *read_budget = kUnlimited;
+  for (auto& d : disks) d->ClearCrashState();
+}
+
+void EngineFixture::SetTornWrites(bool enabled, size_t prefix_bytes) {
+  for (auto& d : disks) d->SetTornWriteMode(enabled, prefix_bytes);
+}
+
+bool EngineFixture::AnyCrashed() const {
+  for (const auto& d : disks) {
+    if (d->crashed()) return true;
+  }
+  return false;
+}
+
+uint64_t EngineFixture::TotalReads() const {
+  uint64_t n = 0;
+  for (const auto& d : disks) n += d->reads();
+  return n;
+}
+
+uint64_t EngineFixture::TotalWrites() const {
+  uint64_t n = 0;
+  for (const auto& d : disks) n += d->writes();
+  return n;
+}
+
+store::FaultCounters EngineFixture::TotalFaults() const {
+  store::FaultCounters f;
+  for (const auto& d : disks) f += d->fault_counters();
+  return f;
+}
+
+const std::vector<std::string>& EngineNames() {
+  static const std::vector<std::string> kNames = {
+      "wal",
+      "shadow",
+      "differential",
+      "overwrite-noundo",
+      "overwrite-noredo",
+      "version-select",
+  };
+  return kNames;
+}
+
+bool IsEngineName(const std::string& name) {
+  for (const std::string& n : EngineNames()) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+Result<EngineFixture> MakeEngineFixture(const std::string& name,
+                                        const FixtureOptions& o) {
+  EngineFixture fx;
+  fx.write_budget = std::make_shared<int64_t>(kUnlimited);
+  fx.read_budget = std::make_shared<int64_t>(kUnlimited);
+
+  if (name == "wal") {
+    store::VirtualDisk* data =
+        AddDisk(&fx, "data", o.num_pages, o.block_size);
+    std::vector<store::VirtualDisk*> logs;
+    for (size_t i = 0; i < o.wal_logs; ++i) {
+      logs.push_back(AddDisk(&fx, StrFormat("log%zu", i), 1024,
+                             o.block_size));
+    }
+    store::WalEngineOptions wo;
+    wo.pool_frames = o.wal_pool_frames;
+    fx.engine = std::make_unique<store::WalEngine>(data, logs, wo);
+  } else if (name == "shadow") {
+    store::VirtualDisk* d =
+        AddDisk(&fx, "d", o.num_pages * 3 + 8, o.block_size);
+    fx.engine = std::make_unique<store::ShadowEngine>(d, o.num_pages);
+  } else if (name == "differential") {
+    store::DifferentialEngineOptions dopts;
+    dopts.a_blocks = 96;
+    dopts.d_blocks = 8;
+    dopts.base_blocks = 8;
+    store::VirtualDisk* d = AddDisk(
+        &fx, "d",
+        1 + dopts.a_blocks + dopts.d_blocks + 2 * dopts.base_blocks,
+        o.block_size);
+    fx.engine = std::make_unique<store::DifferentialPageEngine>(
+        d, o.num_pages, /*payload_bytes=*/32, dopts);
+  } else if (name == "overwrite-noundo" || name == "overwrite-noredo") {
+    store::OverwriteEngineOptions oo;
+    oo.mode = name == "overwrite-noundo" ? store::OverwriteMode::kNoUndo
+                                         : store::OverwriteMode::kNoRedo;
+    oo.list_blocks = 48;
+    oo.scratch_blocks = 48;
+    store::VirtualDisk* d =
+        AddDisk(&fx, "d", o.num_pages + 97, o.block_size);
+    fx.engine =
+        std::make_unique<store::OverwriteEngine>(d, o.num_pages, oo);
+  } else if (name == "version-select") {
+    store::VersionSelectEngineOptions vo;
+    vo.list_blocks = 48;
+    store::VirtualDisk* d =
+        AddDisk(&fx, "d", 1 + vo.list_blocks + 2 * o.num_pages,
+                o.block_size);
+    fx.engine =
+        std::make_unique<store::VersionSelectEngine>(d, o.num_pages, vo);
+  } else {
+    return Status::InvalidArgument(
+        StrFormat("unknown engine \"%s\"", name.c_str()));
+  }
+
+  Status st = fx.engine->Format();
+  if (!st.ok()) return st;
+  return fx;
+}
+
+}  // namespace dbmr::chaos

@@ -1,0 +1,75 @@
+// Named factories for torture-ready recovery-engine fixtures.
+//
+// Every functional engine from the paper is constructible by name, wired
+// to fault-armable VirtualDisks with shared write/read fail budgets
+// already attached.  The chaos harness, the torture CLI, tests, and the
+// examples all build their engines here so a "wal" means the same thing
+// everywhere.
+
+#ifndef DBMR_CHAOS_ENGINE_ZOO_H_
+#define DBMR_CHAOS_ENGINE_ZOO_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "store/page_engine.h"
+#include "store/virtual_disk.h"
+#include "util/status.h"
+
+namespace dbmr::chaos {
+
+/// Sizing knobs for a fixture.  The defaults give small stores whose
+/// crash-everywhere sweeps stay fast while still exercising eviction,
+/// scratch reuse, and multi-block log streams.
+struct FixtureOptions {
+  uint64_t num_pages = 16;
+  size_t block_size = 256;
+  /// Parallel log streams for the "wal" fixture.
+  size_t wal_logs = 2;
+  /// Buffer-pool frames for the "wal" fixture (small forces steal).
+  size_t wal_pool_frames = 4;
+};
+
+/// An engine under torture: the engine, the disks it lives on, and the
+/// shared fault budgets armed across all of them.
+struct EngineFixture {
+  std::vector<std::unique_ptr<store::VirtualDisk>> disks;
+  std::unique_ptr<store::PageEngine> engine;
+  /// Shared across all disks: successful writes/reads remaining before
+  /// fail-stop.  Effectively unlimited until armed.
+  std::shared_ptr<int64_t> write_budget;
+  std::shared_ptr<int64_t> read_budget;
+
+  /// Allows `n` more successful writes anywhere, then fail-stop.
+  void ArmWrites(int64_t n) { *write_budget = n; }
+  /// Allows `n` more successful reads anywhere, then fail-stop.
+  void ArmReads(int64_t n) { *read_budget = n; }
+  /// Refills both budgets and clears every disk's crash state.
+  void Disarm();
+  /// Arms/unarms torn-write mode on every disk.
+  void SetTornWrites(bool enabled, size_t prefix_bytes);
+  /// True if any disk has an un-cleared fail-stop fault.
+  bool AnyCrashed() const;
+
+  uint64_t TotalReads() const;
+  uint64_t TotalWrites() const;
+  store::FaultCounters TotalFaults() const;
+};
+
+/// The torturable engine names, in canonical order: wal, shadow,
+/// differential, overwrite-noundo, overwrite-noredo, version-select.
+const std::vector<std::string>& EngineNames();
+
+/// True if `name` is one of EngineNames().
+bool IsEngineName(const std::string& name);
+
+/// Builds and formats the named fixture.  Fails with InvalidArgument for
+/// an unknown name.
+Result<EngineFixture> MakeEngineFixture(const std::string& name,
+                                        const FixtureOptions& options = {});
+
+}  // namespace dbmr::chaos
+
+#endif  // DBMR_CHAOS_ENGINE_ZOO_H_

@@ -1,0 +1,57 @@
+#include "store/recovery/differential_page_engine.h"
+
+#include "store/codec.h"
+#include "util/str.h"
+
+namespace dbmr::store {
+
+DifferentialPageEngine::DifferentialPageEngine(
+    VirtualDisk* disk, uint64_t num_pages, size_t payload_bytes,
+    DifferentialEngineOptions options)
+    : num_pages_(num_pages),
+      payload_bytes_(payload_bytes),
+      words_(payload_bytes / 8),
+      inner_(disk, options) {
+  DBMR_CHECK(payload_bytes > 0 && payload_bytes % 8 == 0);
+  DBMR_CHECK(payload_bytes <= disk->block_size());
+}
+
+Status DifferentialPageEngine::Read(txn::TxnId t, txn::PageId page,
+                                    PageData* out) {
+  if (page >= num_pages_) {
+    return Status::OutOfRange(
+        StrFormat("differential: page %llu beyond %llu",
+                  static_cast<unsigned long long>(page),
+                  static_cast<unsigned long long>(num_pages_)));
+  }
+  PageData result(payload_bytes_, 0);
+  for (uint64_t i = 0; i < words_; ++i) {
+    auto v = inner_.Lookup(t, page * words_ + i);
+    if (!v.ok()) return v.status();
+    if (v->has_value()) PutU64(result, i * 8, **v);
+  }
+  *out = std::move(result);
+  return Status::OK();
+}
+
+Status DifferentialPageEngine::Write(txn::TxnId t, txn::PageId page,
+                                     const PageData& payload) {
+  if (page >= num_pages_) {
+    return Status::OutOfRange(
+        StrFormat("differential: page %llu beyond %llu",
+                  static_cast<unsigned long long>(page),
+                  static_cast<unsigned long long>(num_pages_)));
+  }
+  if (payload.size() != payload_bytes_) {
+    return Status::InvalidArgument(
+        StrFormat("differential: payload size %zu != %zu", payload.size(),
+                  payload_bytes_));
+  }
+  for (uint64_t i = 0; i < words_; ++i) {
+    DBMR_RETURN_IF_ERROR(
+        inner_.Insert(t, page * words_ + i, GetU64(payload, i * 8)));
+  }
+  return Status::OK();
+}
+
+}  // namespace dbmr::store

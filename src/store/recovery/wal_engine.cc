@@ -392,12 +392,23 @@ Status WalEngine::Recover() {
     }
   }
 
-  // Per-page chains of redo-eligible records (committed updates and CLRs)
-  // and of each uncommitted transaction's updates, keyed by page version.
-  // Per-page version numbers make cross-stream merging unnecessary.
+  // Per-page chains, keyed by page version (per-page version numbers make
+  // cross-stream merging unnecessary).  Committed updates are redo.  An
+  // uncommitted transaction's records are kept per transaction, with its
+  // updates and its CLRs separate: a CLR's after-image restores an
+  // *intermediate* state of the rollback, so CLRs are only meaningful as
+  // a complete chain.  A crash can leave a partial chain durable (the
+  // abort's CLRs are forced lazily and may be spread across streams), in
+  // which case the missing tail is reconstructed from the update records'
+  // before-images — those are durable whenever the page could have
+  // reached disk, by the write-ahead rule.
+  struct LoserChain {
+    std::map<uint64_t, const LogRecord*> updates;              // by version
+    std::map<uint64_t, const LogRecord*> clrs;                 // by version
+  };
   struct PageChains {
-    std::map<uint64_t, const LogRecord*> redo;                 // by version
-    std::map<uint64_t, const LogRecord*> undo;                 // by version
+    std::map<uint64_t, const LogRecord*> redo;                 // committed
+    std::map<txn::TxnId, LoserChain> losers;
   };
   std::unordered_map<txn::PageId, PageChains> chains;
   for (const auto& stream : per_stream) {
@@ -406,46 +417,103 @@ Status WalEngine::Recover() {
         if (committed.count(r.txn)) {
           chains[r.page].redo[r.page_version] = &r;
         } else {
-          chains[r.page].undo[r.page_version] = &r;
+          chains[r.page].losers[r.txn].updates[r.page_version] = &r;
         }
       } else if (r.kind == LogRecordKind::kClr) {
-        chains[r.page].redo[r.page_version] = &r;
+        chains[r.page].losers[r.txn].clrs[r.page_version] = &r;
       }
     }
   }
 
   // 2. Per page: UNDO first, then REDO.  The page on disk may carry an
-  // uncommitted (or aborted-but-uncompensated) transaction's flushed
-  // update; later committed diffs were computed against the pre-image of
-  // that transaction, so its bytes must come off before they go on.
-  // Version gaps in the redo chain are then content-neutral: every
-  // committed record is durable (commit forces), so a missing version can
-  // only be a lost uncommitted update + CLR pair, which cancels.
+  // uncommitted transaction's flushed update (or a partially compensated
+  // rollback); later committed diffs were computed against the pre-image
+  // of that transaction, so its bytes must come off before they go on.
   for (auto& [page, pc] : chains) {
     PageData block;
     DBMR_RETURN_IF_ERROR(data_->Read(page, &block));
     uint64_t v = BlockVersion(block);
-    const uint64_t v0 = v;
-    // Undo: walk back down while the page's version belongs to an
-    // uncommitted transaction's update.
-    while (true) {
-      auto it = pc.undo.find(v);
-      if (it == pc.undo.end()) break;
-      DBMR_RETURN_IF_ERROR(
-          ApplyRecordImage(block, *it->second, /*redo=*/false));
-      --v;
-      ++undo_applied_;
+
+    // Redo-eligible records: committed updates, plus each loser's CLR
+    // chain when it is complete (one CLR per update on this page).  An
+    // incomplete chain contributes nothing forward: its CLRs would leave
+    // the page in an intermediate uncommitted state, and a page whose
+    // durable image predates the transaction needs no compensation.
+    std::map<uint64_t, const LogRecord*> redo = pc.redo;
+    uint64_t max_ver = 0;
+    for (const auto& [ver, rec] : pc.redo) max_ver = std::max(max_ver, ver);
+    for (const auto& [t, ch] : pc.losers) {
+      if (!ch.updates.empty()) {
+        max_ver = std::max(max_ver, ch.updates.rbegin()->first);
+      }
+      if (!ch.clrs.empty()) {
+        max_ver = std::max(max_ver, ch.clrs.rbegin()->first);
+      }
+      if (!ch.clrs.empty() && ch.clrs.size() == ch.updates.size()) {
+        for (const auto& [ver, rec] : ch.clrs) redo[ver] = rec;
+      }
     }
-    for (auto& [version, rec] : pc.redo) {
+
+    // Undo: walk the version back down while it belongs to a loser.  A
+    // version inside a loser's update chain is rolled back record by
+    // record; a version inside its CLR chain means the rollback itself
+    // was cut short mid-flush, and the un-compensated prefix of the
+    // update chain is undone from the updates' before-images.
+    bool moved = true;
+    while (moved) {
+      moved = false;
+      for (const auto& [t, ch] : pc.losers) {
+        auto u = ch.updates.find(v);
+        if (u != ch.updates.end()) {
+          DBMR_RETURN_IF_ERROR(
+              ApplyRecordImage(block, *u->second, /*redo=*/false));
+          --v;
+          ++undo_applied_;
+          moved = true;
+          break;
+        }
+        auto c = ch.clrs.find(v);
+        if (c != ch.clrs.end()) {
+          const size_t j = static_cast<size_t>(
+              std::distance(ch.clrs.begin(), c));
+          const size_t m = ch.updates.size();
+          if (m >= j + 1) {
+            // The j-th CLR compensated the (m-1-j)-th update; updates
+            // 0 .. m-2-j still need undoing.
+            std::vector<const LogRecord*> ups;
+            ups.reserve(m);
+            for (const auto& [ver, rec] : ch.updates) ups.push_back(rec);
+            for (size_t idx = m - 1 - j; idx-- > 0;) {
+              DBMR_RETURN_IF_ERROR(
+                  ApplyRecordImage(block, *ups[idx], /*redo=*/false));
+              ++undo_applied_;
+            }
+            v = ch.updates.begin()->first - 1;
+          } else {
+            v = c->first - 1;  // unreachable: defensive
+          }
+          moved = true;
+          break;
+        }
+      }
+    }
+
+    for (const auto& [version, rec] : redo) {
       if (version <= v) continue;
       DBMR_RETURN_IF_ERROR(ApplyRecordImage(block, *rec, /*redo=*/true));
       v = version;
       ++redo_applied_;
     }
-    if (v != v0 || !pc.redo.empty() || !pc.undo.empty()) {
-      SetBlockVersion(block, v);
-      DBMR_RETURN_IF_ERROR(data_->Write(page, block));
-    }
+
+    // Write the recovered page home with a version above everything in
+    // the log.  If this recovery is itself cut down after here (even
+    // mid-way through the non-atomic per-stream truncation below, which
+    // can lose a commit record from one stream while the transaction's
+    // update records survive on another), the next recovery sees a page
+    // version newer than every surviving record and leaves the finished
+    // page alone instead of re-classifying its content.
+    SetBlockVersion(block, max_ver + 1);
+    DBMR_RETURN_IF_ERROR(data_->Write(page, block));
   }
 
   // 4. Truncate the logs: all surviving state is home now.

@@ -21,6 +21,22 @@ Status VirtualDisk::Read(BlockId b, PageData* out) const {
                   static_cast<unsigned long long>(b),
                   static_cast<unsigned long long>(blocks_.size())));
   }
+  if (transient_read_in_ == 0) {
+    transient_read_in_ = -1;  // heals: the retry succeeds
+    ++faults_.transient_reads;
+    return Status::IoError(
+        StrFormat("disk %s: transient read error", name_.c_str()));
+  }
+  const bool shared_exhausted = shared_read_counter_ != nullptr &&
+                                *shared_read_counter_ <= 0;
+  if (reads_remaining_ == 0 || shared_exhausted) {
+    ++faults_.read_failures;
+    return Status::IoError(
+        StrFormat("disk %s: injected read failure", name_.c_str()));
+  }
+  if (reads_remaining_ > 0) --reads_remaining_;
+  if (shared_read_counter_ != nullptr) --*shared_read_counter_;
+  if (transient_read_in_ > 0) --transient_read_in_;
   ++reads_;
   *out = blocks_[b];
   return Status::OK();
@@ -38,6 +54,12 @@ Status VirtualDisk::Write(BlockId b, const PageData& data) {
         StrFormat("disk %s: write size %zu != block size %zu", name_.c_str(),
                   data.size(), block_size_));
   }
+  if (!crashed_ && transient_write_in_ == 0) {
+    transient_write_in_ = -1;  // heals: the retry succeeds
+    ++faults_.transient_writes;
+    return Status::IoError(
+        StrFormat("disk %s: transient write error", name_.c_str()));
+  }
   const bool shared_exhausted = shared_counter_ != nullptr &&
                                 *shared_counter_ <= 0;
   if (crashed_ || writes_remaining_ == 0 || shared_exhausted) {
@@ -46,16 +68,36 @@ Status VirtualDisk::Write(BlockId b, const PageData& data) {
       size_t n = std::min(torn_prefix_, block_size_);
       std::copy(data.begin(), data.begin() + static_cast<long>(n),
                 blocks_[b].begin());
+      ++faults_.torn_writes;
     }
     crashed_ = true;
-    return Status::Aborted(
+    ++faults_.write_failures;
+    return Status::IoError(
         StrFormat("disk %s: injected crash", name_.c_str()));
   }
   if (writes_remaining_ > 0) --writes_remaining_;
   if (shared_counter_ != nullptr) --*shared_counter_;
+  if (transient_write_in_ > 0) --transient_write_in_;
   blocks_[b] = data;
   ++writes_;
   if (observer_) observer_(b, data);
+  return Status::OK();
+}
+
+Status VirtualDisk::FlipBit(BlockId b, size_t byte, uint8_t mask) {
+  if (b >= blocks_.size()) {
+    return Status::OutOfRange(
+        StrFormat("disk %s: flip in block %llu beyond %llu", name_.c_str(),
+                  static_cast<unsigned long long>(b),
+                  static_cast<unsigned long long>(blocks_.size())));
+  }
+  if (byte >= block_size_) {
+    return Status::OutOfRange(
+        StrFormat("disk %s: flip at byte %zu beyond block size %zu",
+                  name_.c_str(), byte, block_size_));
+  }
+  blocks_[b][byte] ^= mask;
+  ++faults_.bit_flips;
   return Status::OK();
 }
 
@@ -67,6 +109,9 @@ void VirtualDisk::SetTornWriteMode(bool enabled, size_t torn_prefix_bytes) {
 void VirtualDisk::ClearCrashState() {
   crashed_ = false;
   writes_remaining_ = -1;
+  reads_remaining_ = -1;
+  transient_write_in_ = -1;
+  transient_read_in_ = -1;
 }
 
 }  // namespace dbmr::store

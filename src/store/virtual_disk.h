@@ -1,19 +1,35 @@
-// Crash-able stable-storage model.
+// Crash-able stable-storage model with deterministic fault injection.
 //
 // A VirtualDisk is an array of fixed-size blocks with synchronous reads and
 // writes.  It is the "disk" under the functional recovery engines: its
 // contents survive a simulated crash, while everything the engines keep in
 // RAM does not.
 //
-// Crash injection: tests arm the disk with FailAfterWrites(n); the first n
-// subsequent writes succeed, and every later write fails with
-// StatusCode::kAborted without modifying the block (an atomic page write
-// that never happened).  Optionally, the failing write can instead tear the
-// block — writing only a prefix — to exercise checksum-based torn-write
-// detection.
+// Fault model (all faults surface as StatusCode::kIoError, so callers can
+// tell a device failure from a transaction abort):
 //
-// A write observer hook lets tests audit write ordering (e.g. the WAL rule:
-// no data page reaches disk before its log record).
+//  * Fail-stop writes — FailAfterWrites(n): the first n subsequent writes
+//    succeed, every later write fails without modifying the block (an
+//    atomic page write that never happened).  SetSharedFailCounter shares
+//    one write budget across several disks ("crash after N writes
+//    anywhere").  Once a fail-stop fault fires the disk stays failed until
+//    ClearCrashState().
+//  * Torn writes — SetTornWriteMode: the first failing write instead
+//    writes only a prefix of the block, exercising checksum-based
+//    torn-write detection.
+//  * Fail-stop reads — FailAfterReads(n) / SetSharedReadFailCounter: the
+//    read-path analogue, used to cut recovery down while it scans stable
+//    structures.
+//  * Transient errors — ArmTransientWriteError / ArmTransientReadError:
+//    one single operation fails, then the disk heals itself; an immediate
+//    retry succeeds and crashed() stays false.
+//  * Bit flips — FlipBit corrupts one stored byte in place, modeling
+//    media decay that only checksums can catch.
+//
+// Every injected fault increments a FaultCounters bucket, so harnesses can
+// report exactly what was injected.  A write observer hook lets tests
+// audit write ordering (e.g. the WAL rule: no data page reaches disk
+// before its log record).
 
 #ifndef DBMR_STORE_VIRTUAL_DISK_H_
 #define DBMR_STORE_VIRTUAL_DISK_H_
@@ -29,6 +45,30 @@
 
 namespace dbmr::store {
 
+/// Tally of faults a VirtualDisk has injected, by kind.
+struct FaultCounters {
+  uint64_t write_failures = 0;    ///< fail-stop write faults
+  uint64_t read_failures = 0;     ///< fail-stop read faults
+  uint64_t transient_writes = 0;  ///< transient write errors
+  uint64_t transient_reads = 0;   ///< transient read errors
+  uint64_t torn_writes = 0;       ///< writes torn mid-block
+  uint64_t bit_flips = 0;         ///< bytes corrupted in place
+
+  uint64_t total() const {
+    return write_failures + read_failures + transient_writes +
+           transient_reads + torn_writes + bit_flips;
+  }
+  FaultCounters& operator+=(const FaultCounters& o) {
+    write_failures += o.write_failures;
+    read_failures += o.read_failures;
+    transient_writes += o.transient_writes;
+    transient_reads += o.transient_reads;
+    torn_writes += o.torn_writes;
+    bit_flips += o.bit_flips;
+    return *this;
+  }
+};
+
 /// Stable storage: an array of blocks that survives Crash().
 class VirtualDisk {
  public:
@@ -41,10 +81,11 @@ class VirtualDisk {
   VirtualDisk& operator=(const VirtualDisk&) = delete;
 
   /// Reads block `b` into `out` (resized to block_size).
+  /// Fails with kIoError once an injected read fault fires.
   Status Read(BlockId b, PageData* out) const;
 
   /// Writes block `b`.  `data` must be exactly block_size bytes.
-  /// Fails with kAborted once the injected crash point is reached.
+  /// Fails with kIoError once the injected crash point is reached.
   Status Write(BlockId b, const PageData& data);
 
   uint64_t num_blocks() const { return blocks_.size(); }
@@ -61,6 +102,10 @@ class VirtualDisk {
   /// Pass a negative value to disable injection (the default).
   void FailAfterWrites(int64_t n) { writes_remaining_ = n; }
 
+  /// Read-path analogue of FailAfterWrites: allows `n` more successful
+  /// reads, then every read fails (fail-stop).
+  void FailAfterReads(int64_t n) { reads_remaining_ = n; }
+
   /// Shares a write budget across several disks: each successful write on
   /// any participating disk decrements the counter, and once it would go
   /// negative, writes fail ("crash after N writes anywhere").  Pass nullptr
@@ -69,16 +114,40 @@ class VirtualDisk {
     shared_counter_ = std::move(counter);
   }
 
+  /// Shares a read budget across several disks, the read-path analogue of
+  /// SetSharedFailCounter.  Unlike FailAfterReads, this survives
+  /// ClearCrashState(), so it can cut down Recover() itself.
+  void SetSharedReadFailCounter(std::shared_ptr<int64_t> counter) {
+    shared_read_counter_ = std::move(counter);
+  }
+
   /// If set, the first failing write tears the block: the first
   /// `torn_prefix_bytes` bytes are written, the rest keeps its old content.
   void SetTornWriteMode(bool enabled, size_t torn_prefix_bytes);
 
-  /// True once an injected failure has occurred.
+  /// After `after` more successful writes, exactly one write attempt fails
+  /// with kIoError; the disk then heals itself (crashed() stays false and
+  /// a retry of the same write succeeds).  Negative disarms.
+  void ArmTransientWriteError(int64_t after) { transient_write_in_ = after; }
+
+  /// Read-path analogue of ArmTransientWriteError.
+  void ArmTransientReadError(int64_t after) { transient_read_in_ = after; }
+
+  /// Flips the bits selected by `mask` in byte `byte` of stored block `b`
+  /// (silent media corruption; only checksums can detect it).
+  Status FlipBit(BlockId b, size_t byte, uint8_t mask);
+
+  /// True once an injected fail-stop failure has occurred.
   bool crashed() const { return crashed_; }
 
-  /// Clears the injected-failure state so a recovered engine can write
-  /// again (disk contents are untouched — that is the point).
+  /// Clears the injected-failure state so a recovered engine can use the
+  /// disk again (contents are untouched — that is the point).  Detaches
+  /// per-disk budgets and transient arms but not shared counters.
   void ClearCrashState();
+
+  /// Faults injected since construction (never reset by ClearCrashState).
+  const FaultCounters& fault_counters() const { return faults_; }
+  void ResetFaultCounters() { faults_ = FaultCounters{}; }
 
   /// --- Observation ----------------------------------------------------
 
@@ -94,11 +163,16 @@ class VirtualDisk {
   std::vector<PageData> blocks_;
   mutable uint64_t reads_ = 0;
   uint64_t writes_ = 0;
-  int64_t writes_remaining_ = -1;  // < 0: no injection
+  int64_t writes_remaining_ = -1;         // < 0: no injection
+  mutable int64_t reads_remaining_ = -1;  // < 0: no injection
   std::shared_ptr<int64_t> shared_counter_;
+  std::shared_ptr<int64_t> shared_read_counter_;
+  int64_t transient_write_in_ = -1;          // < 0: disarmed
+  mutable int64_t transient_read_in_ = -1;   // < 0: disarmed
   bool crashed_ = false;
   bool torn_mode_ = false;
   size_t torn_prefix_ = 0;
+  mutable FaultCounters faults_;
   WriteObserver observer_;
 };
 

@@ -24,6 +24,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Aborted";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kIoError:
+      return "IoError";
   }
   return "Unknown";
 }

@@ -27,6 +27,7 @@ enum class StatusCode {
   kCorruption,
   kAborted,   // e.g. transaction chosen as a deadlock victim
   kInternal,
+  kIoError,   // a device-level I/O failure (e.g. an injected disk fault)
 };
 
 /// Returns a short human-readable name for a StatusCode.
@@ -65,6 +66,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -73,6 +77,7 @@ class Status {
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsAborted() const { return code_ == StatusCode::kAborted; }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsIoError() const { return code_ == StatusCode::kIoError; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -1,0 +1,340 @@
+// Tests for the chaos subsystem: the commit oracle's reference semantics,
+// the crash sweeper's exhaustive schedules against every engine, the
+// determinism of its reports, and — most importantly — that a planted
+// recovery bug is actually caught.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "chaos/commit_oracle.h"
+#include "chaos/crash_sweeper.h"
+#include "chaos/engine_zoo.h"
+
+namespace dbmr::chaos {
+namespace {
+
+PageData Fill(size_t n, uint8_t b) { return PageData(n, b); }
+
+chaos::SweepOptions FastOptions(uint64_t seed) {
+  SweepOptions opts;
+  opts.seed = seed;
+  opts.txns = 4;
+  opts.bit_flip_trials = 2;
+  return opts;
+}
+
+// --- CommitOracle ---------------------------------------------------------
+
+TEST(CommitOracleTest, TracksCommittedAndAbortedTransactions) {
+  auto fx = MakeEngineFixture("shadow");
+  ASSERT_TRUE(fx.ok()) << fx.status().ToString();
+  auto* e = fx->engine.get();
+  const size_t n = e->payload_size();
+  CommitOracle oracle(e->num_pages(), n);
+
+  auto t1 = e->Begin();
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(e->Write(*t1, 3, Fill(n, 0xAA)).ok());
+  oracle.OnWrite(*t1, 3, Fill(n, 0xAA));
+  ASSERT_TRUE(e->Commit(*t1).ok());
+  oracle.OnCommitOk(*t1);
+
+  auto t2 = e->Begin();
+  ASSERT_TRUE(t2.ok());
+  ASSERT_TRUE(e->Write(*t2, 3, Fill(n, 0xBB)).ok());
+  oracle.OnWrite(*t2, 3, Fill(n, 0xBB));
+  ASSERT_TRUE(e->Abort(*t2).ok());
+  oracle.OnAbort(*t2);
+
+  EXPECT_EQ(oracle.Expected(3), Fill(n, 0xAA));
+  EXPECT_EQ(oracle.Expected(4), PageData(n, 0));  // never written
+  std::string detail;
+  Status st = oracle.Verify(e, nullptr, &detail);
+  EXPECT_TRUE(st.ok()) << detail;
+}
+
+TEST(CommitOracleTest, DetectsDivergence) {
+  auto fx = MakeEngineFixture("shadow");
+  ASSERT_TRUE(fx.ok());
+  auto* e = fx->engine.get();
+  const size_t n = e->payload_size();
+  CommitOracle oracle(e->num_pages(), n);
+
+  // The engine committed a write the oracle never saw: divergence.
+  auto t = e->Begin();
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(e->Write(*t, 5, Fill(n, 0xCC)).ok());
+  ASSERT_TRUE(e->Commit(*t).ok());
+
+  std::string detail;
+  Status st = oracle.Verify(e, nullptr, &detail);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  EXPECT_NE(detail.find("page 5"), std::string::npos) << detail;
+}
+
+TEST(CommitOracleTest, InDoubtTransactionMayResolveEitherWay) {
+  auto fx = MakeEngineFixture("shadow");
+  ASSERT_TRUE(fx.ok());
+  auto* e = fx->engine.get();
+  const size_t n = e->payload_size();
+  CommitOracle oracle(e->num_pages(), n);
+
+  auto t = e->Begin();
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(e->Write(*t, 2, Fill(n, 0x11)).ok());
+  oracle.OnWrite(*t, 2, Fill(n, 0x11));
+  oracle.OnCommitInDoubt(*t);
+  EXPECT_TRUE(oracle.has_in_doubt());
+
+  // The engine actually committed: verify must accept and report it.
+  ASSERT_TRUE(e->Commit(*t).ok());
+  InDoubtResolution res = InDoubtResolution::kNone;
+  std::string detail;
+  ASSERT_TRUE(oracle.Verify(e, &res, &detail).ok()) << detail;
+  EXPECT_EQ(res, InDoubtResolution::kCommitted);
+
+  // Roll it back (fresh fixture): verify must accept that too.
+  auto fx2 = MakeEngineFixture("shadow");
+  ASSERT_TRUE(fx2.ok());
+  auto* e2 = fx2->engine.get();
+  CommitOracle oracle2(e2->num_pages(), n);
+  auto t2 = e2->Begin();
+  ASSERT_TRUE(t2.ok());
+  ASSERT_TRUE(e2->Write(*t2, 2, Fill(n, 0x11)).ok());
+  oracle2.OnWrite(*t2, 2, Fill(n, 0x11));
+  oracle2.OnCommitInDoubt(*t2);
+  ASSERT_TRUE(e2->Abort(*t2).ok());
+  ASSERT_TRUE(oracle2.Verify(e2, &res, &detail).ok()) << detail;
+  EXPECT_EQ(res, InDoubtResolution::kRolledBack);
+}
+
+TEST(CommitOracleTest, RejectsPartiallySurfacedInDoubtTransaction) {
+  auto fx = MakeEngineFixture("shadow");
+  ASSERT_TRUE(fx.ok());
+  auto* e = fx->engine.get();
+  const size_t n = e->payload_size();
+  CommitOracle oracle(e->num_pages(), n);
+
+  // In-doubt transaction wrote two pages; the engine surfaces only one
+  // (committed separately here to fake the partial outcome).
+  auto t = e->Begin();
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(e->Write(*t, 1, Fill(n, 0x21)).ok());
+  ASSERT_TRUE(e->Commit(*t).ok());
+
+  auto shadow_txn = e->Begin();  // oracle-side bookkeeping only
+  ASSERT_TRUE(shadow_txn.ok());
+  ASSERT_TRUE(e->Abort(*shadow_txn).ok());
+  oracle.OnWrite(*shadow_txn, 1, Fill(n, 0x21));
+  oracle.OnWrite(*shadow_txn, 2, Fill(n, 0x22));
+  oracle.OnCommitInDoubt(*shadow_txn);
+
+  std::string detail;
+  Status st = oracle.Verify(e, nullptr, &detail);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(detail.find("partially"), std::string::npos) << detail;
+}
+
+// --- Engine zoo -----------------------------------------------------------
+
+TEST(EngineZooTest, BuildsEveryEngineByName) {
+  for (const std::string& name : EngineNames()) {
+    auto fx = MakeEngineFixture(name);
+    ASSERT_TRUE(fx.ok()) << name << ": " << fx.status().ToString();
+    EXPECT_EQ(fx->engine->num_pages(), 16u) << name;
+    EXPECT_FALSE(fx->AnyCrashed()) << name;
+  }
+  EXPECT_FALSE(MakeEngineFixture("no-such-engine").ok());
+  EXPECT_TRUE(IsEngineName("wal"));
+  EXPECT_FALSE(IsEngineName("WAL"));
+}
+
+// --- CrashSweeper: clean engines survive ----------------------------------
+
+class SweepAllEnginesTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SweepAllEnginesTest, BoundedSweepFindsNoViolations) {
+  CrashSweeper sweeper(GetParam(), FastOptions(7));
+  SweepReport r = sweeper.Run();
+  EXPECT_TRUE(r.completed);
+  EXPECT_GT(r.schedules, 0);
+  EXPECT_GT(r.write_crash_points, 0);
+  EXPECT_GT(r.faults.total(), 0u);
+  for (const Violation& v : r.violations) {
+    ADD_FAILURE() << v.kind << ": " << v.detail << "\n  repro: " << v.repro;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, SweepAllEnginesTest,
+                         ::testing::ValuesIn(EngineNames()),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(CrashSweeperTest, ReportIsDeterministic) {
+  SweepReport a = CrashSweeper("wal", FastOptions(11)).Run();
+  SweepReport b = CrashSweeper("wal", FastOptions(11)).Run();
+  EXPECT_EQ(a.ToJson().Dump(), b.ToJson().Dump());
+}
+
+TEST(CrashSweeperTest, TornWriteSweepPassesOnVersionSelect) {
+  SweepOptions opts = FastOptions(5);
+  opts.torn_writes = true;
+  opts.transient_faults = false;
+  opts.bit_flip_trials = 0;
+  SweepReport r = CrashSweeper("version-select", opts).Run();
+  EXPECT_TRUE(r.completed);
+  EXPECT_GT(r.faults.torn_writes, 0u);
+  for (const Violation& v : r.violations) {
+    ADD_FAILURE() << v.kind << ": " << v.detail;
+  }
+}
+
+// --- CrashSweeper: a planted bug must be caught ---------------------------
+
+/// Forwards everything to an inner engine, except that Commit() silently
+/// drops the transaction's writes (it aborts underneath): an engine that
+/// acknowledges commits it will not remember.
+class AmnesiacEngine : public store::PageEngine {
+ public:
+  explicit AmnesiacEngine(std::unique_ptr<store::PageEngine> inner)
+      : inner_(std::move(inner)) {}
+
+  Status Format() override { return inner_->Format(); }
+  Status Recover() override { return inner_->Recover(); }
+  Result<txn::TxnId> Begin() override { return inner_->Begin(); }
+  Status Read(txn::TxnId t, txn::PageId p, PageData* out) override {
+    return inner_->Read(t, p, out);
+  }
+  Status Write(txn::TxnId t, txn::PageId p, const PageData& d) override {
+    wrote_ = true;
+    return inner_->Write(t, p, d);
+  }
+  Status Commit(txn::TxnId t) override {
+    if (wrote_) return inner_->Abort(t);  // the planted bug
+    return inner_->Commit(t);
+  }
+  Status Abort(txn::TxnId t) override { return inner_->Abort(t); }
+  void Crash() override { inner_->Crash(); }
+  size_t payload_size() const override { return inner_->payload_size(); }
+  uint64_t num_pages() const override { return inner_->num_pages(); }
+  std::string name() const override { return "amnesiac"; }
+
+ private:
+  std::unique_ptr<store::PageEngine> inner_;
+  bool wrote_ = false;
+};
+
+TEST(CrashSweeperTest, PlantedDurabilityBugIsCaught) {
+  auto factory = []() -> Result<EngineFixture> {
+    auto fx = MakeEngineFixture("shadow");
+    if (!fx.ok()) return fx.status();
+    fx->engine = std::make_unique<AmnesiacEngine>(std::move(fx->engine));
+    return std::move(*fx);
+  };
+  SweepOptions opts = FastOptions(1);
+  opts.abort_prob = 0.0;  // make sure something commits
+  opts.transient_faults = false;
+  opts.bit_flip_trials = 0;
+  opts.nested_recovery_crashes = false;
+  opts.nested_recovery_read_crashes = false;
+  CrashSweeper sweeper("amnesiac", factory, opts);
+  SweepReport r = sweeper.Run();
+  ASSERT_FALSE(r.violations.empty());
+  // Caught either by the post-recovery verify or by a workload read that
+  // sees the lost write, depending on which schedule trips first.
+  EXPECT_TRUE(r.violations[0].kind == "post-crash-state" ||
+              r.violations[0].kind == "final-state" ||
+              r.violations[0].kind == "workload")
+      << r.violations[0].kind;
+  EXPECT_NE(r.violations[0].repro.find("--seed=1"), std::string::npos);
+}
+
+/// Forwards everything, but the first Recover() after a crash zeroes one
+/// page via a private transaction: committed data lost in recovery.
+class LossyRecoveryEngine : public store::PageEngine {
+ public:
+  explicit LossyRecoveryEngine(std::unique_ptr<store::PageEngine> inner)
+      : inner_(std::move(inner)) {}
+
+  Status Format() override { return inner_->Format(); }
+  Status Recover() override {
+    DBMR_RETURN_IF_ERROR(inner_->Recover());
+    auto t = inner_->Begin();
+    if (!t.ok()) return t.status();
+    DBMR_RETURN_IF_ERROR(
+        inner_->Write(*t, 0, PageData(inner_->payload_size(), 0)));
+    return inner_->Commit(*t);  // the planted bug: page 0 wiped
+  }
+  Result<txn::TxnId> Begin() override { return inner_->Begin(); }
+  Status Read(txn::TxnId t, txn::PageId p, PageData* out) override {
+    return inner_->Read(t, p, out);
+  }
+  Status Write(txn::TxnId t, txn::PageId p, const PageData& d) override {
+    return inner_->Write(t, p, d);
+  }
+  Status Commit(txn::TxnId t) override { return inner_->Commit(t); }
+  Status Abort(txn::TxnId t) override { return inner_->Abort(t); }
+  void Crash() override { inner_->Crash(); }
+  size_t payload_size() const override { return inner_->payload_size(); }
+  uint64_t num_pages() const override { return inner_->num_pages(); }
+  std::string name() const override { return "lossy"; }
+
+ private:
+  std::unique_ptr<store::PageEngine> inner_;
+};
+
+TEST(CrashSweeperTest, PlantedRecoveryBugIsCaughtAndReproducible) {
+  auto factory = []() -> Result<EngineFixture> {
+    auto fx = MakeEngineFixture("shadow");
+    if (!fx.ok()) return fx.status();
+    fx->engine = std::make_unique<LossyRecoveryEngine>(std::move(fx->engine));
+    return std::move(*fx);
+  };
+  SweepOptions opts = FastOptions(2);
+  opts.abort_prob = 0.0;
+  opts.transient_faults = false;
+  opts.bit_flip_trials = 0;
+  opts.nested_recovery_crashes = false;
+  opts.nested_recovery_read_crashes = false;
+  SweepReport r = CrashSweeper("lossy", factory, opts).Run();
+  ASSERT_FALSE(r.violations.empty());
+
+  // Some schedule wrote page 0 before the crash and lost it in recovery.
+  const Violation* hit = nullptr;
+  for (const Violation& v : r.violations) {
+    if (v.kind == "post-crash-state" && v.crash_index >= 0) {
+      hit = &v;
+      break;
+    }
+  }
+  ASSERT_NE(hit, nullptr);
+
+  // The (seed, crash_index) pair replays to exactly the same violation.
+  SweepReport repro =
+      CrashSweeper("lossy", factory, opts).RunOne(hit->crash_index);
+  ASSERT_EQ(repro.violations.size(), 1u);
+  EXPECT_EQ(repro.violations[0].kind, hit->kind);
+  EXPECT_EQ(repro.violations[0].detail, hit->detail);
+}
+
+TEST(CrashSweeperTest, RunOneReplaysNestedRecoveryCrash) {
+  // A clean engine: the single nested schedule must complete and verify.
+  SweepReport r =
+      CrashSweeper("wal", FastOptions(3)).RunOne(/*crash_index=*/12,
+                                                 /*nested_index=*/2);
+  EXPECT_TRUE(r.violations.empty());
+  EXPECT_EQ(r.schedules, 1);
+}
+
+}  // namespace
+}  // namespace dbmr::chaos

@@ -158,7 +158,7 @@ inline void RunCrashEverywhere(PageEngine* e,
       ASSERT_TRUE(t.ok());
       for (auto& [page, data] : plan.writes) {
         Status st = e->Write(*t, page, data);
-        if (st.IsAborted()) {
+        if (st.IsIoError()) {  // the injected crash point fired
           crashed = true;
           break;
         }

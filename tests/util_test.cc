@@ -37,10 +37,10 @@ TEST(StatusTest, CodeNamesAreDistinct) {
         StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
         StatusCode::kFailedPrecondition, StatusCode::kResourceExhausted,
         StatusCode::kCorruption, StatusCode::kAborted,
-        StatusCode::kInternal}) {
+        StatusCode::kInternal, StatusCode::kIoError}) {
     names.insert(StatusCodeName(c));
   }
-  EXPECT_EQ(names.size(), 10u);
+  EXPECT_EQ(names.size(), 11u);
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {

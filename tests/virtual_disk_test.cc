@@ -45,14 +45,14 @@ TEST(VirtualDiskTest, FailAfterWritesInjectsCrash) {
   d.FailAfterWrites(2);
   EXPECT_TRUE(d.Write(0, Filled(128, 1)).ok());
   EXPECT_TRUE(d.Write(1, Filled(128, 2)).ok());
-  EXPECT_TRUE(d.Write(2, Filled(128, 3)).IsAborted());
+  EXPECT_TRUE(d.Write(2, Filled(128, 3)).IsIoError());
   EXPECT_TRUE(d.crashed());
   // Failed write must not modify the block.
   PageData out;
   ASSERT_TRUE(d.Read(2, &out).ok());
   EXPECT_EQ(out, Filled(128, 0));
   // Subsequent writes keep failing until the crash state clears.
-  EXPECT_TRUE(d.Write(3, Filled(128, 4)).IsAborted());
+  EXPECT_TRUE(d.Write(3, Filled(128, 4)).IsIoError());
   d.ClearCrashState();
   EXPECT_TRUE(d.Write(3, Filled(128, 4)).ok());
 }
@@ -61,7 +61,7 @@ TEST(VirtualDiskTest, ContentsSurviveCrash) {
   VirtualDisk d("d", 4, 128);
   ASSERT_TRUE(d.Write(1, Filled(128, 9)).ok());
   d.FailAfterWrites(0);
-  EXPECT_TRUE(d.Write(1, Filled(128, 5)).IsAborted());
+  EXPECT_TRUE(d.Write(1, Filled(128, 5)).IsIoError());
   d.ClearCrashState();
   PageData out;
   ASSERT_TRUE(d.Read(1, &out).ok());
@@ -73,11 +73,92 @@ TEST(VirtualDiskTest, TornWriteLeavesPrefix) {
   ASSERT_TRUE(d.Write(0, Filled(128, 1)).ok());
   d.SetTornWriteMode(true, 32);
   d.FailAfterWrites(0);
-  EXPECT_TRUE(d.Write(0, Filled(128, 2)).IsAborted());
+  EXPECT_TRUE(d.Write(0, Filled(128, 2)).IsIoError());
   PageData out;
   ASSERT_TRUE(d.Read(0, &out).ok());
   for (size_t i = 0; i < 32; ++i) EXPECT_EQ(out[i], 2) << i;
   for (size_t i = 32; i < 128; ++i) EXPECT_EQ(out[i], 1) << i;
+}
+
+TEST(VirtualDiskTest, FailAfterReadsInjectsReadFailure) {
+  VirtualDisk d("d", 4, 128);
+  ASSERT_TRUE(d.Write(0, Filled(128, 1)).ok());
+  d.FailAfterReads(1);
+  PageData out;
+  EXPECT_TRUE(d.Read(0, &out).ok());
+  EXPECT_TRUE(d.Read(0, &out).IsIoError());
+  EXPECT_TRUE(d.Read(1, &out).IsIoError());  // fail-stop: stays down
+  EXPECT_EQ(d.fault_counters().read_failures, 2u);
+  d.ClearCrashState();
+  EXPECT_TRUE(d.Read(0, &out).ok());
+}
+
+TEST(VirtualDiskTest, SharedReadFailCounterCutsReadsAcrossDisks) {
+  VirtualDisk a("a", 2, 128), b("b", 2, 128);
+  auto budget = std::make_shared<int64_t>(3);
+  a.SetSharedReadFailCounter(budget);
+  b.SetSharedReadFailCounter(budget);
+  PageData out;
+  EXPECT_TRUE(a.Read(0, &out).ok());
+  EXPECT_TRUE(b.Read(0, &out).ok());
+  EXPECT_TRUE(a.Read(1, &out).ok());
+  EXPECT_TRUE(b.Read(1, &out).IsIoError());  // budget anywhere exhausted
+  // ClearCrashState does not reset the shared budget...
+  b.ClearCrashState();
+  EXPECT_TRUE(b.Read(1, &out).IsIoError());
+  // ... refilling it does.
+  *budget = 1;
+  EXPECT_TRUE(b.Read(1, &out).ok());
+}
+
+TEST(VirtualDiskTest, TransientWriteErrorHealsOnRetry) {
+  VirtualDisk d("d", 4, 128);
+  d.ArmTransientWriteError(1);
+  ASSERT_TRUE(d.Write(0, Filled(128, 1)).ok());
+  EXPECT_TRUE(d.Write(1, Filled(128, 2)).IsIoError());
+  EXPECT_FALSE(d.crashed());  // not a fail-stop fault
+  // The failed write modified nothing, and the retry succeeds.
+  PageData out;
+  ASSERT_TRUE(d.Read(1, &out).ok());
+  EXPECT_EQ(out, Filled(128, 0));
+  EXPECT_TRUE(d.Write(1, Filled(128, 2)).ok());
+  ASSERT_TRUE(d.Read(1, &out).ok());
+  EXPECT_EQ(out, Filled(128, 2));
+  EXPECT_EQ(d.fault_counters().transient_writes, 1u);
+}
+
+TEST(VirtualDiskTest, TransientReadErrorHealsOnRetry) {
+  VirtualDisk d("d", 4, 128);
+  ASSERT_TRUE(d.Write(0, Filled(128, 9)).ok());
+  d.ArmTransientReadError(0);
+  PageData out;
+  EXPECT_TRUE(d.Read(0, &out).IsIoError());
+  EXPECT_FALSE(d.crashed());
+  ASSERT_TRUE(d.Read(0, &out).ok());
+  EXPECT_EQ(out, Filled(128, 9));
+  EXPECT_EQ(d.fault_counters().transient_reads, 1u);
+}
+
+TEST(VirtualDiskTest, FlipBitCorruptsInPlace) {
+  VirtualDisk d("d", 4, 128);
+  ASSERT_TRUE(d.Write(1, Filled(128, 0xFF)).ok());
+  ASSERT_TRUE(d.FlipBit(1, 5, 0x10).ok());
+  PageData out;
+  ASSERT_TRUE(d.Read(1, &out).ok());
+  EXPECT_EQ(out[5], 0xEF);
+  EXPECT_EQ(out[4], 0xFF);
+  EXPECT_EQ(d.fault_counters().bit_flips, 1u);
+  EXPECT_TRUE(d.FlipBit(9, 0, 1).code() == StatusCode::kOutOfRange);
+  EXPECT_TRUE(d.FlipBit(0, 999, 1).code() == StatusCode::kOutOfRange);
+}
+
+TEST(VirtualDiskTest, TornWriteCountsAsTornFault) {
+  VirtualDisk d("d", 2, 128);
+  d.SetTornWriteMode(true, 16);
+  d.FailAfterWrites(0);
+  EXPECT_TRUE(d.Write(0, Filled(128, 3)).IsIoError());
+  EXPECT_EQ(d.fault_counters().torn_writes, 1u);
+  EXPECT_EQ(d.fault_counters().write_failures, 1u);
 }
 
 TEST(VirtualDiskTest, WriteObserverSeesSuccessfulWrites) {

@@ -1,0 +1,293 @@
+// dbmr_torture — deterministic fault-injection sweeps over the functional
+// recovery engines.
+//
+// Sweep mode (the default) crashes a seeded workload at every disk-write
+// index, cuts `Recover()` itself down at every one of its own write and
+// read indices, re-recovers, and checks the result against the commit
+// oracle; it then sweeps single transient faults over every disk and runs
+// a batch of bit-flip trials:
+//
+//   dbmr_torture --sweep                         # all engines, seeds 1..3
+//   dbmr_torture --engine=wal --seeds=1,2,3,4
+//   dbmr_torture --sweep --json=report.json --metrics-csv=report.csv
+//
+// Repro mode replays exactly one schedule (the flags a violation report
+// prints):
+//
+//   dbmr_torture --engine=shadow --seed=2 --txns=8 --crash-index=17
+//   dbmr_torture --engine=wal --seed=1 --crash-index=9 --nested-index=3
+//
+// Exit status is nonzero iff any oracle violation was found.  All output
+// is deterministic for fixed flags; see docs/TESTING.md.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "chaos/crash_sweeper.h"
+#include "chaos/engine_zoo.h"
+#include "core/metrics.h"
+#include "util/json.h"
+#include "util/str.h"
+
+namespace {
+
+using namespace dbmr;  // NOLINT: binary-local
+
+struct Flags {
+  std::map<std::string, std::string> values;
+
+  bool Has(const std::string& key) const { return values.count(key) > 0; }
+  std::string Get(const std::string& key, const std::string& dflt) const {
+    auto it = values.find(key);
+    return it == values.end() ? dflt : it->second;
+  }
+  double GetDouble(const std::string& key, double dflt) const {
+    auto it = values.find(key);
+    return it == values.end() ? dflt : std::atof(it->second.c_str());
+  }
+  int64_t GetInt(const std::string& key, int64_t dflt) const {
+    auto it = values.find(key);
+    return it == values.end() ? dflt : std::atoll(it->second.c_str());
+  }
+};
+
+[[noreturn]] void Usage(const char* msg) {
+  if (msg != nullptr) std::fprintf(stderr, "error: %s\n\n", msg);
+  std::fprintf(stderr, R"(usage: dbmr_torture [flags]
+
+  --engine=NAME      wal | shadow | differential | overwrite-noundo |
+                     overwrite-noredo | version-select | all  (default: all)
+  --seeds=N,N,...    seeds to sweep                     (default: 1,2,3)
+  --seed=N           single seed (overrides --seeds)
+  --txns=N           transactions per replay            (default: 8)
+  --max-writes-per-txn=N                                (default: 4)
+  --abort-prob=P     per-transaction abort probability  (default: 0.25)
+  --sweep            full sweep (implied unless --crash-index is given)
+  --max-crash-points=N   cap the write-crash sweep      (default: unlimited)
+  --no-nested        skip crash-during-recovery sweeps
+  --no-transient     skip transient-fault sweeps
+  --bit-flips=N      bit-flip trials per (engine, seed) (default: 16)
+  --torn             tear the failing write instead of dropping it
+  --json=FILE        write the full JSON report ("-" = stdout)
+  --metrics-json=FILE / --metrics-csv=FILE
+                     export per-(engine, seed) sweep stats through the
+                     metrics registry (same schema as dbmr --grid)
+
+repro mode (replay one schedule printed by a violation report):
+  --crash-index=N    crash after N successful disk writes
+  --nested-index=N   also cut Recover() down after N writes
+  --nested-reads     ... after N reads instead
+)");
+  std::exit(2);
+}
+
+Flags ParseFlags(int argc, char** argv) {
+  Flags f;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--", 2) != 0) Usage("flags start with --");
+    std::string s(arg + 2);
+    auto eq = s.find('=');
+    if (eq == std::string::npos) {
+      f.values[s] = "1";
+    } else {
+      f.values[s.substr(0, eq)] = s.substr(eq + 1);
+    }
+  }
+  if (f.Has("help")) Usage(nullptr);
+  return f;
+}
+
+std::vector<std::string> SplitList(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+/// Per-(engine, seed) sweep stats as a metrics cell, so torture runs
+/// export through the same JSON/CSV pipeline as the simulator grid.
+core::CellMetrics ToCell(const chaos::SweepReport& r, int index,
+                         int txns) {
+  core::CellMetrics cell;
+  cell.cell_index = index;
+  cell.cell_name = StrFormat("torture/%s/seed%llu", r.engine.c_str(),
+                             static_cast<unsigned long long>(r.seed));
+  cell.config_name = "torture";
+  cell.arch_label = r.engine;
+  cell.seed = r.seed;
+  cell.num_txns = txns;
+  machine::MachineResult& m = cell.result;
+  m.arch_name = r.engine;
+  m.pages_read = r.disk_reads;
+  m.pages_written = r.disk_writes;
+  m.extra["schedules"] = static_cast<double>(r.schedules);
+  m.extra["write_crash_points"] = static_cast<double>(r.write_crash_points);
+  m.extra["nested_write_crash_points"] =
+      static_cast<double>(r.nested_write_crash_points);
+  m.extra["nested_read_crash_points"] =
+      static_cast<double>(r.nested_read_crash_points);
+  m.extra["transient_points"] = static_cast<double>(r.transient_points);
+  m.extra["bit_flip_trials"] = static_cast<double>(r.bit_flips.trials);
+  m.extra["bit_flips_detected"] = static_cast<double>(r.bit_flips.detected);
+  m.extra["bit_flips_masked"] = static_cast<double>(r.bit_flips.masked);
+  m.extra["bit_flips_silent"] = static_cast<double>(r.bit_flips.silent);
+  m.extra["faults_injected"] = static_cast<double>(r.faults.total());
+  m.extra["fault_write_failures"] =
+      static_cast<double>(r.faults.write_failures);
+  m.extra["fault_read_failures"] =
+      static_cast<double>(r.faults.read_failures);
+  m.extra["fault_transient"] = static_cast<double>(
+      r.faults.transient_writes + r.faults.transient_reads);
+  m.extra["fault_torn_writes"] = static_cast<double>(r.faults.torn_writes);
+  m.extra["violations"] = static_cast<double>(r.violations.size());
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags = ParseFlags(argc, argv);
+
+  std::vector<std::string> engines;
+  const std::string engine_flag = flags.Get("engine", "all");
+  if (engine_flag == "all") {
+    engines = chaos::EngineNames();
+  } else {
+    for (const std::string& name : SplitList(engine_flag)) {
+      if (!chaos::IsEngineName(name)) {
+        Usage(StrFormat("unknown engine \"%s\"", name.c_str()).c_str());
+      }
+      engines.push_back(name);
+    }
+  }
+
+  std::vector<uint64_t> seeds;
+  if (flags.Has("seed")) {
+    seeds.push_back(static_cast<uint64_t>(flags.GetInt("seed", 1)));
+  } else {
+    for (const std::string& s : SplitList(flags.Get("seeds", "1,2,3"))) {
+      seeds.push_back(static_cast<uint64_t>(std::atoll(s.c_str())));
+    }
+  }
+  if (seeds.empty()) Usage("no seeds given");
+
+  chaos::SweepOptions opts;
+  opts.txns = static_cast<int>(flags.GetInt("txns", 8));
+  opts.max_writes_per_txn =
+      static_cast<int>(flags.GetInt("max-writes-per-txn", 4));
+  opts.abort_prob = flags.GetDouble("abort-prob", 0.25);
+  opts.max_crash_points = flags.GetInt("max-crash-points", -1);
+  opts.bit_flip_trials = static_cast<int>(flags.GetInt("bit-flips", 16));
+  opts.torn_writes = flags.Has("torn");
+  if (flags.Has("no-nested")) {
+    opts.nested_recovery_crashes = false;
+    opts.nested_recovery_read_crashes = false;
+  }
+  if (flags.Has("no-transient")) opts.transient_faults = false;
+
+  const bool repro = flags.Has("crash-index");
+  const int64_t crash_index = flags.GetInt("crash-index", -1);
+  const int64_t nested_index = flags.GetInt("nested-index", -1);
+  const bool nested_reads = flags.Has("nested-reads");
+
+  std::vector<chaos::SweepReport> reports;
+  for (const std::string& engine : engines) {
+    for (uint64_t seed : seeds) {
+      opts.seed = seed;
+      chaos::CrashSweeper sweeper(engine, opts);
+      chaos::SweepReport r =
+          repro ? sweeper.RunOne(crash_index, nested_index, nested_reads)
+                : sweeper.Run();
+      std::printf(
+          "%-17s seed %-3llu  %6lld schedules  %5lld+%lld/%lld crash points  "
+          "%4lld transient  %lld flips  %zu violation%s\n",
+          r.engine.c_str(), static_cast<unsigned long long>(r.seed),
+          static_cast<long long>(r.schedules),
+          static_cast<long long>(r.write_crash_points),
+          static_cast<long long>(r.nested_write_crash_points),
+          static_cast<long long>(r.nested_read_crash_points),
+          static_cast<long long>(r.transient_points),
+          static_cast<long long>(r.bit_flips.trials), r.violations.size(),
+          r.violations.size() == 1 ? "" : "s");
+      for (const chaos::Violation& v : r.violations) {
+        std::printf("  VIOLATION [%s] %s\n    repro: %s\n", v.kind.c_str(),
+                    v.detail.c_str(), v.repro.c_str());
+      }
+      reports.push_back(std::move(r));
+    }
+  }
+
+  size_t total_violations = 0;
+  for (const chaos::SweepReport& r : reports) {
+    total_violations += r.violations.size();
+  }
+  std::printf("%zu sweep%s, %zu violation%s\n", reports.size(),
+              reports.size() == 1 ? "" : "s", total_violations,
+              total_violations == 1 ? "" : "s");
+
+  if (flags.Has("json")) {
+    JsonValue doc = JsonValue::Object();
+    doc["tool"] = "dbmr_torture";
+    doc["txns"] = static_cast<int64_t>(opts.txns);
+    doc["max_writes_per_txn"] = static_cast<int64_t>(opts.max_writes_per_txn);
+    doc["mode"] = repro ? "repro" : "sweep";
+    doc["total_violations"] = static_cast<uint64_t>(total_violations);
+    JsonValue arr = JsonValue::Array();
+    for (const chaos::SweepReport& r : reports) arr.Append(r.ToJson());
+    doc["sweeps"] = std::move(arr);
+    const std::string text = doc.Dump(2) + "\n";
+    const std::string path = flags.Get("json", "-");
+    if (path == "-") {
+      std::fputs(text.c_str(), stdout);
+    } else {
+      std::FILE* f = std::fopen(path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+        return 2;
+      }
+      std::fputs(text.c_str(), f);
+      std::fclose(f);
+    }
+  }
+
+  if (flags.Has("metrics-json") || flags.Has("metrics-csv")) {
+    core::MetricsRegistry registry;
+    registry.SetRunInfo("torture", seeds[0], /*jobs=*/1);
+    int index = 0;
+    for (const chaos::SweepReport& r : reports) {
+      registry.Add(ToCell(r, index++, opts.txns));
+    }
+    core::MetricsExportOptions mopts;
+    mopts.include_host_timing = false;  // torture output is deterministic
+    if (flags.Has("metrics-json")) {
+      Status st =
+          registry.WriteJsonFile(flags.Get("metrics-json", ""), mopts);
+      if (!st.ok()) {
+        std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+        return 2;
+      }
+    }
+    if (flags.Has("metrics-csv")) {
+      Status st = registry.WriteCsvFile(flags.Get("metrics-csv", ""), mopts);
+      if (!st.ok()) {
+        std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+        return 2;
+      }
+    }
+  }
+
+  return total_violations == 0 ? 0 : 1;
+}

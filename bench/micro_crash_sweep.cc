@@ -1,0 +1,73 @@
+// google-benchmark microbenchmarks of the crash-torture sweeper: legacy
+// sequential full replay vs snapshot-forked trials at one and eight
+// threads.  tools/bench_baseline --suite=torture runs the same
+// configurations without the google-benchmark harness and exports
+// BENCH_torture.json for the perf trajectory; keep the two in sync.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "chaos/crash_sweeper.h"
+#include "chaos/engine_zoo.h"
+#include "core/thread_pool.h"
+
+namespace dbmr::chaos {
+namespace {
+
+/// Exhaustive write-crash sweep at seed 1 with nested recovery sweeps on.
+/// Transient faults and bit flips are off: both run full replays in every
+/// mode and would only dilute the replay-cost comparison.
+SweepOptions BenchOptions() {
+  SweepOptions o;
+  o.seed = 1;
+  o.txns = 8;
+  o.transient_faults = false;
+  o.bit_flip_trials = 0;
+  return o;
+}
+
+void RunSweep(benchmark::State& state, const std::string& engine,
+              const SweepOptions& opts, core::ThreadPool* pool) {
+  int64_t schedules = 0;
+  for (auto _ : state) {
+    CrashSweeper sweeper(engine, opts);
+    SweepReport r = sweeper.Run(pool);
+    if (!r.violations.empty()) {
+      state.SkipWithError("oracle violation during bench");
+      return;
+    }
+    schedules = r.schedules;
+    benchmark::DoNotOptimize(r.schedules);
+  }
+  state.SetItemsProcessed(state.iterations() * schedules);
+}
+
+void BM_SweepSequential(benchmark::State& state) {
+  const std::string engine = EngineNames()[state.range(0)];
+  state.SetLabel(engine);
+  SweepOptions o = BenchOptions();
+  o.sequential_replay = true;
+  RunSweep(state, engine, o, nullptr);
+}
+BENCHMARK(BM_SweepSequential)->DenseRange(0, 5)->Unit(benchmark::kMillisecond);
+
+void BM_SweepForkedJobs1(benchmark::State& state) {
+  const std::string engine = EngineNames()[state.range(0)];
+  state.SetLabel(engine);
+  RunSweep(state, engine, BenchOptions(), nullptr);  // jobs defaults to 1
+}
+BENCHMARK(BM_SweepForkedJobs1)->DenseRange(0, 5)->Unit(benchmark::kMillisecond);
+
+void BM_SweepForkedJobs8(benchmark::State& state) {
+  const std::string engine = EngineNames()[state.range(0)];
+  state.SetLabel(engine);
+  core::ThreadPool pool(8);
+  RunSweep(state, engine, BenchOptions(), &pool);
+}
+BENCHMARK(BM_SweepForkedJobs8)->DenseRange(0, 5)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dbmr::chaos
+
+BENCHMARK_MAIN();

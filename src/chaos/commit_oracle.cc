@@ -7,7 +7,9 @@
 namespace dbmr::chaos {
 
 CommitOracle::CommitOracle(uint64_t num_pages, size_t payload_size)
-    : num_pages_(num_pages), payload_size_(payload_size) {}
+    : num_pages_(num_pages),
+      payload_size_(payload_size),
+      zero_page_(payload_size, 0) {}
 
 void CommitOracle::Reset() {
   committed_.clear();
@@ -41,8 +43,12 @@ void CommitOracle::OnCommitInDoubt(txn::TxnId t) {
 void CommitOracle::OnCrash() { active_.clear(); }
 
 PageData CommitOracle::Expected(txn::PageId page) const {
+  return ExpectedRef(page);
+}
+
+const PageData& CommitOracle::ExpectedRef(txn::PageId page) const {
   auto it = committed_.find(page);
-  return it != committed_.end() ? it->second : PageData(payload_size_, 0);
+  return it != committed_.end() ? it->second : zero_page_;
 }
 
 Status CommitOracle::Verify(store::PageEngine* e,
@@ -64,8 +70,8 @@ Status CommitOracle::Verify(store::PageEngine* e,
   // Classify the in-doubt transaction's pages: did its image surface?
   int saw_new = 0, saw_old = 0;
   Status result = Status::OK();
+  PageData got;  // reused across pages
   for (txn::PageId page = 0; page < num_pages_; ++page) {
-    PageData got;
     Status st = e->Read(*t, page, &got);
     if (!st.ok()) {
       (void)e->Abort(*t);
@@ -76,7 +82,7 @@ Status CommitOracle::Verify(store::PageEngine* e,
       }
       return st;
     }
-    const PageData want_old = Expected(page);
+    const PageData& want_old = ExpectedRef(page);
     auto in_doubt = in_doubt_.find(page);
     if (in_doubt == in_doubt_.end()) {
       if (got != want_old) {

@@ -70,6 +70,11 @@ class CommitOracle {
   /// The committed image of `page` (all-zero when never written).
   PageData Expected(txn::PageId page) const;
 
+  /// Reference form of Expected(); the returned reference stays valid
+  /// until the oracle is mutated.  Verify() compares every page against
+  /// the model, so the per-page copy matters there.
+  const PageData& ExpectedRef(txn::PageId page) const;
+
   bool has_in_doubt() const { return !in_doubt_.empty(); }
 
   /// Reads every page of `e` through a fresh transaction and checks the
@@ -91,6 +96,8 @@ class CommitOracle {
   std::unordered_map<txn::TxnId, std::map<txn::PageId, PageData>> active_;
   /// Write set of the single in-doubt transaction (empty map = none).
   std::map<txn::PageId, PageData> in_doubt_;
+  /// All-zero page backing ExpectedRef() for never-written pages.
+  PageData zero_page_;
 };
 
 }  // namespace dbmr::chaos

@@ -1,7 +1,9 @@
 #include "chaos/crash_sweeper.h"
 
+#include <algorithm>
 #include <utility>
 
+#include "core/thread_pool.h"
 #include "util/rng.h"
 #include "util/str.h"
 
@@ -67,7 +69,7 @@ JsonValue SweepReport::ToJson() const {
 }
 
 CrashSweeper::CrashSweeper(std::string engine_name, SweepOptions options)
-    : name_(std::move(engine_name)), opts_(options) {
+    : name_(std::move(engine_name)), opts_(options), forkable_(true) {
   factory_ = [this]() { return MakeEngineFixture(name_, opts_.fixture); };
 }
 
@@ -77,10 +79,10 @@ CrashSweeper::CrashSweeper(std::string engine_name, FixtureFactory factory,
       factory_(std::move(factory)),
       opts_(options) {}
 
-void CrashSweeper::AddViolation(SweepReport* report, const std::string& kind,
-                                int64_t crash_index, int64_t nested_index,
-                                bool nested_reads,
-                                const std::string& detail) const {
+Violation CrashSweeper::MakeViolation(const std::string& kind,
+                                      int64_t crash_index,
+                                      int64_t nested_index, bool nested_reads,
+                                      const std::string& detail) const {
   Violation v;
   v.engine = name_;
   v.kind = kind;
@@ -102,7 +104,15 @@ void CrashSweeper::AddViolation(SweepReport* report, const std::string& kind,
   }
   if (opts_.torn_writes) repro += " --torn";
   v.repro = std::move(repro);
-  report->violations.push_back(std::move(v));
+  return v;
+}
+
+void CrashSweeper::AddViolation(SweepReport* report, const std::string& kind,
+                                int64_t crash_index, int64_t nested_index,
+                                bool nested_reads,
+                                const std::string& detail) const {
+  report->violations.push_back(
+      MakeViolation(kind, crash_index, nested_index, nested_reads, detail));
 }
 
 void CrashSweeper::Absorb(const EngineFixture& fx,
@@ -112,20 +122,127 @@ void CrashSweeper::Absorb(const EngineFixture& fx,
   report->faults += fx.TotalFaults();
 }
 
+/// Everything one instrumented, fault-free ("golden") replay of the seeded
+/// workload learned, shared read-only by every forked trial.
+struct CrashSweeper::GoldenTrace {
+  /// Which engine entry point a disk write happened inside.  A crash at
+  /// that write cuts this call down, which decides how the oracle sees
+  /// the victim transaction (in doubt only for kCommit).
+  enum class Op { kBegin, kRead, kWrite, kCommit, kAbort };
+
+  /// One oracle transition, re-playable onto a fresh CommitOracle.
+  struct OracleOp {
+    enum class Kind { kWrite, kCommitOk, kAbort };
+    Kind kind = Kind::kWrite;
+    txn::TxnId txn = 0;
+    txn::PageId page = 0;
+    PageData data;  // kWrite only
+  };
+
+  /// One successful disk write, in global (shared write budget) order.
+  struct WriteEvent {
+    size_t disk = 0;
+    store::BlockId block = 0;
+    PageData data;
+    Op op = Op::kBegin;     ///< engine call this write happened inside
+    txn::TxnId txn = 0;     ///< transaction of that call (0 for Begin)
+    size_t ops_logged = 0;  ///< oracle ops completed before this write
+  };
+
+  std::vector<WriteEvent> writes;
+  std::vector<OracleOp> ops;
+  /// checkpoints[j] = disk images after j*stride successful writes
+  /// (checkpoints[0] is the freshly formatted store).
+  std::vector<FixtureSnapshot> checkpoints;
+  /// oracle_checkpoints[j] = oracle state when checkpoints[j] was taken,
+  /// with ops_at_checkpoint[j] transitions already folded in, so a trial
+  /// rebuilds its oracle from the nearest checkpoint plus the op tail
+  /// instead of replaying every transition from the start.
+  std::vector<CommitOracle> oracle_checkpoints;
+  std::vector<size_t> ops_at_checkpoint;
+  FixtureSnapshot final_state;  ///< after the whole replay
+  /// Per-disk I/O performed by the replay alone (Format excluded); the
+  /// transient sweep uses these to enumerate its fault points.
+  std::vector<uint64_t> replay_writes;
+  std::vector<uint64_t> replay_reads;
+  int64_t stride = 4;
+  uint64_t num_pages = 0;
+  size_t payload_size = 0;
+  Status error;  ///< first non-fault failure during the golden replay
+
+  // Scratch the write observers read: the engine call currently running.
+  Op cur_op = Op::kBegin;
+  txn::TxnId cur_txn = 0;
+};
+
+/// What one forked trial produced, merged into the report in index order.
+struct CrashSweeper::TrialResult {
+  std::vector<Violation> violations;
+  uint64_t disk_reads = 0;
+  uint64_t disk_writes = 0;
+  store::FaultCounters faults;
+  /// Plain trials: I/O an unconstrained Recover() performed, measured
+  /// before verification — it bounds the nested sweep exactly (budget n
+  /// lets n operations through, so n = recovery_writes is the first
+  /// budget recovery completes under).
+  int64_t recovery_writes = 0;
+  int64_t recovery_reads = 0;
+  /// False for the terminal nested trial (recovery completed): it ends
+  /// the nested enumeration instead of counting as a crash point.
+  bool counted = true;
+  bool fired = false;           ///< transient trials: the armed fault fired
+  bool workload_error = false;  ///< transient trials: replay errored
+  int flip_outcome = -1;  ///< bit flips: 0 detected / 1 masked / 2 silent
+};
+
 CrashSweeper::ReplayOutcome CrashSweeper::Replay(EngineFixture& fx,
                                                  CommitOracle& oracle,
-                                                 bool transient) {
+                                                 bool transient,
+                                                 GoldenTrace* trace) {
   ReplayOutcome out;
   Rng rng(opts_.seed);
   store::PageEngine* e = fx.engine.get();
   const uint64_t pages = e->num_pages();
   const size_t payload = e->payload_size();
 
+  // Golden-replay instrumentation: tag which engine call is running (the
+  // write observers stamp it onto each WriteEvent) and log every oracle
+  // transition so trials can rebuild the oracle at any write index.
+  using Op = GoldenTrace::Op;
+  using OracleOp = GoldenTrace::OracleOp;
+  auto mark = [&](Op op, txn::TxnId txn) {
+    if (trace != nullptr) {
+      trace->cur_op = op;
+      trace->cur_txn = txn;
+    }
+  };
+  auto log_write = [&](txn::TxnId txn, txn::PageId page,
+                       const PageData& data) {
+    if (trace != nullptr) {
+      trace->ops.push_back(
+          {OracleOp::Kind::kWrite, txn, page, data});
+    }
+    oracle.OnWrite(txn, page, data);
+  };
+  auto log_abort = [&](txn::TxnId txn) {
+    if (trace != nullptr) {
+      trace->ops.push_back({OracleOp::Kind::kAbort, txn, 0, {}});
+    }
+    oracle.OnAbort(txn);
+  };
+  auto log_commit_ok = [&](txn::TxnId txn) {
+    if (trace != nullptr) {
+      trace->ops.push_back({OracleOp::Kind::kCommitOk, txn, 0, {}});
+    }
+    oracle.OnCommitOk(txn);
+  };
+
   // In transient mode the single armed fault heals itself, so a retry of
   // the failed operation (or an abort of the victim transaction) must keep
   // the workload running with no crash-recovery needed.  In fail-stop mode
   // the first kIoError is the injected crash point: stop right there.
   for (int i = 0; i < opts_.txns; ++i) {
+    mark(Op::kBegin, 0);
     auto t = e->Begin();
     if (!t.ok() && t.status().IsIoError() && transient) t = e->Begin();
     if (!t.ok()) {
@@ -141,6 +258,7 @@ CrashSweeper::ReplayOutcome CrashSweeper::Replay(EngineFixture& fx,
       const txn::PageId page = static_cast<txn::PageId>(
           rng.UniformInt(0, static_cast<int64_t>(pages) - 1));
       PageData got;
+      mark(Op::kRead, *t);
       Status st = e->Read(*t, page, &got);
       if (!st.ok() && st.IsIoError() && transient) st = e->Read(*t, page, &got);
       if (!st.ok()) {
@@ -153,7 +271,7 @@ CrashSweeper::ReplayOutcome CrashSweeper::Replay(EngineFixture& fx,
         }
         return out;
       }
-      if (got != oracle.Expected(page)) {
+      if (got != oracle.ExpectedRef(page)) {
         out.error = Status::Internal(StrFormat(
             "workload read of page %llu diverges from the committed state",
             static_cast<unsigned long long>(page)));
@@ -168,9 +286,10 @@ CrashSweeper::ReplayOutcome CrashSweeper::Replay(EngineFixture& fx,
       const txn::PageId page = static_cast<txn::PageId>(
           rng.UniformInt(0, static_cast<int64_t>(pages) - 1));
       const PageData data = RandomPayload(rng, payload);
+      mark(Op::kWrite, *t);
       Status st = e->Write(*t, page, data);
       if (st.ok()) {
-        oracle.OnWrite(*t, page, data);
+        log_write(*t, page, data);
         continue;
       }
       if (!st.IsIoError()) {
@@ -189,7 +308,7 @@ CrashSweeper::ReplayOutcome CrashSweeper::Replay(EngineFixture& fx,
       Status ab = e->Abort(*t);
       if (!ab.ok() && ab.IsIoError()) ab = e->Abort(*t);
       if (ab.ok() || ab.code() == StatusCode::kFailedPrecondition) {
-        oracle.OnAbort(*t);
+        log_abort(*t);
         txn_gone = true;
         break;
       }
@@ -203,12 +322,13 @@ CrashSweeper::ReplayOutcome CrashSweeper::Replay(EngineFixture& fx,
     const bool abort = rng.Bernoulli(opts_.abort_prob);
     if (txn_gone) continue;
 
+    mark(abort ? Op::kAbort : Op::kCommit, *t);
     Status st = abort ? e->Abort(*t) : e->Commit(*t);
     if (st.ok()) {
       if (abort) {
-        oracle.OnAbort(*t);
+        log_abort(*t);
       } else {
-        oracle.OnCommitOk(*t);
+        log_commit_ok(*t);
       }
       continue;
     }
@@ -223,7 +343,7 @@ CrashSweeper::ReplayOutcome CrashSweeper::Replay(EngineFixture& fx,
       if (transient) {
         Status ab = e->Abort(*t);
         if (ab.ok() || ab.code() == StatusCode::kFailedPrecondition) {
-          oracle.OnAbort(*t);
+          log_abort(*t);
           continue;
         }
       }
@@ -551,7 +671,14 @@ void CrashSweeper::RunBitFlips(SweepReport* report) {
   }
 }
 
-SweepReport CrashSweeper::Run() {
+SweepReport CrashSweeper::Run(core::ThreadPool* pool) {
+  if (opts_.sequential_replay || !forkable_) return RunSequential();
+  if (pool != nullptr) return RunForked(pool);
+  core::ThreadPool local(opts_.jobs);
+  return RunForked(&local);
+}
+
+SweepReport CrashSweeper::RunSequential() {
   SweepReport report;
   report.engine = name_;
   report.seed = opts_.seed;
@@ -561,6 +688,589 @@ SweepReport CrashSweeper::Run() {
     SweepTransient(&report, /*read_path=*/true);
   }
   if (opts_.bit_flip_trials > 0) RunBitFlips(&report);
+  return report;
+}
+
+// --- Snapshot-forked path -------------------------------------------------
+//
+// One golden replay learns everything the sequential sweeper re-derives
+// per trial: because engines are deterministic and the workload is a pure
+// function of the seed, the durable state at crash budget b equals the
+// golden disk image after b successful writes (plus the torn prefix of
+// write b in torn mode), and a freshly constructed engine over forks of
+// that image is indistinguishable from the crashed engine (Crash() wipes
+// exactly the state a constructor starts without; no zoo engine touches
+// the disk before Recover()).  So each trial forks the nearest stride
+// checkpoint, rolls recorded writes forward, rebuilds the oracle from the
+// recorded transitions, and runs only the recovery under test.
+
+Result<EngineFixture> CrashSweeper::ForkTrialFixture(const GoldenTrace& trace,
+                                                     int64_t budget) const {
+  const size_t checkpoint = static_cast<size_t>(budget / trace.stride);
+  DBMR_CHECK(checkpoint < trace.checkpoints.size());
+  auto fxr =
+      ForkEngineFixture(name_, trace.checkpoints[checkpoint], opts_.fixture);
+  if (!fxr.ok()) return fxr;
+  EngineFixture fx = std::move(*fxr);
+  for (int64_t i = static_cast<int64_t>(checkpoint) * trace.stride;
+       i < budget; ++i) {
+    const GoldenTrace::WriteEvent& ev =
+        trace.writes[static_cast<size_t>(i)];
+    fx.disks[ev.disk]->RestoreBlock(ev.block, ev.data.data(),
+                                    ev.data.size());
+  }
+  if (opts_.torn_writes && budget < static_cast<int64_t>(trace.writes.size())) {
+    // The sequential replay tears the first failing write; reproduce the
+    // same partial image of write `budget`.
+    const GoldenTrace::WriteEvent& ev =
+        trace.writes[static_cast<size_t>(budget)];
+    const size_t block_size = fx.disks[ev.disk]->block_size();
+    fx.disks[ev.disk]->RestoreBlock(
+        ev.block, ev.data.data(),
+        std::min(opts_.torn_prefix_bytes, block_size));
+  }
+  if (opts_.torn_writes) fx.SetTornWrites(true, opts_.torn_prefix_bytes);
+  return fx;
+}
+
+CommitOracle CrashSweeper::ReconstructOracle(const GoldenTrace& trace,
+                                             int64_t budget) const {
+  // Number of oracle transitions completed before the crashing engine call
+  // (budget == writes.size() means "after the whole replay": all of them).
+  size_t n_ops = trace.ops.size();
+  bool in_doubt = false;
+  txn::TxnId victim = 0;
+  if (budget < static_cast<int64_t>(trace.writes.size())) {
+    const GoldenTrace::WriteEvent& ev =
+        trace.writes[static_cast<size_t>(budget)];
+    n_ops = ev.ops_logged;
+    in_doubt = ev.op == GoldenTrace::Op::kCommit;
+    victim = ev.txn;
+  }
+  // Start from the oracle image taken with the disk checkpoint this trial
+  // forked; only the transitions since then need replaying.  The
+  // checkpoint predates write `budget`, so its op count never exceeds
+  // n_ops.
+  const size_t checkpoint = static_cast<size_t>(budget / trace.stride);
+  DBMR_CHECK(checkpoint < trace.oracle_checkpoints.size());
+  CommitOracle oracle = trace.oracle_checkpoints[checkpoint];
+  for (size_t i = trace.ops_at_checkpoint[checkpoint]; i < n_ops; ++i) {
+    const GoldenTrace::OracleOp& op = trace.ops[i];
+    switch (op.kind) {
+      case GoldenTrace::OracleOp::Kind::kWrite:
+        oracle.OnWrite(op.txn, op.page, op.data);
+        break;
+      case GoldenTrace::OracleOp::Kind::kCommitOk:
+        oracle.OnCommitOk(op.txn);
+        break;
+      case GoldenTrace::OracleOp::Kind::kAbort:
+        oracle.OnAbort(op.txn);
+        break;
+    }
+  }
+  if (in_doubt) oracle.OnCommitInDoubt(victim);
+  oracle.OnCrash();
+  return oracle;
+}
+
+CrashSweeper::TrialResult CrashSweeper::ForkedPlainTrial(
+    const GoldenTrace& trace, int64_t budget) {
+  TrialResult out;
+  // The injected replay crash the fork skips: account for it so the fault
+  // tallies match the sequential sweeper's.
+  out.faults.write_failures += 1;
+  if (opts_.torn_writes) out.faults.torn_writes += 1;
+
+  auto fxr = ForkTrialFixture(trace, budget);
+  if (!fxr.ok()) {
+    out.violations.push_back(
+        MakeViolation("fixture", budget, -1, false, fxr.status().ToString()));
+    out.counted = false;
+    return out;
+  }
+  EngineFixture fx = std::move(*fxr);
+  CommitOracle oracle = ReconstructOracle(trace, budget);
+
+  auto finish = [&]() {
+    out.disk_reads += fx.TotalReads();
+    out.disk_writes += fx.TotalWrites();
+    out.faults += fx.TotalFaults();
+  };
+
+  Status st = fx.engine->Recover();
+  out.recovery_writes = static_cast<int64_t>(fx.TotalWrites());
+  out.recovery_reads = static_cast<int64_t>(fx.TotalReads());
+  if (!st.ok()) {
+    out.violations.push_back(
+        MakeViolation("recover", budget, -1, false, st.ToString()));
+    finish();
+    return out;
+  }
+  std::string detail;
+  InDoubtResolution first = InDoubtResolution::kNone;
+  Status vst = oracle.Verify(fx.engine.get(), &first, &detail);
+  if (!vst.ok()) {
+    out.violations.push_back(
+        MakeViolation("post-crash-state", budget, -1, false,
+                      detail.empty() ? vst.ToString() : detail));
+    finish();
+    return out;
+  }
+
+  if (opts_.double_recover) {
+    fx.engine->Crash();
+    oracle.OnCrash();
+    fx.Disarm();
+    Status st2 = fx.engine->Recover();
+    if (!st2.ok()) {
+      out.violations.push_back(
+          MakeViolation("double-recover", budget, -1, false, st2.ToString()));
+      finish();
+      return out;
+    }
+    InDoubtResolution second = InDoubtResolution::kNone;
+    Status vst2 = oracle.Verify(fx.engine.get(), &second, &detail);
+    if (!vst2.ok()) {
+      out.violations.push_back(
+          MakeViolation("double-recover", budget, -1, false,
+                        detail.empty() ? vst2.ToString() : detail));
+    } else if ((first == InDoubtResolution::kCommitted &&
+                second == InDoubtResolution::kRolledBack) ||
+               (first == InDoubtResolution::kRolledBack &&
+                second == InDoubtResolution::kCommitted)) {
+      out.violations.push_back(MakeViolation(
+          "double-recover", budget, -1, false,
+          StrFormat("in-doubt resolution flipped between recoveries "
+                    "(%s then %s)",
+                    first == InDoubtResolution::kCommitted ? "committed"
+                                                           : "rolled back",
+                    second == InDoubtResolution::kCommitted ? "committed"
+                                                            : "rolled back")));
+    }
+  }
+  finish();
+  return out;
+}
+
+CrashSweeper::TrialResult CrashSweeper::ForkedNestedTrial(
+    const GoldenTrace& trace, int64_t budget, int64_t nested_index,
+    bool nested_reads) {
+  TrialResult out;
+  out.faults.write_failures += 1;  // the skipped replay crash
+  if (opts_.torn_writes) out.faults.torn_writes += 1;
+
+  auto fxr = ForkTrialFixture(trace, budget);
+  if (!fxr.ok()) {
+    out.violations.push_back(MakeViolation("fixture", budget, nested_index,
+                                           nested_reads,
+                                           fxr.status().ToString()));
+    out.counted = false;
+    return out;
+  }
+  EngineFixture fx = std::move(*fxr);
+  CommitOracle oracle = ReconstructOracle(trace, budget);
+
+  auto finish = [&]() {
+    out.disk_reads += fx.TotalReads();
+    out.disk_writes += fx.TotalWrites();
+    out.faults += fx.TotalFaults();
+  };
+
+  if (nested_reads) {
+    fx.ArmReads(nested_index);
+  } else {
+    fx.ArmWrites(nested_index);
+  }
+  Status st = fx.engine->Recover();
+  if (st.ok()) {
+    if (fx.AnyCrashed()) {
+      out.violations.push_back(
+          MakeViolation("recover-swallowed-fault", budget, nested_index,
+                        nested_reads,
+                        "Recover() reported success although an injected "
+                        "fault fired during it"));
+    }
+    // Recovery completed without reaching the nested fault: terminal.
+    out.counted = false;
+    finish();
+    return out;
+  }
+  // Recovery itself crashed; a second recovery must succeed and restore a
+  // correct state.
+  fx.engine->Crash();
+  fx.Disarm();
+  Status st2 = fx.engine->Recover();
+  if (!st2.ok()) {
+    out.violations.push_back(MakeViolation("nested-recover", budget,
+                                           nested_index, nested_reads,
+                                           st2.ToString()));
+    finish();
+    return out;
+  }
+  std::string detail;
+  InDoubtResolution res = InDoubtResolution::kNone;
+  Status vst = oracle.Verify(fx.engine.get(), &res, &detail);
+  if (!vst.ok()) {
+    out.violations.push_back(
+        MakeViolation("nested-post-state", budget, nested_index, nested_reads,
+                      detail.empty() ? vst.ToString() : detail));
+  }
+  finish();
+  return out;
+}
+
+CrashSweeper::TrialResult CrashSweeper::ForkedTransientTrial(size_t disk,
+                                                             int64_t op_index,
+                                                             bool read_path) {
+  // Transient trials diverge from the golden schedule after the fault
+  // heals (retries, victim aborts), so they cannot be forked — each runs
+  // the full replay, exactly like the sequential sweeper; only the
+  // scheduling is parallel.
+  TrialResult out;
+  auto fxr = MakeFixture();
+  if (!fxr.ok()) {
+    out.counted = false;
+    return out;
+  }
+  EngineFixture fx = std::move(*fxr);
+  CommitOracle oracle(fx.engine->num_pages(), fx.engine->payload_size());
+  if (read_path) {
+    fx.disks[disk]->ArmTransientReadError(op_index);
+  } else {
+    fx.disks[disk]->ArmTransientWriteError(op_index);
+  }
+  ReplayOutcome rep = Replay(fx, oracle, /*transient=*/true);
+  const store::FaultCounters fc = fx.TotalFaults();
+  out.fired = (read_path ? fc.transient_reads : fc.transient_writes) > 0;
+
+  auto finish = [&]() {
+    out.disk_reads += fx.TotalReads();
+    out.disk_writes += fx.TotalWrites();
+    out.faults += fx.TotalFaults();
+  };
+
+  if (!rep.error.ok()) {
+    out.workload_error = true;
+    out.violations.push_back(MakeViolation(
+        "workload", -1, -1, false,
+        StrFormat("transient %s fault on disk %zu op %lld: %s",
+                  read_path ? "read" : "write", disk,
+                  static_cast<long long>(op_index),
+                  rep.error.ToString().c_str())));
+    finish();
+    return out;
+  }
+  if (!out.fired) {
+    finish();
+    return out;
+  }
+
+  if (rep.crashed) {
+    oracle.OnCrash();
+    fx.engine->Crash();
+    Status st = fx.engine->Recover();
+    if (!st.ok()) {
+      out.violations.push_back(MakeViolation(
+          "transient-recover", -1, -1, false,
+          StrFormat("disk %zu op %lld: %s", disk,
+                    static_cast<long long>(op_index),
+                    st.ToString().c_str())));
+      finish();
+      return out;
+    }
+  }
+  std::string detail;
+  Status vst = oracle.Verify(fx.engine.get(), nullptr, &detail);
+  if (!vst.ok()) {
+    out.violations.push_back(MakeViolation(
+        "transient-post-state", -1, -1, false,
+        StrFormat("disk %zu op %lld: %s", disk,
+                  static_cast<long long>(op_index),
+                  (detail.empty() ? vst.ToString() : detail).c_str())));
+  }
+  finish();
+  return out;
+}
+
+CrashSweeper::TrialResult CrashSweeper::ForkedBitFlipTrial(
+    const GoldenTrace& trace, size_t disk, store::BlockId block, size_t byte,
+    uint8_t mask) {
+  TrialResult out;
+  const int64_t end = static_cast<int64_t>(trace.writes.size());
+  auto fxr = ForkTrialFixture(trace, end);  // the post-replay image
+  if (!fxr.ok()) {
+    out.counted = false;
+    return out;
+  }
+  EngineFixture fx = std::move(*fxr);
+  CommitOracle oracle = ReconstructOracle(trace, end);
+  (void)fx.disks[disk]->FlipBit(block, byte, mask);
+
+  Status st = fx.engine->Recover();
+  if (!st.ok()) {
+    out.flip_outcome = 0;  // detected: recovery refused the corrupt store
+  } else {
+    std::string detail;
+    Status vst = oracle.Verify(fx.engine.get(), nullptr, &detail);
+    if (vst.ok()) {
+      out.flip_outcome = 1;  // masked
+    } else if (vst.code() == StatusCode::kInternal) {
+      out.flip_outcome = 2;  // silent: wrong data served without an error
+    } else {
+      out.flip_outcome = 0;  // detected: a read surfaced the corruption
+    }
+  }
+  out.disk_reads += fx.TotalReads();
+  out.disk_writes += fx.TotalWrites();
+  out.faults += fx.TotalFaults();
+  return out;
+}
+
+SweepReport CrashSweeper::RunForked(core::ThreadPool* pool) {
+  SweepReport report;
+  report.engine = name_;
+  report.seed = opts_.seed;
+
+  // --- Golden replay: run the workload once, record everything. ---------
+  auto fxr = MakeFixture();
+  if (!fxr.ok()) {
+    // Mirror the sequential sweeper: the b=0 trial reports the fixture
+    // failure and the write sweep terminates "naturally".
+    AddViolation(&report, "fixture", 0, -1, false, fxr.status().ToString());
+    report.completed = true;
+    return report;
+  }
+  EngineFixture golden = std::move(*fxr);
+  CommitOracle oracle(golden.engine->num_pages(),
+                      golden.engine->payload_size());
+
+  GoldenTrace trace;
+  trace.stride = std::max(1, opts_.snapshot_stride);
+  trace.num_pages = golden.engine->num_pages();
+  trace.payload_size = golden.engine->payload_size();
+  trace.checkpoints.push_back(golden.TakeSnapshot());
+  trace.oracle_checkpoints.push_back(oracle);
+  trace.ops_at_checkpoint.push_back(0);
+  std::vector<uint64_t> base_writes, base_reads;
+  for (const auto& d : golden.disks) {
+    base_writes.push_back(d->writes());
+    base_reads.push_back(d->reads());
+  }
+  for (size_t d = 0; d < golden.disks.size(); ++d) {
+    golden.disks[d]->SetWriteObserver(
+        [d, &trace, &golden, &oracle](store::BlockId b,
+                                      const PageData& data) {
+          trace.writes.push_back({d, b, data, trace.cur_op, trace.cur_txn,
+                                  trace.ops.size()});
+          if (static_cast<int64_t>(trace.writes.size()) % trace.stride == 0) {
+            trace.checkpoints.push_back(golden.TakeSnapshot());
+            trace.oracle_checkpoints.push_back(oracle);
+            trace.ops_at_checkpoint.push_back(trace.ops.size());
+          }
+        });
+  }
+  ReplayOutcome gold = Replay(golden, oracle, /*transient=*/false, &trace);
+  DBMR_CHECK(!gold.crashed);  // no faults are armed on the golden fixture
+  ++report.schedules;
+  for (const auto& d : golden.disks) d->SetWriteObserver(nullptr);
+  trace.final_state = golden.TakeSnapshot();
+  for (size_t d = 0; d < golden.disks.size(); ++d) {
+    trace.replay_writes.push_back(golden.disks[d]->writes() - base_writes[d]);
+    trace.replay_reads.push_back(golden.disks[d]->reads() - base_reads[d]);
+  }
+  trace.error = gold.error;
+  Absorb(golden, &report);
+
+  const int64_t total_writes = static_cast<int64_t>(trace.writes.size());
+  const bool capped = opts_.max_crash_points >= 0 &&
+                      opts_.max_crash_points <= total_writes;
+  const int64_t num_plain = capped ? opts_.max_crash_points : total_writes;
+
+  // --- Plain write-crash trials, in parallel. ---------------------------
+  std::vector<TrialResult> plain(static_cast<size_t>(num_plain));
+  pool->ParallelFor(plain.size(), [&](size_t i) {
+    plain[i] = ForkedPlainTrial(trace, static_cast<int64_t>(i));
+  });
+
+  // --- Nested trials: bounds come from each plain trial's recovery. -----
+  struct NestedKey {
+    int64_t budget;
+    int64_t nested;
+    bool reads;
+  };
+  std::vector<NestedKey> nested_keys;
+  for (int64_t b = 0; b < num_plain; ++b) {
+    if (!plain[static_cast<size_t>(b)].counted) continue;
+    if (opts_.nested_recovery_crashes) {
+      const int64_t last = std::min(
+          plain[static_cast<size_t>(b)].recovery_writes, kNestedSweepCap);
+      for (int64_t n = 0; n <= last; ++n) {
+        nested_keys.push_back({b, n, false});
+      }
+    }
+    if (opts_.nested_recovery_read_crashes) {
+      const int64_t last = std::min(
+          plain[static_cast<size_t>(b)].recovery_reads, kNestedSweepCap);
+      for (int64_t n = 0; n <= last; ++n) {
+        nested_keys.push_back({b, n, true});
+      }
+    }
+  }
+  std::vector<TrialResult> nested(nested_keys.size());
+  pool->ParallelFor(nested.size(), [&](size_t i) {
+    nested[i] = ForkedNestedTrial(trace, nested_keys[i].budget,
+                                  nested_keys[i].nested, nested_keys[i].reads);
+  });
+
+  // --- Merge in the sequential sweeper's order. -------------------------
+  auto merge = [&report](TrialResult& t) {
+    ++report.schedules;
+    for (Violation& v : t.violations) {
+      report.violations.push_back(std::move(v));
+    }
+    report.disk_reads += t.disk_reads;
+    report.disk_writes += t.disk_writes;
+    report.faults += t.faults;
+  };
+
+  size_t nk = 0;  // cursor into nested_keys / nested (grouped by budget)
+  for (int64_t b = 0; b < num_plain; ++b) {
+    TrialResult& t = plain[static_cast<size_t>(b)];
+    const bool counted = t.counted;
+    merge(t);
+    if (counted) ++report.write_crash_points;
+    while (nk < nested_keys.size() && nested_keys[nk].budget == b) {
+      const bool dir = nested_keys[nk].reads;
+      TrialResult& n = nested[nk];
+      const bool n_counted = n.counted;
+      merge(n);
+      ++nk;
+      if (n_counted) {
+        if (dir) {
+          ++report.nested_read_crash_points;
+        } else {
+          ++report.nested_write_crash_points;
+        }
+      } else {
+        // Terminal trial: recovery completed (possibly by swallowing a
+        // fault an engine tolerates, e.g. a best-effort read), so the
+        // sequential sweeper would end this direction's enumeration here.
+        // Later pre-spawned trials of the direction are discarded unseen.
+        while (nk < nested_keys.size() && nested_keys[nk].budget == b &&
+               nested_keys[nk].reads == dir) {
+          ++nk;
+        }
+      }
+    }
+  }
+
+  // --- Terminal point of the write sweep. -------------------------------
+  if (capped) {
+    report.completed = false;
+  } else {
+    // The sequential trial at budget == total_writes replays the whole
+    // workload without crashing; the golden replay already was that run,
+    // so only its verdict is emitted here.
+    if (!trace.error.ok()) {
+      AddViolation(&report, "workload", total_writes, -1, false,
+                   trace.error.ToString());
+    } else {
+      std::string detail;
+      Status vst = oracle.Verify(golden.engine.get(), nullptr, &detail);
+      if (!vst.ok()) {
+        AddViolation(&report, "final-state", total_writes, -1, false,
+                     detail.empty() ? vst.ToString() : detail);
+      }
+    }
+    report.completed = true;
+  }
+
+  // --- Transient faults: full replays, parallel scheduling. -------------
+  if (opts_.transient_faults) {
+    for (const bool read_path : {false, true}) {
+      struct TransientKey {
+        size_t disk;
+        int64_t op;
+      };
+      std::vector<TransientKey> keys;
+      std::vector<size_t> disk_begin;  // first key index per disk
+      for (size_t d = 0; d < golden.disks.size(); ++d) {
+        disk_begin.push_back(keys.size());
+        const int64_t ops = static_cast<int64_t>(
+            read_path ? trace.replay_reads[d] : trace.replay_writes[d]);
+        // The fault at index k fires iff the golden replay reaches op k on
+        // this disk (execution is identical up to the fault), so k = ops
+        // is the first trial where it cannot fire — the terminal one.
+        for (int64_t k = 0; k <= std::min(ops, kNestedSweepCap); ++k) {
+          keys.push_back({d, k});
+        }
+      }
+      disk_begin.push_back(keys.size());
+      std::vector<TrialResult> trials(keys.size());
+      pool->ParallelFor(trials.size(), [&](size_t i) {
+        trials[i] = ForkedTransientTrial(keys[i].disk, keys[i].op, read_path);
+      });
+      for (size_t d = 0; d < golden.disks.size(); ++d) {
+        for (size_t i = disk_begin[d]; i < disk_begin[d + 1]; ++i) {
+          TrialResult& t = trials[i];
+          ++report.schedules;
+          const bool stop = t.workload_error || !t.fired;
+          if (t.fired && !t.workload_error) ++report.transient_points;
+          for (Violation& v : t.violations) {
+            report.violations.push_back(std::move(v));
+          }
+          report.disk_reads += t.disk_reads;
+          report.disk_writes += t.disk_writes;
+          report.faults += t.faults;
+          if (stop) break;  // the sequential sweep ends this disk here
+        }
+      }
+    }
+  }
+
+  // --- Bit flips: fork the final image, draws fixed in trial order. -----
+  if (opts_.bit_flip_trials > 0) {
+    if (!trace.error.ok() || trace.writes.empty()) {
+      // The sequential sweeper still replays once per trial and skips;
+      // count the schedules so the tallies stay comparable.
+      report.schedules += opts_.bit_flip_trials;
+    } else {
+      Rng flip_rng(opts_.seed ^ 0xb17f11b5ULL);
+      struct FlipKey {
+        size_t disk;
+        store::BlockId block;
+        size_t byte;
+        uint8_t mask;
+      };
+      std::vector<FlipKey> keys;
+      for (int trial = 0; trial < opts_.bit_flip_trials; ++trial) {
+        const GoldenTrace::WriteEvent& ev =
+            trace.writes[static_cast<size_t>(flip_rng.UniformInt(
+                0, static_cast<int64_t>(trace.writes.size()) - 1))];
+        const size_t byte = static_cast<size_t>(flip_rng.UniformInt(
+            0,
+            static_cast<int64_t>(golden.disks[ev.disk]->block_size()) - 1));
+        const uint8_t mask =
+            static_cast<uint8_t>(1u << flip_rng.UniformInt(0, 7));
+        keys.push_back({ev.disk, ev.block, byte, mask});
+      }
+      std::vector<TrialResult> trials(keys.size());
+      pool->ParallelFor(trials.size(), [&](size_t i) {
+        trials[i] = ForkedBitFlipTrial(trace, keys[i].disk, keys[i].block,
+                                       keys[i].byte, keys[i].mask);
+      });
+      for (TrialResult& t : trials) {
+        ++report.schedules;
+        ++report.bit_flips.trials;
+        if (t.flip_outcome == 0) ++report.bit_flips.detected;
+        if (t.flip_outcome == 1) ++report.bit_flips.masked;
+        if (t.flip_outcome == 2) ++report.bit_flips.silent;
+        report.disk_reads += t.disk_reads;
+        report.disk_writes += t.disk_writes;
+        report.faults += t.faults;
+      }
+    }
+  }
   return report;
 }
 

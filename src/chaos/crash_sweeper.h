@@ -30,6 +30,24 @@
 // Everything is deterministic: a violation is reproducible from
 // (engine, seed, crash_index[, nested_index]) alone, and RunOne() replays
 // exactly one such schedule.
+//
+// Execution strategy.  Replaying the whole workload from scratch at every
+// crash index costs O(W^2) disk writes for a workload of W writes.  For
+// zoo engines Run() instead replays the workload ONCE (the "golden"
+// replay), recording every disk write, every oracle transition, and
+// copy-on-write disk snapshots every `snapshot_stride` writes.  Each
+// (crash_index, nested_index) trial then forks the nearest snapshot,
+// rolls forward at most stride-1 recorded writes, reconstructs the oracle
+// from the recorded transitions, and runs only recovery — O(W) replayed
+// writes over the whole sweep.  Trials are independent (private forked
+// disks, private oracle), so they run on `jobs` threads; results are
+// merged in deterministic index order, making the report byte-identical
+// at any job count.  Custom fixture factories cannot be forked and fall
+// back to the sequential path automatically; `sequential_replay` forces
+// it (benchmarks use this as the pre-fork baseline).  The two paths
+// report identical violations and schedule counts — only the physical
+// `disk_reads`/`disk_writes` tallies differ, since doing less I/O is the
+// point.
 
 #ifndef DBMR_CHAOS_CRASH_SWEEPER_H_
 #define DBMR_CHAOS_CRASH_SWEEPER_H_
@@ -43,6 +61,10 @@
 #include "chaos/engine_zoo.h"
 #include "util/json.h"
 #include "util/status.h"
+
+namespace dbmr::core {
+class ThreadPool;
+}  // namespace dbmr::core
 
 namespace dbmr::chaos {
 
@@ -71,6 +93,19 @@ struct SweepOptions {
   int bit_flip_trials = 16;
   /// Caps the write-crash sweep (< 0: exhaustive, the default).
   int64_t max_crash_points = -1;
+
+  /// Trial parallelism for the snapshot-forked path (0: one job per
+  /// hardware thread).  Ignored when Run() is handed an external pool.
+  /// The report is byte-identical at any job count.
+  int jobs = 1;
+  /// The golden replay snapshots the disks every `snapshot_stride`
+  /// successful writes (>= 1); a trial rolls forward at most stride-1
+  /// recorded writes from the nearest snapshot.  Smaller is faster but
+  /// holds more snapshots.
+  int snapshot_stride = 4;
+  /// Forces the O(W^2) replay-from-scratch sweeper even for zoo engines.
+  /// Benchmarks use this as the pre-fork baseline.
+  bool sequential_replay = false;
 
   FixtureOptions fixture;
 };
@@ -105,7 +140,7 @@ struct SweepReport {
   std::string engine;
   uint64_t seed = 0;
   bool completed = false;  ///< swept to natural termination (not capped)
-  int64_t schedules = 0;   ///< full workload replays executed
+  int64_t schedules = 0;   ///< schedules explored (replays + forked trials)
   int64_t write_crash_points = 0;
   int64_t nested_write_crash_points = 0;
   int64_t nested_read_crash_points = 0;
@@ -133,8 +168,11 @@ class CrashSweeper {
   CrashSweeper(std::string engine_name, FixtureFactory factory,
                SweepOptions options);
 
-  /// Runs every enabled schedule family and returns the report.
-  SweepReport Run();
+  /// Runs every enabled schedule family and returns the report.  `pool`
+  /// optionally supplies worker threads for the snapshot-forked path
+  /// (callers sharing one pool across sweeps avoid re-spawning threads);
+  /// when null, a pool of opts.jobs threads is built on demand.
+  SweepReport Run(core::ThreadPool* pool = nullptr);
 
   /// Replays exactly one schedule: crash after `crash_index` writes, and,
   /// if `nested_index` >= 0, cut recovery down after that many writes
@@ -150,28 +188,54 @@ class CrashSweeper {
     bool in_doubt = false;      ///< the fault hit inside Commit()
     Status error;               ///< first unexpected (non-fault) failure
   };
+  struct GoldenTrace;   // one instrumented fault-free replay (see .cc)
+  struct TrialResult;   // everything one forked trial found (see .cc)
 
   Result<EngineFixture> MakeFixture() { return factory_(); }
   /// Replays the seeded workload, feeding `oracle`.  Stops at the first
   /// injected fault.  `transient` relaxes fault handling to the
-  /// retry/abort path (see .cc).
+  /// retry/abort path (see .cc).  A non-null `trace` records every disk
+  /// write, oracle transition, and stride snapshot (golden replays only).
   ReplayOutcome Replay(EngineFixture& fx, CommitOracle& oracle,
-                       bool transient);
+                       bool transient, GoldenTrace* trace = nullptr);
   void Absorb(const EngineFixture& fx, SweepReport* report) const;
+  Violation MakeViolation(const std::string& kind, int64_t crash_index,
+                          int64_t nested_index, bool nested_reads,
+                          const std::string& detail) const;
   void AddViolation(SweepReport* report, const std::string& kind,
                     int64_t crash_index, int64_t nested_index,
                     bool nested_reads, const std::string& detail) const;
 
-  /// Sub-sweeps, factored for RunOne reuse.
+  /// Sequential (replay-from-scratch) path: RunOne, custom fixture
+  /// factories, and the sequential_replay benchmark baseline.
+  SweepReport RunSequential();
   void SweepWriteCrashes(SweepReport* report);
   bool CrashPoint(SweepReport* report, int64_t budget, int64_t nested_index,
                   bool nested_reads);
   void SweepTransient(SweepReport* report, bool read_path);
   void RunBitFlips(SweepReport* report);
 
+  /// Snapshot-forked path.
+  SweepReport RunForked(core::ThreadPool* pool);
+  Result<EngineFixture> ForkTrialFixture(const GoldenTrace& trace,
+                                         int64_t budget) const;
+  CommitOracle ReconstructOracle(const GoldenTrace& trace,
+                                 int64_t budget) const;
+  TrialResult ForkedPlainTrial(const GoldenTrace& trace, int64_t budget);
+  TrialResult ForkedNestedTrial(const GoldenTrace& trace, int64_t budget,
+                                int64_t nested_index, bool nested_reads);
+  TrialResult ForkedTransientTrial(size_t disk, int64_t op_index,
+                                   bool read_path);
+  TrialResult ForkedBitFlipTrial(const GoldenTrace& trace, size_t disk,
+                                 store::BlockId block, size_t byte,
+                                 uint8_t mask);
+
   std::string name_;
   FixtureFactory factory_;
   SweepOptions opts_;
+  /// Zoo fixtures can be rebuilt over disk snapshots; custom factories
+  /// cannot, and use the sequential path.
+  bool forkable_ = false;
 };
 
 }  // namespace dbmr::chaos

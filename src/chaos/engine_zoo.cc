@@ -15,10 +15,23 @@ namespace {
 
 constexpr int64_t kUnlimited = int64_t{1} << 40;
 
-store::VirtualDisk* AddDisk(EngineFixture* fx, const std::string& name,
-                            uint64_t blocks, size_t block_size) {
-  fx->disks.push_back(
-      std::make_unique<store::VirtualDisk>(name, blocks, block_size));
+/// When `snap` is null, creates a fresh zero-filled disk; otherwise forks
+/// the next snapshot image in disk order (geometry must match — a snapshot
+/// only fits fixtures built with the same name and options).
+store::VirtualDisk* AddDisk(EngineFixture* fx, const FixtureSnapshot* snap,
+                            const std::string& name, uint64_t blocks,
+                            size_t block_size) {
+  if (snap != nullptr) {
+    const size_t i = fx->disks.size();
+    DBMR_CHECK(i < snap->disks.size());
+    const store::DiskSnapshot& image = snap->disks[i];
+    DBMR_CHECK(image.num_blocks() == blocks);
+    DBMR_CHECK(image.block_size() == block_size);
+    fx->disks.push_back(store::VirtualDisk::ForkFrom(image));
+  } else {
+    fx->disks.push_back(
+        std::make_unique<store::VirtualDisk>(name, blocks, block_size));
+  }
   store::VirtualDisk* d = fx->disks.back().get();
   d->SetSharedFailCounter(fx->write_budget);
   d->SetSharedReadFailCounter(fx->read_budget);
@@ -62,6 +75,13 @@ store::FaultCounters EngineFixture::TotalFaults() const {
   return f;
 }
 
+FixtureSnapshot EngineFixture::TakeSnapshot() const {
+  FixtureSnapshot snap;
+  snap.disks.reserve(disks.size());
+  for (const auto& d : disks) snap.disks.push_back(d->Snapshot());
+  return snap;
+}
+
 const std::vector<std::string>& EngineNames() {
   static const std::vector<std::string> kNames = {
       "wal",
@@ -81,18 +101,24 @@ bool IsEngineName(const std::string& name) {
   return false;
 }
 
-Result<EngineFixture> MakeEngineFixture(const std::string& name,
-                                        const FixtureOptions& o) {
+namespace {
+
+/// Shared builder: assembles the named fixture over fresh disks
+/// (snap == nullptr, then Format) or over forks of a snapshot (no Format —
+/// the engine starts cold on the imaged durable state).
+Result<EngineFixture> BuildFixture(const std::string& name,
+                                   const FixtureOptions& o,
+                                   const FixtureSnapshot* snap) {
   EngineFixture fx;
   fx.write_budget = std::make_shared<int64_t>(kUnlimited);
   fx.read_budget = std::make_shared<int64_t>(kUnlimited);
 
   if (name == "wal") {
     store::VirtualDisk* data =
-        AddDisk(&fx, "data", o.num_pages, o.block_size);
+        AddDisk(&fx, snap, "data", o.num_pages, o.block_size);
     std::vector<store::VirtualDisk*> logs;
     for (size_t i = 0; i < o.wal_logs; ++i) {
-      logs.push_back(AddDisk(&fx, StrFormat("log%zu", i), 1024,
+      logs.push_back(AddDisk(&fx, snap, StrFormat("log%zu", i), 1024,
                              o.block_size));
     }
     store::WalEngineOptions wo;
@@ -100,7 +126,7 @@ Result<EngineFixture> MakeEngineFixture(const std::string& name,
     fx.engine = std::make_unique<store::WalEngine>(data, logs, wo);
   } else if (name == "shadow") {
     store::VirtualDisk* d =
-        AddDisk(&fx, "d", o.num_pages * 3 + 8, o.block_size);
+        AddDisk(&fx, snap, "d", o.num_pages * 3 + 8, o.block_size);
     fx.engine = std::make_unique<store::ShadowEngine>(d, o.num_pages);
   } else if (name == "differential") {
     store::DifferentialEngineOptions dopts;
@@ -108,7 +134,7 @@ Result<EngineFixture> MakeEngineFixture(const std::string& name,
     dopts.d_blocks = 8;
     dopts.base_blocks = 8;
     store::VirtualDisk* d = AddDisk(
-        &fx, "d",
+        &fx, snap, "d",
         1 + dopts.a_blocks + dopts.d_blocks + 2 * dopts.base_blocks,
         o.block_size);
     fx.engine = std::make_unique<store::DifferentialPageEngine>(
@@ -120,14 +146,14 @@ Result<EngineFixture> MakeEngineFixture(const std::string& name,
     oo.list_blocks = 48;
     oo.scratch_blocks = 48;
     store::VirtualDisk* d =
-        AddDisk(&fx, "d", o.num_pages + 97, o.block_size);
+        AddDisk(&fx, snap, "d", o.num_pages + 97, o.block_size);
     fx.engine =
         std::make_unique<store::OverwriteEngine>(d, o.num_pages, oo);
   } else if (name == "version-select") {
     store::VersionSelectEngineOptions vo;
     vo.list_blocks = 48;
     store::VirtualDisk* d =
-        AddDisk(&fx, "d", 1 + vo.list_blocks + 2 * o.num_pages,
+        AddDisk(&fx, snap, "d", 1 + vo.list_blocks + 2 * o.num_pages,
                 o.block_size);
     fx.engine =
         std::make_unique<store::VersionSelectEngine>(d, o.num_pages, vo);
@@ -136,9 +162,26 @@ Result<EngineFixture> MakeEngineFixture(const std::string& name,
         StrFormat("unknown engine \"%s\"", name.c_str()));
   }
 
-  Status st = fx.engine->Format();
-  if (!st.ok()) return st;
+  if (snap == nullptr) {
+    Status st = fx.engine->Format();
+    if (!st.ok()) return st;
+  } else {
+    DBMR_CHECK(fx.disks.size() == snap->disks.size());
+  }
   return fx;
+}
+
+}  // namespace
+
+Result<EngineFixture> MakeEngineFixture(const std::string& name,
+                                        const FixtureOptions& o) {
+  return BuildFixture(name, o, nullptr);
+}
+
+Result<EngineFixture> ForkEngineFixture(const std::string& name,
+                                        const FixtureSnapshot& snapshot,
+                                        const FixtureOptions& o) {
+  return BuildFixture(name, o, &snapshot);
 }
 
 }  // namespace dbmr::chaos

@@ -32,6 +32,14 @@ struct FixtureOptions {
   size_t wal_pool_frames = 4;
 };
 
+/// Frozen images of a fixture's disks, in disk order.  Cheap to take and
+/// copy (copy-on-write; see store::DiskSnapshot) and safe to share across
+/// threads.  Feed one back to ForkEngineFixture to open an independent
+/// fixture on that durable state.
+struct FixtureSnapshot {
+  std::vector<store::DiskSnapshot> disks;
+};
+
 /// An engine under torture: the engine, the disks it lives on, and the
 /// shared fault budgets armed across all of them.
 struct EngineFixture {
@@ -56,6 +64,9 @@ struct EngineFixture {
   uint64_t TotalReads() const;
   uint64_t TotalWrites() const;
   store::FaultCounters TotalFaults() const;
+
+  /// Freezes every disk's contents.
+  FixtureSnapshot TakeSnapshot() const;
 };
 
 /// The torturable engine names, in canonical order: wal, shadow,
@@ -68,6 +79,18 @@ bool IsEngineName(const std::string& name);
 /// Builds and formats the named fixture.  Fails with InvalidArgument for
 /// an unknown name.
 Result<EngineFixture> MakeEngineFixture(const std::string& name,
+                                        const FixtureOptions& options = {});
+
+/// Builds the named fixture over forks of `snapshot` instead of fresh
+/// formatted disks: the engine starts cold — exactly as after a crash on
+/// the snapshotted state — with fresh fault budgets and zeroed counters,
+/// and Format() is NOT called.  `snapshot` must come from a fixture built
+/// with the same (name, options); callers are expected to Recover() the
+/// engine before use.  Fixtures forked from one snapshot are fully
+/// independent (copy-on-write), so trials may run them on different
+/// threads.
+Result<EngineFixture> ForkEngineFixture(const std::string& name,
+                                        const FixtureSnapshot& snapshot,
                                         const FixtureOptions& options = {});
 
 }  // namespace dbmr::chaos

@@ -1,9 +1,11 @@
 #include "core/grid.h"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
+#include <optional>
 #include <thread>
+
+#include "core/thread_pool.h"
 
 namespace dbmr::core {
 
@@ -32,61 +34,59 @@ uint64_t DeriveCellSeed(uint64_t base_seed, uint64_t cell_index) {
 MetricsRegistry RunGrid(const GridSpec& spec, const GridRunOptions& opts) {
   using Clock = std::chrono::steady_clock;
   const size_t num_cells = spec.cells.size();
-  size_t jobs = opts.jobs > 0
-                    ? static_cast<size_t>(opts.jobs)
-                    : std::max(1u, std::thread::hardware_concurrency());
-  jobs = std::max<size_t>(1, std::min(jobs, num_cells));
+
+  // Cells run on a core::ThreadPool — the caller's, or a local one sized
+  // to the request (never larger than the number of cells).
+  std::optional<ThreadPool> local;
+  ThreadPool* pool = opts.pool;
+  if (pool == nullptr) {
+    size_t jobs = opts.jobs > 0
+                      ? static_cast<size_t>(opts.jobs)
+                      : std::max(1u, std::thread::hardware_concurrency());
+    jobs = std::max<size_t>(1, std::min(jobs, std::max<size_t>(1, num_cells)));
+    local.emplace(static_cast<int>(jobs));
+    pool = &*local;
+  }
+  const size_t jobs_used =
+      std::max<size_t>(1, std::min(pool->size(), std::max<size_t>(1, num_cells)));
 
   // Results land in a pre-sized slot per cell, so the registry's order is
   // the spec's cell order no matter which worker ran which cell when.
   std::vector<CellMetrics> results(num_cells);
-  std::atomic<size_t> next{0};
   const auto run_started = Clock::now();
 
-  auto worker = [&spec, &results, &next] {
-    for (;;) {
-      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= spec.cells.size()) return;
-      const GridCellSpec& c = spec.cells[i];
-      ExperimentSetup setup = c.setup;
-      if (spec.seed_policy == SeedPolicy::kDerived) {
-        const uint64_t seed = DeriveCellSeed(spec.base_seed, i);
-        setup.machine.seed = seed;
-        setup.workload.seed = seed;
-      }
-      const auto cell_started = Clock::now();
-      machine::MachineResult r = RunWith(setup, c.make_arch());
-      const std::chrono::duration<double, std::milli> wall =
-          Clock::now() - cell_started;
-
-      CellMetrics m;
-      m.cell_index = static_cast<int>(i);
-      m.config_name = c.config_name;
-      m.arch_label = c.arch_label.empty() ? r.arch_name : c.arch_label;
-      m.cell_name = c.name.empty() ? m.arch_label + "/" + m.config_name
-                                   : c.name;
-      m.seed = setup.machine.seed;
-      m.num_txns = setup.workload.num_transactions;
-      m.params = c.params;
-      m.wall_ms = wall.count();
-      m.result = std::move(r);
-      results[i] = std::move(m);
+  pool->ParallelFor(num_cells, [&spec, &results](size_t i) {
+    const GridCellSpec& c = spec.cells[i];
+    ExperimentSetup setup = c.setup;
+    if (spec.seed_policy == SeedPolicy::kDerived) {
+      const uint64_t seed = DeriveCellSeed(spec.base_seed, i);
+      setup.machine.seed = seed;
+      setup.workload.seed = seed;
     }
-  };
+    const auto cell_started = Clock::now();
+    machine::MachineResult r = RunWith(setup, c.make_arch());
+    const std::chrono::duration<double, std::milli> wall =
+        Clock::now() - cell_started;
 
-  if (jobs == 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(jobs);
-    for (size_t t = 0; t < jobs; ++t) pool.emplace_back(worker);
-    for (std::thread& t : pool) t.join();
-  }
+    CellMetrics m;
+    m.cell_index = static_cast<int>(i);
+    m.config_name = c.config_name;
+    m.arch_label = c.arch_label.empty() ? r.arch_name : c.arch_label;
+    m.cell_name = c.name.empty() ? m.arch_label + "/" + m.config_name
+                                 : c.name;
+    m.seed = setup.machine.seed;
+    m.num_txns = setup.workload.num_transactions;
+    m.params = c.params;
+    m.wall_ms = wall.count();
+    m.result = std::move(r);
+    results[i] = std::move(m);
+  });
 
   const std::chrono::duration<double, std::milli> total =
       Clock::now() - run_started;
   MetricsRegistry registry;
-  registry.SetRunInfo(spec.name, spec.base_seed, static_cast<int>(jobs));
+  registry.SetRunInfo(spec.name, spec.base_seed,
+                      static_cast<int>(jobs_used));
   registry.set_total_wall_ms(total.count());
   for (CellMetrics& m : results) registry.Add(std::move(m));
   return registry;

@@ -81,10 +81,16 @@ struct GridSpec {
 /// in practice).
 uint64_t DeriveCellSeed(uint64_t base_seed, uint64_t cell_index);
 
+class ThreadPool;
+
 struct GridRunOptions {
-  /// Worker threads; 0 means one per hardware thread.  The pool never
-  /// exceeds the number of cells.
+  /// Worker threads; 0 means one per hardware thread.  Ignored when
+  /// `pool` is set.
   int jobs = 1;
+  /// Optional externally owned pool to run cells on (shared with other
+  /// parallel phases, e.g. torture sweeps); when null, a pool of `jobs`
+  /// threads is built for the run.
+  ThreadPool* pool = nullptr;
 };
 
 /// Executes every cell and returns the metrics in cell-index order.

@@ -1,0 +1,81 @@
+#include "core/thread_pool.h"
+
+#include <algorithm>
+
+namespace dbmr::core {
+
+ThreadPool::ThreadPool(int threads) {
+  const size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  size_t want = threads > 0 ? static_cast<size_t>(threads) : hw;
+  // The pool runs CPU-bound index loops; executors beyond the hardware
+  // thread count only add context-switch overhead, so oversubscription
+  // requests are capped (results are unaffected — merge order, not
+  // scheduling, defines them).
+  want = std::min(want, hw);
+  workers_.reserve(want - 1);
+  for (size_t i = 1; i < want; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::DrainIndices() {
+  for (;;) {
+    const size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n_) return;
+    (*fn_)(i);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      ++workers_in_job_;
+    }
+    DrainIndices();
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--workers_in_job_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    fn_ = &fn;
+    n_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  DrainIndices();  // the caller is one of the executors
+  // The index counter is exhausted, but workers may still be inside fn for
+  // the last indices.  A worker that wakes late simply finds no indices and
+  // leaves the job immediately, so waiting for workers_in_job_ == 0 is safe
+  // even if some workers never woke for this generation.
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [&] { return workers_in_job_ == 0; });
+  fn_ = nullptr;
+  n_ = 0;
+}
+
+}  // namespace dbmr::core

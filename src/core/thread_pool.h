@@ -1,0 +1,73 @@
+// Reusable fixed-size worker pool for index-parallel work.
+//
+// Extracted from the grid runner so every embarrassingly-parallel loop in
+// the repo (grid cells, crash-sweep trials, future batch jobs) shares one
+// pool abstraction instead of spawning ad-hoc std::threads.  The model is
+// deliberately minimal: ParallelFor(n, fn) runs fn(0) .. fn(n-1) across
+// the pool and returns when every index has finished.  Indices are handed
+// out through one atomic counter, so scheduling order is arbitrary —
+// determinism is the caller's job and is achieved the usual way: write
+// results into an index-addressed slot and merge in index order.
+//
+// The calling thread participates in the work, so ThreadPool(j) gives
+// exactly j concurrent executors (j-1 workers + the caller), and
+// ThreadPool(1) spawns no threads at all: ParallelFor degrades to a plain
+// sequential loop on the caller, which keeps jobs=1 runs byte-identical
+// to never having had a pool.
+//
+// ParallelFor is not reentrant: fn must not call ParallelFor on the same
+// pool.  Distinct pools nest fine.
+
+#ifndef DBMR_CORE_THREAD_POOL_H_
+#define DBMR_CORE_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dbmr::core {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `threads` concurrent executors (including the
+  /// caller); 0 means one per hardware thread.  Requests beyond the
+  /// hardware thread count are capped to it — oversubscribing a CPU-bound
+  /// loop only adds context switches, never throughput.
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Concurrent executors available to ParallelFor (>= 1).
+  size_t size() const { return workers_.size() + 1; }
+
+  /// Runs fn(i) for every i in [0, n), blocking until all have returned.
+  /// fn is invoked concurrently from up to size() threads.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+  /// Drains indices of the current job; returns when none are left.
+  void DrainIndices();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals a new job (or shutdown)
+  std::condition_variable done_cv_;   // signals workers leaving a job
+  const std::function<void(size_t)>* fn_ = nullptr;
+  size_t n_ = 0;
+  std::atomic<size_t> next_{0};
+  size_t workers_in_job_ = 0;
+  uint64_t generation_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dbmr::core
+
+#endif  // DBMR_CORE_THREAD_POOL_H_

@@ -88,9 +88,9 @@ Status DifferentialEngine::ReadBase(
   out->clear();
   const size_t per_block = disk_->block_size() / 16;
   uint64_t remaining = count;
+  PageData block(disk_->block_size());
   for (uint64_t b = 0; b < opts_.base_blocks && remaining > 0; ++b) {
-    PageData block;
-    DBMR_RETURN_IF_ERROR(disk_->Read(BaseStart(which) + b, &block));
+    DBMR_RETURN_IF_ERROR(disk_->ReadInto(BaseStart(which) + b, block.data()));
     for (size_t i = 0; i < per_block && remaining > 0; ++i, --remaining) {
       out->emplace(GetU64(block, i * 16), GetU64(block, i * 16 + 8));
     }
@@ -138,9 +138,9 @@ Status DifferentialEngine::ScanStream(const Stream& s,
   out->clear();
   const size_t cap = StreamCap();
   uint64_t remaining = s.anchor;
+  PageData block(disk_->block_size());
   for (BlockId b = s.first; b < s.first + s.blocks && remaining > 0; ++b) {
-    PageData block;
-    DBMR_RETURN_IF_ERROR(disk_->Read(b, &block));
+    DBMR_RETURN_IF_ERROR(disk_->ReadInto(b, block.data()));
     LogBlockHeader h = LogBlockHeader::DecodeFrom(block);
     if (h.epoch != s.epoch || h.used_bytes > cap) {
       return Status::Corruption("differential stream truncated");

@@ -43,6 +43,20 @@ size_t EncodeLogRecord(const LogRecord& rec, PageData& buf, size_t pos) {
 }
 
 Status DecodeLogRecord(const PageData& buf, size_t* pos, LogRecord* out) {
+  LogRecordView v;
+  DBMR_RETURN_IF_ERROR(DecodeLogRecordView(buf, pos, &v));
+  out->kind = v.kind;
+  out->txn = v.txn;
+  out->page = v.page;
+  out->page_version = v.page_version;
+  out->offset = v.offset;
+  out->before.assign(v.before, v.before + v.before_len);
+  out->after.assign(v.after, v.after + v.after_len);
+  return Status::OK();
+}
+
+Status DecodeLogRecordView(const PageData& buf, size_t* pos,
+                           LogRecordView* out) {
   size_t p = *pos;
   if (p + kRecordFixed > buf.size()) {
     return Status::Corruption("log record header past block end");
@@ -62,12 +76,10 @@ Status DecodeLogRecord(const PageData& buf, size_t* pos, LogRecord* out) {
   if (kRecordFixed + blen + alen != total) {
     return Status::Corruption("log record image lengths inconsistent");
   }
-  size_t q = p + kRecordFixed;
-  out->before.assign(buf.begin() + static_cast<long>(q),
-                     buf.begin() + static_cast<long>(q + blen));
-  q += blen;
-  out->after.assign(buf.begin() + static_cast<long>(q),
-                    buf.begin() + static_cast<long>(q + alen));
+  out->before = buf.data() + p + kRecordFixed;
+  out->before_len = blen;
+  out->after = out->before + blen;
+  out->after_len = alen;
   *pos = p + total;
   return Status::OK();
 }

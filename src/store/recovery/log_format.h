@@ -58,6 +58,26 @@ size_t EncodeLogRecord(const LogRecord& rec, PageData& buf, size_t pos);
 /// Parses one record at `pos`; advances `*pos`.
 Status DecodeLogRecord(const PageData& buf, size_t* pos, LogRecord* out);
 
+/// A decoded log record whose images point into the scanned stream bytes
+/// instead of owning copies.  Recovery decodes thousands of records per
+/// pass; the view form keeps that allocation-free.  Valid only while the
+/// buffer passed to DecodeLogRecordView is alive and unmodified.
+struct LogRecordView {
+  LogRecordKind kind = LogRecordKind::kUpdate;
+  txn::TxnId txn = txn::kNoTxn;
+  txn::PageId page = 0;
+  uint64_t page_version = 0;
+  uint32_t offset = 0;
+  const uint8_t* before = nullptr;
+  size_t before_len = 0;
+  const uint8_t* after = nullptr;
+  size_t after_len = 0;
+};
+
+/// Parses one record at `pos` without copying its images; advances `*pos`.
+Status DecodeLogRecordView(const PageData& buf, size_t* pos,
+                           LogRecordView* out);
+
 /// Header layout of a log data block.
 struct LogBlockHeader {
   uint64_t epoch = 0;

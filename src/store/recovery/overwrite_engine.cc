@@ -102,7 +102,7 @@ bool OverwriteEngine::ParseScratch(const PageData& block, txn::TxnId* t,
 }
 
 Status OverwriteEngine::ReadHome(txn::PageId page, PageData* out) const {
-  PageData block;
+  PageData& block = io_buf_;
   DBMR_RETURN_IF_ERROR(disk_->Read(HomeBlock(page), &block));
   out->assign(block.begin(), block.begin() + static_cast<long>(payload_size()));
   return Status::OK();
@@ -273,17 +273,16 @@ void OverwriteEngine::Crash() {
 
 Status OverwriteEngine::Recover() {
   disk_->ClearCrashState();
-  DBMR_RETURN_IF_ERROR(list_.Load());
 
-  // Classify transactions from the stable list.
+  // Classify transactions from the stable list (Load hands back the
+  // records its positioning scan already read).
   std::unordered_map<txn::TxnId, ListKind> last_kind;
   std::vector<std::vector<uint8_t>> records;
-  DBMR_RETURN_IF_ERROR(list_.Scan(&records));
+  DBMR_RETURN_IF_ERROR(list_.Load(&records));
   txn::TxnId max_txn = 0;
   for (const auto& blob : records) {
     if (blob.size() != 9) return Status::Corruption("bad outcome record");
-    PageData view(blob.begin() + 1, blob.end());
-    txn::TxnId t = GetU64(view, 0);
+    txn::TxnId t = GetU64(blob, 1);
     max_txn = std::max(max_txn, t);
     last_kind[t] = static_cast<ListKind>(blob[0]);
   }
@@ -294,9 +293,9 @@ Status OverwriteEngine::Recover() {
     PageData payload;
   };
   std::unordered_map<txn::TxnId, std::map<txn::PageId, Entry>> scratch;
+  PageData block(disk_->block_size());
   for (BlockId b = ScratchStart(); b < HomeStart(); ++b) {
-    PageData block;
-    DBMR_RETURN_IF_ERROR(disk_->Read(b, &block));
+    DBMR_RETURN_IF_ERROR(disk_->ReadInto(b, block.data()));
     txn::TxnId t;
     txn::PageId page;
     uint64_t seq;

@@ -129,6 +129,8 @@ class OverwriteEngine : public PageEngine {
   uint64_t commits_ = 0;
   uint64_t shadows_restored_ = 0;
   uint64_t redo_copies_ = 0;
+  /// Scratch block for ReadHome so per-page reads do not allocate.
+  mutable PageData io_buf_;
 };
 
 }  // namespace dbmr::store

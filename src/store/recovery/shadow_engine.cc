@@ -58,9 +58,9 @@ Status ShadowEngine::WriteTable(int which,
 Status ShadowEngine::ReadTable(int which, std::vector<BlockId>* table) const {
   const uint64_t per_block = disk_->block_size() / 8;
   table->assign(num_pages_, 0);
+  PageData block(disk_->block_size());
   for (uint64_t b = 0; b < TableBlocks(); ++b) {
-    PageData block;
-    DBMR_RETURN_IF_ERROR(disk_->Read(TableStart(which) + b, &block));
+    DBMR_RETURN_IF_ERROR(disk_->ReadInto(TableStart(which) + b, block.data()));
     for (uint64_t i = 0; i < per_block; ++i) {
       uint64_t idx = b * per_block + i;
       if (idx >= num_pages_) break;

@@ -30,7 +30,7 @@ Status StableList::WriteMaster() {
   return disk_->Write(master_block_, block);
 }
 
-Status StableList::Load() {
+Status StableList::Load(std::vector<std::vector<uint8_t>>* records) {
   PageData block;
   DBMR_RETURN_IF_ERROR(disk_->Read(master_block_, &block));
   if (GetU64(block, 0) != kListMagic) {
@@ -40,10 +40,11 @@ Status StableList::Load() {
   // Writer state resumes from the durable scan; simplest is to require a
   // Truncate() before appending again, which every caller does after
   // recovery.  Position conservatively at the end of the durable data.
-  std::vector<std::vector<uint8_t>> records;
-  DBMR_RETURN_IF_ERROR(Scan(&records));
+  std::vector<std::vector<uint8_t>> local;
+  if (records == nullptr) records = &local;
+  DBMR_RETURN_IF_ERROR(Scan(records));
   uint64_t bytes = 0;
-  for (const auto& r : records) bytes += 4 + r.size();
+  for (const auto& r : *records) bytes += 4 + r.size();
   appended_bytes_ = flushed_bytes_ = bytes;
   next_block_ = first_block_ + bytes / Cap();
   pending_.clear();
@@ -123,9 +124,9 @@ Status StableList::Scan(std::vector<std::vector<uint8_t>>* out) const {
   const size_t cap = Cap();
 
   std::vector<uint8_t> stream;
+  PageData block(disk_->block_size());
   for (BlockId b = first_block_; b < first_block_ + num_blocks_; ++b) {
-    PageData block;
-    DBMR_RETURN_IF_ERROR(disk_->Read(b, &block));
+    DBMR_RETURN_IF_ERROR(disk_->ReadInto(b, block.data()));
     LogBlockHeader h = LogBlockHeader::DecodeFrom(block);
     if (h.epoch != epoch || h.used_bytes == 0 || h.used_bytes > cap) break;
     stream.insert(stream.end(), block.begin() + LogBlockHeader::kSize,
@@ -135,9 +136,7 @@ Status StableList::Scan(std::vector<std::vector<uint8_t>>* out) const {
 
   size_t pos = 0;
   while (pos + 4 <= stream.size()) {
-    PageData view(stream.begin() + static_cast<long>(pos),
-                  stream.begin() + static_cast<long>(pos) + 4);
-    const uint32_t len = GetU32(view, 0);
+    const uint32_t len = GetU32(stream, pos);
     if (pos + 4 + len > stream.size()) break;  // truncated tail record
     out->emplace_back(stream.begin() + static_cast<long>(pos + 4),
                       stream.begin() + static_cast<long>(pos + 4 + len));

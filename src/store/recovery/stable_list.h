@@ -29,9 +29,11 @@ class StableList {
   /// Initializes/advances the epoch, invalidating all existing records.
   Status Truncate();
 
-  /// Loads the master (after a restart).  Scanning is independent; this
-  /// only positions the writer state consistently for Truncate/Append.
-  Status Load();
+  /// Loads the master (after a restart) and positions the writer state
+  /// consistently for Truncate/Append.  Loading scans the durable records
+  /// to find the end of the data; passing non-null `records` hands them to
+  /// the caller, saving recovery a second full Scan() of the region.
+  Status Load(std::vector<std::vector<uint8_t>>* records = nullptr);
 
   /// Buffers a record; durable only after Force().
   Status Append(const std::vector<uint8_t>& blob);

@@ -38,7 +38,10 @@ BlockId VersionSelectEngine::CopyBlock(txn::PageId page, int which) const {
 Status VersionSelectEngine::WriteCopy(txn::PageId page, int which,
                                       uint64_t stamp, txn::TxnId writer,
                                       const PageData& payload) {
-  PageData block(disk_->block_size(), 0);
+  // Every byte is overwritten below (header + full payload), so the
+  // scratch block needs sizing but no zeroing.
+  PageData& block = io_buf_;
+  block.resize(disk_->block_size());
   PutU64(block, 0, kCopyMagic);
   PutU64(block, 8, stamp);
   PutU64(block, 16, writer);
@@ -50,7 +53,7 @@ Status VersionSelectEngine::WriteCopy(txn::PageId page, int which,
 
 Status VersionSelectEngine::ReadCopy(txn::PageId page, int which,
                                      Copy* out) const {
-  PageData block;
+  PageData& block = io_buf_;
   DBMR_RETURN_IF_ERROR(disk_->Read(CopyBlock(page, which), &block));
   out->valid = false;
   if (GetU64(block, 0) != kCopyMagic) return Status::OK();
@@ -195,15 +198,13 @@ int VersionSelectEngine::SelectCurrent(txn::PageId page) const {
 
 Status VersionSelectEngine::Recover() {
   disk_->ClearCrashState();
-  DBMR_RETURN_IF_ERROR(commit_list_.Load());
   std::vector<std::vector<uint8_t>> records;
-  DBMR_RETURN_IF_ERROR(commit_list_.Scan(&records));
+  DBMR_RETURN_IF_ERROR(commit_list_.Load(&records));
   committed_.clear();
   txn::TxnId max_txn = 0;
   for (const auto& blob : records) {
     if (blob.size() != 8) return Status::Corruption("bad commit record");
-    PageData view(blob.begin(), blob.end());
-    txn::TxnId t = GetU64(view, 0);
+    txn::TxnId t = GetU64(blob, 0);
     committed_.insert(t);
     max_txn = std::max(max_txn, t);
   }

@@ -109,6 +109,9 @@ class VersionSelectEngine : public PageEngine {
 
   uint64_t commits_ = 0;
   mutable uint64_t torn_rejected_ = 0;
+  /// Scratch block for ReadCopy/WriteCopy so per-page I/O does not
+  /// allocate (recovery reads every copy of every page).
+  mutable PageData io_buf_;
 };
 
 }  // namespace dbmr::store

@@ -315,7 +315,8 @@ void WalEngine::Crash() {
   }
 }
 
-Status WalEngine::ScanStream(size_t idx, std::vector<LogRecord>* out) const {
+Status WalEngine::ScanStream(size_t idx, std::vector<uint8_t>* raw,
+                             std::vector<LogRecordView>* out) const {
   const LogStream& s = logs_[idx];
   const size_t cap = PayloadBytesPerLogBlock();
   PageData master_block;
@@ -323,11 +324,12 @@ Status WalEngine::ScanStream(size_t idx, std::vector<LogRecord>* out) const {
   LogMaster m;
   DBMR_RETURN_IF_ERROR(LogMaster::DecodeFrom(master_block, &m));
 
-  std::vector<uint8_t> stream;
+  std::vector<uint8_t>& stream = *raw;
+  stream.clear();
   bool first = true;
+  PageData block(s.disk->block_size());
   for (BlockId b = m.start_block; b < s.disk->num_blocks(); ++b) {
-    PageData block;
-    DBMR_RETURN_IF_ERROR(s.disk->Read(b, &block));
+    DBMR_RETURN_IF_ERROR(s.disk->ReadInto(b, block.data()));
     LogBlockHeader h = LogBlockHeader::DecodeFrom(block);
     if (h.epoch != m.epoch || h.used_bytes == 0 || h.used_bytes > cap) {
       break;
@@ -349,30 +351,32 @@ Status WalEngine::ScanStream(size_t idx, std::vector<LogRecord>* out) const {
     if (h.used_bytes < cap) break;  // partial block is always the last
   }
 
-  PageData view(stream.begin(), stream.end());
+  // Decoded views point into `stream`, which the caller keeps alive; no
+  // record images are copied during the scan.
+  const PageData& view = stream;  // PageData is std::vector<uint8_t>
   size_t pos = 0;
   while (pos < view.size()) {
-    LogRecord rec;
+    LogRecordView rec;
     size_t before = pos;
-    Status st = DecodeLogRecord(view, &pos, &rec);
+    Status st = DecodeLogRecordView(view, &pos, &rec);
     if (!st.ok()) {
       // A truncated trailing record was never fully durable; ignore it.
       pos = before;
       break;
     }
-    out->push_back(std::move(rec));
+    out->push_back(rec);
   }
   return Status::OK();
 }
 
-Status WalEngine::ApplyRecordImage(PageData& block, const LogRecord& rec,
+Status WalEngine::ApplyRecordImage(PageData& block, const LogRecordView& rec,
                                    bool redo) const {
-  const std::vector<uint8_t>& img = redo ? rec.after : rec.before;
-  if (kPageHeader + rec.offset + img.size() > block.size()) {
+  const uint8_t* img = redo ? rec.after : rec.before;
+  const size_t len = redo ? rec.after_len : rec.before_len;
+  if (kPageHeader + rec.offset + len > block.size()) {
     return Status::Corruption("log image exceeds page bounds");
   }
-  std::copy(img.begin(), img.end(),
-            block.begin() + kPageHeader + rec.offset);
+  std::copy(img, img + len, block.begin() + kPageHeader + rec.offset);
   return Status::OK();
 }
 
@@ -380,13 +384,16 @@ Status WalEngine::Recover() {
   data_->ClearCrashState();
   for (auto& s : logs_) s.disk->ClearCrashState();
 
-  // 1. Analysis: scan every stream independently.
-  std::vector<std::vector<LogRecord>> per_stream(logs_.size());
+  // 1. Analysis: scan every stream independently.  `raw_streams` owns the
+  // reassembled bytes the record views point into, so it must stay alive
+  // for the rest of recovery.
+  std::vector<std::vector<uint8_t>> raw_streams(logs_.size());
+  std::vector<std::vector<LogRecordView>> per_stream(logs_.size());
   std::unordered_set<txn::TxnId> committed;
   txn::TxnId max_txn = 0;
   for (size_t i = 0; i < logs_.size(); ++i) {
-    DBMR_RETURN_IF_ERROR(ScanStream(i, &per_stream[i]));
-    for (const LogRecord& r : per_stream[i]) {
+    DBMR_RETURN_IF_ERROR(ScanStream(i, &raw_streams[i], &per_stream[i]));
+    for (const LogRecordView& r : per_stream[i]) {
       max_txn = std::max(max_txn, r.txn);
       if (r.kind == LogRecordKind::kCommit) committed.insert(r.txn);
     }
@@ -403,16 +410,16 @@ Status WalEngine::Recover() {
   // before-images — those are durable whenever the page could have
   // reached disk, by the write-ahead rule.
   struct LoserChain {
-    std::map<uint64_t, const LogRecord*> updates;              // by version
-    std::map<uint64_t, const LogRecord*> clrs;                 // by version
+    std::map<uint64_t, const LogRecordView*> updates;              // by version
+    std::map<uint64_t, const LogRecordView*> clrs;                 // by version
   };
   struct PageChains {
-    std::map<uint64_t, const LogRecord*> redo;                 // committed
+    std::map<uint64_t, const LogRecordView*> redo;                 // committed
     std::map<txn::TxnId, LoserChain> losers;
   };
   std::unordered_map<txn::PageId, PageChains> chains;
   for (const auto& stream : per_stream) {
-    for (const LogRecord& r : stream) {
+    for (const LogRecordView& r : stream) {
       if (r.kind == LogRecordKind::kUpdate) {
         if (committed.count(r.txn)) {
           chains[r.page].redo[r.page_version] = &r;
@@ -429,9 +436,9 @@ Status WalEngine::Recover() {
   // uncommitted transaction's flushed update (or a partially compensated
   // rollback); later committed diffs were computed against the pre-image
   // of that transaction, so its bytes must come off before they go on.
+  PageData block(data_->block_size());
   for (auto& [page, pc] : chains) {
-    PageData block;
-    DBMR_RETURN_IF_ERROR(data_->Read(page, &block));
+    DBMR_RETURN_IF_ERROR(data_->ReadInto(page, block.data()));
     uint64_t v = BlockVersion(block);
 
     // Redo-eligible records: committed updates, plus each loser's CLR
@@ -439,7 +446,7 @@ Status WalEngine::Recover() {
     // incomplete chain contributes nothing forward: its CLRs would leave
     // the page in an intermediate uncommitted state, and a page whose
     // durable image predates the transaction needs no compensation.
-    std::map<uint64_t, const LogRecord*> redo = pc.redo;
+    std::map<uint64_t, const LogRecordView*> redo = pc.redo;
     uint64_t max_ver = 0;
     for (const auto& [ver, rec] : pc.redo) max_ver = std::max(max_ver, ver);
     for (const auto& [t, ch] : pc.losers) {
@@ -480,7 +487,7 @@ Status WalEngine::Recover() {
           if (m >= j + 1) {
             // The j-th CLR compensated the (m-1-j)-th update; updates
             // 0 .. m-2-j still need undoing.
-            std::vector<const LogRecord*> ups;
+            std::vector<const LogRecordView*> ups;
             ups.reserve(m);
             for (const auto& [ver, rec] : ch.updates) ups.push_back(rec);
             for (size_t idx = m - 1 - j; idx-- > 0;) {

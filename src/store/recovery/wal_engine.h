@@ -150,9 +150,12 @@ class WalEngine : public PageEngine {
   Status ForceLogsOf(const ActiveTxn& at, size_t also);
   Status FetchBlock(txn::PageId page, PageData* out);
   Status FlushDataPage(txn::PageId page, const PageData& block);
-  Status ScanStream(size_t idx, std::vector<LogRecord>* out) const;
+  /// Reassembles stream `idx`'s durable bytes into `*raw` and decodes them
+  /// as views into that buffer; `*raw` must outlive `*out`.
+  Status ScanStream(size_t idx, std::vector<uint8_t>* raw,
+                    std::vector<LogRecordView>* out) const;
   Status TruncateLogs();
-  Status ApplyRecordImage(PageData& block, const LogRecord& rec,
+  Status ApplyRecordImage(PageData& block, const LogRecordView& rec,
                           bool redo) const;
 
   VirtualDisk* data_;

@@ -1,6 +1,7 @@
 #include "store/virtual_disk.h"
 
 #include <algorithm>
+#include <cstring>
 #include <utility>
 
 #include "util/str.h"
@@ -11,15 +12,86 @@ VirtualDisk::VirtualDisk(std::string name, uint64_t num_blocks,
                          size_t block_size)
     : name_(std::move(name)), block_size_(block_size) {
   DBMR_CHECK(block_size >= 64);  // engines need room for headers
-  blocks_.assign(num_blocks, PageData(block_size, 0));
+  // All slots start out sharing one zero block; a written block gets its
+  // own buffer in the overlay.
+  auto zero = std::make_shared<PageData>(block_size, 0);
+  base_ = std::make_shared<const BlockVec>(num_blocks, zero);
+}
+
+VirtualDisk::VirtualDisk(const DiskSnapshot& snapshot)
+    : name_(snapshot.name_), block_size_(snapshot.block_size_) {
+  DBMR_CHECK(snapshot.blocks_ != nullptr);
+  base_ = snapshot.blocks_;
+}
+
+DiskSnapshot VirtualDisk::Snapshot() const {
+  Flatten();
+  DiskSnapshot snap;
+  snap.name_ = name_;
+  snap.block_size_ = block_size_;
+  snap.blocks_ = base_;
+  return snap;
+}
+
+std::unique_ptr<VirtualDisk> VirtualDisk::ForkFrom(
+    const DiskSnapshot& snapshot) {
+  return std::unique_ptr<VirtualDisk>(new VirtualDisk(snapshot));
+}
+
+void VirtualDisk::Flatten() const {
+  if (overlay_.empty()) return;
+  auto merged = std::make_shared<BlockVec>(*base_);
+  for (auto& [b, data] : overlay_) {
+    (*merged)[b] = std::make_shared<PageData>(std::move(data));
+  }
+  overlay_.clear();
+  base_ = std::move(merged);
+}
+
+const PageData& VirtualDisk::BlockRef(BlockId b) const {
+  if (!overlay_.empty()) {
+    auto it = overlay_.find(b);
+    if (it != overlay_.end()) return it->second;
+  }
+  return *(*base_)[b];
+}
+
+PageData& VirtualDisk::MutableBlock(BlockId b) {
+  auto [it, inserted] = overlay_.try_emplace(b);
+  if (inserted) it->second = *(*base_)[b];
+  return it->second;
+}
+
+void VirtualDisk::CheckThread() const {
+#ifndef NDEBUG
+  if (owner_ == std::thread::id{}) {
+    owner_ = std::this_thread::get_id();
+  } else {
+    DBMR_CHECK(owner_ == std::this_thread::get_id() &&
+               "VirtualDisk used from a second thread; fork instead of "
+               "sharing fixtures across threads");
+  }
+#endif
+}
+
+void VirtualDisk::ResetThreadOwner() {
+#ifndef NDEBUG
+  owner_ = std::thread::id{};
+#endif
 }
 
 Status VirtualDisk::Read(BlockId b, PageData* out) const {
-  if (b >= blocks_.size()) {
+  if (out->size() != block_size_) out->resize(block_size_);
+  return ReadInto(b, out->data());
+}
+
+Status VirtualDisk::ReadInto(BlockId b, uint8_t* out) const {
+  CheckThread();
+  if (b >= base_->size()) {
     return Status::OutOfRange(
         StrFormat("disk %s: read of block %llu beyond %llu", name_.c_str(),
                   static_cast<unsigned long long>(b),
-                  static_cast<unsigned long long>(blocks_.size())));
+                  static_cast<unsigned long long>(base_->size())));
   }
   if (transient_read_in_ == 0) {
     transient_read_in_ = -1;  // heals: the retry succeeds
@@ -38,16 +110,17 @@ Status VirtualDisk::Read(BlockId b, PageData* out) const {
   if (shared_read_counter_ != nullptr) --*shared_read_counter_;
   if (transient_read_in_ > 0) --transient_read_in_;
   ++reads_;
-  *out = blocks_[b];
+  std::memcpy(out, BlockRef(b).data(), block_size_);
   return Status::OK();
 }
 
 Status VirtualDisk::Write(BlockId b, const PageData& data) {
-  if (b >= blocks_.size()) {
+  CheckThread();
+  if (b >= base_->size()) {
     return Status::OutOfRange(
         StrFormat("disk %s: write of block %llu beyond %llu", name_.c_str(),
                   static_cast<unsigned long long>(b),
-                  static_cast<unsigned long long>(blocks_.size())));
+                  static_cast<unsigned long long>(base_->size())));
   }
   if (data.size() != block_size_) {
     return Status::InvalidArgument(
@@ -66,8 +139,9 @@ Status VirtualDisk::Write(BlockId b, const PageData& data) {
     if (!crashed_ && torn_mode_) {
       // Tear exactly the first failing write, then fail cleanly.
       size_t n = std::min(torn_prefix_, block_size_);
+      PageData& blk = MutableBlock(b);
       std::copy(data.begin(), data.begin() + static_cast<long>(n),
-                blocks_[b].begin());
+                blk.begin());
       ++faults_.torn_writes;
     }
     crashed_ = true;
@@ -78,25 +152,34 @@ Status VirtualDisk::Write(BlockId b, const PageData& data) {
   if (writes_remaining_ > 0) --writes_remaining_;
   if (shared_counter_ != nullptr) --*shared_counter_;
   if (transient_write_in_ > 0) --transient_write_in_;
-  blocks_[b] = data;
+  MutableBlock(b) = data;
   ++writes_;
   if (observer_) observer_(b, data);
   return Status::OK();
 }
 
+void VirtualDisk::RestoreBlock(BlockId b, const uint8_t* data, size_t n) {
+  CheckThread();
+  DBMR_CHECK(b < base_->size());
+  DBMR_CHECK(n <= block_size_);
+  PageData& blk = MutableBlock(b);
+  std::memcpy(blk.data(), data, n);
+}
+
 Status VirtualDisk::FlipBit(BlockId b, size_t byte, uint8_t mask) {
-  if (b >= blocks_.size()) {
+  CheckThread();
+  if (b >= base_->size()) {
     return Status::OutOfRange(
         StrFormat("disk %s: flip in block %llu beyond %llu", name_.c_str(),
                   static_cast<unsigned long long>(b),
-                  static_cast<unsigned long long>(blocks_.size())));
+                  static_cast<unsigned long long>(base_->size())));
   }
   if (byte >= block_size_) {
     return Status::OutOfRange(
         StrFormat("disk %s: flip at byte %zu beyond block size %zu",
                   name_.c_str(), byte, block_size_));
   }
-  blocks_[b][byte] ^= mask;
+  MutableBlock(b)[byte] ^= mask;
   ++faults_.bit_flips;
   return Status::OK();
 }

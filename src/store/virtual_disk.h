@@ -30,6 +30,29 @@
 // report exactly what was injected.  A write observer hook lets tests
 // audit write ordering (e.g. the WAL rule: no data page reaches disk
 // before its log record).
+//
+// Snapshots and forks.  Block storage is an immutable shared base image
+// plus a private overlay of written blocks.  Snapshot() freezes the
+// current contents by folding the overlay into a fresh base (O(blocks
+// written since the last snapshot)) and sharing the base pointer;
+// ForkFrom(snapshot) opens an independent disk over that image in O(1).
+// A fork starts with clean fault state and zeroed I/O counters — it
+// models "the machine rebooted with this durable state", not "the same
+// device kept its injection schedule".  Writes land in the fork's own
+// overlay, so images are never written through, making a fork cost
+// O(blocks it actually writes) to use and destroy — independent of disk
+// size.  The crash sweeper leans on this to start each crash trial from a
+// mid-workload checkpoint instead of replaying the whole workload.
+//
+// Threading contract.  A VirtualDisk — and the whole fixture sharing its
+// fail/read budgets, which are plain shared_ptr<int64_t> counters mutated
+// without synchronization — is single-threaded: every Read/Write/FlipBit
+// after the first must come from the same thread.  Concurrency is achieved
+// by forking: each trial owns a private fixture forked from immutable
+// snapshots, and only the snapshot blocks are shared across threads (they
+// are never written through).  Debug builds assert thread ownership on
+// every I/O so a parallel sweep cannot silently share a budget across
+// trials.
 
 #ifndef DBMR_STORE_VIRTUAL_DISK_H_
 #define DBMR_STORE_VIRTUAL_DISK_H_
@@ -38,6 +61,8 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "store/page.h"
@@ -69,6 +94,28 @@ struct FaultCounters {
   }
 };
 
+class VirtualDisk;
+
+/// An immutable image of a VirtualDisk's contents, cheap to copy and safe
+/// to share across threads.  Taking one copies nothing — not even block
+/// pointers; a disk holding the image detaches lazily on its first write.
+class DiskSnapshot {
+ public:
+  DiskSnapshot() = default;
+
+  const std::string& name() const { return name_; }
+  uint64_t num_blocks() const { return blocks_ ? blocks_->size() : 0; }
+  size_t block_size() const { return block_size_; }
+
+ private:
+  friend class VirtualDisk;
+  using BlockVec = std::vector<std::shared_ptr<PageData>>;
+
+  std::string name_;
+  size_t block_size_ = 0;
+  std::shared_ptr<const BlockVec> blocks_;
+};
+
 /// Stable storage: an array of blocks that survives Crash().
 class VirtualDisk {
  public:
@@ -80,15 +127,37 @@ class VirtualDisk {
   VirtualDisk(const VirtualDisk&) = delete;
   VirtualDisk& operator=(const VirtualDisk&) = delete;
 
-  /// Reads block `b` into `out` (resized to block_size).
+  /// Freezes the current contents as an immutable, shareable image.
+  DiskSnapshot Snapshot() const;
+
+  /// Opens an independent disk over `snapshot`'s image: same name and
+  /// geometry, contents identical to the moment the snapshot was taken,
+  /// but fresh fault state, no shared budgets, zeroed I/O and fault
+  /// counters, and no write observer.  Blocks are shared copy-on-write
+  /// with every other holder of the image.
+  static std::unique_ptr<VirtualDisk> ForkFrom(const DiskSnapshot& snapshot);
+
+  /// Reads block `b` into `out` (resized only if its size differs from
+  /// block_size, so steady-state reads never reallocate).
   /// Fails with kIoError once an injected read fault fires.
   Status Read(BlockId b, PageData* out) const;
+
+  /// Reads block `b` into `out`, which must have room for block_size()
+  /// bytes.  Same fault model as Read; skips the container bookkeeping for
+  /// hot replay loops.
+  Status ReadInto(BlockId b, uint8_t* out) const;
 
   /// Writes block `b`.  `data` must be exactly block_size bytes.
   /// Fails with kIoError once the injected crash point is reached.
   Status Write(BlockId b, const PageData& data);
 
-  uint64_t num_blocks() const { return blocks_.size(); }
+  /// Overwrites the first `n` bytes of block `b` (n <= block_size)
+  /// directly: no fault checks, no counters, no observer.  This is a
+  /// harness back door for rolling a fork forward to an exact write index
+  /// (including reproducing a torn prefix) — engines must never call it.
+  void RestoreBlock(BlockId b, const uint8_t* data, size_t n);
+
+  uint64_t num_blocks() const { return base_->size(); }
   size_t block_size() const { return block_size_; }
   const std::string& name() const { return name_; }
 
@@ -109,7 +178,8 @@ class VirtualDisk {
   /// Shares a write budget across several disks: each successful write on
   /// any participating disk decrements the counter, and once it would go
   /// negative, writes fail ("crash after N writes anywhere").  Pass nullptr
-  /// to detach.
+  /// to detach.  The counter is unsynchronized — see the threading
+  /// contract above: all sharing disks must live on one thread.
   void SetSharedFailCounter(std::shared_ptr<int64_t> counter) {
     shared_counter_ = std::move(counter);
   }
@@ -149,6 +219,11 @@ class VirtualDisk {
   const FaultCounters& fault_counters() const { return faults_; }
   void ResetFaultCounters() { faults_ = FaultCounters{}; }
 
+  /// Forgets the recorded owning thread so the next I/O re-binds the disk
+  /// (debug builds only; no-op otherwise).  For harnesses that build a
+  /// fixture on one thread and hand it wholesale to another.
+  void ResetThreadOwner();
+
   /// --- Observation ----------------------------------------------------
 
   using WriteObserver =
@@ -158,9 +233,36 @@ class VirtualDisk {
   void SetWriteObserver(WriteObserver obs) { observer_ = std::move(obs); }
 
  private:
+  explicit VirtualDisk(const DiskSnapshot& snapshot);
+
+  /// Returns block `b` as mutable storage: the overlay entry for `b`,
+  /// seeded from the base image on first touch.
+  PageData& MutableBlock(BlockId b);
+
+  /// Current contents of block `b` (overlay if written, base otherwise).
+  const PageData& BlockRef(BlockId b) const;
+
+  /// Folds the overlay into a fresh base vector so the whole image is
+  /// again reachable through `base_` alone.  Logically const: contents do
+  /// not change, only their representation.
+  void Flatten() const;
+
+  /// Debug-build check that all I/O stays on one thread (see the
+  /// threading contract in the file comment).
+  void CheckThread() const;
+
+  using BlockVec = DiskSnapshot::BlockVec;
+
   std::string name_;
   size_t block_size_;
-  std::vector<PageData> blocks_;
+  // Base-plus-overlay block store.  `base_` is an immutable image that
+  // may be shared with snapshots and forks; it is never mutated.  Written
+  // blocks live in `overlay_`, keyed by block id, and shadow the base.
+  // Snapshot() folds the overlay back into a fresh base, so both are
+  // mutable to keep it const.  num_blocks() is base_->size(): the overlay
+  // only ever shadows existing blocks.
+  mutable std::shared_ptr<const BlockVec> base_;
+  mutable std::unordered_map<BlockId, PageData> overlay_;
   mutable uint64_t reads_ = 0;
   uint64_t writes_ = 0;
   int64_t writes_remaining_ = -1;         // < 0: no injection
@@ -174,6 +276,9 @@ class VirtualDisk {
   size_t torn_prefix_ = 0;
   mutable FaultCounters faults_;
   WriteObserver observer_;
+#ifndef NDEBUG
+  mutable std::thread::id owner_;  // default: not yet bound
+#endif
 };
 
 }  // namespace dbmr::store

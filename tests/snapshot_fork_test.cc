@@ -1,0 +1,233 @@
+// Copy-on-write snapshot/fork semantics of VirtualDisk and the
+// fixture-level forking the parallel crash sweeper is built on.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "chaos/engine_zoo.h"
+#include "store/virtual_disk.h"
+
+namespace dbmr {
+namespace {
+
+using store::DiskSnapshot;
+using store::PageData;
+using store::VirtualDisk;
+
+PageData Filled(size_t n, uint8_t v) { return PageData(n, v); }
+
+TEST(DiskSnapshotTest, ForkSeesSnapshotContents) {
+  VirtualDisk disk("d", 8, 64);
+  ASSERT_TRUE(disk.Write(3, Filled(64, 0xAB)).ok());
+  DiskSnapshot snap = disk.Snapshot();
+  EXPECT_EQ(snap.num_blocks(), 8u);
+  EXPECT_EQ(snap.block_size(), 64u);
+  EXPECT_EQ(snap.name(), "d");
+
+  std::unique_ptr<VirtualDisk> fork = VirtualDisk::ForkFrom(snap);
+  PageData got;
+  ASSERT_TRUE(fork->Read(3, &got).ok());
+  EXPECT_EQ(got, Filled(64, 0xAB));
+  ASSERT_TRUE(fork->Read(0, &got).ok());
+  EXPECT_EQ(got, Filled(64, 0x00));
+}
+
+TEST(DiskSnapshotTest, ForkWritesAreInvisibleToParentAndSiblings) {
+  VirtualDisk disk("d", 4, 64);
+  ASSERT_TRUE(disk.Write(1, Filled(64, 0x11)).ok());
+  DiskSnapshot snap = disk.Snapshot();
+
+  std::unique_ptr<VirtualDisk> a = VirtualDisk::ForkFrom(snap);
+  std::unique_ptr<VirtualDisk> b = VirtualDisk::ForkFrom(snap);
+  ASSERT_TRUE(a->Write(1, Filled(64, 0xA1)).ok());
+
+  PageData got;
+  ASSERT_TRUE(disk.Read(1, &got).ok());
+  EXPECT_EQ(got, Filled(64, 0x11));  // parent untouched
+  ASSERT_TRUE(b->Read(1, &got).ok());
+  EXPECT_EQ(got, Filled(64, 0x11));  // sibling untouched
+  ASSERT_TRUE(a->Read(1, &got).ok());
+  EXPECT_EQ(got, Filled(64, 0xA1));
+}
+
+TEST(DiskSnapshotTest, ParentWritesAfterSnapshotAreInvisibleToFork) {
+  VirtualDisk disk("d", 4, 64);
+  ASSERT_TRUE(disk.Write(2, Filled(64, 0x22)).ok());
+  DiskSnapshot snap = disk.Snapshot();
+  ASSERT_TRUE(disk.Write(2, Filled(64, 0x99)).ok());
+
+  std::unique_ptr<VirtualDisk> fork = VirtualDisk::ForkFrom(snap);
+  PageData got;
+  ASSERT_TRUE(fork->Read(2, &got).ok());
+  EXPECT_EQ(got, Filled(64, 0x22));
+}
+
+TEST(DiskSnapshotTest, ForkDoesNotInheritFaultStateOrBudgets) {
+  VirtualDisk disk("d", 4, 64);
+  auto budget = std::make_shared<int64_t>(0);
+  disk.SetSharedFailCounter(budget);
+  EXPECT_FALSE(disk.Write(0, Filled(64, 1)).ok());
+  EXPECT_TRUE(disk.crashed());
+
+  std::unique_ptr<VirtualDisk> fork = VirtualDisk::ForkFrom(disk.Snapshot());
+  EXPECT_FALSE(fork->crashed());
+  EXPECT_EQ(fork->fault_counters().total(), 0u);
+  EXPECT_EQ(fork->reads(), 0u);
+  EXPECT_EQ(fork->writes(), 0u);
+  // The parent's exhausted shared budget does not gate the fork.
+  EXPECT_TRUE(fork->Write(0, Filled(64, 2)).ok());
+}
+
+TEST(DiskSnapshotTest, ForkDoesNotInheritTransientArms) {
+  VirtualDisk disk("d", 4, 64);
+  disk.ArmTransientWriteError(0);
+  std::unique_ptr<VirtualDisk> fork = VirtualDisk::ForkFrom(disk.Snapshot());
+  // The parent's next write fails once; the fork's does not.
+  EXPECT_FALSE(disk.Write(0, Filled(64, 1)).ok());
+  EXPECT_TRUE(fork->Write(0, Filled(64, 1)).ok());
+}
+
+TEST(DiskSnapshotTest, SnapshotsAreStableAcrossLaterFaults) {
+  VirtualDisk disk("d", 4, 64);
+  ASSERT_TRUE(disk.Write(0, Filled(64, 0x55)).ok());
+  DiskSnapshot snap = disk.Snapshot();
+  ASSERT_TRUE(disk.FlipBit(0, 0, 0x01).ok());
+
+  std::unique_ptr<VirtualDisk> fork = VirtualDisk::ForkFrom(snap);
+  PageData got;
+  ASSERT_TRUE(fork->Read(0, &got).ok());
+  EXPECT_EQ(got, Filled(64, 0x55));  // pre-flip image
+}
+
+TEST(VirtualDiskReadTest, ReadIntoMatchesRead) {
+  VirtualDisk disk("d", 4, 64);
+  ASSERT_TRUE(disk.Write(1, Filled(64, 0x77)).ok());
+  PageData via_read;
+  ASSERT_TRUE(disk.Read(1, &via_read).ok());
+  PageData via_read_into(64);
+  ASSERT_TRUE(disk.ReadInto(1, via_read_into.data()).ok());
+  EXPECT_EQ(via_read, via_read_into);
+  EXPECT_EQ(disk.reads(), 2u);
+}
+
+TEST(VirtualDiskReadTest, ReadReusesBufferCapacity) {
+  VirtualDisk disk("d", 4, 64);
+  PageData out;
+  ASSERT_TRUE(disk.Read(0, &out).ok());
+  const uint8_t* storage = out.data();
+  ASSERT_TRUE(disk.Read(1, &out).ok());
+  EXPECT_EQ(out.data(), storage);  // same allocation, no realloc
+}
+
+TEST(VirtualDiskReadTest, ReadIntoHonorsFaults) {
+  VirtualDisk disk("d", 4, 64);
+  disk.FailAfterReads(1);
+  PageData buf(64);
+  EXPECT_TRUE(disk.ReadInto(0, buf.data()).ok());
+  EXPECT_FALSE(disk.ReadInto(0, buf.data()).ok());
+  EXPECT_EQ(disk.fault_counters().read_failures, 1u);
+}
+
+TEST(VirtualDiskReadTest, RestoreBlockBypassesFaultsAndCounters) {
+  VirtualDisk disk("d", 4, 64);
+  auto budget = std::make_shared<int64_t>(0);
+  disk.SetSharedFailCounter(budget);
+  PageData data = Filled(64, 0xEE);
+  disk.RestoreBlock(2, data.data(), data.size());
+  EXPECT_EQ(disk.writes(), 0u);
+  EXPECT_FALSE(disk.crashed());
+
+  disk.SetSharedFailCounter(nullptr);
+  PageData got;
+  ASSERT_TRUE(disk.Read(2, &got).ok());
+  EXPECT_EQ(got, data);
+}
+
+TEST(VirtualDiskReadTest, RestoreBlockPrefixKeepsTail) {
+  VirtualDisk disk("d", 4, 64);
+  ASSERT_TRUE(disk.Write(0, Filled(64, 0x10)).ok());
+  PageData prefix = Filled(16, 0x20);
+  disk.RestoreBlock(0, prefix.data(), prefix.size());
+  PageData got;
+  ASSERT_TRUE(disk.Read(0, &got).ok());
+  for (size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(got[i], i < 16 ? 0x20 : 0x10) << i;
+  }
+}
+
+TEST(DiskSnapshotTest, ForksAreUsableFromOtherThreads) {
+  VirtualDisk disk("d", 4, 64);
+  ASSERT_TRUE(disk.Write(0, Filled(64, 0x42)).ok());
+  DiskSnapshot snap = disk.Snapshot();
+  Status st;
+  std::thread t([&snap, &st] {
+    std::unique_ptr<VirtualDisk> fork = VirtualDisk::ForkFrom(snap);
+    PageData got;
+    st = fork->Read(0, &got);
+    if (st.ok() && got != Filled(64, 0x42)) {
+      st = Status::Internal("wrong contents");
+    }
+  });
+  t.join();
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(FixtureSnapshotTest, ForkedFixtureRecoversCommittedState) {
+  auto fx = chaos::MakeEngineFixture("wal");
+  ASSERT_TRUE(fx.ok()) << fx.status().ToString();
+
+  store::PageEngine* eng = fx->engine.get();
+  ASSERT_TRUE(eng->Recover().ok());
+  const PageData payload = Filled(eng->payload_size(), 0x5A);
+  auto t = eng->Begin();
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(eng->Write(*t, 3, payload).ok());
+  ASSERT_TRUE(eng->Commit(*t).ok());
+
+  chaos::FixtureSnapshot snap = fx->TakeSnapshot();
+  auto fork = chaos::ForkEngineFixture("wal", snap);
+  ASSERT_TRUE(fork.ok()) << fork.status().ToString();
+  ASSERT_TRUE(fork->engine->Recover().ok());
+
+  PageData got;
+  auto t2 = fork->engine->Begin();
+  ASSERT_TRUE(t2.ok());
+  ASSERT_TRUE(fork->engine->Read(*t2, 3, &got).ok());
+  EXPECT_EQ(got, payload);
+  ASSERT_TRUE(fork->engine->Commit(*t2).ok());
+
+  // The fork is independent: new commits there stay invisible here.
+  auto t3 = fork->engine->Begin();
+  ASSERT_TRUE(t3.ok());
+  ASSERT_TRUE(
+      fork->engine->Write(*t3, 4, Filled(fork->engine->payload_size(), 0x77))
+          .ok());
+  ASSERT_TRUE(fork->engine->Commit(*t3).ok());
+
+  auto t4 = eng->Begin();
+  ASSERT_TRUE(t4.ok());
+  ASSERT_TRUE(eng->Read(*t4, 4, &got).ok());
+  EXPECT_EQ(got, Filled(eng->payload_size(), 0x00));
+}
+
+TEST(FixtureSnapshotTest, ForkStartsWithFreshBudgetsAndCounters) {
+  auto fx = chaos::MakeEngineFixture("shadow");
+  ASSERT_TRUE(fx.ok());
+  ASSERT_TRUE(fx->engine->Recover().ok());
+  fx->ArmWrites(0);  // parent is out of write budget
+
+  auto fork = chaos::ForkEngineFixture("shadow", fx->TakeSnapshot());
+  ASSERT_TRUE(fork.ok());
+  EXPECT_EQ(fork->TotalReads(), 0u);
+  EXPECT_EQ(fork->TotalWrites(), 0u);
+  EXPECT_FALSE(fork->AnyCrashed());
+  ASSERT_TRUE(fork->engine->Recover().ok());  // writes allowed on the fork
+}
+
+}  // namespace
+}  // namespace dbmr

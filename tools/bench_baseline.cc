@@ -1,11 +1,18 @@
-// bench_baseline — perf-trajectory snapshot of the event kernel.
+// bench_baseline — perf-trajectory snapshots, written as diffable JSON.
 //
-// Runs the micro_sim_kernel workloads without the google-benchmark
-// harness and writes the results as JSON, so a checked-in baseline
-// (BENCH_kernel.json at the repo root) can be regenerated and diffed
-// across kernel changes:
+// Two suites:
+//
+//   --suite=kernel (default) runs the micro_sim_kernel workloads without
+//   the google-benchmark harness; the checked-in baseline is
+//   BENCH_kernel.json at the repo root.
+//
+//   --suite=torture times an exhaustive write-crash sweep (all engines,
+//   seed 1) three ways — legacy sequential full replay, snapshot-forked
+//   at jobs=1, and snapshot-forked at jobs=8 — and reports the speedups;
+//   the checked-in baseline is BENCH_torture.json.
 //
 //   bench_baseline --out=BENCH_kernel.json
+//   bench_baseline --suite=torture --out=BENCH_torture.json
 //   bench_baseline --items=200000 --reps=7        # heavier run, stdout only
 //
 // Each workload is repeated --reps times and the best wall-clock rep is
@@ -20,6 +27,9 @@
 #include <string>
 #include <vector>
 
+#include "chaos/crash_sweeper.h"
+#include "chaos/engine_zoo.h"
+#include "core/thread_pool.h"
 #include "sim/server.h"
 #include "sim/simulator.h"
 #include "util/json.h"
@@ -138,29 +148,169 @@ std::vector<WorkloadResult> RunAll(int items, int reps) {
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Torture suite: sequential full-replay sweeps vs snapshot-forked sweeps.
+
+/// Exhaustive write-crash sweep options for one engine at seed 1: nested
+/// sweeps on, transient faults and bit flips off (both run full replays in
+/// either mode, which would only dilute the replay-cost comparison).
+chaos::SweepOptions TortureBenchOptions() {
+  chaos::SweepOptions o;
+  o.seed = 1;
+  o.txns = 8;
+  o.transient_faults = false;
+  o.bit_flip_trials = 0;
+  return o;
+}
+
+struct TortureRow {
+  std::string engine;
+  double sequential_ms = 0;  // legacy O(W^2) full-replay sweeper
+  double forked1_ms = 0;     // snapshot-forked, one thread
+  double forked8_ms = 0;     // snapshot-forked, eight threads
+  int64_t schedules = 0;
+  size_t violations = 0;
+};
+
+/// Best-of-`reps` wall-clock milliseconds for one sweep configuration.
+/// The last report is handed back through `out` for cross-checks.
+double TimeSweepMs(const std::string& engine, const chaos::SweepOptions& o,
+                   core::ThreadPool* pool, int reps,
+                   chaos::SweepReport* out) {
+  double best = 0;
+  for (int i = 0; i < reps; ++i) {
+    chaos::CrashSweeper sweeper(engine, o);
+    const double ns = TimeNs([&] { *out = sweeper.Run(pool); });
+    if (i == 0 || ns < best) best = ns;
+  }
+  return best / 1e6;
+}
+
+int RunTortureSuite(const std::string& out_path, int reps) {
+  core::ThreadPool pool8(8);
+  std::vector<TortureRow> rows;
+  size_t total_violations = 0;
+
+  for (const std::string& engine : chaos::EngineNames()) {
+    TortureRow row;
+    row.engine = engine;
+    chaos::SweepReport r;
+
+    chaos::SweepOptions seq = TortureBenchOptions();
+    seq.sequential_replay = true;
+    row.sequential_ms = TimeSweepMs(engine, seq, nullptr, reps, &r);
+    row.violations += r.violations.size();
+
+    chaos::SweepOptions forked = TortureBenchOptions();
+    forked.jobs = 1;
+    row.forked1_ms = TimeSweepMs(engine, forked, nullptr, reps, &r);
+    row.violations += r.violations.size();
+
+    row.forked8_ms = TimeSweepMs(engine, forked, &pool8, reps, &r);
+    row.violations += r.violations.size();
+    row.schedules = r.schedules;
+
+    total_violations += row.violations;
+    rows.push_back(std::move(row));
+  }
+
+  std::printf("%-18s %10s %10s %10s %9s %9s\n", "engine", "seq ms",
+              "fork1 ms", "fork8 ms", "x(fork1)", "x(fork8)");
+  double seq_total = 0, fork1_total = 0, fork8_total = 0;
+  JsonValue engines = JsonValue::Array();
+  for (const TortureRow& row : rows) {
+    seq_total += row.sequential_ms;
+    fork1_total += row.forked1_ms;
+    fork8_total += row.forked8_ms;
+    std::printf("%-18s %10.2f %10.2f %10.2f %8.1fx %8.1fx\n",
+                row.engine.c_str(), row.sequential_ms, row.forked1_ms,
+                row.forked8_ms, row.sequential_ms / row.forked1_ms,
+                row.sequential_ms / row.forked8_ms);
+    JsonValue e = JsonValue::Object();
+    e["engine"] = row.engine;
+    e["sequential_ms"] = row.sequential_ms;
+    e["forked_jobs1_ms"] = row.forked1_ms;
+    e["forked_jobs8_ms"] = row.forked8_ms;
+    e["speedup_jobs1"] = row.sequential_ms / row.forked1_ms;
+    e["speedup_jobs8"] = row.sequential_ms / row.forked8_ms;
+    e["schedules"] = row.schedules;
+    e["violations"] = static_cast<uint64_t>(row.violations);
+    engines.Append(std::move(e));
+  }
+  std::printf("%-18s %10.2f %10.2f %10.2f %8.1fx %8.1fx\n", "total",
+              seq_total, fork1_total, fork8_total, seq_total / fork1_total,
+              seq_total / fork8_total);
+  if (total_violations != 0) {
+    std::fprintf(stderr, "error: %zu oracle violations during bench\n",
+                 total_violations);
+    return 1;
+  }
+
+  if (!out_path.empty()) {
+    JsonValue doc = JsonValue::Object();
+    doc["bench"] = "crash_sweep";
+    doc["schema_version"] = static_cast<int64_t>(1);
+    char stamp[32];
+    const std::time_t now = std::time(nullptr);
+    std::tm tm_utc;
+    gmtime_r(&now, &tm_utc);
+    std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+    doc["generated_at"] = stamp;
+    doc["seed"] = static_cast<int64_t>(1);
+    doc["reps"] = static_cast<int64_t>(reps);
+    doc["engines"] = std::move(engines);
+    JsonValue totals = JsonValue::Object();
+    totals["sequential_ms"] = seq_total;
+    totals["forked_jobs1_ms"] = fork1_total;
+    totals["forked_jobs8_ms"] = fork8_total;
+    totals["speedup_jobs1"] = seq_total / fork1_total;
+    totals["speedup_jobs8"] = seq_total / fork8_total;
+    doc["totals"] = std::move(totals);
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    const std::string text = doc.Dump(2);
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string out_path;
+  std::string suite = "kernel";
   int items = 100000;
   int reps = 5;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--out=", 6) == 0) {
       out_path = arg + 6;
+    } else if (std::strncmp(arg, "--suite=", 8) == 0) {
+      suite = arg + 8;
     } else if (std::strncmp(arg, "--items=", 8) == 0) {
       items = std::atoi(arg + 8);
     } else if (std::strncmp(arg, "--reps=", 7) == 0) {
       reps = std::atoi(arg + 7);
     } else {
       std::fprintf(stderr,
-                   "usage: bench_baseline [--out=FILE] [--items=N] "
-                   "[--reps=R]\n");
+                   "usage: bench_baseline [--suite=kernel|torture] "
+                   "[--out=FILE] [--items=N] [--reps=R]\n");
       return 2;
     }
   }
   if (items <= 0 || reps <= 0) {
     std::fprintf(stderr, "error: --items and --reps must be positive\n");
+    return 2;
+  }
+  if (suite == "torture") return RunTortureSuite(out_path, reps);
+  if (suite != "kernel") {
+    std::fprintf(stderr, "error: unknown suite \"%s\"\n", suite.c_str());
     return 2;
   }
 

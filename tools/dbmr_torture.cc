@@ -30,6 +30,7 @@
 #include "chaos/crash_sweeper.h"
 #include "chaos/engine_zoo.h"
 #include "core/metrics.h"
+#include "core/thread_pool.h"
 #include "util/json.h"
 #include "util/str.h"
 
@@ -72,6 +73,12 @@ struct Flags {
   --no-transient     skip transient-fault sweeps
   --bit-flips=N      bit-flip trials per (engine, seed) (default: 16)
   --torn             tear the failing write instead of dropping it
+  --jobs=N           worker threads for the sweep trials (0 = one per
+                     hardware thread; default: 1).  Reports are identical
+                     at every job count.
+  --snapshot-stride=N  disk writes between replay snapshots (default: 4)
+  --sequential       force the legacy full-replay sweeper (the O(W^2)
+                     baseline; primarily for benchmarking)
   --json=FILE        write the full JSON report ("-" = stdout)
   --metrics-json=FILE / --metrics-csv=FILE
                      export per-(engine, seed) sweep stats through the
@@ -197,11 +204,19 @@ int main(int argc, char** argv) {
     opts.nested_recovery_read_crashes = false;
   }
   if (flags.Has("no-transient")) opts.transient_faults = false;
+  opts.jobs = static_cast<int>(flags.GetInt("jobs", 1));
+  opts.snapshot_stride =
+      static_cast<int>(flags.GetInt("snapshot-stride", 4));
+  opts.sequential_replay = flags.Has("sequential");
 
   const bool repro = flags.Has("crash-index");
   const int64_t crash_index = flags.GetInt("crash-index", -1);
   const int64_t nested_index = flags.GetInt("nested-index", -1);
   const bool nested_reads = flags.Has("nested-reads");
+
+  // One pool serves every (engine, seed) sweep, so worker threads are
+  // spawned once for the whole run.
+  core::ThreadPool pool(opts.jobs);
 
   std::vector<chaos::SweepReport> reports;
   for (const std::string& engine : engines) {
@@ -210,7 +225,7 @@ int main(int argc, char** argv) {
       chaos::CrashSweeper sweeper(engine, opts);
       chaos::SweepReport r =
           repro ? sweeper.RunOne(crash_index, nested_index, nested_reads)
-                : sweeper.Run();
+                : sweeper.Run(&pool);
       std::printf(
           "%-17s seed %-3llu  %6lld schedules  %5lld+%lld/%lld crash points  "
           "%4lld transient  %lld flips  %zu violation%s\n",

@@ -5,6 +5,8 @@
 #include <utility>
 #include <vector>
 
+#include "sim/trace.h"
+
 namespace dbmr::hw {
 
 const char* DiskKindName(DiskKind kind) {
@@ -27,6 +29,7 @@ DiskModel::DiskModel(sim::Simulator* sim, std::string name,
   DBMR_CHECK(sim != nullptr);
   busy_stat_.Set(sim_->Now(), 0.0);
   queue_stat_.Set(sim_->Now(), 0.0);
+  if (sim::TraceRing* tr = sim_->trace()) track_ = tr->RegisterTrack(name_);
 }
 
 void DiskModel::Submit(DiskRequest req) {
@@ -98,8 +101,16 @@ void DiskModel::StartNextAccess() {
   pages_ += batch.size();
   batch_stat_.Add(static_cast<double>(batch.size()));
   for (const auto& p : batch) wait_stat_.Add(sim_->Now() - p.enqueued);
+  if (sim::TraceRing* tr = sim_->trace()) {
+    tr->Emit(sim_->Now(), track_, sim::TraceKind::kDiskAccessStart,
+             batch.size(), static_cast<uint64_t>(target));
+  }
 
   sim_->Schedule(service, [this, batch = std::move(batch)]() mutable {
+    if (sim::TraceRing* tr = sim_->trace()) {
+      tr->Emit(sim_->Now(), track_, sim::TraceKind::kDiskAccessEnd,
+               accesses_);
+    }
     busy_ = false;
     busy_stat_.Set(sim_->Now(), 0.0);
     if (!queue_.empty()) StartNextAccess();

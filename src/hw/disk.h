@@ -99,6 +99,7 @@ class DiskModel {
   DiskKind kind_;
   Rng rng_;
 
+  uint16_t track_ = 0;  // trace track, registered when the sim carries one
   bool busy_ = false;
   int32_t arm_cylinder_ = 0;
   int32_t next_slot_ = -1;

@@ -1,0 +1,341 @@
+#include "machine/auditor.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "sim/trace.h"
+#include "util/str.h"
+
+namespace dbmr::machine {
+
+Auditor::Auditor(AuditorOptions opts, sim::Simulator* sim,
+                 const txn::LockManager* locks, sim::TraceRing* trace)
+    : opts_(std::move(opts)), sim_(sim), locks_(locks), trace_(trace) {
+  DBMR_CHECK(sim_ != nullptr && locks_ != nullptr);
+}
+
+uint64_t Auditor::PlacementKey(const Placement& pl) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(pl.disk)) << 48) |
+         (static_cast<uint64_t>(static_cast<uint32_t>(pl.addr.cylinder))
+          << 16) |
+         static_cast<uint64_t>(static_cast<uint32_t>(pl.addr.slot));
+}
+
+void Auditor::Violate(const char* check, std::string detail) {
+  AuditViolation v{check, std::move(detail), sim_->Now()};
+  if (!opts_.abort_on_violation) {
+    violations_.push_back(std::move(v));
+    return;
+  }
+  std::fprintf(stderr, "\nAUDIT VIOLATION [%s] at t=%.3f ms\n  %s\n",
+               v.check.c_str(), v.when, v.detail.c_str());
+  if (trace_ != nullptr) {
+    std::fprintf(stderr, "--- trace tail (%zu of %llu events) ---\n%s",
+                 std::min<size_t>(40, trace_->size()),
+                 static_cast<unsigned long long>(trace_->total_emitted()),
+                 trace_->Tail(40).c_str());
+  }
+  if (!opts_.repro_hint.empty()) {
+    std::fprintf(stderr, "repro: %s\n", opts_.repro_hint.c_str());
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+void Auditor::OnAdmit(txn::TxnId t) {
+  ++checks_;
+  TxnState& s = StateOf(t);
+  if (s.committing) {
+    Violate("txn-lifecycle",
+            StrFormat("txn %llu admitted while still committing",
+                      static_cast<unsigned long long>(t)));
+  }
+}
+
+void Auditor::OnLockAcquired(txn::TxnId t, uint64_t page) {
+  ++checks_;
+  const TxnState& s = StateOf(t);
+  if (s.committing) {
+    // 2PL: the shrinking phase begins at commit; no new locks after that.
+    Violate("2pl-growth",
+            StrFormat("txn %llu acquired lock on page %llu after commit "
+                      "started",
+                      static_cast<unsigned long long>(t),
+                      static_cast<unsigned long long>(page)));
+  }
+}
+
+void Auditor::OnReadPlacement(uint64_t page, const Placement& pl) {
+  ++checks_;
+  auto it = live_block_.find(page);
+  if (it != live_block_.end() && it->second != PlacementKey(pl)) {
+    Violate("pt-coherence",
+            StrFormat("read of page %llu targets block %llx but the live "
+                      "block is %llx",
+                      static_cast<unsigned long long>(page),
+                      static_cast<unsigned long long>(PlacementKey(pl)),
+                      static_cast<unsigned long long>(it->second)));
+  }
+}
+
+void Auditor::OnCollectStart(txn::TxnId t, uint64_t page) {
+  ++checks_;
+  if (!locks_->Holds(t, page, txn::LockMode::kExclusive)) {
+    Violate("2pl-write",
+            StrFormat("txn %llu collects recovery data for page %llu "
+                      "without holding its exclusive lock",
+                      static_cast<unsigned long long>(t),
+                      static_cast<unsigned long long>(page)));
+  }
+}
+
+void Auditor::OnRecoveryStable(txn::TxnId t, uint64_t page) {
+  ++checks_;
+  TxnState& s = StateOf(t);
+  if (s.uses_wal && s.frag_unconsumed[page] <= 0) {
+    Violate("wal-rule",
+            StrFormat("page %llu of txn %llu released for write-back "
+                      "before its log fragment reached a log disk",
+                      static_cast<unsigned long long>(page),
+                      static_cast<unsigned long long>(t)));
+  }
+}
+
+void Auditor::OnHomeWriteIssued(txn::TxnId t, uint64_t page) {
+  ++checks_;
+  TxnState& s = StateOf(t);
+  if (s.uses_wal) {
+    int& unconsumed = s.frag_unconsumed[page];
+    if (unconsumed <= 0) {
+      Violate("wal-rule",
+              StrFormat("home write of page %llu issued before txn %llu's "
+                        "log fragment for it reached a log disk",
+                        static_cast<unsigned long long>(page),
+                        static_cast<unsigned long long>(t)));
+    } else {
+      --unconsumed;
+    }
+  }
+  if (!locks_->Holds(t, page, txn::LockMode::kExclusive)) {
+    Violate("2pl-write",
+            StrFormat("home write of page %llu issued without txn %llu "
+                      "holding its exclusive lock",
+                      static_cast<unsigned long long>(page),
+                      static_cast<unsigned long long>(t)));
+  }
+}
+
+void Auditor::OnCommitStart(txn::TxnId t,
+                            const std::unordered_set<uint64_t>& write_set) {
+  TxnState& s = StateOf(t);
+  s.committing = true;
+  for (uint64_t page : write_set) {
+    ++checks_;
+    if (!locks_->Holds(t, page, txn::LockMode::kExclusive)) {
+      Violate("2pl-commit",
+              StrFormat("txn %llu entered commit without the exclusive "
+                        "lock on written page %llu",
+                        static_cast<unsigned long long>(t),
+                        static_cast<unsigned long long>(page)));
+    }
+  }
+}
+
+void Auditor::OnCommitDone(txn::TxnId t) {
+  ++checks_;
+  TxnState& s = StateOf(t);
+  int undurable = 0;
+  for (const auto& kv : s.frag_pending) undurable += kv.second;
+  if (undurable > 0) {
+    Violate("wal-commit",
+            StrFormat("txn %llu committed with %d log fragment(s) still "
+                      "not on a log disk",
+                      static_cast<unsigned long long>(t), undurable));
+  }
+  if (!s.dirty_pt.empty()) {
+    Violate("pt-flip",
+            StrFormat("txn %llu committed with %zu dirty page-table "
+                      "page(s) unflushed",
+                      static_cast<unsigned long long>(t),
+                      s.dirty_pt.size()));
+  }
+  // Commit makes the copy-on-write blocks live and the in-place
+  // overwrites permanent.
+  for (const auto& [page, block] : s.shadow_candidates) {
+    live_block_[page] = block;
+    candidate_owner_.erase(page);
+  }
+  txns_.erase(t);
+}
+
+void Auditor::OnRestartComplete(txn::TxnId t) {
+  ++checks_;
+  auto it = txns_.find(t);
+  if (it != txns_.end()) {
+    TxnState& s = it->second;
+    int leaked = 0;
+    for (const auto& kv : s.inplace) leaked += kv.second;
+    if (leaked > 0) {
+      Violate("noredo-undo",
+              StrFormat("txn %llu restarted leaving %d in-place "
+                        "overwrite(s) of uncommitted data unrestored",
+                        static_cast<unsigned long long>(t), leaked));
+    }
+    for (const auto& kv : s.shadow_candidates) {
+      candidate_owner_.erase(kv.first);
+    }
+    txns_.erase(it);
+  }
+}
+
+void Auditor::CheckFrames(int free_frames) {
+  ++checks_;
+  if (free_frames < 0 || free_frames > opts_.cache_frames) {
+    Violate("frame-balance",
+            StrFormat("free cache frames = %d outside [0, %d]", free_frames,
+                      opts_.cache_frames));
+  }
+}
+
+void Auditor::CheckQps(int busy_qps) {
+  ++checks_;
+  if (busy_qps < 0 || busy_qps > opts_.num_query_processors) {
+    Violate("qp-balance",
+            StrFormat("busy query processors = %d outside [0, %d]", busy_qps,
+                      opts_.num_query_processors));
+  }
+}
+
+void Auditor::OnRunEnd(int free_frames, int busy_qps, int blocked_pages) {
+  ++checks_;
+  if (free_frames != opts_.cache_frames) {
+    Violate("frame-balance",
+            StrFormat("run ended with %d of %d cache frames free "
+                      "(frames leaked or double-returned)",
+                      free_frames, opts_.cache_frames));
+  }
+  if (busy_qps != 0) {
+    Violate("qp-balance",
+            StrFormat("run ended with %d query processors busy", busy_qps));
+  }
+  if (blocked_pages != 0) {
+    Violate("blocked-balance",
+            StrFormat("run ended with %d pages still blocked on recovery "
+                      "data",
+                      blocked_pages));
+  }
+  for (const auto& [t, s] : txns_) {
+    int undurable = 0;
+    for (const auto& kv : s.frag_pending) undurable += kv.second;
+    if (undurable > 0 || !s.inplace.empty() || !s.dirty_pt.empty()) {
+      Violate("txn-lifecycle",
+              StrFormat("run ended with txn %llu carrying unresolved "
+                        "recovery state",
+                        static_cast<unsigned long long>(t)));
+    }
+  }
+}
+
+void Auditor::CheckResult(const MachineResult& r) {
+  constexpr double kTol = 1e-9;
+  for (size_t i = 0; i < r.data_disk_util.size(); ++i) {
+    ++checks_;
+    if (!(r.data_disk_util[i] >= 0.0 && r.data_disk_util[i] <= 1.0 + kTol)) {
+      Violate("util-bounds",
+              StrFormat("data disk %zu utilization %.6f outside [0, 1]", i,
+                        r.data_disk_util[i]));
+    }
+  }
+  ++checks_;
+  if (!(r.qp_util >= 0.0 && r.qp_util <= 1.0 + kTol)) {
+    Violate("util-bounds",
+            StrFormat("query-processor utilization %.6f outside [0, 1]",
+                      r.qp_util));
+  }
+  for (const auto& [key, val] : r.extra) {
+    if (key.find("util") == std::string::npos) continue;
+    ++checks_;
+    if (!(val >= 0.0 && val <= 1.0 + kTol)) {
+      Violate("util-bounds",
+              StrFormat("extra metric %s = %.6f outside [0, 1]", key.c_str(),
+                        val));
+    }
+  }
+}
+
+void Auditor::OnLogFragment(txn::TxnId t, uint64_t page) {
+  ++checks_;
+  TxnState& s = StateOf(t);
+  s.uses_wal = true;
+  ++s.frag_pending[page];
+}
+
+void Auditor::OnFragmentDurable(txn::TxnId t, uint64_t page) {
+  ++checks_;
+  auto it = txns_.find(t);
+  // A fragment may land after its transaction restarted (the log page was
+  // already in flight); that is benign — the state was reset.
+  if (it == txns_.end()) return;
+  int& n = it->second.frag_pending[page];
+  --n;
+  if (n < 0) {
+    n = 0;
+    Violate("wal-accounting",
+            StrFormat("more durable notifications than fragments for page "
+                      "%llu of txn %llu",
+                      static_cast<unsigned long long>(page),
+                      static_cast<unsigned long long>(t)));
+  }
+  ++it->second.frag_unconsumed[page];
+}
+
+void Auditor::OnShadowWrite(txn::TxnId t, uint64_t page, const Placement& pl) {
+  ++checks_;
+  auto owner = candidate_owner_.find(page);
+  if (owner != candidate_owner_.end() && owner->second != t) {
+    Violate("pt-coherence",
+            StrFormat("txns %llu and %llu hold uncommitted shadow copies "
+                      "of page %llu concurrently (lock discipline broken)",
+                      static_cast<unsigned long long>(owner->second),
+                      static_cast<unsigned long long>(t),
+                      static_cast<unsigned long long>(page)));
+  }
+  candidate_owner_[page] = t;
+  StateOf(t).shadow_candidates[page] = PlacementKey(pl);
+}
+
+void Auditor::OnPtDirty(txn::TxnId t, uint64_t pt_page) {
+  ++checks_;
+  StateOf(t).dirty_pt.insert(pt_page);
+}
+
+void Auditor::OnPtFlushed(txn::TxnId t, uint64_t pt_page) {
+  ++checks_;
+  auto it = txns_.find(t);
+  if (it != txns_.end()) it->second.dirty_pt.erase(pt_page);
+}
+
+void Auditor::OnInPlaceOverwrite(txn::TxnId t, uint64_t page) {
+  ++checks_;
+  ++StateOf(t).inplace[page];
+}
+
+void Auditor::OnOverwriteUndone(txn::TxnId t, uint64_t page) {
+  ++checks_;
+  auto it = txns_.find(t);
+  if (it == txns_.end()) return;
+  auto pit = it->second.inplace.find(page);
+  if (pit == it->second.inplace.end() || pit->second <= 0) {
+    Violate("noredo-undo",
+            StrFormat("before image of page %llu restored for txn %llu "
+                      "which never overwrote it",
+                      static_cast<unsigned long long>(page),
+                      static_cast<unsigned long long>(t)));
+    return;
+  }
+  if (--pit->second == 0) it->second.inplace.erase(pit);
+}
+
+}  // namespace dbmr::machine

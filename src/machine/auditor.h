@@ -1,0 +1,159 @@
+// Runtime invariant auditor for the database-machine simulator.
+//
+// The machine and the recovery architectures report their state
+// transitions here; the auditor cross-checks them against the protocol
+// invariants the paper's results rest on:
+//
+//  (a) the write-ahead rule — an updated page may not be released for its
+//      home write (nor the write issued) while any of its log fragments
+//      is not yet stable on a log disk, under every log-selection policy,
+//      logical and physical logging, and both fragment routings;
+//  (b) shadow page-table coherence — each logical page has exactly one
+//      live physical block; reads target it; a commit completes only
+//      after every dirty page-table page of the transaction is flushed;
+//      an aborted no-redo transaction restores every in-place overwrite
+//      before its locks are released;
+//  (c) conservation laws — cache frames stay within [0, capacity] and
+//      balance at end of run, busy query processors stay within the pool,
+//      device busy time never exceeds elapsed time, and lock grants
+//      respect two-phase locking (exclusive held at write-back and
+//      commit, no growth after commit begins).
+//
+// A violation either aborts immediately — printing the violated check,
+// the replay seed / repro command line, and the tail of the event trace,
+// in the same style as dbmr_torture — or (in tests) is collected into
+// MachineResult::audit_violations.  Auditing is on by default in debug
+// builds and off in release builds; MachineConfig::audit overrides.
+
+#ifndef DBMR_MACHINE_AUDITOR_H_
+#define DBMR_MACHINE_AUDITOR_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "machine/config.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+#include "txn/lock_manager.h"
+#include "txn/types.h"
+
+namespace dbmr::sim {
+class TraceRing;
+}
+
+namespace dbmr::machine {
+
+struct AuditorOptions {
+  int cache_frames = 0;
+  int num_query_processors = 0;
+  /// Abort the process on the first violation (with repro command and
+  /// trace tail); when false, violations collect in `violations()`.
+  bool abort_on_violation = true;
+  /// Command line printed as "repro: ..." when aborting.
+  std::string repro_hint;
+};
+
+struct AuditViolation {
+  std::string check;   // short invariant name, e.g. "wal-rule"
+  std::string detail;
+  sim::TimeMs when = 0;
+};
+
+/// Invariant monitor for one Machine run.  All hooks are cheap map/set
+/// bookkeeping; the auditor never schedules events or perturbs timing.
+class Auditor {
+ public:
+  Auditor(AuditorOptions opts, sim::Simulator* sim,
+          const txn::LockManager* locks, sim::TraceRing* trace);
+
+  // --- machine pipeline ------------------------------------------------
+  void OnAdmit(txn::TxnId t);
+  void OnLockAcquired(txn::TxnId t, uint64_t page);
+  void OnReadPlacement(uint64_t page, const Placement& pl);
+  void OnCollectStart(txn::TxnId t, uint64_t page);
+  void OnRecoveryStable(txn::TxnId t, uint64_t page);
+  void OnHomeWriteIssued(txn::TxnId t, uint64_t page);
+  void OnCommitStart(txn::TxnId t,
+                     const std::unordered_set<uint64_t>& write_set);
+  void OnCommitDone(txn::TxnId t);
+  /// The architecture finished undoing/discarding the victim's recovery
+  /// state; per-transaction audit state resets here.
+  void OnRestartComplete(txn::TxnId t);
+  void CheckFrames(int free_frames);
+  void CheckQps(int busy_qps);
+  void OnRunEnd(int free_frames, int busy_qps, int blocked_pages);
+  /// Final sweep over the computed metrics (utilizations <= 1, ...).
+  void CheckResult(const MachineResult& r);
+
+  // --- recovery-architecture hooks -------------------------------------
+  /// WAL: a log fragment for (t, page) exists but is not yet on a log disk.
+  void OnLogFragment(txn::TxnId t, uint64_t page);
+  /// WAL: the log page carrying one fragment of (t, page) reached disk.
+  void OnFragmentDurable(txn::TxnId t, uint64_t page);
+  /// Shadow: the copy-on-write block for (t, page) was written at `pl`
+  /// (not yet live — the page table still maps the old block).
+  void OnShadowWrite(txn::TxnId t, uint64_t page, const Placement& pl);
+  /// Shadow: t's write set touches page-table page `pt_page`.
+  void OnPtDirty(txn::TxnId t, uint64_t pt_page);
+  /// Shadow: the commit flip wrote `pt_page` back for t.
+  void OnPtFlushed(txn::TxnId t, uint64_t pt_page);
+  /// Overwriting (no-redo): an uncommitted home location was overwritten
+  /// in place; the before image must be restored if t aborts.
+  void OnInPlaceOverwrite(txn::TxnId t, uint64_t page);
+  /// Overwriting (no-redo): the before image of (t, page) was restored.
+  void OnOverwriteUndone(txn::TxnId t, uint64_t page);
+
+  uint64_t checks() const { return checks_; }
+  const std::vector<AuditViolation>& violations() const {
+    return violations_;
+  }
+
+ private:
+  struct TxnState {
+    /// Log fragments per updated page not yet stable on a log disk.
+    /// Duplicate reads make one logical page two independent cache frames,
+    /// so the WAL check pairs each home write with one durable fragment
+    /// (frag_unconsumed) rather than requiring frag_pending to reach zero.
+    std::unordered_map<uint64_t, int> frag_pending;
+    /// Durable fragments per page not yet backing an issued home write.
+    std::unordered_map<uint64_t, int> frag_unconsumed;
+    /// True once any log fragment was issued (enables WAL checks; other
+    /// architectures never set it).
+    bool uses_wal = false;
+    /// Dirty page-table pages awaiting the commit flip.
+    std::unordered_set<uint64_t> dirty_pt;
+    /// Copy-on-write blocks written, keyed by logical page (encoded
+    /// placement); live only after commit.
+    std::unordered_map<uint64_t, uint64_t> shadow_candidates;
+    /// Home locations overwritten in place before commit (page -> count;
+    /// a page can be updated more than once per attempt).
+    std::unordered_map<uint64_t, int> inplace;
+    bool committing = false;
+  };
+
+  static uint64_t PlacementKey(const Placement& pl);
+  TxnState& StateOf(txn::TxnId t) { return txns_[t]; }
+  void Violate(const char* check, std::string detail);
+
+  AuditorOptions opts_;
+  sim::Simulator* sim_;
+  const txn::LockManager* locks_;
+  sim::TraceRing* trace_;
+
+  std::unordered_map<txn::TxnId, TxnState> txns_;
+  /// Logical page -> live physical block (shadow architecture only;
+  /// populated by committed copy-on-write flips).
+  std::unordered_map<uint64_t, uint64_t> live_block_;
+  /// Logical page -> transaction with an uncommitted shadow candidate.
+  std::unordered_map<uint64_t, txn::TxnId> candidate_owner_;
+
+  uint64_t checks_ = 0;
+  std::vector<AuditViolation> violations_;
+};
+
+}  // namespace dbmr::machine
+
+#endif  // DBMR_MACHINE_AUDITOR_H_

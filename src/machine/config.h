@@ -12,7 +12,20 @@
 #include "hw/disk_geometry.h"
 #include "util/stats.h"
 
+namespace dbmr::sim {
+class TraceRing;
+}
+
 namespace dbmr::machine {
+
+/// Auditing defaults on wherever asserts are on (debug builds) and off in
+/// release builds, so benchmarks pay nothing; MachineConfig::audit
+/// overrides either way.
+#ifdef NDEBUG
+inline constexpr bool kAuditByDefault = false;
+#else
+inline constexpr bool kAuditByDefault = true;
+#endif
 
 /// Physical location of a logical page: which data disk and where on it.
 struct Placement {
@@ -51,6 +64,19 @@ struct MachineConfig {
   /// then measured from arrival (a response time).
   sim::TimeMs mean_interarrival_ms = 0.0;
   uint64_t seed = 1;
+  /// Run the invariant auditor (write-ahead rule, page-table coherence,
+  /// conservation laws) alongside the simulation.
+  bool audit = kAuditByDefault;
+  /// Abort the process on the first audit violation, printing the repro
+  /// command and the trace tail.  When false, violations are collected in
+  /// MachineResult::audit_violations (for tests).
+  bool audit_abort = true;
+  /// Command line printed as "repro: ..." when an audit violation aborts.
+  std::string audit_repro_hint;
+  /// Optional event-trace ring the run records into (not owned).  The
+  /// machine, its devices, and the recovery architecture emit into it;
+  /// null disables tracing entirely.
+  sim::TraceRing* trace = nullptr;
 
   /// Pages of data area per disk (excluding the reserved cylinders).
   int64_t data_pages_per_disk() const {
@@ -83,6 +109,9 @@ struct MachineResult {
   /// Architecture-specific extras: log-disk utilizations, page-table disk
   /// utilization, buffer hit rates, ...
   std::map<std::string, double> extra;
+  /// Invariant violations collected when auditing runs with
+  /// audit_abort == false ("check: detail" strings); empty on a clean run.
+  std::vector<std::string> audit_violations;
 };
 
 }  // namespace dbmr::machine

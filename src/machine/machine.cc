@@ -11,15 +11,14 @@ Placement RecoveryArch::ReadPlacement(uint64_t page) {
   return machine_->HomePlacement(page);
 }
 
+Auditor* RecoveryArch::auditor() const { return machine_->auditor(); }
+
 void RecoveryArch::WriteUpdatedPage(txn::TxnId t, uint64_t page,
                                     std::function<void()> done) {
   Placement pl = machine_->HomePlacement(page);
-  machine_->data_disk(pl.disk)->Submit(hw::DiskRequest{
-      pl.addr, /*is_write=*/true, 1,
-      [this, t, done = std::move(done)] {
-        machine_->NoteHomeWrite(t);
-        done();
-      }});
+  machine_->NoteHomeWrite(t, page);
+  machine_->data_disk(pl.disk)->Submit(
+      hw::DiskRequest{pl.addr, /*is_write=*/true, 1, std::move(done)});
 }
 
 Machine::Machine(const MachineConfig& config,
@@ -35,6 +34,12 @@ Machine::Machine(const MachineConfig& config,
   DBMR_CHECK(config_.num_data_disks > 0);
   DBMR_CHECK(static_cast<int64_t>(config_.db_pages) <=
              config_.data_pages_per_disk() * config_.num_data_disks);
+  // Attach the trace ring before any device exists so every component
+  // registers its track in a deterministic order.
+  sim_.set_trace(config_.trace);
+  if (sim::TraceRing* tr = sim_.trace()) {
+    machine_track_ = tr->RegisterTrack("machine");
+  }
   for (int i = 0; i < config_.num_data_disks; ++i) {
     data_disks_.push_back(std::make_unique<hw::DiskModel>(
         &sim_, StrFormat("data%d", i), config_.geometry, config_.disk_kind,
@@ -43,6 +48,15 @@ Machine::Machine(const MachineConfig& config,
   free_frames_ = config_.cache_frames;
   qp_busy_stat_.Set(0.0, 0.0);
   blocked_pages_stat_.Set(0.0, 0.0);
+  if (config_.audit) {
+    AuditorOptions opts;
+    opts.cache_frames = config_.cache_frames;
+    opts.num_query_processors = config_.num_query_processors;
+    opts.abort_on_violation = config_.audit_abort;
+    opts.repro_hint = config_.audit_repro_hint;
+    auditor_ = std::make_unique<Auditor>(std::move(opts), &sim_, &locks_,
+                                         sim_.trace());
+  }
   arch_->Attach(this);
 }
 
@@ -87,8 +101,9 @@ void Machine::ReturnFrame() {
   Pump();
 }
 
-void Machine::NoteHomeWrite(txn::TxnId t) {
-  (void)t;
+void Machine::NoteHomeWrite(txn::TxnId t, uint64_t page) {
+  if (auditor_) auditor_->OnHomeWriteIssued(t, page);
+  TraceEmit(sim::TraceKind::kHomeWriteIssue, t, page);
   ++pages_written_;
 }
 
@@ -120,6 +135,7 @@ MachineResult Machine::Run() {
   Pump();
   sim_.Run();
   DBMR_CHECK(completed_txns_ == static_cast<int>(workload_.size()));
+  if (auditor_) auditor_->OnRunEnd(free_frames_, busy_qps_, blocked_pages_);
 
   MachineResult r;
   r.arch_name = arch_->name();
@@ -149,6 +165,17 @@ MachineResult Machine::Run() {
         static_cast<double>(data_disks_[i]->max_queue_length());
   }
   arch_->ContributeStats(&r);
+  if (auditor_) {
+    auditor_->CheckResult(r);
+    r.extra["audit_checks"] = static_cast<double>(auditor_->checks());
+    r.extra["audit_violation_count"] =
+        static_cast<double>(auditor_->violations().size());
+    for (const AuditViolation& v : auditor_->violations()) {
+      r.audit_violations.push_back(
+          StrFormat("%s: %s (t=%.3f)", v.check.c_str(), v.detail.c_str(),
+                    v.when));
+    }
+  }
   return r;
 }
 
@@ -160,6 +187,9 @@ void Machine::AdmitNext() {
   // admission counts toward the response time); in the closed batch it is
   // stamped here, at first cache-frame eligibility, per the paper.
   if (config_.mean_interarrival_ms <= 0.0) txn->admit_time = sim_.Now();
+  if (auditor_) auditor_->OnAdmit(txn->spec->id);
+  TraceEmit(sim::TraceKind::kTxnAdmit, txn->spec->id,
+            txn->spec->reads.size());
   active_.push_back(txn);
 }
 
@@ -186,7 +216,12 @@ void Machine::Pump() {
         if (free_frames_ <= 0) break;
         if (txn->doomed || txn->paused || txn->committing) continue;
         for (int k = 0; k < config_.read_ahead_chunk; ++k) {
-          if (free_frames_ <= 0 || txn->doomed) break;
+          // Re-check paused too: a deadlock inside IssueRead can run the
+          // whole restart synchronously (doomed set, abort completed,
+          // doomed cleared, backoff pending), and issuing more reads for
+          // the paused transaction here would re-deadlock it at the same
+          // instant, forever.
+          if (free_frames_ <= 0 || txn->doomed || txn->paused) break;
           if (txn->next_read >= txn->spec->reads.size()) break;
           IssueRead(txn);
           progress = true;
@@ -195,6 +230,10 @@ void Machine::Pump() {
     }
   } while (repump_);
   pumping_ = false;
+  if (auditor_) {
+    auditor_->CheckFrames(free_frames_);
+    auditor_->CheckQps(busy_qps_);
+  }
 }
 
 void Machine::IssueRead(TxnRun* txn) {
@@ -227,13 +266,17 @@ void Machine::IssueRead(TxnRun* txn) {
       ++txn->waiting_locks;
       break;
     case txn::AcquireResult::kDeadlock: {
-      // Victim: drain in-flight pages, then restart from scratch.
+      // Victim: drain in-flight pages, then restart from scratch.  Granted
+      // locks are kept until the abort completes (RestartTxn releases
+      // them) so in-place overwrites are restored before anyone else can
+      // read those pages; only the queued requests are dropped, which is
+      // enough to break the cycle — this victim no longer waits.
       ++free_frames_;
       --txn->outstanding;
       txn->doomed = true;
-      locks_.ReleaseAll(id);
+      locks_.CancelWaiting(id);
       // Reclaim reads stuck waiting for locks (their queued requests were
-      // just dropped by ReleaseAll).
+      // just dropped).
       free_frames_ += txn->waiting_locks;
       txn->outstanding -= txn->waiting_locks;
       txn->waiting_locks = 0;
@@ -245,8 +288,11 @@ void Machine::IssueRead(TxnRun* txn) {
 
 void Machine::StartRead(TxnRun* txn, uint64_t page, bool is_write) {
   const txn::TxnId id = txn->spec->id;
+  if (auditor_) auditor_->OnLockAcquired(id, page);
+  TraceEmit(sim::TraceKind::kReadIssue, id, page);
   arch_->BeforeRead(id, page, [this, txn, page, is_write] {
     Placement pl = arch_->ReadPlacement(page);
+    if (auditor_) auditor_->OnReadPlacement(page, pl);
     data_disks_[static_cast<size_t>(pl.disk)]->Submit(hw::DiskRequest{
         pl.addr, /*is_write=*/false, arch_->ReadTransferPages(),
         [this, txn, page, is_write] {
@@ -257,6 +303,7 @@ void Machine::StartRead(TxnRun* txn, uint64_t page, bool is_write) {
 }
 
 void Machine::OnReadDone(PageWork work) {
+  TraceEmit(sim::TraceKind::kPageReady, work.txn->spec->id, work.page);
   ready_.push_back(work);
   Pump();
 }
@@ -264,12 +311,14 @@ void Machine::OnReadDone(PageWork work) {
 void Machine::StartProcessing(PageWork work) {
   ++busy_qps_;
   qp_busy_stat_.Set(sim_.Now(), static_cast<double>(busy_qps_));
+  TraceEmit(sim::TraceKind::kQpStart, work.txn->spec->id, work.page);
   const sim::TimeMs service =
       config_.cpu_ms_per_page +
       arch_->ExtraCpu(work.txn->spec->id, work.page, work.is_write);
   sim_.Schedule(service, [this, work] {
     --busy_qps_;
     qp_busy_stat_.Set(sim_.Now(), static_cast<double>(busy_qps_));
+    TraceEmit(sim::TraceKind::kQpEnd, work.txn->spec->id, work.page);
     OnProcessed(work);
   });
 }
@@ -284,11 +333,23 @@ void Machine::OnProcessed(PageWork work) {
   ++blocked_pages_;
   blocked_pages_stat_.Set(sim_.Now(), static_cast<double>(blocked_pages_));
   const txn::TxnId id = work.txn->spec->id;
+  if (auditor_) auditor_->OnCollectStart(id, work.page);
+  TraceEmit(sim::TraceKind::kCollectStart, id, work.page);
   arch_->CollectRecoveryData(id, work.page, [this, work, id] {
     --blocked_pages_;
     blocked_pages_stat_.Set(sim_.Now(),
                             static_cast<double>(blocked_pages_));
-    arch_->WriteUpdatedPage(id, work.page, [this, work] {
+    if (auditor_) auditor_->OnRecoveryStable(id, work.page);
+    TraceEmit(sim::TraceKind::kRecoveryStable, id, work.page);
+    if (work.txn->doomed) {
+      // The transaction became a deadlock victim while its recovery data
+      // was in flight; its locks are gone, so writing the aborted update
+      // home would expose uncommitted data.  Discard the page instead.
+      RetirePage(work);
+      return;
+    }
+    arch_->WriteUpdatedPage(id, work.page, [this, work, id] {
+      TraceEmit(sim::TraceKind::kHomeWriteDone, id, work.page);
       RetirePage(work);
     });
   });
@@ -310,10 +371,14 @@ void Machine::MaybeComplete(TxnRun* txn) {
   if (txn->committing) return;
   if (txn->next_read < txn->spec->reads.size()) return;
   txn->committing = true;
+  if (auditor_) auditor_->OnCommitStart(txn->spec->id, txn->spec->write_set);
+  TraceEmit(sim::TraceKind::kCommitStart, txn->spec->id);
   arch_->OnCommit(txn->spec->id, [this, txn] { CompleteTxn(txn); });
 }
 
 void Machine::CompleteTxn(TxnRun* txn) {
+  if (auditor_) auditor_->OnCommitDone(txn->spec->id);
+  TraceEmit(sim::TraceKind::kCommitDone, txn->spec->id);
   completion_ms_.Add(sim_.Now() - txn->admit_time);
   completion_end_ = std::max(completion_end_, sim_.Now());
   locks_.ReleaseAll(txn->spec->id);
@@ -326,21 +391,33 @@ void Machine::CompleteTxn(TxnRun* txn) {
 void Machine::RestartTxn(TxnRun* txn) {
   ++deadlock_restarts_;
   ++txn->restarts;
-  arch_->OnRestart(txn->spec->id);
-  locks_.ReleaseAll(txn->spec->id);
-  txn->doomed = false;
-  txn->next_read = 0;
-  txn->committing = false;
-  // Randomized backoff before the rerun: immediate restarts of mutually
-  // conflicting transactions re-collide indefinitely under heavy skew.
   txn->paused = true;
-  const sim::TimeMs backoff =
-      rng_.Exponential(100.0 * std::min(txn->restarts, 10));
-  sim_.Schedule(backoff, [this, txn] {
-    txn->paused = false;
+  const txn::TxnId id = txn->spec->id;
+  TraceEmit(sim::TraceKind::kRestart, id,
+            static_cast<uint64_t>(txn->restarts));
+  // The abort may need I/O (no-redo overwriting restores before images);
+  // the victim keeps its locks until the architecture reports the abort
+  // complete, so no other transaction can read the half-undone pages.
+  arch_->OnRestart(id, [this, txn, id] {
+    if (auditor_) auditor_->OnRestartComplete(id);
+    locks_.ReleaseAll(id);
+    txn->doomed = false;
+    txn->next_read = 0;
+    txn->committing = false;
+    // Randomized backoff before the rerun: immediate restarts of mutually
+    // conflicting transactions re-collide indefinitely under heavy skew.
+    // The wake-up is tagged with the restart generation so a stale event
+    // from an earlier restart cannot cut a later restart's backoff short.
+    const int generation = txn->restarts;
+    const sim::TimeMs backoff =
+        rng_.Exponential(100.0 * std::min(txn->restarts, 10));
+    sim_.Schedule(backoff, [this, txn, generation] {
+      if (txn->restarts != generation) return;
+      txn->paused = false;
+      Pump();
+    });
     Pump();
   });
-  Pump();
 }
 
 }  // namespace dbmr::machine

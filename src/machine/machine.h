@@ -22,9 +22,11 @@
 #include <vector>
 
 #include "hw/disk.h"
+#include "machine/auditor.h"
 #include "machine/config.h"
 #include "machine/recovery_arch.h"
 #include "sim/simulator.h"
+#include "sim/trace.h"
 #include "txn/lock_manager.h"
 #include "util/rng.h"
 #include "workload/workload.h"
@@ -64,13 +66,27 @@ class Machine {
   bool TryTakeFrame();
   void ReturnFrame();
 
-  /// Pages the architecture writes home on behalf of a transaction should
-  /// report here so the completion-time metric sees them.
-  void NoteHomeWrite(txn::TxnId t);
+  /// The architecture is issuing the home (or redirected) write of an
+  /// updated page; audited against the write-ahead rule and counted for
+  /// the pages_written statistic.
+  void NoteHomeWrite(txn::TxnId t, uint64_t page);
 
   /// Physical updated-page writes performed by the architecture (for the
   /// pages_written statistic).
   void NotePhysicalWrite() { ++pages_written_; }
+
+  /// The run's invariant auditor, or null when auditing is off.
+  Auditor* auditor() { return auditor_.get(); }
+
+  /// The run's event-trace ring, or null when tracing is off.
+  sim::TraceRing* trace() { return sim_.trace(); }
+
+  /// Emits a trace event on the machine's own track (no-op untraced).
+  void TraceEmit(sim::TraceKind kind, uint64_t a = 0, uint64_t b = 0) {
+    if (sim::TraceRing* tr = sim_.trace()) {
+      tr->Emit(sim_.Now(), machine_track_, kind, a, b);
+    }
+  }
 
  private:
   struct TxnRun {
@@ -109,6 +125,8 @@ class Machine {
   Rng rng_;
   txn::LockManager locks_;
   std::vector<std::unique_ptr<hw::DiskModel>> data_disks_;
+  std::unique_ptr<Auditor> auditor_;
+  uint16_t machine_track_ = 0;
 
   std::vector<std::unique_ptr<TxnRun>> runs_;
   std::deque<TxnRun*> pending_;  // not yet admitted

@@ -22,6 +22,7 @@
 
 namespace dbmr::machine {
 
+class Auditor;
 class Machine;
 
 /// A pluggable recovery architecture.
@@ -88,13 +89,24 @@ class RecoveryArch {
 
   /// A deadlock victim is about to re-run from its first page; drop any
   /// per-transaction recovery state collected so far (the paper's
-  /// scheduler aborts the victim, which discards its recovery data).
-  virtual void OnRestart(txn::TxnId t) { (void)t; }
+  /// scheduler aborts the victim, which discards its recovery data) and
+  /// invoke `done` exactly once when the abort is complete.  Architectures
+  /// whose abort needs I/O (no-redo overwriting must restore before
+  /// images) invoke it after that I/O; the machine keeps the victim's
+  /// locks until then.
+  virtual void OnRestart(txn::TxnId t, std::function<void()> done) {
+    (void)t;
+    done();
+  }
 
   /// Adds architecture-specific metrics to the result.
   virtual void ContributeStats(MachineResult* result) { (void)result; }
 
  protected:
+  /// The machine's invariant auditor, or null when auditing is off.
+  /// Architectures report WAL / page-table / undo transitions here.
+  Auditor* auditor() const;
+
   Machine* machine_ = nullptr;
 };
 

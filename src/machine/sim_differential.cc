@@ -83,11 +83,9 @@ Status SimDifferential::WriteOutputPage(txn::TxnId t, uint64_t near_page,
       home.disk, a_cursor_[static_cast<size_t>(home.disk)]++);
   ++output_pages_;
   ++outputs_since_merge_;
-  machine_->data_disk(a.disk)->Submit(hw::DiskRequest{
-      a.addr, true, 1, [this, t, done = std::move(done)] {
-        machine_->NoteHomeWrite(t);
-        done();
-      }});
+  machine_->NoteHomeWrite(t, near_page);
+  machine_->data_disk(a.disk)->Submit(
+      hw::DiskRequest{a.addr, true, 1, std::move(done)});
   MaybeStartMerge();
   return Status::OK();
 }

@@ -67,7 +67,14 @@ class SimDifferential : public RecoveryArch {
   void WriteUpdatedPage(txn::TxnId t, uint64_t page,
                         std::function<void()> done) override;
   void OnCommit(txn::TxnId t, std::function<void()> done) override;
-  void OnRestart(txn::TxnId t) override { txn_output_acc_.erase(t); }
+  void OnRestart(txn::TxnId t, std::function<void()> done) override {
+    // Drop the whole per-transaction output state; leaving txn_last_page_
+    // behind leaked an entry per restarted transaction and let the rerun
+    // cluster its first output write near the aborted run's last page.
+    txn_output_acc_.erase(t);
+    txn_last_page_.erase(t);
+    done();
+  }
   void ContributeStats(MachineResult* result) override;
 
  private:

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "machine/auditor.h"
+#include "sim/trace.h"
 #include "util/str.h"
 
 namespace dbmr::machine {
@@ -34,6 +36,12 @@ std::string SimLogging::name() const {
 
 void SimLogging::Attach(Machine* machine) {
   RecoveryArch::Attach(machine);
+  // Derived (not forked mid-setup) so the selection stream is a pure
+  // function of the cell seed regardless of how many draws setup made.
+  select_rng_ = Rng(machine->config().seed ^ 0xc2b2ae3d27d4eb4fULL);
+  if (sim::TraceRing* tr = machine->simulator()->trace()) {
+    track_ = tr->RegisterTrack("wal");
+  }
   for (int i = 0; i < opts_.num_log_processors; ++i) {
     auto lp = std::make_unique<LogProcessor>();
     lp->disk = std::make_unique<hw::DiskModel>(
@@ -63,7 +71,7 @@ size_t SimLogging::ChooseProcessor(txn::TxnId t) {
       return cyclic_++ % n;
     case LogSelect::kRandom:
       return static_cast<size_t>(
-          machine_->rng()->UniformInt(0, static_cast<int64_t>(n) - 1));
+          select_rng_.UniformInt(0, static_cast<int64_t>(n) - 1));
     case LogSelect::kQpMod: {
       // The producing query processor's number: the machine assigns pages
       // to whichever processor frees first, which cycles through the pool.
@@ -81,6 +89,11 @@ void SimLogging::CollectRecoveryData(txn::TxnId t, uint64_t page,
                                      std::function<void()> ready) {
   const size_t lp_idx = ChooseProcessor(t);
   ++undurable_[t];
+  if (Auditor* a = auditor()) a->OnLogFragment(t, page);
+  if (sim::TraceRing* tr = machine_->trace()) {
+    tr->Emit(machine_->simulator()->Now(), track_,
+             sim::TraceKind::kLogFragment, t, page);
+  }
 
   if (opts_.route_via_cache) {
     // The fragment is staged in a cache frame until the log processor
@@ -116,14 +129,13 @@ hw::DiskPageAddr SimLogging::NextLogAddr(LogProcessor* lp) {
 
 void SimLogging::DeliverFragment(size_t lp_idx, txn::TxnId t, uint64_t page,
                                  std::function<void()> ready) {
-  (void)page;
   LogProcessor* lp = lps_[lp_idx].get();
 
   if (opts_.physical) {
     // Before image and after image: two full log pages, written at once.
     Group group;
     group.fragments = 1;
-    group.readies.push_back(std::move(ready));
+    group.frags.push_back(Frag{t, page, std::move(ready)});
     group.txn_fragments[t] = 1;
     lp->disk->Submit(hw::DiskRequest{NextLogAddr(lp), true, 1, nullptr});
     lp->disk->Submit(hw::DiskRequest{
@@ -137,7 +149,7 @@ void SimLogging::DeliverFragment(size_t lp_idx, txn::TxnId t, uint64_t page,
 
   Group& g = lp->current;
   ++g.fragments;
-  g.readies.push_back(std::move(ready));
+  g.frags.push_back(Frag{t, page, std::move(ready)});
   ++g.txn_fragments[t];
   if (g.fragments == 1) {
     // First fragment of a fresh page: arm the flush timer so blocked
@@ -161,6 +173,10 @@ void SimLogging::FlushGroup(LogProcessor* lp) {
   Group group = std::move(lp->current);
   lp->current = Group{};
   ++lp->group_gen;
+  if (sim::TraceRing* tr = machine_->trace()) {
+    tr->Emit(machine_->simulator()->Now(), track_, sim::TraceKind::kLogForce,
+             static_cast<uint64_t>(group.fragments));
+  }
   WriteLogPage(lp, std::move(group));
 }
 
@@ -174,7 +190,21 @@ void SimLogging::WriteLogPage(LogProcessor* lp, Group group) {
 }
 
 void SimLogging::OnLogPageWritten(Group group) {
-  for (auto& ready : group.readies) ready();
+  // Durability accounting must complete before any ready fires: a ready
+  // callback issues the updated page's home write immediately, and the
+  // write-ahead rule requires every fragment of that page to already be
+  // stable at that instant.  (Firing readies first — the original order —
+  // made the home write race ahead of its own log fragment's bookkeeping.)
+  Auditor* a = auditor();
+  sim::TraceRing* tr = machine_->trace();
+  for (const Frag& f : group.frags) {
+    if (a != nullptr) a->OnFragmentDurable(f.t, f.page);
+    if (tr != nullptr) {
+      tr->Emit(machine_->simulator()->Now(), track_,
+               sim::TraceKind::kFragmentDurable, f.t, f.page);
+    }
+  }
+  std::vector<std::function<void()>> commit_dones;
   for (const auto& [t, count] : group.txn_fragments) {
     auto it = undurable_.find(t);
     DBMR_CHECK(it != undurable_.end());
@@ -183,12 +213,13 @@ void SimLogging::OnLogPageWritten(Group group) {
       undurable_.erase(it);
       auto w = commit_waiters_.find(t);
       if (w != commit_waiters_.end()) {
-        auto done = std::move(w->second);
+        commit_dones.push_back(std::move(w->second));
         commit_waiters_.erase(w);
-        done();
       }
     }
   }
+  for (Frag& f : group.frags) f.ready();
+  for (auto& done : commit_dones) done();
 }
 
 void SimLogging::OnCommit(txn::TxnId t, std::function<void()> done) {

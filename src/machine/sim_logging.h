@@ -76,9 +76,16 @@ class SimLogging : public RecoveryArch {
   double LogDiskUtilization(int i) const;
 
  private:
+  /// One fragment awaiting its carrying log page; `ready` releases the
+  /// updated page for write-back once the log page is on disk.
+  struct Frag {
+    txn::TxnId t = 0;
+    uint64_t page = 0;
+    std::function<void()> ready;
+  };
   struct Group {
     int fragments = 0;
-    std::vector<std::function<void()>> readies;
+    std::vector<Frag> frags;
     std::unordered_map<txn::TxnId, int> txn_fragments;
   };
   struct LogProcessor {
@@ -102,6 +109,11 @@ class SimLogging : public RecoveryArch {
   std::unique_ptr<hw::Channel> channel_;
   size_t cyclic_ = 0;
   size_t qp_cursor_ = 0;
+  /// Private stream for LogSelect::kRandom, seeded purely from the machine
+  /// seed: drawing from the machine's main Rng would entangle log-processor
+  /// selection with workload/backoff draws and break trace reproducibility.
+  Rng select_rng_;
+  uint16_t track_ = 0;  // trace track ("wal")
   /// Fragments of each transaction not yet on a log disk.
   std::unordered_map<txn::TxnId, int> undurable_;
   /// Commit waiters blocked on their last fragments.

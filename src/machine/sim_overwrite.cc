@@ -3,6 +3,8 @@
 #include <memory>
 #include <utility>
 
+#include "machine/auditor.h"
+#include "sim/trace.h"
 #include "util/str.h"
 
 namespace dbmr::machine {
@@ -37,21 +39,26 @@ void SimOverwrite::WriteUpdatedPage(txn::TxnId t, uint64_t page,
     return;
   }
 
-  // kNoRedo: save the shadow (already in the cache) to scratch, then
-  // overwrite the home location in place.
+  // kNoRedo: save the before image to scratch, then overwrite the home
+  // location in place.  Record the pair so an abort can put the before
+  // image back.
   ++scratch_writes_;
   machine_->data_disk(scratch.disk)->Submit(hw::DiskRequest{
-      scratch.addr, true, 1, [this, t, home, done = std::move(done)]() mutable {
+      scratch.addr, true, 1,
+      [this, t, page, home, scratch, done = std::move(done)]() mutable {
         ++home_writes_;
-        machine_->data_disk(home.disk)->Submit(hw::DiskRequest{
-            home.addr, true, 1, [this, t, done = std::move(done)] {
-              machine_->NoteHomeWrite(t);
-              done();
-            }});
+        overwritten_[t].push_back(Undo{page, scratch, home});
+        if (Auditor* a = auditor()) a->OnInPlaceOverwrite(t, page);
+        machine_->NoteHomeWrite(t, page);
+        machine_->data_disk(home.disk)->Submit(
+            hw::DiskRequest{home.addr, true, 1, std::move(done)});
       }});
 }
 
 void SimOverwrite::OnCommit(txn::TxnId t, std::function<void()> done) {
+  // Commit makes the no-redo in-place overwrites permanent; their saved
+  // before images are dead.
+  overwritten_.erase(t);
   auto it = pending_.find(t);
   if (it == pending_.end() || it->second.empty()) {
     pending_.erase(t);
@@ -72,9 +79,42 @@ void SimOverwrite::OnCommit(txn::TxnId t, std::function<void()> done) {
         scratch.addr, false, 1, [this, t, p, remaining, shared_done] {
           const Placement home = machine_->HomePlacement(p);
           ++home_writes_;
+          machine_->NoteHomeWrite(t, p);
           machine_->data_disk(home.disk)->Submit(hw::DiskRequest{
-              home.addr, true, 1, [this, t, remaining, shared_done] {
-                machine_->NoteHomeWrite(t);
+              home.addr, true, 1, [remaining, shared_done] {
+                if (--*remaining == 0) (*shared_done)();
+              }});
+        }});
+  }
+}
+
+void SimOverwrite::OnRestart(txn::TxnId t, std::function<void()> done) {
+  pending_.erase(t);
+  auto it = overwritten_.find(t);
+  if (it == overwritten_.end() || it->second.empty()) {
+    overwritten_.erase(t);
+    done();
+    return;
+  }
+  // No-redo abort: the home locations hold uncommitted data.  Read each
+  // saved before image back from scratch and overwrite the home location
+  // with it; the machine keeps the victim's locks until `done` fires, so
+  // no other transaction can observe a half-undone page.
+  auto undos = std::move(it->second);
+  overwritten_.erase(it);
+  auto remaining = std::make_shared<int>(static_cast<int>(undos.size()));
+  auto shared_done = std::make_shared<std::function<void()>>(std::move(done));
+  for (const Undo& u : undos) {
+    ++undo_reads_;
+    machine_->data_disk(u.scratch.disk)->Submit(hw::DiskRequest{
+        u.scratch.addr, false, 1, [this, t, u, remaining, shared_done] {
+          ++undo_writes_;
+          machine_->NotePhysicalWrite();
+          machine_->TraceEmit(sim::TraceKind::kUndoRestore, t, u.page);
+          machine_->data_disk(u.home.disk)->Submit(hw::DiskRequest{
+              u.home.addr, true, 1,
+              [this, t, u, remaining, shared_done] {
+                if (Auditor* a = auditor()) a->OnOverwriteUndone(t, u.page);
                 if (--*remaining == 0) (*shared_done)();
               }});
         }});
@@ -85,6 +125,8 @@ void SimOverwrite::ContributeStats(MachineResult* result) {
   result->extra["scratch_writes"] = static_cast<double>(scratch_writes_);
   result->extra["scratch_reads"] = static_cast<double>(scratch_reads_);
   result->extra["home_overwrites"] = static_cast<double>(home_writes_);
+  result->extra["undo_reads"] = static_cast<double>(undo_reads_);
+  result->extra["undo_writes"] = static_cast<double>(undo_writes_);
 }
 
 }  // namespace dbmr::machine

@@ -11,7 +11,10 @@
 // the arm travel between the scratch area and the data area.
 //
 // No-redo variant: the original page is saved to scratch before the home
-// location is overwritten in place; commit needs no further I/O.
+// location is overwritten in place; commit needs no further I/O, but an
+// abort must read every saved before image back from scratch and restore
+// it over the home location (the transaction's locks are held until the
+// restore completes).
 
 #ifndef DBMR_MACHINE_SIM_OVERWRITE_H_
 #define DBMR_MACHINE_SIM_OVERWRITE_H_
@@ -39,10 +42,17 @@ class SimOverwrite : public RecoveryArch {
   void WriteUpdatedPage(txn::TxnId t, uint64_t page,
                         std::function<void()> done) override;
   void OnCommit(txn::TxnId t, std::function<void()> done) override;
-  void OnRestart(txn::TxnId t) override { pending_.erase(t); }
+  void OnRestart(txn::TxnId t, std::function<void()> done) override;
   void ContributeStats(MachineResult* result) override;
 
  private:
+  /// One in-place overwrite a no-redo abort must roll back.
+  struct Undo {
+    uint64_t page = 0;
+    Placement scratch;  // where the before image was saved
+    Placement home;     // the overwritten home location
+  };
+
   Placement AllocScratch(int disk);
 
   SimOverwriteMode mode_;
@@ -51,9 +61,14 @@ class SimOverwrite : public RecoveryArch {
   /// (no-undo), with their scratch slots.
   std::unordered_map<txn::TxnId, std::vector<std::pair<uint64_t, Placement>>>
       pending_;
+  /// Per transaction: home locations overwritten in place before commit
+  /// (no-redo), in write order.
+  std::unordered_map<txn::TxnId, std::vector<Undo>> overwritten_;
   uint64_t scratch_writes_ = 0;
   uint64_t scratch_reads_ = 0;
   uint64_t home_writes_ = 0;
+  uint64_t undo_reads_ = 0;
+  uint64_t undo_writes_ = 0;
 };
 
 }  // namespace dbmr::machine

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "machine/auditor.h"
+#include "sim/trace.h"
 #include "util/str.h"
 
 namespace dbmr::machine {
@@ -142,11 +144,14 @@ void SimShadow::WriteUpdatedPage(txn::TxnId t, uint64_t page,
   dirty_pt_pages_[t].insert(PtPageOf(page));
   Placement pl = PageIsClustered(page) ? machine_->HomePlacement(page)
                                        : ScrambledPlacement(page);
-  machine_->data_disk(pl.disk)->Submit(hw::DiskRequest{
-      pl.addr, true, 1, [this, t, done = std::move(done)] {
-        machine_->NoteHomeWrite(t);
-        done();
-      }});
+  if (Auditor* a = auditor()) {
+    a->OnShadowWrite(t, page, pl);
+    a->OnPtDirty(t, PtPageOf(page));
+  }
+  machine_->NoteHomeWrite(t, page);
+  machine_->TraceEmit(sim::TraceKind::kShadowWrite, t, page);
+  machine_->data_disk(pl.disk)->Submit(
+      hw::DiskRequest{pl.addr, true, 1, std::move(done)});
 }
 
 void SimShadow::OnCommit(txn::TxnId t, std::function<void()> done) {
@@ -161,13 +166,16 @@ void SimShadow::OnCommit(txn::TxnId t, std::function<void()> done) {
   auto remaining = std::make_shared<int>(static_cast<int>(it->second.size()));
   auto shared_done = std::make_shared<std::function<void()>>(std::move(done));
   for (uint64_t pt_page : it->second) {
-    auto finish_write = [this, pt_page, remaining, shared_done] {
+    auto finish_write = [this, t, pt_page, remaining, shared_done] {
       PtProcessor* pt = pts_[ProcessorOf(pt_page)].get();
       ++pt_writes_;
-      pt->cpu->Submit(opts_.pt_cpu_ms, [pt, pt_page, remaining, shared_done,
-                                        this] {
+      pt->cpu->Submit(opts_.pt_cpu_ms, [pt, t, pt_page, remaining,
+                                        shared_done, this] {
         pt->disk->Submit(hw::DiskRequest{
-            PtAddr(pt_page), true, 1, [remaining, shared_done] {
+            PtAddr(pt_page), true, 1,
+            [this, t, pt_page, remaining, shared_done] {
+              if (Auditor* a = auditor()) a->OnPtFlushed(t, pt_page);
+              machine_->TraceEmit(sim::TraceKind::kPtWrite, t, pt_page);
               if (--*remaining == 0) (*shared_done)();
             }});
       });

@@ -73,7 +73,10 @@ class SimShadow : public RecoveryArch {
   void WriteUpdatedPage(txn::TxnId t, uint64_t page,
                         std::function<void()> done) override;
   void OnCommit(txn::TxnId t, std::function<void()> done) override;
-  void OnRestart(txn::TxnId t) override { dirty_pt_pages_.erase(t); }
+  void OnRestart(txn::TxnId t, std::function<void()> done) override {
+    dirty_pt_pages_.erase(t);
+    done();
+  }
   void ContributeStats(MachineResult* result) override;
 
   double PtDiskUtilization(int i) const;

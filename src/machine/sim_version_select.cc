@@ -9,11 +9,9 @@ void SimVersionSelect::WriteUpdatedPage(txn::TxnId t, uint64_t page,
   // The new version overwrites the adjacent non-current block: a single
   // one-page write at (essentially) the home location.
   Placement pl = machine_->HomePlacement(page);
-  machine_->data_disk(pl.disk)->Submit(hw::DiskRequest{
-      pl.addr, true, 1, [this, t, done = std::move(done)] {
-        machine_->NoteHomeWrite(t);
-        done();
-      }});
+  machine_->NoteHomeWrite(t, page);
+  machine_->data_disk(pl.disk)->Submit(
+      hw::DiskRequest{pl.addr, true, 1, std::move(done)});
 }
 
 void SimVersionSelect::OnCommit(txn::TxnId t, std::function<void()> done) {

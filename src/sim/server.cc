@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/trace.h"
+
 namespace dbmr::sim {
 
 Server::Server(Simulator* sim, std::string name)
@@ -9,6 +11,7 @@ Server::Server(Simulator* sim, std::string name)
   DBMR_CHECK(sim != nullptr);
   busy_stat_.Set(sim_->Now(), 0.0);
   queue_stat_.Set(sim_->Now(), 0.0);
+  if (TraceRing* tr = sim_->trace()) track_ = tr->RegisterTrack(name_);
 }
 
 void Server::Submit(Job job) {
@@ -37,10 +40,16 @@ void Server::StartNext() {
   // The done callback parks in the server (a server serves exactly one job
   // at a time), so the completion closure captures only `this`.
   in_service_done_ = std::move(p.job.done);
+  if (TraceRing* tr = sim_->trace()) {
+    tr->Emit(sim_->Now(), track_, TraceKind::kServerStart, queue_.size());
+  }
   sim_->Schedule(service, [this] { OnComplete(); });
 }
 
 void Server::OnComplete() {
+  if (TraceRing* tr = sim_->trace()) {
+    tr->Emit(sim_->Now(), track_, TraceKind::kServerEnd, completed_ + 1);
+  }
   InlineTask done = std::move(in_service_done_);
   busy_ = false;
   busy_stat_.Set(sim_->Now(), 0.0);

@@ -79,6 +79,7 @@ class Server {
 
   Simulator* sim_;
   std::string name_;
+  uint16_t track_ = 0;  // trace track, registered when the sim carries one
   bool busy_ = false;
   std::deque<Pending> queue_;
   InlineTask in_service_done_;  // done callback of the job in service

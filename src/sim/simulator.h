@@ -34,6 +34,8 @@
 
 namespace dbmr::sim {
 
+class TraceRing;
+
 /// Identifies a scheduled event; usable to cancel it before it fires.
 /// Packs a pool-slot index (low 32 bits) and that slot's generation at
 /// scheduling time (high 32 bits); a live slot's generation is never 0,
@@ -100,6 +102,12 @@ class Simulator {
   /// Scheduled/executed/cancelled totals and heap/pool highwaters.
   const SimCounters& counters() const { return counters_; }
 
+  /// Optional event-trace ring (non-owning).  Model components emit trace
+  /// events through this when set; the kernel itself never does, so the
+  /// schedule/fire hot path is identical with and without tracing.
+  void set_trace(TraceRing* trace) { trace_ = trace; }
+  TraceRing* trace() const { return trace_; }
+
  private:
   /// One future-event-list entry; 24 bytes of POD, cheap to sift.  `gen`
   /// snapshots the slot generation at scheduling time: the entry is stale
@@ -138,6 +146,7 @@ class Simulator {
   bool SkimCancelled();
 
   TimeMs now_ = 0.0;
+  TraceRing* trace_ = nullptr;
   uint64_t next_seq_ = 0;
   size_t live_count_ = 0;
   SimCounters counters_;

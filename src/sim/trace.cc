@@ -1,0 +1,178 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/str.h"
+
+namespace dbmr::sim {
+
+const char* TraceKindName(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kDiskAccessStart:
+    case TraceKind::kDiskAccessEnd:
+      return "disk-access";
+    case TraceKind::kServerStart:
+    case TraceKind::kServerEnd:
+      return "service";
+    case TraceKind::kTxnAdmit:
+      return "txn-admit";
+    case TraceKind::kReadIssue:
+      return "read-issue";
+    case TraceKind::kPageReady:
+      return "page-ready";
+    case TraceKind::kQpStart:
+      return "qp-process";
+    case TraceKind::kQpEnd:
+      return "qp-done";
+    case TraceKind::kCollectStart:
+      return "collect-recovery-data";
+    case TraceKind::kRecoveryStable:
+      return "recovery-stable";
+    case TraceKind::kHomeWriteIssue:
+      return "home-write-issue";
+    case TraceKind::kHomeWriteDone:
+      return "home-write-done";
+    case TraceKind::kCommitStart:
+      return "commit-start";
+    case TraceKind::kCommitDone:
+      return "commit-done";
+    case TraceKind::kRestart:
+      return "restart";
+    case TraceKind::kLogFragment:
+      return "log-fragment";
+    case TraceKind::kLogForce:
+      return "log-force";
+    case TraceKind::kFragmentDurable:
+      return "fragment-durable";
+    case TraceKind::kShadowWrite:
+      return "shadow-write";
+    case TraceKind::kPtWrite:
+      return "pt-write";
+    case TraceKind::kUndoRestore:
+      return "undo-restore";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Chrome phase for an event: begin, end, or instant.
+char PhaseOf(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kDiskAccessStart:
+    case TraceKind::kServerStart:
+      return 'B';
+    case TraceKind::kDiskAccessEnd:
+    case TraceKind::kServerEnd:
+      return 'E';
+    default:
+      return 'i';
+  }
+}
+
+}  // namespace
+
+TraceRing::TraceRing(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(std::min<size_t>(capacity_, 1024));
+}
+
+uint16_t TraceRing::RegisterTrack(const std::string& name) {
+  for (size_t i = 0; i < tracks_.size(); ++i) {
+    if (tracks_[i] == name) return static_cast<uint16_t>(i);
+  }
+  tracks_.push_back(name);
+  return static_cast<uint16_t>(tracks_.size() - 1);
+}
+
+void TraceRing::Emit(TimeMs when, uint16_t track, TraceKind kind, uint64_t a,
+                     uint64_t b) {
+  TraceEvent ev{when, a, b, track, kind};
+  if (ring_.size() < capacity_) {
+    ring_.push_back(ev);
+  } else {
+    ring_[next_] = ev;
+    next_ = (next_ + 1) % capacity_;
+  }
+  ++total_;
+}
+
+size_t TraceRing::size() const { return ring_.size(); }
+
+std::vector<TraceEvent> TraceRing::Events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::string TraceRing::ToChromeJson() const {
+  std::string out;
+  out.reserve(ring_.size() * 96 + 1024);
+  out += "{\"traceEvents\":[\n";
+  out += "{\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\","
+         "\"args\":{\"name\":\"dbmr\"}}";
+  for (size_t i = 0; i < tracks_.size(); ++i) {
+    out += StrFormat(
+        ",\n{\"ph\":\"M\",\"pid\":0,\"tid\":%zu,\"name\":\"thread_name\","
+        "\"args\":{\"name\":\"%s\"}}",
+        i, tracks_[i].c_str());
+  }
+  if (dropped() > 0) {
+    out += StrFormat(
+        ",\n{\"ph\":\"i\",\"pid\":0,\"tid\":0,\"ts\":0.000,\"s\":\"g\","
+        "\"name\":\"ring-dropped-%llu-events\"}",
+        static_cast<unsigned long long>(dropped()));
+  }
+  for (const TraceEvent& ev : Events()) {
+    const char ph = PhaseOf(ev.kind);
+    // ts is microseconds in the trace_event format; sim time is ms.
+    out += StrFormat(
+        ",\n{\"ph\":\"%c\",\"pid\":0,\"tid\":%u,\"ts\":%.3f,\"name\":\"%s\"",
+        ph, ev.track, ev.when * 1000.0, TraceKindName(ev.kind));
+    if (ph == 'i') out += ",\"s\":\"t\"";
+    if (ph != 'E') {
+      out += StrFormat(",\"args\":{\"a\":%llu,\"b\":%llu}",
+                       static_cast<unsigned long long>(ev.a),
+                       static_cast<unsigned long long>(ev.b));
+    }
+    out += "}";
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+Status TraceRing::WriteChromeJsonFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError(StrFormat("cannot open %s", path.c_str()));
+  }
+  const std::string json = ToChromeJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != json.size() || close_rc != 0) {
+    return Status::IoError(StrFormat("short write to %s", path.c_str()));
+  }
+  return Status::OK();
+}
+
+std::string TraceRing::Tail(size_t n) const {
+  std::vector<TraceEvent> events = Events();
+  const size_t start = events.size() > n ? events.size() - n : 0;
+  std::string out;
+  for (size_t i = start; i < events.size(); ++i) {
+    const TraceEvent& ev = events[i];
+    out += StrFormat("  [%12.3f ms] %-10s %-22s a=%llu b=%llu\n", ev.when,
+                     ev.track < tracks_.size() ? tracks_[ev.track].c_str()
+                                               : "?",
+                     TraceKindName(ev.kind),
+                     static_cast<unsigned long long>(ev.a),
+                     static_cast<unsigned long long>(ev.b));
+  }
+  return out;
+}
+
+}  // namespace dbmr::sim

@@ -1,0 +1,118 @@
+// Deterministic event tracing for the simulation.
+//
+// A TraceRing is a fixed-capacity ring of POD trace events (event kind,
+// sim time, component track, two payload words).  Components attached to a
+// Simulator that carries a ring emit events at their natural state
+// transitions (disk access start/end, server dispatch, machine pipeline
+// stages); with no ring attached every hook is a single null-pointer
+// check, so tracing costs nothing when off and the event-kernel hot path
+// (Schedule/Step) is never touched at all.
+//
+// Because the simulation is single-threaded and deterministic, the ring's
+// contents — and the Chrome trace_event JSON rendered from it — are a pure
+// function of the model and its seed: byte-identical across runs, thread
+// counts, and platforms.  Open an exported file in chrome://tracing or
+// https://ui.perfetto.dev.
+
+#ifndef DBMR_SIM_TRACE_H_
+#define DBMR_SIM_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+#include "util/status.h"
+
+namespace dbmr::sim {
+
+/// What happened.  Start/End pairs become Chrome "B"/"E" duration events
+/// on their component's track; everything else renders as an instant.
+enum class TraceKind : uint8_t {
+  // Device level (emitted by DiskModel / Server).
+  kDiskAccessStart,  ///< a = batch pages, b = target cylinder
+  kDiskAccessEnd,    ///< a = accesses so far
+  kServerStart,      ///< a = queue length after dispatch
+  kServerEnd,        ///< a = jobs completed so far
+  // Machine pipeline (emitted by machine::Machine).
+  kTxnAdmit,         ///< a = txn
+  kReadIssue,        ///< a = txn, b = page
+  kPageReady,        ///< a = txn, b = page
+  kQpStart,          ///< a = txn, b = page
+  kQpEnd,            ///< a = txn, b = page
+  kCollectStart,     ///< a = txn, b = page (updated page blocked on WAL)
+  kRecoveryStable,   ///< a = txn, b = page (page released for write-back)
+  kHomeWriteIssue,   ///< a = txn, b = page
+  kHomeWriteDone,    ///< a = txn, b = page
+  kCommitStart,      ///< a = txn
+  kCommitDone,       ///< a = txn
+  kRestart,          ///< a = txn, b = restart count
+  // Recovery architectures.
+  kLogFragment,      ///< a = txn, b = page (fragment delivered to a LP)
+  kLogForce,         ///< a = fragments in the forced group
+  kFragmentDurable,  ///< a = txn, b = page (carrying log page on disk)
+  kShadowWrite,      ///< a = txn, b = page (copy-on-write block written)
+  kPtWrite,          ///< a = txn, b = page-table page (commit flip)
+  kUndoRestore,      ///< a = txn, b = page (no-redo before-image restore)
+};
+
+const char* TraceKindName(TraceKind kind);
+
+/// One trace record; 32 bytes of POD.
+struct TraceEvent {
+  TimeMs when = 0;
+  uint64_t a = 0;
+  uint64_t b = 0;
+  uint16_t track = 0;
+  TraceKind kind = TraceKind::kTxnAdmit;
+};
+
+/// Fixed-capacity ring keeping the newest events.
+class TraceRing {
+ public:
+  static constexpr size_t kDefaultCapacity = 1 << 16;
+
+  explicit TraceRing(size_t capacity = kDefaultCapacity);
+
+  /// Names a component track ("data0", "log1", "machine", ...); returns
+  /// its id for Emit.  Registering an existing name returns the same id,
+  /// so re-attached components share a track.
+  uint16_t RegisterTrack(const std::string& name);
+
+  void Emit(TimeMs when, uint16_t track, TraceKind kind, uint64_t a = 0,
+            uint64_t b = 0);
+
+  /// Events currently held (<= capacity).
+  size_t size() const;
+  /// Events emitted since construction.
+  uint64_t total_emitted() const { return total_; }
+  /// Events overwritten because the ring was full.
+  uint64_t dropped() const { return total_ - size(); }
+  size_t capacity() const { return capacity_; }
+  size_t num_tracks() const { return tracks_.size(); }
+  const std::string& track_name(uint16_t track) const {
+    return tracks_[track];
+  }
+
+  /// The held events, oldest first.
+  std::vector<TraceEvent> Events() const;
+
+  /// Renders the ring as a Chrome trace_event JSON document
+  /// ({"traceEvents": [...]}).  Deterministic: depends only on the events.
+  std::string ToChromeJson() const;
+  Status WriteChromeJsonFile(const std::string& path) const;
+
+  /// Human-readable dump of the last `n` events (for violation reports).
+  std::string Tail(size_t n) const;
+
+ private:
+  size_t capacity_;
+  std::vector<TraceEvent> ring_;
+  size_t next_ = 0;     // slot the next event lands in once full
+  uint64_t total_ = 0;  // events ever emitted
+  std::vector<std::string> tracks_;
+};
+
+}  // namespace dbmr::sim
+
+#endif  // DBMR_SIM_TRACE_H_

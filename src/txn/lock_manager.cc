@@ -138,6 +138,25 @@ void LockManager::ReleaseAll(TxnId txn) {
   }
 }
 
+void LockManager::CancelWaiting(TxnId txn) {
+  auto wait_it = waiting_on_.find(txn);
+  if (wait_it == waiting_on_.end()) return;
+  std::vector<PageId> pages(wait_it->second.begin(), wait_it->second.end());
+  waiting_on_.erase(wait_it);
+  for (PageId page : pages) {
+    auto it = table_.find(page);
+    if (it == table_.end()) continue;
+    auto& waiters = it->second.waiters;
+    waiters.erase(std::remove_if(
+                      waiters.begin(), waiters.end(),
+                      [txn](const Request& r) { return r.txn == txn; }),
+                  waiters.end());
+    // The cancelled request may have been the queue head blocking later
+    // compatible requests.
+    PumpQueue(page);
+  }
+}
+
 void LockManager::Reset() {
   table_.clear();
   held_.clear();

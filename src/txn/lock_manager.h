@@ -79,6 +79,12 @@ class LockManager {
   /// Releases all locks of `txn` and removes its queued requests.
   void ReleaseAll(TxnId txn);
 
+  /// Removes `txn`'s queued requests without releasing its granted locks
+  /// (grant callbacks are discarded, not invoked).  Used for a deadlock
+  /// victim that must stop waiting immediately but keeps its locks until
+  /// its abort — which may need I/O to undo in-place writes — completes.
+  void CancelWaiting(TxnId txn);
+
   /// Drops every lock and queued request (crash of the volatile lock
   /// table).  Grant callbacks are discarded, not invoked.
   void Reset();

@@ -71,7 +71,11 @@ void TimeWeightedStat::Set(double now, double value) {
 }
 
 double TimeWeightedStat::Average(double as_of) const {
-  if (!started_ || as_of <= start_time_) return current_;
+  // A zero-length observation window has no time-weighted mean; returning
+  // 0.0 (rather than 0/0 or the instantaneous value) keeps utilizations
+  // read before the first event fires — e.g. Server::Utilization() at
+  // as_of == 0 — finite and unbiased.
+  if (!started_ || as_of <= start_time_) return 0.0;
   double total = weighted_sum_ + current_ * (as_of - last_time_);
   return total / (as_of - start_time_);
 }

@@ -1,0 +1,202 @@
+// Tests for the runtime invariant auditor: every shipped recovery
+// architecture runs audit-clean across the four standard configurations,
+// deliberately broken architectures are caught, and the protocol bugs the
+// auditor originally surfaced (home writes racing their log fragments,
+// doomed victims writing home without locks, no-redo aborts skipping the
+// before-image restore, restart livelock under skew) stay fixed.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/experiment.h"
+#include "machine/auditor.h"
+#include "machine/machine.h"
+#include "machine/sim_differential.h"
+#include "machine/sim_logging.h"
+#include "machine/sim_overwrite.h"
+#include "machine/sim_shadow.h"
+#include "machine/sim_version_select.h"
+
+namespace dbmr::machine {
+namespace {
+
+using core::Configuration;
+using core::RunWith;
+using core::StandardSetup;
+
+using ArchFactory = std::function<std::unique_ptr<RecoveryArch>()>;
+
+/// Every shipped architecture variant the auditor must pass on, including
+/// all four log-selection policies, physical logging, the cache fragment
+/// routing, and both page-table layouts.
+std::vector<std::pair<std::string, ArchFactory>> AllArchVariants() {
+  std::vector<std::pair<std::string, ArchFactory>> v;
+  v.emplace_back("bare", [] { return std::make_unique<BareArch>(); });
+  for (LogSelect sel : {LogSelect::kCyclic, LogSelect::kRandom,
+                        LogSelect::kQpMod, LogSelect::kTxnMod}) {
+    v.emplace_back(std::string("logging-") + LogSelectName(sel), [sel] {
+      SimLoggingOptions o;
+      o.num_log_processors = 2;
+      o.select = sel;
+      return std::make_unique<SimLogging>(o);
+    });
+  }
+  v.emplace_back("logging-physical", [] {
+    SimLoggingOptions o;
+    o.physical = true;
+    return std::make_unique<SimLogging>(o);
+  });
+  v.emplace_back("logging-via-cache", [] {
+    SimLoggingOptions o;
+    o.route_via_cache = true;
+    return std::make_unique<SimLogging>(o);
+  });
+  v.emplace_back("shadow-clustered", [] {
+    return std::make_unique<SimShadow>(SimShadowOptions{});
+  });
+  v.emplace_back("shadow-scrambled", [] {
+    SimShadowOptions o;
+    o.clustered = false;
+    return std::make_unique<SimShadow>(o);
+  });
+  v.emplace_back("overwrite-noundo", [] {
+    return std::make_unique<SimOverwrite>(SimOverwriteMode::kNoUndo);
+  });
+  v.emplace_back("overwrite-noredo", [] {
+    return std::make_unique<SimOverwrite>(SimOverwriteMode::kNoRedo);
+  });
+  v.emplace_back("version-select", [] {
+    return std::make_unique<SimVersionSelect>();
+  });
+  v.emplace_back("differential", [] {
+    return std::make_unique<SimDifferential>();
+  });
+  return v;
+}
+
+MachineResult RunAudited(core::ExperimentSetup setup,
+                         std::unique_ptr<RecoveryArch> arch) {
+  setup.machine.audit = true;
+  setup.machine.audit_abort = false;  // collect, don't abort: assert below
+  return RunWith(std::move(setup), std::move(arch));
+}
+
+TEST(AuditorCleanTest, AllArchitecturesAllConfigurationsSeeds1To3) {
+  for (const auto& [label, factory] : AllArchVariants()) {
+    for (Configuration c : core::kAllConfigurations) {
+      for (uint64_t seed = 1; seed <= 3; ++seed) {
+        SCOPED_TRACE(label + "/" + core::ConfigurationName(c) + "/seed" +
+                     std::to_string(seed));
+        auto r = RunAudited(StandardSetup(c, /*num_txns=*/10, seed),
+                            factory());
+        EXPECT_GT(r.extra.at("audit_checks"), 0.0);
+        EXPECT_TRUE(r.audit_violations.empty())
+            << r.audit_violations.front();
+      }
+    }
+  }
+}
+
+/// Claims a log fragment exists, then releases the page for write-back
+/// without the fragment ever reaching a log disk — a WAL-rule break.
+class BadWalArch : public RecoveryArch {
+ public:
+  std::string name() const override { return "bad-wal"; }
+  void CollectRecoveryData(txn::TxnId t, uint64_t page,
+                           std::function<void()> ready) override {
+    if (Auditor* a = auditor()) a->OnLogFragment(t, page);
+    ready();
+  }
+};
+
+TEST(AuditorCatchesTest, HomeWriteBeforeFragmentDurable) {
+  auto r = RunAudited(StandardSetup(Configuration::kConvRandom, 5, 1),
+                      std::make_unique<BadWalArch>());
+  ASSERT_FALSE(r.audit_violations.empty());
+  EXPECT_NE(r.audit_violations.front().find("wal-rule"), std::string::npos)
+      << r.audit_violations.front();
+}
+
+/// Dirties a page-table page but commits without ever flushing it — the
+/// commit flip would not be stable.
+class BadPtFlipArch : public RecoveryArch {
+ public:
+  std::string name() const override { return "bad-ptflip"; }
+  void CollectRecoveryData(txn::TxnId t, uint64_t page,
+                           std::function<void()> ready) override {
+    if (Auditor* a = auditor()) a->OnPtDirty(t, page / 1024);
+    ready();
+  }
+};
+
+TEST(AuditorCatchesTest, CommitWithUnflushedPageTable) {
+  auto r = RunAudited(StandardSetup(Configuration::kConvRandom, 5, 1),
+                      std::make_unique<BadPtFlipArch>());
+  ASSERT_FALSE(r.audit_violations.empty());
+  EXPECT_NE(r.audit_violations.front().find("pt-flip"), std::string::npos)
+      << r.audit_violations.front();
+}
+
+TEST(AuditorCatchesTest, AbortModeKillsTheProcessWithReproReport) {
+  auto setup = StandardSetup(Configuration::kConvRandom, 5, 1);
+  setup.machine.audit = true;
+  setup.machine.audit_abort = true;
+  setup.machine.audit_repro_hint = "dbmr --arch=bad-wal";
+  EXPECT_DEATH_IF_SUPPORTED(
+      RunWith(std::move(setup), std::make_unique<BadWalArch>()),
+      "AUDIT VIOLATION");
+}
+
+core::ExperimentSetup SkewedSetup(uint64_t seed) {
+  auto setup = StandardSetup(Configuration::kConvRandom, 25, seed);
+  setup.workload.hot_fraction = 0.05;
+  setup.workload.hot_access_prob = 0.9;
+  setup.machine.mpl = 5;
+  return setup;
+}
+
+// Regression: a no-redo abort must restore every before image before the
+// victim's locks are released.  (The original implementation released all
+// locks at the deadlock and never restored the in-place overwrites.)
+TEST(AuditorRegressionTest, NoRedoAbortRestoresBeforeImages) {
+  uint64_t restarts = 0, undo_writes = 0;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    SCOPED_TRACE(seed);
+    auto r = RunAudited(SkewedSetup(seed), std::make_unique<SimOverwrite>(
+                                               SimOverwriteMode::kNoRedo));
+    EXPECT_TRUE(r.audit_violations.empty()) << r.audit_violations.front();
+    EXPECT_EQ(r.completion_ms.count(), 25);
+    restarts += r.deadlock_restarts;
+    undo_writes += static_cast<uint64_t>(r.extra.at("undo_writes"));
+  }
+  // The skew must actually have exercised the abort path.
+  EXPECT_GT(restarts, 0u);
+  EXPECT_GT(undo_writes, 0u);
+}
+
+// Regression: a deadlock victim doomed while its log fragment was in
+// flight must not write the aborted update home (it no longer holds the
+// lock by write-back time), and the home write must never race ahead of
+// its fragment's durability bookkeeping.
+TEST(AuditorRegressionTest, WalStaysCleanUnderDeadlockChurn) {
+  uint64_t restarts = 0;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    SCOPED_TRACE(seed);
+    SimLoggingOptions o;
+    o.num_log_processors = 2;
+    o.select = LogSelect::kRandom;
+    auto r = RunAudited(SkewedSetup(seed), std::make_unique<SimLogging>(o));
+    EXPECT_TRUE(r.audit_violations.empty()) << r.audit_violations.front();
+    EXPECT_EQ(r.completion_ms.count(), 25);
+    restarts += r.deadlock_restarts;
+  }
+  EXPECT_GT(restarts, 0u);
+}
+
+}  // namespace
+}  // namespace dbmr::machine

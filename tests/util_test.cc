@@ -201,6 +201,21 @@ TEST(TimeWeightedStatTest, AddAdjustsCurrent) {
   EXPECT_DOUBLE_EQ(s.Average(10.0), 1.5);
 }
 
+TEST(TimeWeightedStatTest, EmptyWindowAverageIsZeroNotNan) {
+  TimeWeightedStat s;
+  // Never started: no observation window at all.
+  EXPECT_DOUBLE_EQ(s.Average(0.0), 0.0);
+  // Started but read at the start instant: a zero-length window must not
+  // divide 0/0 or report the instantaneous value as a time average (a
+  // server that just went busy at t=0 is not "100% utilized").
+  s.Set(0.0, 1.0);
+  EXPECT_FALSE(std::isnan(s.Average(0.0)));
+  EXPECT_DOUBLE_EQ(s.Average(0.0), 0.0);
+  // A real window behaves as before.
+  s.Set(2.0, 0.0);
+  EXPECT_DOUBLE_EQ(s.Average(4.0), 0.5);
+}
+
 TEST(HistogramTest, CountsAndQuantiles) {
   Histogram h(0.0, 100.0, 10);
   for (int i = 0; i < 100; ++i) h.Add(i + 0.5);

@@ -23,10 +23,12 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/experiment.h"
 #include "core/grid.h"
 #include "core/metrics.h"
+#include "sim/trace.h"
 #include "machine/sim_differential.h"
 #include "machine/sim_logging.h"
 #include "machine/sim_overwrite.h"
@@ -81,6 +83,16 @@ grid mode (parallel experiment grid + metrics export):
   --csv=FILE         write grid metrics as CSV
   --no-timing        omit host wall-time fields from exports (bytes then
                      depend only on the grid spec and seeds)
+
+tracing & auditing:
+  --trace=FILE       write a Chrome trace_event JSON of the run (open in
+                     chrome://tracing or ui.perfetto.dev); deterministic —
+                     byte-identical for a given seed at any --jobs.  In
+                     grid mode each cell writes FILE with "-cellN" inserted
+                     before the extension.
+  --audit            enable the invariant auditor (WAL rule, page-table
+                     coherence, conservation laws); default in debug builds
+  --no-audit         disable the invariant auditor
 
 logging:
   --log-disks=N      log processors/disks                   (default: 1)
@@ -192,6 +204,47 @@ void ApplyCommonFlags(const Flags& f, core::ExperimentSetup* s) {
   s->workload.hot_fraction = f.GetDouble("hot-fraction", 0.0);
   s->workload.hot_access_prob = f.GetDouble("hot-prob", 0.8);
   if (s->workload.hot_fraction <= 0.0) s->workload.hot_access_prob = 0.0;
+  if (f.Has("audit")) s->machine.audit = true;
+  if (f.Has("no-audit")) s->machine.audit = false;
+}
+
+/// The invocation, reassembled — printed by auditor violation reports so a
+/// failure is reproducible from the report alone.
+std::string ReproHint(int argc, char** argv) {
+  std::string hint;
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0) hint += ' ';
+    hint += argv[i];
+  }
+  return hint;
+}
+
+/// "grid.json" -> "grid-cell2.json" (suffix appended if no extension).
+std::string CellTracePath(const std::string& base, size_t cell) {
+  const std::string tag = "-cell" + std::to_string(cell);
+  const auto dot = base.rfind('.');
+  const auto slash = base.rfind('/');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return base + tag;
+  }
+  return base.substr(0, dot) + tag + base.substr(dot);
+}
+
+/// Prints the cell/run audit verdict; returns the number of violations.
+uint64_t ReportAudit(const machine::MachineResult& r,
+                     const std::string& label) {
+  const auto checks = r.extra.count("audit_checks")
+                          ? static_cast<uint64_t>(r.extra.at("audit_checks"))
+                          : 0;
+  if (checks == 0) return 0;  // auditor was off
+  std::printf("%-18s: %llu checks, %zu violations\n", label.c_str(),
+              static_cast<unsigned long long>(checks),
+              r.audit_violations.size());
+  for (const std::string& v : r.audit_violations) {
+    std::fprintf(stderr, "audit violation: %s\n", v.c_str());
+  }
+  return r.audit_violations.size();
 }
 
 core::ExperimentSetup MakeSetup(const Flags& f) {
@@ -220,7 +273,7 @@ core::ExperimentSetup MakeSetup(const Flags& f) {
   return s;
 }
 
-int RunGridMode(const Flags& f) {
+int RunGridMode(const Flags& f, const std::string& repro) {
   const std::string arch = f.Get("arch", "bare");
   const int txns = f.GetInt("txns", 150);
   const auto seed = static_cast<uint64_t>(f.GetInt("seed", 7));
@@ -229,12 +282,21 @@ int RunGridMode(const Flags& f) {
   core::GridSpec spec;
   spec.name = "dbmr-" + arch;
   spec.base_seed = seed;
+  // One private ring per cell: cells run concurrently and TraceRing is not
+  // thread-safe, but each simulation is single-threaded within its cell.
+  std::vector<std::unique_ptr<sim::TraceRing>> rings;
   for (core::Configuration c : core::kAllConfigurations) {
     core::GridCellSpec cell;
     cell.config_name = core::ConfigurationName(c);
     cell.arch_label = arch;
     cell.setup = core::StandardSetup(c, txns, seed);
     ApplyCommonFlags(f, &cell.setup);
+    cell.setup.machine.audit_repro_hint =
+        repro + "  [cell " + cell.config_name + "]";
+    if (f.Has("trace")) {
+      rings.push_back(std::make_unique<sim::TraceRing>());
+      cell.setup.machine.trace = rings.back().get();
+    }
     cell.make_arch = [f] { return MakeArch(f); };
     spec.cells.push_back(std::move(cell));
   }
@@ -278,15 +340,36 @@ int RunGridMode(const Flags& f) {
     std::printf(
         "(use --out=FILE.json / --csv=FILE.csv to export the metrics)\n");
   }
-  return 0;
+  if (f.Has("trace")) {
+    for (size_t i = 0; i < rings.size(); ++i) {
+      const std::string path = CellTracePath(f.Get("trace", ""), i);
+      Status st = rings[i]->WriteChromeJsonFile(path);
+      if (!st.ok()) {
+        std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      std::printf("wrote trace (%llu events) to %s\n",
+                  static_cast<unsigned long long>(rings[i]->total_emitted()),
+                  path.c_str());
+    }
+  }
+  uint64_t violations = 0;
+  for (const core::CellMetrics& cell : run.cells()) {
+    violations += ReportAudit(cell.result, "audit " + cell.cell_name);
+  }
+  return violations == 0 ? 0 : 1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   Flags f = Parse(argc, argv);
-  if (f.Has("grid")) return RunGridMode(f);
+  const std::string repro = ReproHint(argc, argv);
+  if (f.Has("grid")) return RunGridMode(f, repro);
   core::ExperimentSetup setup = MakeSetup(f);
+  setup.machine.audit_repro_hint = repro;
+  sim::TraceRing ring;
+  if (f.Has("trace")) setup.machine.trace = &ring;
   auto result = core::RunWith(setup, MakeArch(f));
 
   std::printf("architecture      : %s\n", result.arch_name.c_str());
@@ -315,5 +398,16 @@ int main(int argc, char** argv) {
   for (const auto& [key, value] : result.extra) {
     std::printf("%-18s: %.3f\n", key.c_str(), value);
   }
-  return 0;
+  if (f.Has("trace")) {
+    const std::string path = f.Get("trace", "");
+    Status st = ring.WriteChromeJsonFile(path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote trace (%llu events) to %s\n",
+                static_cast<unsigned long long>(ring.total_emitted()),
+                path.c_str());
+  }
+  return ReportAudit(result, "audit") == 0 ? 0 : 1;
 }

@@ -14,12 +14,28 @@
 #include <utility>
 #include <vector>
 
+#include "core/arch_registry.h"
 #include "core/experiment.h"
 #include "core/grid.h"
+#include "util/status.h"
 #include "util/str.h"
 #include "util/table.h"
 
 namespace dbmr::bench {
+
+/// Registry-backed cell factory: `name` is an ArchRegistry entry or
+/// sim-variant name, `overrides` layer on top of the variant preset.  The
+/// benches enumerate their contenders through this so their knob spellings
+/// can never drift from the catalog.
+inline core::ArchFactory RegistryArch(
+    const std::string& name,
+    const std::vector<std::pair<std::string, std::string>>& overrides = {}) {
+  machine::EnsureSimArchsLinked();
+  Result<core::ArchFactory> factory =
+      core::MakeSimArchFactory(name, overrides);
+  DBMR_CHECK(factory.ok());
+  return std::move(*factory);
+}
 
 /// Transactions simulated per table cell.
 inline constexpr int kBenchTxns = 150;

@@ -5,10 +5,6 @@
 #include <iterator>
 
 #include "bench/bench_util.h"
-#include "machine/sim_differential.h"
-#include "machine/sim_logging.h"
-#include "machine/sim_overwrite.h"
-#include "machine/sim_shadow.h"
 
 namespace dbmr::bench {
 namespace {
@@ -32,25 +28,17 @@ constexpr PaperRow kPaper[] = {
 void RunTable() {
   // The grand comparison is a 8-architecture × 4-configuration grid (32
   // independent simulations); run it as one parallel grid, arch-major.
-  machine::SimShadowOptions buf50;
-  buf50.pt_buffer_pages = 50;
-  machine::SimShadowOptions two;
-  two.num_pt_processors = 2;
-  machine::SimShadowOptions scram;
-  scram.clustered = false;
+  // Contenders come from the architecture registry; the labels are the
+  // table's column spellings, not registry names.
   auto results = RunConfigGrid(
-      {{"bare", [] { return std::make_unique<machine::BareArch>(); }},
-       {"logging", [] { return std::make_unique<machine::SimLogging>(); }},
-       {"shadow-buf10", [] { return std::make_unique<machine::SimShadow>(); }},
-       {"shadow-buf50",
-        [buf50] { return std::make_unique<machine::SimShadow>(buf50); }},
-       {"shadow-2pt",
-        [two] { return std::make_unique<machine::SimShadow>(two); }},
-       {"scrambled",
-        [scram] { return std::make_unique<machine::SimShadow>(scram); }},
-       {"overwrite", [] { return std::make_unique<machine::SimOverwrite>(); }},
-       {"differential",
-        [] { return std::make_unique<machine::SimDifferential>(); }}});
+      {{"bare", RegistryArch("bare")},
+       {"logging", RegistryArch("logging")},
+       {"shadow-buf10", RegistryArch("shadow")},
+       {"shadow-buf50", RegistryArch("shadow", {{"pt-buffer", "50"}})},
+       {"shadow-2pt", RegistryArch("shadow", {{"pt-processors", "2"}})},
+       {"scrambled", RegistryArch("shadow", {{"scrambled", "1"}})},
+       {"overwrite", RegistryArch("overwrite")},
+       {"differential", RegistryArch("differential")}});
   auto exec = [&results](size_t arch, size_t config) {
     return results[arch * 4 + config].exec_time_per_page_ms;
   };

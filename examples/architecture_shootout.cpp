@@ -10,12 +10,9 @@
 #include <string>
 #include <vector>
 
+#include "core/arch_registry.h"
 #include "core/experiment.h"
-#include "machine/sim_differential.h"
-#include "machine/sim_logging.h"
-#include "machine/sim_overwrite.h"
-#include "machine/sim_shadow.h"
-#include "machine/sim_version_select.h"
+#include "util/status.h"
 #include "util/str.h"
 #include "util/table.h"
 
@@ -28,46 +25,37 @@ struct Contender {
   std::function<std::unique_ptr<machine::RecoveryArch>()> make;
 };
 
+// Registry-backed contender: `arch` is an ArchRegistry entry or sim-variant
+// name; `overrides` layer on top of its preset.
+Contender Reg(const std::string& label, const std::string& arch,
+              std::vector<std::pair<std::string, std::string>> overrides = {}) {
+  auto factory = core::MakeSimArchFactory(arch, overrides);
+  DBMR_CHECK(factory.ok());
+  return {label, std::move(*factory)};
+}
+
 }  // namespace
 
 int main() {
+  machine::EnsureSimArchsLinked();
   std::vector<Contender> contenders = {
-      {"parallel logging (1 disk)",
-       [] { return std::make_unique<machine::SimLogging>(); }},
-      {"shadow (2 PT processors)",
-       [] {
-         machine::SimShadowOptions o;
-         o.num_pt_processors = 2;
-         return std::make_unique<machine::SimShadow>(o);
-       }},
-      {"shadow (1 PT, buf 10)",
-       [] { return std::make_unique<machine::SimShadow>(); }},
-      {"shadow scrambled",
-       [] {
-         machine::SimShadowOptions o;
-         o.clustered = false;
-         return std::make_unique<machine::SimShadow>(o);
-       }},
-      {"overwriting (no-undo)",
-       [] { return std::make_unique<machine::SimOverwrite>(); }},
-      {"overwriting (no-redo)",
-       [] {
-         return std::make_unique<machine::SimOverwrite>(
-             machine::SimOverwriteMode::kNoRedo);
-       }},
-      {"version selection",
-       [] { return std::make_unique<machine::SimVersionSelect>(); }},
-      {"differential (optimal, 10%)",
-       [] { return std::make_unique<machine::SimDifferential>(); }},
+      Reg("parallel logging (1 disk)", "logging"),
+      Reg("shadow (2 PT processors)", "shadow", {{"pt-processors", "2"}}),
+      Reg("shadow (1 PT, buf 10)", "shadow"),
+      Reg("shadow scrambled", "shadow", {{"scrambled", "1"}}),
+      Reg("overwriting (no-undo)", "overwrite"),
+      Reg("overwriting (no-redo)", "overwrite", {{"mode", "noredo"}}),
+      Reg("version selection", "version-select"),
+      Reg("differential (optimal, 10%)", "differential"),
   };
 
   const int kTxns = 100;
   std::vector<double> bare_exec;
+  const Contender bare = Reg("bare machine", "bare");
   for (core::Configuration c : core::kAllConfigurations) {
-    bare_exec.push_back(
-        core::RunWith(core::StandardSetup(c, kTxns),
-                      std::make_unique<machine::BareArch>())
-            .exec_time_per_page_ms);
+    bare_exec.push_back(core::RunWith(core::StandardSetup(c, kTxns),
+                                      bare.make())
+                            .exec_time_per_page_ms);
   }
 
   struct Scored {

@@ -1,0 +1,590 @@
+#include "core/arch_registry.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/str.h"
+
+namespace dbmr::core {
+
+const char* KnobTypeName(KnobType type) {
+  switch (type) {
+    case KnobType::kBool: return "bool";
+    case KnobType::kInt: return "int";
+    case KnobType::kDouble: return "double";
+    case KnobType::kEnum: return "enum";
+  }
+  return "?";
+}
+
+namespace {
+
+bool ParseBool(const std::string& v, bool* out) {
+  if (v == "1" || v == "true" || v == "on") {
+    *out = true;
+    return true;
+  }
+  if (v == "0" || v == "false" || v == "off") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+bool ParseInt(const std::string& v, int* out) {
+  if (v.empty()) return false;
+  char* end = nullptr;
+  const long parsed = std::strtol(v.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *out = static_cast<int>(parsed);
+  return true;
+}
+
+bool ParseDouble(const std::string& v, double* out) {
+  if (v.empty()) return false;
+  char* end = nullptr;
+  const double parsed = std::strtod(v.c_str(), &end);
+  if (end == nullptr || *end != '\0') return false;
+  *out = parsed;
+  return true;
+}
+
+std::vector<std::string> KnobKeys(const ArchEntry& entry) {
+  std::vector<std::string> keys;
+  keys.reserve(entry.knobs.size());
+  for (const KnobSpec& k : entry.knobs) keys.push_back(k.key);
+  return keys;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- ArchConfig
+
+Status ArchConfig::Set(const std::string& key, const std::string& value) {
+  DBMR_CHECK(entry_ != nullptr);
+  const KnobSpec* knob = entry_->FindKnob(key);
+  if (knob == nullptr) {
+    std::string known = Join(KnobKeys(*entry_), ", ");
+    if (known.empty()) known = "none";
+    return Status::InvalidArgument(
+        StrFormat("unknown knob \"%s\" for architecture \"%s\" (knobs: %s)",
+                  key.c_str(), entry_->name.c_str(), known.c_str()));
+  }
+  switch (knob->type) {
+    case KnobType::kBool: {
+      bool b;
+      if (!ParseBool(value, &b)) {
+        return Status::InvalidArgument(
+            StrFormat("knob \"%s\": \"%s\" is not a bool (use 0/1)",
+                      key.c_str(), value.c_str()));
+      }
+      break;
+    }
+    case KnobType::kInt: {
+      int i;
+      if (!ParseInt(value, &i)) {
+        return Status::InvalidArgument(
+            StrFormat("knob \"%s\": \"%s\" is not an integer", key.c_str(),
+                      value.c_str()));
+      }
+      break;
+    }
+    case KnobType::kDouble: {
+      double d;
+      if (!ParseDouble(value, &d)) {
+        return Status::InvalidArgument(
+            StrFormat("knob \"%s\": \"%s\" is not a number", key.c_str(),
+                      value.c_str()));
+      }
+      break;
+    }
+    case KnobType::kEnum: {
+      if (std::find(knob->enum_values.begin(), knob->enum_values.end(),
+                    value) == knob->enum_values.end()) {
+        return Status::InvalidArgument(StrFormat(
+            "knob \"%s\": \"%s\" is not one of {%s}", key.c_str(),
+            value.c_str(), Join(knob->enum_values, ", ").c_str()));
+      }
+      break;
+    }
+  }
+  values_[key] = value;
+  return Status::OK();
+}
+
+Status ArchConfig::Apply(
+    const std::vector<std::pair<std::string, std::string>>& kv) {
+  for (const auto& [key, value] : kv) DBMR_RETURN_IF_ERROR(Set(key, value));
+  return Status::OK();
+}
+
+const std::string& ArchConfig::Raw(const std::string& key) const {
+  DBMR_CHECK(entry_ != nullptr);
+  auto it = values_.find(key);
+  if (it != values_.end()) return it->second;
+  const KnobSpec* knob = entry_->FindKnob(key);
+  DBMR_CHECK(knob != nullptr);  // getters only for schema knobs
+  return knob->default_value;
+}
+
+bool ArchConfig::GetBool(const std::string& key) const {
+  bool b = false;
+  DBMR_CHECK(ParseBool(Raw(key), &b));
+  return b;
+}
+
+int ArchConfig::GetInt(const std::string& key) const {
+  int i = 0;
+  DBMR_CHECK(ParseInt(Raw(key), &i));
+  return i;
+}
+
+double ArchConfig::GetDouble(const std::string& key) const {
+  double d = 0.0;
+  DBMR_CHECK(ParseDouble(Raw(key), &d));
+  return d;
+}
+
+std::string ArchConfig::GetString(const std::string& key) const {
+  return Raw(key);
+}
+
+// ----------------------------------------------------------------- ArchEntry
+
+const KnobSpec* ArchEntry::FindKnob(const std::string& key) const {
+  for (const KnobSpec& k : knobs) {
+    if (k.key == key) return &k;
+  }
+  return nullptr;
+}
+
+const VariantSpec* ArchEntry::FindSimVariant(
+    const std::string& variant) const {
+  for (const VariantSpec& v : sim_variants) {
+    if (v.name == variant) return &v;
+  }
+  return nullptr;
+}
+
+const VariantSpec* ArchEntry::FindEngineVariant(
+    const std::string& variant) const {
+  for (const VariantSpec& v : engine_variants) {
+    if (v.name == variant) return &v;
+  }
+  return nullptr;
+}
+
+Result<ArchConfig> ArchEntry::MakeConfig(
+    const std::vector<std::pair<std::string, std::string>>& overrides) const {
+  ArchConfig config(this);
+  Status st = config.Apply(overrides);
+  if (!st.ok()) return st;
+  return config;
+}
+
+// -------------------------------------------------------------- ArchRegistry
+
+ArchRegistry& ArchRegistry::Global() {
+  static ArchRegistry* registry = new ArchRegistry();  // never destroyed
+  return *registry;
+}
+
+ArchEntry& ArchRegistry::FindOrCreate(const std::string& name) {
+  for (auto& e : entries_) {
+    if (e->name == name) return *e;
+  }
+  entries_.push_back(std::make_unique<ArchEntry>());
+  entries_.back()->name = name;
+  return *entries_.back();
+}
+
+ArchEntry& ArchRegistry::RegisterSim(ArchEntry entry) {
+  DBMR_CHECK(!entry.name.empty());
+  DBMR_CHECK(entry.sim_order >= 0);
+  ArchEntry& e = FindOrCreate(entry.name);
+  DBMR_CHECK(e.sim_order < 0);  // one sim registration per architecture
+  e.sim_order = entry.sim_order;
+  e.summary = std::move(entry.summary);
+  e.description = std::move(entry.description);
+  e.paper_ref = std::move(entry.paper_ref);
+  e.trace_track = std::move(entry.trace_track);
+  e.knobs = std::move(entry.knobs);
+  e.sim_variants = std::move(entry.sim_variants);
+  e.invariants = std::move(entry.invariants);
+  e.make_sim = std::move(entry.make_sim);
+  return e;
+}
+
+ArchEntry& ArchRegistry::RegisterEngine(
+    const std::string& name, int engine_order,
+    std::vector<VariantSpec> engine_variants,
+    EngineFixtureFactory make_engine) {
+  DBMR_CHECK(!name.empty());
+  DBMR_CHECK(engine_order >= 0);
+  ArchEntry& e = FindOrCreate(name);
+  DBMR_CHECK(e.engine_order < 0);  // one engine registration per architecture
+  e.engine_order = engine_order;
+  e.engine_variants = std::move(engine_variants);
+  e.make_engine = std::move(make_engine);
+  return e;
+}
+
+void ArchRegistry::RegisterInvariant(const std::string& name,
+                                     const std::string& doc, bool universal) {
+  DBMR_CHECK(FindInvariant(name) == nullptr);
+  invariants_.push_back({name, doc, universal});
+}
+
+const ArchEntry* ArchRegistry::Find(const std::string& name) const {
+  for (const auto& e : entries_) {
+    if (e->name == name) return e.get();
+  }
+  return nullptr;
+}
+
+std::optional<ArchRegistry::SimResolution> ArchRegistry::ResolveSim(
+    const std::string& name) const {
+  if (const ArchEntry* e = Find(name)) {
+    if (e->sim_order >= 0) return SimResolution{e, nullptr};
+  }
+  for (const ArchEntry* e : SimEntries()) {
+    if (const VariantSpec* v = e->FindSimVariant(name)) {
+      return SimResolution{e, v};
+    }
+  }
+  return std::nullopt;
+}
+
+const ArchEntry* ArchRegistry::ResolveEngine(
+    const std::string& fixture_name, const VariantSpec** variant) const {
+  for (const ArchEntry* e : EngineEntries()) {
+    if (const VariantSpec* v = e->FindEngineVariant(fixture_name)) {
+      if (variant != nullptr) *variant = v;
+      return e;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<const ArchEntry*> ArchRegistry::SimEntries() const {
+  std::vector<const ArchEntry*> out;
+  for (const auto& e : entries_) {
+    if (e->sim_order >= 0) out.push_back(e.get());
+  }
+  std::sort(out.begin(), out.end(), [](const ArchEntry* a, const ArchEntry* b) {
+    return a->sim_order < b->sim_order;
+  });
+  return out;
+}
+
+std::vector<const ArchEntry*> ArchRegistry::EngineEntries() const {
+  std::vector<const ArchEntry*> out;
+  for (const auto& e : entries_) {
+    if (e->engine_order >= 0) out.push_back(e.get());
+  }
+  std::sort(out.begin(), out.end(), [](const ArchEntry* a, const ArchEntry* b) {
+    return a->engine_order < b->engine_order;
+  });
+  return out;
+}
+
+std::vector<std::string> ArchRegistry::SimVariantNames() const {
+  std::vector<std::string> out;
+  for (const ArchEntry* e : SimEntries()) {
+    for (const VariantSpec& v : e->sim_variants) out.push_back(v.name);
+  }
+  return out;
+}
+
+std::vector<std::string> ArchRegistry::EngineVariantNames() const {
+  std::vector<std::string> out;
+  for (const ArchEntry* e : EngineEntries()) {
+    for (const VariantSpec& v : e->engine_variants) out.push_back(v.name);
+  }
+  return out;
+}
+
+const InvariantInfo* ArchRegistry::FindInvariant(
+    const std::string& name) const {
+  for (const InvariantInfo& inv : invariants_) {
+    if (inv.name == name) return &inv;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> ArchRegistry::SuggestSim(const std::string& name,
+                                                  size_t max) const {
+  std::vector<std::string> candidates;
+  for (const ArchEntry* e : SimEntries()) candidates.push_back(e->name);
+  for (const std::string& v : SimVariantNames()) {
+    if (std::find(candidates.begin(), candidates.end(), v) ==
+        candidates.end()) {
+      candidates.push_back(v);
+    }
+  }
+  return NearestNames(name, candidates, max);
+}
+
+std::vector<std::string> ArchRegistry::SuggestEngine(const std::string& name,
+                                                     size_t max) const {
+  return NearestNames(name, EngineVariantNames(), max);
+}
+
+// ------------------------------------------------------------------ helpers
+
+Result<std::function<std::unique_ptr<machine::RecoveryArch>()>>
+MakeSimArchFactory(
+    const std::string& name,
+    const std::vector<std::pair<std::string, std::string>>& overrides) {
+  const auto resolved = ArchRegistry::Global().ResolveSim(name);
+  if (!resolved.has_value()) {
+    return Status::NotFound(
+        StrFormat("unknown architecture \"%s\"", name.c_str()));
+  }
+  const ArchEntry* entry = resolved->entry;
+  if (!entry->make_sim) {
+    return Status::FailedPrecondition(StrFormat(
+        "architecture \"%s\" has no simulation model registered in this "
+        "binary",
+        entry->name.c_str()));
+  }
+  ArchConfig config(entry);
+  if (resolved->variant != nullptr) {
+    Status st = config.Apply(resolved->variant->preset);
+    if (!st.ok()) return st;
+  }
+  Status st = config.Apply(overrides);
+  if (!st.ok()) return st;
+  // The thunk only reads the captured config and calls a stateless factory,
+  // so concurrent grid workers may invoke it freely.
+  return std::function<std::unique_ptr<machine::RecoveryArch>()>(
+      [entry, config] { return entry->make_sim(config); });
+}
+
+size_t EditDistance(const std::string& a, const std::string& b) {
+  const size_t n = a.size(), m = b.size();
+  std::vector<size_t> row(m + 1);
+  for (size_t j = 0; j <= m; ++j) row[j] = j;
+  for (size_t i = 1; i <= n; ++i) {
+    size_t diag = row[0];
+    row[0] = i;
+    for (size_t j = 1; j <= m; ++j) {
+      const size_t subst = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diag = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, subst});
+    }
+  }
+  return row[m];
+}
+
+std::vector<std::string> NearestNames(const std::string& name,
+                                      const std::vector<std::string>& candidates,
+                                      size_t max) {
+  std::vector<std::pair<size_t, std::string>> scored;
+  for (const std::string& c : candidates) {
+    const size_t d = EditDistance(name, c);
+    if (d <= std::max<size_t>(2, c.size() / 2)) scored.emplace_back(d, c);
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  std::vector<std::string> out;
+  for (const auto& [d, c] : scored) {
+    if (out.size() >= max) break;
+    out.push_back(c);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- rendering
+
+namespace {
+
+std::string KnobDefaultLabel(const KnobSpec& k) {
+  if (k.type == KnobType::kEnum) {
+    return k.default_value + " ∈ {" + Join(k.enum_values, ", ") + "}";
+  }
+  return k.default_value;
+}
+
+std::string PresetLabel(const VariantSpec& v) {
+  if (v.preset.empty()) return "defaults";
+  std::vector<std::string> parts;
+  for (const auto& [key, value] : v.preset) parts.push_back(key + "=" + value);
+  return Join(parts, ", ");
+}
+
+std::string VariantNameList(const std::vector<VariantSpec>& variants) {
+  std::vector<std::string> names;
+  for (const VariantSpec& v : variants) names.push_back("`" + v.name + "`");
+  return names.empty() ? "—" : Join(names, ", ");
+}
+
+}  // namespace
+
+std::string RenderArchCatalogMarkdown() {
+  const ArchRegistry& reg = ArchRegistry::Global();
+  const std::vector<const ArchEntry*> sims = reg.SimEntries();
+
+  std::string md;
+  md += "# Architecture catalog\n";
+  md += "\n";
+  md +=
+      "<!-- Generated by tools/dbmr_catalog from core::ArchRegistry.\n"
+      "     Do not edit by hand: regenerate with\n"
+      "         ./build/tools/dbmr_catalog --out=docs/ARCHITECTURES.md\n"
+      "     CI fails when this file drifts from the registry. -->\n";
+  md += "\n";
+  md +=
+      "Every recovery architecture registers itself once in "
+      "`core::ArchRegistry`\n"
+      "(src/core/arch_registry.h): the discrete-event simulation model "
+      "driven by\n"
+      "`machine::Machine`, the functional storage engine torn down by the "
+      "crash-torture\n"
+      "harness, or both.  Grids, sweeps, the auditor, the CLIs, and this "
+      "file all\n"
+      "enumerate that registry — there is no other list to keep in sync.\n";
+  md += "\n";
+  md += "## Summary\n";
+  md += "\n";
+  md +=
+      "| Architecture | Paper | Sim variants | Engine fixtures | Extra "
+      "invariants |\n";
+  md += "|---|---|---|---|---|\n";
+  for (const ArchEntry* e : sims) {
+    std::vector<std::string> inv;
+    for (const std::string& i : e->invariants) inv.push_back("`" + i + "`");
+    md += StrFormat(
+        "| [`%s`](#%s) | %s | %s | %s | %s |\n", e->name.c_str(),
+        e->name.c_str(), e->paper_ref.c_str(),
+        VariantNameList(e->sim_variants).c_str(),
+        VariantNameList(e->engine_variants).c_str(),
+        inv.empty() ? "—" : Join(inv, ", ").c_str());
+  }
+  md += "\n";
+  md += StrFormat(
+      "%zu simulation variants and %zu functional-engine fixtures in "
+      "total.\n",
+      reg.SimVariantNames().size(), reg.EngineVariantNames().size());
+
+  for (const ArchEntry* e : sims) {
+    md += "\n";
+    md += "## " + e->name + "\n";
+    md += "\n";
+    md += "**Paper:** " + e->paper_ref + " — " + e->summary + "\n";
+    md += "\n";
+    md += e->description + "\n";
+    if (!e->knobs.empty()) {
+      md += "\n";
+      md += "**Configuration knobs** (CLI flags of `dbmr --arch=" + e->name +
+            "`):\n";
+      md += "\n";
+      md += "| Knob | Type | Default | Description |\n";
+      md += "|---|---|---|---|\n";
+      for (const KnobSpec& k : e->knobs) {
+        md += StrFormat("| `--%s` | %s | `%s` | %s |\n", k.key.c_str(),
+                        KnobTypeName(k.type), KnobDefaultLabel(k).c_str(),
+                        k.doc.c_str());
+      }
+    }
+    if (!e->sim_variants.empty()) {
+      md += "\n";
+      md += "**Simulation variants** (the contract-test zoo):\n";
+      md += "\n";
+      md += "| Variant | Preset | Description |\n";
+      md += "|---|---|---|\n";
+      for (const VariantSpec& v : e->sim_variants) {
+        md += StrFormat("| `%s` | %s | %s |\n", v.name.c_str(),
+                        PresetLabel(v).c_str(), v.doc.c_str());
+      }
+    }
+    if (!e->engine_variants.empty()) {
+      md += "\n";
+      md += "**Functional-engine fixtures** (the crash-torture zoo):\n";
+      md += "\n";
+      md += "| Fixture | Description |\n";
+      md += "|---|---|\n";
+      for (const VariantSpec& v : e->engine_variants) {
+        md += StrFormat("| `%s` | %s |\n", v.name.c_str(), v.doc.c_str());
+      }
+    }
+    if (!e->trace_track.empty()) {
+      md += "\n";
+      md += "**Trace track:** `" + e->trace_track +
+            "` (in addition to the machine's `machine` track).\n";
+    }
+    md += "\n";
+    if (e->invariants.empty()) {
+      md += "**Invariants audited:** the universal checks only.\n";
+    } else {
+      std::vector<std::string> inv;
+      for (const std::string& i : e->invariants) inv.push_back("`" + i + "`");
+      md += "**Invariants audited:** the universal checks plus " +
+            Join(inv, ", ") + ".\n";
+    }
+  }
+
+  md += "\n";
+  md += "## Invariant checks\n";
+  md += "\n";
+  md +=
+      "The runtime auditor (src/machine/auditor.h) verifies these named "
+      "checks;\n"
+      "`Scope: universal` checks apply to every architecture, the rest only "
+      "where an\n"
+      "architecture declares them above.\n";
+  md += "\n";
+  md += "| Check | Scope | Description |\n";
+  md += "|---|---|---|\n";
+  for (const InvariantInfo& inv : reg.Invariants()) {
+    md += StrFormat("| `%s` | %s | %s |\n", inv.name.c_str(),
+                    inv.universal ? "universal" : "per-arch",
+                    inv.doc.c_str());
+  }
+  return md;
+}
+
+std::string RenderArchCatalogText() {
+  const ArchRegistry& reg = ArchRegistry::Global();
+  std::string out;
+  out += "recovery architectures (core::ArchRegistry):\n";
+  for (const ArchEntry* e : reg.SimEntries()) {
+    out += StrFormat("\n  %-15s %s  [%s]\n", e->name.c_str(),
+                     e->summary.c_str(), e->paper_ref.c_str());
+    for (const KnobSpec& k : e->knobs) {
+      out += StrFormat("    --%-18s %-6s default %-10s %s\n", k.key.c_str(),
+                       KnobTypeName(k.type), KnobDefaultLabel(k).c_str(),
+                       k.doc.c_str());
+    }
+    std::vector<std::string> sim_names;
+    for (const VariantSpec& v : e->sim_variants) sim_names.push_back(v.name);
+    if (!sim_names.empty()) {
+      out += "    sim variants: " + Join(sim_names, ", ") + "\n";
+    }
+    std::vector<std::string> eng_names;
+    for (const VariantSpec& v : e->engine_variants) {
+      eng_names.push_back(v.name);
+    }
+    if (!eng_names.empty()) {
+      out += "    engine fixtures: " + Join(eng_names, ", ") + "\n";
+    }
+    if (!e->invariants.empty()) {
+      out += "    extra invariants: " + Join(e->invariants, ", ") + "\n";
+    }
+  }
+  // Engine-only entries (possible in binaries that link no sim models).
+  for (const ArchEntry* e : reg.EngineEntries()) {
+    if (e->sim_order >= 0) continue;
+    out += StrFormat("\n  %-15s (functional engine only)\n", e->name.c_str());
+    std::vector<std::string> eng_names;
+    for (const VariantSpec& v : e->engine_variants) {
+      eng_names.push_back(v.name);
+    }
+    out += "    engine fixtures: " + Join(eng_names, ", ") + "\n";
+  }
+  return out;
+}
+
+}  // namespace dbmr::core

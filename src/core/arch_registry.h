@@ -1,0 +1,259 @@
+// The unified architecture registry (ROADMAP item 5).
+//
+// Every recovery architecture in the repository appears exactly once here,
+// whether it ships as a discrete-event simulation model (a
+// machine::RecoveryArch driven by machine::Machine), as a functional
+// storage engine (a chaos::EngineFixture torn down by the crash-torture
+// harness), or as both.  An ArchEntry carries everything a consumer needs:
+//
+//   - the stable architecture name ("logging", "shadow", ...),
+//   - a config schema: one KnobSpec per tunable knob, with type, default,
+//     and doc string — the same knobs the dbmr CLI exposes as flags,
+//   - named sim variants (the 13-variant contract-test zoo) and engine
+//     fixtures (the 6-fixture torture zoo), each a preset over the schema,
+//   - the invariant checks the runtime auditor applies beyond the
+//     universal set,
+//   - the paper cross-reference and catalog prose.
+//
+// Architectures self-register from their own translation units
+// (src/machine/sim_*.cc, src/chaos/engine_zoo.cc) via static registrars;
+// the sim and engine halves of an entry merge by name, so a binary that
+// links only one side still gets a coherent (partial) registry.  Because
+// the registrars live in static archives, machine.cc anchors the sim
+// objects (see machine/recovery_arch.h) and engine_zoo.cc anchors itself
+// through EngineNames().
+//
+// Consumers enumerate the registry instead of keeping their own lists:
+// grid cell expansion, the crash-sweeper zoo, auditor check metadata, the
+// dbmr/dbmr_torture CLIs (--arch, --list-archs, typo suggestions), and the
+// dbmr_catalog emitter that renders docs/ARCHITECTURES.md.  Enumeration
+// order is fixed by explicit sim_order/engine_order fields — never by
+// static-initialization order — so reports stay byte-identical.
+
+#ifndef DBMR_CORE_ARCH_REGISTRY_H_
+#define DBMR_CORE_ARCH_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "chaos/engine_zoo.h"
+#include "machine/recovery_arch.h"
+#include "util/status.h"
+
+namespace dbmr::core {
+
+struct ArchEntry;
+
+/// Value type of a configuration knob.
+enum class KnobType { kBool, kInt, kDouble, kEnum };
+
+/// "bool" | "int" | "double" | "enum".
+const char* KnobTypeName(KnobType type);
+
+/// One tunable knob of an architecture: the schema the CLI flags, variant
+/// presets, and the catalog are all generated from.
+struct KnobSpec {
+  std::string key;            // flag-style name, e.g. "log-disks"
+  KnobType type = KnobType::kBool;
+  std::string default_value;  // textual; must parse under `type`
+  std::vector<std::string> enum_values;  // kEnum only: allowed values
+  std::string doc;            // one-line description
+};
+
+/// A named preset over an entry's knobs: a sim variant of the contract-test
+/// zoo ("logging-qpmod") or a functional-engine fixture ("wal").
+struct VariantSpec {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> preset;  // knob -> value
+  std::string doc;
+};
+
+/// A validated knob assignment for one architecture.  Set() rejects unknown
+/// keys and type-invalid values; getters fall back to the schema default.
+class ArchConfig {
+ public:
+  ArchConfig() = default;
+  explicit ArchConfig(const ArchEntry* entry) : entry_(entry) {}
+
+  /// Validates `key` against the entry's schema and `value` against the
+  /// knob's type; InvalidArgument on unknown keys or malformed values.
+  Status Set(const std::string& key, const std::string& value);
+
+  /// Set() over every pair, stopping at the first error.
+  Status Apply(const std::vector<std::pair<std::string, std::string>>& kv);
+
+  bool GetBool(const std::string& key) const;
+  int GetInt(const std::string& key) const;
+  double GetDouble(const std::string& key) const;
+  std::string GetString(const std::string& key) const;
+
+  const ArchEntry* entry() const { return entry_; }
+  const std::map<std::string, std::string>& values() const { return values_; }
+
+ private:
+  const std::string& Raw(const std::string& key) const;
+
+  const ArchEntry* entry_ = nullptr;
+  std::map<std::string, std::string> values_;
+};
+
+/// Builds a fresh simulation model from a validated config.
+using SimArchFactory =
+    std::function<std::unique_ptr<machine::RecoveryArch>(const ArchConfig&)>;
+
+/// Builds a functional-engine fixture for torture sweeps.  `variant` is the
+/// fixture name ("wal", "overwrite-noredo", ...); a null `snapshot` means a
+/// fresh formatted fixture, non-null means a fork of the imaged state.
+using EngineFixtureFactory = std::function<Result<chaos::EngineFixture>(
+    const std::string& variant, const chaos::FixtureOptions& options,
+    const chaos::FixtureSnapshot* snapshot)>;
+
+/// One architecture.  sim_order / engine_order fix the enumeration
+/// positions (-1 = that half is not registered in this binary).
+struct ArchEntry {
+  std::string name;
+  int sim_order = -1;
+  int engine_order = -1;
+
+  std::string summary;      // one line for tables and --list-archs
+  std::string description;  // catalog paragraph
+  std::string paper_ref;    // e.g. "§3.1, §4.1.2"
+  std::string trace_track;  // deterministic-trace track name, "" if none
+
+  std::vector<KnobSpec> knobs;
+  std::vector<VariantSpec> sim_variants;     // contract-test zoo presets
+  std::vector<VariantSpec> engine_variants;  // torture fixture names
+  std::vector<std::string> invariants;       // auditor checks beyond universal
+
+  SimArchFactory make_sim;          // null if no sim model linked
+  EngineFixtureFactory make_engine;  // null if no functional engine linked
+
+  const KnobSpec* FindKnob(const std::string& key) const;
+  const VariantSpec* FindSimVariant(const std::string& variant) const;
+  const VariantSpec* FindEngineVariant(const std::string& variant) const;
+
+  /// An ArchConfig seeded with `overrides` (validated against the schema).
+  Result<ArchConfig> MakeConfig(
+      const std::vector<std::pair<std::string, std::string>>& overrides = {})
+      const;
+};
+
+/// One auditor invariant check, registered from machine/auditor.cc.
+/// Universal checks apply to every architecture; the rest are listed per
+/// entry in ArchEntry::invariants.
+struct InvariantInfo {
+  std::string name;
+  std::string doc;
+  bool universal = false;
+};
+
+/// The process-wide registry.  Populated during static initialization by
+/// the registrars below; read-only afterwards (lookups are not locked).
+class ArchRegistry {
+ public:
+  static ArchRegistry& Global();
+
+  /// Registers the sim half of an entry (creating it, or merging into an
+  /// engine-registered entry of the same name).  Double registration of
+  /// the same half is a checked fatal error.
+  ArchEntry& RegisterSim(ArchEntry entry);
+
+  /// Registers the engine half of an entry by name.
+  ArchEntry& RegisterEngine(const std::string& name, int engine_order,
+                            std::vector<VariantSpec> engine_variants,
+                            EngineFixtureFactory make_engine);
+
+  /// Registers an auditor check for the catalog (machine/auditor.cc).
+  void RegisterInvariant(const std::string& name, const std::string& doc,
+                         bool universal);
+
+  const ArchEntry* Find(const std::string& name) const;
+
+  /// Resolves a --arch value: an entry name ("logging") or a sim-variant
+  /// name ("logging-qpmod"); `variant` is null for plain entry names.
+  struct SimResolution {
+    const ArchEntry* entry = nullptr;
+    const VariantSpec* variant = nullptr;
+  };
+  std::optional<SimResolution> ResolveSim(const std::string& name) const;
+
+  /// Entry owning the named engine fixture ("wal" -> logging), or null.
+  const ArchEntry* ResolveEngine(const std::string& fixture_name,
+                                 const VariantSpec** variant = nullptr) const;
+
+  /// Entries with a sim (resp. engine) half, in sim_order (engine_order).
+  std::vector<const ArchEntry*> SimEntries() const;
+  std::vector<const ArchEntry*> EngineEntries() const;
+
+  /// All sim-variant names in enumeration order (the 13-variant zoo).
+  std::vector<std::string> SimVariantNames() const;
+  /// All engine-fixture names in enumeration order (the torture zoo).
+  std::vector<std::string> EngineVariantNames() const;
+
+  const std::vector<InvariantInfo>& Invariants() const { return invariants_; }
+  const InvariantInfo* FindInvariant(const std::string& name) const;
+
+  /// Nearest --arch candidates for a typo, by edit distance: entry and
+  /// sim-variant names (SuggestSim) or engine-fixture names (SuggestEngine).
+  std::vector<std::string> SuggestSim(const std::string& name,
+                                      size_t max = 3) const;
+  std::vector<std::string> SuggestEngine(const std::string& name,
+                                         size_t max = 3) const;
+
+ private:
+  ArchEntry& FindOrCreate(const std::string& name);
+
+  std::vector<std::unique_ptr<ArchEntry>> entries_;  // stable pointers
+  std::vector<InvariantInfo> invariants_;
+};
+
+/// Resolves `name` (entry or sim-variant) plus knob `overrides` into a
+/// grid-ready factory thunk: variant preset first, then overrides on top.
+/// The thunk is safe to invoke concurrently from grid worker threads.
+Result<std::function<std::unique_ptr<machine::RecoveryArch>()>>
+MakeSimArchFactory(
+    const std::string& name,
+    const std::vector<std::pair<std::string, std::string>>& overrides = {});
+
+/// Levenshtein distance (for unknown-name suggestions).
+size_t EditDistance(const std::string& a, const std::string& b);
+
+/// Up to `max` candidates nearest to `name`, closest first; candidates
+/// further than half their own length away are dropped as noise.
+std::vector<std::string> NearestNames(
+    const std::string& name, const std::vector<std::string>& candidates,
+    size_t max = 3);
+
+/// docs/ARCHITECTURES.md: summary table, per-architecture sections with
+/// knob/variant tables, and the invariant-check catalog.  Deterministic —
+/// derived only from registry contents.
+std::string RenderArchCatalogMarkdown();
+
+/// Compact terminal rendering of the same catalog, for --list-archs.
+std::string RenderArchCatalogText();
+
+/// Static self-registration helpers (file-scope objects in sim_*.cc /
+/// engine_zoo.cc).
+struct SimArchRegistrar {
+  explicit SimArchRegistrar(ArchEntry entry) {
+    ArchRegistry::Global().RegisterSim(std::move(entry));
+  }
+};
+struct EngineArchRegistrar {
+  EngineArchRegistrar(const std::string& name, int engine_order,
+                      std::vector<VariantSpec> engine_variants,
+                      EngineFixtureFactory make_engine) {
+    ArchRegistry::Global().RegisterEngine(name, engine_order,
+                                          std::move(engine_variants),
+                                          std::move(make_engine));
+  }
+};
+
+}  // namespace dbmr::core
+
+#endif  // DBMR_CORE_ARCH_REGISTRY_H_

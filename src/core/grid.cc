@@ -5,6 +5,7 @@
 #include <optional>
 #include <thread>
 
+#include "core/arch_registry.h"
 #include "core/thread_pool.h"
 
 namespace dbmr::core {
@@ -100,6 +101,16 @@ GridSpec StandardGrid(const std::string& grid_name,
   spec.base_seed = base_seed;
   spec.AddConfigSweep(arch_label, std::move(make_arch), num_txns);
   return spec;
+}
+
+Result<GridSpec> RegistryStandardGrid(
+    const std::string& grid_name, const std::string& arch,
+    const std::vector<std::pair<std::string, std::string>>& overrides,
+    int num_txns, uint64_t base_seed) {
+  Result<ArchFactory> factory = MakeSimArchFactory(arch, overrides);
+  if (!factory.ok()) return factory.status();
+  return StandardGrid(grid_name, arch, std::move(*factory), num_txns,
+                      base_seed);
 }
 
 }  // namespace dbmr::core

@@ -26,6 +26,7 @@
 #include "core/experiment.h"
 #include "core/metrics.h"
 #include "machine/recovery_arch.h"
+#include "util/status.h"
 
 namespace dbmr::core {
 
@@ -101,6 +102,18 @@ MetricsRegistry RunGrid(const GridSpec& spec,
 GridSpec StandardGrid(const std::string& grid_name,
                       const std::string& arch_label, ArchFactory make_arch,
                       int num_txns = 60, uint64_t base_seed = 7);
+
+/// Registry-driven StandardGrid: resolves `arch` — a core::ArchRegistry
+/// entry name ("logging") or sim-variant name ("logging-qpmod") — and
+/// layers `overrides` over the variant preset.  The cell layout, labels,
+/// and seeds are identical to StandardGrid with a hand-built factory, so
+/// rewiring a caller through the registry leaves its reports byte-for-byte
+/// unchanged.  NotFound for unknown names (see ArchRegistry::SuggestSim
+/// for "did you mean" candidates).
+Result<GridSpec> RegistryStandardGrid(
+    const std::string& grid_name, const std::string& arch,
+    const std::vector<std::pair<std::string, std::string>>& overrides = {},
+    int num_txns = 60, uint64_t base_seed = 7);
 
 }  // namespace dbmr::core
 

@@ -3,12 +3,88 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <utility>
 
+#include "core/arch_registry.h"
 #include "sim/trace.h"
 #include "util/str.h"
 
 namespace dbmr::machine {
+
+const std::vector<Auditor::CheckInfo>& Auditor::KnownChecks() {
+  static const auto* kChecks = new std::vector<CheckInfo>{
+      {"txn-lifecycle",
+       "transactions are admitted only when not already committing and end "
+       "the run with no unresolved recovery state",
+       true},
+      {"2pl-growth",
+       "no lock is acquired after the commit (shrinking) phase starts",
+       true},
+      {"2pl-write",
+       "recovery data is collected and home writes are issued only under "
+       "the page's exclusive lock",
+       true},
+      {"2pl-commit",
+       "commit starts with every write-set lock still held exclusively",
+       true},
+      {"frame-balance",
+       "cache frames stay within [0, capacity] and balance at end of run",
+       true},
+      {"qp-balance",
+       "busy query processors stay within the pool and idle at end of run",
+       true},
+      {"blocked-balance",
+       "pages blocked on recovery-data collection return to zero at end of "
+       "run",
+       true},
+      {"util-bounds",
+       "device and query-processor utilizations stay within [0, 1]", true},
+      {"wal-rule",
+       "no updated page is released for (or issued as) a home write while "
+       "a log fragment of it is not yet stable on a log disk",
+       false},
+      {"wal-commit",
+       "commit completes only after every log fragment of the transaction "
+       "is on a log disk",
+       false},
+      {"wal-accounting",
+       "durable-fragment notifications never outnumber the fragments "
+       "issued",
+       false},
+      {"pt-coherence",
+       "every read targets the page's single live physical block", false},
+      {"pt-flip",
+       "commit completes only after every dirty page-table page of the "
+       "transaction is flushed",
+       false},
+      {"noredo-undo",
+       "an aborted no-redo victim restores every in-place overwrite of "
+       "uncommitted data before its locks are released",
+       false},
+  };
+  return *kChecks;
+}
+
+void Auditor::SetDeclaredChecks(std::vector<std::string> declared) {
+  declared_checks_ = std::move(declared);
+  declared_checks_set_ = true;
+}
+
+namespace {
+
+/// Publishes the check catalog as the registry's invariant catalog, so the
+/// generated architecture docs and the auditor can never disagree on the
+/// set of named checks.
+const bool kInvariantCatalogRegistered = [] {
+  for (const Auditor::CheckInfo& c : Auditor::KnownChecks()) {
+    core::ArchRegistry::Global().RegisterInvariant(c.name, c.doc,
+                                                   c.universal);
+  }
+  return true;
+}();
+
+}  // namespace
 
 Auditor::Auditor(AuditorOptions opts, sim::Simulator* sim,
                  const txn::LockManager* locks, sim::TraceRing* trace)
@@ -24,6 +100,21 @@ uint64_t Auditor::PlacementKey(const Placement& pl) {
 }
 
 void Auditor::Violate(const char* check, std::string detail) {
+  const CheckInfo* info = nullptr;
+  for (const CheckInfo& c : KnownChecks()) {
+    if (std::strcmp(c.name, check) == 0) {
+      info = &c;
+      break;
+    }
+  }
+  DBMR_CHECK(info != nullptr);  // every reported check must be catalogued
+  if (!info->universal && declared_checks_set_ &&
+      std::find(declared_checks_.begin(), declared_checks_.end(), check) ==
+          declared_checks_.end()) {
+    detail +=
+        " [check not declared by this architecture's registry entry — "
+        "stale ArchEntry::invariants?]";
+  }
   AuditViolation v{check, std::move(detail), sim_->Now()};
   if (!opts_.abort_on_violation) {
     violations_.push_back(std::move(v));

@@ -111,6 +111,28 @@ class Auditor {
     return violations_;
   }
 
+  /// One named check of the auditor's catalog.  Universal checks apply to
+  /// every architecture; the rest only fire for architectures that use the
+  /// corresponding hooks and are declared per entry in core::ArchRegistry.
+  struct CheckInfo {
+    const char* name;
+    const char* doc;
+    bool universal;
+  };
+
+  /// The complete catalog of check names Violate() may report.  Also
+  /// registered as the invariant catalog in core::ArchRegistry, which is
+  /// what docs/ARCHITECTURES.md renders.
+  static const std::vector<CheckInfo>& KnownChecks();
+
+  /// Per-architecture checks the running architecture declares in its
+  /// registry entry.  A violation of an undeclared non-universal check is
+  /// annotated as registry drift in the violation detail.
+  void SetDeclaredChecks(std::vector<std::string> declared);
+  const std::vector<std::string>& declared_checks() const {
+    return declared_checks_;
+  }
+
  private:
   struct TxnState {
     /// Log fragments per updated page not yet stable on a log disk.
@@ -152,6 +174,8 @@ class Auditor {
 
   uint64_t checks_ = 0;
   std::vector<AuditViolation> violations_;
+  std::vector<std::string> declared_checks_;
+  bool declared_checks_set_ = false;
 };
 
 }  // namespace dbmr::machine

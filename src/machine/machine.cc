@@ -3,9 +3,19 @@
 #include <algorithm>
 #include <utility>
 
+#include "core/arch_registry.h"
 #include "util/str.h"
 
 namespace dbmr::machine {
+
+void EnsureSimArchsLinked() {
+  ArchRegistryAnchorBare();
+  ArchRegistryAnchorLogging();
+  ArchRegistryAnchorShadow();
+  ArchRegistryAnchorOverwrite();
+  ArchRegistryAnchorVersionSelect();
+  ArchRegistryAnchorDifferential();
+}
 
 Placement RecoveryArch::ReadPlacement(uint64_t page) {
   return machine_->HomePlacement(page);
@@ -56,6 +66,14 @@ Machine::Machine(const MachineConfig& config,
     opts.repro_hint = config_.audit_repro_hint;
     auditor_ = std::make_unique<Auditor>(std::move(opts), &sim_, &locks_,
                                          sim_.trace());
+    // Tell the auditor which per-architecture checks this architecture
+    // declares in the registry, so violations of undeclared checks are
+    // flagged as registry drift.  Unregistered architectures (test fakes)
+    // simply leave the declared set unset.
+    if (const core::ArchEntry* entry =
+            core::ArchRegistry::Global().Find(arch_->registry_name())) {
+      auditor_->SetDeclaredChecks(entry->invariants);
+    }
   }
   arch_->Attach(this);
 }

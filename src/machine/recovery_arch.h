@@ -30,8 +30,13 @@ class RecoveryArch {
  public:
   virtual ~RecoveryArch() = default;
 
-  /// Architecture name for reports ("bare", "logging", ...).
+  /// Architecture name for reports; may be decorated with the active
+  /// options ("logging-x2-logical", "shadow-1pt-buf10", ...).
   virtual std::string name() const = 0;
+
+  /// Stable family name of this architecture's core::ArchRegistry entry
+  /// ("bare", "logging", "shadow", ...), never decorated with options.
+  virtual std::string registry_name() const { return name(); }
 
   /// Called once before the run; the machine outlives the architecture's
   /// use of it.  Architectures allocate their extra devices here.
@@ -115,6 +120,24 @@ class BareArch : public RecoveryArch {
  public:
   std::string name() const override { return "bare"; }
 };
+
+/// Link anchors for the registry registrars.  Each sim_*.cc (and
+/// sim_bare.cc) holds a file-scope core::SimArchRegistrar whose constructor
+/// registers the architecture in core::ArchRegistry at program start — but
+/// those objects live in a static archive, so their translation units are
+/// only extracted if something references a symbol in them.
+/// EnsureSimArchsLinked() (defined in machine.cc, which every machine user
+/// pulls in) references one anchor per translation unit, forcing the
+/// registrars into any binary that links the machine library.  Calling it
+/// at runtime is a cheap no-op; binaries that never touch machine.cc
+/// otherwise (e.g. dbmr_catalog) call it explicitly.
+void* ArchRegistryAnchorBare();
+void* ArchRegistryAnchorLogging();
+void* ArchRegistryAnchorShadow();
+void* ArchRegistryAnchorOverwrite();
+void* ArchRegistryAnchorVersionSelect();
+void* ArchRegistryAnchorDifferential();
+void EnsureSimArchsLinked();
 
 }  // namespace dbmr::machine
 

@@ -1,0 +1,44 @@
+// Registry entry for the bare machine (BareArch is header-only; this
+// translation unit exists to give it a registrar and a link anchor like
+// every other architecture).
+
+#include <memory>
+
+#include "core/arch_registry.h"
+#include "machine/recovery_arch.h"
+
+namespace dbmr::machine {
+
+namespace {
+
+std::unique_ptr<RecoveryArch> MakeBareFromConfig(const core::ArchConfig&) {
+  return std::make_unique<BareArch>();
+}
+
+core::ArchEntry MakeBareEntry() {
+  core::ArchEntry e;
+  e.name = "bare";
+  e.sim_order = 0;
+  e.summary = "no recovery data collected at all (the paper's baseline)";
+  e.description =
+      "The unmodified database machine: pages are read, processed, and "
+      "written home with no recovery data collected anywhere.  Every "
+      "other architecture's cost is measured as the slowdown relative to "
+      "this baseline.";
+  e.paper_ref = "§2, §4.1";
+  e.sim_variants = {
+      {"bare", {}, "the baseline machine"},
+  };
+  e.make_sim = &MakeBareFromConfig;
+  return e;
+}
+
+const core::SimArchRegistrar kBareRegistrar(MakeBareEntry());
+
+}  // namespace
+
+void* ArchRegistryAnchorBare() {
+  return const_cast<core::SimArchRegistrar*>(&kBareRegistrar);
+}
+
+}  // namespace dbmr::machine

@@ -1,8 +1,10 @@
 #include "machine/sim_differential.h"
 
 #include <cmath>
+#include <memory>
 #include <utility>
 
+#include "core/arch_registry.h"
 #include "util/str.h"
 
 namespace dbmr::machine {
@@ -173,6 +175,56 @@ void SimDifferential::ContributeStats(MachineResult* result) {
       pages_seen_ == 0 ? 0.0
                        : static_cast<double>(setdiffs_) /
                              static_cast<double>(pages_seen_);
+}
+
+namespace {
+
+std::unique_ptr<RecoveryArch> MakeDifferentialFromConfig(
+    const core::ArchConfig& cfg) {
+  SimDifferentialOptions o;
+  o.diff_size = cfg.GetDouble("diff-size");
+  o.output_fraction = cfg.GetDouble("output-fraction");
+  o.optimal = !cfg.GetBool("basic");
+  o.merge_every_output_pages = cfg.GetInt("merge-every");
+  return std::make_unique<SimDifferential>(o);
+}
+
+core::ArchEntry MakeDifferentialEntry() {
+  core::ArchEntry e;
+  e.name = "differential";
+  e.sim_order = 5;
+  e.summary = "differential files: reads merge B with additions/deletions";
+  e.description =
+      "The base file B is never updated in place; updates append to an "
+      "additions file A (deletions to D), so recovery discards A and D "
+      "back to the last dump.  Query processing pays set union/difference "
+      "CPU per page — in full under basic query processing, only for the "
+      "output fraction under optimal — and a merge policy can fold A and "
+      "D back into B periodically.";
+  e.paper_ref = "§3.3, §4.2.5";
+  e.knobs = {
+      {"diff-size", core::KnobType::kDouble, "0.10", {},
+       "size of A and D relative to B"},
+      {"output-fraction", core::KnobType::kDouble, "0.10", {},
+       "fraction of processed pages that produce output"},
+      {"basic", core::KnobType::kBool, "0", {},
+       "basic instead of optimal query processing"},
+      {"merge-every", core::KnobType::kInt, "0", {},
+       "fold A/D into B every N output pages (0 = never)"},
+  };
+  e.sim_variants = {
+      {"differential", {}, "optimal query processing, no merging"},
+  };
+  e.make_sim = &MakeDifferentialFromConfig;
+  return e;
+}
+
+const core::SimArchRegistrar kDifferentialRegistrar(MakeDifferentialEntry());
+
+}  // namespace
+
+void* ArchRegistryAnchorDifferential() {
+  return const_cast<core::SimArchRegistrar*>(&kDifferentialRegistrar);
 }
 
 }  // namespace dbmr::machine

@@ -61,6 +61,7 @@ class SimDifferential : public RecoveryArch {
   explicit SimDifferential(SimDifferentialOptions options = {});
 
   std::string name() const override;
+  std::string registry_name() const override { return "differential"; }
   void BeforeRead(txn::TxnId t, uint64_t page,
                   std::function<void()> done) override;
   sim::TimeMs ExtraCpu(txn::TxnId t, uint64_t page, bool is_write) override;

@@ -1,7 +1,9 @@
 #include "machine/sim_logging.h"
 
+#include <memory>
 #include <utility>
 
+#include "core/arch_registry.h"
 #include "machine/auditor.h"
 #include "sim/trace.h"
 #include "util/str.h"
@@ -40,7 +42,7 @@ void SimLogging::Attach(Machine* machine) {
   // function of the cell seed regardless of how many draws setup made.
   select_rng_ = Rng(machine->config().seed ^ 0xc2b2ae3d27d4eb4fULL);
   if (sim::TraceRing* tr = machine->simulator()->trace()) {
-    track_ = tr->RegisterTrack("wal");
+    track_ = tr->RegisterTrack(kLoggingTraceTrack);
   }
   for (int i = 0; i < opts_.num_log_processors; ++i) {
     auto lp = std::make_unique<LogProcessor>();
@@ -253,6 +255,82 @@ void SimLogging::ContributeStats(MachineResult* result) {
 
 double SimLogging::LogDiskUtilization(int i) const {
   return lps_[static_cast<size_t>(i)]->disk->Utilization();
+}
+
+namespace {
+
+std::unique_ptr<RecoveryArch> MakeLoggingFromConfig(
+    const core::ArchConfig& cfg) {
+  SimLoggingOptions o;
+  o.num_log_processors = cfg.GetInt("log-disks");
+  o.physical = cfg.GetBool("physical");
+  o.route_via_cache = cfg.GetBool("via-cache");
+  o.channel_mb_per_sec = cfg.GetDouble("bandwidth");
+  const std::string sel = cfg.GetString("select");
+  if (sel == "random") {
+    o.select = LogSelect::kRandom;
+  } else if (sel == "qpmod") {
+    o.select = LogSelect::kQpMod;
+  } else if (sel == "txnmod") {
+    o.select = LogSelect::kTxnMod;
+  } else {
+    o.select = LogSelect::kCyclic;
+  }
+  return std::make_unique<SimLogging>(o);
+}
+
+core::ArchEntry MakeLoggingEntry() {
+  core::ArchEntry e;
+  e.name = "logging";
+  e.sim_order = 1;
+  e.summary = "parallel write-ahead logging on dedicated log disks";
+  e.description =
+      "Query processors build a log fragment for every updated page and "
+      "ship it to one of N log processors, each owning a log disk; the "
+      "updated page may go home only after its fragment is stable (the "
+      "write-ahead rule), and commit forces the transaction's log tail. "
+      "Fragment routing follows a selection policy and travels either over "
+      "a dedicated channel or through the disk cache.";
+  e.paper_ref = "§3.1, §4.2.1";
+  e.trace_track = kLoggingTraceTrack;
+  e.knobs = {
+      {"log-disks", core::KnobType::kInt, "1", {},
+       "log processors, each with its own log disk"},
+      {"physical", core::KnobType::kBool, "0", {},
+       "physical (before+after image) instead of logical logging"},
+      {"select", core::KnobType::kEnum, "cyclic",
+       {"cyclic", "random", "qpmod", "txnmod"},
+       "log-disk selection policy for fragments"},
+      {"via-cache", core::KnobType::kBool, "0", {},
+       "route fragments through the disk cache instead of a channel"},
+      {"bandwidth", core::KnobType::kDouble, "1.0", {},
+       "dedicated QP-to-LP channel bandwidth in MB/s"},
+  };
+  e.sim_variants = {
+      {"logging-cyclic", {{"log-disks", "2"}, {"select", "cyclic"}},
+       "two log disks, fragments routed cyclically"},
+      {"logging-random", {{"log-disks", "2"}, {"select", "random"}},
+       "two log disks, fragments routed at random"},
+      {"logging-qpmod", {{"log-disks", "2"}, {"select", "qpmod"}},
+       "two log disks, disk = query processor number mod disks"},
+      {"logging-txnmod", {{"log-disks", "2"}, {"select", "txnmod"}},
+       "two log disks, disk = transaction number mod disks"},
+      {"logging-physical", {{"physical", "1"}},
+       "before+after image logging on one log disk"},
+      {"logging-via-cache", {{"via-cache", "1"}},
+       "fragments routed through the disk cache, no channel"},
+  };
+  e.invariants = {"wal-rule", "wal-commit", "wal-accounting"};
+  e.make_sim = &MakeLoggingFromConfig;
+  return e;
+}
+
+const core::SimArchRegistrar kLoggingRegistrar(MakeLoggingEntry());
+
+}  // namespace
+
+void* ArchRegistryAnchorLogging() {
+  return const_cast<core::SimArchRegistrar*>(&kLoggingRegistrar);
 }
 
 }  // namespace dbmr::machine

@@ -58,6 +58,10 @@ struct SimLoggingOptions {
   hw::DiskGeometry log_geometry = hw::Ibm3350Geometry();
 };
 
+/// Deterministic-trace track the logging architecture emits on; carried by
+/// its core::ArchRegistry entry so the catalog and the emitter agree.
+inline constexpr const char kLoggingTraceTrack[] = "wal";
+
 /// The parallel-logging architecture.
 class SimLogging : public RecoveryArch {
  public:
@@ -65,6 +69,7 @@ class SimLogging : public RecoveryArch {
   ~SimLogging() override;
 
   std::string name() const override;
+  std::string registry_name() const override { return "logging"; }
   void Attach(Machine* machine) override;
   sim::TimeMs ExtraCpu(txn::TxnId t, uint64_t page, bool is_write) override;
   void CollectRecoveryData(txn::TxnId t, uint64_t page,

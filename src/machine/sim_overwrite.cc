@@ -3,6 +3,7 @@
 #include <memory>
 #include <utility>
 
+#include "core/arch_registry.h"
 #include "machine/auditor.h"
 #include "sim/trace.h"
 #include "util/str.h"
@@ -127,6 +128,50 @@ void SimOverwrite::ContributeStats(MachineResult* result) {
   result->extra["home_overwrites"] = static_cast<double>(home_writes_);
   result->extra["undo_reads"] = static_cast<double>(undo_reads_);
   result->extra["undo_writes"] = static_cast<double>(undo_writes_);
+}
+
+namespace {
+
+std::unique_ptr<RecoveryArch> MakeOverwriteFromConfig(
+    const core::ArchConfig& cfg) {
+  const SimOverwriteMode mode = cfg.GetString("mode") == "noredo"
+                                    ? SimOverwriteMode::kNoRedo
+                                    : SimOverwriteMode::kNoUndo;
+  return std::make_unique<SimOverwrite>(mode);
+}
+
+core::ArchEntry MakeOverwriteEntry() {
+  core::ArchEntry e;
+  e.name = "overwrite";
+  e.sim_order = 3;
+  e.summary = "in-place overwriting with intention lists or before images";
+  e.description =
+      "No-undo defers updates to a scratch intention list and applies it "
+      "home after commit (redo on restart); no-redo saves before images "
+      "and overwrites home in place before commit, so an aborting victim "
+      "must restore every before image before its locks are released.";
+  e.paper_ref = "§3.2.2.2, §4.2.4";
+  e.knobs = {
+      {"mode", core::KnobType::kEnum, "noundo", {"noundo", "noredo"},
+       "no-undo (deferred updates) or no-redo (before images)"},
+  };
+  e.sim_variants = {
+      {"overwrite-noundo", {{"mode", "noundo"}},
+       "deferred updates, redo from the intention list"},
+      {"overwrite-noredo", {{"mode", "noredo"}},
+       "in-place overwrites, undo from before images"},
+  };
+  e.invariants = {"noredo-undo"};
+  e.make_sim = &MakeOverwriteFromConfig;
+  return e;
+}
+
+const core::SimArchRegistrar kOverwriteRegistrar(MakeOverwriteEntry());
+
+}  // namespace
+
+void* ArchRegistryAnchorOverwrite() {
+  return const_cast<core::SimArchRegistrar*>(&kOverwriteRegistrar);
 }
 
 }  // namespace dbmr::machine

@@ -39,6 +39,7 @@ class SimOverwrite : public RecoveryArch {
   explicit SimOverwrite(SimOverwriteMode mode = SimOverwriteMode::kNoUndo);
 
   std::string name() const override;
+  std::string registry_name() const override { return "overwrite"; }
   void WriteUpdatedPage(txn::TxnId t, uint64_t page,
                         std::function<void()> done) override;
   void OnCommit(txn::TxnId t, std::function<void()> done) override;

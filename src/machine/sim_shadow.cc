@@ -1,7 +1,9 @@
 #include "machine/sim_shadow.h"
 
+#include <memory>
 #include <utility>
 
+#include "core/arch_registry.h"
 #include "machine/auditor.h"
 #include "sim/trace.h"
 #include "util/str.h"
@@ -209,6 +211,59 @@ double SimShadow::BufferHitRate() const {
   const uint64_t total = hits_ + misses_;
   return total == 0 ? 0.0
                     : static_cast<double>(hits_) / static_cast<double>(total);
+}
+
+namespace {
+
+std::unique_ptr<RecoveryArch> MakeShadowFromConfig(
+    const core::ArchConfig& cfg) {
+  SimShadowOptions o;
+  o.num_pt_processors = cfg.GetInt("pt-processors");
+  o.pt_buffer_pages = cfg.GetInt("pt-buffer");
+  o.clustered = !cfg.GetBool("scrambled");
+  o.cluster_fraction = cfg.GetDouble("cluster-fraction");
+  return std::make_unique<SimShadow>(o);
+}
+
+core::ArchEntry MakeShadowEntry() {
+  core::ArchEntry e;
+  e.name = "shadow";
+  e.sim_order = 2;
+  e.summary = "shadow pages behind a page table on dedicated processors";
+  e.description =
+      "Every read first consults the page table (cached in a page-table "
+      "processor's buffer); updated pages are written copy-on-write to "
+      "fresh blocks, and commit atomically flips the dirty page-table "
+      "pages to make the shadows live.  Scrambling models the loss of "
+      "physical clustering as pages migrate away from home.";
+  e.paper_ref = "§3.2.1, §4.2.2";
+  e.knobs = {
+      {"pt-processors", core::KnobType::kInt, "1", {},
+       "page-table processors serving lookups and flips"},
+      {"pt-buffer", core::KnobType::kInt, "10", {},
+       "page-table pages cached per processor"},
+      {"scrambled", core::KnobType::kBool, "0", {},
+       "logically adjacent pages are not physically clustered"},
+      {"cluster-fraction", core::KnobType::kDouble, "1.0", {},
+       "fraction of pages that keep their clustering"},
+  };
+  e.sim_variants = {
+      {"shadow-clustered", {},
+       "pages stay clustered; page-table cost only"},
+      {"shadow-scrambled", {{"scrambled", "1"}},
+       "every read seeks to a scrambled block"},
+  };
+  e.invariants = {"pt-coherence", "pt-flip"};
+  e.make_sim = &MakeShadowFromConfig;
+  return e;
+}
+
+const core::SimArchRegistrar kShadowRegistrar(MakeShadowEntry());
+
+}  // namespace
+
+void* ArchRegistryAnchorShadow() {
+  return const_cast<core::SimArchRegistrar*>(&kShadowRegistrar);
 }
 
 }  // namespace dbmr::machine

@@ -66,6 +66,7 @@ class SimShadow : public RecoveryArch {
   ~SimShadow() override;
 
   std::string name() const override;
+  std::string registry_name() const override { return "shadow"; }
   void Attach(Machine* machine) override;
   void BeforeRead(txn::TxnId t, uint64_t page,
                   std::function<void()> done) override;

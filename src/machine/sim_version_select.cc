@@ -1,6 +1,9 @@
 #include "machine/sim_version_select.h"
 
+#include <memory>
 #include <utility>
+
+#include "core/arch_registry.h"
 
 namespace dbmr::machine {
 
@@ -27,6 +30,47 @@ void SimVersionSelect::OnCommit(txn::TxnId t, std::function<void()> done) {
 void SimVersionSelect::ContributeStats(MachineResult* result) {
   result->extra["commit_list_writes"] =
       static_cast<double>(commit_list_writes_);
+}
+
+namespace {
+
+std::unique_ptr<RecoveryArch> MakeVersionSelectFromConfig(
+    const core::ArchConfig& cfg) {
+  SimVersionSelectOptions o;
+  o.smart_heads = cfg.GetBool("smart-heads");
+  return std::make_unique<SimVersionSelect>(o);
+}
+
+core::ArchEntry MakeVersionSelectEntry() {
+  core::ArchEntry e;
+  e.name = "version-select";
+  e.sim_order = 4;
+  e.summary = "two versions per page, selected by a commit list";
+  e.description =
+      "Each page keeps two adjacent on-disk versions; a write overwrites "
+      "the non-current one and commit appends the transaction to a stable "
+      "commit list that determines which version is live.  A plain read "
+      "transfers both versions; smart heads select the live version on "
+      "the fly and transfer one.";
+  e.paper_ref = "§3.2.2.1, §4.2.3";
+  e.knobs = {
+      {"smart-heads", core::KnobType::kBool, "0", {},
+       "select the live version on the fly (one-page transfers)"},
+  };
+  e.sim_variants = {
+      {"version-select", {}, "both versions transferred per read"},
+  };
+  e.make_sim = &MakeVersionSelectFromConfig;
+  return e;
+}
+
+const core::SimArchRegistrar kVersionSelectRegistrar(
+    MakeVersionSelectEntry());
+
+}  // namespace
+
+void* ArchRegistryAnchorVersionSelect() {
+  return const_cast<core::SimArchRegistrar*>(&kVersionSelectRegistrar);
 }
 
 }  // namespace dbmr::machine

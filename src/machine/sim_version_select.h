@@ -34,6 +34,7 @@ class SimVersionSelect : public RecoveryArch {
   std::string name() const override {
     return opts_.smart_heads ? "version-select-smart" : "version-select";
   }
+  std::string registry_name() const override { return "version-select"; }
 
   /// Both copies of the page come back in one access — unless the heads
   /// select on the fly.

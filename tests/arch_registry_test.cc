@@ -1,0 +1,306 @@
+// Contract tests for the unified architecture registry: every registered
+// name must resolve, schemas must validate, the sim and engine halves must
+// pair up, enumeration order must be stable, and the registry rewiring of
+// the grid and torture pipelines must leave their reports byte-identical
+// (checked against committed goldens through the real CLI binaries).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "chaos/engine_zoo.h"
+#include "core/arch_registry.h"
+#include "machine/recovery_arch.h"
+#include "util/str.h"
+
+namespace dbmr::core {
+namespace {
+
+/// Both registrar sets must be linked into this test binary: the sim side
+/// via the machine anchors, the engine side via EngineNames().
+class ArchRegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    machine::EnsureSimArchsLinked();
+    chaos::EngineNames();
+  }
+};
+
+// The 13-variant simulation zoo, in the exact enumeration order every
+// consumer (contract tests, --list-archs, the catalog) must observe.
+const char* const kSimVariants[] = {
+    "bare",
+    "logging-cyclic",
+    "logging-random",
+    "logging-qpmod",
+    "logging-txnmod",
+    "logging-physical",
+    "logging-via-cache",
+    "shadow-clustered",
+    "shadow-scrambled",
+    "overwrite-noundo",
+    "overwrite-noredo",
+    "version-select",
+    "differential",
+};
+
+// The 6-fixture torture zoo, in canonical order.
+const char* const kEngineVariants[] = {
+    "wal",
+    "shadow",
+    "differential",
+    "overwrite-noundo",
+    "overwrite-noredo",
+    "version-select",
+};
+
+TEST_F(ArchRegistryTest, SimEnumerationOrderIsStable) {
+  const std::vector<std::string> names =
+      ArchRegistry::Global().SimVariantNames();
+  ASSERT_EQ(names.size(), std::size(kSimVariants));
+  for (size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(names[i], kSimVariants[i]) << "at index " << i;
+  }
+}
+
+TEST_F(ArchRegistryTest, EngineEnumerationOrderIsStable) {
+  const std::vector<std::string> names =
+      ArchRegistry::Global().EngineVariantNames();
+  ASSERT_EQ(names.size(), std::size(kEngineVariants));
+  for (size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(names[i], kEngineVariants[i]) << "at index " << i;
+  }
+  // chaos::EngineNames() must be the registry enumeration, nothing else.
+  EXPECT_EQ(chaos::EngineNames(), names);
+}
+
+TEST_F(ArchRegistryTest, EveryEntryNameResolves) {
+  const std::vector<std::string> expected = {
+      "bare", "logging", "shadow", "overwrite", "version-select",
+      "differential"};
+  const std::vector<const ArchEntry*> entries =
+      ArchRegistry::Global().SimEntries();
+  ASSERT_EQ(entries.size(), expected.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(entries[i]->name, expected[i]);
+    const ArchEntry* found = ArchRegistry::Global().Find(expected[i]);
+    ASSERT_NE(found, nullptr) << expected[i];
+    EXPECT_EQ(found, entries[i]);
+    auto resolved = ArchRegistry::Global().ResolveSim(expected[i]);
+    ASSERT_TRUE(resolved.has_value()) << expected[i];
+    EXPECT_EQ(resolved->entry, found);
+    EXPECT_EQ(resolved->variant, nullptr);
+  }
+}
+
+TEST_F(ArchRegistryTest, EverySimVariantBuildsAModel) {
+  for (const char* name : kSimVariants) {
+    SCOPED_TRACE(name);
+    auto resolved = ArchRegistry::Global().ResolveSim(name);
+    ASSERT_TRUE(resolved.has_value());
+    auto factory = MakeSimArchFactory(name);
+    ASSERT_TRUE(factory.ok()) << factory.status().message();
+    std::unique_ptr<machine::RecoveryArch> arch = (*factory)();
+    ASSERT_NE(arch, nullptr);
+    // The model must claim the registry entry it was built from.
+    EXPECT_EQ(arch->registry_name(), resolved->entry->name);
+  }
+}
+
+TEST_F(ArchRegistryTest, EveryEngineFixtureConstructs) {
+  for (const char* name : kEngineVariants) {
+    SCOPED_TRACE(name);
+    const VariantSpec* variant = nullptr;
+    const ArchEntry* entry =
+        ArchRegistry::Global().ResolveEngine(name, &variant);
+    ASSERT_NE(entry, nullptr);
+    ASSERT_NE(variant, nullptr);
+    EXPECT_EQ(variant->name, name);
+    ASSERT_TRUE(entry->make_engine);
+    chaos::FixtureOptions options;
+    auto fx = entry->make_engine(name, options, nullptr);
+    ASSERT_TRUE(fx.ok()) << fx.status().message();
+    EXPECT_NE(fx->engine, nullptr);
+  }
+  EXPECT_EQ(ArchRegistry::Global().ResolveEngine("no-such-engine"), nullptr);
+}
+
+TEST_F(ArchRegistryTest, SimAndEngineHalvesPairUp) {
+  // With both libraries linked, every engine-bearing entry must also have
+  // its sim half, and vice versa except for `bare` (no functional engine —
+  // there is nothing to recover).
+  for (const ArchEntry* e : ArchRegistry::Global().EngineEntries()) {
+    EXPECT_GE(e->sim_order, 0) << e->name << " has engines but no sim model";
+    EXPECT_TRUE(e->make_sim != nullptr) << e->name;
+  }
+  for (const ArchEntry* e : ArchRegistry::Global().SimEntries()) {
+    if (e->name == "bare") {
+      EXPECT_EQ(e->engine_order, -1);
+      EXPECT_TRUE(e->engine_variants.empty());
+    } else {
+      EXPECT_GE(e->engine_order, 0) << e->name << " has no engine fixture";
+      EXPECT_FALSE(e->engine_variants.empty()) << e->name;
+    }
+  }
+}
+
+TEST_F(ArchRegistryTest, ConfigRejectsUnknownKnobs) {
+  const ArchEntry* logging = ArchRegistry::Global().Find("logging");
+  ASSERT_NE(logging, nullptr);
+  ArchConfig config(logging);
+  Status s = config.Set("log-disk", "2");  // typo: real knob is log-disks
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("unknown knob"), std::string::npos)
+      << s.message();
+  EXPECT_NE(s.message().find("log-disks"), std::string::npos)
+      << "error should list the real knobs: " << s.message();
+}
+
+TEST_F(ArchRegistryTest, ConfigRejectsTypeInvalidValues) {
+  const ArchEntry* logging = ArchRegistry::Global().Find("logging");
+  ASSERT_NE(logging, nullptr);
+  ArchConfig config(logging);
+  EXPECT_FALSE(config.Set("log-disks", "two").ok());     // int
+  EXPECT_FALSE(config.Set("physical", "maybe").ok());    // bool
+  EXPECT_FALSE(config.Set("bandwidth", "fast").ok());    // double
+  EXPECT_FALSE(config.Set("select", "rotary").ok());     // enum
+  EXPECT_TRUE(config.Set("log-disks", "4").ok());
+  EXPECT_TRUE(config.Set("physical", "true").ok());
+  EXPECT_TRUE(config.Set("bandwidth", "2.5").ok());
+  EXPECT_TRUE(config.Set("select", "qpmod").ok());
+  EXPECT_EQ(config.GetInt("log-disks"), 4);
+  EXPECT_TRUE(config.GetBool("physical"));
+  EXPECT_DOUBLE_EQ(config.GetDouble("bandwidth"), 2.5);
+  EXPECT_EQ(config.GetString("select"), "qpmod");
+}
+
+TEST_F(ArchRegistryTest, ConfigFallsBackToSchemaDefaults) {
+  const ArchEntry* shadow = ArchRegistry::Global().Find("shadow");
+  ASSERT_NE(shadow, nullptr);
+  ArchConfig config(shadow);  // nothing set
+  EXPECT_EQ(config.GetInt("pt-processors"), 1);
+  EXPECT_EQ(config.GetInt("pt-buffer"), 10);
+  EXPECT_FALSE(config.GetBool("scrambled"));
+  EXPECT_DOUBLE_EQ(config.GetDouble("cluster-fraction"), 1.0);
+}
+
+TEST_F(ArchRegistryTest, VariantPresetsValidateAgainstTheirSchema) {
+  for (const ArchEntry* e : ArchRegistry::Global().SimEntries()) {
+    for (const VariantSpec& v : e->sim_variants) {
+      SCOPED_TRACE(e->name + "/" + v.name);
+      Result<ArchConfig> config = e->MakeConfig(v.preset);
+      EXPECT_TRUE(config.ok()) << config.status().message();
+    }
+  }
+}
+
+TEST_F(ArchRegistryTest, UnknownNamesFailWithSuggestions) {
+  auto factory = MakeSimArchFactory("loging");
+  ASSERT_FALSE(factory.ok());
+  EXPECT_NE(factory.status().message().find("unknown architecture"),
+            std::string::npos);
+
+  const std::vector<std::string> sim =
+      ArchRegistry::Global().SuggestSim("loging");
+  ASSERT_FALSE(sim.empty());
+  EXPECT_EQ(sim.front(), "logging");
+
+  const std::vector<std::string> eng =
+      ArchRegistry::Global().SuggestEngine("wall");
+  ASSERT_FALSE(eng.empty());
+  EXPECT_EQ(eng.front(), "wal");
+
+  // Garbage stays unsuggested rather than surfacing noise.
+  EXPECT_TRUE(ArchRegistry::Global().SuggestSim("zzzzzzzzzzzz").empty());
+}
+
+TEST(EditDistanceTest, ClassicCases) {
+  EXPECT_EQ(EditDistance("", ""), 0u);
+  EXPECT_EQ(EditDistance("abc", ""), 3u);
+  EXPECT_EQ(EditDistance("", "abc"), 3u);
+  EXPECT_EQ(EditDistance("logging", "logging"), 0u);
+  EXPECT_EQ(EditDistance("loging", "logging"), 1u);
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3u);
+}
+
+TEST_F(ArchRegistryTest, InvariantCatalogCoversDeclaredChecks) {
+  const std::vector<InvariantInfo>& all = ArchRegistry::Global().Invariants();
+  EXPECT_EQ(all.size(), 14u);  // 8 universal + 6 per-architecture
+  size_t universal = 0;
+  for (const InvariantInfo& i : all) universal += i.universal ? 1 : 0;
+  EXPECT_EQ(universal, 8u);
+  // Every check an entry declares must exist and must not be universal
+  // (universal checks are implicit everywhere).
+  for (const ArchEntry* e : ArchRegistry::Global().SimEntries()) {
+    for (const std::string& check : e->invariants) {
+      const InvariantInfo* info = ArchRegistry::Global().FindInvariant(check);
+      ASSERT_NE(info, nullptr) << e->name << " declares unknown " << check;
+      EXPECT_FALSE(info->universal) << e->name << " declares " << check;
+    }
+  }
+}
+
+TEST_F(ArchRegistryTest, CatalogRenderingIsDeterministic) {
+  const std::string md = RenderArchCatalogMarkdown();
+  EXPECT_EQ(md, RenderArchCatalogMarkdown());
+  for (const ArchEntry* e : ArchRegistry::Global().SimEntries()) {
+    EXPECT_NE(md.find("## " + e->name), std::string::npos) << e->name;
+    EXPECT_NE(md.find(e->paper_ref), std::string::npos) << e->name;
+  }
+  const std::string text = RenderArchCatalogText();
+  for (const char* name : kSimVariants) {
+    EXPECT_NE(text.find(name), std::string::npos) << name;
+  }
+}
+
+#if defined(DBMR_TOOL_DBMR) && defined(DBMR_TOOL_TORTURE) && \
+    defined(DBMR_GOLDEN_DIR)
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// The registry rewiring must not move a byte in any report: both goldens
+/// were captured from the pre-registry binaries.
+TEST(RegistryGoldenTest, GridReportIsByteIdentical) {
+  const std::string out = ::testing::TempDir() + "/arch_registry_grid.json";
+  const std::string cmd = StrFormat(
+      "%s --arch=logging --grid --jobs=1 --txns=20 --seed=7 --no-timing "
+      "--no-audit --out=%s > /dev/null 2>&1",
+      DBMR_TOOL_DBMR, out.c_str());
+  ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
+  const std::string golden =
+      ReadFile(std::string(DBMR_GOLDEN_DIR) + "/grid_logging_txns20_seed7.json");
+  ASSERT_FALSE(golden.empty());
+  EXPECT_EQ(ReadFile(out), golden);
+  std::remove(out.c_str());
+}
+
+TEST(RegistryGoldenTest, TortureReportIsByteIdentical) {
+  const std::string out =
+      ::testing::TempDir() + "/arch_registry_torture.json";
+  const std::string cmd = StrFormat(
+      "%s --engine=all --seed=1 --txns=6 --jobs=1 --json=%s > /dev/null 2>&1",
+      DBMR_TOOL_TORTURE, out.c_str());
+  ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
+  const std::string golden =
+      ReadFile(std::string(DBMR_GOLDEN_DIR) + "/torture_all_seed1_txns6.json");
+  ASSERT_FALSE(golden.empty());
+  EXPECT_EQ(ReadFile(out), golden);
+  std::remove(out.c_str());
+}
+
+#endif  // tool paths wired in by tests/CMakeLists.txt
+
+}  // namespace
+}  // namespace dbmr::core

@@ -13,14 +13,12 @@
 #include <utility>
 #include <vector>
 
+#include "core/arch_registry.h"
 #include "core/experiment.h"
 #include "machine/auditor.h"
 #include "machine/machine.h"
-#include "machine/sim_differential.h"
 #include "machine/sim_logging.h"
 #include "machine/sim_overwrite.h"
-#include "machine/sim_shadow.h"
-#include "machine/sim_version_select.h"
 
 namespace dbmr::machine {
 namespace {
@@ -31,51 +29,19 @@ using core::StandardSetup;
 
 using ArchFactory = std::function<std::unique_ptr<RecoveryArch>()>;
 
-/// Every shipped architecture variant the auditor must pass on, including
-/// all four log-selection policies, physical logging, the cache fragment
-/// routing, and both page-table layouts.
+/// Every shipped architecture variant the auditor must pass on — all 13
+/// sim variants, enumerated straight from core::ArchRegistry so a newly
+/// registered architecture is audited without touching this test.
 std::vector<std::pair<std::string, ArchFactory>> AllArchVariants() {
+  EnsureSimArchsLinked();
   std::vector<std::pair<std::string, ArchFactory>> v;
-  v.emplace_back("bare", [] { return std::make_unique<BareArch>(); });
-  for (LogSelect sel : {LogSelect::kCyclic, LogSelect::kRandom,
-                        LogSelect::kQpMod, LogSelect::kTxnMod}) {
-    v.emplace_back(std::string("logging-") + LogSelectName(sel), [sel] {
-      SimLoggingOptions o;
-      o.num_log_processors = 2;
-      o.select = sel;
-      return std::make_unique<SimLogging>(o);
-    });
+  for (const std::string& name :
+       core::ArchRegistry::Global().SimVariantNames()) {
+    auto factory = core::MakeSimArchFactory(name);
+    EXPECT_TRUE(factory.ok()) << factory.status().message();
+    if (factory.ok()) v.emplace_back(name, std::move(*factory));
   }
-  v.emplace_back("logging-physical", [] {
-    SimLoggingOptions o;
-    o.physical = true;
-    return std::make_unique<SimLogging>(o);
-  });
-  v.emplace_back("logging-via-cache", [] {
-    SimLoggingOptions o;
-    o.route_via_cache = true;
-    return std::make_unique<SimLogging>(o);
-  });
-  v.emplace_back("shadow-clustered", [] {
-    return std::make_unique<SimShadow>(SimShadowOptions{});
-  });
-  v.emplace_back("shadow-scrambled", [] {
-    SimShadowOptions o;
-    o.clustered = false;
-    return std::make_unique<SimShadow>(o);
-  });
-  v.emplace_back("overwrite-noundo", [] {
-    return std::make_unique<SimOverwrite>(SimOverwriteMode::kNoUndo);
-  });
-  v.emplace_back("overwrite-noredo", [] {
-    return std::make_unique<SimOverwrite>(SimOverwriteMode::kNoRedo);
-  });
-  v.emplace_back("version-select", [] {
-    return std::make_unique<SimVersionSelect>();
-  });
-  v.emplace_back("differential", [] {
-    return std::make_unique<SimDifferential>();
-  });
+  EXPECT_EQ(v.size(), 13u);
   return v;
 }
 

@@ -1,0 +1,91 @@
+// dbmr_catalog — renders the architecture registry to markdown.
+//
+//   dbmr_catalog                              # print docs/ARCHITECTURES.md
+//   dbmr_catalog --out=docs/ARCHITECTURES.md  # (re)write the committed file
+//   dbmr_catalog --check=docs/ARCHITECTURES.md  # exit 1 if the file drifted
+//
+// The emitted catalog is a pure function of core::ArchRegistry — the same
+// entries that drive grids, sweeps, the auditor metadata, and the CLIs —
+// so CI's --check gate guarantees the committed documentation cannot drift
+// from the code.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "chaos/engine_zoo.h"
+#include "core/arch_registry.h"
+#include "machine/recovery_arch.h"
+
+namespace {
+
+using namespace dbmr;  // NOLINT: binary-local
+
+int Fail(const char* msg) {
+  std::fprintf(stderr, "error: %s\n", msg);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // This binary references nothing else in the machine library and only
+  // EngineNames() in the chaos library; both calls force the registrar
+  // translation units out of their static archives.
+  machine::EnsureSimArchsLinked();
+  chaos::EngineNames();
+
+  std::string out_path;
+  std::string check_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg.rfind("--check=", 0) == 0) {
+      check_path = arg.substr(8);
+    } else if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr,
+                   "usage: dbmr_catalog [--out=FILE | --check=FILE]\n");
+      return 0;
+    } else {
+      return Fail("unknown flag (see --help)");
+    }
+  }
+
+  const std::string rendered = core::RenderArchCatalogMarkdown();
+
+  if (!check_path.empty()) {
+    std::FILE* f = std::fopen(check_path.c_str(), "rb");
+    if (f == nullptr) return Fail("cannot open --check file");
+    std::string existing;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      existing.append(buf, n);
+    }
+    std::fclose(f);
+    if (existing != rendered) {
+      std::fprintf(stderr,
+                   "error: %s is out of date with the architecture "
+                   "registry\n       regenerate: dbmr_catalog --out=%s\n",
+                   check_path.c_str(), check_path.c_str());
+      return 1;
+    }
+    std::printf("%s matches the registry (%zu bytes)\n", check_path.c_str(),
+                rendered.size());
+    return 0;
+  }
+
+  if (!out_path.empty()) {
+    std::FILE* f = std::fopen(out_path.c_str(), "wb");
+    if (f == nullptr) return Fail("cannot open --out file");
+    std::fwrite(rendered.data(), 1, rendered.size(), f);
+    std::fclose(f);
+    std::printf("wrote %zu bytes to %s\n", rendered.size(),
+                out_path.c_str());
+    return 0;
+  }
+
+  std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+  return 0;
+}

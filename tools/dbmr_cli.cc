@@ -23,17 +23,15 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "chaos/engine_zoo.h"
+#include "core/arch_registry.h"
 #include "core/experiment.h"
 #include "core/grid.h"
 #include "core/metrics.h"
 #include "sim/trace.h"
-#include "machine/sim_differential.h"
-#include "machine/sim_logging.h"
-#include "machine/sim_overwrite.h"
-#include "machine/sim_shadow.h"
-#include "machine/sim_version_select.h"
 #include "util/str.h"
 #include "util/table.h"
 
@@ -63,8 +61,11 @@ struct Flags {
   if (msg != nullptr) std::fprintf(stderr, "error: %s\n\n", msg);
   std::fprintf(stderr, R"(usage: dbmr [flags]
 
-  --arch=ARCH        bare | logging | shadow | overwrite | version-select |
-                     differential                           (default: bare)
+  --arch=ARCH        a registry architecture (bare | logging | shadow |
+                     overwrite | version-select | differential) or any sim
+                     variant ("logging-qpmod", ...)         (default: bare)
+  --list-archs       print the architecture catalog (names, knobs with
+                     defaults and docs, variants, audited invariants)
   --config=CONF      conv-random | par-random | conv-seq | par-seq | table3
                                                             (default: conv-random)
   --txns=N           transactions to simulate               (default: 150)
@@ -138,63 +139,47 @@ Flags Parse(int argc, char** argv) {
   return f;
 }
 
-std::unique_ptr<machine::RecoveryArch> MakeArch(const Flags& f) {
+/// Unknown --arch: report the nearest registry names and exit.
+[[noreturn]] void UnknownArch(const std::string& arch) {
+  std::string msg = StrFormat("unknown --arch \"%s\"", arch.c_str());
+  const std::vector<std::string> nearest =
+      core::ArchRegistry::Global().SuggestSim(arch);
+  if (!nearest.empty()) {
+    msg += "; did you mean " + Join(nearest, " or ") + "?";
+  }
+  msg += "  (--list-archs prints the catalog)";
+  Usage(msg.c_str());
+}
+
+/// The registry entry for --arch (an entry or sim-variant name), or a
+/// suggestion-bearing exit for typos.
+const core::ArchEntry* ResolveEntryOrDie(const std::string& arch) {
+  const auto resolved = core::ArchRegistry::Global().ResolveSim(arch);
+  if (!resolved.has_value()) UnknownArch(arch);
+  return resolved->entry;
+}
+
+/// Knob overrides from the command line: every flag matching a key in the
+/// entry's config schema.  Values are validated against the schema when
+/// the factory is built.
+std::vector<std::pair<std::string, std::string>> KnobOverrides(
+    const Flags& f, const core::ArchEntry& entry) {
+  std::vector<std::pair<std::string, std::string>> overrides;
+  for (const core::KnobSpec& k : entry.knobs) {
+    if (f.Has(k.key)) overrides.emplace_back(k.key, f.Get(k.key, ""));
+  }
+  return overrides;
+}
+
+/// Registry-backed architecture factory for the flags; exits with a
+/// diagnostic on unknown names or invalid knob values.
+core::ArchFactory MakeArchFactory(const Flags& f) {
   const std::string arch = f.Get("arch", "bare");
-  if (arch == "bare") return std::make_unique<machine::BareArch>();
-  if (arch == "logging") {
-    machine::SimLoggingOptions o;
-    o.num_log_processors = f.GetInt("log-disks", 1);
-    o.physical = f.Has("physical");
-    o.route_via_cache = f.Has("via-cache");
-    o.channel_mb_per_sec = f.GetDouble("bandwidth", 1.0);
-    const std::string sel = f.Get("select", "cyclic");
-    if (sel == "cyclic") {
-      o.select = machine::LogSelect::kCyclic;
-    } else if (sel == "random") {
-      o.select = machine::LogSelect::kRandom;
-    } else if (sel == "qpmod") {
-      o.select = machine::LogSelect::kQpMod;
-    } else if (sel == "txnmod") {
-      o.select = machine::LogSelect::kTxnMod;
-    } else {
-      Usage("unknown --select");
-    }
-    return std::make_unique<machine::SimLogging>(o);
-  }
-  if (arch == "shadow") {
-    machine::SimShadowOptions o;
-    o.num_pt_processors = f.GetInt("pt-processors", 1);
-    o.pt_buffer_pages = f.GetInt("pt-buffer", 10);
-    o.clustered = !f.Has("scrambled");
-    o.cluster_fraction = f.GetDouble("cluster-fraction", 1.0);
-    return std::make_unique<machine::SimShadow>(o);
-  }
-  if (arch == "overwrite") {
-    const std::string mode = f.Get("mode", "noundo");
-    if (mode == "noundo") {
-      return std::make_unique<machine::SimOverwrite>(
-          machine::SimOverwriteMode::kNoUndo);
-    }
-    if (mode == "noredo") {
-      return std::make_unique<machine::SimOverwrite>(
-          machine::SimOverwriteMode::kNoRedo);
-    }
-    Usage("unknown --mode");
-  }
-  if (arch == "version-select") {
-    machine::SimVersionSelectOptions o;
-    o.smart_heads = f.Has("smart-heads");
-    return std::make_unique<machine::SimVersionSelect>(o);
-  }
-  if (arch == "differential") {
-    machine::SimDifferentialOptions o;
-    o.diff_size = f.GetDouble("diff-size", 0.10);
-    o.output_fraction = f.GetDouble("output-fraction", 0.10);
-    o.optimal = !f.Has("basic");
-    o.merge_every_output_pages = f.GetInt("merge-every", 0);
-    return std::make_unique<machine::SimDifferential>(o);
-  }
-  Usage("unknown --arch");
+  const core::ArchEntry* entry = ResolveEntryOrDie(arch);
+  Result<core::ArchFactory> factory =
+      core::MakeSimArchFactory(arch, KnobOverrides(f, *entry));
+  if (!factory.ok()) Usage(factory.status().message().c_str());
+  return std::move(*factory);
 }
 
 /// Machine/workload modifiers shared by the single-run and grid paths.
@@ -277,19 +262,20 @@ int RunGridMode(const Flags& f, const std::string& repro) {
   const std::string arch = f.Get("arch", "bare");
   const int txns = f.GetInt("txns", 150);
   const auto seed = static_cast<uint64_t>(f.GetInt("seed", 7));
-  MakeArch(f);  // validate architecture flags before spawning workers
 
-  core::GridSpec spec;
-  spec.name = "dbmr-" + arch;
-  spec.base_seed = seed;
+  // Cell expansion comes from the registry: resolve the name (with typo
+  // suggestions), validate the knob flags, and build the standard
+  // four-configuration grid before spawning workers.
+  const core::ArchEntry* entry = ResolveEntryOrDie(arch);
+  Result<core::GridSpec> spec_or = core::RegistryStandardGrid(
+      "dbmr-" + arch, arch, KnobOverrides(f, *entry), txns, seed);
+  if (!spec_or.ok()) Usage(spec_or.status().message().c_str());
+  core::GridSpec spec = std::move(*spec_or);
+
   // One private ring per cell: cells run concurrently and TraceRing is not
   // thread-safe, but each simulation is single-threaded within its cell.
   std::vector<std::unique_ptr<sim::TraceRing>> rings;
-  for (core::Configuration c : core::kAllConfigurations) {
-    core::GridCellSpec cell;
-    cell.config_name = core::ConfigurationName(c);
-    cell.arch_label = arch;
-    cell.setup = core::StandardSetup(c, txns, seed);
+  for (core::GridCellSpec& cell : spec.cells) {
     ApplyCommonFlags(f, &cell.setup);
     cell.setup.machine.audit_repro_hint =
         repro + "  [cell " + cell.config_name + "]";
@@ -297,8 +283,6 @@ int RunGridMode(const Flags& f, const std::string& repro) {
       rings.push_back(std::make_unique<sim::TraceRing>());
       cell.setup.machine.trace = rings.back().get();
     }
-    cell.make_arch = [f] { return MakeArch(f); };
-    spec.cells.push_back(std::move(cell));
   }
 
   core::GridRunOptions run_opts;
@@ -364,13 +348,18 @@ int RunGridMode(const Flags& f, const std::string& repro) {
 
 int main(int argc, char** argv) {
   Flags f = Parse(argc, argv);
+  if (f.Has("list-archs")) {
+    chaos::EngineNames();  // pull in the engine halves of the registry
+    std::fputs(core::RenderArchCatalogText().c_str(), stdout);
+    return 0;
+  }
   const std::string repro = ReproHint(argc, argv);
   if (f.Has("grid")) return RunGridMode(f, repro);
   core::ExperimentSetup setup = MakeSetup(f);
   setup.machine.audit_repro_hint = repro;
   sim::TraceRing ring;
   if (f.Has("trace")) setup.machine.trace = &ring;
-  auto result = core::RunWith(setup, MakeArch(f));
+  auto result = core::RunWith(setup, MakeArchFactory(f)());
 
   std::printf("architecture      : %s\n", result.arch_name.c_str());
   std::printf("configuration     : %s, %d txns, seed %d\n",

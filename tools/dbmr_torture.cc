@@ -29,6 +29,7 @@
 
 #include "chaos/crash_sweeper.h"
 #include "chaos/engine_zoo.h"
+#include "core/arch_registry.h"
 #include "core/metrics.h"
 #include "core/thread_pool.h"
 #include "util/json.h"
@@ -60,8 +61,10 @@ struct Flags {
   if (msg != nullptr) std::fprintf(stderr, "error: %s\n\n", msg);
   std::fprintf(stderr, R"(usage: dbmr_torture [flags]
 
-  --engine=NAME      wal | shadow | differential | overwrite-noundo |
-                     overwrite-noredo | version-select | all  (default: all)
+  --engine=NAME      a registry engine fixture (wal | shadow | differential |
+                     overwrite-noundo | overwrite-noredo | version-select)
+                     or all  (default: all)
+  --list-archs       print the architecture catalog and exit
   --seeds=N,N,...    seeds to sweep                     (default: 1,2,3)
   --seed=N           single seed (overrides --seeds)
   --txns=N           transactions per replay            (default: 8)
@@ -168,6 +171,15 @@ core::CellMetrics ToCell(const chaos::SweepReport& r, int index,
 int main(int argc, char** argv) {
   Flags flags = ParseFlags(argc, argv);
 
+  if (flags.Has("list-archs") || flags.Has("list-engines")) {
+    // Anchor both registrar sets so the catalog is complete even though
+    // this binary only ever *runs* the engine half.
+    machine::EnsureSimArchsLinked();
+    chaos::EngineNames();
+    std::fputs(core::RenderArchCatalogText().c_str(), stdout);
+    return 0;
+  }
+
   std::vector<std::string> engines;
   const std::string engine_flag = flags.Get("engine", "all");
   if (engine_flag == "all") {
@@ -175,7 +187,16 @@ int main(int argc, char** argv) {
   } else {
     for (const std::string& name : SplitList(engine_flag)) {
       if (!chaos::IsEngineName(name)) {
-        Usage(StrFormat("unknown engine \"%s\"", name.c_str()).c_str());
+        std::string msg = StrFormat("unknown engine \"%s\"", name.c_str());
+        const std::vector<std::string> near =
+            core::ArchRegistry::Global().SuggestEngine(name);
+        if (!near.empty()) {
+          msg += "; did you mean ";
+          msg += Join(near, " or ");
+          msg += "?";
+        }
+        msg += "  (--list-archs prints the catalog)";
+        Usage(msg.c_str());
       }
       engines.push_back(name);
     }

@@ -25,7 +25,7 @@ struct Fixture {
   std::unique_ptr<PageEngine> engine;
 };
 
-Fixture MakeEngine(const std::string& kind) {
+Fixture MakeEngine(const std::string& kind, int recovery_jobs = 1) {
   Fixture f;
   if (kind == "wal" || kind == "wal4") {
     f.disks.push_back(std::make_unique<VirtualDisk>("data", kPages, kBlock));
@@ -35,7 +35,9 @@ Fixture MakeEngine(const std::string& kind) {
       f.disks.push_back(std::make_unique<VirtualDisk>("log", 4096, kBlock));
       logs.push_back(f.disks.back().get());
     }
-    f.engine = std::make_unique<WalEngine>(f.disks[0].get(), logs);
+    WalEngineOptions o;
+    o.recovery_jobs = recovery_jobs;
+    f.engine = std::make_unique<WalEngine>(f.disks[0].get(), logs, o);
   } else if (kind == "shadow") {
     f.disks.push_back(
         std::make_unique<VirtualDisk>("d", kPages * 2 + 16, kBlock));
@@ -46,12 +48,15 @@ Fixture MakeEngine(const std::string& kind) {
     OverwriteEngineOptions o;
     o.list_blocks = 64;
     o.scratch_blocks = 128;
+    o.recovery_jobs = recovery_jobs;
     f.engine = std::make_unique<OverwriteEngine>(f.disks[0].get(), kPages, o);
   } else {
     f.disks.push_back(
         std::make_unique<VirtualDisk>("d", 2 * kPages + 128, kBlock));
-    f.engine =
-        std::make_unique<VersionSelectEngine>(f.disks[0].get(), kPages);
+    VersionSelectEngineOptions o;
+    o.recovery_jobs = recovery_jobs;
+    f.engine = std::make_unique<VersionSelectEngine>(f.disks[0].get(), kPages,
+                                                     o);
   }
   DBMR_CHECK(f.engine->Format().ok());
   return f;
@@ -102,6 +107,37 @@ void RunRecoveryBench(benchmark::State& state, const std::string& kind) {
   }
 }
 
+// Recovery cost vs replay job count.  state.range(0) is the engine's
+// recovery_jobs knob: 0 = sequential reference path, 1 = partitioned
+// pipeline on the caller thread, >= 2 = thread-pool replay.  Items
+// processed = replay records examined, so the report reads as ns/record.
+void RunRecoveryJobsBench(benchmark::State& state, const std::string& kind) {
+  const int jobs = static_cast<int>(state.range(0));
+  int64_t records = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Fixture f = MakeEngine(kind, jobs);
+    PageData payload(f.engine->payload_size(), 1);
+    for (uint64_t i = 0; i < 64; ++i) {
+      auto t = f.engine->Begin();
+      for (int w = 0; w < 4; ++w) {
+        payload[0] = static_cast<uint8_t>(i + static_cast<uint64_t>(w));
+        DBMR_CHECK(f.engine
+                       ->Write(*t, (i * 4 + static_cast<uint64_t>(w)) % kPages,
+                               payload)
+                       .ok());
+      }
+      DBMR_CHECK(f.engine->Commit(*t).ok());
+    }
+    f.engine->Crash();
+    state.ResumeTiming();
+    DBMR_CHECK(f.engine->Recover().ok());
+    records +=
+        static_cast<int64_t>(f.engine->last_recovery_stats().replay_records);
+  }
+  state.SetItemsProcessed(records);
+}
+
 void BM_CommitWal(benchmark::State& s) { RunCommitBench(s, "wal"); }
 void BM_CommitWal4(benchmark::State& s) { RunCommitBench(s, "wal4"); }
 void BM_CommitShadow(benchmark::State& s) { RunCommitBench(s, "shadow"); }
@@ -131,6 +167,23 @@ BENCHMARK(BM_RecoverWal4);
 BENCHMARK(BM_RecoverShadow);
 BENCHMARK(BM_RecoverOverwrite);
 BENCHMARK(BM_RecoverVersionSelect);
+
+void BM_RecoverJobsWal(benchmark::State& s) {
+  RunRecoveryJobsBench(s, "wal");
+}
+void BM_RecoverJobsWal4(benchmark::State& s) {
+  RunRecoveryJobsBench(s, "wal4");
+}
+void BM_RecoverJobsOverwrite(benchmark::State& s) {
+  RunRecoveryJobsBench(s, "overwrite");
+}
+void BM_RecoverJobsVersionSelect(benchmark::State& s) {
+  RunRecoveryJobsBench(s, "vs");
+}
+BENCHMARK(BM_RecoverJobsWal)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK(BM_RecoverJobsWal4)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK(BM_RecoverJobsOverwrite)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK(BM_RecoverJobsVersionSelect)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_CommitDifferential(benchmark::State& state) {
   VirtualDisk disk("d", 1024, kBlock);

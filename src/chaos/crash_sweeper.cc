@@ -1,6 +1,7 @@
 #include "chaos/crash_sweeper.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "core/thread_pool.h"
@@ -36,7 +37,7 @@ JsonValue Violation::ToJson() const {
   return v;
 }
 
-JsonValue SweepReport::ToJson() const {
+JsonValue SweepReport::ToJson(bool include_timing) const {
   JsonValue v = JsonValue::Object();
   v["engine"] = engine;
   v["seed"] = seed;
@@ -54,6 +55,10 @@ JsonValue SweepReport::ToJson() const {
   v["bit_flips"] = std::move(flips);
   v["disk_reads"] = disk_reads;
   v["disk_writes"] = disk_writes;
+  v["replay_records"] = replay_records;
+  // Wall-clock: only on request, so the default report stays
+  // byte-identical across runs and job counts.
+  if (include_timing) v["recovery_ms"] = recovery_ms;
   JsonValue f = JsonValue::Object();
   f["write_failures"] = faults.write_failures;
   f["read_failures"] = faults.read_failures;
@@ -122,6 +127,19 @@ void CrashSweeper::Absorb(const EngineFixture& fx,
   report->faults += fx.TotalFaults();
 }
 
+Status CrashSweeper::RecoverTimed(EngineFixture& fx, double* ms,
+                                  int64_t* records) {
+  const auto t0 = std::chrono::steady_clock::now();
+  Status st = fx.engine->Recover();
+  const auto t1 = std::chrono::steady_clock::now();
+  *ms += std::chrono::duration<double, std::milli>(t1 - t0).count();
+  // Counted even when Recover() fails: a cut-down recovery still examined
+  // records, and the deterministic tally must not depend on timing.
+  *records +=
+      static_cast<int64_t>(fx.engine->last_recovery_stats().replay_records);
+  return st;
+}
+
 /// Everything one instrumented, fault-free ("golden") replay of the seeded
 /// workload learned, shared read-only by every forked trial.
 struct CrashSweeper::GoldenTrace {
@@ -181,6 +199,10 @@ struct CrashSweeper::TrialResult {
   uint64_t disk_reads = 0;
   uint64_t disk_writes = 0;
   store::FaultCounters faults;
+  /// Recovery attribution of every Recover() this trial ran (see
+  /// SweepReport::replay_records / recovery_ms).
+  double recovery_ms = 0;
+  int64_t replay_records = 0;
   /// Plain trials: I/O an unconstrained Recover() performed, measured
   /// before verification — it bounds the nested sweep exactly (budget n
   /// lets n operations through, so n = recovery_writes is the first
@@ -415,7 +437,8 @@ bool CrashSweeper::CrashPoint(SweepReport* report, int64_t budget,
     } else {
       fx.ArmWrites(nested_index);
     }
-    Status st = fx.engine->Recover();
+    Status st = RecoverTimed(fx, &report->recovery_ms,
+                             &report->replay_records);
     if (st.ok()) {
       if (fx.AnyCrashed()) {
         AddViolation(report, "recover-swallowed-fault", budget, nested_index,
@@ -434,7 +457,8 @@ bool CrashSweeper::CrashPoint(SweepReport* report, int64_t budget,
     // a correct state.
     fx.engine->Crash();
     fx.Disarm();
-    Status st2 = fx.engine->Recover();
+    Status st2 = RecoverTimed(fx, &report->recovery_ms,
+                              &report->replay_records);
     if (!st2.ok()) {
       AddViolation(report, "nested-recover", budget, nested_index,
                    nested_reads, st2.ToString());
@@ -454,7 +478,8 @@ bool CrashSweeper::CrashPoint(SweepReport* report, int64_t budget,
 
   // Plain crash point: recover once and verify.
   fx.Disarm();
-  Status st = fx.engine->Recover();
+  Status st = RecoverTimed(fx, &report->recovery_ms,
+                           &report->replay_records);
   if (!st.ok()) {
     AddViolation(report, "recover", budget, -1, false, st.ToString());
     finish();
@@ -477,7 +502,8 @@ bool CrashSweeper::CrashPoint(SweepReport* report, int64_t budget,
     fx.engine->Crash();
     oracle.OnCrash();
     fx.Disarm();
-    Status st2 = fx.engine->Recover();
+    Status st2 = RecoverTimed(fx, &report->recovery_ms,
+                              &report->replay_records);
     if (!st2.ok()) {
       AddViolation(report, "double-recover", budget, -1, false,
                    st2.ToString());
@@ -592,7 +618,8 @@ void CrashSweeper::SweepTransient(SweepReport* report, bool read_path) {
         // — so recovery must succeed with no operator intervention.
         oracle.OnCrash();
         fx.engine->Crash();
-        Status st = fx.engine->Recover();
+        Status st = RecoverTimed(fx, &report->recovery_ms,
+                                 &report->replay_records);
         if (!st.ok()) {
           AddViolation(report, "transient-recover", -1, -1, false,
                        StrFormat("disk %zu op %lld: %s", d,
@@ -652,7 +679,8 @@ void CrashSweeper::RunBitFlips(SweepReport* report) {
     (void)fx.disks[d]->FlipBit(block, byte, mask);
 
     ++report->bit_flips.trials;
-    Status st = fx.engine->Recover();
+    Status st = RecoverTimed(fx, &report->recovery_ms,
+                             &report->replay_records);
     if (!st.ok()) {
       ++report->bit_flips.detected;  // recovery refused the corrupt store
       Absorb(fx, report);
@@ -797,7 +825,7 @@ CrashSweeper::TrialResult CrashSweeper::ForkedPlainTrial(
     out.faults += fx.TotalFaults();
   };
 
-  Status st = fx.engine->Recover();
+  Status st = RecoverTimed(fx, &out.recovery_ms, &out.replay_records);
   out.recovery_writes = static_cast<int64_t>(fx.TotalWrites());
   out.recovery_reads = static_cast<int64_t>(fx.TotalReads());
   if (!st.ok()) {
@@ -821,7 +849,7 @@ CrashSweeper::TrialResult CrashSweeper::ForkedPlainTrial(
     fx.engine->Crash();
     oracle.OnCrash();
     fx.Disarm();
-    Status st2 = fx.engine->Recover();
+    Status st2 = RecoverTimed(fx, &out.recovery_ms, &out.replay_records);
     if (!st2.ok()) {
       out.violations.push_back(
           MakeViolation("double-recover", budget, -1, false, st2.ToString()));
@@ -881,7 +909,7 @@ CrashSweeper::TrialResult CrashSweeper::ForkedNestedTrial(
   } else {
     fx.ArmWrites(nested_index);
   }
-  Status st = fx.engine->Recover();
+  Status st = RecoverTimed(fx, &out.recovery_ms, &out.replay_records);
   if (st.ok()) {
     if (fx.AnyCrashed()) {
       out.violations.push_back(
@@ -899,7 +927,7 @@ CrashSweeper::TrialResult CrashSweeper::ForkedNestedTrial(
   // correct state.
   fx.engine->Crash();
   fx.Disarm();
-  Status st2 = fx.engine->Recover();
+  Status st2 = RecoverTimed(fx, &out.recovery_ms, &out.replay_records);
   if (!st2.ok()) {
     out.violations.push_back(MakeViolation("nested-recover", budget,
                                            nested_index, nested_reads,
@@ -968,7 +996,7 @@ CrashSweeper::TrialResult CrashSweeper::ForkedTransientTrial(size_t disk,
   if (rep.crashed) {
     oracle.OnCrash();
     fx.engine->Crash();
-    Status st = fx.engine->Recover();
+    Status st = RecoverTimed(fx, &out.recovery_ms, &out.replay_records);
     if (!st.ok()) {
       out.violations.push_back(MakeViolation(
           "transient-recover", -1, -1, false,
@@ -1006,7 +1034,7 @@ CrashSweeper::TrialResult CrashSweeper::ForkedBitFlipTrial(
   CommitOracle oracle = ReconstructOracle(trace, end);
   (void)fx.disks[disk]->FlipBit(block, byte, mask);
 
-  Status st = fx.engine->Recover();
+  Status st = RecoverTimed(fx, &out.recovery_ms, &out.replay_records);
   if (!st.ok()) {
     out.flip_outcome = 0;  // detected: recovery refused the corrupt store
   } else {
@@ -1131,6 +1159,8 @@ SweepReport CrashSweeper::RunForked(core::ThreadPool* pool) {
     report.disk_reads += t.disk_reads;
     report.disk_writes += t.disk_writes;
     report.faults += t.faults;
+    report.recovery_ms += t.recovery_ms;
+    report.replay_records += t.replay_records;
   };
 
   size_t nk = 0;  // cursor into nested_keys / nested (grouped by budget)
@@ -1222,6 +1252,8 @@ SweepReport CrashSweeper::RunForked(core::ThreadPool* pool) {
           report.disk_reads += t.disk_reads;
           report.disk_writes += t.disk_writes;
           report.faults += t.faults;
+          report.recovery_ms += t.recovery_ms;
+          report.replay_records += t.replay_records;
           if (stop) break;  // the sequential sweep ends this disk here
         }
       }
@@ -1268,6 +1300,8 @@ SweepReport CrashSweeper::RunForked(core::ThreadPool* pool) {
         report.disk_reads += t.disk_reads;
         report.disk_writes += t.disk_writes;
         report.faults += t.faults;
+        report.recovery_ms += t.recovery_ms;
+        report.replay_records += t.replay_records;
       }
     }
   }

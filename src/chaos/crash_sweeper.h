@@ -150,9 +150,15 @@ struct SweepReport {
   uint64_t disk_reads = 0;
   uint64_t disk_writes = 0;
   store::FaultCounters faults;
+  /// Recovery attribution, summed over every Recover() call the sweep
+  /// made.  `replay_records` is deterministic (stable records examined
+  /// during replay); `recovery_ms` is wall-clock and therefore excluded
+  /// from ToJson() unless `include_timing` is set.
+  int64_t replay_records = 0;
+  double recovery_ms = 0.0;
   std::vector<Violation> violations;
 
-  JsonValue ToJson() const;
+  JsonValue ToJson(bool include_timing = false) const;
 };
 
 /// The sweeper.  A factory builds a fresh, formatted fixture per replay,
@@ -192,6 +198,10 @@ class CrashSweeper {
   struct TrialResult;   // everything one forked trial found (see .cc)
 
   Result<EngineFixture> MakeFixture() { return factory_(); }
+  /// Recover() plus attribution: wall-clock into `*ms`, stable
+  /// replay-record count (engine->last_recovery_stats()) into `*records`.
+  static Status RecoverTimed(EngineFixture& fx, double* ms,
+                             int64_t* records);
   /// Replays the seeded workload, feeding `oracle`.  Stops at the first
   /// injected fault.  `transient` relaxes fault handling to the
   /// retry/abort path (see .cc).  A non-null `trace` records every disk

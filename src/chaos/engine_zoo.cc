@@ -136,6 +136,7 @@ Result<EngineFixture> BuildWal(const std::string& /*name*/,
   }
   store::WalEngineOptions wo;
   wo.pool_frames = o.wal_pool_frames;
+  wo.recovery_jobs = o.recovery_jobs;
   fx.engine = std::make_unique<store::WalEngine>(data, logs, wo);
   return FinishFixture(std::move(fx), snap);
 }
@@ -176,6 +177,7 @@ Result<EngineFixture> BuildOverwrite(const std::string& name,
                                        : store::OverwriteMode::kNoRedo;
   oo.list_blocks = 48;
   oo.scratch_blocks = 48;
+  oo.recovery_jobs = o.recovery_jobs;
   store::VirtualDisk* d =
       AddDisk(&fx, snap, "d", o.num_pages + 97, o.block_size);
   fx.engine = std::make_unique<store::OverwriteEngine>(d, o.num_pages, oo);
@@ -188,6 +190,7 @@ Result<EngineFixture> BuildVersionSelect(const std::string& /*name*/,
   EngineFixture fx = NewFixtureShell();
   store::VersionSelectEngineOptions vo;
   vo.list_blocks = 48;
+  vo.recovery_jobs = o.recovery_jobs;
   store::VirtualDisk* d = AddDisk(
       &fx, snap, "d", 1 + vo.list_blocks + 2 * o.num_pages, o.block_size);
   fx.engine =
@@ -199,13 +202,24 @@ Result<EngineFixture> BuildVersionSelect(const std::string& /*name*/,
 // historical EngineNames() sequence; the sim halves (orders, knobs, docs)
 // are registered independently from src/machine/sim_*.cc and merge by
 // name when both are linked.
+/// The parallel-recovery knob shared by every engine with a partitioned
+/// replay path; 0 selects the sequential reference implementation.
+core::KnobSpec RecoveryJobsKnob() {
+  return {"recovery-jobs",
+          core::KnobType::kInt,
+          "1",
+          {},
+          "parallel replay jobs for Recover(); 0 = sequential reference "
+          "path, result is byte-identical at every setting"};
+}
+
 const core::EngineArchRegistrar kWalEngineRegistrar(
     "logging", 0,
     {{"wal",
       {},
       "write-ahead-log page engine: one data disk plus N append-only log "
       "disks, group commit, redo/undo recovery"}},
-    &BuildWal);
+    &BuildWal, {RecoveryJobsKnob()});
 const core::EngineArchRegistrar kShadowEngineRegistrar(
     "shadow", 1,
     {{"shadow",
@@ -230,14 +244,14 @@ const core::EngineArchRegistrar kOverwriteEngineRegistrar(
       {},
       "in-place engine, no-redo mode: before images restored on abort and "
       "recovery"}},
-    &BuildOverwrite);
+    &BuildOverwrite, {RecoveryJobsKnob()});
 const core::EngineArchRegistrar kVersionSelectEngineRegistrar(
     "version-select", 4,
     {{"version-select",
       {},
       "two-version engine: writes target the non-current version, a "
       "stable commit list selects the live one"}},
-    &BuildVersionSelect);
+    &BuildVersionSelect, {RecoveryJobsKnob()});
 
 }  // namespace
 

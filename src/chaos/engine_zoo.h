@@ -30,6 +30,11 @@ struct FixtureOptions {
   size_t wal_logs = 2;
   /// Buffer-pool frames for the "wal" fixture (small forces steal).
   size_t wal_pool_frames = 4;
+  /// Parallel replay jobs for every engine's Recover() (wal, overwrite,
+  /// version-select honor it; the rest ignore it).  >= 1 uses the
+  /// partitioned replay planner; 0 forces the sequential reference path.
+  /// Recovered images are byte-identical at every setting.
+  int recovery_jobs = 1;
 };
 
 /// Frozen images of a fixture's disks, in disk order.  Cheap to take and

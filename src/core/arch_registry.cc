@@ -218,7 +218,7 @@ ArchEntry& ArchRegistry::RegisterSim(ArchEntry entry) {
 ArchEntry& ArchRegistry::RegisterEngine(
     const std::string& name, int engine_order,
     std::vector<VariantSpec> engine_variants,
-    EngineFixtureFactory make_engine) {
+    EngineFixtureFactory make_engine, std::vector<KnobSpec> engine_knobs) {
   DBMR_CHECK(!name.empty());
   DBMR_CHECK(engine_order >= 0);
   ArchEntry& e = FindOrCreate(name);
@@ -226,6 +226,7 @@ ArchEntry& ArchRegistry::RegisterEngine(
   e.engine_order = engine_order;
   e.engine_variants = std::move(engine_variants);
   e.make_engine = std::move(make_engine);
+  e.engine_knobs = std::move(engine_knobs);
   return e;
 }
 
@@ -510,6 +511,18 @@ std::string RenderArchCatalogMarkdown() {
         md += StrFormat("| `%s` | %s |\n", v.name.c_str(), v.doc.c_str());
       }
     }
+    if (!e->engine_knobs.empty()) {
+      md += "\n";
+      md += "**Engine runtime knobs** (flags of `dbmr_torture`):\n";
+      md += "\n";
+      md += "| Knob | Type | Default | Description |\n";
+      md += "|---|---|---|---|\n";
+      for (const KnobSpec& k : e->engine_knobs) {
+        md += StrFormat("| `--%s` | %s | `%s` | %s |\n", k.key.c_str(),
+                        KnobTypeName(k.type), KnobDefaultLabel(k).c_str(),
+                        k.doc.c_str());
+      }
+    }
     if (!e->trace_track.empty()) {
       md += "\n";
       md += "**Trace track:** `" + e->trace_track +
@@ -569,6 +582,11 @@ std::string RenderArchCatalogText() {
     }
     if (!eng_names.empty()) {
       out += "    engine fixtures: " + Join(eng_names, ", ") + "\n";
+    }
+    for (const KnobSpec& k : e->engine_knobs) {
+      out += StrFormat("    --%-18s %-6s default %-10s %s (engine)\n",
+                       k.key.c_str(), KnobTypeName(k.type),
+                       KnobDefaultLabel(k).c_str(), k.doc.c_str());
     }
     if (!e->invariants.empty()) {
       out += "    extra invariants: " + Join(e->invariants, ", ") + "\n";

@@ -126,6 +126,10 @@ struct ArchEntry {
   std::string trace_track;  // deterministic-trace track name, "" if none
 
   std::vector<KnobSpec> knobs;
+  /// Knobs of the functional engine's runtime (kept apart from the sim
+  /// schema `knobs`, which ArchConfig validates against): today the
+  /// parallel-recovery controls ("recovery-jobs").
+  std::vector<KnobSpec> engine_knobs;
   std::vector<VariantSpec> sim_variants;     // contract-test zoo presets
   std::vector<VariantSpec> engine_variants;  // torture fixture names
   std::vector<std::string> invariants;       // auditor checks beyond universal
@@ -166,7 +170,8 @@ class ArchRegistry {
   /// Registers the engine half of an entry by name.
   ArchEntry& RegisterEngine(const std::string& name, int engine_order,
                             std::vector<VariantSpec> engine_variants,
-                            EngineFixtureFactory make_engine);
+                            EngineFixtureFactory make_engine,
+                            std::vector<KnobSpec> engine_knobs = {});
 
   /// Registers an auditor check for the catalog (machine/auditor.cc).
   void RegisterInvariant(const std::string& name, const std::string& doc,
@@ -247,10 +252,11 @@ struct SimArchRegistrar {
 struct EngineArchRegistrar {
   EngineArchRegistrar(const std::string& name, int engine_order,
                       std::vector<VariantSpec> engine_variants,
-                      EngineFixtureFactory make_engine) {
-    ArchRegistry::Global().RegisterEngine(name, engine_order,
-                                          std::move(engine_variants),
-                                          std::move(make_engine));
+                      EngineFixtureFactory make_engine,
+                      std::vector<KnobSpec> engine_knobs = {}) {
+    ArchRegistry::Global().RegisterEngine(
+        name, engine_order, std::move(engine_variants),
+        std::move(make_engine), std::move(engine_knobs));
   }
 };
 

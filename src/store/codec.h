@@ -72,6 +72,33 @@ inline uint32_t GetU32(const PageData& buf, size_t offset) {
   }
 }
 
+// Raw-pointer variants for zero-copy block references (VirtualDisk::
+// ReadRef): same wire format, caller guarantees the bytes are in range.
+
+inline uint64_t GetU64(const uint8_t* p) {
+  if constexpr (std::endian::native == std::endian::little) {
+    uint64_t v;
+    std::memcpy(&v, p, 8);
+    return v;
+  } else {
+    uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+    return v;
+  }
+}
+
+inline uint32_t GetU32(const uint8_t* p) {
+  if constexpr (std::endian::native == std::endian::little) {
+    uint32_t v;
+    std::memcpy(&v, p, 4);
+    return v;
+  } else {
+    uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+    return v;
+  }
+}
+
 /// 64-bit content hash used as a page checksum to detect torn writes and
 /// bit flips.  FNV-1a-style mix folding eight bytes per step, so
 /// checksumming a page costs one multiply per word instead of per byte.

@@ -23,6 +23,20 @@
 
 namespace dbmr::store {
 
+/// What the last Recover() call did, for attribution in sweep reports and
+/// benches.  Deterministic: identical at any recovery_jobs setting.
+struct RecoveryStats {
+  /// Stable records examined during replay: log records scanned (WAL),
+  /// outcome records plus valid scratch entries (overwrite), valid page
+  /// copies inspected (version-select).
+  uint64_t replay_records = 0;
+  /// Independent replay partitions the planner produced (0 when the
+  /// engine recovered on its pre-planner sequential path).
+  uint64_t partitions = 0;
+  /// Configured parallel replay jobs (0 = sequential reference path).
+  int jobs = 0;
+};
+
 /// Abstract transactional page store with crash recovery.
 class PageEngine {
  public:
@@ -67,6 +81,10 @@ class PageEngine {
 
   /// Mechanism name for diagnostics ("wal", "shadow", ...).
   virtual std::string name() const = 0;
+
+  /// Statistics of the most recent Recover() call; engines without a
+  /// parallel replay path report zeroes.
+  virtual RecoveryStats last_recovery_stats() const { return {}; }
 };
 
 }  // namespace dbmr::store

@@ -8,10 +8,10 @@
 namespace dbmr::store {
 
 namespace {
-// Record wire layout:
+// Record wire layout (see LogRecord::kFixedBytes):
 //   u32 total_len | u8 kind | u64 txn | u64 page | u64 page_version |
 //   u32 offset | u32 before_len | u32 after_len | before | after
-constexpr size_t kRecordFixed = 4 + 1 + 8 + 8 + 8 + 4 + 4 + 4;
+constexpr size_t kRecordFixed = LogRecord::kFixedBytes;
 }  // namespace
 
 size_t LogRecord::EncodedSize() const {
@@ -84,6 +84,40 @@ Status DecodeLogRecordView(const PageData& buf, size_t* pos,
   return Status::OK();
 }
 
+Status DecodeLogRecordRef(const SegmentedBytes& stream, uint64_t* pos,
+                          LogRecordRef* out) {
+  const uint64_t p = *pos;
+  if (p + kRecordFixed > stream.size()) {
+    return Status::Corruption("log record header past stream end");
+  }
+  // The fixed header is tiny; gather it onto the stack once and decode
+  // scalar fields from there — the images are never copied.
+  uint8_t hdr[kRecordFixed];
+  stream.CopyOut(p, kRecordFixed, hdr);
+  const uint32_t total = GetU32(hdr);
+  if (total < kRecordFixed || p + total > stream.size()) {
+    return Status::Corruption(
+        StrFormat("log record length %u invalid at offset %llu", total,
+                  static_cast<unsigned long long>(p)));
+  }
+  out->kind = static_cast<LogRecordKind>(hdr[4]);
+  out->txn = GetU64(hdr + 5);
+  out->page = GetU64(hdr + 13);
+  out->page_version = GetU64(hdr + 21);
+  out->offset = GetU32(hdr + 29);
+  const uint32_t blen = GetU32(hdr + 33);
+  const uint32_t alen = GetU32(hdr + 37);
+  if (kRecordFixed + blen + alen != total) {
+    return Status::Corruption("log record image lengths inconsistent");
+  }
+  out->before_pos = p + kRecordFixed;
+  out->before_len = blen;
+  out->after_pos = out->before_pos + blen;
+  out->after_len = alen;
+  *pos = p + total;
+  return Status::OK();
+}
+
 void LogBlockHeader::EncodeTo(PageData& block) const {
   DBMR_CHECK(block.size() >= kSize);
   PutU64(block, 0, epoch);
@@ -93,10 +127,14 @@ void LogBlockHeader::EncodeTo(PageData& block) const {
 
 LogBlockHeader LogBlockHeader::DecodeFrom(const PageData& block) {
   DBMR_CHECK(block.size() >= kSize);
+  return DecodeFrom(block.data());
+}
+
+LogBlockHeader LogBlockHeader::DecodeFrom(const uint8_t* block) {
   LogBlockHeader h;
-  h.epoch = GetU64(block, 0);
-  h.used_bytes = GetU32(block, 8);
-  h.n_records = GetU32(block, 12);
+  h.epoch = GetU64(block);
+  h.used_bytes = GetU32(block + 8);
+  h.n_records = GetU32(block + 12);
   return h;
 }
 
@@ -109,12 +147,17 @@ void LogMaster::EncodeTo(PageData& block) const {
 }
 
 Status LogMaster::DecodeFrom(const PageData& block, LogMaster* out) {
-  if (block.size() < 32 || GetU64(block, 0) != kMagic) {
+  if (block.size() < 32) return Status::Corruption("bad log master block");
+  return DecodeFrom(block.data(), out);
+}
+
+Status LogMaster::DecodeFrom(const uint8_t* block, LogMaster* out) {
+  if (GetU64(block) != kMagic) {
     return Status::Corruption("bad log master block");
   }
-  out->epoch = GetU64(block, 8);
-  out->start_block = GetU64(block, 16);
-  out->start_offset = GetU64(block, 24);
+  out->epoch = GetU64(block + 8);
+  out->start_block = GetU64(block + 16);
+  out->start_offset = GetU64(block + 24);
   return Status::OK();
 }
 

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "store/page.h"
+#include "store/recovery/replay_plan.h"
 #include "txn/types.h"
 #include "util/status.h"
 
@@ -46,6 +47,11 @@ struct LogRecord {
   uint32_t offset = 0;
   std::vector<uint8_t> before;
   std::vector<uint8_t> after;
+
+  /// Bytes of the fixed header preceding the images:
+  ///   u32 total_len | u8 kind | u64 txn | u64 page | u64 page_version |
+  ///   u32 offset | u32 before_len | u32 after_len
+  static constexpr size_t kFixedBytes = 4 + 1 + 8 + 8 + 8 + 4 + 4 + 4;
 
   /// Encoded size in bytes.
   size_t EncodedSize() const;
@@ -78,6 +84,29 @@ struct LogRecordView {
 Status DecodeLogRecordView(const PageData& buf, size_t* pos,
                            LogRecordView* out);
 
+/// A decoded record whose images are logical positions within a log
+/// stream's byte sequence instead of pointers, so it can be decoded from
+/// non-contiguous storage (SegmentedBytes over zero-copy block refs) and
+/// applied by gather-copying straight from log blocks into the page.
+struct LogRecordRef {
+  LogRecordKind kind = LogRecordKind::kUpdate;
+  txn::TxnId txn = txn::kNoTxn;
+  txn::PageId page = 0;
+  uint64_t page_version = 0;
+  uint32_t offset = 0;
+  uint32_t stream = 0;  ///< log-stream index; filled by the scanner
+  uint64_t before_pos = 0;
+  uint32_t before_len = 0;
+  uint64_t after_pos = 0;
+  uint32_t after_len = 0;
+};
+
+/// Parses one record at `*pos` of the segmented stream; advances `*pos`.
+/// Corruption on a truncated or inconsistent record (recovery treats that
+/// as the never-durable tail, exactly like DecodeLogRecordView).
+Status DecodeLogRecordRef(const SegmentedBytes& stream, uint64_t* pos,
+                          LogRecordRef* out);
+
 /// Header layout of a log data block.
 struct LogBlockHeader {
   uint64_t epoch = 0;
@@ -88,6 +117,8 @@ struct LogBlockHeader {
 
   void EncodeTo(PageData& block) const;
   static LogBlockHeader DecodeFrom(const PageData& block);
+  /// Zero-copy variant for block refs; `block` must hold >= kSize bytes.
+  static LogBlockHeader DecodeFrom(const uint8_t* block);
 };
 
 /// Log master block (block 0).  `start_block`/`start_offset` give the scan
@@ -104,6 +135,9 @@ struct LogMaster {
 
   void EncodeTo(PageData& block) const;
   static Status DecodeFrom(const PageData& block, LogMaster* out);
+  /// Zero-copy variant for block refs; `block` must hold >= 32 bytes
+  /// (every VirtualDisk block does).
+  static Status DecodeFrom(const uint8_t* block, LogMaster* out);
 };
 
 }  // namespace dbmr::store

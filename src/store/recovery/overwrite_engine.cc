@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "store/codec.h"
+#include "store/recovery/replay_plan.h"
 #include "util/str.h"
 
 namespace dbmr::store {
@@ -111,6 +112,13 @@ Status OverwriteEngine::ReadHome(txn::PageId page, PageData* out) const {
 Status OverwriteEngine::WriteHome(txn::PageId page, const PageData& payload) {
   PageData block(disk_->block_size(), 0);
   std::copy(payload.begin(), payload.end(), block.begin());
+  return disk_->Write(HomeBlock(page), block);
+}
+
+Status OverwriteEngine::WriteHome(txn::PageId page, const uint8_t* payload,
+                                  size_t len) {
+  PageData block(disk_->block_size(), 0);
+  std::copy(payload, payload + len, block.begin());
   return disk_->Write(HomeBlock(page), block);
 }
 
@@ -273,7 +281,13 @@ void OverwriteEngine::Crash() {
 
 Status OverwriteEngine::Recover() {
   disk_->ClearCrashState();
+  last_stats_ = RecoveryStats{};
+  last_stats_.jobs = opts_.recovery_jobs;
+  if (opts_.recovery_jobs <= 0) return RecoverSequential();
+  return RecoverPartitioned();
+}
 
+Status OverwriteEngine::RecoverSequential() {
   // Classify transactions from the stable list (Load hands back the
   // records its positioning scan already read).
   std::unordered_map<txn::TxnId, ListKind> last_kind;
@@ -286,6 +300,7 @@ Status OverwriteEngine::Recover() {
     max_txn = std::max(max_txn, t);
     last_kind[t] = static_cast<ListKind>(blob[0]);
   }
+  last_stats_.replay_records += records.size();
 
   // Scan the scratch ring once, grouping valid current-epoch entries.
   struct Entry {
@@ -301,6 +316,7 @@ Status OverwriteEngine::Recover() {
     uint64_t seq;
     PageData payload;
     if (!ParseScratch(block, &t, &page, &seq, &payload)) continue;
+    ++last_stats_.replay_records;
     auto& slot = scratch[t][page];
     if (payload.size() >= slot.payload.size() && seq >= slot.seq) {
       slot = Entry{seq, std::move(payload)};
@@ -327,6 +343,115 @@ Status OverwriteEngine::Recover() {
       if (sc == scratch.end()) continue;
       for (const auto& [page, entry] : sc->second) {
         DBMR_RETURN_IF_ERROR(WriteHome(page, entry.payload));
+        ++redo_copies_;
+      }
+    }
+  }
+
+  // Fresh epoch: every scratch entry and outcome record is now obsolete.
+  DBMR_RETURN_IF_ERROR(list_.Truncate());
+  free_slots_.clear();
+  for (BlockId b = ScratchStart(); b < HomeStart(); ++b) free_slots_.insert(b);
+  active_.clear();
+  locks_.Reset();
+  next_txn_ = max_txn + 1;
+  return Status::OK();
+}
+
+Status OverwriteEngine::RecoverPartitioned() {
+  const int jobs = opts_.recovery_jobs;
+
+  // Outcome classification, same as the sequential path (stable-list I/O
+  // stays on the caller thread).
+  std::unordered_map<txn::TxnId, ListKind> last_kind;
+  std::vector<std::vector<uint8_t>> records;
+  DBMR_RETURN_IF_ERROR(list_.Load(&records));
+  txn::TxnId max_txn = 0;
+  for (const auto& blob : records) {
+    if (blob.size() != 9) return Status::Corruption("bad outcome record");
+    txn::TxnId t = GetU64(blob, 1);
+    max_txn = std::max(max_txn, t);
+    last_kind[t] = static_cast<ListKind>(blob[0]);
+  }
+  last_stats_.replay_records += records.size();
+
+  // Phase 1 — scan (caller thread): zero-copy refs of the whole scratch
+  // ring.  Same reads as the sequential scan, no block is copied.
+  const BlockId scratch_start = ScratchStart();
+  const uint64_t n_scratch = HomeStart() - scratch_start;
+  std::vector<const uint8_t*> blocks(n_scratch);
+  for (uint64_t i = 0; i < n_scratch; ++i) {
+    DBMR_RETURN_IF_ERROR(disk_->ReadRef(scratch_start + i, &blocks[i]));
+  }
+
+  // Phase 2 — validate (parallel over blocks): magic/epoch/checksum, the
+  // expensive part of the scan, on private memory only.
+  struct Parsed {
+    bool valid = false;
+    txn::TxnId t = 0;
+    txn::PageId page = 0;
+    uint64_t seq = 0;
+    const uint8_t* payload = nullptr;
+  };
+  std::vector<Parsed> parsed(n_scratch);
+  const size_t bs = disk_->block_size();
+  const uint64_t epoch = list_.epoch();
+  // Validation work is one checksum pass over the scratch ring.
+  const int eff_jobs =
+      EffectiveReplayJobs(jobs, static_cast<size_t>(n_scratch) * bs);
+  RunReplayJobs(eff_jobs, n_scratch, [&](size_t i) {
+    const uint8_t* b = blocks[i];
+    if (GetU64(b) != kScratchMagic || GetU64(b + 8) != epoch) return;
+    Parsed p;
+    p.t = GetU64(b + 16);
+    p.page = GetU64(b + 24);
+    p.seq = GetU64(b + 32);
+    const uint64_t want =
+        HashBytes(b + kScratchHeader, bs - kScratchHeader) ^
+        (p.t * 0x9e3779b97f4a7c15ULL + p.page + p.seq);
+    if (GetU64(b + 40) != want) return;
+    p.valid = true;
+    p.payload = b + kScratchHeader;
+    parsed[i] = p;
+  });
+
+  // Phase 3 — merge (caller thread, ring order): newest entry per
+  // (txn, page).  Every current-epoch payload has the same length, so the
+  // sequential keep-rule reduces to the seq comparison.
+  struct Slot {
+    uint64_t seq = 0;
+    const uint8_t* payload = nullptr;
+  };
+  std::unordered_map<txn::TxnId, std::map<txn::PageId, Slot>> scratch;
+  for (const Parsed& p : parsed) {
+    if (!p.valid) continue;
+    ++last_stats_.replay_records;
+    auto& slot = scratch[p.t][p.page];
+    if (slot.payload == nullptr || p.seq >= slot.seq) {
+      slot = Slot{p.seq, p.payload};
+    }
+  }
+
+  // Phase 4 — reduce (caller thread): home writes in sorted (txn, page)
+  // order.  Qualifying transactions have disjoint page sets (2PL holds
+  // home-page locks until the terminal record), so the order only fixes
+  // determinism, not the result.
+  const ListKind want_kind = opts_.mode == OverwriteMode::kNoRedo
+                                 ? ListKind::kActive
+                                 : ListKind::kCommit;
+  std::vector<txn::TxnId> todo;
+  for (const auto& [t, kind] : last_kind) {
+    if (kind == want_kind && scratch.count(t)) todo.push_back(t);
+  }
+  std::sort(todo.begin(), todo.end());
+  last_stats_.partitions = todo.size();
+  for (txn::TxnId t : todo) {
+    for (const auto& [page, slot] : scratch[t]) {
+      DBMR_RETURN_IF_ERROR(
+          WriteHome(page, slot.payload, bs - kScratchHeader));
+      if (opts_.mode == OverwriteMode::kNoRedo) {
+        ++shadows_restored_;
+      } else {
         ++redo_copies_;
       }
     }

@@ -1,0 +1,160 @@
+#include "store/recovery/replay_plan.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "core/thread_pool.h"
+#include "util/status.h"
+
+namespace dbmr::store {
+
+// ------------------------------------------------------------ SegmentedBytes
+
+void SegmentedBytes::AddSegment(const uint8_t* data, size_t n) {
+  if (n == 0) return;
+  segs_.push_back(Segment{data, size_, n});
+  size_ += n;
+}
+
+size_t SegmentedBytes::Locate(uint64_t pos) const {
+  DBMR_CHECK(pos < size_);
+  // Binary search for the last segment starting at or before pos.
+  size_t lo = 0, hi = segs_.size() - 1;
+  while (lo < hi) {
+    const size_t mid = (lo + hi + 1) / 2;
+    if (segs_[mid].start <= pos) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+void SegmentedBytes::CopyOut(uint64_t pos, size_t n, uint8_t* dst) const {
+  if (n == 0) return;
+  DBMR_CHECK(pos + n <= size_);
+  size_t i = Locate(pos);
+  uint64_t off = pos - segs_[i].start;
+  while (n > 0) {
+    const Segment& s = segs_[i];
+    const size_t take = std::min<size_t>(n, s.len - static_cast<size_t>(off));
+    std::memcpy(dst, s.data + off, take);
+    dst += take;
+    n -= take;
+    off = 0;
+    ++i;
+  }
+}
+
+const uint8_t* SegmentedBytes::ContiguousAt(uint64_t pos, size_t n) const {
+  if (n == 0) return nullptr;
+  DBMR_CHECK(pos + n <= size_);
+  const size_t i = Locate(pos);
+  const Segment& s = segs_[i];
+  const uint64_t off = pos - s.start;
+  if (off + n <= s.len) return s.data + off;
+  return nullptr;
+}
+
+// -------------------------------------------------------- ReplayPartitioner
+
+size_t ReplayPartitioner::Intern(txn::PageId page) {
+  auto [it, inserted] = index_.try_emplace(page, pages_.size());
+  if (inserted) {
+    pages_.push_back(page);
+    parent_.push_back(parent_.size());
+  }
+  return it->second;
+}
+
+void ReplayPartitioner::AddPage(txn::PageId page) { Intern(page); }
+
+size_t ReplayPartitioner::Root(size_t i) const {
+  while (parent_[i] != i) {
+    parent_[i] = parent_[parent_[i]];  // halve the path
+    i = parent_[i];
+  }
+  return i;
+}
+
+void ReplayPartitioner::Link(txn::PageId a, txn::PageId b) {
+  const size_t ra = Root(Intern(a));
+  const size_t rb = Root(Intern(b));
+  if (ra == rb) return;
+  // Union by smaller page id so roots are reproducible (the result's
+  // partitioning is order-independent anyway; this keeps Root() stable).
+  if (pages_[ra] <= pages_[rb]) {
+    parent_[rb] = ra;
+  } else {
+    parent_[ra] = rb;
+  }
+}
+
+std::vector<std::vector<txn::PageId>> ReplayPartitioner::Partitions() const {
+  // Group by root, then order partitions by smallest member and members
+  // ascending — a canonical form independent of insertion or link order.
+  std::unordered_map<size_t, std::vector<txn::PageId>> groups;
+  for (size_t i = 0; i < pages_.size(); ++i) {
+    groups[Root(i)].push_back(pages_[i]);
+  }
+  std::map<txn::PageId, std::vector<txn::PageId>> ordered;
+  for (auto& [root, members] : groups) {
+    std::sort(members.begin(), members.end());
+    const txn::PageId key = members.front();
+    ordered.emplace(key, std::move(members));
+  }
+  std::vector<std::vector<txn::PageId>> out;
+  out.reserve(ordered.size());
+  for (auto& [key, members] : ordered) out.push_back(std::move(members));
+  return out;
+}
+
+// ------------------------------------------------------------ RunReplayJobs
+
+namespace {
+
+/// A process-wide pool per job count.  Pools are created lazily under a
+/// registry mutex and leaked deliberately: recovery can run during static
+/// teardown of tests, and a leaked pool's threads park forever instead of
+/// racing destruction order.  `in_use` serializes ParallelFor (the pool is
+/// not reentrant and not shareable mid-job); contenders run sequentially.
+struct SharedPool {
+  core::ThreadPool* pool;
+  std::mutex in_use;
+};
+
+SharedPool* PoolFor(int jobs) {
+  static std::mutex registry_mu;
+  static std::map<int, SharedPool*>* registry = new std::map<int, SharedPool*>();
+  std::lock_guard<std::mutex> lk(registry_mu);
+  auto it = registry->find(jobs);
+  if (it == registry->end()) {
+    auto* sp = new SharedPool{new core::ThreadPool(jobs), {}};
+    it = registry->emplace(jobs, sp).first;
+  }
+  return it->second;
+}
+
+}  // namespace
+
+void RunReplayJobs(int jobs, size_t n, const std::function<void(size_t)>& fn) {
+  if (jobs <= 1 || n < 2) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  SharedPool* sp = PoolFor(jobs);
+  std::unique_lock<std::mutex> lk(sp->in_use, std::try_to_lock);
+  if (!lk.owns_lock()) {
+    // Another recovery holds this pool (parallel sweep trials); results do
+    // not depend on scheduling, so fall back to the caller's own loop.
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  sp->pool->ParallelFor(n, fn);
+}
+
+}  // namespace dbmr::store

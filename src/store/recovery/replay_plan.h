@@ -1,0 +1,134 @@
+// Parallel recovery replay planning (ROADMAP item 2).
+//
+// Every engine's Recover() decomposes into the same pipeline:
+//
+//   1. scan    — read the stable structures (log streams, scratch ring,
+//                page copies) once, zero-copy via VirtualDisk::ReadRef;
+//   2. plan    — bucket the work by page and derive cross-page dependency
+//                edges (ReplayPartitioner);
+//   3. replay  — run the independent partitions on a core::ThreadPool
+//                (RunReplayJobs), each worker computing page images in
+//                private memory — never touching a VirtualDisk;
+//   4. reduce  — write the recovered images and fold the per-partition
+//                counters back in a deterministic (partition, page) order.
+//
+// Determinism argument: all disk I/O happens on the calling thread in a
+// fixed order (scan before replay, reduction after), workers only read
+// shared immutable scan results and write partition-private slots, and the
+// reduction iterates partitions in their canonical order.  The recovered
+// image is therefore byte-identical at any job count — including jobs=1,
+// which never builds a pool at all.
+//
+// This header also provides SegmentedBytes: a logical byte sequence backed
+// by non-contiguous block storage.  Log records are decoded against it
+// directly (see LogRecordRef in log_format.h), so a recovery scan no
+// longer reassembles the stream — the only bytes ever copied are the
+// images actually applied to pages.
+
+#ifndef DBMR_STORE_RECOVERY_REPLAY_PLAN_H_
+#define DBMR_STORE_RECOVERY_REPLAY_PLAN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "txn/types.h"
+
+namespace dbmr::store {
+
+/// A read-only logical byte sequence stitched from segments that point
+/// into block storage (VirtualDisk::ReadRef results).  Valid only while
+/// the referenced blocks are (see the ReadRef validity contract).
+class SegmentedBytes {
+ public:
+  /// Appends `n` bytes at the current end of the sequence.
+  void AddSegment(const uint8_t* data, size_t n);
+
+  uint64_t size() const { return size_; }
+
+  /// Gather-copies [pos, pos + n) into `dst`.  The range must be in
+  /// bounds.
+  void CopyOut(uint64_t pos, size_t n, uint8_t* dst) const;
+
+  /// Pointer to [pos, pos + n) when that range lies within one segment,
+  /// nullptr when it straddles a boundary (use CopyOut then).
+  const uint8_t* ContiguousAt(uint64_t pos, size_t n) const;
+
+ private:
+  struct Segment {
+    const uint8_t* data;
+    uint64_t start;  // logical offset of the segment's first byte
+    size_t len;
+  };
+  /// Index of the segment containing logical offset `pos`.
+  size_t Locate(uint64_t pos) const;
+
+  std::vector<Segment> segs_;
+  uint64_t size_ = 0;
+};
+
+/// Union-find over page ids: pages whose replay chains are entangled
+/// (e.g. a loser transaction's CLR undo-next chain spanning pages) are
+/// linked into one partition and replayed by a single worker; everything
+/// else replays independently.  Partitions() is deterministic regardless
+/// of Add/Link call order: the equivalence classes are order-independent
+/// and the output is sorted.
+class ReplayPartitioner {
+ public:
+  /// Registers a page (idempotent).
+  void AddPage(txn::PageId page);
+
+  /// Records a dependency edge: `a` and `b` must replay in one partition.
+  /// Both pages are registered if new.
+  void Link(txn::PageId a, txn::PageId b);
+
+  /// The independent partitions, ordered by their smallest page id, each
+  /// with its pages in ascending order.
+  std::vector<std::vector<txn::PageId>> Partitions() const;
+
+  size_t num_pages() const { return pages_.size(); }
+
+ private:
+  size_t Root(size_t i) const;
+  size_t Intern(txn::PageId page);
+
+  std::unordered_map<txn::PageId, size_t> index_;
+  std::vector<txn::PageId> pages_;        // by internal index
+  mutable std::vector<size_t> parent_;    // path-compressed on Find
+};
+
+/// Runs fn(0) .. fn(n-1) on up to `jobs` concurrent executors and returns
+/// when all are done.
+///
+///  * jobs <= 1 (or n < 2): a plain sequential loop on the caller — no
+///    pool is ever built, so single-job recovery stays allocation- and
+///    thread-free.
+///  * jobs >= 2: a process-wide pool keyed by `jobs` (lazily created,
+///    intentionally leaked so static-teardown order cannot matter).  When
+///    another thread holds that pool — e.g. crash-sweep trials recovering
+///    concurrently — the caller falls back to the sequential loop instead
+///    of blocking; results are identical either way, only the schedule
+///    differs.
+///
+/// fn must not perform VirtualDisk I/O: disks are single-threaded (see
+/// virtual_disk.h) and replay workers operate on private memory only.
+void RunReplayJobs(int jobs, size_t n, const std::function<void(size_t)>& fn);
+
+/// Thread dispatch only pays for itself once a replay phase moves enough
+/// bytes; a pool wakeup costs tens of microseconds while a caller-thread
+/// replay moves on the order of a GB/s, so below ~1 MiB the dispatch
+/// would cost more than it saves.  Callers gate RunReplayJobs with this:
+/// below the threshold the partitioned pipeline still runs, only on the
+/// caller thread alone.  The recovered image is identical either way.
+inline constexpr size_t kParallelReplayMinBytes = size_t{1} << 20;
+
+/// `jobs` when `work_bytes` crosses the dispatch threshold, else 1.
+inline int EffectiveReplayJobs(int jobs, size_t work_bytes) {
+  return work_bytes >= kParallelReplayMinBytes ? jobs : 1;
+}
+
+}  // namespace dbmr::store
+
+#endif  // DBMR_STORE_RECOVERY_REPLAY_PLAN_H_

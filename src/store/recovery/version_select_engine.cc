@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "store/codec.h"
+#include "store/recovery/replay_plan.h"
 #include "util/str.h"
 
 namespace dbmr::store {
@@ -46,6 +47,20 @@ Status VersionSelectEngine::WriteCopy(txn::PageId page, int which,
   PutU64(block, 8, stamp);
   PutU64(block, 16, writer);
   std::copy(payload.begin(), payload.end(), block.begin() + kCopyHeader);
+  PutU64(block, 24, Checksum(block, kCopyHeader, block.size()) ^
+                        (stamp * 0x9e3779b97f4a7c15ULL + writer));
+  return disk_->Write(CopyBlock(page, which), block);
+}
+
+Status VersionSelectEngine::WriteCopy(txn::PageId page, int which,
+                                      uint64_t stamp, txn::TxnId writer,
+                                      const uint8_t* payload, size_t len) {
+  PageData& block = io_buf_;
+  block.resize(disk_->block_size());
+  PutU64(block, 0, kCopyMagic);
+  PutU64(block, 8, stamp);
+  PutU64(block, 16, writer);
+  std::copy(payload, payload + len, block.begin() + kCopyHeader);
   PutU64(block, 24, Checksum(block, kCopyHeader, block.size()) ^
                         (stamp * 0x9e3779b97f4a7c15ULL + writer));
   return disk_->Write(CopyBlock(page, which), block);
@@ -198,6 +213,13 @@ int VersionSelectEngine::SelectCurrent(txn::PageId page) const {
 
 Status VersionSelectEngine::Recover() {
   disk_->ClearCrashState();
+  last_stats_ = RecoveryStats{};
+  last_stats_.jobs = opts_.recovery_jobs;
+  if (opts_.recovery_jobs <= 0) return RecoverSequential();
+  return RecoverPartitioned();
+}
+
+Status VersionSelectEngine::RecoverSequential() {
   std::vector<std::vector<uint8_t>> records;
   DBMR_RETURN_IF_ERROR(commit_list_.Load(&records));
   committed_.clear();
@@ -222,6 +244,7 @@ Status VersionSelectEngine::Recover() {
     DBMR_RETURN_IF_ERROR(ReadCopy(p, 1, &c[1]));
     for (const Copy& cc : c) {
       if (cc.valid) {
+        ++last_stats_.replay_records;
         stamp_counter_ = std::max(stamp_counter_, cc.stamp);
         max_txn = std::max(max_txn, cc.writer);
       }
@@ -244,6 +267,111 @@ Status VersionSelectEngine::Recover() {
       const int shadow = 1 - cur;
       DBMR_RETURN_IF_ERROR(
           WriteCopy(p, shadow, ++stamp_counter_, 0, c[cur].payload));
+      cache_[p] = Cached{shadow, stamp_counter_};
+      any_normalized = true;
+    }
+  }
+  if (any_normalized || !records.empty()) {
+    DBMR_RETURN_IF_ERROR(commit_list_.Truncate());
+    committed_.clear();
+  }
+  active_.clear();
+  locks_.Reset();
+  next_txn_ = max_txn + 1;
+  return Status::OK();
+}
+
+Status VersionSelectEngine::RecoverPartitioned() {
+  const int jobs = opts_.recovery_jobs;
+  std::vector<std::vector<uint8_t>> records;
+  DBMR_RETURN_IF_ERROR(commit_list_.Load(&records));
+  committed_.clear();
+  txn::TxnId max_txn = 0;
+  for (const auto& blob : records) {
+    if (blob.size() != 8) return Status::Corruption("bad commit record");
+    txn::TxnId t = GetU64(blob, 0);
+    committed_.insert(t);
+    max_txn = std::max(max_txn, t);
+  }
+
+  // Phase 1 — scan (caller thread): one zero-copy read of every copy of
+  // every page, in page order.  The sequential path reads each copy twice
+  // (selection pass + normalization pass); this pass keeps the refs alive
+  // instead, halving recovery disk reads.
+  std::vector<const uint8_t*> refs(2 * num_pages_);
+  for (txn::PageId p = 0; p < num_pages_; ++p) {
+    DBMR_RETURN_IF_ERROR(disk_->ReadRef(CopyBlock(p, 0), &refs[p * 2]));
+    DBMR_RETURN_IF_ERROR(disk_->ReadRef(CopyBlock(p, 1), &refs[p * 2 + 1]));
+  }
+
+  // Phase 2 — select (parallel over pages): validate checksums and run
+  // the selection rule on private memory; `committed_` is read-only here.
+  struct PageState {
+    bool valid[2] = {false, false};
+    uint64_t stamp[2] = {0, 0};
+    txn::TxnId writer[2] = {0, 0};
+    int cur = -1;
+    uint8_t torn = 0;
+  };
+  std::vector<PageState> pages(num_pages_);
+  const size_t bs = disk_->block_size();
+  // Selection work is one checksum pass over both copies of every page.
+  const int eff_jobs = EffectiveReplayJobs(
+      jobs, static_cast<size_t>(2 * num_pages_) * bs);
+  RunReplayJobs(eff_jobs, num_pages_, [&](size_t p) {
+    PageState& ps = pages[p];
+    Copy c[2];
+    for (int which = 0; which < 2; ++which) {
+      const uint8_t* b = refs[p * 2 + which];
+      if (GetU64(b) != kCopyMagic) continue;
+      const uint64_t stamp = GetU64(b + 8);
+      const uint64_t writer = GetU64(b + 16);
+      const uint64_t want = HashBytes(b + kCopyHeader, bs - kCopyHeader) ^
+                            (stamp * 0x9e3779b97f4a7c15ULL + writer);
+      if (GetU64(b + 24) != want) {
+        ++ps.torn;
+        continue;
+      }
+      ps.valid[which] = true;
+      ps.stamp[which] = stamp;
+      ps.writer[which] = writer;
+      c[which].valid = true;
+      c[which].stamp = stamp;
+      c[which].writer = writer;
+    }
+    ps.cur = Select(c[0], c[1], committed_);
+  });
+
+  // Phase 3 — reduce (caller thread, page order): fold stamps, writers
+  // and torn counts exactly as the sequential selection pass does, then
+  // normalize in page order with the identical stamp sequence (global max
+  // first, one increment per normalized page).
+  stamp_counter_ = 0;
+  for (txn::PageId p = 0; p < num_pages_; ++p) {
+    const PageState& ps = pages[p];
+    torn_rejected_ += ps.torn;
+    for (int which = 0; which < 2; ++which) {
+      if (!ps.valid[which]) continue;
+      ++last_stats_.replay_records;
+      stamp_counter_ = std::max(stamp_counter_, ps.stamp[which]);
+      max_txn = std::max(max_txn, ps.writer[which]);
+    }
+    if (ps.cur < 0) {
+      return Status::Corruption(
+          StrFormat("page %llu has no valid committed copy",
+                    static_cast<unsigned long long>(p)));
+    }
+    cache_[p] = Cached{ps.cur, ps.stamp[ps.cur]};
+  }
+  last_stats_.partitions = num_pages_;
+  bool any_normalized = false;
+  for (txn::PageId p = 0; p < num_pages_; ++p) {
+    const PageState& ps = pages[p];
+    if (ps.writer[ps.cur] != 0) {
+      const int shadow = 1 - ps.cur;
+      DBMR_RETURN_IF_ERROR(WriteCopy(p, shadow, ++stamp_counter_, 0,
+                                     refs[p * 2 + ps.cur] + kCopyHeader,
+                                     bs - kCopyHeader));
       cache_[p] = Cached{shadow, stamp_counter_};
       any_normalized = true;
     }

@@ -1,6 +1,7 @@
 #include "store/recovery/wal_engine.h"
 
 #include <algorithm>
+#include <cstring>
 #include <map>
 #include <utility>
 
@@ -15,6 +16,142 @@ constexpr size_t kPageHeader = 8;
 
 uint64_t BlockVersion(const PageData& block) { return GetU64(block, 0); }
 void SetBlockVersion(PageData& block, uint64_t v) { PutU64(block, 0, v); }
+
+/// Per-page record chains over zero-copy refs; the mirror of the
+/// sequential path's per-page structures (see RecoverSequential for the
+/// semantics of update vs CLR chains).
+struct RefLoserChain {
+  std::map<uint64_t, const LogRecordRef*> updates;  // by version
+  std::map<uint64_t, const LogRecordRef*> clrs;     // by version
+};
+struct RefPageChains {
+  std::map<uint64_t, const LogRecordRef*> redo;  // committed
+  std::map<txn::TxnId, RefLoserChain> losers;
+};
+
+/// One page's unit of parallel replay work.  Everything a worker touches
+/// is private to the task or read-only shared (the chains, the stream
+/// segments, the disk image ref) — workers never call into a VirtualDisk.
+struct PageReplayTask {
+  txn::PageId page = 0;
+  const RefPageChains* pc = nullptr;
+  const uint8_t* disk_image = nullptr;  ///< current block bytes (ReadRef)
+  PageData out;                         ///< recovered block image
+  uint64_t undo_count = 0;
+  uint64_t redo_count = 0;
+  bool bounds_error = false;
+};
+
+/// Recovers one page into `w->out`.  Runs the exact walk of the
+/// sequential path — the walk is driven only by the page version, never
+/// by applied bytes, so it can be split into a plan step (map lookups)
+/// and an apply step (gather-copies from the log blocks).  The apply
+/// step skips every op dominated by a later full-payload image, which is
+/// what makes physical-mode replay O(1) copies per page instead of
+/// O(chain length).
+void ReplayPageFromLog(const std::vector<SegmentedBytes>& streams,
+                       size_t block_size, PageReplayTask* w) {
+  const size_t payload = block_size - kPageHeader;
+  const RefPageChains& pc = *w->pc;
+
+  // Redo-eligible records and max version: same rules as the sequential
+  // path (committed updates plus complete CLR chains).
+  std::map<uint64_t, const LogRecordRef*> redo = pc.redo;
+  uint64_t max_ver = 0;
+  for (const auto& [ver, rec] : pc.redo) max_ver = std::max(max_ver, ver);
+  for (const auto& [t, ch] : pc.losers) {
+    if (!ch.updates.empty()) {
+      max_ver = std::max(max_ver, ch.updates.rbegin()->first);
+    }
+    if (!ch.clrs.empty()) {
+      max_ver = std::max(max_ver, ch.clrs.rbegin()->first);
+    }
+    if (!ch.clrs.empty() && ch.clrs.size() == ch.updates.size()) {
+      for (const auto& [ver, rec] : ch.clrs) redo[ver] = rec;
+    }
+  }
+
+  // Plan: collect the (record, direction) apply sequence.
+  std::vector<std::pair<const LogRecordRef*, bool>> ops;  // (rec, is_redo)
+  uint64_t v = GetU64(w->disk_image);
+  bool moved = true;
+  while (moved) {
+    moved = false;
+    for (const auto& [t, ch] : pc.losers) {
+      auto u = ch.updates.find(v);
+      if (u != ch.updates.end()) {
+        ops.emplace_back(u->second, false);
+        --v;
+        moved = true;
+        break;
+      }
+      auto c = ch.clrs.find(v);
+      if (c != ch.clrs.end()) {
+        const size_t j =
+            static_cast<size_t>(std::distance(ch.clrs.begin(), c));
+        const size_t m = ch.updates.size();
+        if (m >= j + 1) {
+          std::vector<const LogRecordRef*> ups;
+          ups.reserve(m);
+          for (const auto& [ver, rec] : ch.updates) ups.push_back(rec);
+          for (size_t idx = m - 1 - j; idx-- > 0;) {
+            ops.emplace_back(ups[idx], false);
+          }
+          v = ch.updates.begin()->first - 1;
+        } else {
+          v = c->first - 1;  // unreachable: defensive
+        }
+        moved = true;
+        break;
+      }
+    }
+  }
+  for (const auto& [version, rec] : redo) {
+    if (version <= v) continue;
+    ops.emplace_back(rec, true);
+    v = version;
+  }
+
+  // Count and bounds-check every op (identical to the sequential path's
+  // counters and Corruption check), and find the last full-payload image:
+  // everything before it is a dead write.
+  size_t first_live = 0;
+  bool full_cover = false;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const LogRecordRef* rec = ops[i].first;
+    const bool is_redo = ops[i].second;
+    const uint64_t len = is_redo ? rec->after_len : rec->before_len;
+    if (kPageHeader + rec->offset + len > block_size) {
+      w->bounds_error = true;
+      return;
+    }
+    if (is_redo) {
+      ++w->redo_count;
+    } else {
+      ++w->undo_count;
+    }
+    if (rec->offset == 0 && len == payload) {
+      first_live = i;
+      full_cover = true;
+    }
+  }
+
+  // Apply: start from the disk image unless a full-payload image makes it
+  // (and every op before that image) irrelevant.
+  w->out.assign(block_size, 0);
+  if (!full_cover) {
+    std::memcpy(w->out.data(), w->disk_image, block_size);
+  }
+  for (size_t i = full_cover ? first_live : 0; i < ops.size(); ++i) {
+    const LogRecordRef* rec = ops[i].first;
+    const bool is_redo = ops[i].second;
+    streams[rec->stream].CopyOut(
+        is_redo ? rec->after_pos : rec->before_pos,
+        is_redo ? rec->after_len : rec->before_len,
+        w->out.data() + kPageHeader + rec->offset);
+  }
+  SetBlockVersion(w->out, max_ver + 1);
+}
 }  // namespace
 
 WalEngine::WalEngine(VirtualDisk* data_disk,
@@ -383,7 +520,13 @@ Status WalEngine::ApplyRecordImage(PageData& block, const LogRecordView& rec,
 Status WalEngine::Recover() {
   data_->ClearCrashState();
   for (auto& s : logs_) s.disk->ClearCrashState();
+  last_stats_ = RecoveryStats{};
+  last_stats_.jobs = opts_.recovery_jobs;
+  if (opts_.recovery_jobs <= 0) return RecoverSequential();
+  return RecoverPartitioned();
+}
 
+Status WalEngine::RecoverSequential() {
   // 1. Analysis: scan every stream independently.  `raw_streams` owns the
   // reassembled bytes the record views point into, so it must stay alive
   // for the rest of recovery.
@@ -393,6 +536,7 @@ Status WalEngine::Recover() {
   txn::TxnId max_txn = 0;
   for (size_t i = 0; i < logs_.size(); ++i) {
     DBMR_RETURN_IF_ERROR(ScanStream(i, &raw_streams[i], &per_stream[i]));
+    last_stats_.replay_records += per_stream[i].size();
     for (const LogRecordView& r : per_stream[i]) {
       max_txn = std::max(max_txn, r.txn);
       if (r.kind == LogRecordKind::kCommit) committed.insert(r.txn);
@@ -526,6 +670,162 @@ Status WalEngine::Recover() {
   // 4. Truncate the logs: all surviving state is home now.
   DBMR_RETURN_IF_ERROR(TruncateLogs());
 
+  pool_->DiscardAll();
+  active_.clear();
+  wal_point_.clear();
+  locks_.Reset();
+  next_txn_ = max_txn + 1;
+  return Status::OK();
+}
+
+Status WalEngine::CollectStreamSegments(size_t idx,
+                                        SegmentedBytes* out) const {
+  const LogStream& s = logs_[idx];
+  const size_t cap = PayloadBytesPerLogBlock();
+  const uint8_t* master = nullptr;
+  DBMR_RETURN_IF_ERROR(s.disk->ReadRef(0, &master));
+  LogMaster m;
+  DBMR_RETURN_IF_ERROR(LogMaster::DecodeFrom(master, &m));
+
+  bool first = true;
+  for (BlockId b = m.start_block; b < s.disk->num_blocks(); ++b) {
+    const uint8_t* block = nullptr;
+    DBMR_RETURN_IF_ERROR(s.disk->ReadRef(b, &block));
+    const LogBlockHeader h = LogBlockHeader::DecodeFrom(block);
+    if (h.epoch != m.epoch || h.used_bytes == 0 || h.used_bytes > cap) {
+      break;
+    }
+    // A fuzzy checkpoint may have moved the scan origin mid-block.
+    size_t skip = 0;
+    if (first) {
+      first = false;
+      if (m.start_offset >= h.used_bytes) {
+        if (h.used_bytes < cap) break;
+        continue;  // horizon consumed the whole (finalized) block
+      }
+      skip = static_cast<size_t>(m.start_offset);
+    }
+    out->AddSegment(block + LogBlockHeader::kSize + skip,
+                    h.used_bytes - skip);
+    if (h.used_bytes < cap) break;  // partial block is always the last
+  }
+  return Status::OK();
+}
+
+Status WalEngine::RecoverPartitioned() {
+  // Phase 1 — scan (caller thread): zero-copy per-stream segment lists.
+  // Same disk reads and stop rules as the sequential scan, but no log
+  // byte is copied or reassembled.
+  std::vector<SegmentedBytes> streams(logs_.size());
+  uint64_t log_bytes = 0;
+  for (size_t i = 0; i < logs_.size(); ++i) {
+    DBMR_RETURN_IF_ERROR(CollectStreamSegments(i, &streams[i]));
+    log_bytes += streams[i].size();
+  }
+  // Total log volume bounds both the decode and the replay work.
+  const int jobs =
+      EffectiveReplayJobs(opts_.recovery_jobs, static_cast<size_t>(log_bytes));
+
+  // Phase 2 — decode (parallel over streams): pure memory walk.  A
+  // truncated trailing record was never fully durable; ignore it, exactly
+  // like the sequential scan.
+  std::vector<std::vector<LogRecordRef>> per_stream(logs_.size());
+  RunReplayJobs(jobs, logs_.size(), [&](size_t i) {
+    uint64_t pos = 0;
+    while (pos < streams[i].size()) {
+      LogRecordRef rec;
+      if (!DecodeLogRecordRef(streams[i], &pos, &rec).ok()) break;
+      rec.stream = static_cast<uint32_t>(i);
+      per_stream[i].push_back(rec);
+    }
+  });
+
+  // Phase 3 — plan (caller thread): transaction outcomes, per-page
+  // chains, and the partition graph.  Replay itself is per-page (per-page
+  // version numbers make cross-stream merging unnecessary), so pages are
+  // independent; pages sharing an uncommitted transaction that wrote CLRs
+  // are still conservatively grouped into one partition, because such a
+  // transaction's undo-next chain is the one structure that spans pages.
+  std::unordered_set<txn::TxnId> committed;
+  txn::TxnId max_txn = 0;
+  for (const auto& stream : per_stream) {
+    last_stats_.replay_records += stream.size();
+    for (const LogRecordRef& r : stream) {
+      max_txn = std::max(max_txn, r.txn);
+      if (r.kind == LogRecordKind::kCommit) committed.insert(r.txn);
+    }
+  }
+  std::unordered_map<txn::PageId, RefPageChains> chains;
+  for (const auto& stream : per_stream) {
+    for (const LogRecordRef& r : stream) {
+      if (r.kind == LogRecordKind::kUpdate) {
+        if (committed.count(r.txn)) {
+          chains[r.page].redo[r.page_version] = &r;
+        } else {
+          chains[r.page].losers[r.txn].updates[r.page_version] = &r;
+        }
+      } else if (r.kind == LogRecordKind::kClr) {
+        chains[r.page].losers[r.txn].clrs[r.page_version] = &r;
+      }
+    }
+  }
+
+  ReplayPartitioner parts;
+  std::unordered_map<txn::TxnId, txn::PageId> clr_anchor;
+  for (const auto& [page, pc] : chains) {
+    parts.AddPage(page);
+    for (const auto& [t, ch] : pc.losers) {
+      if (ch.clrs.empty()) continue;
+      auto [anchor, inserted] = clr_anchor.try_emplace(t, page);
+      if (!inserted) parts.Link(anchor->second, page);
+    }
+  }
+  const std::vector<std::vector<txn::PageId>> partitions =
+      parts.Partitions();
+  last_stats_.partitions = partitions.size();
+
+  // Phase 4 — page refs (caller thread, deterministic partition order).
+  // ReadRef pointers stay valid through phase 5: nothing writes the data
+  // disk until phase 6, and writes to other blocks never move them.
+  std::vector<PageReplayTask> work;
+  work.reserve(parts.num_pages());
+  std::vector<std::pair<size_t, size_t>> ranges;  // [begin,end) into work
+  ranges.reserve(partitions.size());
+  for (const auto& group : partitions) {
+    const size_t begin = work.size();
+    for (txn::PageId page : group) {
+      PageReplayTask t;
+      t.page = page;
+      t.pc = &chains.at(page);
+      DBMR_RETURN_IF_ERROR(data_->ReadRef(page, &t.disk_image));
+      work.push_back(std::move(t));
+    }
+    ranges.emplace_back(begin, work.size());
+  }
+
+  // Phase 5 — replay (parallel over partitions): private memory only.
+  // Workers never touch a VirtualDisk; record images are gather-copied
+  // straight from the log blocks into the output pages.
+  const size_t block_size = data_->block_size();
+  RunReplayJobs(jobs, ranges.size(), [&](size_t pi) {
+    for (size_t wi = ranges[pi].first; wi < ranges[pi].second; ++wi) {
+      ReplayPageFromLog(streams, block_size, &work[wi]);
+    }
+  });
+
+  // Phase 6 — reduce (caller thread): write-back and counter fold in the
+  // same deterministic partition order, so the disk-op sequence and the
+  // recovered image are identical at every jobs setting.
+  for (PageReplayTask& t : work) {
+    if (t.bounds_error) {
+      return Status::Corruption("log image exceeds page bounds");
+    }
+    undo_applied_ += t.undo_count;
+    redo_applied_ += t.redo_count;
+    DBMR_RETURN_IF_ERROR(data_->Write(t.page, t.out));
+  }
+
+  DBMR_RETURN_IF_ERROR(TruncateLogs());
   pool_->DiscardAll();
   active_.clear();
   wal_point_.clear();

@@ -56,6 +56,12 @@ struct WalEngineOptions {
   LogSelectPolicy policy = LogSelectPolicy::kCyclic;
   size_t pool_frames = 64;
   uint64_t rng_seed = 42;
+  /// Parallel replay jobs for Recover().  >= 1 runs the partitioned
+  /// zero-copy replay planner (1 = planner pipeline on the caller thread
+  /// alone); 0 keeps the pre-planner sequential scan+replay as a
+  /// reference path.  The recovered image is byte-identical across every
+  /// setting.
+  int recovery_jobs = 1;
 };
 
 /// The WAL page engine.  With one log disk this is classical logging; with
@@ -104,6 +110,7 @@ class WalEngine : public PageEngine {
   /// Records appended to stream `i` since Format/Recover.
   uint64_t stream_records(size_t i) const;
   txn::LockManager& lock_manager() { return locks_; }
+  RecoveryStats last_recovery_stats() const override { return last_stats_; }
 
  private:
   /// One append-only log stream over a VirtualDisk.
@@ -154,6 +161,18 @@ class WalEngine : public PageEngine {
   /// as views into that buffer; `*raw` must outlive `*out`.
   Status ScanStream(size_t idx, std::vector<uint8_t>* raw,
                     std::vector<LogRecordView>* out) const;
+  /// Zero-copy scan: collects stream `idx`'s durable bytes as segments
+  /// pointing into the log disk's block storage (same stop rules and disk
+  /// reads as ScanStream, no reassembly).  Valid until the log disk is
+  /// written (recovery truncates only after replay).
+  Status CollectStreamSegments(size_t idx, SegmentedBytes* out) const;
+  /// The pre-planner single-threaded recovery, kept as the equivalence
+  /// and benchmark reference (recovery_jobs == 0).
+  Status RecoverSequential();
+  /// The partitioned replay pipeline (recovery_jobs >= 1): zero-copy
+  /// scan, parallel decode, page-partitioned parallel replay, ordered
+  /// reduction.
+  Status RecoverPartitioned();
   Status TruncateLogs();
   Status ApplyRecordImage(PageData& block, const LogRecordView& rec,
                           bool redo) const;
@@ -177,6 +196,7 @@ class WalEngine : public PageEngine {
   uint64_t aborts_ = 0;
   uint64_t full_checkpoints_ = 0;
   uint64_t fuzzy_checkpoints_ = 0;
+  RecoveryStats last_stats_;
 };
 
 }  // namespace dbmr::store

@@ -114,6 +114,35 @@ Status VirtualDisk::ReadInto(BlockId b, uint8_t* out) const {
   return Status::OK();
 }
 
+Status VirtualDisk::ReadRef(BlockId b, const uint8_t** out) const {
+  CheckThread();
+  if (b >= base_->size()) {
+    return Status::OutOfRange(
+        StrFormat("disk %s: read of block %llu beyond %llu", name_.c_str(),
+                  static_cast<unsigned long long>(b),
+                  static_cast<unsigned long long>(base_->size())));
+  }
+  if (transient_read_in_ == 0) {
+    transient_read_in_ = -1;  // heals: the retry succeeds
+    ++faults_.transient_reads;
+    return Status::IoError(
+        StrFormat("disk %s: transient read error", name_.c_str()));
+  }
+  const bool shared_exhausted = shared_read_counter_ != nullptr &&
+                                *shared_read_counter_ <= 0;
+  if (reads_remaining_ == 0 || shared_exhausted) {
+    ++faults_.read_failures;
+    return Status::IoError(
+        StrFormat("disk %s: injected read failure", name_.c_str()));
+  }
+  if (reads_remaining_ > 0) --reads_remaining_;
+  if (shared_read_counter_ != nullptr) --*shared_read_counter_;
+  if (transient_read_in_ > 0) --transient_read_in_;
+  ++reads_;
+  *out = BlockRef(b).data();
+  return Status::OK();
+}
+
 Status VirtualDisk::Write(BlockId b, const PageData& data) {
   CheckThread();
   if (b >= base_->size()) {

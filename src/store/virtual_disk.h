@@ -147,6 +147,15 @@ class VirtualDisk {
   /// hot replay loops.
   Status ReadInto(BlockId b, uint8_t* out) const;
 
+  /// Zero-copy read: points `*out` at the block's current storage instead
+  /// of copying it.  Counts as one read and runs the full fault model,
+  /// exactly like ReadInto.  The pointer stays valid until the next Write
+  /// to this same block, the next Snapshot(), or destruction — writes to
+  /// OTHER blocks never move it (the overlay is node-based and the base
+  /// image is immutable).  This is the recovery fast path: replay scans
+  /// whole log/scratch regions without one memcpy per block.
+  Status ReadRef(BlockId b, const uint8_t** out) const;
+
   /// Writes block `b`.  `data` must be exactly block_size bytes.
   /// Fails with kIoError once the injected crash point is reached.
   Status Write(BlockId b, const PageData& data);

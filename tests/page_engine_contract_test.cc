@@ -50,7 +50,7 @@ struct EngineParam {
   Factory make;
 };
 
-EngineUnderTest MakeWal(size_t n_logs) {
+EngineUnderTest MakeWal(size_t n_logs, int recovery_jobs = 1) {
   EngineUnderTest e;
   e.disks.push_back(std::make_unique<VirtualDisk>("data", kPages, kBlock));
   std::vector<VirtualDisk*> logs;
@@ -60,6 +60,7 @@ EngineUnderTest MakeWal(size_t n_logs) {
   }
   WalEngineOptions o;
   o.pool_frames = 6;
+  o.recovery_jobs = recovery_jobs;
   e.engine = std::make_unique<WalEngine>(e.disks[0].get(), logs, o);
   EXPECT_TRUE(e.engine->Format().ok());
   return e;
@@ -327,6 +328,15 @@ TEST_P(PageEngineContractTest, CrashDuringRecoveryIsSurvivable) {
 
 TEST_P(PageEngineContractTest, DoubleRecoverAfterInjectedCrashIsIdempotent) {
   SweepCrashDuringRecovery(GetParam().make, /*double_recover=*/true);
+}
+
+// The same crash-during-recovery sweep with replay dispatched through the
+// parallel planner (recovery_jobs=4).  All disk I/O stays on the caller
+// thread by contract, so cutting recovery at every write budget must be
+// exactly as survivable as on the sequential path.
+TEST(ParallelRecoveryContractTest, CrashDuringParallelRecoveryIsSurvivable) {
+  SweepCrashDuringRecovery([] { return MakeWal(3, /*recovery_jobs=*/4); },
+                           /*double_recover=*/true);
 }
 
 TEST_P(PageEngineContractTest, ManySequentialTransactions) {

@@ -1,6 +1,6 @@
 // bench_baseline — perf-trajectory snapshots, written as diffable JSON.
 //
-// Two suites:
+// Three suites:
 //
 //   --suite=kernel (default) runs the micro_sim_kernel workloads without
 //   the google-benchmark harness; the checked-in baseline is
@@ -11,13 +11,22 @@
 //   at jobs=1, and snapshot-forked at jobs=8 — and reports the speedups;
 //   the checked-in baseline is BENCH_torture.json.
 //
+//   --suite=recovery crashes a seeded workload once per engine, then
+//   times Recover() at recovery_jobs = 0 (the engines' sequential
+//   reference path) and 1/2/4/8 (the partitioned replay planner),
+//   byte-compares every recovered disk image against the jobs=0 image,
+//   and times an end-to-end crash sweep at jobs 0 vs 4; the checked-in
+//   baseline is BENCH_recovery.json.
+//
 //   bench_baseline --out=BENCH_kernel.json
 //   bench_baseline --suite=torture --out=BENCH_torture.json
-//   bench_baseline --items=200000 --reps=7        # heavier run, stdout only
+//   bench_baseline --suite=recovery --deterministic --out=BENCH_recovery.json
 //
 // Each workload is repeated --reps times and the best wall-clock rep is
 // reported (the minimum is the standard low-noise estimator for
-// single-threaded microbenchmarks).  See docs/BENCHMARKS.md.
+// single-threaded microbenchmarks).  --deterministic omits the
+// generated_at timestamp so reruns diff on numbers alone.  See
+// docs/BENCHMARKS.md.
 
 #include <chrono>
 #include <cstdio>
@@ -50,6 +59,29 @@ double TimeNs(Fn&& fn) {
   fn();
   const Clock::time_point stop = Clock::now();
   return std::chrono::duration<double, std::nano>(stop - start).count();
+}
+
+/// RFC-3339 UTC timestamp of "now".
+std::string NowStamp() {
+  char stamp[32];
+  const std::time_t now = std::time(nullptr);
+  std::tm tm_utc;
+  gmtime_r(&now, &tm_utc);
+  std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  return stamp;
+}
+
+Status WriteJsonFile(const std::string& path, const JsonValue& doc) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError(StrFormat("cannot write %s", path.c_str()));
+  }
+  const std::string text = doc.Dump(2);
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return Status::OK();
 }
 
 struct WorkloadResult {
@@ -186,7 +218,8 @@ double TimeSweepMs(const std::string& engine, const chaos::SweepOptions& o,
   return best / 1e6;
 }
 
-int RunTortureSuite(const std::string& out_path, int reps) {
+int RunTortureSuite(const std::string& out_path, int reps,
+                    bool deterministic) {
   core::ThreadPool pool8(8);
   std::vector<TortureRow> rows;
   size_t total_violations = 0;
@@ -250,12 +283,7 @@ int RunTortureSuite(const std::string& out_path, int reps) {
     JsonValue doc = JsonValue::Object();
     doc["bench"] = "crash_sweep";
     doc["schema_version"] = static_cast<int64_t>(1);
-    char stamp[32];
-    const std::time_t now = std::time(nullptr);
-    std::tm tm_utc;
-    gmtime_r(&now, &tm_utc);
-    std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
-    doc["generated_at"] = stamp;
+    if (!deterministic) doc["generated_at"] = NowStamp();
     doc["seed"] = static_cast<int64_t>(1);
     doc["reps"] = static_cast<int64_t>(reps);
     doc["engines"] = std::move(engines);
@@ -266,17 +294,210 @@ int RunTortureSuite(const std::string& out_path, int reps) {
     totals["speedup_jobs1"] = seq_total / fork1_total;
     totals["speedup_jobs8"] = seq_total / fork8_total;
     doc["totals"] = std::move(totals);
-    std::FILE* f = std::fopen(out_path.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    Status st = WriteJsonFile(out_path, doc);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
       return 1;
     }
-    const std::string text = doc.Dump(2);
-    std::fwrite(text.data(), 1, text.size(), f);
-    std::fputc('\n', f);
-    std::fclose(f);
-    std::printf("wrote %s\n", out_path.c_str());
   }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Recovery suite: sequential reference replay vs the partitioned planner.
+
+/// Every block of every disk, concatenated (read after the timed region;
+/// ReadInto's bookkeeping doesn't matter there).
+std::vector<uint8_t> DumpDisks(const chaos::EngineFixture& fx) {
+  std::vector<uint8_t> out;
+  std::vector<uint8_t> block;
+  for (const auto& d : fx.disks) {
+    block.resize(d->block_size());
+    for (uint64_t b = 0; b < d->num_blocks(); ++b) {
+      DBMR_CHECK(d->ReadInto(b, block.data()).ok());
+      out.insert(out.end(), block.begin(), block.end());
+    }
+  }
+  return out;
+}
+
+/// The per-engine fixture the recovery suite measures: bigger pages and
+/// more of them than the torture defaults, so replay cost dominates.
+chaos::FixtureOptions RecoveryBenchFixture(int recovery_jobs) {
+  chaos::FixtureOptions fo;
+  fo.num_pages = 256;
+  fo.block_size = 4096;
+  fo.wal_logs = 4;
+  fo.recovery_jobs = recovery_jobs;
+  return fo;
+}
+
+/// Runs `txns` committed transactions of 4 random-page writes each and
+/// crashes, leaving a recovery-heavy durable image.
+Status RunRecoveryWorkload(chaos::EngineFixture* fx, int txns) {
+  Rng rng(1);
+  const uint64_t pages = fx->engine->num_pages();
+  store::PageData payload(fx->engine->payload_size());
+  for (int i = 0; i < txns; ++i) {
+    auto t = fx->engine->Begin();
+    if (!t.ok()) return t.status();
+    for (int w = 0; w < 4; ++w) {
+      const txn::PageId page = static_cast<txn::PageId>(
+          rng.UniformInt(0, static_cast<int64_t>(pages) - 1));
+      for (auto& b : payload) b = static_cast<uint8_t>(rng.Next());
+      Status st = fx->engine->Write(*t, page, payload);
+      if (!st.ok()) return st;
+    }
+    Status st = fx->engine->Commit(*t);
+    if (!st.ok()) return st;
+  }
+  fx->engine->Crash();
+  return Status::OK();
+}
+
+int RunRecoverySuite(const std::string& out_path, int reps,
+                     bool deterministic) {
+  // Engines with a partitioned replay path (shadow and differential
+  // recover by discarding, so there is nothing to parallelize).
+  const std::vector<std::string> kEngines = {
+      "wal", "overwrite-noundo", "overwrite-noredo", "version-select"};
+  const std::vector<int> kJobs = {0, 1, 2, 4, 8};
+  // WAL replay cost scales with log volume; the in-place and two-version
+  // engines scan a fixed number of scratch/copy blocks, so one size fits.
+  const int kTxns = 300;
+
+  JsonValue engines = JsonValue::Array();
+  std::printf("%-18s %12s %10s", "engine", "records", "seq ms");
+  for (size_t i = 1; i < kJobs.size(); ++i) {
+    std::printf(" %7s", StrFormat("j%d ms", kJobs[i]).c_str());
+  }
+  std::printf(" %9s %6s\n", "x(j4)", "image");
+  bool all_identical = true;
+  double wal_speedup4 = 0;
+
+  for (const std::string& engine : kEngines) {
+    // One crashed durable image per engine; every timed recovery forks it.
+    chaos::FixtureSnapshot crashed;
+    {
+      auto fxr = chaos::MakeEngineFixture(engine, RecoveryBenchFixture(0));
+      DBMR_CHECK(fxr.ok());
+      Status st = RunRecoveryWorkload(&*fxr, kTxns);
+      if (!st.ok()) {
+        std::fprintf(stderr, "error: %s workload: %s\n", engine.c_str(),
+                     st.ToString().c_str());
+        return 1;
+      }
+      crashed = fxr->TakeSnapshot();
+    }
+
+    std::vector<double> best_ms(kJobs.size(), 0);
+    std::vector<uint8_t> reference_image;
+    int64_t replay_records = 0;
+    bool identical = true;
+    for (size_t j = 0; j < kJobs.size(); ++j) {
+      const chaos::FixtureOptions fo = RecoveryBenchFixture(kJobs[j]);
+      for (int rep = 0; rep < reps; ++rep) {
+        auto fxr = chaos::ForkEngineFixture(engine, crashed, fo);
+        DBMR_CHECK(fxr.ok());
+        chaos::EngineFixture fx = std::move(*fxr);
+        const double ns =
+            TimeNs([&] { DBMR_CHECK(fx.engine->Recover().ok()); });
+        const double ms = ns / 1e6;
+        if (rep == 0 || ms < best_ms[j]) best_ms[j] = ms;
+        if (rep == 0) {
+          replay_records = static_cast<int64_t>(
+              fx.engine->last_recovery_stats().replay_records);
+          // The recovered store must be byte-identical at every setting;
+          // jobs=0 (the legacy sequential path) is the reference.
+          std::vector<uint8_t> image = DumpDisks(fx);
+          if (j == 0) {
+            reference_image = std::move(image);
+          } else if (image != reference_image) {
+            identical = false;
+          }
+        }
+      }
+    }
+    all_identical = all_identical && identical;
+
+    std::printf("%-18s %12lld %10.3f", engine.c_str(),
+                static_cast<long long>(replay_records), best_ms[0]);
+    for (size_t j = 1; j < kJobs.size(); ++j) {
+      std::printf(" %7.3f", best_ms[j]);
+    }
+    const double speedup4 = best_ms[0] / best_ms[3];  // kJobs[3] == 4
+    if (engine == "wal") wal_speedup4 = speedup4;
+    std::printf(" %8.2fx %6s\n", speedup4, identical ? "same" : "DIFF");
+
+    JsonValue e = JsonValue::Object();
+    e["engine"] = engine;
+    e["replay_records"] = replay_records;
+    e["sequential_ms"] = best_ms[0];
+    JsonValue jm = JsonValue::Array();
+    for (size_t j = 1; j < kJobs.size(); ++j) {
+      JsonValue one = JsonValue::Object();
+      one["jobs"] = static_cast<int64_t>(kJobs[j]);
+      one["ms"] = best_ms[j];
+      one["speedup_vs_sequential"] = best_ms[0] / best_ms[j];
+      jm.Append(std::move(one));
+    }
+    e["partitioned"] = std::move(jm);
+    e["image_identical"] = identical;
+    engines.Append(std::move(e));
+  }
+
+  // End-to-end: an exhaustive write-crash sweep over a store big enough
+  // that replay cost dominates trial bookkeeping (the torture defaults'
+  // 256-byte pages spend most of each trial outside Recover()), with the
+  // engines' recovery at jobs 0 vs 4.
+  auto sweep_ms = [&](int recovery_jobs) {
+    chaos::SweepOptions o = TortureBenchOptions();
+    o.fixture.num_pages = 64;
+    o.fixture.block_size = 2048;
+    o.fixture.recovery_jobs = recovery_jobs;
+    chaos::SweepReport r;
+    return TimeSweepMs("wal", o, nullptr, reps, &r);
+  };
+  const double sweep0 = sweep_ms(0);
+  const double sweep4 = sweep_ms(4);
+  std::printf("wal crash sweep    recovery_jobs=0 %.2f ms  "
+              "recovery_jobs=4 %.2f ms  %.2fx\n",
+              sweep0, sweep4, sweep0 / sweep4);
+
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "error: recovered image diverged from the sequential "
+                 "reference\n");
+    return 1;
+  }
+
+  if (!out_path.empty()) {
+    JsonValue doc = JsonValue::Object();
+    doc["bench"] = "recovery_replay";
+    doc["schema_version"] = static_cast<int64_t>(1);
+    if (!deterministic) doc["generated_at"] = NowStamp();
+    JsonValue wl = JsonValue::Object();
+    wl["txns"] = static_cast<int64_t>(kTxns);
+    wl["writes_per_txn"] = static_cast<int64_t>(4);
+    wl["num_pages"] = static_cast<int64_t>(256);
+    wl["block_size"] = static_cast<int64_t>(4096);
+    wl["wal_logs"] = static_cast<int64_t>(4);
+    doc["workload"] = std::move(wl);
+    doc["reps"] = static_cast<int64_t>(reps);
+    doc["engines"] = std::move(engines);
+    JsonValue sweep = JsonValue::Object();
+    sweep["engine"] = "wal";
+    sweep["recovery_jobs0_ms"] = sweep0;
+    sweep["recovery_jobs4_ms"] = sweep4;
+    sweep["speedup"] = sweep0 / sweep4;
+    doc["crash_sweep"] = std::move(sweep);
+    Status st = WriteJsonFile(out_path, doc);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  (void)wal_speedup4;
   return 0;
 }
 
@@ -287,6 +508,7 @@ int main(int argc, char** argv) {
   std::string suite = "kernel";
   int items = 100000;
   int reps = 5;
+  bool deterministic = false;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--out=", 6) == 0) {
@@ -297,10 +519,12 @@ int main(int argc, char** argv) {
       items = std::atoi(arg + 8);
     } else if (std::strncmp(arg, "--reps=", 7) == 0) {
       reps = std::atoi(arg + 7);
+    } else if (std::strcmp(arg, "--deterministic") == 0) {
+      deterministic = true;
     } else {
       std::fprintf(stderr,
-                   "usage: bench_baseline [--suite=kernel|torture] "
-                   "[--out=FILE] [--items=N] [--reps=R]\n");
+                   "usage: bench_baseline [--suite=kernel|torture|recovery] "
+                   "[--out=FILE] [--items=N] [--reps=R] [--deterministic]\n");
       return 2;
     }
   }
@@ -308,7 +532,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: --items and --reps must be positive\n");
     return 2;
   }
-  if (suite == "torture") return RunTortureSuite(out_path, reps);
+  if (suite == "torture") return RunTortureSuite(out_path, reps, deterministic);
+  if (suite == "recovery") {
+    return RunRecoverySuite(out_path, reps, deterministic);
+  }
   if (suite != "kernel") {
     std::fprintf(stderr, "error: unknown suite \"%s\"\n", suite.c_str());
     return 2;
@@ -337,25 +564,15 @@ int main(int argc, char** argv) {
     JsonValue doc = JsonValue::Object();
     doc["bench"] = "sim_kernel";
     doc["schema_version"] = static_cast<int64_t>(1);
-    char stamp[32];
-    const std::time_t now = std::time(nullptr);
-    std::tm tm_utc;
-    gmtime_r(&now, &tm_utc);
-    std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
-    doc["generated_at"] = stamp;
+    if (!deterministic) doc["generated_at"] = NowStamp();
     doc["items"] = static_cast<int64_t>(items);
     doc["reps"] = static_cast<int64_t>(reps);
     doc["workloads"] = std::move(workloads);
-    std::FILE* f = std::fopen(out_path.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    Status st = WriteJsonFile(out_path, doc);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
       return 1;
     }
-    const std::string text = doc.Dump(2);
-    std::fwrite(text.data(), 1, text.size(), f);
-    std::fputc('\n', f);
-    std::fclose(f);
-    std::printf("wrote %s\n", out_path.c_str());
   }
   return 0;
 }

@@ -79,6 +79,12 @@ struct Flags {
   --jobs=N           worker threads for the sweep trials (0 = one per
                      hardware thread; default: 1).  Reports are identical
                      at every job count.
+  --recovery-jobs=N  parallel replay jobs inside every Recover() under
+                     test (0 = the engines' sequential reference path;
+                     default: 1).  Recovered state is byte-identical at
+                     every setting.
+  --timing           include wall-clock recovery_ms in the JSON report
+                     (off by default so reports stay byte-identical)
   --snapshot-stride=N  disk writes between replay snapshots (default: 4)
   --sequential       force the legacy full-replay sweeper (the O(W^2)
                      baseline; primarily for benchmarking)
@@ -162,6 +168,9 @@ core::CellMetrics ToCell(const chaos::SweepReport& r, int index,
   m.extra["fault_transient"] = static_cast<double>(
       r.faults.transient_writes + r.faults.transient_reads);
   m.extra["fault_torn_writes"] = static_cast<double>(r.faults.torn_writes);
+  // Deterministic recovery attribution; the wall-clock recovery_ms twin
+  // stays out of the metrics export (it would break report byte-identity).
+  m.extra["replay_records"] = static_cast<double>(r.replay_records);
   m.extra["violations"] = static_cast<double>(r.violations.size());
   return cell;
 }
@@ -226,9 +235,12 @@ int main(int argc, char** argv) {
   }
   if (flags.Has("no-transient")) opts.transient_faults = false;
   opts.jobs = static_cast<int>(flags.GetInt("jobs", 1));
+  opts.fixture.recovery_jobs =
+      static_cast<int>(flags.GetInt("recovery-jobs", 1));
   opts.snapshot_stride =
       static_cast<int>(flags.GetInt("snapshot-stride", 4));
   opts.sequential_replay = flags.Has("sequential");
+  const bool timing = flags.Has("timing");
 
   const bool repro = flags.Has("crash-index");
   const int64_t crash_index = flags.GetInt("crash-index", -1);
@@ -282,7 +294,7 @@ int main(int argc, char** argv) {
     doc["mode"] = repro ? "repro" : "sweep";
     doc["total_violations"] = static_cast<uint64_t>(total_violations);
     JsonValue arr = JsonValue::Array();
-    for (const chaos::SweepReport& r : reports) arr.Append(r.ToJson());
+    for (const chaos::SweepReport& r : reports) arr.Append(r.ToJson(timing));
     doc["sweeps"] = std::move(arr);
     const std::string text = doc.Dump(2) + "\n";
     const std::string path = flags.Get("json", "-");

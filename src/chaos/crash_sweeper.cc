@@ -56,6 +56,8 @@ JsonValue SweepReport::ToJson(bool include_timing) const {
   v["disk_reads"] = disk_reads;
   v["disk_writes"] = disk_writes;
   v["replay_records"] = replay_records;
+  v["io_retries"] = io_retries;
+  v["io_giveups"] = io_giveups;
   // Wall-clock: only on request, so the default report stays
   // byte-identical across runs and job counts.
   if (include_timing) v["recovery_ms"] = recovery_ms;
@@ -66,7 +68,19 @@ JsonValue SweepReport::ToJson(bool include_timing) const {
   f["transient_reads"] = faults.transient_reads;
   f["torn_writes"] = faults.torn_writes;
   f["bit_flips"] = faults.bit_flips;
+  f["media_failures"] = faults.media_failures;
+  f["corruptions"] = faults.corruptions;
+  f["checksum_errors"] = faults.checksum_errors;
   v["faults_injected"] = std::move(f);
+  if (media_swept) {
+    JsonValue m = JsonValue::Object();
+    m["media_crash_points"] = media_crash_points;
+    m["media_recover_crash_points"] = media_recover_crash_points;
+    m["media_data_loss"] = media_data_loss;
+    m["scrub_injected"] = scrub_injected;
+    m["scrub_detected"] = scrub_detected;
+    v["media"] = std::move(m);
+  }
   JsonValue viols = JsonValue::Array();
   for (const Violation& viol : violations) viols.Append(viol.ToJson());
   v["violations"] = std::move(viols);
@@ -108,6 +122,9 @@ Violation CrashSweeper::MakeViolation(const std::string& kind,
     if (nested_reads) repro += " --nested-reads";
   }
   if (opts_.torn_writes) repro += " --torn";
+  if (opts_.media_faults) repro += " --media-faults";
+  if (opts_.fixture.log_mirroring) repro += " --log-mirroring";
+  if (opts_.fixture.archive) repro += " --archive";
   v.repro = std::move(repro);
   return v;
 }
@@ -125,6 +142,9 @@ void CrashSweeper::Absorb(const EngineFixture& fx,
   report->disk_reads += fx.TotalReads();
   report->disk_writes += fx.TotalWrites();
   report->faults += fx.TotalFaults();
+  const store::IoRetryStats rs = fx.engine->io_retry_stats();
+  report->io_retries += rs.retries;
+  report->io_giveups += rs.giveups;
 }
 
 Status CrashSweeper::RecoverTimed(EngineFixture& fx, double* ms,
@@ -203,6 +223,8 @@ struct CrashSweeper::TrialResult {
   /// SweepReport::replay_records / recovery_ms).
   double recovery_ms = 0;
   int64_t replay_records = 0;
+  int64_t io_retries = 0;
+  int64_t io_giveups = 0;
   /// Plain trials: I/O an unconstrained Recover() performed, measured
   /// before verification — it bounds the nested sweep exactly (budget n
   /// lets n operations through, so n = recovery_writes is the first
@@ -699,6 +721,185 @@ void CrashSweeper::RunBitFlips(SweepReport* report) {
   }
 }
 
+void CrashSweeper::MediaRepairAndVerify(SweepReport* report, EngineFixture& fx,
+                                        CommitOracle& oracle, int64_t index,
+                                        size_t d, bool mid_recover) {
+  const std::string where = mid_recover ? "media-recover-crash" : "media-crash";
+  const int64_t crash_index = mid_recover ? -1 : index;
+  const int64_t nested_index = mid_recover ? index : -1;
+  Status rst = fx.RepairMedia();
+  if (rst.IsDataLoss()) {
+    // No redundancy covers this disk (mirroring/archive off): refusing
+    // with kDataLoss is the required graceful failure, not a violation.
+    ++report->media_data_loss;
+    return;
+  }
+  if (!rst.ok()) {
+    AddViolation(report, where + "-repair", crash_index, nested_index, false,
+                 StrFormat("disk %zu: %s", d, rst.ToString().c_str()));
+    return;
+  }
+  Status st = RecoverTimed(fx, &report->recovery_ms, &report->replay_records);
+  if (!st.ok()) {
+    AddViolation(report, where + "-recover", crash_index, nested_index, false,
+                 StrFormat("disk %zu: %s", d, st.ToString().c_str()));
+    return;
+  }
+  std::string detail;
+  Status vst = oracle.Verify(fx.engine.get(), nullptr, &detail);
+  if (!vst.ok()) {
+    AddViolation(report, where + "-post-state", crash_index, nested_index,
+                 false,
+                 StrFormat("disk %zu: %s", d,
+                           (detail.empty() ? vst.ToString() : detail).c_str()));
+  }
+}
+
+void CrashSweeper::SweepMedia(SweepReport* report) {
+  report->media_swept = true;
+  size_t n_disks = 0;
+  {
+    auto fxr = MakeFixture();
+    if (!fxr.ok()) return;  // already reported by the write sweep
+    n_disks = fxr->disks.size();
+  }
+  for (size_t d = 0; d < n_disks; ++d) {
+    // The same power event that stops the machine takes disk d's medium:
+    // sweep every workload write index, plus the at-rest loss after the
+    // final write.
+    for (int64_t w = 0;; ++w) {
+      if (w > kNestedSweepCap) break;
+      auto fxr = MakeFixture();
+      if (!fxr.ok()) return;
+      EngineFixture fx = std::move(*fxr);
+      CommitOracle oracle(fx.engine->num_pages(), fx.engine->payload_size());
+      fx.ArmWrites(w);
+      ReplayOutcome out = Replay(fx, oracle, /*transient=*/false);
+      ++report->schedules;
+      if (!out.error.ok()) {
+        AddViolation(report, "workload", w, -1, false, out.error.ToString());
+        Absorb(fx, report);
+        return;
+      }
+      const bool done = !out.crashed;
+      oracle.OnCrash();
+      fx.engine->Crash();
+      fx.Disarm();
+      fx.disks[d]->FailMedia();
+      ++report->media_crash_points;
+      MediaRepairAndVerify(report, fx, oracle, w, d, /*mid_recover=*/false);
+      Absorb(fx, report);
+      if (done) break;
+    }
+
+    // Mid-Recover losses: replay the whole workload, crash, then cut
+    // Recover() itself down at each of its write indices — the fault that
+    // stops recovery also takes disk d's medium.  Ends when recovery
+    // completes under the budget (immediately, for engines whose recovery
+    // writes nothing).
+    for (int64_t n = 0;; ++n) {
+      if (n > kNestedSweepCap) {
+        AddViolation(report, "media-sweep-diverged", -1, n, false,
+                     "recovery never completed under any write budget");
+        break;
+      }
+      auto fxr = MakeFixture();
+      if (!fxr.ok()) return;
+      EngineFixture fx = std::move(*fxr);
+      CommitOracle oracle(fx.engine->num_pages(), fx.engine->payload_size());
+      ReplayOutcome out = Replay(fx, oracle, /*transient=*/false);
+      ++report->schedules;
+      if (!out.error.ok()) {
+        AddViolation(report, "workload", -1, n, false, out.error.ToString());
+        Absorb(fx, report);
+        return;
+      }
+      oracle.OnCrash();
+      fx.engine->Crash();
+      fx.ArmWrites(n);
+      Status st =
+          RecoverTimed(fx, &report->recovery_ms, &report->replay_records);
+      if (st.ok()) {
+        // Recovery finished before its n-th write: this disk's mid-Recover
+        // enumeration is exhausted.
+        Absorb(fx, report);
+        break;
+      }
+      fx.engine->Crash();
+      fx.Disarm();
+      fx.disks[d]->FailMedia();
+      ++report->media_recover_crash_points;
+      MediaRepairAndVerify(report, fx, oracle, n, d, /*mid_recover=*/true);
+      Absorb(fx, report);
+    }
+  }
+}
+
+void CrashSweeper::RunScrub(SweepReport* report) {
+  Rng rng(opts_.seed ^ 0x5c44bb1e5c44bb1eULL);
+  for (int trial = 0; trial < opts_.scrub_trials; ++trial) {
+    auto fxr = MakeFixture();
+    if (!fxr.ok()) return;
+    EngineFixture fx = std::move(*fxr);
+    CommitOracle oracle(fx.engine->num_pages(), fx.engine->payload_size());
+
+    // Record every (disk, block) the workload writes so the corruption
+    // lands on real data with a checksum sidecar to betray it.
+    std::vector<std::pair<size_t, store::BlockId>> written;
+    for (size_t d = 0; d < fx.disks.size(); ++d) {
+      fx.disks[d]->SetWriteObserver(
+          [d, &written](store::BlockId b, const PageData&) {
+            written.emplace_back(d, b);
+          });
+    }
+    ReplayOutcome out = Replay(fx, oracle, /*transient=*/false);
+    ++report->schedules;
+    if (!out.error.ok() || out.crashed || written.empty()) {
+      Absorb(fx, report);
+      continue;
+    }
+
+    const auto& [d, block] = written[static_cast<size_t>(rng.UniformInt(
+        0, static_cast<int64_t>(written.size()) - 1))];
+    const size_t bs = fx.disks[d]->block_size();
+    const size_t offset =
+        static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(bs) - 1));
+    const size_t len = static_cast<size_t>(
+        rng.UniformInt(1, static_cast<int64_t>(bs - offset)));
+    (void)fx.disks[d]->CorruptRange(block, offset, len, rng.Next());
+    ++report->scrub_injected;
+
+    // Scrub every block of every disk: exactly the corrupted block must
+    // fail its checksum — a miss is a silent corruption the store would
+    // serve as truth, a false alarm would fail healthy media.
+    bool caught = false;
+    for (size_t dd = 0; dd < fx.disks.size(); ++dd) {
+      for (store::BlockId b = 0; b < fx.disks[dd]->num_blocks(); ++b) {
+        Status st = fx.disks[dd]->VerifyBlockChecksum(b);
+        if (st.ok()) continue;
+        if (dd == d && b == block) {
+          caught = true;
+        } else {
+          AddViolation(report, "scrub-false-alarm", -1, -1, false,
+                       StrFormat("disk %zu block %llu: %s", dd,
+                                 static_cast<unsigned long long>(b),
+                                 st.ToString().c_str()));
+        }
+      }
+    }
+    if (caught) {
+      ++report->scrub_detected;
+    } else {
+      AddViolation(report, "scrub-miss", -1, -1, false,
+                   StrFormat("silent corruption on disk %zu block %llu "
+                             "(offset %zu, %zu bytes) not detected",
+                             d, static_cast<unsigned long long>(block), offset,
+                             len));
+    }
+    Absorb(fx, report);
+  }
+}
+
 SweepReport CrashSweeper::Run(core::ThreadPool* pool) {
   if (opts_.sequential_replay || !forkable_) return RunSequential();
   if (pool != nullptr) return RunForked(pool);
@@ -716,6 +917,10 @@ SweepReport CrashSweeper::RunSequential() {
     SweepTransient(&report, /*read_path=*/true);
   }
   if (opts_.bit_flip_trials > 0) RunBitFlips(&report);
+  if (opts_.media_faults) {
+    SweepMedia(&report);
+    if (opts_.scrub_trials > 0) RunScrub(&report);
+  }
   return report;
 }
 
@@ -823,6 +1028,9 @@ CrashSweeper::TrialResult CrashSweeper::ForkedPlainTrial(
     out.disk_reads += fx.TotalReads();
     out.disk_writes += fx.TotalWrites();
     out.faults += fx.TotalFaults();
+    const store::IoRetryStats rs = fx.engine->io_retry_stats();
+    out.io_retries += rs.retries;
+    out.io_giveups += rs.giveups;
   };
 
   Status st = RecoverTimed(fx, &out.recovery_ms, &out.replay_records);
@@ -902,6 +1110,9 @@ CrashSweeper::TrialResult CrashSweeper::ForkedNestedTrial(
     out.disk_reads += fx.TotalReads();
     out.disk_writes += fx.TotalWrites();
     out.faults += fx.TotalFaults();
+    const store::IoRetryStats rs = fx.engine->io_retry_stats();
+    out.io_retries += rs.retries;
+    out.io_giveups += rs.giveups;
   };
 
   if (nested_reads) {
@@ -975,6 +1186,9 @@ CrashSweeper::TrialResult CrashSweeper::ForkedTransientTrial(size_t disk,
     out.disk_reads += fx.TotalReads();
     out.disk_writes += fx.TotalWrites();
     out.faults += fx.TotalFaults();
+    const store::IoRetryStats rs = fx.engine->io_retry_stats();
+    out.io_retries += rs.retries;
+    out.io_giveups += rs.giveups;
   };
 
   if (!rep.error.ok()) {
@@ -1051,6 +1265,9 @@ CrashSweeper::TrialResult CrashSweeper::ForkedBitFlipTrial(
   out.disk_reads += fx.TotalReads();
   out.disk_writes += fx.TotalWrites();
   out.faults += fx.TotalFaults();
+  const store::IoRetryStats rs = fx.engine->io_retry_stats();
+  out.io_retries += rs.retries;
+  out.io_giveups += rs.giveups;
   return out;
 }
 
@@ -1161,6 +1378,8 @@ SweepReport CrashSweeper::RunForked(core::ThreadPool* pool) {
     report.faults += t.faults;
     report.recovery_ms += t.recovery_ms;
     report.replay_records += t.replay_records;
+    report.io_retries += t.io_retries;
+    report.io_giveups += t.io_giveups;
   };
 
   size_t nk = 0;  // cursor into nested_keys / nested (grouped by budget)
@@ -1254,6 +1473,8 @@ SweepReport CrashSweeper::RunForked(core::ThreadPool* pool) {
           report.faults += t.faults;
           report.recovery_ms += t.recovery_ms;
           report.replay_records += t.replay_records;
+          report.io_retries += t.io_retries;
+          report.io_giveups += t.io_giveups;
           if (stop) break;  // the sequential sweep ends this disk here
         }
       }
@@ -1302,8 +1523,19 @@ SweepReport CrashSweeper::RunForked(core::ThreadPool* pool) {
         report.faults += t.faults;
         report.recovery_ms += t.recovery_ms;
         report.replay_records += t.replay_records;
+        report.io_retries += t.io_retries;
+        report.io_giveups += t.io_giveups;
       }
     }
+  }
+
+  // --- Media losses + checksum scrub. -----------------------------------
+  // Deliberately the sequential implementation: the trials are cheap full
+  // replays and running them in-order keeps the report byte-identical at
+  // any job count by construction.
+  if (opts_.media_faults) {
+    SweepMedia(&report);
+    if (opts_.scrub_trials > 0) RunScrub(&report);
   }
   return report;
 }

@@ -91,6 +91,17 @@ struct SweepOptions {
   size_t torn_prefix_bytes = 96;
   /// Bit-flip trials per (engine, seed); statistics only.
   int bit_flip_trials = 16;
+  /// Media-failure sweep: permanently lose each disk's medium at every
+  /// workload write index (and at every write index inside Recover() of
+  /// the final image), repair through EngineFixture::RepairMedia(), and
+  /// require the rebuilt image to match the oracle with zero
+  /// committed-transaction loss.  A disk with no redundancy behind it must
+  /// fail the repair gracefully with kDataLoss — never serve a wrong
+  /// image.  Also runs a checksum-scrubbing pass that injects silent
+  /// corruptions and must detect 100% of them.
+  bool media_faults = false;
+  /// Scrub-pass corruption injections per (engine, seed).
+  int scrub_trials = 16;
   /// Caps the write-crash sweep (< 0: exhaustive, the default).
   int64_t max_crash_points = -1;
 
@@ -146,6 +157,18 @@ struct SweepReport {
   int64_t nested_read_crash_points = 0;
   int64_t transient_points = 0;
   BitFlipStats bit_flips;
+  /// Engine-level transient-I/O retry totals (store::RetryDiskIo): retries
+  /// that healed a transient error, and give-ups that surfaced it.
+  int64_t io_retries = 0;
+  int64_t io_giveups = 0;
+  /// Media-failure sweep tallies (present in ToJson() only after a
+  /// media_faults run, so reports without the sweep are unchanged).
+  bool media_swept = false;
+  int64_t media_crash_points = 0;  ///< (disk, write-index) media losses
+  int64_t media_recover_crash_points = 0;  ///< losses inside Recover()
+  int64_t media_data_loss = 0;  ///< graceful kDataLoss (no redundancy)
+  int64_t scrub_injected = 0;   ///< silent corruptions planted
+  int64_t scrub_detected = 0;   ///< caught by the checksum scrub pass
   /// Physical I/O and injected faults summed over every replay.
   uint64_t disk_reads = 0;
   uint64_t disk_writes = 0;
@@ -224,6 +247,18 @@ class CrashSweeper {
                   bool nested_reads);
   void SweepTransient(SweepReport* report, bool read_path);
   void RunBitFlips(SweepReport* report);
+  /// Media-failure sweep (media_faults): both paths run it sequentially —
+  /// the trials are cheap and the report stays byte-identical at any job
+  /// count for free.
+  void SweepMedia(SweepReport* report);
+  /// Repair + recover + verify after a planted media loss on disk `d`.
+  void MediaRepairAndVerify(SweepReport* report, EngineFixture& fx,
+                            CommitOracle& oracle, int64_t index, size_t d,
+                            bool mid_recover);
+  /// Checksum scrubber (media_faults): plants silent corruptions in
+  /// workload-written blocks and requires the scrub pass to catch every
+  /// one.
+  void RunScrub(SweepReport* report);
 
   /// Snapshot-forked path.
   SweepReport RunForked(core::ThreadPool* pool);

@@ -39,6 +39,22 @@ store::VirtualDisk* AddDisk(EngineFixture* fx, const FixtureSnapshot* snap,
   return d;
 }
 
+/// Adds one engine-visible disk that is either a plain disk or (when
+/// `mirrored`) a MirroredDisk view over a replica pair.  Both replicas are
+/// real fixture disks — they snapshot, fork, and take faults like any
+/// other — and the engine only ever sees the view.
+store::VirtualDisk* AddMirrored(EngineFixture* fx, const FixtureSnapshot* snap,
+                                bool mirrored, const std::string& name,
+                                uint64_t blocks, size_t block_size) {
+  store::VirtualDisk* primary = AddDisk(fx, snap, name, blocks, block_size);
+  if (!mirrored) return primary;
+  store::VirtualDisk* twin =
+      AddDisk(fx, snap, name + "-mirror", blocks, block_size);
+  fx->mirrors.push_back(
+      std::make_unique<store::MirroredDisk>(name + "-rm", primary, twin));
+  return fx->mirrors.back().get();
+}
+
 }  // namespace
 
 void EngineFixture::Disarm() {
@@ -56,6 +72,23 @@ bool EngineFixture::AnyCrashed() const {
     if (d->crashed()) return true;
   }
   return false;
+}
+
+bool EngineFixture::AnyMediaLost() const {
+  for (const auto& d : disks) {
+    if (d->media_lost()) return true;
+  }
+  return false;
+}
+
+Status EngineFixture::RepairMedia() {
+  for (auto& m : mirrors) {
+    DBMR_RETURN_IF_ERROR(m->Rebuild());
+  }
+  // Mirror pairs are whole again; anything still lost is unmirrored and
+  // needs the engine's own redundancy (wal's archive) — or has none.
+  if (AnyMediaLost()) return engine->MediaRecover();
+  return Status::OK();
 }
 
 uint64_t EngineFixture::TotalReads() const {
@@ -131,13 +164,16 @@ Result<EngineFixture> BuildWal(const std::string& /*name*/,
       AddDisk(&fx, snap, "data", o.num_pages, o.block_size);
   std::vector<store::VirtualDisk*> logs;
   for (size_t i = 0; i < o.wal_logs; ++i) {
-    logs.push_back(
-        AddDisk(&fx, snap, StrFormat("log%zu", i), 1024, o.block_size));
+    logs.push_back(AddMirrored(&fx, snap, o.log_mirroring,
+                               StrFormat("log%zu", i), 1024, o.block_size));
   }
+  store::VirtualDisk* archive =
+      o.archive ? AddDisk(&fx, snap, "archive", 1 + o.num_pages, o.block_size)
+                : nullptr;
   store::WalEngineOptions wo;
   wo.pool_frames = o.wal_pool_frames;
   wo.recovery_jobs = o.recovery_jobs;
-  fx.engine = std::make_unique<store::WalEngine>(data, logs, wo);
+  fx.engine = std::make_unique<store::WalEngine>(data, logs, wo, archive);
   return FinishFixture(std::move(fx), snap);
 }
 
@@ -145,9 +181,11 @@ Result<EngineFixture> BuildShadow(const std::string& /*name*/,
                                   const FixtureOptions& o,
                                   const FixtureSnapshot* snap) {
   EngineFixture fx = NewFixtureShell();
-  store::VirtualDisk* d =
-      AddDisk(&fx, snap, "d", o.num_pages * 3 + 8, o.block_size);
-  fx.engine = std::make_unique<store::ShadowEngine>(d, o.num_pages);
+  store::VirtualDisk* d = AddMirrored(&fx, snap, o.log_mirroring, "d",
+                                      o.num_pages * 3 + 8, o.block_size);
+  store::ShadowEngineOptions so;
+  so.recovery_jobs = o.recovery_jobs;
+  fx.engine = std::make_unique<store::ShadowEngine>(d, o.num_pages, so);
   return FinishFixture(std::move(fx), snap);
 }
 
@@ -159,8 +197,9 @@ Result<EngineFixture> BuildDifferential(const std::string& /*name*/,
   dopts.a_blocks = 96;
   dopts.d_blocks = 8;
   dopts.base_blocks = 8;
-  store::VirtualDisk* d = AddDisk(
-      &fx, snap, "d",
+  dopts.recovery_jobs = o.recovery_jobs;
+  store::VirtualDisk* d = AddMirrored(
+      &fx, snap, o.log_mirroring, "d",
       1 + dopts.a_blocks + dopts.d_blocks + 2 * dopts.base_blocks,
       o.block_size);
   fx.engine = std::make_unique<store::DifferentialPageEngine>(
@@ -178,8 +217,8 @@ Result<EngineFixture> BuildOverwrite(const std::string& name,
   oo.list_blocks = 48;
   oo.scratch_blocks = 48;
   oo.recovery_jobs = o.recovery_jobs;
-  store::VirtualDisk* d =
-      AddDisk(&fx, snap, "d", o.num_pages + 97, o.block_size);
+  store::VirtualDisk* d = AddMirrored(&fx, snap, o.log_mirroring, "d",
+                                      o.num_pages + 97, o.block_size);
   fx.engine = std::make_unique<store::OverwriteEngine>(d, o.num_pages, oo);
   return FinishFixture(std::move(fx), snap);
 }
@@ -191,8 +230,9 @@ Result<EngineFixture> BuildVersionSelect(const std::string& /*name*/,
   store::VersionSelectEngineOptions vo;
   vo.list_blocks = 48;
   vo.recovery_jobs = o.recovery_jobs;
-  store::VirtualDisk* d = AddDisk(
-      &fx, snap, "d", 1 + vo.list_blocks + 2 * o.num_pages, o.block_size);
+  store::VirtualDisk* d =
+      AddMirrored(&fx, snap, o.log_mirroring, "d",
+                  1 + vo.list_blocks + 2 * o.num_pages, o.block_size);
   fx.engine =
       std::make_unique<store::VersionSelectEngine>(d, o.num_pages, vo);
   return FinishFixture(std::move(fx), snap);
@@ -213,27 +253,49 @@ core::KnobSpec RecoveryJobsKnob() {
           "path, result is byte-identical at every setting"};
 }
 
+/// Media-redundancy knob shared by every engine: mirrors the log stream
+/// (wal: each log disk; single-disk engines: the whole disk) so one lost
+/// replica is survivable.
+core::KnobSpec LogMirroringKnob() {
+  return {"log-mirroring",
+          core::KnobType::kBool,
+          "0",
+          {},
+          "mirror the log stream across a replica pair (dual-write, "
+          "read-fallback, rebuild after a media loss)"};
+}
+
+/// "logging" only: fuzzy archive checkpoints for data-disk media recovery.
+core::KnobSpec ArchiveKnob() {
+  return {"archive",
+          core::KnobType::kBool,
+          "0",
+          {},
+          "attach an archive disk swept at every log-truncation point; a "
+          "lost data disk is rebuilt from archive + log replay"};
+}
+
 const core::EngineArchRegistrar kWalEngineRegistrar(
     "logging", 0,
     {{"wal",
       {},
       "write-ahead-log page engine: one data disk plus N append-only log "
       "disks, group commit, redo/undo recovery"}},
-    &BuildWal, {RecoveryJobsKnob()});
+    &BuildWal, {RecoveryJobsKnob(), LogMirroringKnob(), ArchiveKnob()});
 const core::EngineArchRegistrar kShadowEngineRegistrar(
     "shadow", 1,
     {{"shadow",
       {},
       "shadow-paging engine: copy-on-write blocks behind a page table "
       "flipped atomically at commit"}},
-    &BuildShadow);
+    &BuildShadow, {RecoveryJobsKnob(), LogMirroringKnob()});
 const core::EngineArchRegistrar kDifferentialEngineRegistrar(
     "differential", 2,
     {{"differential",
       {},
       "differential-file engine: base file plus additions/deletions files "
       "discarded on recovery"}},
-    &BuildDifferential);
+    &BuildDifferential, {RecoveryJobsKnob(), LogMirroringKnob()});
 const core::EngineArchRegistrar kOverwriteEngineRegistrar(
     "overwrite", 3,
     {{"overwrite-noundo",
@@ -244,14 +306,14 @@ const core::EngineArchRegistrar kOverwriteEngineRegistrar(
       {},
       "in-place engine, no-redo mode: before images restored on abort and "
       "recovery"}},
-    &BuildOverwrite, {RecoveryJobsKnob()});
+    &BuildOverwrite, {RecoveryJobsKnob(), LogMirroringKnob()});
 const core::EngineArchRegistrar kVersionSelectEngineRegistrar(
     "version-select", 4,
     {{"version-select",
       {},
       "two-version engine: writes target the non-current version, a "
       "stable commit list selects the live one"}},
-    &BuildVersionSelect, {RecoveryJobsKnob()});
+    &BuildVersionSelect, {RecoveryJobsKnob(), LogMirroringKnob()});
 
 }  // namespace
 

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "store/mirrored_disk.h"
 #include "store/page_engine.h"
 #include "store/virtual_disk.h"
 #include "util/status.h"
@@ -35,6 +36,15 @@ struct FixtureOptions {
   /// partitioned replay planner; 0 forces the sequential reference path.
   /// Recovered images are byte-identical at every setting.
   int recovery_jobs = 1;
+  /// Mirror the engine's log stream (dual-write, read-fallback): the wal
+  /// fixture mirrors each log disk; single-disk engines, whose log/stream
+  /// areas share the data disk, mirror that whole disk.  One lost replica
+  /// is then survivable via EngineFixture::RepairMedia().
+  bool log_mirroring = false;
+  /// "wal" only: attach an archive disk and take fuzzy archive sweeps at
+  /// every log-truncation point, so a lost (unmirrored) data disk can be
+  /// rebuilt from archive + log replay by MediaRecover().
+  bool archive = false;
 };
 
 /// Frozen images of a fixture's disks, in disk order.  Cheap to take and
@@ -49,6 +59,10 @@ struct FixtureSnapshot {
 /// shared fault budgets armed across all of them.
 struct EngineFixture {
   std::vector<std::unique_ptr<store::VirtualDisk>> disks;
+  /// Mirrored views handed to the engine in place of replica pairs from
+  /// `disks` (log_mirroring).  The real disks keep the budgets, snapshots,
+  /// and fault state; the views only route I/O.
+  std::vector<std::unique_ptr<store::MirroredDisk>> mirrors;
   std::unique_ptr<store::PageEngine> engine;
   /// Shared across all disks: successful writes/reads remaining before
   /// fail-stop.  Effectively unlimited until armed.
@@ -65,6 +79,15 @@ struct EngineFixture {
   void SetTornWrites(bool enabled, size_t prefix_bytes);
   /// True if any disk has an un-cleared fail-stop fault.
   bool AnyCrashed() const;
+  /// True if any disk's medium is permanently lost.
+  bool AnyMediaLost() const;
+  /// Media-failure repair, in redundancy order: rebuilds every degraded
+  /// mirror pair from its surviving replica, then hands any disk that is
+  /// still lost (unmirrored data/archive) to the engine's MediaRecover().
+  /// kDataLoss when redundancy is exhausted — the image is unrecoverable
+  /// and the caller must not trust it.  Follow a success with
+  /// engine->Recover() to replay surviving state.
+  Status RepairMedia();
 
   uint64_t TotalReads() const;
   uint64_t TotalWrites() const;

@@ -1,0 +1,76 @@
+// Bounded, deterministic retry for device I/O.
+//
+// Transient device errors (VirtualDisk::ArmTransientWriteError and friends)
+// heal themselves: the very next attempt succeeds.  Engines therefore wrap
+// their disk reads and writes in RetryDiskIo instead of failing the whole
+// transaction or recovery pass on the first kIoError.  Permanent faults —
+// a fail-stop crash point or a lost medium — are recognizable on the disk
+// itself (crashed() / media_lost()), so the helper gives up on them
+// immediately rather than burning attempts (and inflating injected-fault
+// tallies) on a device that cannot come back.
+//
+// "Backoff" in this simulated world must not read a clock: reports are
+// required to be byte-identical at any thread count, and wall-clock sleeps
+// would add nondeterministic latency for nothing.  BackoffSpin burns a
+// deterministic, attempt-proportional amount of CPU instead, standing in
+// for the escalating delays a real driver would use.
+
+#ifndef DBMR_STORE_IO_RETRY_H_
+#define DBMR_STORE_IO_RETRY_H_
+
+#include <cstdint>
+
+#include "store/virtual_disk.h"
+#include "util/status.h"
+
+namespace dbmr::store {
+
+/// Tally of retry activity, aggregated per engine and surfaced into
+/// sweep-report metrics as io_retries / io_giveups.
+struct IoRetryStats {
+  uint64_t retries = 0;  ///< re-attempts after a transient failure
+  uint64_t giveups = 0;  ///< operations abandoned after the attempt budget
+
+  IoRetryStats& operator+=(const IoRetryStats& o) {
+    retries += o.retries;
+    giveups += o.giveups;
+    return *this;
+  }
+};
+
+/// Attempts engines make per device operation (first try + retries).
+inline constexpr int kIoRetryAttempts = 3;
+
+/// Deterministic stand-in for retry backoff: spins attempt-proportional
+/// work instead of sleeping, so behavior is identical at any --jobs.
+inline void BackoffSpin(int attempt) {
+  volatile uint64_t sink = 0;
+  const uint64_t spins = static_cast<uint64_t>(attempt) * 64;
+  for (uint64_t i = 0; i < spins; ++i) sink = sink + i;
+}
+
+/// Runs `op` (a callable returning Status) against disk `d`, retrying up
+/// to `max_attempts` total attempts.  Retries only transient kIoError
+/// results: once the disk reports crashed() or media_lost() the fault is
+/// permanent and the last error is returned at once.  Non-IoError
+/// statuses (corruption, out-of-range, ...) never retry.
+template <typename Op>
+Status RetryDiskIo(const VirtualDisk& d, Op&& op, IoRetryStats* stats,
+                   int max_attempts = kIoRetryAttempts) {
+  Status st;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      BackoffSpin(attempt);
+      if (stats != nullptr) ++stats->retries;
+    }
+    st = op();
+    if (st.ok() || st.code() != StatusCode::kIoError) return st;
+    if (d.crashed() || d.media_lost()) return st;  // permanent: do not retry
+  }
+  if (stats != nullptr) ++stats->giveups;
+  return st;
+}
+
+}  // namespace dbmr::store
+
+#endif  // DBMR_STORE_IO_RETRY_H_

@@ -1,0 +1,125 @@
+#include "store/mirrored_disk.h"
+
+#include <cstring>
+#include <utility>
+
+#include "store/io_retry.h"
+#include "util/str.h"
+
+namespace dbmr::store {
+
+MirroredDisk::MirroredDisk(std::string name, VirtualDisk* primary,
+                           VirtualDisk* mirror)
+    : VirtualDisk(std::move(name), primary->num_blocks(),
+                  primary->block_size()),
+      primary_(primary),
+      mirror_(mirror) {
+  DBMR_CHECK(primary_ != nullptr && mirror_ != nullptr);
+  DBMR_CHECK(primary_->num_blocks() == mirror_->num_blocks());
+  DBMR_CHECK(primary_->block_size() == mirror_->block_size());
+}
+
+Status MirroredDisk::Read(BlockId b, PageData* out) const {
+  if (out->size() != block_size()) out->resize(block_size());
+  return ReadInto(b, out->data());
+}
+
+Status MirroredDisk::ReadInto(BlockId b, uint8_t* out) const {
+  Status st = primary_->ReadInto(b, out);
+  if (st.ok() || st.code() == StatusCode::kOutOfRange) return st;
+  Status ms = mirror_->ReadInto(b, out);
+  if (!ms.ok()) return st;  // both replicas failed: report the primary fault
+  RepairHalf(primary_, b, out);
+  return Status::OK();
+}
+
+Status MirroredDisk::ReadRef(BlockId b, const uint8_t** out) const {
+  Status st = primary_->ReadRef(b, out);
+  if (st.ok() || st.code() == StatusCode::kOutOfRange) return st;
+  Status ms = mirror_->ReadRef(b, out);
+  if (!ms.ok()) return st;
+  // The ref points into the mirror's storage; repairing the primary (a
+  // different disk) cannot invalidate it.
+  RepairHalf(primary_, b, *out);
+  return Status::OK();
+}
+
+Status MirroredDisk::Write(BlockId b, const PageData& data) {
+  Status p = WriteHalf(primary_, b, data);
+  // Argument errors would fail identically on the twin; do not double up.
+  if (!p.ok() && p.code() != StatusCode::kIoError) return p;
+  Status m = WriteHalf(mirror_, b, data);
+  if (p.ok() && m.ok()) return Status::OK();
+  // A write is acknowledged with one replica behind ONLY when that
+  // replica's medium is gone (degraded mode).  Any other half-failure is
+  // the machine fail-stopping mid-pair: acking it would leave the bytes on
+  // exactly one replica, and a later rebuild from the stale twin would
+  // silently roll back an acknowledged write.
+  if (p.ok() && mirror_->media_lost()) return Status::OK();
+  if (m.ok() && primary_->media_lost()) return Status::OK();
+  return p.ok() ? m : p;
+}
+
+Status MirroredDisk::WriteHalf(VirtualDisk* half, BlockId b,
+                               const PageData& data) {
+  Status st = half->Write(b, data);
+  if (st.ok() || st.code() != StatusCode::kIoError) return st;
+  if (half->crashed() || half->media_lost()) return st;
+  // Transient device error: the half has healed, and leaving it one write
+  // behind its twin would let a later read serve stale data with no error
+  // to trigger fallback.  Retry immediately.
+  return half->Write(b, data);
+}
+
+void MirroredDisk::RepairHalf(VirtualDisk* half, BlockId b,
+                              const uint8_t* data) const {
+  if (half->crashed() || half->media_lost()) return;
+  PageData blk(block_size());
+  std::memcpy(blk.data(), data, block_size());
+  (void)half->Write(b, blk);
+}
+
+void MirroredDisk::ClearCrashState() {
+  primary_->ClearCrashState();
+  mirror_->ClearCrashState();
+  VirtualDisk::ClearCrashState();
+}
+
+bool MirroredDisk::degraded() const {
+  return primary_->media_lost() || mirror_->media_lost();
+}
+
+Status MirroredDisk::Rebuild() {
+  const bool p_lost = primary_->media_lost();
+  const bool m_lost = mirror_->media_lost();
+  if (p_lost && m_lost) {
+    return Status::DataLoss(StrFormat(
+        "mirror %s: both replicas lost", name().c_str()));
+  }
+  if (!p_lost && !m_lost) return Status::OK();
+  VirtualDisk* dead = p_lost ? primary_ : mirror_;
+  VirtualDisk* live = p_lost ? mirror_ : primary_;
+  dead->ReplaceMedia();
+  PageData buf(block_size());
+  for (BlockId b = 0; b < num_blocks(); ++b) {
+    Status st = RetryDiskIo(
+        *live, [&] { return live->ReadInto(b, buf.data()); }, nullptr);
+    if (st.ok()) {
+      st = RetryDiskIo(*dead, [&] { return dead->Write(b, buf); }, nullptr);
+    }
+    if (!st.ok()) {
+      if (live->media_lost()) {
+        // The survivor died mid-copy: fail the half-rebuilt replica again
+        // so its partial image can never be served as the pair's state.
+        dead->FailMedia();
+        return Status::DataLoss(StrFormat(
+            "mirror %s: surviving replica lost during rebuild",
+            name().c_str()));
+      }
+      return st;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace dbmr::store

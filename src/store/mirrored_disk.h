@@ -1,0 +1,85 @@
+// Dual-copy stable storage: a VirtualDisk view over two replica disks.
+//
+// A MirroredDisk makes two independently failing VirtualDisks look like one
+// more-durable device, the way the recovery survey's mirrored-log
+// configurations keep a log readable across a single media failure:
+//
+//  * Write — written to both halves; the write succeeds if at least one
+//    replica accepted it.  A transiently failing half is retried once so
+//    the replicas never silently diverge (a half whose write failed
+//    permanently is left in a failing state, so it can never serve stale
+//    data later — reads fall back, see below).
+//  * Read — served from the primary half; if that fails (lost medium,
+//    checksum reject, injected fault) the mirror is tried, and on success
+//    the primary is repaired in place, best effort.
+//  * Rebuild — after FailMedia() on one half, copies the surviving
+//    replica onto a fresh replacement medium.  When both halves are lost
+//    there is nothing to copy and Rebuild reports StatusCode::kDataLoss.
+//
+// The view subclasses VirtualDisk and overrides only the I/O entry points,
+// so engines write against the plain VirtualDisk interface and a fixture
+// can swap a mirrored log in behind the `log_mirroring` knob without the
+// engine knowing.  The two halves stay owned by the fixture: they keep
+// their own snapshots, forks, budgets, observers, and fault counters, and
+// the crash sweeper keeps injecting faults into them directly.  The view
+// holds no block storage of its own (its inherited base image is a shared
+// zero page) and no fault state — crashed()/media_lost() on the view are
+// always false; ask the halves.
+//
+// Threading follows the halves' contract: the view is single-threaded and
+// must be used from the thread that owns both replicas.
+
+#ifndef DBMR_STORE_MIRRORED_DISK_H_
+#define DBMR_STORE_MIRRORED_DISK_H_
+
+#include <string>
+
+#include "store/virtual_disk.h"
+#include "util/status.h"
+
+namespace dbmr::store {
+
+class MirroredDisk final : public VirtualDisk {
+ public:
+  /// Builds a view over `primary` and `mirror`, which must share geometry
+  /// and outlive the view (the fixture owns them).
+  MirroredDisk(std::string name, VirtualDisk* primary, VirtualDisk* mirror);
+
+  Status Read(BlockId b, PageData* out) const override;
+  Status ReadInto(BlockId b, uint8_t* out) const override;
+  Status ReadRef(BlockId b, const uint8_t** out) const override;
+  Status Write(BlockId b, const PageData& data) override;
+
+  /// Reboot hook: clears injected-failure state on both halves.
+  void ClearCrashState() override;
+
+  /// Restores two-copy redundancy after a media loss: replaces the lost
+  /// half's medium and copies every block from the survivor (transient
+  /// errors retried with bounded backoff).  No-op when both halves are
+  /// healthy; kDataLoss when both are gone — the caller must then fall
+  /// back to archive recovery or give up.
+  Status Rebuild();
+
+  /// True while either half's medium is lost (redundancy degraded).
+  bool degraded() const;
+
+  VirtualDisk* primary() const { return primary_; }
+  VirtualDisk* mirror() const { return mirror_; }
+
+ private:
+  /// Writes one half, retrying once on a transient (self-healing) error so
+  /// a healed device cannot silently diverge from its twin.
+  static Status WriteHalf(VirtualDisk* half, BlockId b, const PageData& data);
+
+  /// Best-effort write-back of known-good bytes to a half that failed a
+  /// read.  Skipped while the half is failed (it cannot accept the write);
+  /// any error is ignored — redundancy is restored by Rebuild, not here.
+  void RepairHalf(VirtualDisk* half, BlockId b, const uint8_t* data) const;
+
+  VirtualDisk* primary_;
+  VirtualDisk* mirror_;
+};
+
+}  // namespace dbmr::store
+
+#endif  // DBMR_STORE_MIRRORED_DISK_H_

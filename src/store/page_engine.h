@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <string>
 
+#include "store/io_retry.h"
 #include "store/page.h"
 #include "txn/types.h"
 #include "util/status.h"
@@ -85,6 +86,21 @@ class PageEngine {
   /// Statistics of the most recent Recover() call; engines without a
   /// parallel replay path report zeroes.
   virtual RecoveryStats last_recovery_stats() const { return {}; }
+
+  /// Rebuilds stable storage after a MEDIA failure (a data disk lost
+  /// outright, not just a crash): replaces the dead medium and
+  /// reconstructs its contents from redundant storage — archive
+  /// checkpoint plus log replay, a mirror, or re-derivation from
+  /// surviving structures.  Call Recover() afterwards to rebuild
+  /// volatile state.  The default reports kDataLoss: an engine with no
+  /// redundancy cannot survive losing its only copy.
+  virtual Status MediaRecover() {
+    return Status::DataLoss(name() + ": no media redundancy configured");
+  }
+
+  /// Cumulative transient-I/O retry activity (see store/io_retry.h);
+  /// engines that have not adopted bounded retry report zeroes.
+  virtual IoRetryStats io_retry_stats() const { return {}; }
 };
 
 }  // namespace dbmr::store

@@ -1,0 +1,99 @@
+#include "store/recovery/archive.h"
+
+#include "store/codec.h"
+#include "util/str.h"
+
+namespace dbmr::store {
+
+void ArchiveMaster::EncodeTo(PageData& block) const {
+  PutU64(block, 0, kMagic);
+  PutU64(block, 8, sweep_seq);
+  PutU64(block, 16, num_pages);
+  PutU64(block, 24, block_size);
+}
+
+Status ArchiveMaster::DecodeFrom(const PageData& block, ArchiveMaster* out) {
+  if (block.size() < kSize || GetU64(block, 0) != kMagic) {
+    return Status::Corruption("archive master record invalid");
+  }
+  out->sweep_seq = GetU64(block, 8);
+  out->num_pages = GetU64(block, 16);
+  out->block_size = GetU64(block, 24);
+  return Status::OK();
+}
+
+Status ArchiveStore::Format(uint64_t num_pages, size_t block_size) {
+  if (disk_->num_blocks() < 1 + num_pages ||
+      disk_->block_size() != block_size) {
+    return Status::InvalidArgument(StrFormat(
+        "archive disk %s: need %llu blocks of %zu bytes, have %llu of %zu",
+        disk_->name().c_str(),
+        static_cast<unsigned long long>(1 + num_pages), block_size,
+        static_cast<unsigned long long>(disk_->num_blocks()),
+        disk_->block_size()));
+  }
+  PageData zero(block_size, 0);
+  for (uint64_t p = 0; p < num_pages; ++p) {
+    DBMR_RETURN_IF_ERROR(disk_->Write(1 + p, zero));
+  }
+  ArchiveMaster m;
+  m.sweep_seq = 0;
+  m.num_pages = num_pages;
+  m.block_size = block_size;
+  PageData block(disk_->block_size(), 0);
+  m.EncodeTo(block);
+  return disk_->Write(0, block);
+}
+
+Status ArchiveStore::Sweep(VirtualDisk* src, uint64_t num_pages,
+                           IoRetryStats* retry) {
+  PageData master_block;
+  DBMR_RETURN_IF_ERROR(RetryDiskIo(
+      *disk_, [&] { return disk_->Read(0, &master_block); }, retry));
+  ArchiveMaster m;
+  DBMR_RETURN_IF_ERROR(ArchiveMaster::DecodeFrom(master_block, &m));
+  PageData buf(src->block_size());
+  for (uint64_t p = 0; p < num_pages; ++p) {
+    DBMR_RETURN_IF_ERROR(RetryDiskIo(
+        *src, [&] { return src->ReadInto(p, buf.data()); }, retry));
+    DBMR_RETURN_IF_ERROR(RetryDiskIo(
+        *disk_, [&] { return disk_->Write(1 + p, buf); }, retry));
+  }
+  // The checkpoint record goes last: a sweep_seq is only ever durable
+  // above a fully copied image.
+  ++m.sweep_seq;
+  m.EncodeTo(master_block);
+  return RetryDiskIo(
+      *disk_, [&] { return disk_->Write(0, master_block); }, retry);
+}
+
+Status ArchiveStore::Restore(VirtualDisk* dst, uint64_t num_pages,
+                             IoRetryStats* retry) const {
+  PageData buf(disk_->block_size());
+  for (uint64_t p = 0; p < num_pages; ++p) {
+    DBMR_RETURN_IF_ERROR(RetryDiskIo(
+        *disk_, [&] { return disk_->ReadInto(1 + p, buf.data()); }, retry));
+    DBMR_RETURN_IF_ERROR(RetryDiskIo(
+        *dst, [&] { return dst->Write(p, buf); }, retry));
+  }
+  return Status::OK();
+}
+
+Status ArchiveStore::Validate(uint64_t num_pages, size_t block_size) const {
+  PageData master_block;
+  DBMR_RETURN_IF_ERROR(disk_->Read(0, &master_block));
+  ArchiveMaster m;
+  DBMR_RETURN_IF_ERROR(ArchiveMaster::DecodeFrom(master_block, &m));
+  if (m.num_pages != num_pages || m.block_size != block_size) {
+    return Status::Corruption(StrFormat(
+        "archive disk %s: geometry mismatch (archive %llux%llu, "
+        "store %llux%zu)",
+        disk_->name().c_str(),
+        static_cast<unsigned long long>(m.num_pages),
+        static_cast<unsigned long long>(m.block_size),
+        static_cast<unsigned long long>(num_pages), block_size));
+  }
+  return Status::OK();
+}
+
+}  // namespace dbmr::store

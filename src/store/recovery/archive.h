@@ -1,0 +1,94 @@
+// Fuzzy archive checkpoints for media recovery (paper §4).
+//
+// A crash takes volatile state; a MEDIA failure takes a whole disk.  The
+// log alone cannot rebuild a lost data disk unless it reaches back to
+// Format, so the engines that truncate their logs keep an ARCHIVE copy of
+// the database on a separate disk: a page-by-page sweep of the data disk
+// plus a checkpoint record (the archive master).  Media recovery is then
+// archive image + replay of every log record since the sweep.
+//
+// The sweep is FUZZY in the paper's sense: it copies pages while the
+// system keeps running, with no quiescing and no consistency of its own.
+// Two things make that safe here:
+//
+//  * Ordering — the engine sweeps before every log-truncation point
+//    (Format, full checkpoint, end of recovery) and before a fuzzy
+//    checkpoint advances its scan horizon.  Every update that the log has
+//    dropped is therefore already in the archive, so
+//    archive + surviving log ⊇ every committed update, always.
+//  * Version-driven replay — recovery decides per page what to redo by
+//    comparing page version numbers, so an archive holding a mix of old
+//    and new page images (a sweep cut down by a crash, or pages copied
+//    while transactions run) replays exactly like the data disk image it
+//    is standing in for.  Uncommitted bytes swept into the archive are
+//    undone by the same records that would have undone them on the data
+//    disk.
+//
+// Archive disk layout: block 0 is the master record, blocks 1..num_pages
+// are the page images, same block size as the data disk.
+
+#ifndef DBMR_STORE_RECOVERY_ARCHIVE_H_
+#define DBMR_STORE_RECOVERY_ARCHIVE_H_
+
+#include <cstdint>
+
+#include "store/io_retry.h"
+#include "store/virtual_disk.h"
+#include "util/status.h"
+
+namespace dbmr::store {
+
+/// The archive's checkpoint record, stored in block 0 of the archive disk.
+struct ArchiveMaster {
+  static constexpr uint64_t kMagic = 0x4442'4d52'4152'4348ULL;  // "DBMRARCH"
+  static constexpr size_t kSize = 32;
+
+  uint64_t sweep_seq = 0;   ///< completed sweeps since Format
+  uint64_t num_pages = 0;   ///< page images the archive covers
+  uint64_t block_size = 0;  ///< geometry stamp, rejects mismatched disks
+
+  void EncodeTo(PageData& block) const;
+  static Status DecodeFrom(const PageData& block, ArchiveMaster* out);
+};
+
+/// Archive checkpoint storage over a borrowed VirtualDisk.
+///
+/// All device I/O goes through bounded retry (store/io_retry.h): a
+/// transient fault costs a re-attempt, not a failed sweep.  Retry tallies
+/// land in the caller's IoRetryStats when one is supplied.
+class ArchiveStore {
+ public:
+  /// `disk` is borrowed and must outlive the store.  Geometry required:
+  /// at least 1 + num_pages blocks of the data disk's block size.
+  explicit ArchiveStore(VirtualDisk* disk) : disk_(disk) {}
+
+  /// Initializes the master record (sweep_seq 0) and zeroes the page
+  /// images so a reused disk cannot leak a previous life's pages into a
+  /// later Restore.
+  Status Format(uint64_t num_pages, size_t block_size);
+
+  /// Fuzzy sweep: copies blocks [0, num_pages) of `src` into the archive
+  /// one page at a time, then durably bumps sweep_seq.  A sweep cut down
+  /// mid-copy leaves a mix of old and new images — safe by the version
+  /// argument above.
+  Status Sweep(VirtualDisk* src, uint64_t num_pages, IoRetryStats* retry);
+
+  /// Copies every archived page image onto `dst` (blocks [0, num_pages)),
+  /// typically a freshly replaced medium.  The caller must replay its log
+  /// afterwards to roll the image forward.
+  Status Restore(VirtualDisk* dst, uint64_t num_pages,
+                 IoRetryStats* retry) const;
+
+  /// Checks that the archive carries a valid master matching the given
+  /// geometry; kCorruption otherwise.  Run before trusting Restore.
+  Status Validate(uint64_t num_pages, size_t block_size) const;
+
+  VirtualDisk* disk() const { return disk_; }
+
+ private:
+  VirtualDisk* disk_;
+};
+
+}  // namespace dbmr::store
+
+#endif  // DBMR_STORE_RECOVERY_ARCHIVE_H_

@@ -42,12 +42,14 @@ Status DifferentialEngine::WriteMaster() {
   PutU64(block, 48, d_stream_.epoch);
   PutU64(block, 56, d_stream_.anchor);
   PutU64(block, 64, seq_);
-  return disk_->Write(0, block);
+  return RetryDiskIo(
+      *disk_, [&] { return disk_->Write(0, block); }, &io_retry_);
 }
 
 Status DifferentialEngine::LoadMaster() {
   PageData block;
-  DBMR_RETURN_IF_ERROR(disk_->Read(0, &block));
+  DBMR_RETURN_IF_ERROR(RetryDiskIo(
+      *disk_, [&] { return disk_->Read(0, &block); }, &io_retry_));
   if (GetU64(block, 0) != kMasterMagic) {
     return Status::Corruption("differential master invalid");
   }
@@ -78,7 +80,9 @@ Status DifferentialEngine::WriteBase(
       PutU64(block, i * 16, it->first);
       PutU64(block, i * 16 + 8, it->second);
     }
-    DBMR_RETURN_IF_ERROR(disk_->Write(BaseStart(which) + b, block));
+    DBMR_RETURN_IF_ERROR(RetryDiskIo(
+        *disk_, [&] { return disk_->Write(BaseStart(which) + b, block); },
+        &io_retry_));
   }
   return Status::OK();
 }
@@ -90,7 +94,10 @@ Status DifferentialEngine::ReadBase(
   uint64_t remaining = count;
   PageData block(disk_->block_size());
   for (uint64_t b = 0; b < opts_.base_blocks && remaining > 0; ++b) {
-    DBMR_RETURN_IF_ERROR(disk_->ReadInto(BaseStart(which) + b, block.data()));
+    DBMR_RETURN_IF_ERROR(RetryDiskIo(
+        *disk_,
+        [&] { return disk_->ReadInto(BaseStart(which) + b, block.data()); },
+        &io_retry_));
     for (size_t i = 0; i < per_block && remaining > 0; ++i, --remaining) {
       out->emplace(GetU64(block, i * 16), GetU64(block, i * 16 + 8));
     }
@@ -120,7 +127,9 @@ Status DifferentialEngine::ForceStream(Stream* s) {
     h.EncodeTo(block);
     std::copy(s->tail.begin(), s->tail.begin() + static_cast<long>(used),
               block.begin() + LogBlockHeader::kSize);
-    DBMR_RETURN_IF_ERROR(disk_->Write(s->next_block, block));
+    DBMR_RETURN_IF_ERROR(RetryDiskIo(
+        *disk_, [&] { return disk_->Write(s->next_block, block); },
+        &io_retry_));
     if (used == cap) {
       s->tail.erase(s->tail.begin(), s->tail.begin() + static_cast<long>(used));
       ++s->next_block;
@@ -140,7 +149,9 @@ Status DifferentialEngine::ScanStream(const Stream& s,
   uint64_t remaining = s.anchor;
   PageData block(disk_->block_size());
   for (BlockId b = s.first; b < s.first + s.blocks && remaining > 0; ++b) {
-    DBMR_RETURN_IF_ERROR(disk_->ReadInto(b, block.data()));
+    DBMR_RETURN_IF_ERROR(RetryDiskIo(
+        *disk_, [&, b] { return disk_->ReadInto(b, block.data()); },
+        &io_retry_));
     LogBlockHeader h = LogBlockHeader::DecodeFrom(block);
     if (h.epoch != s.epoch || h.used_bytes > cap) {
       return Status::Corruption("differential stream truncated");
@@ -160,6 +171,110 @@ Status DifferentialEngine::ScanStream(const Stream& s,
   return Status::OK();
 }
 
+Status DifferentialEngine::CollectStreamSegments(const Stream& s,
+                                                 SegmentedBytes* out) const {
+  // Zero-copy twin of ScanStream: same reads, same stop rules, but the
+  // committed prefix is exposed as segments into the disk's block storage
+  // instead of one flat copy.  Valid until the disk is next written —
+  // Recover() performs no writes while the segments are alive.
+  const size_t cap = StreamCap();
+  uint64_t remaining = s.anchor;
+  for (BlockId b = s.first; b < s.first + s.blocks && remaining > 0; ++b) {
+    const uint8_t* block = nullptr;
+    DBMR_RETURN_IF_ERROR(RetryDiskIo(
+        *disk_, [&, b] { return disk_->ReadRef(b, &block); }, &io_retry_));
+    LogBlockHeader h = LogBlockHeader::DecodeFrom(block);
+    if (h.epoch != s.epoch || h.used_bytes > cap) {
+      return Status::Corruption("differential stream truncated");
+    }
+    const uint64_t take = std::min<uint64_t>(remaining, h.used_bytes);
+    out->AddSegment(block + LogBlockHeader::kSize,
+                    static_cast<size_t>(take));
+    remaining -= take;
+    if (remaining > 0 && h.used_bytes < cap) {
+      return Status::Corruption("differential stream short");
+    }
+  }
+  if (remaining != 0) {
+    return Status::Corruption("differential stream anchor beyond data");
+  }
+  return Status::OK();
+}
+
+Status DifferentialEngine::RecoverMapsPartitioned(
+    const SegmentedBytes& a_bytes, const SegmentedBytes& d_bytes) {
+  if (a_bytes.size() % kARecord != 0) {
+    return Status::Corruption("A file not record-aligned");
+  }
+  if (d_bytes.size() % kDRecord != 0) {
+    return Status::Corruption("D file not record-aligned");
+  }
+  const size_t a_records = a_bytes.size() / kARecord;
+  const size_t d_records = d_bytes.size() / kDRecord;
+  last_stats_.replay_records = a_records + d_records;
+
+  const int jobs = EffectiveReplayJobs(opts_.recovery_jobs,
+                                       a_bytes.size() + d_bytes.size());
+  struct Chunk {
+    std::unordered_map<uint64_t, std::pair<uint64_t, uint64_t>> a;
+    std::unordered_map<uint64_t, uint64_t> d;
+  };
+  // One contiguous record range per worker and per file; records may
+  // straddle block payloads, so each decode tries the zero-copy fast path
+  // and falls back to a small stack copy.
+  const int n = std::max(1, jobs);
+  const size_t a_per = (a_records + n - 1) / n;
+  const size_t d_per = (d_records + n - 1) / n;
+  std::vector<Chunk> chunks(static_cast<size_t>(n));
+  RunReplayJobs(jobs, static_cast<size_t>(n), [&](size_t c) {
+    Chunk& out = chunks[c];
+    uint8_t buf[kARecord];
+    const size_t a_lo = std::min(a_records, c * a_per);
+    const size_t a_hi = std::min(a_records, a_lo + a_per);
+    for (size_t r = a_lo; r < a_hi; ++r) {
+      const size_t pos = r * kARecord;
+      const uint8_t* rec = a_bytes.ContiguousAt(pos, kARecord);
+      if (rec == nullptr) {
+        a_bytes.CopyOut(pos, kARecord, buf);
+        rec = buf;
+      }
+      const uint64_t key = GetU64(rec);
+      const uint64_t value = GetU64(rec + 8);
+      const uint64_t seq = GetU64(rec + 16);
+      auto& slot = out.a[key];
+      if (seq >= slot.first) slot = {seq, value};
+    }
+    const size_t d_lo = std::min(d_records, c * d_per);
+    const size_t d_hi = std::min(d_records, d_lo + d_per);
+    for (size_t r = d_lo; r < d_hi; ++r) {
+      const size_t pos = r * kDRecord;
+      const uint8_t* rec = d_bytes.ContiguousAt(pos, kDRecord);
+      if (rec == nullptr) {
+        d_bytes.CopyOut(pos, kDRecord, buf);
+        rec = buf;
+      }
+      const uint64_t key = GetU64(rec);
+      const uint64_t seq = GetU64(rec + 8);
+      auto& slot = out.d[key];
+      if (seq >= slot) slot = seq;
+    }
+  });
+  // Fold: the seq-max rule is order-independent, so merging chunk maps in
+  // chunk order gives the same result as the sequential scan.
+  for (const Chunk& c : chunks) {
+    for (const auto& [key, sv] : c.a) {
+      auto& slot = a_[key];
+      if (sv.first >= slot.first) slot = sv;
+    }
+    for (const auto& [key, seq] : c.d) {
+      auto& slot = d_[key];
+      if (seq >= slot) slot = seq;
+    }
+  }
+  last_stats_.partitions = static_cast<uint64_t>(n);
+  return Status::OK();
+}
+
 Status DifferentialEngine::LoadStreamWriter(Stream* s) {
   const size_t cap = StreamCap();
   s->next_block = s->first + s->anchor / cap;
@@ -168,7 +283,9 @@ Status DifferentialEngine::LoadStreamWriter(Stream* s) {
   const size_t partial = static_cast<size_t>(s->anchor % cap);
   if (partial > 0) {
     PageData block;
-    DBMR_RETURN_IF_ERROR(disk_->Read(s->next_block, &block));
+    DBMR_RETURN_IF_ERROR(RetryDiskIo(
+        *disk_, [&] { return disk_->Read(s->next_block, &block); },
+        &io_retry_));
     LogBlockHeader h = LogBlockHeader::DecodeFrom(block);
     if (h.epoch != s->epoch || h.used_bytes < partial) {
       return Status::Corruption("differential stream tail invalid");
@@ -214,32 +331,47 @@ Status DifferentialEngine::Format() {
 
 Status DifferentialEngine::Recover() {
   disk_->ClearCrashState();
+  last_stats_ = RecoveryStats{};
+  last_stats_.jobs = opts_.recovery_jobs;
   DBMR_RETURN_IF_ERROR(LoadMaster());
   a_.clear();
   d_.clear();
-  std::vector<uint8_t> bytes;
-  DBMR_RETURN_IF_ERROR(ScanStream(a_stream_, &bytes));
-  if (bytes.size() % kARecord != 0) {
-    return Status::Corruption("A file not record-aligned");
-  }
-  PageData view(bytes.begin(), bytes.end());
-  for (size_t p = 0; p < bytes.size(); p += kARecord) {
-    const uint64_t key = GetU64(view, p);
-    const uint64_t value = GetU64(view, p + 8);
-    const uint64_t seq = GetU64(view, p + 16);
-    auto& slot = a_[key];
-    if (seq >= slot.first) slot = {seq, value};
-  }
-  DBMR_RETURN_IF_ERROR(ScanStream(d_stream_, &bytes));
-  if (bytes.size() % kDRecord != 0) {
-    return Status::Corruption("D file not record-aligned");
-  }
-  view.assign(bytes.begin(), bytes.end());
-  for (size_t p = 0; p < bytes.size(); p += kDRecord) {
-    const uint64_t key = GetU64(view, p);
-    const uint64_t seq = GetU64(view, p + 8);
-    auto& slot = d_[key];
-    if (seq >= slot) slot = seq;
+  if (opts_.recovery_jobs <= 0) {
+    // Reference path: flat copies of the committed prefixes, sequential
+    // decode.  Kept verbatim so the planner pipeline has a byte-identical
+    // baseline to compare against.
+    std::vector<uint8_t> bytes;
+    DBMR_RETURN_IF_ERROR(ScanStream(a_stream_, &bytes));
+    if (bytes.size() % kARecord != 0) {
+      return Status::Corruption("A file not record-aligned");
+    }
+    last_stats_.replay_records = bytes.size() / kARecord;
+    PageData view(bytes.begin(), bytes.end());
+    for (size_t p = 0; p < bytes.size(); p += kARecord) {
+      const uint64_t key = GetU64(view, p);
+      const uint64_t value = GetU64(view, p + 8);
+      const uint64_t seq = GetU64(view, p + 16);
+      auto& slot = a_[key];
+      if (seq >= slot.first) slot = {seq, value};
+    }
+    DBMR_RETURN_IF_ERROR(ScanStream(d_stream_, &bytes));
+    if (bytes.size() % kDRecord != 0) {
+      return Status::Corruption("D file not record-aligned");
+    }
+    last_stats_.replay_records += bytes.size() / kDRecord;
+    view.assign(bytes.begin(), bytes.end());
+    for (size_t p = 0; p < bytes.size(); p += kDRecord) {
+      const uint64_t key = GetU64(view, p);
+      const uint64_t seq = GetU64(view, p + 8);
+      auto& slot = d_[key];
+      if (seq >= slot) slot = seq;
+    }
+  } else {
+    SegmentedBytes a_bytes;
+    SegmentedBytes d_bytes;
+    DBMR_RETURN_IF_ERROR(CollectStreamSegments(a_stream_, &a_bytes));
+    DBMR_RETURN_IF_ERROR(CollectStreamSegments(d_stream_, &d_bytes));
+    DBMR_RETURN_IF_ERROR(RecoverMapsPartitioned(a_bytes, d_bytes));
   }
   DBMR_RETURN_IF_ERROR(LoadStreamWriter(&a_stream_));
   DBMR_RETURN_IF_ERROR(LoadStreamWriter(&d_stream_));

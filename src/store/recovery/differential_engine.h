@@ -32,6 +32,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "store/io_retry.h"
+#include "store/page_engine.h"
+#include "store/recovery/replay_plan.h"
 #include "store/virtual_disk.h"
 #include "txn/lock_manager.h"
 #include "txn/types.h"
@@ -55,6 +58,12 @@ struct DifferentialEngineOptions {
   uint64_t a_blocks = 64;
   /// Blocks for the D (deletions) file.
   uint64_t d_blocks = 64;
+  /// Parallel replay jobs for Recover(): >= 1 rebuilds the A/D maps
+  /// through the zero-copy planner pipeline (record chunks decoded in
+  /// parallel, merged by the seq-max rule, which is order-independent);
+  /// 0 keeps the pre-planner sequential scan as the reference path.  The
+  /// recovered state is identical at every setting.
+  int recovery_jobs = 1;
 };
 
 /// Transactional key-value relation with differential-file recovery.
@@ -104,6 +113,8 @@ class DifferentialEngine {
   uint64_t commits() const { return commits_; }
   std::string name() const { return "differential"; }
   txn::LockManager& lock_manager() { return locks_; }
+  RecoveryStats last_recovery_stats() const { return last_stats_; }
+  IoRetryStats io_retry_stats() const { return io_retry_; }
 
  private:
   enum class OpKind : uint8_t { kInsert = 1, kDelete = 2 };
@@ -133,6 +144,15 @@ class DifferentialEngine {
   Status AppendToStream(Stream* s, const std::vector<uint8_t>& bytes);
   Status ForceStream(Stream* s);
   Status ScanStream(const Stream& s, std::vector<uint8_t>* out) const;
+  /// Zero-copy scan of the committed prefix: segments pointing into the
+  /// disk's block storage (same stop rules and reads as ScanStream).
+  /// Valid until the disk is next written.
+  Status CollectStreamSegments(const Stream& s, SegmentedBytes* out) const;
+  /// Planner-pipeline map rebuild (recovery_jobs >= 1): contiguous record
+  /// chunks decode in parallel into private maps, then fold by the
+  /// seq-max rule in deterministic chunk order.
+  Status RecoverMapsPartitioned(const SegmentedBytes& a_bytes,
+                                const SegmentedBytes& d_bytes);
   Status LoadStreamWriter(Stream* s);
   Status ResetStream(Stream* s, uint64_t new_epoch);
   Status WriteBase(int which, const std::map<uint64_t, uint64_t>& tuples);
@@ -159,6 +179,8 @@ class DifferentialEngine {
 
   uint64_t merges_ = 0;
   uint64_t commits_ = 0;
+  RecoveryStats last_stats_;
+  mutable IoRetryStats io_retry_;
 };
 
 }  // namespace dbmr::store

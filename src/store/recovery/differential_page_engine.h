@@ -48,6 +48,12 @@ class DifferentialPageEngine : public PageEngine {
   size_t payload_size() const override { return payload_bytes_; }
   uint64_t num_pages() const override { return num_pages_; }
   std::string name() const override { return "differential"; }
+  RecoveryStats last_recovery_stats() const override {
+    return inner_.last_recovery_stats();
+  }
+  IoRetryStats io_retry_stats() const override {
+    return inner_.io_retry_stats();
+  }
 
   DifferentialEngine& inner() { return inner_; }
 

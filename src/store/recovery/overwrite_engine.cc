@@ -84,7 +84,8 @@ Status OverwriteEngine::WriteScratch(BlockId slot, txn::TxnId t,
             block.begin() + kScratchHeader);
   PutU64(block, 40, Checksum(block, kScratchHeader, block.size()) ^
                         (t * 0x9e3779b97f4a7c15ULL + page + seq));
-  return disk_->Write(slot, block);
+  return RetryDiskIo(
+      *disk_, [&] { return disk_->Write(slot, block); }, &io_retry_);
 }
 
 bool OverwriteEngine::ParseScratch(const PageData& block, txn::TxnId* t,
@@ -104,7 +105,9 @@ bool OverwriteEngine::ParseScratch(const PageData& block, txn::TxnId* t,
 
 Status OverwriteEngine::ReadHome(txn::PageId page, PageData* out) const {
   PageData& block = io_buf_;
-  DBMR_RETURN_IF_ERROR(disk_->Read(HomeBlock(page), &block));
+  DBMR_RETURN_IF_ERROR(RetryDiskIo(
+      *disk_, [&] { return disk_->Read(HomeBlock(page), &block); },
+      &io_retry_));
   out->assign(block.begin(), block.begin() + static_cast<long>(payload_size()));
   return Status::OK();
 }
@@ -112,14 +115,18 @@ Status OverwriteEngine::ReadHome(txn::PageId page, PageData* out) const {
 Status OverwriteEngine::WriteHome(txn::PageId page, const PageData& payload) {
   PageData block(disk_->block_size(), 0);
   std::copy(payload.begin(), payload.end(), block.begin());
-  return disk_->Write(HomeBlock(page), block);
+  return RetryDiskIo(
+      *disk_, [&] { return disk_->Write(HomeBlock(page), block); },
+      &io_retry_);
 }
 
 Status OverwriteEngine::WriteHome(txn::PageId page, const uint8_t* payload,
                                   size_t len) {
   PageData block(disk_->block_size(), 0);
   std::copy(payload, payload + len, block.begin());
-  return disk_->Write(HomeBlock(page), block);
+  return RetryDiskIo(
+      *disk_, [&] { return disk_->Write(HomeBlock(page), block); },
+      &io_retry_);
 }
 
 Result<txn::TxnId> OverwriteEngine::Begin() {
@@ -310,7 +317,9 @@ Status OverwriteEngine::RecoverSequential() {
   std::unordered_map<txn::TxnId, std::map<txn::PageId, Entry>> scratch;
   PageData block(disk_->block_size());
   for (BlockId b = ScratchStart(); b < HomeStart(); ++b) {
-    DBMR_RETURN_IF_ERROR(disk_->ReadInto(b, block.data()));
+    DBMR_RETURN_IF_ERROR(RetryDiskIo(
+        *disk_, [&, b] { return disk_->ReadInto(b, block.data()); },
+        &io_retry_));
     txn::TxnId t;
     txn::PageId page;
     uint64_t seq;
@@ -381,7 +390,10 @@ Status OverwriteEngine::RecoverPartitioned() {
   const uint64_t n_scratch = HomeStart() - scratch_start;
   std::vector<const uint8_t*> blocks(n_scratch);
   for (uint64_t i = 0; i < n_scratch; ++i) {
-    DBMR_RETURN_IF_ERROR(disk_->ReadRef(scratch_start + i, &blocks[i]));
+    DBMR_RETURN_IF_ERROR(RetryDiskIo(
+        *disk_,
+        [&, i] { return disk_->ReadRef(scratch_start + i, &blocks[i]); },
+        &io_retry_));
   }
 
   // Phase 2 — validate (parallel over blocks): magic/epoch/checksum, the

@@ -30,6 +30,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "store/io_retry.h"
 #include "store/page_engine.h"
 #include "store/recovery/stable_list.h"
 #include "store/virtual_disk.h"
@@ -84,6 +85,7 @@ class OverwriteEngine : public PageEngine {
   uint64_t redo_copies() const { return redo_copies_; }
   txn::LockManager& lock_manager() { return locks_; }
   RecoveryStats last_recovery_stats() const override { return last_stats_; }
+  IoRetryStats io_retry_stats() const override { return io_retry_; }
 
  private:
   /// Outcome-record kinds in the stable transaction list.
@@ -142,6 +144,7 @@ class OverwriteEngine : public PageEngine {
   uint64_t shadows_restored_ = 0;
   uint64_t redo_copies_ = 0;
   RecoveryStats last_stats_;
+  mutable IoRetryStats io_retry_;
   /// Scratch block for ReadHome so per-page reads do not allocate.
   mutable PageData io_buf_;
 };

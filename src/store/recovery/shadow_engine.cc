@@ -37,7 +37,8 @@ Status ShadowEngine::WriteMaster(int which, uint64_t generation) {
   PutU64(block, 0, kMasterMagic);
   PutU64(block, 8, static_cast<uint64_t>(which));
   PutU64(block, 16, generation);
-  return disk_->Write(0, block);
+  return RetryDiskIo(
+      *disk_, [&] { return disk_->Write(0, block); }, &io_retry_);
 }
 
 Status ShadowEngine::WriteTable(int which,
@@ -50,7 +51,9 @@ Status ShadowEngine::WriteTable(int which,
       if (idx >= num_pages_) break;
       PutU64(block, static_cast<size_t>(i * 8), table[idx]);
     }
-    DBMR_RETURN_IF_ERROR(disk_->Write(TableStart(which) + b, block));
+    DBMR_RETURN_IF_ERROR(RetryDiskIo(
+        *disk_, [&] { return disk_->Write(TableStart(which) + b, block); },
+        &io_retry_));
   }
   return Status::OK();
 }
@@ -60,13 +63,46 @@ Status ShadowEngine::ReadTable(int which, std::vector<BlockId>* table) const {
   table->assign(num_pages_, 0);
   PageData block(disk_->block_size());
   for (uint64_t b = 0; b < TableBlocks(); ++b) {
-    DBMR_RETURN_IF_ERROR(disk_->ReadInto(TableStart(which) + b, block.data()));
+    DBMR_RETURN_IF_ERROR(RetryDiskIo(
+        *disk_,
+        [&] { return disk_->ReadInto(TableStart(which) + b, block.data()); },
+        &io_retry_));
     for (uint64_t i = 0; i < per_block; ++i) {
       uint64_t idx = b * per_block + i;
       if (idx >= num_pages_) break;
       (*table)[idx] = GetU64(block, static_cast<size_t>(i * 8));
     }
   }
+  return Status::OK();
+}
+
+Status ShadowEngine::ReadTablePartitioned(int which,
+                                          std::vector<BlockId>* table) {
+  // Scan (caller thread): zero-copy refs to every table block.  The refs
+  // stay valid through the decode — nothing writes the disk until the
+  // table is loaded.
+  const uint64_t tb = TableBlocks();
+  std::vector<const uint8_t*> refs(tb, nullptr);
+  for (uint64_t b = 0; b < tb; ++b) {
+    DBMR_RETURN_IF_ERROR(RetryDiskIo(
+        *disk_,
+        [&] { return disk_->ReadRef(TableStart(which) + b, &refs[b]); },
+        &io_retry_));
+  }
+  // Decode (parallel over table blocks): pure memory walk into disjoint
+  // slices of the output table, so workers never contend.
+  const uint64_t per_block = disk_->block_size() / 8;
+  table->assign(num_pages_, 0);
+  const int jobs = EffectiveReplayJobs(
+      opts_.recovery_jobs, static_cast<size_t>(tb) * disk_->block_size());
+  RunReplayJobs(jobs, tb, [&](size_t b) {
+    for (uint64_t i = 0; i < per_block; ++i) {
+      uint64_t idx = b * per_block + i;
+      if (idx >= num_pages_) break;
+      (*table)[idx] = GetU64(refs[b] + i * 8);
+    }
+  });
+  last_stats_.partitions = tb;
   return Status::OK();
 }
 
@@ -102,8 +138,11 @@ void ShadowEngine::RebuildFreeSet() {
 
 Status ShadowEngine::Recover() {
   disk_->ClearCrashState();
+  last_stats_ = RecoveryStats{};
+  last_stats_.jobs = opts_.recovery_jobs;
   PageData block;
-  DBMR_RETURN_IF_ERROR(disk_->Read(0, &block));
+  DBMR_RETURN_IF_ERROR(RetryDiskIo(
+      *disk_, [&] { return disk_->Read(0, &block); }, &io_retry_));
   if (GetU64(block, 0) != kMasterMagic) {
     return Status::Corruption("shadow master record invalid");
   }
@@ -112,7 +151,13 @@ Status ShadowEngine::Recover() {
     return Status::Corruption("shadow master names a bad table");
   }
   generation_ = GetU64(block, 16);
-  DBMR_RETURN_IF_ERROR(ReadTable(current_table_, &committed_table_));
+  if (opts_.recovery_jobs <= 0) {
+    DBMR_RETURN_IF_ERROR(ReadTable(current_table_, &committed_table_));
+  } else {
+    DBMR_RETURN_IF_ERROR(
+        ReadTablePartitioned(current_table_, &committed_table_));
+  }
+  last_stats_.replay_records = TableBlocks();
   // Blocks allocated by in-flight transactions are unreferenced by the
   // committed table and simply fall back into the free set: undo for free.
   RebuildFreeSet();
@@ -143,7 +188,9 @@ Status ShadowEngine::Read(txn::TxnId t, txn::PageId page, PageData* out) {
   if (!locks_.TryAcquire(t, page, txn::LockMode::kShared)) {
     return Status::Aborted("lock conflict (no-wait)");
   }
-  return disk_->Read(ResolveBlock(it->second, page), out);
+  const BlockId b = ResolveBlock(it->second, page);
+  return RetryDiskIo(
+      *disk_, [&] { return disk_->Read(b, out); }, &io_retry_);
 }
 
 Result<BlockId> ShadowEngine::AllocBlock(BlockId near) {
@@ -191,11 +238,14 @@ Status ShadowEngine::Write(txn::TxnId t, txn::PageId page,
   if (prev != at.mapping.end()) {
     // Second write by the same transaction: overwrite its own new copy in
     // place (it is not a shadow of anything).
-    return disk_->Write(prev->second, payload);
+    return RetryDiskIo(
+        *disk_, [&] { return disk_->Write(prev->second, payload); },
+        &io_retry_);
   }
   auto blk = AllocBlock(committed_table_[page]);
   DBMR_RETURN_IF_ERROR(blk.status());
-  Status st = disk_->Write(*blk, payload);
+  Status st = RetryDiskIo(
+      *disk_, [&] { return disk_->Write(*blk, payload); }, &io_retry_);
   if (!st.ok()) {
     free_.insert(*blk);
     return st;

@@ -23,7 +23,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "store/io_retry.h"
 #include "store/page_engine.h"
+#include "store/recovery/replay_plan.h"
 #include "store/virtual_disk.h"
 #include "txn/lock_manager.h"
 
@@ -39,6 +41,11 @@ enum class ShadowAllocPolicy {
 /// Options for ShadowEngine.
 struct ShadowEngineOptions {
   ShadowAllocPolicy alloc = ShadowAllocPolicy::kFirstFree;
+  /// Parallel replay jobs for Recover(): >= 1 loads the committed page
+  /// table through the zero-copy planner pipeline (table blocks decoded
+  /// in parallel); 0 keeps the pre-planner sequential ReadTable as the
+  /// reference path.  The recovered state is identical at every setting.
+  int recovery_jobs = 1;
 };
 
 /// Shadow page-table engine over a single VirtualDisk.
@@ -74,6 +81,8 @@ class ShadowEngine : public PageEngine {
   /// also adjacent — the clustering the paper's Table 7 worries about.
   double ClusteringFactor() const;
   txn::LockManager& lock_manager() { return locks_; }
+  RecoveryStats last_recovery_stats() const override { return last_stats_; }
+  IoRetryStats io_retry_stats() const override { return io_retry_; }
 
  private:
   struct ActiveTxn {
@@ -87,6 +96,9 @@ class ShadowEngine : public PageEngine {
   Status WriteMaster(int which, uint64_t generation);
   Status WriteTable(int which, const std::vector<BlockId>& table);
   Status ReadTable(int which, std::vector<BlockId>* table) const;
+  /// Planner-pipeline table load (recovery_jobs >= 1): zero-copy refs to
+  /// the table blocks, entries decoded in parallel into disjoint slices.
+  Status ReadTablePartitioned(int which, std::vector<BlockId>* table);
   Result<BlockId> AllocBlock(BlockId near);
   /// Block serving reads of `page` for transaction `t`.
   BlockId ResolveBlock(const ActiveTxn& at, txn::PageId page) const;
@@ -106,6 +118,8 @@ class ShadowEngine : public PageEngine {
 
   uint64_t commits_ = 0;
   uint64_t table_flips_ = 0;
+  RecoveryStats last_stats_;
+  mutable IoRetryStats io_retry_;
 };
 
 }  // namespace dbmr::store

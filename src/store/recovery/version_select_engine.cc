@@ -49,7 +49,9 @@ Status VersionSelectEngine::WriteCopy(txn::PageId page, int which,
   std::copy(payload.begin(), payload.end(), block.begin() + kCopyHeader);
   PutU64(block, 24, Checksum(block, kCopyHeader, block.size()) ^
                         (stamp * 0x9e3779b97f4a7c15ULL + writer));
-  return disk_->Write(CopyBlock(page, which), block);
+  return RetryDiskIo(
+      *disk_, [&] { return disk_->Write(CopyBlock(page, which), block); },
+      &io_retry_);
 }
 
 Status VersionSelectEngine::WriteCopy(txn::PageId page, int which,
@@ -63,13 +65,17 @@ Status VersionSelectEngine::WriteCopy(txn::PageId page, int which,
   std::copy(payload, payload + len, block.begin() + kCopyHeader);
   PutU64(block, 24, Checksum(block, kCopyHeader, block.size()) ^
                         (stamp * 0x9e3779b97f4a7c15ULL + writer));
-  return disk_->Write(CopyBlock(page, which), block);
+  return RetryDiskIo(
+      *disk_, [&] { return disk_->Write(CopyBlock(page, which), block); },
+      &io_retry_);
 }
 
 Status VersionSelectEngine::ReadCopy(txn::PageId page, int which,
                                      Copy* out) const {
   PageData& block = io_buf_;
-  DBMR_RETURN_IF_ERROR(disk_->Read(CopyBlock(page, which), &block));
+  DBMR_RETURN_IF_ERROR(RetryDiskIo(
+      *disk_, [&] { return disk_->Read(CopyBlock(page, which), &block); },
+      &io_retry_));
   out->valid = false;
   if (GetU64(block, 0) != kCopyMagic) return Status::OK();
   out->stamp = GetU64(block, 8);
@@ -300,8 +306,13 @@ Status VersionSelectEngine::RecoverPartitioned() {
   // instead, halving recovery disk reads.
   std::vector<const uint8_t*> refs(2 * num_pages_);
   for (txn::PageId p = 0; p < num_pages_; ++p) {
-    DBMR_RETURN_IF_ERROR(disk_->ReadRef(CopyBlock(p, 0), &refs[p * 2]));
-    DBMR_RETURN_IF_ERROR(disk_->ReadRef(CopyBlock(p, 1), &refs[p * 2 + 1]));
+    DBMR_RETURN_IF_ERROR(RetryDiskIo(
+        *disk_, [&, p] { return disk_->ReadRef(CopyBlock(p, 0), &refs[p * 2]); },
+        &io_retry_));
+    DBMR_RETURN_IF_ERROR(RetryDiskIo(
+        *disk_,
+        [&, p] { return disk_->ReadRef(CopyBlock(p, 1), &refs[p * 2 + 1]); },
+        &io_retry_));
   }
 
   // Phase 2 — select (parallel over pages): validate checksums and run

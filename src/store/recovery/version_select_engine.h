@@ -30,6 +30,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "store/io_retry.h"
 #include "store/page_engine.h"
 #include "store/recovery/stable_list.h"
 #include "store/virtual_disk.h"
@@ -75,6 +76,7 @@ class VersionSelectEngine : public PageEngine {
   uint64_t torn_copies_rejected() const { return torn_rejected_; }
   txn::LockManager& lock_manager() { return locks_; }
   RecoveryStats last_recovery_stats() const override { return last_stats_; }
+  IoRetryStats io_retry_stats() const override { return io_retry_; }
 
  private:
   struct Copy {
@@ -124,6 +126,7 @@ class VersionSelectEngine : public PageEngine {
   uint64_t commits_ = 0;
   mutable uint64_t torn_rejected_ = 0;
   RecoveryStats last_stats_;
+  mutable IoRetryStats io_retry_;
   /// Scratch block for ReadCopy/WriteCopy so per-page I/O does not
   /// allocate (recovery reads every copy of every page).
   mutable PageData io_buf_;

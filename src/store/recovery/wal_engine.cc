@@ -156,10 +156,15 @@ void ReplayPageFromLog(const std::vector<SegmentedBytes>& streams,
 
 WalEngine::WalEngine(VirtualDisk* data_disk,
                      std::vector<VirtualDisk*> log_disks,
-                     WalEngineOptions options)
+                     WalEngineOptions options, VirtualDisk* archive_disk)
     : data_(data_disk), opts_(options), rng_(options.rng_seed) {
   DBMR_CHECK(data_ != nullptr);
   DBMR_CHECK(!log_disks.empty());
+  if (archive_disk != nullptr) {
+    DBMR_CHECK(archive_disk->block_size() == data_->block_size());
+    DBMR_CHECK(archive_disk->num_blocks() >= 1 + data_->num_blocks());
+    archive_ = std::make_unique<ArchiveStore>(archive_disk);
+  }
   for (VirtualDisk* d : log_disks) {
     DBMR_CHECK(d != nullptr);
     DBMR_CHECK(d->block_size() == data_->block_size());
@@ -198,6 +203,11 @@ Status WalEngine::Format() {
   for (BlockId b = 0; b < data_->num_blocks(); ++b) {
     DBMR_RETURN_IF_ERROR(data_->Write(b, zero));
   }
+  // The archive master must exist before TruncateLogs below sweeps into it.
+  if (archive_ != nullptr) {
+    DBMR_RETURN_IF_ERROR(
+        archive_->Format(data_->num_blocks(), data_->block_size()));
+  }
   // Epochs must advance past any previous life of these disks; resetting to
   // epoch 1 would let a scan run off the new tail into stale epoch-1 blocks
   // surviving from before the reformat.
@@ -222,7 +232,8 @@ Status WalEngine::FetchBlock(txn::PageId page, PageData* out) {
     return Status::OutOfRange(StrFormat("page %llu out of range",
                                         (unsigned long long)page));
   }
-  return data_->Read(page, out);
+  return RetryDiskIo(
+      *data_, [&] { return data_->Read(page, out); }, &io_retry_);
 }
 
 Status WalEngine::FlushDataPage(txn::PageId page, const PageData& block) {
@@ -236,7 +247,8 @@ Status WalEngine::FlushDataPage(txn::PageId page, const PageData& block) {
       }
     }
   }
-  DBMR_RETURN_IF_ERROR(data_->Write(page, block));
+  DBMR_RETURN_IF_ERROR(RetryDiskIo(
+      *data_, [&] { return data_->Write(page, block); }, &io_retry_));
   if (it != wal_point_.end()) wal_point_.erase(it);
   return Status::OK();
 }
@@ -286,7 +298,9 @@ Status WalEngine::ForceLog(size_t log_idx) {
     std::copy(s.pending.begin(),
               s.pending.begin() + static_cast<long>(used),
               block.begin() + LogBlockHeader::kSize);
-    DBMR_RETURN_IF_ERROR(s.disk->Write(s.next_block, block));
+    DBMR_RETURN_IF_ERROR(RetryDiskIo(
+        *s.disk, [&] { return s.disk->Write(s.next_block, block); },
+        &io_retry_));
     if (used == cap) {
       // Block finalized; it will never be rewritten.
       s.pending.erase(s.pending.begin(),
@@ -457,7 +471,8 @@ Status WalEngine::ScanStream(size_t idx, std::vector<uint8_t>* raw,
   const LogStream& s = logs_[idx];
   const size_t cap = PayloadBytesPerLogBlock();
   PageData master_block;
-  DBMR_RETURN_IF_ERROR(s.disk->Read(0, &master_block));
+  DBMR_RETURN_IF_ERROR(RetryDiskIo(
+      *s.disk, [&] { return s.disk->Read(0, &master_block); }, &io_retry_));
   LogMaster m;
   DBMR_RETURN_IF_ERROR(LogMaster::DecodeFrom(master_block, &m));
 
@@ -466,7 +481,9 @@ Status WalEngine::ScanStream(size_t idx, std::vector<uint8_t>* raw,
   bool first = true;
   PageData block(s.disk->block_size());
   for (BlockId b = m.start_block; b < s.disk->num_blocks(); ++b) {
-    DBMR_RETURN_IF_ERROR(s.disk->ReadInto(b, block.data()));
+    DBMR_RETURN_IF_ERROR(RetryDiskIo(
+        *s.disk, [&] { return s.disk->ReadInto(b, block.data()); },
+        &io_retry_));
     LogBlockHeader h = LogBlockHeader::DecodeFrom(block);
     if (h.epoch != m.epoch || h.used_bytes == 0 || h.used_bytes > cap) {
       break;
@@ -520,6 +537,7 @@ Status WalEngine::ApplyRecordImage(PageData& block, const LogRecordView& rec,
 Status WalEngine::Recover() {
   data_->ClearCrashState();
   for (auto& s : logs_) s.disk->ClearCrashState();
+  if (archive_ != nullptr) archive_->disk()->ClearCrashState();
   last_stats_ = RecoveryStats{};
   last_stats_.jobs = opts_.recovery_jobs;
   if (opts_.recovery_jobs <= 0) return RecoverSequential();
@@ -582,7 +600,9 @@ Status WalEngine::RecoverSequential() {
   // of that transaction, so its bytes must come off before they go on.
   PageData block(data_->block_size());
   for (auto& [page, pc] : chains) {
-    DBMR_RETURN_IF_ERROR(data_->ReadInto(page, block.data()));
+    DBMR_RETURN_IF_ERROR(RetryDiskIo(
+        *data_, [&, page = page] { return data_->ReadInto(page, block.data()); },
+        &io_retry_));
     uint64_t v = BlockVersion(block);
 
     // Redo-eligible records: committed updates, plus each loser's CLR
@@ -664,7 +684,9 @@ Status WalEngine::RecoverSequential() {
     // version newer than every surviving record and leaves the finished
     // page alone instead of re-classifying its content.
     SetBlockVersion(block, max_ver + 1);
-    DBMR_RETURN_IF_ERROR(data_->Write(page, block));
+    DBMR_RETURN_IF_ERROR(RetryDiskIo(
+        *data_, [&, page = page] { return data_->Write(page, block); },
+        &io_retry_));
   }
 
   // 4. Truncate the logs: all surviving state is home now.
@@ -683,14 +705,16 @@ Status WalEngine::CollectStreamSegments(size_t idx,
   const LogStream& s = logs_[idx];
   const size_t cap = PayloadBytesPerLogBlock();
   const uint8_t* master = nullptr;
-  DBMR_RETURN_IF_ERROR(s.disk->ReadRef(0, &master));
+  DBMR_RETURN_IF_ERROR(RetryDiskIo(
+      *s.disk, [&] { return s.disk->ReadRef(0, &master); }, &io_retry_));
   LogMaster m;
   DBMR_RETURN_IF_ERROR(LogMaster::DecodeFrom(master, &m));
 
   bool first = true;
   for (BlockId b = m.start_block; b < s.disk->num_blocks(); ++b) {
     const uint8_t* block = nullptr;
-    DBMR_RETURN_IF_ERROR(s.disk->ReadRef(b, &block));
+    DBMR_RETURN_IF_ERROR(RetryDiskIo(
+        *s.disk, [&] { return s.disk->ReadRef(b, &block); }, &io_retry_));
     const LogBlockHeader h = LogBlockHeader::DecodeFrom(block);
     if (h.epoch != m.epoch || h.used_bytes == 0 || h.used_bytes > cap) {
       break;
@@ -797,7 +821,9 @@ Status WalEngine::RecoverPartitioned() {
       PageReplayTask t;
       t.page = page;
       t.pc = &chains.at(page);
-      DBMR_RETURN_IF_ERROR(data_->ReadRef(page, &t.disk_image));
+      DBMR_RETURN_IF_ERROR(RetryDiskIo(
+          *data_, [&] { return data_->ReadRef(page, &t.disk_image); },
+          &io_retry_));
       work.push_back(std::move(t));
     }
     ranges.emplace_back(begin, work.size());
@@ -822,7 +848,8 @@ Status WalEngine::RecoverPartitioned() {
     }
     undo_applied_ += t.undo_count;
     redo_applied_ += t.redo_count;
-    DBMR_RETURN_IF_ERROR(data_->Write(t.page, t.out));
+    DBMR_RETURN_IF_ERROR(RetryDiskIo(
+        *data_, [&] { return data_->Write(t.page, t.out); }, &io_retry_));
   }
 
   DBMR_RETURN_IF_ERROR(TruncateLogs());
@@ -834,10 +861,23 @@ Status WalEngine::RecoverPartitioned() {
   return Status::OK();
 }
 
+Status WalEngine::SweepArchive() {
+  if (archive_ == nullptr) return Status::OK();
+  DBMR_RETURN_IF_ERROR(
+      archive_->Sweep(data_, data_->num_blocks(), &io_retry_));
+  ++archive_sweeps_;
+  return Status::OK();
+}
+
 Status WalEngine::TruncateLogs() {
+  // Truncation drops records forever; the archive must absorb the data
+  // image first so archive + log still covers every committed update.
+  DBMR_RETURN_IF_ERROR(SweepArchive());
   for (auto& s : logs_) {
     PageData master_block;
-    DBMR_RETURN_IF_ERROR(s.disk->Read(0, &master_block));
+    DBMR_RETURN_IF_ERROR(RetryDiskIo(
+        *s.disk, [&] { return s.disk->Read(0, &master_block); },
+        &io_retry_));
     LogMaster m;
     Status st = LogMaster::DecodeFrom(master_block, &m);
     uint64_t epoch = st.ok() ? m.epoch + 1 : 1;
@@ -852,7 +892,8 @@ Status WalEngine::TruncateLogs() {
     nm.start_block = 1;
     PageData block(s.disk->block_size(), 0);
     nm.EncodeTo(block);
-    DBMR_RETURN_IF_ERROR(s.disk->Write(0, block));
+    DBMR_RETURN_IF_ERROR(RetryDiskIo(
+        *s.disk, [&] { return s.disk->Write(0, block); }, &io_retry_));
   }
   return Status::OK();
 }
@@ -870,7 +911,10 @@ Status WalEngine::Checkpoint() {
 
   // Fuzzy checkpoint: advance each stream's recovery-scan origin to the
   // oldest active transaction's first record on that stream.  No
-  // quiescing; transactions keep appending behind the new horizon.
+  // quiescing; transactions keep appending behind the new horizon.  The
+  // horizon drops records, so the archive must be refreshed first — same
+  // ordering rule as truncation.
+  DBMR_RETURN_IF_ERROR(SweepArchive());
   ++fuzzy_checkpoints_;
   const size_t cap = PayloadBytesPerLogBlock();
   for (size_t i = 0; i < logs_.size(); ++i) {
@@ -888,7 +932,60 @@ Status WalEngine::Checkpoint() {
     m.start_offset = horizon % cap;
     PageData block(stm.disk->block_size(), 0);
     m.EncodeTo(block);
-    DBMR_RETURN_IF_ERROR(stm.disk->Write(0, block));
+    DBMR_RETURN_IF_ERROR(RetryDiskIo(
+        *stm.disk, [&] { return stm.disk->Write(0, block); }, &io_retry_));
+  }
+  return Status::OK();
+}
+
+Status WalEngine::MediaRecover() {
+  // Media recovery happens after a reboot: injected crash budgets are
+  // gone, but a lost medium stays lost (ClearCrashState never clears it).
+  data_->ClearCrashState();
+  for (auto& s : logs_) s.disk->ClearCrashState();
+  if (archive_ != nullptr) archive_->disk()->ClearCrashState();
+  for (const auto& s : logs_) {
+    if (s.disk->media_lost()) {
+      return Status::DataLoss(StrFormat(
+          "wal: log disk %s lost with no mirror", s.disk->name().c_str()));
+    }
+  }
+  const bool data_lost = data_->media_lost();
+  const bool archive_lost =
+      archive_ != nullptr && archive_->disk()->media_lost();
+  if (data_lost && (archive_ == nullptr || archive_lost)) {
+    return Status::DataLoss(archive_ == nullptr
+                                ? "wal: data disk lost with no archive"
+                                : "wal: data disk and archive both lost");
+  }
+  if (data_lost) {
+    data_->ReplaceMedia();
+    Status st = archive_->Validate(data_->num_blocks(), data_->block_size());
+    if (st.ok()) {
+      st = archive_->Restore(data_, data_->num_blocks(), &io_retry_);
+    }
+    if (!st.ok()) {
+      // Fail the half-restored data disk again so its partial image can
+      // never be served as the store.
+      data_->FailMedia();
+      if (archive_->disk()->media_lost()) {
+        return Status::DataLoss("wal: archive lost while restoring the "
+                                "data disk");
+      }
+      return st;
+    }
+    // The restored image is the last swept one; the caller's Recover()
+    // replays the surviving log over it, exactly like crash recovery over
+    // a stale-but-consistent data disk.
+  } else if (archive_lost) {
+    archive_->disk()->ReplaceMedia();
+    Status st = archive_->Format(data_->num_blocks(), data_->block_size());
+    if (st.ok()) st = SweepArchive();
+    if (!st.ok()) {
+      // A partially rebuilt archive must not pass for a swept one.
+      archive_->disk()->FailMedia();
+      return st;
+    }
   }
   return Status::OK();
 }

@@ -29,7 +29,9 @@
 #include <vector>
 
 #include "store/buffer_pool.h"
+#include "store/io_retry.h"
 #include "store/page_engine.h"
+#include "store/recovery/archive.h"
 #include "store/recovery/log_format.h"
 #include "store/virtual_disk.h"
 #include "txn/lock_manager.h"
@@ -69,9 +71,13 @@ struct WalEngineOptions {
 class WalEngine : public PageEngine {
  public:
   /// Disks are borrowed, not owned; all log disks must share the data
-  /// disk's block size.
+  /// disk's block size.  An optional `archive_disk` (1 + num_pages blocks
+  /// of the same size) enables fuzzy archive checkpoints: the engine
+  /// sweeps the data disk into it before every log-truncation point, and
+  /// MediaRecover() can then rebuild a lost data disk from archive + log.
   WalEngine(VirtualDisk* data_disk, std::vector<VirtualDisk*> log_disks,
-            WalEngineOptions options = {});
+            WalEngineOptions options = {},
+            VirtualDisk* archive_disk = nullptr);
   ~WalEngine() override = default;
 
   Status Format() override;
@@ -97,6 +103,13 @@ class WalEngine : public PageEngine {
   /// transaction's first record on that stream.
   Status Checkpoint();
 
+  /// Media recovery (requires an archive disk).  A lost data disk is
+  /// replaced and restored from the archive image; calling Recover()
+  /// afterwards replays the surviving log over it.  A lost archive disk
+  /// is replaced and re-swept from the live data disk.  Both lost — or a
+  /// lost, unmirrored log disk — is unrecoverable: kDataLoss.
+  Status MediaRecover() override;
+
   /// --- Introspection (tests, examples) --------------------------------
   size_t num_log_streams() const { return logs_.size(); }
   uint64_t log_forces() const { return forces_; }
@@ -109,8 +122,10 @@ class WalEngine : public PageEngine {
   uint64_t fuzzy_checkpoints() const { return fuzzy_checkpoints_; }
   /// Records appended to stream `i` since Format/Recover.
   uint64_t stream_records(size_t i) const;
+  uint64_t archive_sweeps() const { return archive_sweeps_; }
   txn::LockManager& lock_manager() { return locks_; }
   RecoveryStats last_recovery_stats() const override { return last_stats_; }
+  IoRetryStats io_retry_stats() const override { return io_retry_; }
 
  private:
   /// One append-only log stream over a VirtualDisk.
@@ -176,6 +191,9 @@ class WalEngine : public PageEngine {
   Status TruncateLogs();
   Status ApplyRecordImage(PageData& block, const LogRecordView& rec,
                           bool redo) const;
+  /// Refreshes the archive from the data disk (no-op without one).  Must
+  /// run before any log records are dropped — see archive.h for why.
+  Status SweepArchive();
 
   VirtualDisk* data_;
   std::vector<LogStream> logs_;
@@ -196,7 +214,10 @@ class WalEngine : public PageEngine {
   uint64_t aborts_ = 0;
   uint64_t full_checkpoints_ = 0;
   uint64_t fuzzy_checkpoints_ = 0;
+  uint64_t archive_sweeps_ = 0;
   RecoveryStats last_stats_;
+  std::unique_ptr<ArchiveStore> archive_;  ///< null: archiving disabled
+  mutable IoRetryStats io_retry_;
 };
 
 }  // namespace dbmr::store

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <utility>
 
+#include "store/codec.h"
 #include "util/str.h"
 
 namespace dbmr::store {
@@ -16,20 +17,32 @@ VirtualDisk::VirtualDisk(std::string name, uint64_t num_blocks,
   // own buffer in the overlay.
   auto zero = std::make_shared<PageData>(block_size, 0);
   base_ = std::make_shared<const BlockVec>(num_blocks, zero);
+  zero_crc_ = HashBytes(zero->data(), block_size_);
 }
 
 VirtualDisk::VirtualDisk(const DiskSnapshot& snapshot)
     : name_(snapshot.name_), block_size_(snapshot.block_size_) {
   DBMR_CHECK(snapshot.blocks_ != nullptr);
   base_ = snapshot.blocks_;
+  if (snapshot.crcs_ != nullptr) {
+    crc_ = *snapshot.crcs_;
+    crc_shared_ = snapshot.crcs_;
+  }
+  const PageData zero(block_size_, 0);
+  zero_crc_ = HashBytes(zero.data(), block_size_);
 }
 
 DiskSnapshot VirtualDisk::Snapshot() const {
   Flatten();
+  if (crc_shared_ == nullptr || crc_dirty_) {
+    crc_shared_ = std::make_shared<const CrcMap>(crc_);
+    crc_dirty_ = false;
+  }
   DiskSnapshot snap;
   snap.name_ = name_;
   snap.block_size_ = block_size_;
   snap.blocks_ = base_;
+  snap.crcs_ = crc_shared_;
   return snap;
 }
 
@@ -80,6 +93,30 @@ void VirtualDisk::ResetThreadOwner() {
 #endif
 }
 
+Status VirtualDisk::MediaCheck() const {
+  if (!media_lost_) return Status::OK();
+  ++faults_.media_failures;
+  return Status::IoError(
+      StrFormat("disk %s: medium lost", name_.c_str()));
+}
+
+uint64_t VirtualDisk::ExpectedCrc(BlockId b) const {
+  auto it = crc_.find(b);
+  return it == crc_.end() ? zero_crc_ : it->second;
+}
+
+Status VirtualDisk::VerifyOnRead(BlockId b) const {
+  if (!verify_checksums_) return Status::OK();
+  const PageData& blk = BlockRef(b);
+  if (HashBytes(blk.data(), blk.size()) == ExpectedCrc(b)) {
+    return Status::OK();
+  }
+  ++faults_.checksum_errors;
+  return Status::Corruption(
+      StrFormat("disk %s: checksum mismatch on block %llu", name_.c_str(),
+                static_cast<unsigned long long>(b)));
+}
+
 Status VirtualDisk::Read(BlockId b, PageData* out) const {
   if (out->size() != block_size_) out->resize(block_size_);
   return ReadInto(b, out->data());
@@ -93,6 +130,7 @@ Status VirtualDisk::ReadInto(BlockId b, uint8_t* out) const {
                   static_cast<unsigned long long>(b),
                   static_cast<unsigned long long>(base_->size())));
   }
+  DBMR_RETURN_IF_ERROR(MediaCheck());
   if (transient_read_in_ == 0) {
     transient_read_in_ = -1;  // heals: the retry succeeds
     ++faults_.transient_reads;
@@ -106,6 +144,7 @@ Status VirtualDisk::ReadInto(BlockId b, uint8_t* out) const {
     return Status::IoError(
         StrFormat("disk %s: injected read failure", name_.c_str()));
   }
+  DBMR_RETURN_IF_ERROR(VerifyOnRead(b));
   if (reads_remaining_ > 0) --reads_remaining_;
   if (shared_read_counter_ != nullptr) --*shared_read_counter_;
   if (transient_read_in_ > 0) --transient_read_in_;
@@ -122,6 +161,7 @@ Status VirtualDisk::ReadRef(BlockId b, const uint8_t** out) const {
                   static_cast<unsigned long long>(b),
                   static_cast<unsigned long long>(base_->size())));
   }
+  DBMR_RETURN_IF_ERROR(MediaCheck());
   if (transient_read_in_ == 0) {
     transient_read_in_ = -1;  // heals: the retry succeeds
     ++faults_.transient_reads;
@@ -135,6 +175,7 @@ Status VirtualDisk::ReadRef(BlockId b, const uint8_t** out) const {
     return Status::IoError(
         StrFormat("disk %s: injected read failure", name_.c_str()));
   }
+  DBMR_RETURN_IF_ERROR(VerifyOnRead(b));
   if (reads_remaining_ > 0) --reads_remaining_;
   if (shared_read_counter_ != nullptr) --*shared_read_counter_;
   if (transient_read_in_ > 0) --transient_read_in_;
@@ -156,6 +197,7 @@ Status VirtualDisk::Write(BlockId b, const PageData& data) {
         StrFormat("disk %s: write size %zu != block size %zu", name_.c_str(),
                   data.size(), block_size_));
   }
+  DBMR_RETURN_IF_ERROR(MediaCheck());
   if (!crashed_ && transient_write_in_ == 0) {
     transient_write_in_ = -1;  // heals: the retry succeeds
     ++faults_.transient_writes;
@@ -182,6 +224,8 @@ Status VirtualDisk::Write(BlockId b, const PageData& data) {
   if (shared_counter_ != nullptr) --*shared_counter_;
   if (transient_write_in_ > 0) --transient_write_in_;
   MutableBlock(b) = data;
+  crc_[b] = HashBytes(data.data(), data.size());
+  crc_dirty_ = true;
   ++writes_;
   if (observer_) observer_(b, data);
   return Status::OK();
@@ -193,6 +237,12 @@ void VirtualDisk::RestoreBlock(BlockId b, const uint8_t* data, size_t n) {
   DBMR_CHECK(n <= block_size_);
   PageData& blk = MutableBlock(b);
   std::memcpy(blk.data(), data, n);
+  if (n == block_size_) {
+    // A full restore reproduces a successful write, checksum included; a
+    // partial restore reproduces a torn one, whose sidecar stays stale.
+    crc_[b] = HashBytes(blk.data(), blk.size());
+    crc_dirty_ = true;
+  }
 }
 
 Status VirtualDisk::FlipBit(BlockId b, size_t byte, uint8_t mask) {
@@ -211,6 +261,67 @@ Status VirtualDisk::FlipBit(BlockId b, size_t byte, uint8_t mask) {
   MutableBlock(b)[byte] ^= mask;
   ++faults_.bit_flips;
   return Status::OK();
+}
+
+Status VirtualDisk::CorruptRange(BlockId b, size_t offset, size_t len,
+                                 uint64_t seed) {
+  CheckThread();
+  if (b >= base_->size()) {
+    return Status::OutOfRange(
+        StrFormat("disk %s: corrupt of block %llu beyond %llu", name_.c_str(),
+                  static_cast<unsigned long long>(b),
+                  static_cast<unsigned long long>(base_->size())));
+  }
+  if (offset >= block_size_ || len == 0 || offset + len > block_size_) {
+    return Status::OutOfRange(
+        StrFormat("disk %s: corrupt range [%zu, %zu) beyond block size %zu",
+                  name_.c_str(), offset, offset + len, block_size_));
+  }
+  PageData& blk = MutableBlock(b);
+  // SplitMix-style byte pattern derived from the seed; a zero pattern
+  // byte is promoted so every corrupted byte really changes.
+  uint64_t x = seed ^ (b * 0x9e3779b97f4a7c15ULL);
+  for (size_t i = 0; i < len; ++i) {
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    uint8_t p = static_cast<uint8_t>(z ^ (z >> 31));
+    if (p == 0) p = 0xA5;
+    blk[offset + i] ^= p;
+  }
+  ++faults_.corruptions;
+  return Status::OK();
+}
+
+void VirtualDisk::ReplaceMedia() {
+  CheckThread();
+  auto zero = std::make_shared<PageData>(block_size_, 0);
+  base_ = std::make_shared<const BlockVec>(base_->size(), zero);
+  overlay_.clear();
+  crc_.clear();
+  crc_shared_.reset();
+  crc_dirty_ = false;
+  media_lost_ = false;
+}
+
+Status VirtualDisk::VerifyBlockChecksum(BlockId b) const {
+  CheckThread();
+  if (b >= base_->size()) {
+    return Status::OutOfRange(
+        StrFormat("disk %s: scrub of block %llu beyond %llu", name_.c_str(),
+                  static_cast<unsigned long long>(b),
+                  static_cast<unsigned long long>(base_->size())));
+  }
+  DBMR_RETURN_IF_ERROR(MediaCheck());
+  const PageData& blk = BlockRef(b);
+  if (HashBytes(blk.data(), blk.size()) == ExpectedCrc(b)) {
+    return Status::OK();
+  }
+  ++faults_.checksum_errors;
+  return Status::Corruption(
+      StrFormat("disk %s: checksum mismatch on block %llu", name_.c_str(),
+                static_cast<unsigned long long>(b)));
 }
 
 void VirtualDisk::SetTornWriteMode(bool enabled, size_t torn_prefix_bytes) {

@@ -25,6 +25,15 @@
 //    retry succeeds and crashed() stays false.
 //  * Bit flips — FlipBit corrupts one stored byte in place, modeling
 //    media decay that only checksums can catch.
+//  * Media loss — FailMedia(): the whole medium is gone, permanently;
+//    every read and write fails until ReplaceMedia() installs a blank
+//    replacement.  Unlike the budgets above this survives
+//    ClearCrashState(): a reboot does not resurrect a dead disk.
+//  * Silent corruption — CorruptRange rewrites stored bytes in place
+//    with no error.  Every successful full-block write also maintains a
+//    per-block checksum sidecar; SetChecksumVerify(true) makes every
+//    read verify it (kCorruption on mismatch), and VerifyBlockChecksum
+//    lets a scrubber audit blocks without consuming read budgets.
 //
 // Every injected fault increments a FaultCounters bucket, so harnesses can
 // report exactly what was injected.  A write observer hook lets tests
@@ -78,10 +87,14 @@ struct FaultCounters {
   uint64_t transient_reads = 0;   ///< transient read errors
   uint64_t torn_writes = 0;       ///< writes torn mid-block
   uint64_t bit_flips = 0;         ///< bytes corrupted in place
+  uint64_t media_failures = 0;    ///< I/O refused on a lost medium
+  uint64_t corruptions = 0;       ///< silent in-place corruption injections
+  uint64_t checksum_errors = 0;   ///< reads rejected by CRC verification
 
   uint64_t total() const {
     return write_failures + read_failures + transient_writes +
-           transient_reads + torn_writes + bit_flips;
+           transient_reads + torn_writes + bit_flips + media_failures +
+           corruptions + checksum_errors;
   }
   FaultCounters& operator+=(const FaultCounters& o) {
     write_failures += o.write_failures;
@@ -90,6 +103,9 @@ struct FaultCounters {
     transient_reads += o.transient_reads;
     torn_writes += o.torn_writes;
     bit_flips += o.bit_flips;
+    media_failures += o.media_failures;
+    corruptions += o.corruptions;
+    checksum_errors += o.checksum_errors;
     return *this;
   }
 };
@@ -110,10 +126,14 @@ class DiskSnapshot {
  private:
   friend class VirtualDisk;
   using BlockVec = std::vector<std::shared_ptr<PageData>>;
+  using CrcMap = std::unordered_map<BlockId, uint64_t>;
 
   std::string name_;
   size_t block_size_ = 0;
   std::shared_ptr<const BlockVec> blocks_;
+  /// Checksum sidecar at snapshot time (written blocks only; an absent
+  /// entry means the block still carries the all-zero checksum).
+  std::shared_ptr<const CrcMap> crcs_;
 };
 
 /// Stable storage: an array of blocks that survives Crash().
@@ -126,6 +146,7 @@ class VirtualDisk {
 
   VirtualDisk(const VirtualDisk&) = delete;
   VirtualDisk& operator=(const VirtualDisk&) = delete;
+  virtual ~VirtualDisk() = default;
 
   /// Freezes the current contents as an immutable, shareable image.
   DiskSnapshot Snapshot() const;
@@ -140,12 +161,14 @@ class VirtualDisk {
   /// Reads block `b` into `out` (resized only if its size differs from
   /// block_size, so steady-state reads never reallocate).
   /// Fails with kIoError once an injected read fault fires.
-  Status Read(BlockId b, PageData* out) const;
+  /// The four I/O entry points (and ClearCrashState) are virtual so a
+  /// MirroredDisk can interpose replication without the engines knowing.
+  virtual Status Read(BlockId b, PageData* out) const;
 
   /// Reads block `b` into `out`, which must have room for block_size()
   /// bytes.  Same fault model as Read; skips the container bookkeeping for
   /// hot replay loops.
-  Status ReadInto(BlockId b, uint8_t* out) const;
+  virtual Status ReadInto(BlockId b, uint8_t* out) const;
 
   /// Zero-copy read: points `*out` at the block's current storage instead
   /// of copying it.  Counts as one read and runs the full fault model,
@@ -154,11 +177,11 @@ class VirtualDisk {
   /// OTHER blocks never move it (the overlay is node-based and the base
   /// image is immutable).  This is the recovery fast path: replay scans
   /// whole log/scratch regions without one memcpy per block.
-  Status ReadRef(BlockId b, const uint8_t** out) const;
+  virtual Status ReadRef(BlockId b, const uint8_t** out) const;
 
   /// Writes block `b`.  `data` must be exactly block_size bytes.
   /// Fails with kIoError once the injected crash point is reached.
-  Status Write(BlockId b, const PageData& data);
+  virtual Status Write(BlockId b, const PageData& data);
 
   /// Overwrites the first `n` bytes of block `b` (n <= block_size)
   /// directly: no fault checks, no counters, no observer.  This is a
@@ -216,13 +239,50 @@ class VirtualDisk {
   /// (silent media corruption; only checksums can detect it).
   Status FlipBit(BlockId b, size_t byte, uint8_t mask);
 
+  /// --- Media-failure injection ----------------------------------------
+
+  /// Permanent fail-stop loss of the whole medium: every subsequent read
+  /// and write fails with kIoError until ReplaceMedia().  Unlike the
+  /// fail-stop budgets this survives ClearCrashState() — a reboot does not
+  /// bring a dead disk back.
+  void FailMedia() { media_lost_ = true; }
+
+  /// True while the medium is lost (see FailMedia).
+  bool media_lost() const { return media_lost_; }
+
+  /// Installs a fresh replacement medium: contents become all zero, the
+  /// checksum sidecar is cleared, and I/O works again.  Counters and
+  /// injected-fault tallies are kept — the device identity survives, the
+  /// platters do not.
+  void ReplaceMedia();
+
+  /// Silently corrupts `len` bytes of stored block `b` starting at
+  /// `offset`, XORing in a pattern derived from `seed` (never a no-op).
+  /// The checksum sidecar is left stale, so a verified read or a scrub
+  /// pass can detect the damage; an unverified read serves it silently.
+  Status CorruptRange(BlockId b, size_t offset, size_t len, uint64_t seed);
+
+  /// When enabled, every Read/ReadInto/ReadRef verifies the block's
+  /// stored checksum and fails with kCorruption (counting a
+  /// checksum_error) on mismatch.  Off by default: the bit-flip
+  /// classification sweeps measure what the ENGINES detect, so ambient
+  /// verification must not mask them.
+  void SetChecksumVerify(bool enabled) { verify_checksums_ = enabled; }
+
+  /// Scrub check of one block: recomputes the content checksum and
+  /// compares it with the sidecar.  Counts no read, consumes no budget,
+  /// and works regardless of SetChecksumVerify; kCorruption on mismatch,
+  /// kIoError on lost media.
+  Status VerifyBlockChecksum(BlockId b) const;
+
   /// True once an injected fail-stop failure has occurred.
   bool crashed() const { return crashed_; }
 
   /// Clears the injected-failure state so a recovered engine can use the
   /// disk again (contents are untouched — that is the point).  Detaches
-  /// per-disk budgets and transient arms but not shared counters.
-  void ClearCrashState();
+  /// per-disk budgets and transient arms but not shared counters, and
+  /// never resurrects a lost medium (see FailMedia).
+  virtual void ClearCrashState();
 
   /// Faults injected since construction (never reset by ClearCrashState).
   const FaultCounters& fault_counters() const { return faults_; }
@@ -260,6 +320,18 @@ class VirtualDisk {
   /// threading contract in the file comment).
   void CheckThread() const;
 
+  /// kIoError (counting a media_failure) while the medium is lost.
+  Status MediaCheck() const;
+
+  /// The sidecar checksum block `b` should carry (zero-block checksum for
+  /// never-written blocks).
+  uint64_t ExpectedCrc(BlockId b) const;
+
+  /// SetChecksumVerify read-path hook: kCorruption (counting a
+  /// checksum_error) when block `b`'s content no longer matches the
+  /// sidecar.
+  Status VerifyOnRead(BlockId b) const;
+
   using BlockVec = DiskSnapshot::BlockVec;
 
   std::string name_;
@@ -272,6 +344,19 @@ class VirtualDisk {
   // only ever shadows existing blocks.
   mutable std::shared_ptr<const BlockVec> base_;
   mutable std::unordered_map<BlockId, PageData> overlay_;
+  // Per-block checksum sidecar (written blocks only; absent entry = the
+  // all-zero-block checksum).  Updated on every successful full-block
+  // write; deliberately left stale by FlipBit/CorruptRange/torn writes —
+  // that staleness IS the detectable corruption.  `crc_shared_` caches the
+  // last snapshot's frozen copy so back-to-back snapshots of an unwritten
+  // disk copy nothing.
+  using CrcMap = DiskSnapshot::CrcMap;
+  mutable CrcMap crc_;
+  mutable std::shared_ptr<const CrcMap> crc_shared_;
+  mutable bool crc_dirty_ = false;
+  uint64_t zero_crc_ = 0;  ///< checksum of an all-zero block
+  bool media_lost_ = false;
+  bool verify_checksums_ = false;
   mutable uint64_t reads_ = 0;
   uint64_t writes_ = 0;
   int64_t writes_remaining_ = -1;         // < 0: no injection

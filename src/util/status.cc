@@ -26,6 +26,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kIoError:
       return "IoError";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }

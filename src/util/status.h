@@ -28,6 +28,7 @@ enum class StatusCode {
   kAborted,   // e.g. transaction chosen as a deadlock victim
   kInternal,
   kIoError,   // a device-level I/O failure (e.g. an injected disk fault)
+  kDataLoss,  // unrecoverable media loss (no surviving replica or archive)
 };
 
 /// Returns a short human-readable name for a StatusCode.
@@ -69,6 +70,9 @@ class Status {
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -78,6 +82,7 @@ class Status {
   bool IsAborted() const { return code_ == StatusCode::kAborted; }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsIoError() const { return code_ == StatusCode::kIoError; }
+  bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

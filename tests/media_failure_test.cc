@@ -1,0 +1,299 @@
+// Media-failure tolerance: mirrored replica pairs, archive-based data-disk
+// rebuild, and the double-failure contract — when redundancy is exhausted
+// the store must refuse with kDataLoss, never serve a wrong image.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "chaos/engine_zoo.h"
+#include "store/mirrored_disk.h"
+#include "store/virtual_disk.h"
+#include "util/status.h"
+
+namespace dbmr {
+namespace {
+
+using chaos::EngineFixture;
+using chaos::FixtureOptions;
+using chaos::MakeEngineFixture;
+using store::BlockId;
+using store::MirroredDisk;
+using store::PageData;
+using store::VirtualDisk;
+
+constexpr size_t kBlock = 256;
+
+PageData Filled(uint8_t v) { return PageData(kBlock, v); }
+
+// ---------------------------------------------------------------------------
+// MirroredDisk
+
+TEST(MirroredDiskTest, DualWritesAndSurvivesOneMediaLoss) {
+  VirtualDisk p("p", 8, kBlock), m("m", 8, kBlock);
+  MirroredDisk pair("pair", &p, &m);
+
+  ASSERT_TRUE(pair.Write(3, Filled(0xAB)).ok());
+  PageData out(kBlock);
+  ASSERT_TRUE(p.ReadInto(3, out.data()).ok());
+  EXPECT_EQ(out[0], 0xAB);
+  ASSERT_TRUE(m.ReadInto(3, out.data()).ok());
+  EXPECT_EQ(out[0], 0xAB);
+
+  p.FailMedia();
+  EXPECT_TRUE(pair.degraded());
+  // Reads fall back to the mirror; writes keep landing on it.
+  ASSERT_TRUE(pair.Read(3, &out).ok());
+  EXPECT_EQ(out[0], 0xAB);
+  ASSERT_TRUE(pair.Write(4, Filled(0x11)).ok());
+
+  ASSERT_TRUE(pair.Rebuild().ok());
+  EXPECT_FALSE(pair.degraded());
+  ASSERT_TRUE(p.ReadInto(4, out.data()).ok());
+  EXPECT_EQ(out[0], 0x11);
+}
+
+TEST(MirroredDiskTest, DoubleMediaFailureIsDataLossNotWrongData) {
+  VirtualDisk p("p", 8, kBlock), m("m", 8, kBlock);
+  MirroredDisk pair("pair", &p, &m);
+  ASSERT_TRUE(pair.Write(0, Filled(0x77)).ok());
+
+  p.FailMedia();
+  m.FailMedia();
+  Status st = pair.Rebuild();
+  EXPECT_EQ(st.code(), StatusCode::kDataLoss) << st.ToString();
+  PageData out(kBlock);
+  EXPECT_FALSE(pair.Read(0, &out).ok());
+  EXPECT_FALSE(pair.Write(0, Filled(0)).ok());
+}
+
+TEST(MirroredDiskTest, SurvivorLostDuringRebuildIsDataLoss) {
+  VirtualDisk p("p", 8, kBlock), m("m", 8, kBlock);
+  MirroredDisk pair("pair", &p, &m);
+  for (BlockId b = 0; b < 8; ++b) {
+    ASSERT_TRUE(pair.Write(b, Filled(static_cast<uint8_t>(b + 1))).ok());
+  }
+
+  // The primary's medium goes first; halfway through its rebuild the
+  // surviving mirror dies too.
+  p.FailMedia();
+  int copied = 0;
+  p.SetWriteObserver([&](BlockId, const PageData&) {
+    if (++copied == 4) m.FailMedia();
+  });
+  Status st = pair.Rebuild();
+  EXPECT_EQ(st.code(), StatusCode::kDataLoss) << st.ToString();
+  // The half-rebuilt replica must not pass for a healthy pair image.
+  EXPECT_TRUE(p.media_lost());
+  PageData out(kBlock);
+  EXPECT_FALSE(pair.Read(7, &out).ok());
+}
+
+TEST(MirroredDiskTest, HalfWriteFailureWithoutMediaLossIsNotAcked) {
+  // A shared fail-stop budget that dies between the two half-writes is the
+  // machine crashing mid-pair, not a degraded disk: the logical write must
+  // surface the failure, or a later rebuild from the stale twin would roll
+  // back an acknowledged write.
+  VirtualDisk p("p", 8, kBlock), m("m", 8, kBlock);
+  MirroredDisk pair("pair", &p, &m);
+  auto budget = std::make_shared<int64_t>(1);
+  p.SetSharedFailCounter(budget);
+  m.SetSharedFailCounter(budget);
+  EXPECT_FALSE(pair.Write(2, Filled(0x42)).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level media recovery through the zoo fixtures
+
+/// Runs `txns` committed single-page transactions and returns the expected
+/// payload per touched page.
+std::vector<std::pair<txn::PageId, PageData>> CommitSome(EngineFixture& fx,
+                                                         int txns) {
+  std::vector<std::pair<txn::PageId, PageData>> expect;
+  const uint64_t pages = fx.engine->num_pages();
+  for (int i = 0; i < txns; ++i) {
+    auto t = fx.engine->Begin();
+    EXPECT_TRUE(t.ok());
+    const auto page = static_cast<txn::PageId>(i % pages);
+    PageData payload(fx.engine->payload_size(),
+                     static_cast<uint8_t>(0x30 + i));
+    EXPECT_TRUE(fx.engine->Write(*t, page, payload).ok());
+    EXPECT_TRUE(fx.engine->Commit(*t).ok());
+    expect.emplace_back(page, std::move(payload));
+  }
+  return expect;
+}
+
+void ExpectState(EngineFixture& fx,
+                 const std::vector<std::pair<txn::PageId, PageData>>& expect) {
+  auto t = fx.engine->Begin();
+  ASSERT_TRUE(t.ok());
+  // Newest write per page wins: walk backwards, check each page once.
+  std::unordered_set<txn::PageId> seen;
+  for (auto it = expect.rbegin(); it != expect.rend(); ++it) {
+    if (!seen.insert(it->first).second) continue;
+    PageData out;
+    ASSERT_TRUE(fx.engine->Read(*t, it->first, &out).ok());
+    EXPECT_TRUE(out == it->second) << "page " << it->first;
+  }
+  ASSERT_TRUE(fx.engine->Abort(*t).ok());
+}
+
+TEST(MediaRecoveryTest, WalRebuildsLostDataDiskFromArchiveAndLog) {
+  FixtureOptions o;
+  o.archive = true;
+  auto fxr = MakeEngineFixture("wal", o);
+  ASSERT_TRUE(fxr.ok());
+  EngineFixture fx = std::move(*fxr);
+  // CommitSome writes page i%16 on txn i, so the last 16 txns win.
+  auto expect = CommitSome(fx, 24);
+
+  fx.engine->Crash();
+  fx.disks[0]->FailMedia();  // the (unmirrored) data disk
+  ASSERT_TRUE(fx.AnyMediaLost());
+  Status st = fx.RepairMedia();
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  ASSERT_TRUE(fx.engine->Recover().ok());
+  ExpectState(fx, expect);
+}
+
+TEST(MediaRecoveryTest, WalDataAndArchiveBothLostIsDataLoss) {
+  FixtureOptions o;
+  o.archive = true;
+  auto fxr = MakeEngineFixture("wal", o);
+  ASSERT_TRUE(fxr.ok());
+  EngineFixture fx = std::move(*fxr);
+  CommitSome(fx, 8);
+
+  fx.engine->Crash();
+  fx.disks[0]->FailMedia();                       // data
+  fx.disks[fx.disks.size() - 1]->FailMedia();     // archive (added last)
+  Status st = fx.RepairMedia();
+  EXPECT_EQ(st.code(), StatusCode::kDataLoss) << st.ToString();
+}
+
+TEST(MediaRecoveryTest, WalLostLogDiskWithoutMirrorIsDataLoss) {
+  FixtureOptions o;
+  o.archive = true;
+  auto fxr = MakeEngineFixture("wal", o);
+  ASSERT_TRUE(fxr.ok());
+  EngineFixture fx = std::move(*fxr);
+  CommitSome(fx, 8);
+
+  fx.engine->Crash();
+  fx.disks[1]->FailMedia();  // log0, unmirrored in this fixture
+  Status st = fx.RepairMedia();
+  EXPECT_EQ(st.code(), StatusCode::kDataLoss) << st.ToString();
+}
+
+TEST(MediaRecoveryTest, MirroredLogSurvivesOneReplicaPerPair) {
+  FixtureOptions o;
+  o.log_mirroring = true;
+  o.archive = true;
+  auto fxr = MakeEngineFixture("wal", o);
+  ASSERT_TRUE(fxr.ok());
+  EngineFixture fx = std::move(*fxr);
+  auto expect = CommitSome(fx, 24);
+
+  fx.engine->Crash();
+  // disks = data, log0, log0-mirror, log1, log1-mirror, archive: kill one
+  // replica of each pair.
+  fx.disks[1]->FailMedia();
+  fx.disks[4]->FailMedia();
+  Status st = fx.RepairMedia();
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_FALSE(fx.AnyMediaLost());
+  ASSERT_TRUE(fx.engine->Recover().ok());
+  ExpectState(fx, expect);
+}
+
+TEST(MediaRecoveryTest, BothLogReplicasLostIsDataLoss) {
+  FixtureOptions o;
+  o.log_mirroring = true;
+  auto fxr = MakeEngineFixture("wal", o);
+  ASSERT_TRUE(fxr.ok());
+  EngineFixture fx = std::move(*fxr);
+  CommitSome(fx, 8);
+
+  fx.engine->Crash();
+  fx.disks[1]->FailMedia();
+  fx.disks[2]->FailMedia();
+  Status st = fx.RepairMedia();
+  EXPECT_EQ(st.code(), StatusCode::kDataLoss) << st.ToString();
+}
+
+TEST(MediaRecoveryTest, UnmirroredSingleDiskEngineRefusesWithDataLoss) {
+  for (const std::string& name :
+       {std::string("shadow"), std::string("differential"),
+        std::string("overwrite-noundo"), std::string("version-select")}) {
+    auto fxr = MakeEngineFixture(name);
+    ASSERT_TRUE(fxr.ok()) << name;
+    EngineFixture fx = std::move(*fxr);
+    CommitSome(fx, 4);
+    fx.engine->Crash();
+    fx.disks[0]->FailMedia();
+    Status st = fx.RepairMedia();
+    EXPECT_EQ(st.code(), StatusCode::kDataLoss) << name << ": "
+                                                << st.ToString();
+  }
+}
+
+TEST(MediaRecoveryTest, MirroredSingleDiskEngineRebuilds) {
+  for (const std::string& name :
+       {std::string("shadow"), std::string("differential"),
+        std::string("overwrite-noredo"), std::string("version-select")}) {
+    FixtureOptions o;
+    o.log_mirroring = true;
+    auto fxr = MakeEngineFixture(name, o);
+    ASSERT_TRUE(fxr.ok()) << name;
+    EngineFixture fx = std::move(*fxr);
+    auto expect = CommitSome(fx, 24);
+
+    fx.engine->Crash();
+    fx.disks[0]->FailMedia();
+    Status st = fx.RepairMedia();
+    ASSERT_TRUE(st.ok()) << name << ": " << st.ToString();
+    ASSERT_TRUE(fx.engine->Recover().ok()) << name;
+    ExpectState(fx, expect);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Checksum scrubbing
+
+TEST(ScrubTest, SilentCorruptionFailsChecksumAndHealthyBlocksPass) {
+  VirtualDisk d("d", 16, kBlock);
+  ASSERT_TRUE(d.Write(5, Filled(0x5A)).ok());
+  ASSERT_TRUE(d.VerifyBlockChecksum(5).ok());
+
+  ASSERT_TRUE(d.CorruptRange(5, 17, 9, /*seed=*/123).ok());
+  for (BlockId b = 0; b < 16; ++b) {
+    Status st = d.VerifyBlockChecksum(b);
+    if (b == 5) {
+      EXPECT_EQ(st.code(), StatusCode::kCorruption);
+    } else {
+      EXPECT_TRUE(st.ok()) << "block " << b << ": " << st.ToString();
+    }
+  }
+  // With read-time verification on, the read path catches it too (off by
+  // default so the bit-flip sweeps measure what the engines detect).
+  d.SetChecksumVerify(true);
+  PageData out(kBlock);
+  EXPECT_EQ(d.ReadInto(5, out.data()).code(), StatusCode::kCorruption);
+  ASSERT_TRUE(d.Read(4, &out).ok());
+}
+
+TEST(ScrubTest, LostMediumScrubsAsIoErrorNotCorruption) {
+  VirtualDisk d("d", 4, kBlock);
+  ASSERT_TRUE(d.Write(0, Filled(1)).ok());
+  d.FailMedia();
+  EXPECT_EQ(d.VerifyBlockChecksum(0).code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace dbmr

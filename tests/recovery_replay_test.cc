@@ -16,8 +16,10 @@
 #include <string>
 #include <vector>
 
+#include "store/recovery/differential_page_engine.h"
 #include "store/recovery/overwrite_engine.h"
 #include "store/recovery/replay_plan.h"
+#include "store/recovery/shadow_engine.h"
 #include "store/recovery/version_select_engine.h"
 #include "store/recovery/wal_engine.h"
 #include "store/virtual_disk.h"
@@ -160,6 +162,24 @@ Eut MakeEngineCfg(const std::string& kind, int jobs) {
     e.disks.push_back(
         std::make_unique<VirtualDisk>("d", 128 + 1 + 64 + 320, kBlock));
     e.engine = std::make_unique<OverwriteEngine>(e.disks[0].get(), 128, o);
+  } else if (kind == "shadow") {
+    ShadowEngineOptions o;
+    o.recovery_jobs = jobs;
+    e.disks.push_back(
+        std::make_unique<VirtualDisk>("d", 128 * 3 + 8, kBlock));
+    e.engine = std::make_unique<ShadowEngine>(e.disks[0].get(), 128, o);
+  } else if (kind == "differential") {
+    DifferentialEngineOptions o;
+    o.base_blocks = 64;
+    o.a_blocks = 512;  // room for an A stream past kParallelReplayMinBytes
+    o.d_blocks = 64;
+    o.recovery_jobs = jobs;
+    e.disks.push_back(std::make_unique<VirtualDisk>(
+        "d", 1 + o.a_blocks + o.d_blocks + 2 * o.base_blocks, kBlock));
+    // 2 KiB payloads = 256 keys per page write, so the committed A stream
+    // crosses kParallelReplayMinBytes and replay genuinely fans out.
+    e.engine = std::make_unique<DifferentialPageEngine>(
+        e.disks[0].get(), 128, /*payload_bytes=*/2048, o);
   } else {  // version_select
     VersionSelectEngineOptions o;
     o.list_blocks = 64;
@@ -243,8 +263,8 @@ TEST_P(RecoveryEquivalenceTest, ImageIdenticalAtEveryJobCount) {
       EXPECT_EQ(stats.replay_records, want_records)
           << kind << " seed " << seed << " jobs " << jobs;
       // Overwrite partitions count txns with replay work, which can
-      // legitimately be zero; WAL and version-select always partition.
-      if (kind == "wal1" || kind == "wal3" || kind == "version_select") {
+      // legitimately be zero; the other engines always partition.
+      if (kind != "overwrite_noundo" && kind != "overwrite_noredo") {
         EXPECT_GT(stats.partitions, 0u)
             << kind << " seed " << seed << " jobs " << jobs;
       }
@@ -306,6 +326,8 @@ TEST_P(RecoveryEquivalenceTest, CutDownRecoveryConverges) {
 INSTANTIATE_TEST_SUITE_P(
     Engines, RecoveryEquivalenceTest,
     ::testing::Values(EquivalenceParam{"wal1"}, EquivalenceParam{"wal3"},
+                      EquivalenceParam{"shadow"},
+                      EquivalenceParam{"differential"},
                       EquivalenceParam{"overwrite_noundo"},
                       EquivalenceParam{"overwrite_noredo"},
                       EquivalenceParam{"version_select"}),

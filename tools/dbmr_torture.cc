@@ -76,6 +76,15 @@ struct Flags {
   --no-transient     skip transient-fault sweeps
   --bit-flips=N      bit-flip trials per (engine, seed) (default: 16)
   --torn             tear the failing write instead of dropping it
+  --media-faults     media-failure sweep: permanently lose each disk at
+                     every write index (and mid-Recover), repair from the
+                     mirror/archive redundancy, verify against the oracle;
+                     plus a checksum scrub pass over injected silent
+                     corruptions.  Implies --log-mirroring and --archive
+                     unless those are set explicitly (=0 to refuse).
+  --scrub-trials=N   scrub-pass corruptions per (engine, seed) (default: 16)
+  --log-mirroring[=0|1]  mirror the log stream across a replica pair
+  --archive[=0|1]    wal: archive disk swept at log-truncation points
   --jobs=N           worker threads for the sweep trials (0 = one per
                      hardware thread; default: 1).  Reports are identical
                      at every job count.
@@ -171,6 +180,16 @@ core::CellMetrics ToCell(const chaos::SweepReport& r, int index,
   // Deterministic recovery attribution; the wall-clock recovery_ms twin
   // stays out of the metrics export (it would break report byte-identity).
   m.extra["replay_records"] = static_cast<double>(r.replay_records);
+  m.extra["io_retries"] = static_cast<double>(r.io_retries);
+  m.extra["io_giveups"] = static_cast<double>(r.io_giveups);
+  if (r.media_swept) {
+    m.extra["media_crash_points"] = static_cast<double>(r.media_crash_points);
+    m.extra["media_recover_crash_points"] =
+        static_cast<double>(r.media_recover_crash_points);
+    m.extra["media_data_loss"] = static_cast<double>(r.media_data_loss);
+    m.extra["scrub_injected"] = static_cast<double>(r.scrub_injected);
+    m.extra["scrub_detected"] = static_cast<double>(r.scrub_detected);
+  }
   m.extra["violations"] = static_cast<double>(r.violations.size());
   return cell;
 }
@@ -234,6 +253,14 @@ int main(int argc, char** argv) {
     opts.nested_recovery_read_crashes = false;
   }
   if (flags.Has("no-transient")) opts.transient_faults = false;
+  opts.media_faults = flags.Has("media-faults");
+  opts.scrub_trials = static_cast<int>(flags.GetInt("scrub-trials", 16));
+  // A media sweep without redundancy would only prove every loss is fatal,
+  // so --media-faults turns the redundancy knobs on unless overridden.
+  opts.fixture.log_mirroring =
+      flags.GetInt("log-mirroring", opts.media_faults ? 1 : 0) != 0;
+  opts.fixture.archive =
+      flags.GetInt("archive", opts.media_faults ? 1 : 0) != 0;
   opts.jobs = static_cast<int>(flags.GetInt("jobs", 1));
   opts.fixture.recovery_jobs =
       static_cast<int>(flags.GetInt("recovery-jobs", 1));
@@ -270,6 +297,16 @@ int main(int argc, char** argv) {
           static_cast<long long>(r.transient_points),
           static_cast<long long>(r.bit_flips.trials), r.violations.size(),
           r.violations.size() == 1 ? "" : "s");
+      if (r.media_swept) {
+        std::printf(
+            "%-17s          %6lld+%lld media losses  %lld data-loss refusals"
+            "  %lld/%lld corruptions caught\n",
+            "", static_cast<long long>(r.media_crash_points),
+            static_cast<long long>(r.media_recover_crash_points),
+            static_cast<long long>(r.media_data_loss),
+            static_cast<long long>(r.scrub_detected),
+            static_cast<long long>(r.scrub_injected));
+      }
       for (const chaos::Violation& v : r.violations) {
         std::printf("  VIOLATION [%s] %s\n    repro: %s\n", v.kind.c_str(),
                     v.detail.c_str(), v.repro.c_str());

@@ -1,0 +1,109 @@
+// Extension ablation: 100x-scale saturation curves.  The paper stops at a
+// 25-processor machine; this sweep grows the machine from 10 to 4000 query
+// processors (disks, cache, and multiprogramming level scaled in
+// proportion, transactions kept small and write-heavy like an OLTP
+// stream) and traces which resource saturates at each size.
+//
+// The interesting curves are the recovery resources that do NOT scale
+// with the machine: a single log processor's disk fills up mid-sweep and
+// caps logged throughput, while giving the architecture one log processor
+// per 250 query processors (the paper's parallel logging, §4.1.3) tracks
+// the bare machine to the top of the range.  The 1 MB/s interconnect is
+// reported too: fragment traffic grows linearly but stays channel-light,
+// so the disks — not the link — are what parallel logging must fix.
+
+#include <algorithm>
+
+#include "bench/bench_util.h"
+#include "machine/sim_logging.h"
+
+namespace dbmr::bench {
+namespace {
+
+core::ExperimentSetup ScaledSetup(int qps) {
+  auto setup = core::StandardSetup(core::Configuration::kConvRandom,
+                                   /*num_txns=*/0);
+  setup.machine.num_query_processors = qps;
+  setup.machine.cache_frames = 4 * qps;
+  // One disk per 16 processors, rounded up so the database (4000 pages
+  // per processor) always fits the unreserved data area (64200 per drive).
+  setup.machine.num_data_disks = std::max(2, (qps + 15) / 16);
+  setup.machine.mpl = std::max(3, (2 * qps) / 5);
+  setup.machine.db_pages =
+      std::max<uint64_t>(120000, 4000ull * static_cast<uint64_t>(qps));
+  setup.workload.db_pages = setup.machine.db_pages;
+  // An OLTP-style stream: many short, write-heavy transactions rather
+  // than the paper's 150-page batch jobs, enough of them to hold the
+  // machine at its multiprogramming level long past warm-up.
+  setup.workload.min_pages = 1;
+  setup.workload.max_pages = 4;
+  setup.workload.write_fraction = 0.5;
+  setup.workload.num_transactions = 25 * setup.machine.mpl;
+  return setup;
+}
+
+double MaxOf(const std::vector<double>& v) {
+  return v.empty() ? 0.0 : *std::max_element(v.begin(), v.end());
+}
+
+double MaxExtra(const machine::MachineResult& r, const std::string& prefix) {
+  double m = 0.0;
+  for (const auto& [key, value] : r.extra) {
+    if (key.compare(0, prefix.size(), prefix) == 0) m = std::max(m, value);
+  }
+  return m;
+}
+
+double PagesPerSecond(const machine::MachineResult& r) {
+  return static_cast<double>(r.total_pages) / r.total_time_ms * 1000.0;
+}
+
+void RunTable() {
+  TextTable t(
+      "Extension: saturation sweep, 10 -> 4000 query processors "
+      "(Conventional-Random, short write-heavy transactions, machine "
+      "resources scaled; logging once with 1 log processor, once with "
+      "1 per 250 QPs)");
+  t.SetHeader({"QPs", "MPL", "Disks", "Bare pages/s", "1-LP pages/s",
+               "Scaled-LP pages/s", "Data-disk util", "1-LP log-disk util",
+               "Channel util"});
+  for (int qps : {10, 25, 100, 250, 500, 1000, 2000, 4000}) {
+    auto setup = ScaledSetup(qps);
+    auto bare = core::RunWith(setup, std::make_unique<machine::BareArch>());
+    auto one_lp =
+        core::RunWith(setup, std::make_unique<machine::SimLogging>());
+    machine::SimLoggingOptions scaled;
+    scaled.num_log_processors = std::max(1, qps / 250);
+    auto many_lp = core::RunWith(
+        setup, std::make_unique<machine::SimLogging>(scaled));
+    t.AddRow({StrFormat("%d", qps),
+              StrFormat("%d", setup.machine.mpl),
+              StrFormat("%d", setup.machine.num_data_disks),
+              FormatFixed(PagesPerSecond(bare), 0),
+              FormatFixed(PagesPerSecond(one_lp), 0),
+              FormatFixed(PagesPerSecond(many_lp), 0),
+              FormatFixed(MaxOf(bare.data_disk_util), 2),
+              FormatFixed(MaxExtra(one_lp, "log_disk_util_"), 2),
+              FormatFixed(one_lp.extra.count("log_channel_util")
+                              ? one_lp.extra.at("log_channel_util")
+                              : 0.0,
+                          2)});
+  }
+  t.Print();
+  std::printf(
+      "\nExpected shape: bare throughput scales near-linearly (the data "
+      "disks stay the binding resource at constant utilization).  With one "
+      "log processor its disk fills mid-sweep and logged throughput falls "
+      "away from bare; scaling log processors with the machine restores "
+      "the bare curve.  Channel utilization grows linearly but stays far "
+      "from binding — the log disks, not the interconnect, are the "
+      "resource parallel logging must fix.\n");
+}
+
+}  // namespace
+}  // namespace dbmr::bench
+
+int main() {
+  dbmr::bench::RunTable();
+  return 0;
+}

@@ -123,6 +123,43 @@ void BM_Churn(benchmark::State& state) {
 }
 BENCHMARK(BM_Churn)->Arg(100000);
 
+/// Deep churn: `range(0)` events outstanding (past the ladder spill
+/// threshold when large), cycled once each.  Arg(1) forces heap mode for
+/// an in-binary O(log n)-vs-O(1) comparison at the same depth.
+void BM_DeepChurn(benchmark::State& state) {
+  const int outstanding = static_cast<int>(state.range(0));
+  const bool force_heap = state.range(1) != 0;
+  for (auto _ : state) {
+    Simulator s;
+    if (force_heap) s.set_spill_threshold(static_cast<size_t>(-1));
+    s.Reserve(static_cast<size_t>(outstanding));
+    Rng rng(1);
+    int remaining = outstanding;
+    struct Replace {
+      Simulator* s;
+      Rng* rng;
+      int* remaining;
+      void operator()() const {
+        if (--*remaining > 0) {
+          s->Schedule(rng->UniformDouble(0.0, 1000.0),
+                      Replace{s, rng, remaining});
+        }
+      }
+    };
+    for (int i = 0; i < outstanding; ++i) {
+      s.Schedule(rng.UniformDouble(0.0, 1000.0),
+                 Replace{&s, &rng, &remaining});
+    }
+    s.Run();
+    benchmark::DoNotOptimize(s.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * outstanding * 2);
+}
+BENCHMARK(BM_DeepChurn)
+    ->Args({1000000, 0})
+    ->Args({1000000, 1})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_ServerPipeline(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   for (auto _ : state) {

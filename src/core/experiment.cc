@@ -52,8 +52,11 @@ ExperimentSetup Table3Setup(int num_txns, uint64_t seed) {
 machine::MachineResult RunWith(
     const ExperimentSetup& setup,
     std::unique_ptr<machine::RecoveryArch> arch) {
-  auto txns = workload::GenerateWorkload(setup.workload);
-  machine::Machine m(setup.machine, std::move(txns), std::move(arch));
+  // Stream the workload: admission pulls specs one at a time, so memory
+  // stays O(MPL) even at millions of transactions.
+  machine::Machine m(setup.machine,
+                     workload::MakeGeneratorSource(setup.workload),
+                     std::move(arch));
   return m.Run();
 }
 

@@ -35,38 +35,54 @@ DiskModel::DiskModel(sim::Simulator* sim, std::string name,
 void DiskModel::Submit(DiskRequest req) {
   DBMR_CHECK(req.addr.cylinder >= 0 && req.addr.cylinder < geometry_.cylinders);
   DBMR_CHECK(req.addr.slot >= 0 && req.addr.slot < geometry_.pages_per_cylinder());
-  queue_.push_back(Pending{std::move(req), sim_->Now()});
-  queue_stat_.Set(sim_->Now(), static_cast<double>(queue_.size()));
-  max_queue_ = std::max(max_queue_, queue_.size());
+  const uint64_t key = BucketKey(req);
+  const uint64_t seq = next_seq_++;
+  buckets_[key].push_back(Pending{std::move(req), sim_->Now(), seq});
+  order_.push_back(OrderEntry{seq, key});
+  ++pending_count_;
+  queue_stat_.Set(sim_->Now(), static_cast<double>(pending_count_));
+  max_queue_ = std::max(max_queue_, pending_count_);
   if (!busy_) StartNextAccess();
 }
 
 void DiskModel::StartNextAccess() {
-  DBMR_CHECK(!busy_ && !queue_.empty());
+  DBMR_CHECK(!busy_ && pending_count_ > 0);
+
+  // Find the oldest pending request: skim the global order ring past
+  // entries already served as passengers of an earlier batch (their seq no
+  // longer matches the front of their bucket, because buckets drain in
+  // FIFO prefixes).
+  std::deque<Pending>* bucket = nullptr;
+  for (;;) {
+    const OrderEntry e = order_.front();
+    auto it = buckets_.find(e.key);
+    if (it == buckets_.end() || it->second.empty() ||
+        it->second.front().seq != e.seq) {
+      order_.pop_front();  // stale
+      continue;
+    }
+    bucket = &it->second;
+    break;
+  }
 
   // Gather the batch for this access.  A conventional drive always moves
-  // exactly the front request.  A parallel-access drive sweeps the queue for
-  // every same-operation request on the front request's cylinder (the heads
-  // read/write all tracks of the cylinder in one revolution).
+  // exactly the front request.  A parallel-access drive services every
+  // queued same-operation request on the front request's cylinder (the
+  // heads read/write all tracks of the cylinder in one revolution) — which
+  // is precisely the front request's bucket, oldest first, exactly the
+  // order the old whole-queue sweep produced.
   std::vector<Pending> batch;
-  batch.push_back(std::move(queue_.front()));
-  queue_.pop_front();
-  if (kind_ == DiskKind::kParallelAccess) {
-    const int32_t cyl = batch.front().req.addr.cylinder;
-    const bool is_write = batch.front().req.is_write;
-    const size_t max_batch =
-        static_cast<size_t>(geometry_.pages_per_cylinder());
-    for (auto it = queue_.begin();
-         it != queue_.end() && batch.size() < max_batch;) {
-      if (it->req.addr.cylinder == cyl && it->req.is_write == is_write) {
-        batch.push_back(std::move(*it));
-        it = queue_.erase(it);
-      } else {
-        ++it;
-      }
-    }
+  const size_t max_batch =
+      kind_ == DiskKind::kParallelAccess
+          ? static_cast<size_t>(geometry_.pages_per_cylinder())
+          : 1;
+  while (!bucket->empty() && batch.size() < max_batch) {
+    batch.push_back(std::move(bucket->front()));
+    bucket->pop_front();
   }
-  queue_stat_.Set(sim_->Now(), static_cast<double>(queue_.size()));
+  order_.pop_front();  // the leader's own order entry
+  pending_count_ -= batch.size();
+  queue_stat_.Set(sim_->Now(), static_cast<double>(pending_count_));
 
   const int32_t target = batch.front().req.addr.cylinder;
   const sim::TimeMs seek = geometry_.SeekTime(arm_cylinder_, target);
@@ -113,7 +129,7 @@ void DiskModel::StartNextAccess() {
     }
     busy_ = false;
     busy_stat_.Set(sim_->Now(), 0.0);
-    if (!queue_.empty()) StartNextAccess();
+    if (pending_count_ > 0) StartNextAccess();
     for (auto& p : batch) {
       if (p.req.done) p.req.done();
     }

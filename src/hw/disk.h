@@ -17,10 +17,12 @@
 #include <cstdint>
 #include <deque>
 #include <string>
+#include <unordered_map>
 
 #include "hw/disk_geometry.h"
 #include "sim/inline_task.h"
 #include "sim/simulator.h"
+#include "util/ring_buffer.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -59,7 +61,7 @@ class DiskModel {
   void Submit(DiskRequest req);
 
   bool busy() const { return busy_; }
-  size_t QueueLength() const { return queue_.size(); }
+  size_t QueueLength() const { return pending_count_; }
   const std::string& name() const { return name_; }
   const DiskGeometry& geometry() const { return geometry_; }
   DiskKind kind() const { return kind_; }
@@ -89,7 +91,21 @@ class DiskModel {
   struct Pending {
     DiskRequest req;
     sim::TimeMs enqueued;
+    uint64_t seq;  // global arrival number, strictly increasing
   };
+  // One FIFO per (cylinder, operation): exactly the set a parallel-access
+  // batch drains, so the gather is O(batch) instead of the old
+  // O(queue-length) sweep (which went quadratic under saturation).
+  struct OrderEntry {
+    uint64_t seq;
+    uint64_t key;
+  };
+
+  static uint64_t BucketKey(const DiskRequest& req) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(req.addr.cylinder))
+            << 1) |
+           static_cast<uint64_t>(req.is_write);
+  }
 
   void StartNextAccess();
 
@@ -103,7 +119,13 @@ class DiskModel {
   bool busy_ = false;
   int32_t arm_cylinder_ = 0;
   int32_t next_slot_ = -1;
-  std::deque<Pending> queue_;
+  std::unordered_map<uint64_t, std::deque<Pending>> buckets_;
+  // Global FCFS order across buckets.  Entries whose request was already
+  // swept into an earlier batch are skipped lazily at the front (a served
+  // request's seq can no longer match its bucket's front).
+  RingBuffer<OrderEntry> order_;
+  size_t pending_count_ = 0;
+  uint64_t next_seq_ = 0;
   size_t max_queue_ = 0;
 
   uint64_t accesses_ = 0;

@@ -32,13 +32,14 @@ void RecoveryArch::WriteUpdatedPage(txn::TxnId t, uint64_t page,
 }
 
 Machine::Machine(const MachineConfig& config,
-                 std::vector<workload::TransactionSpec> workload,
+                 std::unique_ptr<workload::TxnSource> source,
                  std::unique_ptr<RecoveryArch> arch)
     : config_(config),
-      workload_(std::move(workload)),
+      source_(std::move(source)),
       arch_(std::move(arch)),
       rng_(config.seed) {
   DBMR_CHECK(arch_ != nullptr);
+  DBMR_CHECK(source_ != nullptr);
   DBMR_CHECK(config_.num_query_processors > 0);
   DBMR_CHECK(config_.cache_frames > 0);
   DBMR_CHECK(config_.num_data_disks > 0);
@@ -77,6 +78,12 @@ Machine::Machine(const MachineConfig& config,
   }
   arch_->Attach(this);
 }
+
+Machine::Machine(const MachineConfig& config,
+                 std::vector<workload::TransactionSpec> workload,
+                 std::unique_ptr<RecoveryArch> arch)
+    : Machine(config, workload::MakeVectorSource(std::move(workload)),
+              std::move(arch)) {}
 
 Machine::~Machine() = default;
 
@@ -125,40 +132,172 @@ void Machine::NoteHomeWrite(txn::TxnId t, uint64_t page) {
   ++pages_written_;
 }
 
-MachineResult Machine::Run() {
-  runs_.reserve(workload_.size());
-  for (const auto& spec : workload_) {
-    auto run = std::make_unique<TxnRun>();
-    run->spec = &spec;
-    runs_.push_back(std::move(run));
-  }
-  if (config_.mean_interarrival_ms > 0.0) {
-    // Open system: exponential arrivals; admit up to the MPL on arrival,
-    // queue otherwise.  Completion then measures response time.
-    sim::TimeMs when = 0.0;
-    for (auto& run : runs_) {
-      when += rng_.Exponential(config_.mean_interarrival_ms);
-      TxnRun* txn = run.get();
-      sim_.ScheduleAt(when, [this, txn] {
-        txn->admit_time = sim_.Now();
-        pending_.push_back(txn);
-        if (static_cast<int>(active_.size()) < config_.mpl) AdmitNext();
-        Pump();
-      });
-    }
+Machine::TxnRun* Machine::AcquireRun() {
+  TxnRun* t;
+  if (!free_runs_.empty()) {
+    t = free_runs_.back();
+    free_runs_.pop_back();
   } else {
-    for (auto& run : runs_) pending_.push_back(run.get());
+    run_pool_.push_back(std::make_unique<TxnRun>());
+    t = run_pool_.back().get();
+  }
+  const bool ok = source_->Next(&t->spec);
+  DBMR_CHECK(ok);
+  ++generated_txns_;
+  total_spec_pages_ += t->spec.num_reads() + t->spec.num_writes();
+  t->next_read = 0;
+  t->outstanding = 0;
+  t->committing = false;
+  t->doomed = false;
+  t->paused = false;
+  t->in_eligible = false;
+  t->waiting_locks = 0;
+  t->admit_time = 0;
+  t->restarts = 0;
+  t->prev_active = t->next_active = nullptr;
+  t->prev_elig = t->next_elig = nullptr;
+  return t;
+}
+
+void Machine::RecycleRun(TxnRun* txn) { free_runs_.push_back(txn); }
+
+void Machine::ActiveAppend(TxnRun* t) {
+  t->prev_active = active_tail_;
+  t->next_active = nullptr;
+  if (active_tail_ != nullptr) {
+    active_tail_->next_active = t;
+  } else {
+    active_head_ = t;
+  }
+  active_tail_ = t;
+}
+
+void Machine::ActiveUnlink(TxnRun* t) {
+  if (t->prev_active != nullptr) {
+    t->prev_active->next_active = t->next_active;
+  } else {
+    active_head_ = t->next_active;
+  }
+  if (t->next_active != nullptr) {
+    t->next_active->prev_active = t->prev_active;
+  } else {
+    active_tail_ = t->prev_active;
+  }
+  t->prev_active = t->next_active = nullptr;
+}
+
+void Machine::EligibleAppend(TxnRun* t) {
+  DBMR_CHECK(!t->in_eligible);
+  t->in_eligible = true;
+  t->prev_elig = elig_tail_;
+  t->next_elig = nullptr;
+  if (elig_tail_ != nullptr) {
+    elig_tail_->next_elig = t;
+  } else {
+    elig_head_ = t;
+  }
+  elig_tail_ = t;
+}
+
+void Machine::EligibleUnlink(TxnRun* t) {
+  if (!t->in_eligible) return;
+  t->in_eligible = false;
+  if (t->prev_elig != nullptr) {
+    t->prev_elig->next_elig = t->next_elig;
+  } else {
+    elig_head_ = t->next_elig;
+  }
+  if (t->next_elig != nullptr) {
+    t->next_elig->prev_elig = t->prev_elig;
+  } else {
+    elig_tail_ = t->prev_elig;
+  }
+  t->prev_elig = t->next_elig = nullptr;
+}
+
+void Machine::EligibleRelink(TxnRun* txn) {
+  if (txn->in_eligible) return;
+  // Restore admission-order position: insert before the first eligible
+  // successor on the active list.  Restart wake-ups are rare (deadlock
+  // victims only), so the forward walk is off the hot path.
+  TxnRun* succ = txn->next_active;
+  while (succ != nullptr && !succ->in_eligible) succ = succ->next_active;
+  if (succ == nullptr) {
+    EligibleAppend(txn);
+    return;
+  }
+  txn->in_eligible = true;
+  txn->next_elig = succ;
+  txn->prev_elig = succ->prev_elig;
+  if (succ->prev_elig != nullptr) {
+    succ->prev_elig->next_elig = txn;
+  } else {
+    elig_head_ = txn;
+  }
+  succ->prev_elig = txn;
+}
+
+MachineResult Machine::Run() {
+  Start();
+  sim_.Run();
+  return Finish();
+}
+
+void Machine::Start() {
+  DBMR_CHECK(!started_);
+  started_ = true;
+  // Pre-size every steady-state container: the TxnRun pool holds at most
+  // MPL live transactions, ready pages are bounded by cache frames, and
+  // the event pool by frames + QPs + per-device events — so the pump loop
+  // runs allocation-free once warm (asserted by tests/machine_test.cc).
+  const uint64_t total = source_->total();
+  const auto pool_target = static_cast<size_t>(std::min<uint64_t>(
+      total, static_cast<uint64_t>(config_.mpl) + 1));
+  run_pool_.reserve(pool_target);
+  free_runs_.reserve(pool_target);
+  ready_.Reserve(static_cast<size_t>(config_.cache_frames));
+  sim_.Reserve(static_cast<size_t>(config_.cache_frames) +
+               static_cast<size_t>(config_.num_query_processors) +
+               2 * static_cast<size_t>(config_.num_data_disks) +
+               static_cast<size_t>(config_.mpl) + 16);
+  if (open_system()) {
+    // Open system: exponential arrivals as a self-rescheduling event
+    // chain (O(1) pending arrival events at any moment); admit up to the
+    // MPL on arrival, queue otherwise.  Completion then measures
+    // response time.  Arrivals draw from their own seed-derived stream
+    // so the machine's rng_ sequence is identical in open and closed
+    // runs.
+    arrival_rng_ = Rng(config_.seed ^ 0x5bf0a8b1e1d3a0a7ULL);
+    arrival_backlog_.Reserve(
+        static_cast<size_t>(std::min<uint64_t>(total, 4096)));
+    ScheduleNextArrival(0.0);
+  } else {
     for (int i = 0; i < config_.mpl; ++i) AdmitNext();
   }
   Pump();
-  sim_.Run();
-  DBMR_CHECK(completed_txns_ == static_cast<int>(workload_.size()));
+}
+
+void Machine::ScheduleNextArrival(sim::TimeMs base) {
+  if (arrivals_scheduled_ >= source_->total()) return;
+  ++arrivals_scheduled_;
+  const sim::TimeMs when =
+      base + arrival_rng_.Exponential(config_.mean_interarrival_ms);
+  sim_.ScheduleAt(when, [this, when] {
+    ScheduleNextArrival(when);
+    arrival_backlog_.push_back(when);
+    if (active_count_ < config_.mpl) AdmitNext();
+    Pump();
+  });
+}
+
+MachineResult Machine::Finish() {
+  DBMR_CHECK(completed_txns_ == source_->total());
   if (auditor_) auditor_->OnRunEnd(free_frames_, busy_qps_, blocked_pages_);
 
   MachineResult r;
   r.arch_name = arch_->name();
   r.total_time_ms = completion_end_;
-  r.total_pages = workload::TotalPages(workload_);
+  r.total_pages = total_spec_pages_;
   r.exec_time_per_page_ms =
       r.total_time_ms / static_cast<double>(r.total_pages);
   r.completion_ms = completion_ms_;
@@ -178,6 +317,11 @@ MachineResult Machine::Run() {
   r.extra["sim_max_heap_depth"] = static_cast<double>(sc.max_heap_depth);
   r.extra["sim_slot_pool_highwater"] =
       static_cast<double>(sc.slot_pool_highwater);
+  // Only surfaced when the run actually outgrew the heap, so paper-scale
+  // reports (and their goldens) are unchanged.
+  if (sc.ladder_spills > 0) {
+    r.extra["sim_ladder_spills"] = static_cast<double>(sc.ladder_spills);
+  }
   for (size_t i = 0; i < data_disks_.size(); ++i) {
     r.extra[StrFormat("data_disk_queue_highwater_%zu", i)] =
         static_cast<double>(data_disks_[i]->max_queue_length());
@@ -198,17 +342,27 @@ MachineResult Machine::Run() {
 }
 
 void Machine::AdmitNext() {
-  if (pending_.empty()) return;
-  TxnRun* txn = pending_.front();
-  pending_.pop_front();
-  // In the open system admit_time was stamped at arrival (so queueing for
-  // admission counts toward the response time); in the closed batch it is
-  // stamped here, at first cache-frame eligibility, per the paper.
-  if (config_.mean_interarrival_ms <= 0.0) txn->admit_time = sim_.Now();
-  if (auditor_) auditor_->OnAdmit(txn->spec->id);
-  TraceEmit(sim::TraceKind::kTxnAdmit, txn->spec->id,
-            txn->spec->reads.size());
-  active_.push_back(txn);
+  TxnRun* txn = nullptr;
+  if (open_system()) {
+    if (arrival_backlog_.empty()) return;
+    // Stamped at arrival (so queueing for admission counts toward the
+    // response time).
+    const sim::TimeMs arrived = arrival_backlog_.front();
+    arrival_backlog_.pop_front();
+    txn = AcquireRun();
+    txn->admit_time = arrived;
+  } else {
+    if (generated_txns_ >= source_->total()) return;
+    // Closed batch: stamped here, at first cache-frame eligibility, per
+    // the paper.
+    txn = AcquireRun();
+    txn->admit_time = sim_.Now();
+  }
+  if (auditor_) auditor_->OnAdmit(txn->spec.id);
+  TraceEmit(sim::TraceKind::kTxnAdmit, txn->spec.id, txn->spec.reads.size());
+  ActiveAppend(txn);
+  ++active_count_;
+  if (Eligible(txn)) EligibleAppend(txn);
 }
 
 void Machine::Pump() {
@@ -225,14 +379,22 @@ void Machine::Pump() {
       ready_.pop_front();
       StartProcessing(w);
     }
-    // Issue anticipatory reads round-robin across active transactions
-    // while cache frames remain.
+    // Issue anticipatory reads round-robin across eligible transactions
+    // (in admission order) while cache frames remain.  The eligible list
+    // holds exactly the transactions that can issue a read — a pass costs
+    // O(issuers), not O(active transactions).
     bool progress = true;
     while (progress && free_frames_ > 0) {
       progress = false;
-      for (TxnRun* txn : active_) {
-        if (free_frames_ <= 0) break;
-        if (txn->doomed || txn->paused || txn->committing) continue;
+      TxnRun* txn = elig_head_;
+      while (txn != nullptr && free_frames_ > 0) {
+        TxnRun* const next = txn->next_elig;
+        if (!Eligible(txn)) {
+          // Went ineligible since it was linked; drop it lazily.
+          EligibleUnlink(txn);
+          txn = next;
+          continue;
+        }
         for (int k = 0; k < config_.read_ahead_chunk; ++k) {
           // Re-check paused too: a deadlock inside IssueRead can run the
           // whole restart synchronously (doomed set, abort completed,
@@ -240,10 +402,12 @@ void Machine::Pump() {
           // the paused transaction here would re-deadlock it at the same
           // instant, forever.
           if (free_frames_ <= 0 || txn->doomed || txn->paused) break;
-          if (txn->next_read >= txn->spec->reads.size()) break;
+          if (txn->next_read >= txn->spec.reads.size()) break;
           IssueRead(txn);
           progress = true;
         }
+        if (!Eligible(txn)) EligibleUnlink(txn);
+        txn = next;
       }
     }
   } while (repump_);
@@ -255,8 +419,8 @@ void Machine::Pump() {
 }
 
 void Machine::IssueRead(TxnRun* txn) {
-  const uint64_t page = txn->spec->reads[txn->next_read++];
-  const bool is_write = txn->spec->write_set.count(page) > 0;
+  const uint64_t page = txn->spec.reads[txn->next_read++];
+  const bool is_write = txn->spec.write_set.count(page) > 0;
   ++txn->outstanding;
   --free_frames_;
 
@@ -264,7 +428,7 @@ void Machine::IssueRead(TxnRun* txn) {
   // deadlocks (the write set is known to the compiled transaction).
   const txn::LockMode mode =
       is_write ? txn::LockMode::kExclusive : txn::LockMode::kShared;
-  const txn::TxnId id = txn->spec->id;
+  const txn::TxnId id = txn->spec.id;
   auto res = locks_.Acquire(id, page, mode, [this, txn, page, is_write] {
     --txn->waiting_locks;
     if (txn->doomed) {
@@ -305,7 +469,7 @@ void Machine::IssueRead(TxnRun* txn) {
 }
 
 void Machine::StartRead(TxnRun* txn, uint64_t page, bool is_write) {
-  const txn::TxnId id = txn->spec->id;
+  const txn::TxnId id = txn->spec.id;
   if (auditor_) auditor_->OnLockAcquired(id, page);
   TraceEmit(sim::TraceKind::kReadIssue, id, page);
   arch_->BeforeRead(id, page, [this, txn, page, is_write] {
@@ -321,7 +485,7 @@ void Machine::StartRead(TxnRun* txn, uint64_t page, bool is_write) {
 }
 
 void Machine::OnReadDone(PageWork work) {
-  TraceEmit(sim::TraceKind::kPageReady, work.txn->spec->id, work.page);
+  TraceEmit(sim::TraceKind::kPageReady, work.txn->spec.id, work.page);
   ready_.push_back(work);
   Pump();
 }
@@ -329,14 +493,14 @@ void Machine::OnReadDone(PageWork work) {
 void Machine::StartProcessing(PageWork work) {
   ++busy_qps_;
   qp_busy_stat_.Set(sim_.Now(), static_cast<double>(busy_qps_));
-  TraceEmit(sim::TraceKind::kQpStart, work.txn->spec->id, work.page);
+  TraceEmit(sim::TraceKind::kQpStart, work.txn->spec.id, work.page);
   const sim::TimeMs service =
       config_.cpu_ms_per_page +
-      arch_->ExtraCpu(work.txn->spec->id, work.page, work.is_write);
+      arch_->ExtraCpu(work.txn->spec.id, work.page, work.is_write);
   sim_.Schedule(service, [this, work] {
     --busy_qps_;
     qp_busy_stat_.Set(sim_.Now(), static_cast<double>(busy_qps_));
-    TraceEmit(sim::TraceKind::kQpEnd, work.txn->spec->id, work.page);
+    TraceEmit(sim::TraceKind::kQpEnd, work.txn->spec.id, work.page);
     OnProcessed(work);
   });
 }
@@ -350,7 +514,7 @@ void Machine::OnProcessed(PageWork work) {
   // collected, after which the page may be written back.
   ++blocked_pages_;
   blocked_pages_stat_.Set(sim_.Now(), static_cast<double>(blocked_pages_));
-  const txn::TxnId id = work.txn->spec->id;
+  const txn::TxnId id = work.txn->spec.id;
   if (auditor_) auditor_->OnCollectStart(id, work.page);
   TraceEmit(sim::TraceKind::kCollectStart, id, work.page);
   arch_->CollectRecoveryData(id, work.page, [this, work, id] {
@@ -387,21 +551,25 @@ void Machine::MaybeComplete(TxnRun* txn) {
     return;
   }
   if (txn->committing) return;
-  if (txn->next_read < txn->spec->reads.size()) return;
+  if (txn->next_read < txn->spec.reads.size()) return;
   txn->committing = true;
-  if (auditor_) auditor_->OnCommitStart(txn->spec->id, txn->spec->write_set);
-  TraceEmit(sim::TraceKind::kCommitStart, txn->spec->id);
-  arch_->OnCommit(txn->spec->id, [this, txn] { CompleteTxn(txn); });
+  EligibleUnlink(txn);  // no-op unless a lazy link lingered
+  if (auditor_) auditor_->OnCommitStart(txn->spec.id, txn->spec.write_set);
+  TraceEmit(sim::TraceKind::kCommitStart, txn->spec.id);
+  arch_->OnCommit(txn->spec.id, [this, txn] { CompleteTxn(txn); });
 }
 
 void Machine::CompleteTxn(TxnRun* txn) {
-  if (auditor_) auditor_->OnCommitDone(txn->spec->id);
-  TraceEmit(sim::TraceKind::kCommitDone, txn->spec->id);
+  if (auditor_) auditor_->OnCommitDone(txn->spec.id);
+  TraceEmit(sim::TraceKind::kCommitDone, txn->spec.id);
   completion_ms_.Add(sim_.Now() - txn->admit_time);
   completion_end_ = std::max(completion_end_, sim_.Now());
-  locks_.ReleaseAll(txn->spec->id);
-  active_.erase(std::find(active_.begin(), active_.end(), txn));
+  locks_.ReleaseAll(txn->spec.id);
+  EligibleUnlink(txn);
+  ActiveUnlink(txn);
+  --active_count_;
   ++completed_txns_;
+  RecycleRun(txn);  // spec buffers feed the next admission
   AdmitNext();
   Pump();
 }
@@ -410,7 +578,7 @@ void Machine::RestartTxn(TxnRun* txn) {
   ++deadlock_restarts_;
   ++txn->restarts;
   txn->paused = true;
-  const txn::TxnId id = txn->spec->id;
+  const txn::TxnId id = txn->spec.id;
   TraceEmit(sim::TraceKind::kRestart, id,
             static_cast<uint64_t>(txn->restarts));
   // The abort may need I/O (no-redo overwriting restores before images);
@@ -432,6 +600,7 @@ void Machine::RestartTxn(TxnRun* txn) {
     sim_.Schedule(backoff, [this, txn, generation] {
       if (txn->restarts != generation) return;
       txn->paused = false;
+      if (Eligible(txn)) EligibleRelink(txn);
       Pump();
     });
     Pump();

@@ -9,6 +9,15 @@
 // commit protocol.  Page-level two-phase locking with deadlock-victim
 // restart is provided by txn::LockManager.
 //
+// Built to scale ~100× past the paper's 75-QP / 150-txn design point:
+// transactions stream from a workload::TxnSource into a recycled pool of
+// at most MPL TxnRun slots (a million-transaction run holds MPL specs in
+// memory, not a million); active and read-eligible transactions live on
+// intrusive lists threaded through the TxnRun nodes, so the frame-fill
+// pump touches only transactions that can actually issue a read and
+// completion unlinks in O(1); the ready-page and arrival queues are flat
+// ring buffers pre-sized at Start().
+//
 // Metrics follow the paper: average execution time per page (machine time
 // over total pages read+written by the workload) and average transaction
 // completion time (first cache-frame allocation to the last updated page
@@ -17,7 +26,6 @@
 #ifndef DBMR_MACHINE_MACHINE_H_
 #define DBMR_MACHINE_MACHINE_H_
 
-#include <deque>
 #include <memory>
 #include <vector>
 
@@ -28,6 +36,7 @@
 #include "sim/simulator.h"
 #include "sim/trace.h"
 #include "txn/lock_manager.h"
+#include "util/ring_buffer.h"
 #include "util/rng.h"
 #include "workload/workload.h"
 
@@ -36,6 +45,11 @@ namespace dbmr::machine {
 /// One simulated database machine run.
 class Machine {
  public:
+  /// Streams transactions from `source` (admission order = source order).
+  Machine(const MachineConfig& config,
+          std::unique_ptr<workload::TxnSource> source,
+          std::unique_ptr<RecoveryArch> arch);
+  /// Convenience: wraps an already-materialized workload.
   Machine(const MachineConfig& config,
           std::vector<workload::TransactionSpec> workload,
           std::unique_ptr<RecoveryArch> arch);
@@ -44,7 +58,16 @@ class Machine {
   ~Machine();
 
   /// Executes the workload to completion and returns the metrics.
+  /// Equivalent to Start(); simulator()->Run(); Finish().
   MachineResult Run();
+
+  /// Pre-sizes pools/queues, schedules arrivals, and admits the initial
+  /// transactions.  Call once; drive the simulator to completion (e.g.
+  /// simulator()->Run()), then call Finish().
+  void Start();
+
+  /// Collects the metrics after the event list has drained.
+  MachineResult Finish();
 
   /// --- Context API used by recovery architectures ---------------------
   sim::Simulator* simulator() { return &sim_; }
@@ -90,15 +113,22 @@ class Machine {
 
  private:
   struct TxnRun {
-    const workload::TransactionSpec* spec = nullptr;
+    workload::TransactionSpec spec;  // owned; buffers recycled across txns
     size_t next_read = 0;
     int outstanding = 0;  // pages issued and not yet retired
     bool committing = false;
     bool doomed = false;  // deadlock victim draining before restart
     bool paused = false;  // restart backoff in progress
+    bool in_eligible = false;
     int waiting_locks = 0;
     sim::TimeMs admit_time = 0;
     int restarts = 0;
+    // Intrusive links: all admitted txns in admission order...
+    TxnRun* prev_active = nullptr;
+    TxnRun* next_active = nullptr;
+    // ...and the read-eligible subset, in the same admission order.
+    TxnRun* prev_elig = nullptr;
+    TxnRun* next_elig = nullptr;
   };
   struct PageWork {
     TxnRun* txn = nullptr;
@@ -106,6 +136,25 @@ class Machine {
     bool is_write = false;
   };
 
+  bool open_system() const { return config_.mean_interarrival_ms > 0.0; }
+  /// A transaction the pump may issue reads for right now.
+  static bool Eligible(const TxnRun* t) {
+    return !t->doomed && !t->paused && !t->committing &&
+           t->next_read < t->spec.reads.size();
+  }
+
+  TxnRun* AcquireRun();
+  void RecycleRun(TxnRun* txn);
+  void ActiveAppend(TxnRun* txn);
+  void ActiveUnlink(TxnRun* txn);
+  void EligibleAppend(TxnRun* txn);
+  void EligibleUnlink(TxnRun* txn);
+  /// Re-links a txn that became eligible again (restart wake-up) at its
+  /// admission-order position: before the first eligible successor on the
+  /// active list.
+  void EligibleRelink(TxnRun* txn);
+
+  void ScheduleNextArrival(sim::TimeMs base);
   void AdmitNext();
   void Pump();
   void IssueRead(TxnRun* txn);
@@ -119,22 +168,36 @@ class Machine {
   void RestartTxn(TxnRun* txn);
 
   MachineConfig config_;
-  std::vector<workload::TransactionSpec> workload_;
+  std::unique_ptr<workload::TxnSource> source_;
   std::unique_ptr<RecoveryArch> arch_;
   sim::Simulator sim_;
   Rng rng_;
+  Rng arrival_rng_;  // open-system arrivals; separate stream so the
+                     // closed-batch rng_ sequence is arrival-free
   txn::LockManager locks_;
   std::vector<std::unique_ptr<hw::DiskModel>> data_disks_;
   std::unique_ptr<Auditor> auditor_;
   uint16_t machine_track_ = 0;
 
-  std::vector<std::unique_ptr<TxnRun>> runs_;
-  std::deque<TxnRun*> pending_;  // not yet admitted
-  std::vector<TxnRun*> active_;
-  std::deque<PageWork> ready_;  // pages in cache awaiting a QP
+  // TxnRun pool: at most ~MPL live at once; completed runs recycle.
+  std::vector<std::unique_ptr<TxnRun>> run_pool_;
+  std::vector<TxnRun*> free_runs_;
+  uint64_t generated_txns_ = 0;   // specs pulled from the source
+  uint64_t arrivals_scheduled_ = 0;
+  RingBuffer<sim::TimeMs> arrival_backlog_;  // open system: arrived, not admitted
+
+  TxnRun* active_head_ = nullptr;  // admission order
+  TxnRun* active_tail_ = nullptr;
+  int active_count_ = 0;
+  TxnRun* elig_head_ = nullptr;  // read-eligible subset, admission order
+  TxnRun* elig_tail_ = nullptr;
+
+  RingBuffer<PageWork> ready_;  // pages in cache awaiting a QP
   int free_frames_ = 0;
   int busy_qps_ = 0;
-  int completed_txns_ = 0;
+  uint64_t completed_txns_ = 0;
+  uint64_t total_spec_pages_ = 0;  // reads+writes across generated specs
+  bool started_ = false;
   bool pumping_ = false;
   bool repump_ = false;
   sim::TimeMs completion_end_ = 0;

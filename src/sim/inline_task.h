@@ -16,6 +16,7 @@
 #define DBMR_SIM_INLINE_TASK_H_
 
 #include <cstddef>
+#include <cstring>
 #include <new>
 #include <type_traits>
 #include <utility>
@@ -92,6 +93,10 @@ class InlineFn<R()> {
     void (*relocate)(void* from, void* to);  // move-construct, destroy source
     void (*destroy)(void* storage);
     bool inline_stored;
+    /// Relocation is a plain byte copy: MoveFrom skips the indirect
+    /// `relocate` call.  The kernel moves every event closure twice (into
+    /// its pool slot, back out to fire), so this pays on the hottest path.
+    bool trivial_relocate;
   };
 
   template <class D>
@@ -105,6 +110,8 @@ class InlineFn<R()> {
         },
         [](void* s) { static_cast<D*>(s)->~D(); },
         /*inline_stored=*/true,
+        /*trivial_relocate=*/std::is_trivially_copyable_v<D> &&
+            std::is_trivially_destructible_v<D>,
     };
     return &ops;
   }
@@ -116,6 +123,7 @@ class InlineFn<R()> {
         [](void* from, void* to) { ::new (to) D*(*static_cast<D**>(from)); },
         [](void* s) { delete *static_cast<D**>(s); },
         /*inline_stored=*/false,
+        /*trivial_relocate=*/true,  // relocating the owning pointer is a copy
     };
     return &ops;
   }
@@ -123,7 +131,11 @@ class InlineFn<R()> {
   void MoveFrom(InlineFn&& other) {
     ops_ = other.ops_;
     if (ops_ != nullptr) {
-      ops_->relocate(other.storage_, storage_);
+      if (ops_->trivial_relocate) {
+        std::memcpy(storage_, other.storage_, kInlineFnStorage);
+      } else {
+        ops_->relocate(other.storage_, storage_);
+      }
       other.ops_ = nullptr;
     }
   }

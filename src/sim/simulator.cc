@@ -3,7 +3,64 @@
 #include <algorithm>
 #include <utility>
 
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
 namespace dbmr::sim {
+
+namespace {
+
+/// Asks the OS to back a large kernel array with transparent huge pages.
+/// At millions of pending events the slot pool dwarfs what 4 KiB TLB
+/// entries cover, and the fire path's random slot access becomes a page
+/// walk on every event — latency that software prefetch cannot reliably
+/// hide, because prefetches may be dropped on a TLB miss.  2 MiB pages
+/// put a multi-hundred-megabyte pool under a few hundred TLB entries.
+/// Purely a hint: a no-op off Linux, when THP is disabled, or for
+/// paper-scale pools that fit comfortably in 4 KiB pages anyway.
+void HintHugePages(void* p, size_t bytes) {
+#if defined(__linux__) && defined(MADV_HUGEPAGE)
+  constexpr uintptr_t kHuge = uintptr_t{2} << 20;
+  if (bytes < 2 * kHuge) return;
+  const uintptr_t lo =
+      (reinterpret_cast<uintptr_t>(p) + kHuge - 1) & ~(kHuge - 1);
+  const uintptr_t hi = (reinterpret_cast<uintptr_t>(p) + bytes) & ~(kHuge - 1);
+  if (hi > lo) madvise(reinterpret_cast<void*>(lo), hi - lo, MADV_HUGEPAGE);
+#else
+  (void)p;
+  (void)bytes;
+#endif
+}
+
+}  // namespace
+
+// Ladder-queue invariants (all times are event `when` values):
+//
+//  * overflow_ holds entries with when >= overflow_start_, unsorted.
+//  * The live rungs rungs_[0..rung_depth_) hold entries strictly below
+//    overflow_start_.  Rung r covers the un-consumed span
+//    [r.start + r.cur * r.width, ...); each deeper rung subdivides one
+//    already-detached bucket of its parent, so the un-consumed spans of
+//    bottom_ < rungs (deepest first) < overflow_ are disjoint and
+//    ordered: every entry in a deeper structure fires before every entry
+//    in a shallower one.
+//  * bottom_ is sorted in descending fire order; back() is the next
+//    event overall.
+//  * overflow_start_ only moves up when overflow_ is spread into a rung
+//    (everything below the new value has left overflow_), and only moves
+//    down when bottom_ and all rungs are empty (so nothing pending sits
+//    below it).  Inserts therefore never land "behind" the consumption
+//    frontier, and ties on `when` still fire in seq order: an entry can
+//    only be routed to a shallower structure than an equal-time
+//    predecessor if that predecessor has already been consumed or moved
+//    deeper.
+//
+// Dequeue refills bottom_ by walking the innermost rung to its next
+// non-empty bucket; big buckets spawn a finer rung (each entry moves
+// O(#rungs) = O(log span) times, amortized O(1) for the workloads the
+// machine generates), small ones are sorted into bottom_.  When all
+// rungs drain, overflow_ is spread into a fresh rung 0.
 
 namespace {
 
@@ -28,11 +85,17 @@ EventId Simulator::ScheduleAt(TimeMs when, InlineTask fn) {
   const uint32_t slot = AcquireSlot();
   Slot& s = slots_[slot];
   s.task = std::move(fn);
-  HeapPush(HeapEntry{when, next_seq_++, slot, s.gen});
+  const HeapEntry entry{when, next_seq_++, slot, s.gen};
+  if (!ladder_mode_ && heap_.size() >= spill_threshold_) SpillToLadder();
+  if (ladder_mode_) {
+    LadderInsert(entry);
+  } else {
+    HeapPush(entry);
+  }
   ++live_count_;
   ++counters_.events_scheduled;
-  counters_.max_heap_depth =
-      std::max<uint64_t>(counters_.max_heap_depth, heap_.size());
+  counters_.max_heap_depth = std::max<uint64_t>(
+      counters_.max_heap_depth, ladder_mode_ ? ladder_size_ : heap_.size());
   counters_.slot_pool_highwater =
       std::max<uint64_t>(counters_.slot_pool_highwater, live_count_);
   return MakeId(slot, s.gen);
@@ -40,9 +103,10 @@ EventId Simulator::ScheduleAt(TimeMs when, InlineTask fn) {
 
 bool Simulator::Cancel(EventId id) {
   // O(1): the id is stale iff its generation no longer matches the slot's.
-  // The heap entry stays behind (lazy cancellation, as the heap always
-  // worked) and is skimmed when it surfaces; the slot and its closure are
-  // reclaimed immediately.
+  // The 24-byte entry stays behind in whichever structure holds it (lazy
+  // cancellation, as the event list always worked) and is dropped when it
+  // surfaces or is rebucketed; the slot and its closure are reclaimed
+  // immediately.
   const uint32_t slot = SlotOf(id);
   if (slot >= slots_.size() || slots_[slot].gen != GenOf(id)) return false;
   ReleaseSlot(slot);
@@ -59,6 +123,13 @@ uint32_t Simulator::AcquireSlot() {
     return slot;
   }
   DBMR_CHECK(slots_.size() < kNilSlot);
+  if (slots_.size() == slots_.capacity()) {
+    // Grow by hand so the fresh (still-untouched) buffer can be
+    // huge-page-hinted before its first fault; push_back's internal
+    // reallocation would touch pages copying before we could hint.
+    slots_.reserve(slots_.empty() ? 64 : slots_.size() * 2);
+    HintHugePages(slots_.data(), slots_.capacity() * sizeof(Slot));
+  }
   slots_.emplace_back();
   return static_cast<uint32_t>(slots_.size() - 1);
 }
@@ -112,19 +183,236 @@ void Simulator::HeapPopTop() {
   heap_[i] = last;
 }
 
-bool Simulator::SkimCancelled() {
-  while (!heap_.empty()) {
-    const HeapEntry& top = heap_.front();
-    if (slots_[top.slot].gen == top.gen) return true;
-    HeapPopTop();
+void Simulator::SpillToLadder() {
+  ladder_mode_ = true;
+  ++counters_.ladder_spills;
+  overflow_ = std::move(heap_);
+  heap_.clear();
+  ladder_size_ = overflow_.size();
+  // All pending entries have when >= now_ (now_ tracks the minimum), so
+  // routing every insert at/after now_ to overflow until the first spread
+  // preserves the invariants.
+  overflow_start_ = now_;
+}
+
+void Simulator::LadderInsert(HeapEntry e) {
+  ++ladder_size_;
+  if (rung_depth_ == 0 && bottom_.empty()) {
+    // Everything pending lives in overflow; lower its floor if needed so
+    // the entry is admissible there.
+    if (e.when < overflow_start_) overflow_start_ = e.when;
+    overflow_.push_back(e);
+    return;
   }
-  return false;
+  if (e.when >= overflow_start_) {
+    overflow_.push_back(e);
+    return;
+  }
+  // Outermost rung covers the latest un-consumed span; walk inward until
+  // one owns this time.  A fully-consumed rung (cur == nbuckets,
+  // sitting on the stack until the next dequeue pops it) has no span
+  // left, so entries at/after its end clamp into the last bucket of the
+  // outermost live rung — the final thing consumed before overflow is
+  // spread — where the consumption-time sort orders them correctly.
+  for (size_t r = 0; r < rung_depth_; ++r) {
+    Rung& rung = rungs_[r];
+    if (rung.cur >= rung.nbuckets) continue;
+    const TimeMs boundary = rung.start + rung.cur * rung.width;
+    if (e.when >= boundary) {
+      size_t idx = static_cast<size_t>((e.when - rung.start) * rung.inv_width);
+      if (idx >= rung.nbuckets) idx = rung.nbuckets - 1;
+      if (idx < rung.cur) idx = rung.cur;  // float-fuzz guard
+      rung.buckets[idx].push_back(e);
+      ++rung.count;
+      return;
+    }
+  }
+  // Below every rung's frontier: belongs to the sorted bottom.
+  bottom_.insert(
+      std::upper_bound(bottom_.begin(), bottom_.end(), e, EntryAfter), e);
+}
+
+std::pair<TimeMs, TimeMs> Simulator::SpanOf(const std::vector<HeapEntry>& v) {
+  // Deliberately counts stale (cancelled/superseded) entries too.  Testing
+  // staleness means probing the entry's slot generation — a random DRAM
+  // access into a slot table that can be hundreds of megabytes at ladder
+  // scale, paid during redistribution for events that fire much later.
+  // Carrying dead 24-byte entries through the (sequential, streaming)
+  // redistributions instead is far cheaper; they are skimmed at the
+  // bottom surface, where the slot line is about to be touched anyway.
+  TimeMs lo = v.front().when, hi = lo;
+  for (const HeapEntry& e : v) {
+    lo = std::min(lo, e.when);
+    hi = std::max(hi, e.when);
+  }
+  return {lo, hi};
+}
+
+Simulator::Rung& Simulator::AcquireRung(size_t nbuckets) {
+  if (rung_depth_ == rungs_.size()) {
+    rungs_.emplace_back();
+    rungs_.back().buckets.resize(kRungBuckets);
+  }
+  // Reused buckets are empty: every bucket a prior use filled was drained
+  // (swapped into bottom, redistributed, or filtered) before the rung
+  // retired, and clearing keeps the capacity.
+  Rung& r = rungs_[rung_depth_];
+  r.cur = 0;
+  r.nbuckets = nbuckets;
+  r.count = 0;
+  return r;
+}
+
+void Simulator::SpreadOverflow() {
+  if (overflow_.empty()) return;
+  const auto [lo, hi] = SpanOf(overflow_);
+  const TimeMs span = hi - lo;
+  if (overflow_.size() <= kSortThreshold || span <= kMinBucketWidth) {
+    // Few events or a degenerate span: sort straight into bottom.  Any
+    // value strictly above `hi` works as the new overflow floor.
+    DBMR_CHECK(bottom_.empty());
+    bottom_.swap(overflow_);
+    std::sort(bottom_.begin(), bottom_.end(), EntryAfter);
+    overflow_start_ = hi + std::max(kMinBucketWidth, span);
+    return;
+  }
+  Rung& r = AcquireRung(RungFanout(overflow_.size()));
+  r.start = lo;
+  r.width = span / static_cast<TimeMs>(r.nbuckets);
+  r.inv_width = 1.0 / r.width;
+  // Bucketing multiplies by 1/width instead of dividing: an FP divide per
+  // entry is real money when a spread moves ten million of them.  Any
+  // monotone-in-`when` assignment is correct (consumption-time sorting
+  // restores order within a bucket), so the last-ulp difference from the
+  // true quotient is harmless.
+  for (const HeapEntry& e : overflow_) {
+    size_t idx = static_cast<size_t>((e.when - r.start) * r.inv_width);
+    if (idx >= r.nbuckets) idx = r.nbuckets - 1;
+    r.buckets[idx].push_back(e);
+  }
+  r.count = overflow_.size();
+  overflow_.clear();
+  ++rung_depth_;
+  overflow_start_ = hi + kMinBucketWidth;
+}
+
+void Simulator::SpawnRung(size_t parent_index, size_t j) {
+  // May grow rungs_: take the parent reference after.
+  Rung& child = AcquireRung(RungFanout(rungs_[parent_index].buckets[j].size()));
+  Rung& parent = rungs_[parent_index];
+  child.start = parent.start + static_cast<TimeMs>(j) * parent.width;
+  child.width = parent.width / static_cast<TimeMs>(child.nbuckets);
+  child.inv_width = 1.0 / child.width;
+  std::vector<HeapEntry>& bucket = parent.buckets[j];
+  for (const HeapEntry& e : bucket) {
+    TimeMs off = e.when - child.start;
+    if (off < 0.0) off = 0.0;  // float-fuzz guard
+    size_t idx = static_cast<size_t>(off * child.inv_width);
+    if (idx >= child.nbuckets) idx = child.nbuckets - 1;
+    child.buckets[idx].push_back(e);
+  }
+  child.count = bucket.size();
+  parent.count -= bucket.size();
+  bucket.clear();
+  parent.cur = j + 1;
+  ++rung_depth_;
+}
+
+bool Simulator::LadderAdvance() {
+  for (;;) {
+    if (!bottom_.empty()) return true;
+    if (rung_depth_ == 0) {
+      if (overflow_.empty()) return false;
+      SpreadOverflow();
+      continue;
+    }
+    const size_t ri = rung_depth_ - 1;
+    Rung& rung = rungs_[ri];
+    while (rung.cur < rung.nbuckets && rung.buckets[rung.cur].empty()) {
+      ++rung.cur;
+    }
+    if (rung.cur >= rung.nbuckets) {
+      DBMR_CHECK(rung.count == 0);
+      --rung_depth_;  // retire the rung; its bucket storage is reused
+      continue;
+    }
+    std::vector<HeapEntry>& bucket = rung.buckets[rung.cur];
+    // Subdivide only when it will actually spread the entries: a big
+    // bucket whose span is narrower than one child bucket would land in
+    // a single child, so sort it instead (equal keys cost seq-compares
+    // only, same asymptotics as the heap it replaced).  Sort-sized
+    // buckets — the common case — skip the span scan entirely.
+    if (bucket.size() > kSortThreshold && rung_depth_ < kMaxRungs &&
+        rung.width > kMinBucketWidth) {
+      const auto [lo, hi] = SpanOf(bucket);
+      if ((hi - lo) >=
+          rung.width / static_cast<TimeMs>(RungFanout(bucket.size()))) {
+        SpawnRung(ri, rung.cur);
+        continue;
+      }
+    }
+    DBMR_CHECK(bottom_.empty());
+    bottom_.swap(bucket);  // donates bottom_'s old capacity to the bucket
+    rung.count -= bottom_.size();
+    ++rung.cur;
+    std::sort(bottom_.begin(), bottom_.end(), EntryAfter);
+    // Warm the whole run's slot lines now with real loads (summed into a
+    // member so they cannot be optimized away).  Unlike prefetch hints —
+    // which this core may drop on a DTLB miss, exactly the case a huge
+    // slot pool hits — demand loads always complete, and a run's worth of
+    // independent loads overlap in the out-of-order window, so the random
+    // DRAM misses are paid as one overlapped burst per refill instead of
+    // serially at the surface.  Runs are ~kSortThreshold long, so this is
+    // a bounded burst; the per-pop prefetch in PeekLive covers the
+    // oversized degenerate-span case.
+    const size_t n = bottom_.size();
+    uint32_t sink = 0;
+    for (size_t i = n - std::min<size_t>(n, 2 * kSortThreshold); i < n; ++i) {
+      sink += slots_[bottom_[i].slot].gen;
+    }
+    warm_sink_ += sink;
+    return true;
+  }
+}
+
+const Simulator::HeapEntry* Simulator::PeekLive() {
+  if (!ladder_mode_) {
+    while (!heap_.empty()) {
+      const HeapEntry& top = heap_.front();
+      if (slots_[top.slot].gen == top.gen) return &top;
+      HeapPopTop();
+    }
+    return nullptr;
+  }
+  for (;;) {
+    if (!LadderAdvance()) return nullptr;
+    // Normal-sized runs were slot-warmed wholesale at refill; only an
+    // oversized (degenerate-span) bottom still needs a rolling prefetch
+    // window ahead of the surface.
+    if (bottom_.size() > 2 * kSortThreshold) {
+      PrefetchSlot(bottom_[bottom_.size() - 1 - kPrefetchDepth].slot);
+    }
+    const HeapEntry& e = bottom_.back();
+    if (slots_[e.slot].gen == e.gen) return &e;
+    bottom_.pop_back();
+    --ladder_size_;
+  }
+}
+
+void Simulator::PopNext() {
+  if (!ladder_mode_) {
+    HeapPopTop();
+  } else {
+    bottom_.pop_back();
+    --ladder_size_;
+  }
 }
 
 bool Simulator::Step() {
-  if (!SkimCancelled()) return false;
-  const HeapEntry top = heap_.front();
-  HeapPopTop();
+  const HeapEntry* next = PeekLive();
+  if (next == nullptr) return false;
+  const HeapEntry top = *next;
+  PopNext();
   // Move the closure out and retire the slot before invoking: the task may
   // itself schedule (growing slots_/heap_) or try to cancel its own id.
   InlineTask task = std::move(slots_[top.slot].task);
@@ -137,15 +425,28 @@ bool Simulator::Step() {
 }
 
 void Simulator::Run(TimeMs until) {
-  while (SkimCancelled()) {
-    if (heap_.front().when > until) return;
-    Step();
+  for (;;) {
+    const HeapEntry* next = PeekLive();
+    if (next == nullptr || next->when > until) return;
+    const HeapEntry top = *next;
+    PopNext();
+    InlineTask task = std::move(slots_[top.slot].task);
+    ReleaseSlot(top.slot);
+    --live_count_;
+    now_ = top.when;
+    ++counters_.events_executed;
+    task();
   }
 }
 
 void Simulator::Reserve(size_t n) {
-  heap_.reserve(n);
+  heap_.reserve(std::min(n, spill_threshold_));
   slots_.reserve(n);
+  // Hint while the buffers are still untouched, so first-touch faults can
+  // allocate huge pages directly instead of waiting for a background
+  // collapse that may never happen.
+  HintHugePages(heap_.data(), heap_.capacity() * sizeof(HeapEntry));
+  HintHugePages(slots_.data(), slots_.capacity() * sizeof(Slot));
 }
 
 }  // namespace dbmr::sim

@@ -13,14 +13,30 @@
 //    EventId (slot index in the low 32 bits, generation in the high 32).
 //    Cancel is an O(1) generation compare — no hash-set lookup — and a
 //    fired or cancelled slot is recycled through an intrusive free list.
-//  * The future-event list is a hand-rolled binary heap over 24-byte POD
-//    entries (when, seq, slot, gen); sift-up/down moves PODs only, never
-//    a closure.  Cancelled events stay in the heap and are skimmed when
-//    they surface, exactly like the historical lazy-cancellation scheme,
-//    so heap-depth accounting is unchanged.
+//  * The future-event list is hybrid.  Small lists (the paper-scale
+//    regime) use a hand-rolled 4-ary binary heap over 24-byte POD
+//    entries (when, seq, slot, gen); sift-up/down moves PODs only,
+//    never a closure.  When the pending list first exceeds
+//    spill_threshold() the kernel migrates — permanently, for the rest
+//    of the run — to a ladder queue (Tang & Goh style: an unsorted
+//    overflow list, a stack of bucketed rungs that subdivide time spans
+//    as they are consumed, and a small sorted "bottom" the next events
+//    pop from).  Schedule/fire is O(1) amortized in ladder mode, vs the
+//    heap's O(log n).  Both structures dequeue in the same strict total
+//    order (when, then schedule seq), so fire order — and therefore
+//    every trace, audit, and report — is identical in either mode; the
+//    threshold only decides constants, not behaviour.
+//  * Cancellation is lazy in both modes: the slot (and its closure) is
+//    reclaimed immediately, while the stale 24-byte entry is dropped
+//    when it surfaces (heap top / bottom-of-ladder) or when a bucket is
+//    rebucketed.  max_heap_depth accounts stale entries in both modes,
+//    exactly like the historical scheme.
 //
 // After Reserve(n), scheduling events with inline-sized captures performs
-// zero heap allocations (verified by tests/sim_alloc_test.cc).
+// zero heap allocations while the kernel stays in heap mode (verified by
+// tests/sim_alloc_test.cc; the default spill threshold is far above
+// paper-scale pending depths).  Ladder mode allocates only for bucket
+// growth, which amortizes across the run.
 
 #ifndef DBMR_SIM_SIMULATOR_H_
 #define DBMR_SIM_SIMULATOR_H_
@@ -51,13 +67,18 @@ struct SimCounters {
   uint64_t events_scheduled = 0;
   uint64_t events_executed = 0;
   uint64_t events_cancelled = 0;
-  /// Deepest the future-event heap ever got (lazily-cancelled entries
-  /// included, since they occupy real heap slots until skimmed).
+  /// Deepest the future-event list ever got (lazily-cancelled entries
+  /// included, since they occupy real entries until skimmed).  In heap
+  /// mode this is the heap depth; in ladder mode the total entry count
+  /// across overflow, rungs, and bottom.
   uint64_t max_heap_depth = 0;
   /// Most event-pool slots ever in use at once.  Unlike max_heap_depth
   /// this excludes lazily-cancelled entries — a cancelled event's slot is
   /// recycled immediately — so it is the true pending-event highwater.
   uint64_t slot_pool_highwater = 0;
+  /// Times the kernel migrated heap → ladder (0 or 1 per run; a counter
+  /// so it aggregates naturally across machines).
+  uint64_t ladder_spills = 0;
 };
 
 /// The event-driven simulation engine.
@@ -90,7 +111,8 @@ class Simulator {
   void Run(TimeMs until = kTimeInfinity);
 
   /// Pre-sizes the slot pool and event heap for `n` concurrent events, so
-  /// subsequent scheduling within that bound never allocates.
+  /// subsequent scheduling within that bound never allocates (while the
+  /// kernel stays in heap mode, i.e. n <= spill_threshold()).
   void Reserve(size_t n);
 
   /// Number of pending (non-cancelled) events.
@@ -102,11 +124,27 @@ class Simulator {
   /// Scheduled/executed/cancelled totals and heap/pool highwaters.
   const SimCounters& counters() const { return counters_; }
 
+  /// Pending-list size at which the kernel migrates from the binary heap
+  /// to the ladder queue.  The migration is one-way: once spilled, the
+  /// run stays in ladder mode.  Fire order is mode-independent; tune this
+  /// only for benchmarking (0 forces ladder from the first event, SIZE_MAX
+  /// pins the heap).  Takes effect on the next Schedule.
+  size_t spill_threshold() const { return spill_threshold_; }
+  void set_spill_threshold(size_t n) { spill_threshold_ = n; }
+
+  /// True once the kernel has migrated to the ladder queue.
+  bool ladder_active() const { return ladder_mode_; }
+
   /// Optional event-trace ring (non-owning).  Model components emit trace
   /// events through this when set; the kernel itself never does, so the
   /// schedule/fire hot path is identical with and without tracing.
   void set_trace(TraceRing* trace) { trace_ = trace; }
   TraceRing* trace() const { return trace_; }
+
+  /// Default spill_threshold(): far above paper-scale pending depths (a
+  /// few thousand at 75 QPs), far below the millions where the heap's
+  /// O(log n) becomes the bottleneck.
+  static constexpr size_t kDefaultSpillThreshold = 8192;
 
  private:
   /// One future-event-list entry; 24 bytes of POD, cheap to sift.  `gen`
@@ -128,12 +166,57 @@ class Simulator {
     uint32_t next_free = kNilSlot;
   };
 
+  /// One ladder rung: `nbuckets` equal-width time buckets over
+  /// [start, start + nbuckets * width), consumed in order via `cur`.
+  /// Rungs form a stack; each deeper rung subdivides one bucket of its
+  /// parent, so the un-consumed spans of bottom < rungs (deepest first) <
+  /// overflow are disjoint and ordered.  The bucket count is sized to the
+  /// load being spread (RungFanout), so a consumed bucket holds about
+  /// kSortThreshold/2 entries and the fixed per-bucket costs amortize —
+  /// a constant 256-way split left sub-rung buckets nearly empty and the
+  /// bucket machinery dominated the per-event cost.
+  struct Rung {
+    TimeMs start = 0.0;
+    TimeMs width = 0.0;
+    TimeMs inv_width = 0.0;  // 1/width: bucket index by multiply, not divide
+    size_t cur = 0;       // next bucket index to consume
+    size_t nbuckets = 0;  // live buckets this use of the rung
+    size_t count = 0;     // entries currently held (stale included)
+    std::vector<std::vector<HeapEntry>> buckets;  // capacity kRungBuckets
+  };
+
   static constexpr uint32_t kNilSlot = 0xffffffffu;
   static constexpr size_t kHeapArity = 4;
+  /// Upper bound on buckets per rung.  High enough that a 10M-entry
+  /// overflow spread reaches sort-sized buckets in one spawn level —
+  /// every extra level moves every entry one more time — yet low enough
+  /// that the bucket-tail cache lines inserts scatter across stay close
+  /// to L1-sized (512 buckets ~= 32 KiB of active tails).
+  static constexpr size_t kRungBuckets = 512;
+  /// How many events ahead of the bottom surface to prefetch slots.  The
+  /// sorted bottom run makes upcoming slots predictable, so the random
+  /// DRAM access for each event's closure overlaps the callbacks running
+  /// before it — a structural advantage the heap (whose pop order
+  /// reshuffles) cannot get.
+  static constexpr size_t kPrefetchDepth = 8;
+  /// Buckets at or below this size are sorted straight into the bottom
+  /// list instead of spawning a finer rung.  Bigger runs mean fewer
+  /// redistribution levels (each level moves every entry once), longer
+  /// sorted runs per refill, and a larger warming burst whose random
+  /// slot loads overlap; sort cost grows only logarithmically.
+  static constexpr size_t kSortThreshold = 128;
+  static constexpr size_t kMaxRungs = 40;
+  /// Spans narrower than this (ms) are never subdivided further.
+  static constexpr TimeMs kMinBucketWidth = 1e-7;
 
   static bool EntryBefore(const HeapEntry& a, const HeapEntry& b) {
     if (a.when != b.when) return a.when < b.when;
     return a.seq < b.seq;
+  }
+  /// Sort predicate for bottom_: descending fire order, next event at
+  /// the back (pop_back = dequeue).
+  static bool EntryAfter(const HeapEntry& a, const HeapEntry& b) {
+    return EntryBefore(b, a);
   }
 
   uint32_t AcquireSlot();
@@ -141,9 +224,45 @@ class Simulator {
   void HeapPush(HeapEntry entry);
   void HeapPopTop();
 
-  /// Pops stale (cancelled) entries off the heap top; returns false if no
-  /// live event remains.
-  bool SkimCancelled();
+  // --- ladder machinery (see simulator.cc for the full invariants) ---
+  void SpillToLadder();
+  void LadderInsert(HeapEntry entry);
+  /// Ensures bottom_ holds the next pending entries; false if none remain.
+  bool LadderAdvance();
+  void SpreadOverflow();
+  /// Moves bucket `j` of the current innermost rung into a new, finer
+  /// rung pushed on the stack.
+  void SpawnRung(size_t parent_index, size_t j);
+  void PrefetchSlot(uint32_t slot) const {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(&slots_[slot], /*rw=*/0, /*locality=*/1);
+#else
+    (void)slot;
+#endif
+  }
+
+  /// Bucket count for spreading `n` entries: ~2n/kSortThreshold, in
+  /// [2, kRungBuckets], so buckets finish near half the sort threshold.
+  static size_t RungFanout(size_t n) {
+    const size_t fan = 2 * n / kSortThreshold;
+    if (fan < 2) return 2;
+    if (fan > kRungBuckets) return kRungBuckets;
+    return fan;
+  }
+
+  Rung& AcquireRung(size_t nbuckets);
+  /// Drops stale entries from `v` in place; updates ladder_size_.
+  /// Returns {min_when, max_when} over the survivors (undefined if empty).
+  /// [min, max] fire time over `v` (stale entries included — see the
+  /// definition for why probing staleness here would be a pessimization).
+  /// Requires `v` non-empty.
+  std::pair<TimeMs, TimeMs> SpanOf(const std::vector<HeapEntry>& v);
+
+  /// Points at the next live entry (skimming stale ones), or nullptr if
+  /// the future-event list is empty.  Works in either mode.
+  const HeapEntry* PeekLive();
+  /// Removes the entry PeekLive() returned.
+  void PopNext();
 
   TimeMs now_ = 0.0;
   TraceRing* trace_ = nullptr;
@@ -153,6 +272,19 @@ class Simulator {
   std::vector<HeapEntry> heap_;
   std::vector<Slot> slots_;
   uint32_t free_head_ = kNilSlot;
+
+  // Ladder state (engaged once ladder_mode_ flips; empty before then).
+  size_t spill_threshold_ = kDefaultSpillThreshold;
+  bool ladder_mode_ = false;
+  size_t ladder_size_ = 0;      // entries across overflow+rungs+bottom
+  TimeMs overflow_start_ = 0.0; // inserts at/after this time go to overflow_
+  std::vector<HeapEntry> overflow_;
+  std::vector<Rung> rungs_;     // storage; first rung_depth_ are live
+  size_t rung_depth_ = 0;
+  std::vector<HeapEntry> bottom_;  // sorted by EntryAfter; back() is next
+  /// Accumulator for the bottom-refill cache-warming loads; never read.
+  /// Being a member keeps the compiler from eliding the loads.
+  uint64_t warm_sink_ = 0;
 };
 
 }  // namespace dbmr::sim

@@ -27,12 +27,12 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "sim/inline_task.h"
 #include "txn/types.h"
 #include "util/status.h"
 
@@ -56,7 +56,10 @@ enum class AcquireResult {
 /// The page-level lock manager.
 class LockManager {
  public:
-  using GrantCallback = std::function<void()>;
+  /// Grant continuations are inline-storage callables: the machine's
+  /// per-read wait closure fits the 48-byte buffer, so queueing a lock
+  /// wait allocates nothing (std::function heap-allocated every one).
+  using GrantCallback = sim::InlineTask;
 
   LockManager() = default;
   LockManager(const LockManager&) = delete;

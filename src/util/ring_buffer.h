@@ -1,0 +1,81 @@
+// Flat FIFO ring buffer.
+//
+// A contiguous power-of-two ring with amortized-O(1) push_back/pop_front
+// and no per-node allocation — the steady-state replacement for
+// std::deque in the machine's hot queues (ready pages, arrival backlog),
+// where deque's chunked allocation shows up at millions of transactions.
+// Reserve() pre-sizes the ring so a bounded queue never allocates after
+// setup.
+
+#ifndef DBMR_UTIL_RING_BUFFER_H_
+#define DBMR_UTIL_RING_BUFFER_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dbmr {
+
+template <typename T>
+class RingBuffer {
+ public:
+  bool empty() const { return count_ == 0; }
+  size_t size() const { return count_; }
+
+  /// Ensures capacity for at least `n` elements without reallocation.
+  void Reserve(size_t n) {
+    if (n > capacity()) Grow(RoundUpPow2(n));
+  }
+
+  void push_back(T value) {
+    if (count_ == capacity()) Grow(capacity() == 0 ? 16 : capacity() * 2);
+    buf_[(head_ + count_) & mask_] = std::move(value);
+    ++count_;
+  }
+
+  T& front() {
+    DBMR_CHECK(count_ > 0);
+    return buf_[head_];
+  }
+
+  void pop_front() {
+    DBMR_CHECK(count_ > 0);
+    buf_[head_] = T();  // release whatever the slot owns now
+    head_ = (head_ + 1) & mask_;
+    --count_;
+  }
+
+  void clear() {
+    while (count_ > 0) pop_front();
+  }
+
+ private:
+  size_t capacity() const { return buf_.size(); }
+
+  static size_t RoundUpPow2(size_t n) {
+    size_t p = 16;
+    while (p < n) p *= 2;
+    return p;
+  }
+
+  void Grow(size_t new_cap) {
+    std::vector<T> next(new_cap);
+    for (size_t i = 0; i < count_; ++i) {
+      next[i] = std::move(buf_[(head_ + i) & mask_]);
+    }
+    buf_ = std::move(next);
+    head_ = 0;
+    mask_ = new_cap - 1;
+  }
+
+  std::vector<T> buf_;
+  size_t head_ = 0;
+  size_t count_ = 0;
+  size_t mask_ = 0;
+};
+
+}  // namespace dbmr
+
+#endif  // DBMR_UTIL_RING_BUFFER_H_

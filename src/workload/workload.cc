@@ -1,8 +1,25 @@
 #include "workload/workload.h"
 
 #include <algorithm>
+#include <cmath>
+#include <optional>
+#include <utility>
 
 namespace dbmr::workload {
+
+namespace {
+
+/// SplitMix64 finalizer: scrambles Zipf ranks across the page space so
+/// the hot set does not cluster at low page ids (which would pin it to
+/// one disk and one home processor).
+constexpr uint64_t MixRank(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
 
 const char* ReferenceKindName(ReferenceKind kind) {
   switch (kind) {
@@ -14,58 +31,145 @@ const char* ReferenceKindName(ReferenceKind kind) {
   return "unknown";
 }
 
-std::vector<TransactionSpec> GenerateWorkload(const WorkloadOptions& options) {
-  DBMR_CHECK(options.num_transactions > 0);
-  DBMR_CHECK(options.min_pages >= 1 &&
-             options.max_pages >= options.min_pages);
-  DBMR_CHECK(options.db_pages >=
-             static_cast<uint64_t>(options.max_pages));
-  Rng rng(options.seed);
-  std::vector<TransactionSpec> txns;
-  txns.reserve(static_cast<size_t>(options.num_transactions));
+ZipfianDraw::ZipfianDraw(uint64_t n, double theta) : n_(n), theta_(theta) {
+  DBMR_CHECK(n >= 2);
+  DBMR_CHECK(theta > 0.0 && theta < 1.0);
+  zetan_ = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    zetan_ += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  const double zeta2 = 1.0 + 1.0 / std::pow(2.0, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+         (1.0 - zeta2 / zetan_);
+}
 
-  for (int i = 0; i < options.num_transactions; ++i) {
-    TransactionSpec t;
-    t.id = static_cast<txn::TxnId>(i + 1);
+uint64_t ZipfianDraw::Rank(Rng& rng) const {
+  const double u = rng.UniformDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const auto rank = static_cast<uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= n_ ? n_ - 1 : rank;
+}
+
+namespace {
+
+class GeneratorSource final : public TxnSource {
+ public:
+  explicit GeneratorSource(const WorkloadOptions& options)
+      : options_(options), rng_(options.seed) {
+    DBMR_CHECK(options.num_transactions > 0);
+    DBMR_CHECK(options.min_pages >= 1 &&
+               options.max_pages >= options.min_pages);
+    DBMR_CHECK(options.db_pages >= static_cast<uint64_t>(options.max_pages));
+    if (options.zipf_theta > 0.0 && options.kind == ReferenceKind::kRandom) {
+      zipf_.emplace(options.db_pages, options.zipf_theta);
+    }
+  }
+
+  bool Next(TransactionSpec* out) override {
+    if (next_index_ >= options_.num_transactions) return false;
+    const int i = next_index_++;
+    out->id = static_cast<txn::TxnId>(i + 1);
+    out->reads.clear();
+    // A fresh set each transaction, so bucket layout — and therefore any
+    // iteration over it downstream — matches a from-scratch generation.
+    out->write_set = std::unordered_set<uint64_t>();
     const int n = static_cast<int>(
-        rng.UniformInt(options.min_pages, options.max_pages));
-    t.reads.reserve(static_cast<size_t>(n));
+        rng_.UniformInt(options_.min_pages, options_.max_pages));
+    out->reads.reserve(static_cast<size_t>(n));
 
-    if (options.kind == ReferenceKind::kSequential) {
-      const uint64_t start = static_cast<uint64_t>(rng.UniformInt(
-          0, static_cast<int64_t>(options.db_pages) - n));
+    if (options_.kind == ReferenceKind::kSequential) {
+      const uint64_t start = static_cast<uint64_t>(rng_.UniformInt(
+          0, static_cast<int64_t>(options_.db_pages) - n));
       for (int k = 0; k < n; ++k) {
-        t.reads.push_back(start + static_cast<uint64_t>(k));
+        out->reads.push_back(start + static_cast<uint64_t>(k));
+      }
+    } else if (zipf_) {
+      seen_.clear();
+      while (out->reads.size() < static_cast<size_t>(n)) {
+        const uint64_t p = MixRank(zipf_->Rank(rng_)) % options_.db_pages;
+        if (seen_.insert(p).second) out->reads.push_back(p);
       }
     } else {
-      std::unordered_set<uint64_t> seen;
+      seen_.clear();
       const auto hot_pages = static_cast<int64_t>(
-          static_cast<double>(options.db_pages) * options.hot_fraction);
-      while (t.reads.size() < static_cast<size_t>(n)) {
+          static_cast<double>(options_.db_pages) * options_.hot_fraction);
+      while (out->reads.size() < static_cast<size_t>(n)) {
         uint64_t p;
-        if (hot_pages > 0 && rng.Bernoulli(options.hot_access_prob)) {
-          p = static_cast<uint64_t>(rng.UniformInt(0, hot_pages - 1));
+        if (hot_pages > 0 && rng_.Bernoulli(options_.hot_access_prob)) {
+          p = static_cast<uint64_t>(rng_.UniformInt(0, hot_pages - 1));
         } else {
-          p = static_cast<uint64_t>(rng.UniformInt(
-              0, static_cast<int64_t>(options.db_pages) - 1));
+          p = static_cast<uint64_t>(rng_.UniformInt(
+              0, static_cast<int64_t>(options_.db_pages) - 1));
         }
-        if (seen.insert(p).second) t.reads.push_back(p);
+        if (seen_.insert(p).second) out->reads.push_back(p);
       }
     }
 
     // Write set: a random subset, write_fraction of the reads (rounded).
     const auto num_writes = static_cast<size_t>(
-        static_cast<double>(n) * options.write_fraction + 0.5);
-    std::vector<uint64_t> pool = t.reads;
+        static_cast<double>(n) * options_.write_fraction + 0.5);
+    pool_ = out->reads;
     // Fisher-Yates prefix shuffle for the sample.
-    for (size_t k = 0; k < num_writes && k < pool.size(); ++k) {
-      size_t j = static_cast<size_t>(rng.UniformInt(
-          static_cast<int64_t>(k), static_cast<int64_t>(pool.size()) - 1));
-      std::swap(pool[k], pool[j]);
-      t.write_set.insert(pool[k]);
+    for (size_t k = 0; k < num_writes && k < pool_.size(); ++k) {
+      size_t j = static_cast<size_t>(rng_.UniformInt(
+          static_cast<int64_t>(k), static_cast<int64_t>(pool_.size()) - 1));
+      std::swap(pool_[k], pool_[j]);
+      out->write_set.insert(pool_[k]);
     }
-    txns.push_back(std::move(t));
+    return true;
   }
+
+  uint64_t total() const override {
+    return static_cast<uint64_t>(options_.num_transactions);
+  }
+
+ private:
+  WorkloadOptions options_;
+  Rng rng_;
+  int next_index_ = 0;
+  std::optional<ZipfianDraw> zipf_;
+  std::unordered_set<uint64_t> seen_;  // scratch, reused across txns
+  std::vector<uint64_t> pool_;         // scratch for write-set sampling
+};
+
+class VectorSource final : public TxnSource {
+ public:
+  explicit VectorSource(std::vector<TransactionSpec> txns)
+      : txns_(std::move(txns)) {}
+
+  bool Next(TransactionSpec* out) override {
+    if (next_ >= txns_.size()) return false;
+    *out = std::move(txns_[next_++]);
+    return true;
+  }
+
+  uint64_t total() const override { return txns_.size(); }
+
+ private:
+  std::vector<TransactionSpec> txns_;
+  size_t next_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<TxnSource> MakeGeneratorSource(const WorkloadOptions& options) {
+  return std::make_unique<GeneratorSource>(options);
+}
+
+std::unique_ptr<TxnSource> MakeVectorSource(std::vector<TransactionSpec> txns) {
+  return std::make_unique<VectorSource>(std::move(txns));
+}
+
+std::vector<TransactionSpec> GenerateWorkload(const WorkloadOptions& options) {
+  GeneratorSource source(options);
+  std::vector<TransactionSpec> txns;
+  txns.reserve(static_cast<size_t>(options.num_transactions));
+  TransactionSpec t;
+  while (source.Next(&t)) txns.push_back(std::move(t));
   return txns;
 }
 

@@ -5,11 +5,18 @@
 //  250 pages.  Both random and sequential reference strings ... The write
 //  set of a transaction was assumed to be a random subset of its read set
 //  and was taken to be 20% of the pages read."
+//
+// Workloads are produced by a streaming TxnSource: one transaction at a
+// time, in admission order, from O(1) state — a million-transaction run
+// never materializes a million TransactionSpecs.  GenerateWorkload()
+// remains as the eager convenience wrapper (it drains a source) and
+// produces the byte-identical transaction stream.
 
 #ifndef DBMR_WORKLOAD_WORKLOAD_H_
 #define DBMR_WORKLOAD_WORKLOAD_H_
 
 #include <cstdint>
+#include <memory>
 #include <unordered_set>
 #include <vector>
 
@@ -53,10 +60,57 @@ struct WorkloadOptions {
   /// 80/20 rule).  0 disables skew (the paper's uniform model).
   double hot_fraction = 0.0;
   double hot_access_prob = 0.0;
+  /// Beyond the paper: YCSB-style Zipfian access skew for random
+  /// reference strings.  When theta > 0 (theta < 1), page *ranks* are
+  /// drawn from Zipf(theta) over db_pages and scrambled rank → page with
+  /// a splitmix hash, so the hot set spreads across the whole database
+  /// (and therefore across disks and home processors) instead of
+  /// clustering at low page ids.  Takes precedence over
+  /// hot_fraction/hot_access_prob when set.
+  double zipf_theta = 0.0;
   uint64_t seed = 1;
 };
 
-/// Generates a deterministic workload from the options.
+/// Zipfian rank distribution over [0, n) with parameter theta in (0, 1)
+/// (Gray et al. / YCSB formulation).  Construction precomputes the
+/// harmonic normalizer in O(n); Rank() is then O(1) per draw.
+class ZipfianDraw {
+ public:
+  ZipfianDraw(uint64_t n, double theta);
+  /// Draws a rank in [0, n); rank 0 is the hottest.
+  uint64_t Rank(Rng& rng) const;
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+};
+
+/// Streaming transaction source.  Sources are single-pass and
+/// deterministic: a given source type + options always yields the same
+/// sequence.
+class TxnSource {
+ public:
+  virtual ~TxnSource() = default;
+  /// Fills `out` with the next transaction (reusing its buffers where
+  /// that cannot change behaviour).  Returns false when exhausted.
+  virtual bool Next(TransactionSpec* out) = 0;
+  /// Total transactions this source yields across its lifetime.
+  virtual uint64_t total() const = 0;
+};
+
+/// O(1)-state generator source: yields num_transactions specs drawn from
+/// one seeded Rng, id order 1..N — the same stream GenerateWorkload
+/// materializes.
+std::unique_ptr<TxnSource> MakeGeneratorSource(const WorkloadOptions& options);
+
+/// Adapts an already-materialized workload (tests, hand-built specs).
+std::unique_ptr<TxnSource> MakeVectorSource(std::vector<TransactionSpec> txns);
+
+/// Generates a deterministic workload from the options (drains a
+/// generator source).
 std::vector<TransactionSpec> GenerateWorkload(const WorkloadOptions& options);
 
 /// Total pages read plus pages written across the workload — the

@@ -1,0 +1,194 @@
+// Differential and scale tests for the hybrid heap/ladder event queue.
+//
+// The simulator dequeues in the strict total order (when, schedule seq)
+// regardless of which structure holds the pending list, so a heap-pinned
+// kernel and a ladder-forced kernel must fire the exact same sequence for
+// any schedule/cancel script — including ties and mid-run spills.  These
+// tests drive randomized self-rescheduling scripts through both modes and
+// demand identical fire orders, then exercise the ladder at 1M
+// outstanding events with heavy cancellation churn.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace dbmr::sim {
+namespace {
+
+struct ScriptResult {
+  std::vector<uint32_t> fired;
+  SimCounters counters;
+  TimeMs end_time = 0.0;
+};
+
+// Runs a deterministic self-rescheduling churn script.  Every fired event
+// derives its own Rng from its label (not from a shared stream), so the
+// spawned work depends only on *which* events fire in *what* order —
+// exactly the property under test.
+ScriptResult RunChurnScript(size_t spill_threshold, bool quantize_times,
+                            uint64_t seed, size_t initial_events,
+                            size_t max_spawning) {
+  Simulator sim;
+  sim.set_spill_threshold(spill_threshold);
+  ScriptResult out;
+  std::vector<EventId> ids;  // label -> id (possibly already fired/stale)
+  uint32_t next_label = 0;
+  size_t spawners = 0;
+
+  struct Ctx {
+    Simulator* sim;
+    ScriptResult* out;
+    std::vector<EventId>* ids;
+    uint32_t* next_label;
+    size_t* spawners;
+    bool quantize;
+    uint64_t seed;
+    size_t max_spawning;
+  } ctx{&sim, &out, &ids, &next_label, &spawners,
+        quantize_times, seed, max_spawning};
+
+  struct Driver {
+    static void Schedule(Ctx* c, TimeMs delay) {
+      const uint32_t label = (*c->next_label)++;
+      c->ids->push_back(kNoEvent);
+      const EventId id =
+          c->sim->Schedule(delay, [c, label] { Fire(c, label); });
+      (*c->ids)[label] = id;
+    }
+    static void Fire(Ctx* c, uint32_t label) {
+      c->out->fired.push_back(label);
+      if (*c->spawners >= c->max_spawning) return;
+      ++*c->spawners;
+      Rng r(c->seed ^ (0x100001b3ULL * (label + 1)));
+      const int spawn = static_cast<int>(r.UniformInt(0, 2));
+      for (int i = 0; i < spawn; ++i) {
+        const TimeMs d = c->quantize
+                             ? static_cast<TimeMs>(r.UniformInt(0, 4))
+                             : r.UniformDouble(0.0, 10.0);
+        Schedule(c, d);
+      }
+      if (r.Bernoulli(0.25) && !c->ids->empty()) {
+        const auto victim = static_cast<size_t>(
+            r.UniformInt(0, static_cast<int64_t>(c->ids->size()) - 1));
+        c->sim->Cancel((*c->ids)[victim]);  // often stale: a no-op
+      }
+    }
+  };
+
+  Rng seed_rng(seed);
+  for (size_t i = 0; i < initial_events; ++i) {
+    const TimeMs d = quantize_times
+                         ? static_cast<TimeMs>(seed_rng.UniformInt(0, 4))
+                         : seed_rng.UniformDouble(0.0, 50.0);
+    Driver::Schedule(&ctx, d);
+  }
+  sim.Run();
+  out.counters = sim.counters();
+  out.end_time = sim.Now();
+  return out;
+}
+
+constexpr size_t kHeapPinned = std::numeric_limits<size_t>::max();
+
+TEST(EventQueueDifferentialTest, LadderMatchesHeapOnContinuousTimes) {
+  for (uint64_t seed : {1ull, 7ull, 42ull}) {
+    ScriptResult heap = RunChurnScript(kHeapPinned, false, seed, 2000, 20000);
+    ScriptResult ladder = RunChurnScript(0, false, seed, 2000, 20000);
+    EXPECT_EQ(heap.fired, ladder.fired) << "seed " << seed;
+    EXPECT_EQ(heap.end_time, ladder.end_time) << "seed " << seed;
+    EXPECT_EQ(heap.counters.events_executed, ladder.counters.events_executed);
+    EXPECT_EQ(heap.counters.events_cancelled, ladder.counters.events_cancelled);
+    EXPECT_EQ(ladder.counters.ladder_spills, 1u);
+    EXPECT_EQ(heap.counters.ladder_spills, 0u);
+  }
+}
+
+TEST(EventQueueDifferentialTest, LadderMatchesHeapUnderHeavyTies) {
+  // Quantized delays (0..4 ms) force large equal-timestamp cohorts; FIFO
+  // among ties must survive bucketing, spreads, and bottom sorts.
+  for (uint64_t seed : {3ull, 11ull}) {
+    ScriptResult heap = RunChurnScript(kHeapPinned, true, seed, 3000, 25000);
+    ScriptResult ladder = RunChurnScript(0, true, seed, 3000, 25000);
+    EXPECT_EQ(heap.fired, ladder.fired) << "seed " << seed;
+    EXPECT_EQ(heap.end_time, ladder.end_time) << "seed " << seed;
+  }
+}
+
+TEST(EventQueueDifferentialTest, MidRunSpillPreservesOrder) {
+  // A small threshold makes the kernel migrate heap -> ladder while the
+  // script is in flight; the fire order must not notice.
+  ScriptResult heap = RunChurnScript(kHeapPinned, false, 5, 2000, 20000);
+  ScriptResult spilled = RunChurnScript(512, false, 5, 2000, 20000);
+  EXPECT_EQ(heap.fired, spilled.fired);
+  EXPECT_EQ(spilled.counters.ladder_spills, 1u);
+}
+
+TEST(EventQueueDifferentialTest, DefaultThresholdStaysInHeapAtPaperScale) {
+  ScriptResult r = RunChurnScript(Simulator::kDefaultSpillThreshold, false, 1,
+                                  2000, 20000);
+  EXPECT_EQ(r.counters.ladder_spills, 0u);
+}
+
+TEST(EventQueueScaleTest, MillionOutstandingChurnAndCancel) {
+  constexpr size_t kOutstanding = 1'000'000;
+  Simulator sim;  // default threshold: spills on its own past 8192
+  Rng rng(99);
+  std::vector<EventId> ids;
+  ids.reserve(kOutstanding);
+  uint64_t fired = 0;
+  TimeMs last = 0.0;
+  for (size_t i = 0; i < kOutstanding; ++i) {
+    ids.push_back(sim.Schedule(rng.UniformDouble(0.0, 1e6), [&] {
+      ++fired;
+      ASSERT_GE(sim.Now(), last);  // nondecreasing fire times
+      last = sim.Now();
+    }));
+  }
+  EXPECT_EQ(sim.PendingEvents(), kOutstanding);
+  EXPECT_TRUE(sim.ladder_active());
+  EXPECT_EQ(sim.counters().ladder_spills, 1u);
+  EXPECT_EQ(sim.counters().max_heap_depth, kOutstanding);
+
+  // Cancel every third event, then churn: each fired event reschedules a
+  // short-lived successor for a while.
+  uint64_t cancelled = 0;
+  for (size_t i = 0; i < ids.size(); i += 3) {
+    cancelled += sim.Cancel(ids[i]) ? 1u : 0u;
+  }
+  EXPECT_EQ(sim.PendingEvents(), kOutstanding - cancelled);
+  sim.Run();
+  EXPECT_EQ(fired, kOutstanding - cancelled);
+  EXPECT_EQ(sim.PendingEvents(), 0u);
+  EXPECT_EQ(sim.counters().events_executed, fired);
+  EXPECT_EQ(sim.counters().events_cancelled, cancelled);
+}
+
+TEST(EventQueueScaleTest, ReschedulingChurnAtScaleDrainsCompletely) {
+  struct Ctx {
+    Simulator sim;
+    uint64_t budget = 400'000;  // extra events to spawn while draining
+    static void Chain(Ctx* c) {
+      if (c->budget == 0) return;
+      --c->budget;
+      Rng r(c->budget);
+      c->sim.Schedule(r.UniformDouble(0.0, 50.0), [c] { Chain(c); });
+    }
+  } ctx;
+  ctx.sim.set_spill_threshold(0);  // ladder from the first event
+  constexpr size_t kSeeded = 200'000;
+  Rng rng(7);
+  for (size_t i = 0; i < kSeeded; ++i) {
+    ctx.sim.Schedule(rng.UniformDouble(0.0, 1e4), [&ctx] { Ctx::Chain(&ctx); });
+  }
+  ctx.sim.Run();
+  EXPECT_EQ(ctx.sim.PendingEvents(), 0u);
+  EXPECT_EQ(ctx.sim.counters().events_executed, kSeeded + 400'000);
+}
+
+}  // namespace
+}  // namespace dbmr::sim

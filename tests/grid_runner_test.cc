@@ -8,6 +8,7 @@
 #include <set>
 #include <string>
 
+#include "core/experiment.h"
 #include "core/grid.h"
 #include "core/metrics.h"
 #include "machine/recovery_arch.h"
@@ -101,6 +102,37 @@ TEST(GridRunnerTest, RunAllConfigsIsJobCountInvariant) {
                      parallel[i].completion_ms.mean());
     EXPECT_EQ(serial[i].pages_written, parallel[i].pages_written);
   }
+}
+
+TEST(GridRunnerTest, ThousandQpGridIsJobCountInvariant) {
+  // The byte-identity guarantee must hold at the 100x machine, not just
+  // at paper scale: 1000 query processors, 64 disks, MPL 400 exercises
+  // the ladder-threshold neighborhood of the event kernel and the
+  // streaming admission path.  Short transactions keep runtime modest.
+  GridSpec spec;
+  spec.name = "scale-grid";
+  spec.base_seed = 99;
+  for (int cell_idx = 0; cell_idx < 3; ++cell_idx) {
+    GridCellSpec cell;
+    cell.name = "scale/" + std::to_string(cell_idx);
+    cell.config_name = "conv-random";
+    cell.arch_label = "bare";
+    cell.setup = StandardSetup(Configuration::kConvRandom, 1200, 99);
+    cell.setup.machine.num_query_processors = 1000;
+    cell.setup.machine.cache_frames = 4000;
+    cell.setup.machine.num_data_disks = 64;
+    cell.setup.machine.mpl = 400;
+    cell.setup.machine.db_pages = 2000000;
+    cell.setup.workload.db_pages = 2000000;
+    cell.setup.workload.min_pages = 1;
+    cell.setup.workload.max_pages = 4;
+    cell.make_arch = [] { return std::make_unique<machine::BareArch>(); };
+    spec.Add(std::move(cell));
+  }
+  MetricsRegistry serial = RunGrid(spec, GridRunOptions{1});
+  MetricsRegistry parallel = RunGrid(spec, GridRunOptions{8});
+  EXPECT_EQ(serial.ToJson(Deterministic()), parallel.ToJson(Deterministic()));
+  EXPECT_EQ(serial.ToCsv(Deterministic()), parallel.ToCsv(Deterministic()));
 }
 
 TEST(GridRunnerTest, JsonExportRoundTrips) {

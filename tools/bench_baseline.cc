@@ -33,6 +33,9 @@
 #include <cstdlib>
 #include <cstring>
 #include <ctime>
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
 #include <string>
 #include <vector>
 
@@ -176,6 +179,58 @@ std::vector<WorkloadResult> RunAll(int items, int reps) {
     }
     s.Run();
   }));
+
+  // 10M-outstanding churn, measured per event-queue mode (best of two
+  // reps: single shots of even this length swing ±15% on busy hosts).
+  // Publishing the ladder and forced-heap times side by side makes the
+  // speedup a property of this binary on this machine, so the CI gate can
+  // assert the ratio without comparing wall-clock numbers across hosts.
+  {
+    constexpr int64_t kBigOutstanding = 10 * 1000 * 1000;
+    constexpr int64_t kBigChurn = 10 * 1000 * 1000;
+    struct BigReplace {
+      Simulator* s;
+      Rng* rng;
+      int64_t* remaining;
+      void operator()() const {
+        if (--*remaining > 0) {
+          s->Schedule(rng->UniformDouble(0.0, 1000.0),
+                      BigReplace{s, rng, remaining});
+        }
+      }
+    };
+    const auto big_churn = [](size_t spill_threshold) {
+      Simulator s;
+      s.set_spill_threshold(spill_threshold);
+      s.Reserve(static_cast<size_t>(kBigOutstanding));
+      Rng rng(1);
+      int64_t remaining = kBigChurn;
+      for (int64_t i = 0; i < kBigOutstanding; ++i) {
+        s.Schedule(rng.UniformDouble(0.0, 1000.0),
+                   BigReplace{&s, &rng, &remaining});
+      }
+      s.Run();
+    };
+#if defined(__GLIBC__)
+    // Keep the ~gigabyte of kernel arrays inside the sbrk arena and never
+    // give it back, so the untimed warmup run below prefaults the pages
+    // once and both timed modes reuse them.  Without this, each run pays
+    // a couple hundred thousand first-touch page faults — an identical
+    // additive OS cost in both modes that only dilutes the queue-cost
+    // ratio the side-by-side pair exists to expose.
+    mallopt(M_MMAP_THRESHOLD, 2000000000);
+    mallopt(M_TRIM_THRESHOLD, -1);
+#endif
+    big_churn(Simulator::kDefaultSpillThreshold);  // untimed warmup
+    out.push_back(Measure("churn_10m_outstanding_ladder",
+                          kBigOutstanding + kBigChurn, 2, [&big_churn] {
+                            big_churn(Simulator::kDefaultSpillThreshold);
+                          }));
+    out.push_back(Measure("churn_10m_outstanding_heap",
+                          kBigOutstanding + kBigChurn, 2, [&big_churn] {
+                            big_churn(static_cast<size_t>(-1));
+                          }));
+  }
 
   return out;
 }

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Perf gate for the event kernel (CI `scale` job).
+
+Compares a freshly measured bench_baseline kernel-suite JSON against the
+committed BENCH_kernel.json and fails on two regressions:
+
+  1. schedule_fire_random slower than the committed baseline by more than
+     PERF_MAX_REGRESSION (default 0.25, i.e. +25%).  Wall-clock numbers do
+     cross machines here, so the margin is generous; it exists to catch
+     order-of-magnitude mistakes (a debug build, an accidental O(n) hot
+     loop), not single-digit drift.
+  2. The in-binary 10M-outstanding churn ratio (forced-heap ns / ladder
+     ns) below CHURN_MIN_RATIO (default 2.5).  Both sides run in the same
+     binary on the same host, so this number is host-portable.  Measured
+     ~4x on the development machine (best 4.7x); the floor sits well
+     below that to absorb virtualization noise, and well above 1.0 where
+     a broken ladder would land.
+
+Usage: check_perf_regression.py --baseline=BENCH_kernel.json \
+           --current=BENCH_kernel_ci.json
+Thresholds are overridable via the environment variables named above.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_workloads(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {w["name"]: w for w in doc.get("workloads", [])}
+
+
+def main():
+    p = argparse.ArgumentParser()
+    p.add_argument("--baseline", required=True,
+                   help="committed BENCH_kernel.json")
+    p.add_argument("--current", required=True,
+                   help="freshly measured kernel-suite JSON")
+    args = p.parse_args()
+
+    max_regression = float(os.environ.get("PERF_MAX_REGRESSION", "0.25"))
+    min_ratio = float(os.environ.get("CHURN_MIN_RATIO", "2.5"))
+
+    baseline = load_workloads(args.baseline)
+    current = load_workloads(args.current)
+    failures = []
+
+    # Gate 1: cross-run regression on the headline workload.
+    name = "schedule_fire_random"
+    if name in baseline and name in current:
+        base_ns = baseline[name]["best_ns_per_item"]
+        cur_ns = current[name]["best_ns_per_item"]
+        limit = base_ns * (1.0 + max_regression)
+        print(f"{name}: baseline {base_ns:.1f} ns, current {cur_ns:.1f} ns, "
+              f"limit {limit:.1f} ns")
+        if cur_ns > limit:
+            failures.append(
+                f"{name} regressed: {cur_ns:.1f} ns > {limit:.1f} ns "
+                f"(baseline {base_ns:.1f} ns +{max_regression:.0%})")
+    else:
+        failures.append(f"{name} missing from baseline or current JSON")
+
+    # Gate 2: in-binary ladder-vs-heap churn ratio.
+    ladder = current.get("churn_10m_outstanding_ladder")
+    heap = current.get("churn_10m_outstanding_heap")
+    if ladder and heap:
+        ratio = heap["best_ns_per_item"] / ladder["best_ns_per_item"]
+        print(f"churn ratio (heap/ladder): {ratio:.2f}x "
+              f"(floor {min_ratio:.2f}x)")
+        if ratio < min_ratio:
+            failures.append(
+                f"ladder speedup fell to {ratio:.2f}x "
+                f"(heap {heap['best_ns_per_item']:.1f} ns / ladder "
+                f"{ladder['best_ns_per_item']:.1f} ns), floor {min_ratio}x")
+    else:
+        failures.append("churn_10m_outstanding_{ladder,heap} missing from "
+                        "current JSON")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print("perf gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -73,6 +73,15 @@ struct Flags {
   --mpl=N            multiprogramming level                 (default: 3)
   --interarrival=MS  open system: mean interarrival (0 = closed batch)
   --hot-fraction=F / --hot-prob=P   workload skew           (default: off)
+  --zipf=THETA       YCSB-style Zipfian skew, 0<theta<1; ranks scrambled
+                     across the database (overrides --hot-*) (default: off)
+
+scaling the machine (beyond the paper's design point):
+  --qps=N            query processors                 (default: per config)
+  --frames=N         cache frames                     (default: per config)
+  --disks=N          data disks                       (default: per config)
+  --db-pages=N       logical database size in pages   (default: per config)
+  --min-pages=N / --max-pages=N   transaction size range (uniform)
 
 grid mode (parallel experiment grid + metrics export):
   --grid             run --arch across all four standard configurations on
@@ -186,6 +195,20 @@ core::ArchFactory MakeArchFactory(const Flags& f) {
 void ApplyCommonFlags(const Flags& f, core::ExperimentSetup* s) {
   if (f.Has("mpl")) s->machine.mpl = f.GetInt("mpl", 3);
   s->machine.mean_interarrival_ms = f.GetDouble("interarrival", 0.0);
+  // Scale knobs: grow the machine past the paper's design point.
+  if (f.Has("qps")) {
+    s->machine.num_query_processors = f.GetInt("qps", 25);
+  }
+  if (f.Has("frames")) s->machine.cache_frames = f.GetInt("frames", 100);
+  if (f.Has("disks")) s->machine.num_data_disks = f.GetInt("disks", 2);
+  if (f.Has("db-pages")) {
+    s->machine.db_pages =
+        static_cast<uint64_t>(f.GetDouble("db-pages", 120000));
+    s->workload.db_pages = s->machine.db_pages;
+  }
+  if (f.Has("min-pages")) s->workload.min_pages = f.GetInt("min-pages", 1);
+  if (f.Has("max-pages")) s->workload.max_pages = f.GetInt("max-pages", 250);
+  s->workload.zipf_theta = f.GetDouble("zipf", 0.0);
   s->workload.hot_fraction = f.GetDouble("hot-fraction", 0.0);
   s->workload.hot_access_prob = f.GetDouble("hot-prob", 0.8);
   if (s->workload.hot_fraction <= 0.0) s->workload.hot_access_prob = 0.0;

@@ -41,9 +41,9 @@ struct FixtureOptions {
   /// areas share the data disk, mirror that whole disk.  One lost replica
   /// is then survivable via EngineFixture::RepairMedia().
   bool log_mirroring = false;
-  /// "wal" only: attach an archive disk and take fuzzy archive sweeps at
-  /// every log-truncation point, so a lost (unmirrored) data disk can be
-  /// rebuilt from archive + log replay by MediaRecover().
+  /// "wal" and "aries" only: attach an archive disk and take fuzzy archive
+  /// sweeps at every log-truncation point, so a lost (unmirrored) data
+  /// disk can be rebuilt from archive + log replay by MediaRecover().
   bool archive = false;
 };
 
@@ -98,7 +98,8 @@ struct EngineFixture {
 };
 
 /// The torturable engine names, in canonical order: wal, shadow,
-/// differential, overwrite-noundo, overwrite-noredo, version-select.
+/// differential, overwrite-noundo, overwrite-noredo, version-select,
+/// aries.
 const std::vector<std::string>& EngineNames();
 
 /// True if `name` is one of EngineNames().

@@ -218,7 +218,8 @@ ArchEntry& ArchRegistry::RegisterSim(ArchEntry entry) {
 ArchEntry& ArchRegistry::RegisterEngine(
     const std::string& name, int engine_order,
     std::vector<VariantSpec> engine_variants,
-    EngineFixtureFactory make_engine, std::vector<KnobSpec> engine_knobs) {
+    EngineFixtureFactory make_engine, std::vector<KnobSpec> engine_knobs,
+    EngineArchInfo info) {
   DBMR_CHECK(!name.empty());
   DBMR_CHECK(engine_order >= 0);
   ArchEntry& e = FindOrCreate(name);
@@ -227,6 +228,12 @@ ArchEntry& ArchRegistry::RegisterEngine(
   e.engine_variants = std::move(engine_variants);
   e.make_engine = std::move(make_engine);
   e.engine_knobs = std::move(engine_knobs);
+  // Only blanks: a sim half registered in either order owns the prose
+  // (RegisterSim overwrites unconditionally, and here we never clobber).
+  if (e.summary.empty()) e.summary = std::move(info.summary);
+  if (e.description.empty()) e.description = std::move(info.description);
+  if (e.paper_ref.empty()) e.paper_ref = std::move(info.paper_ref);
+  if (e.invariants.empty()) e.invariants = std::move(info.invariants);
   return e;
 }
 
@@ -426,7 +433,12 @@ std::string VariantNameList(const std::vector<VariantSpec>& variants) {
 
 std::string RenderArchCatalogMarkdown() {
   const ArchRegistry& reg = ArchRegistry::Global();
-  const std::vector<const ArchEntry*> sims = reg.SimEntries();
+  // Sim-registered entries first (historical order), then engine-only
+  // architectures appended in engine order.
+  std::vector<const ArchEntry*> sims = reg.SimEntries();
+  for (const ArchEntry* e : reg.EngineEntries()) {
+    if (e->sim_order < 0) sims.push_back(e);
+  }
 
   std::string md;
   md += "# Architecture catalog\n";
@@ -592,15 +604,25 @@ std::string RenderArchCatalogText() {
       out += "    extra invariants: " + Join(e->invariants, ", ") + "\n";
     }
   }
-  // Engine-only entries (possible in binaries that link no sim models).
+  // Engine-only entries (no sim model registered).
   for (const ArchEntry* e : reg.EngineEntries()) {
     if (e->sim_order >= 0) continue;
-    out += StrFormat("\n  %-15s (functional engine only)\n", e->name.c_str());
+    out += StrFormat("\n  %-15s %s  [%s] (functional engine only)\n",
+                     e->name.c_str(), e->summary.c_str(),
+                     e->paper_ref.c_str());
     std::vector<std::string> eng_names;
     for (const VariantSpec& v : e->engine_variants) {
       eng_names.push_back(v.name);
     }
     out += "    engine fixtures: " + Join(eng_names, ", ") + "\n";
+    for (const KnobSpec& k : e->engine_knobs) {
+      out += StrFormat("    --%-18s %-6s default %-10s %s (engine)\n",
+                       k.key.c_str(), KnobTypeName(k.type),
+                       KnobDefaultLabel(k).c_str(), k.doc.c_str());
+    }
+    if (!e->invariants.empty()) {
+      out += "    extra invariants: " + Join(e->invariants, ", ") + "\n";
+    }
   }
   return out;
 }

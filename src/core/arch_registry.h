@@ -167,11 +167,22 @@ class ArchRegistry {
   /// the same half is a checked fatal error.
   ArchEntry& RegisterSim(ArchEntry entry);
 
+  /// Catalog prose for an engine-only architecture (one with no sim model
+  /// to supply it).  On entries with both halves the sim registration owns
+  /// these fields; engine-provided info only fills in blanks.
+  struct EngineArchInfo {
+    std::string summary;
+    std::string description;
+    std::string paper_ref;
+    std::vector<std::string> invariants;
+  };
+
   /// Registers the engine half of an entry by name.
   ArchEntry& RegisterEngine(const std::string& name, int engine_order,
                             std::vector<VariantSpec> engine_variants,
                             EngineFixtureFactory make_engine,
-                            std::vector<KnobSpec> engine_knobs = {});
+                            std::vector<KnobSpec> engine_knobs = {},
+                            EngineArchInfo info = {});
 
   /// Registers an auditor check for the catalog (machine/auditor.cc).
   void RegisterInvariant(const std::string& name, const std::string& doc,
@@ -253,10 +264,11 @@ struct EngineArchRegistrar {
   EngineArchRegistrar(const std::string& name, int engine_order,
                       std::vector<VariantSpec> engine_variants,
                       EngineFixtureFactory make_engine,
-                      std::vector<KnobSpec> engine_knobs = {}) {
+                      std::vector<KnobSpec> engine_knobs = {},
+                      ArchRegistry::EngineArchInfo info = {}) {
     ArchRegistry::Global().RegisterEngine(
         name, engine_order, std::move(engine_variants),
-        std::move(make_engine), std::move(engine_knobs));
+        std::move(make_engine), std::move(engine_knobs), std::move(info));
   }
 };
 

@@ -62,6 +62,15 @@ const std::vector<Auditor::CheckInfo>& Auditor::KnownChecks() {
        "an aborted no-redo victim restores every in-place overwrite of "
        "uncommitted data before its locks are released",
        false},
+      {"aries-wal-lsn",
+       "no data page is written back while its pageLSN exceeds the log's "
+       "flushedLSN (the ARIES statement of the WAL rule)",
+       false},
+      {"aries-clr-chain",
+       "every CLR compensates the transaction's newest un-compensated "
+       "update and chains undo-next to the one below it; an uncommitted "
+       "transaction end leaves no update un-compensated",
+       false},
   };
   return *kChecks;
 }
@@ -427,6 +436,64 @@ void Auditor::OnOverwriteUndone(txn::TxnId t, uint64_t page) {
     return;
   }
   if (--pit->second == 0) it->second.inplace.erase(pit);
+}
+
+void Auditor::OnAriesRestart() {
+  ++checks_;
+  aries_pending_undo_.clear();
+}
+
+void Auditor::OnAriesUpdate(txn::TxnId t, uint64_t lsn) {
+  ++checks_;
+  aries_pending_undo_[t].push_back(lsn);
+}
+
+void Auditor::OnAriesClr(txn::TxnId t, uint64_t undo_next_lsn) {
+  ++checks_;
+  auto it = aries_pending_undo_.find(t);
+  if (it == aries_pending_undo_.end() || it->second.empty()) {
+    Violate("aries-clr-chain",
+            StrFormat("CLR for txn %llu with no update left to compensate",
+                      static_cast<unsigned long long>(t)));
+    return;
+  }
+  it->second.pop_back();
+  const uint64_t expected = it->second.empty() ? 0 : it->second.back();
+  if (undo_next_lsn != expected) {
+    Violate("aries-clr-chain",
+            StrFormat("CLR for txn %llu carries undo-next %llu, expected "
+                      "%llu (the update below the one it compensates)",
+                      static_cast<unsigned long long>(t),
+                      static_cast<unsigned long long>(undo_next_lsn),
+                      static_cast<unsigned long long>(expected)));
+  }
+}
+
+void Auditor::OnAriesTxnEnd(txn::TxnId t, bool committed) {
+  ++checks_;
+  auto it = aries_pending_undo_.find(t);
+  if (it == aries_pending_undo_.end()) return;
+  if (!committed && !it->second.empty()) {
+    Violate("aries-clr-chain",
+            StrFormat("txn %llu ended uncommitted with %zu update(s) never "
+                      "compensated by a CLR",
+                      static_cast<unsigned long long>(t),
+                      it->second.size()));
+  }
+  aries_pending_undo_.erase(it);
+}
+
+void Auditor::OnAriesWriteBack(uint64_t page, uint64_t page_lsn,
+                               uint64_t flushed_lsn) {
+  ++checks_;
+  if (page_lsn > flushed_lsn) {
+    Violate("aries-wal-lsn",
+            StrFormat("page %llu written back with pageLSN %llu > "
+                      "flushedLSN %llu",
+                      static_cast<unsigned long long>(page),
+                      static_cast<unsigned long long>(page_lsn),
+                      static_cast<unsigned long long>(flushed_lsn)));
+  }
 }
 
 }  // namespace dbmr::machine

@@ -106,6 +106,26 @@ class Auditor {
   /// Overwriting (no-redo): the before image of (t, page) was restored.
   void OnOverwriteUndone(txn::TxnId t, uint64_t page);
 
+  // --- ARIES engine hooks (store::AriesEngine audit taps) ---------------
+  /// ARIES: restart began.  Volatile state — including any appended-but-
+  /// never-durable log tail — is gone, so the pending-undo model resets;
+  /// restart rebuilds it from the durable log via OnAriesUpdate.
+  void OnAriesRestart();
+  /// ARIES: an update record for t was appended at end-LSN `lsn`.
+  void OnAriesUpdate(txn::TxnId t, uint64_t lsn);
+  /// ARIES: a CLR for t was appended carrying `undo_next_lsn`.  Must
+  /// compensate t's newest un-compensated update, and its undo-next must
+  /// point at the one below it (0 when rollback is complete).
+  void OnAriesClr(txn::TxnId t, uint64_t undo_next_lsn);
+  /// ARIES: t ended (commit, or abort/restart-undo completion).  An
+  /// uncommitted end with un-compensated updates is an incomplete CLR
+  /// chain.
+  void OnAriesTxnEnd(txn::TxnId t, bool committed);
+  /// ARIES: page write-back observed with the page's pageLSN and the log's
+  /// flushedLSN; pageLSN > flushedLSN breaks the WAL rule.
+  void OnAriesWriteBack(uint64_t page, uint64_t page_lsn,
+                        uint64_t flushed_lsn);
+
   uint64_t checks() const { return checks_; }
   const std::vector<AuditViolation>& violations() const {
     return violations_;
@@ -166,6 +186,9 @@ class Auditor {
   sim::TraceRing* trace_;
 
   std::unordered_map<txn::TxnId, TxnState> txns_;
+  /// ARIES: per transaction, the end-LSNs of updates not yet compensated
+  /// by a CLR (a stack — CLRs must pop newest-first).
+  std::unordered_map<txn::TxnId, std::vector<uint64_t>> aries_pending_undo_;
   /// Logical page -> live physical block (shadow architecture only;
   /// populated by committed copy-on-write flips).
   std::unordered_map<uint64_t, uint64_t> live_block_;

@@ -1,0 +1,993 @@
+#include "store/recovery/aries_engine.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "store/codec.h"
+#include "util/str.h"
+
+namespace dbmr::store {
+
+namespace {
+/// Data page block layout: [u64 pageLSN][payload].
+constexpr size_t kPageHeader = 8;
+
+uint64_t PageLsn(const PageData& block) { return GetU64(block, 0); }
+void SetPageLsn(PageData& block, uint64_t lsn) { PutU64(block, 0, lsn); }
+}  // namespace
+
+AriesEngine::AriesEngine(VirtualDisk* data_disk, VirtualDisk* log_disk,
+                         AriesEngineOptions options,
+                         VirtualDisk* archive_disk)
+    : data_(data_disk), log_(log_disk), opts_(options) {
+  DBMR_CHECK(data_ != nullptr);
+  DBMR_CHECK(log_ != nullptr);
+  DBMR_CHECK(log_->block_size() == data_->block_size());
+  // Room for the master (48 bytes), a block header, and a page header.
+  DBMR_CHECK(data_->block_size() >= 64);
+  if (archive_disk != nullptr) {
+    DBMR_CHECK(archive_disk->block_size() == data_->block_size());
+    DBMR_CHECK(archive_disk->num_blocks() >= 1 + data_->num_blocks());
+    archive_ = std::make_unique<ArchiveStore>(archive_disk);
+  }
+  pool_ = std::make_unique<BufferPool>(
+      opts_.pool_frames,
+      [this](txn::PageId p, PageData* out) { return FetchBlock(p, out); },
+      [this](txn::PageId p, const PageData& b) {
+        return FlushDataPage(p, b);
+      });
+}
+
+size_t AriesEngine::payload_size() const {
+  return data_->block_size() - kPageHeader;
+}
+
+size_t AriesEngine::PayloadBytesPerLogBlock() const {
+  return data_->block_size() - LogBlockHeader::kSize;
+}
+
+Status AriesEngine::Format() {
+  // Zero the data disk: a fresh page's pageLSN of 0 predates every record.
+  PageData zero(data_->block_size(), 0);
+  for (BlockId b = 0; b < data_->num_blocks(); ++b) {
+    DBMR_RETURN_IF_ERROR(data_->Write(b, zero));
+  }
+  // The archive master must exist before TruncateLog below sweeps into it.
+  if (archive_ != nullptr) {
+    DBMR_RETURN_IF_ERROR(
+        archive_->Format(data_->num_blocks(), data_->block_size()));
+  }
+  // Epoch advances past any previous life of the log disk, and the epoch
+  // base keeps LSNs monotone even across a reformat.
+  DBMR_RETURN_IF_ERROR(TruncateLog());
+  pool_->DiscardAll();
+  active_.clear();
+  dpt_.clear();
+  locks_.Reset();
+  next_txn_ = 1;
+  records_since_checkpoint_ = 0;
+  media_restored_ = false;
+  return Status::OK();
+}
+
+Result<txn::TxnId> AriesEngine::Begin() {
+  txn::TxnId t = next_txn_++;
+  active_.emplace(t, ActiveTxn{});
+  return t;
+}
+
+Status AriesEngine::FetchBlock(txn::PageId page, PageData* out) {
+  if (page >= data_->num_blocks()) {
+    return Status::OutOfRange(
+        StrFormat("page %llu out of range", (unsigned long long)page));
+  }
+  return RetryDiskIo(
+      *data_, [&] { return data_->Read(page, out); }, &io_retry_);
+}
+
+Status AriesEngine::FlushDataPage(txn::PageId page, const PageData& block) {
+  // WAL rule as an LSN inequality: the record that produced this page
+  // image must be durable (pageLSN <= flushedLSN) before the page may
+  // reach disk.
+  const uint64_t page_lsn = PageLsn(block);
+  if (page_lsn > flushed_lsn_ && !opts_.test_skip_log_force) {
+    DBMR_RETURN_IF_ERROR(ForceLog());
+  }
+  if (hooks_.on_write_back) hooks_.on_write_back(page, page_lsn, flushed_lsn_);
+  DBMR_RETURN_IF_ERROR(RetryDiskIo(
+      *data_, [&] { return data_->Write(page, block); }, &io_retry_));
+  dpt_.erase(page);
+  return Status::OK();
+}
+
+uint64_t AriesEngine::AppendRecord(const AriesLogRecord& rec) {
+  PageData tmp(rec.EncodedSize(), 0);
+  EncodeAriesRecord(rec, tmp, 0);
+  pending_.insert(pending_.end(), tmp.begin(), tmp.end());
+  next_lsn_ += tmp.size();
+  ++records_appended_;
+  ++records_since_checkpoint_;
+  return next_lsn_;
+}
+
+Status AriesEngine::ForceLog() {
+  if (flushed_lsn_ == next_lsn_) return Status::OK();
+  ++forces_;
+  const size_t cap = PayloadBytesPerLogBlock();
+  // `pending_` holds the stream's bytes from the start of block
+  // `next_block_` onward (durable prefix of the partial block included,
+  // for in-place group fill).
+  while (!pending_.empty()) {
+    const size_t used = std::min(cap, pending_.size());
+    if (next_block_ >= log_->num_blocks()) {
+      return Status::ResourceExhausted(
+          StrFormat("aries log %s full", log_->name().c_str()));
+    }
+    PageData block(log_->block_size(), 0);
+    LogBlockHeader h;
+    h.epoch = epoch_;
+    h.used_bytes = static_cast<uint32_t>(used);
+    h.EncodeTo(block);
+    std::copy(pending_.begin(), pending_.begin() + static_cast<long>(used),
+              block.begin() + LogBlockHeader::kSize);
+    DBMR_RETURN_IF_ERROR(RetryDiskIo(
+        *log_, [&] { return log_->Write(next_block_, block); }, &io_retry_));
+    if (used == cap) {
+      // Block finalized; it will never be rewritten.
+      pending_.erase(pending_.begin(),
+                     pending_.begin() + static_cast<long>(used));
+      ++next_block_;
+    } else {
+      // Partial block stays buffered for in-place group fill.
+      break;
+    }
+  }
+  flushed_lsn_ = next_lsn_;
+  return Status::OK();
+}
+
+Status AriesEngine::WriteMaster(const AriesLogMaster& m) {
+  PageData block(log_->block_size(), 0);
+  m.EncodeTo(block);
+  return RetryDiskIo(
+      *log_, [&] { return log_->Write(0, block); }, &io_retry_);
+}
+
+Status AriesEngine::Read(txn::TxnId t, txn::PageId page, PageData* out) {
+  auto it = active_.find(t);
+  if (it == active_.end()) {
+    return Status::FailedPrecondition("transaction not active");
+  }
+  if (!locks_.TryAcquire(t, page, txn::LockMode::kShared)) {
+    return Status::Aborted("lock conflict (no-wait)");
+  }
+  PageData block;
+  DBMR_RETURN_IF_ERROR(pool_->Get(page, &block));
+  out->assign(block.begin() + kPageHeader, block.end());
+  return Status::OK();
+}
+
+Status AriesEngine::Write(txn::TxnId t, txn::PageId page,
+                          const PageData& payload) {
+  DBMR_RETURN_IF_ERROR(MaybeAutoCheckpoint());
+  auto it = active_.find(t);
+  if (it == active_.end()) {
+    return Status::FailedPrecondition("transaction not active");
+  }
+  if (payload.size() != payload_size()) {
+    return Status::InvalidArgument(StrFormat(
+        "payload size %zu != %zu", payload.size(), payload_size()));
+  }
+  if (!locks_.TryAcquire(t, page, txn::LockMode::kExclusive)) {
+    return Status::Aborted("lock conflict (no-wait)");
+  }
+  PageData block;
+  DBMR_RETURN_IF_ERROR(pool_->Get(page, &block));
+
+  // Byte-range diff of the payload (logical logging).
+  size_t lo = 0;
+  size_t hi = payload.size();
+  const uint8_t* old = block.data() + kPageHeader;
+  while (lo < payload.size() && old[lo] == payload[lo]) ++lo;
+  if (lo == payload.size()) {
+    // Identical content: nothing to log or write.
+    return Status::OK();
+  }
+  while (hi > lo && old[hi - 1] == payload[hi - 1]) --hi;
+
+  ActiveTxn& at = it->second;
+  AriesLogRecord rec;
+  rec.kind = LogRecordKind::kUpdate;
+  rec.txn = t;
+  rec.page = page;
+  rec.prev_lsn = at.last_lsn;
+  rec.offset = static_cast<uint32_t>(lo);
+  rec.before.assign(old + lo, old + hi);
+  rec.after.assign(payload.begin() + static_cast<long>(lo),
+                   payload.begin() + static_cast<long>(hi));
+  // The record's start offset is the fuzzy-checkpoint horizon bound (the
+  // retained stream must keep the whole record); its end offset is the
+  // LSN stamped into the page.
+  const uint64_t start_lsn = next_lsn_;
+  const uint64_t lsn = AppendRecord(rec);
+  at.last_lsn = lsn;
+  if (at.first_lsn == 0) at.first_lsn = start_lsn;
+  at.undo.push_back(
+      UndoEntry{page, rec.offset, rec.before, lsn, rec.prev_lsn});
+  dpt_.try_emplace(page, start_lsn);
+
+  SetPageLsn(block, lsn);
+  std::copy(payload.begin(), payload.end(), block.begin() + kPageHeader);
+  if (hooks_.on_update) hooks_.on_update(t, lsn);
+  return pool_->Put(page, std::move(block));
+}
+
+Status AriesEngine::Commit(txn::TxnId t) {
+  DBMR_RETURN_IF_ERROR(MaybeAutoCheckpoint());
+  auto it = active_.find(t);
+  if (it == active_.end()) {
+    return Status::FailedPrecondition("transaction not active");
+  }
+  AriesLogRecord rec;
+  rec.kind = LogRecordKind::kCommit;
+  rec.txn = t;
+  rec.prev_lsn = it->second.last_lsn;
+  AppendRecord(rec);
+  DBMR_RETURN_IF_ERROR(ForceLog());
+  ++commits_;
+  if (hooks_.on_txn_end) hooks_.on_txn_end(t, /*committed=*/true);
+  locks_.ReleaseAll(t);
+  active_.erase(it);
+  return Status::OK();
+}
+
+Status AriesEngine::Abort(txn::TxnId t) {
+  auto it = active_.find(t);
+  if (it == active_.end()) {
+    return Status::FailedPrecondition("transaction not active");
+  }
+  ActiveTxn& at = it->second;
+  // Undo in reverse order, writing CLRs whose undo_next pointers skip the
+  // compensated record — a crash mid-rollback resumes exactly where this
+  // abort stopped.  CLRs are redo-only and forced lazily: if none reach
+  // disk, restart undoes from the update records' before-images instead.
+  for (auto u = at.undo.rbegin(); u != at.undo.rend(); ++u) {
+    PageData block;
+    DBMR_RETURN_IF_ERROR(pool_->Get(u->page, &block));
+    AriesLogRecord clr;
+    clr.kind = LogRecordKind::kClr;
+    clr.txn = t;
+    clr.page = u->page;
+    clr.prev_lsn = at.last_lsn;
+    clr.undo_next_lsn = opts_.test_break_clr_chain ? u->lsn : u->prev_lsn;
+    clr.offset = u->offset;
+    clr.after = u->before;
+    const uint64_t start_lsn = next_lsn_;
+    const uint64_t lsn = AppendRecord(clr);
+    at.last_lsn = lsn;
+    dpt_.try_emplace(u->page, start_lsn);
+    SetPageLsn(block, lsn);
+    std::copy(u->before.begin(), u->before.end(),
+              block.begin() + kPageHeader + u->offset);
+    DBMR_RETURN_IF_ERROR(pool_->Put(u->page, std::move(block)));
+    if (hooks_.on_clr) hooks_.on_clr(t, clr.undo_next_lsn);
+  }
+  AriesLogRecord end;
+  end.kind = LogRecordKind::kAbort;
+  end.txn = t;
+  end.prev_lsn = at.last_lsn;
+  AppendRecord(end);
+  ++aborts_;
+  if (hooks_.on_txn_end) hooks_.on_txn_end(t, /*committed=*/false);
+  locks_.ReleaseAll(t);
+  active_.erase(it);
+  return Status::OK();
+}
+
+void AriesEngine::Crash() {
+  pool_->DiscardAll();
+  active_.clear();
+  dpt_.clear();
+  locks_.Reset();
+  // Volatile log buffers vanish; only what was forced survives.  The rest
+  // of the stream state is rebuilt from the master by Recover().
+  pending_.clear();
+  next_lsn_ = flushed_lsn_;
+  records_since_checkpoint_ = 0;
+  in_checkpoint_ = false;
+}
+
+Status AriesEngine::MaybeAutoCheckpoint() {
+  if (opts_.checkpoint_interval == 0 || in_checkpoint_) return Status::OK();
+  if (records_since_checkpoint_ < opts_.checkpoint_interval) {
+    return Status::OK();
+  }
+  return FuzzyCheckpoint();
+}
+
+Status AriesEngine::FuzzyCheckpoint() {
+  in_checkpoint_ = true;
+  struct Guard {
+    bool* flag;
+    ~Guard() { *flag = false; }
+  } guard{&in_checkpoint_};
+
+  // Serialize the tables in id order so the record is deterministic.
+  AriesCheckpointData data;
+  data.dirty_pages.reserve(dpt_.size());
+  for (const auto& [page, rec_lsn] : dpt_) {
+    data.dirty_pages.push_back({page, rec_lsn});
+  }
+  std::sort(data.dirty_pages.begin(), data.dirty_pages.end(),
+            [](const auto& a, const auto& b) { return a.page < b.page; });
+  for (const auto& [t, at] : active_) {
+    if (at.last_lsn != 0) data.txns.push_back({t, at.last_lsn});
+  }
+  std::sort(data.txns.begin(), data.txns.end(),
+            [](const auto& a, const auto& b) { return a.txn < b.txn; });
+
+  AriesLogRecord rec;
+  rec.kind = LogRecordKind::kCheckpoint;
+  rec.after = EncodeAriesCheckpoint(data);
+  const uint64_t cp_start = next_lsn_;
+  const uint64_t cp_lsn = AppendRecord(rec);
+  DBMR_RETURN_IF_ERROR(ForceLog());
+  // The horizon drops records from the recovery scan; the archive must
+  // absorb the data image first — same ordering rule as truncation.
+  DBMR_RETURN_IF_ERROR(SweepArchive());
+
+  // Retention horizon: nothing an active transaction's undo or a dirty
+  // page's redo could still need — nor the checkpoint record itself — may
+  // fall behind the scan origin.
+  uint64_t horizon = cp_start;
+  for (const auto& [page, rec_lsn] : dpt_) {
+    horizon = std::min(horizon, rec_lsn);
+  }
+  for (const auto& [t, at] : active_) {
+    if (at.first_lsn != 0) horizon = std::min(horizon, at.first_lsn);
+  }
+
+  const size_t cap = PayloadBytesPerLogBlock();
+  const uint64_t rel = horizon - epoch_base_lsn_;
+  AriesLogMaster m;
+  m.epoch = epoch_;
+  m.start_block = 1 + rel / cap;
+  m.start_offset = rel % cap;
+  m.epoch_base_lsn = epoch_base_lsn_;
+  m.checkpoint_lsn = cp_lsn;
+  m.first_epoch = first_epoch_;
+  DBMR_RETURN_IF_ERROR(WriteMaster(m));
+  checkpoint_lsn_ = cp_lsn;
+  ++fuzzy_checkpoints_;
+  records_since_checkpoint_ = 0;
+  return Status::OK();
+}
+
+Status AriesEngine::Checkpoint() {
+  // Flushing enforces the WAL rule per page, so everything a finished
+  // transaction did is home after this; only active transactions still
+  // need their log records.
+  DBMR_RETURN_IF_ERROR(pool_->FlushAll());
+  if (active_.empty()) {
+    ++full_checkpoints_;
+    DBMR_RETURN_IF_ERROR(TruncateLog());
+    records_since_checkpoint_ = 0;
+    return Status::OK();
+  }
+  return FuzzyCheckpoint();
+}
+
+Status AriesEngine::SweepArchive() {
+  if (archive_ == nullptr) return Status::OK();
+  DBMR_RETURN_IF_ERROR(
+      archive_->Sweep(data_, data_->num_blocks(), &io_retry_));
+  ++archive_sweeps_;
+  return Status::OK();
+}
+
+Status AriesEngine::TruncateLog() {
+  // Truncation drops records forever; the archive must absorb the data
+  // image first so archive + log still covers every committed update.
+  DBMR_RETURN_IF_ERROR(SweepArchive());
+  PageData master_block;
+  DBMR_RETURN_IF_ERROR(RetryDiskIo(
+      *log_, [&] { return log_->Read(0, &master_block); }, &io_retry_));
+  AriesLogMaster old;
+  Status st = AriesLogMaster::DecodeFrom(master_block, &old);
+  // The epoch must advance past any previous life of this disk; the LSN
+  // space continues from wherever the stream ended, so pageLSNs written
+  // before the truncation stay comparable (and smaller) forever.
+  epoch_ = st.ok() ? old.epoch + 1 : 1;
+  first_epoch_ = epoch_;
+  epoch_base_lsn_ = next_lsn_;
+  next_block_ = 1;
+  pending_.clear();
+  flushed_lsn_ = next_lsn_;
+  checkpoint_lsn_ = 0;
+  AriesLogMaster m;
+  m.epoch = epoch_;
+  m.start_block = 1;
+  m.start_offset = 0;
+  m.epoch_base_lsn = epoch_base_lsn_;
+  m.checkpoint_lsn = 0;
+  m.first_epoch = first_epoch_;
+  return WriteMaster(m);
+}
+
+Status AriesEngine::LoadMaster(AriesLogMaster* m,
+                               uint64_t* retained_start_lsn) {
+  PageData master_block;
+  DBMR_RETURN_IF_ERROR(RetryDiskIo(
+      *log_, [&] { return log_->Read(0, &master_block); }, &io_retry_));
+  DBMR_RETURN_IF_ERROR(AriesLogMaster::DecodeFrom(master_block, m));
+  epoch_ = m->epoch;
+  first_epoch_ = m->first_epoch;
+  epoch_base_lsn_ = m->epoch_base_lsn;
+  checkpoint_lsn_ = m->checkpoint_lsn;
+  const size_t cap = PayloadBytesPerLogBlock();
+  *retained_start_lsn =
+      m->epoch_base_lsn + (m->start_block - 1) * cap + m->start_offset;
+  return Status::OK();
+}
+
+Status AriesEngine::ReconstructAppendState(const AriesLogMaster& m,
+                                           uint64_t end_rel) {
+  // Every scanned block before the last is full, so the retained stream
+  // maps contiguously into payload space: stream byte i sits at absolute
+  // payload offset (start_block - 1) * cap + start_offset + i.
+  const size_t cap = PayloadBytesPerLogBlock();
+  const uint64_t end_abs =
+      (m.start_block - 1) * cap + m.start_offset + end_rel;
+  next_lsn_ = epoch_base_lsn_ + end_abs;
+  flushed_lsn_ = next_lsn_;
+  next_block_ = static_cast<BlockId>(1 + end_abs / cap);
+  const size_t in_block = static_cast<size_t>(end_abs % cap);
+  pending_.clear();
+  if (in_block > 0) {
+    // Re-buffer the durable prefix of the partial tail block so restart
+    // CLR appends group-fill it in place (chopping any truncated record
+    // tail: used_bytes shrinks to the last complete record boundary).
+    PageData block;
+    DBMR_RETURN_IF_ERROR(RetryDiskIo(
+        *log_, [&] { return log_->Read(next_block_, &block); }, &io_retry_));
+    pending_.assign(block.begin() + LogBlockHeader::kSize,
+                    block.begin() + LogBlockHeader::kSize +
+                        static_cast<long>(in_block));
+  }
+  // Fence the tail: a truncated-record chop can leave whole stale blocks
+  // beyond the logical end that still look valid (same epoch, full
+  // used_bytes).  Restart appends must not let those blocks reconnect to
+  // the stream later, so every restart advances the epoch — durably,
+  // before a single new byte is flushed — and the scan only accepts
+  // non-decreasing block epochs: a stale block behind a rewritten one is
+  // provably older and gets rejected.
+  epoch_ = m.epoch + 1;
+  AriesLogMaster fenced = m;
+  fenced.epoch = epoch_;
+  return WriteMaster(fenced);
+}
+
+Status AriesEngine::CollectSegments(const AriesLogMaster& m,
+                                    SegmentedBytes* out) const {
+  const size_t cap = PayloadBytesPerLogBlock();
+  bool first = true;
+  uint64_t prev_epoch = m.first_epoch;
+  for (BlockId b = m.start_block; b < log_->num_blocks(); ++b) {
+    const uint8_t* block = nullptr;
+    DBMR_RETURN_IF_ERROR(RetryDiskIo(
+        *log_, [&] { return log_->ReadRef(b, &block); }, &io_retry_));
+    const LogBlockHeader h = LogBlockHeader::DecodeFrom(block);
+    if (h.epoch < prev_epoch || h.epoch > m.epoch || h.used_bytes == 0 ||
+        h.used_bytes > cap) {
+      break;
+    }
+    prev_epoch = h.epoch;
+    // A fuzzy checkpoint may have moved the scan origin mid-block.
+    size_t skip = 0;
+    if (first) {
+      first = false;
+      if (m.start_offset >= h.used_bytes) {
+        if (h.used_bytes < cap) break;
+        continue;  // horizon consumed the whole (finalized) block
+      }
+      skip = static_cast<size_t>(m.start_offset);
+    }
+    out->AddSegment(block + LogBlockHeader::kSize + skip,
+                    h.used_bytes - skip);
+    if (h.used_bytes < cap) break;  // partial block is always the last
+  }
+  return Status::OK();
+}
+
+Status AriesEngine::Recover() {
+  // Injected crash budgets are gone after the reboot; a lost medium stays
+  // lost (MediaRecover handles that first).
+  data_->ClearCrashState();
+  log_->ClearCrashState();
+  if (archive_ != nullptr) archive_->disk()->ClearCrashState();
+  last_stats_ = RecoveryStats{};
+  last_stats_.jobs = opts_.recovery_jobs;
+  if (hooks_.on_restart) hooks_.on_restart();
+  if (opts_.recovery_jobs <= 0) return RecoverSequential();
+  return RecoverPartitioned();
+}
+
+Status AriesEngine::RecoverSequential() {
+  AriesLogMaster m;
+  uint64_t retained_start = 0;
+  DBMR_RETURN_IF_ERROR(LoadMaster(&m, &retained_start));
+  SegmentedBytes segs;
+  DBMR_RETURN_IF_ERROR(CollectSegments(m, &segs));
+
+  // Reassemble the retained stream into one buffer and decode with owned
+  // images — the reference path shares no replay machinery with the
+  // partitioned one, which is what makes their byte-compare meaningful.
+  struct SeqRecord {
+    AriesLogRecord rec;
+    uint64_t lsn = 0;  // end-LSN: offset just past the record
+  };
+  PageData raw(static_cast<size_t>(segs.size()), 0);
+  if (!raw.empty()) segs.CopyOut(0, segs.size(), raw.data());
+  std::vector<SeqRecord> recs;
+  size_t pos = 0;
+  while (pos < raw.size()) {
+    const size_t before = pos;
+    AriesLogRecord r;
+    if (!DecodeAriesRecord(raw, &pos, &r).ok()) {
+      pos = before;  // truncated trailing record: never durable
+      break;
+    }
+    recs.push_back(SeqRecord{std::move(r), retained_start + pos});
+  }
+  DBMR_RETURN_IF_ERROR(ReconstructAppendState(m, pos));
+  last_stats_.replay_records = recs.size();
+  last_stats_.partitions = 1;
+
+  std::unordered_map<uint64_t, const AriesLogRecord*> by_lsn;
+  by_lsn.reserve(recs.size());
+  for (const SeqRecord& s : recs) by_lsn.emplace(s.lsn, &s.rec);
+
+  // ANALYSIS: start from the checkpointed tables, roll them forward over
+  // everything the checkpoint record could not see.
+  std::unordered_map<txn::PageId, uint64_t> adpt;  // page -> recLSN
+  std::map<txn::TxnId, uint64_t> tt;               // loser -> lastLSN
+  txn::TxnId max_txn = 0;
+  if (checkpoint_lsn_ != 0) {
+    auto cp = by_lsn.find(checkpoint_lsn_);
+    if (cp == by_lsn.end() ||
+        cp->second->kind != LogRecordKind::kCheckpoint) {
+      return Status::Corruption(
+          "aries checkpoint record missing from retained log");
+    }
+    AriesCheckpointData tables;
+    DBMR_RETURN_IF_ERROR(DecodeAriesCheckpoint(
+        cp->second->after.data(), cp->second->after.size(), &tables));
+    for (const auto& d : tables.dirty_pages) adpt.emplace(d.page, d.rec_lsn);
+    for (const auto& t : tables.txns) {
+      tt[t.txn] = t.last_lsn;
+      max_txn = std::max(max_txn, t.txn);
+    }
+  }
+  for (const SeqRecord& s : recs) {
+    max_txn = std::max(max_txn, s.rec.txn);
+    if (s.lsn <= checkpoint_lsn_) continue;
+    switch (s.rec.kind) {
+      case LogRecordKind::kUpdate:
+      case LogRecordKind::kClr:
+        tt[s.rec.txn] = s.lsn;
+        adpt.try_emplace(s.rec.page, s.lsn);
+        break;
+      case LogRecordKind::kCommit:
+      case LogRecordKind::kAbort:
+        tt.erase(s.rec.txn);
+        break;
+      case LogRecordKind::kCheckpoint:
+        break;
+    }
+  }
+
+  // REDO repeats history: updates and CLRs alike re-apply wherever the
+  // page image predates them (pageLSN gate).  The dirty-page table prunes
+  // pages known clean in the crash case; after a media restore the disk
+  // image is older than the crash-time tables imply, so every retained
+  // record is reconsidered.
+  const size_t block_size = data_->block_size();
+  std::map<txn::PageId, PageData> images;
+  auto image_of = [&](txn::PageId page, PageData** out) -> Status {
+    auto [it, inserted] = images.try_emplace(page);
+    if (inserted) {
+      Status st = RetryDiskIo(
+          *data_, [&] { return data_->Read(page, &it->second); },
+          &io_retry_);
+      if (!st.ok()) {
+        images.erase(it);
+        return st;
+      }
+    }
+    *out = &it->second;
+    return Status::OK();
+  };
+  for (const SeqRecord& s : recs) {
+    if (s.rec.kind != LogRecordKind::kUpdate &&
+        s.rec.kind != LogRecordKind::kClr) {
+      continue;
+    }
+    if (!media_restored_) {
+      auto d = adpt.find(s.rec.page);
+      if (d == adpt.end() || s.lsn < d->second) continue;
+    }
+    if (kPageHeader + s.rec.offset + s.rec.after.size() > block_size) {
+      return Status::Corruption("aries log image exceeds page bounds");
+    }
+    PageData* img = nullptr;
+    DBMR_RETURN_IF_ERROR(image_of(s.rec.page, &img));
+    if (PageLsn(*img) >= s.lsn) continue;
+    std::copy(s.rec.after.begin(), s.rec.after.end(),
+              img->begin() + kPageHeader + s.rec.offset);
+    SetPageLsn(*img, s.lsn);
+    ++redo_applied_;
+  }
+
+  // Losers resume where rollback stopped: a trailing CLR hands us its
+  // undo-next pointer, anything else starts from the record itself.
+  std::map<txn::TxnId, RestartLoser> losers;
+  for (const auto& [t, last] : tt) {
+    auto r = by_lsn.find(last);
+    if (r == by_lsn.end()) {
+      return Status::Corruption(
+          "aries loser record missing from retained log");
+    }
+    RestartLoser ls;
+    ls.last_lsn = last;
+    ls.next_undo = r->second->kind == LogRecordKind::kClr
+                       ? r->second->undo_next_lsn
+                       : last;
+    losers.emplace(t, ls);
+  }
+  auto record_at = [&](uint64_t lsn) -> const AriesLogRecord* {
+    auto it = by_lsn.find(lsn);
+    return it == by_lsn.end() ? nullptr : it->second;
+  };
+  return FinishRestart(&images, losers, record_at, max_txn);
+}
+
+Status AriesEngine::RecoverPartitioned() {
+  AriesLogMaster m;
+  uint64_t retained_start = 0;
+  DBMR_RETURN_IF_ERROR(LoadMaster(&m, &retained_start));
+  SegmentedBytes segs;
+  DBMR_RETURN_IF_ERROR(CollectSegments(m, &segs));
+
+  // Records are variable-length, so a single stream offers no parallel
+  // decode; the caller decodes refs and the parallelism is per page below.
+  std::vector<AriesLogRecordRef> recs;
+  uint64_t pos = 0;
+  while (pos < segs.size()) {
+    const uint64_t before = pos;
+    AriesLogRecordRef r;
+    if (!DecodeAriesRecordRef(segs, &pos, &r).ok()) {
+      pos = before;
+      break;
+    }
+    r.lsn = retained_start + pos;
+    recs.push_back(r);
+  }
+  DBMR_RETURN_IF_ERROR(ReconstructAppendState(m, pos));
+  last_stats_.replay_records = recs.size();
+
+  std::unordered_map<uint64_t, const AriesLogRecordRef*> by_lsn;
+  by_lsn.reserve(recs.size());
+  for (const AriesLogRecordRef& r : recs) by_lsn.emplace(r.lsn, &r);
+
+  // ANALYSIS (same rules as the sequential path).
+  std::unordered_map<txn::PageId, uint64_t> adpt;
+  std::map<txn::TxnId, uint64_t> tt;
+  txn::TxnId max_txn = 0;
+  if (checkpoint_lsn_ != 0) {
+    auto cp = by_lsn.find(checkpoint_lsn_);
+    if (cp == by_lsn.end() ||
+        cp->second->kind != LogRecordKind::kCheckpoint) {
+      return Status::Corruption(
+          "aries checkpoint record missing from retained log");
+    }
+    std::vector<uint8_t> cp_buf(cp->second->after_len);
+    if (!cp_buf.empty()) {
+      segs.CopyOut(cp->second->after_pos, cp_buf.size(), cp_buf.data());
+    }
+    AriesCheckpointData tables;
+    DBMR_RETURN_IF_ERROR(
+        DecodeAriesCheckpoint(cp_buf.data(), cp_buf.size(), &tables));
+    for (const auto& d : tables.dirty_pages) adpt.emplace(d.page, d.rec_lsn);
+    for (const auto& t : tables.txns) {
+      tt[t.txn] = t.last_lsn;
+      max_txn = std::max(max_txn, t.txn);
+    }
+  }
+  for (const AriesLogRecordRef& r : recs) {
+    max_txn = std::max(max_txn, r.txn);
+    if (r.lsn <= checkpoint_lsn_) continue;
+    switch (r.kind) {
+      case LogRecordKind::kUpdate:
+      case LogRecordKind::kClr:
+        tt[r.txn] = r.lsn;
+        adpt.try_emplace(r.page, r.lsn);
+        break;
+      case LogRecordKind::kCommit:
+      case LogRecordKind::kAbort:
+        tt.erase(r.txn);
+        break;
+      case LogRecordKind::kCheckpoint:
+        break;
+    }
+  }
+
+  // PLAN: per-page chains of redo-eligible records.  ARIES redo is
+  // strictly per page (the pageLSN gate needs no cross-page state) and
+  // undo runs on the caller, so the partitioner needs no Link edges.
+  std::unordered_map<txn::PageId, std::vector<const AriesLogRecordRef*>>
+      chains;
+  for (const AriesLogRecordRef& r : recs) {
+    if (r.kind != LogRecordKind::kUpdate && r.kind != LogRecordKind::kClr) {
+      continue;
+    }
+    if (!media_restored_) {
+      auto d = adpt.find(r.page);
+      if (d == adpt.end() || r.lsn < d->second) continue;
+    }
+    chains[r.page].push_back(&r);
+  }
+  ReplayPartitioner parts;
+  for (const auto& [page, chain] : chains) parts.AddPage(page);
+  const auto partitions = parts.Partitions();
+  last_stats_.partitions = partitions.size();
+  const int jobs = EffectiveReplayJobs(opts_.recovery_jobs,
+                                       static_cast<size_t>(segs.size()));
+
+  // Disk refs are taken on the caller, in deterministic partition order;
+  // workers only gather-copy from the segmented log into private images.
+  struct RedoTask {
+    txn::PageId page = 0;
+    const std::vector<const AriesLogRecordRef*>* chain = nullptr;
+    const uint8_t* disk_image = nullptr;
+    PageData out;
+    uint64_t redo = 0;
+    bool bounds_error = false;
+  };
+  std::vector<RedoTask> work;
+  work.reserve(parts.num_pages());
+  for (const auto& group : partitions) {
+    for (txn::PageId page : group) {
+      RedoTask t;
+      t.page = page;
+      t.chain = &chains.at(page);
+      DBMR_RETURN_IF_ERROR(RetryDiskIo(
+          *data_, [&] { return data_->ReadRef(page, &t.disk_image); },
+          &io_retry_));
+      work.push_back(std::move(t));
+    }
+  }
+  const size_t block_size = data_->block_size();
+  RunReplayJobs(jobs, work.size(), [&](size_t i) {
+    RedoTask& t = work[i];
+    t.out.assign(t.disk_image, t.disk_image + block_size);
+    for (const AriesLogRecordRef* r : *t.chain) {
+      if (GetU64(t.out, 0) >= r->lsn) continue;  // pageLSN gate
+      if (kPageHeader + r->offset + r->after_len > block_size) {
+        t.bounds_error = true;
+        return;
+      }
+      if (r->after_len > 0) {
+        segs.CopyOut(r->after_pos, r->after_len,
+                     t.out.data() + kPageHeader + r->offset);
+      }
+      SetPageLsn(t.out, r->lsn);
+      ++t.redo;
+    }
+  });
+
+  // Deterministic reduce: page-ordered map, identical to the sequential
+  // path's materialized set.
+  std::map<txn::PageId, PageData> images;
+  for (RedoTask& t : work) {
+    if (t.bounds_error) {
+      return Status::Corruption("aries log image exceeds page bounds");
+    }
+    redo_applied_ += t.redo;
+    images.emplace(t.page, std::move(t.out));
+  }
+
+  std::map<txn::TxnId, RestartLoser> losers;
+  for (const auto& [t, last] : tt) {
+    auto r = by_lsn.find(last);
+    if (r == by_lsn.end()) {
+      return Status::Corruption(
+          "aries loser record missing from retained log");
+    }
+    RestartLoser ls;
+    ls.last_lsn = last;
+    ls.next_undo = r->second->kind == LogRecordKind::kClr
+                       ? r->second->undo_next_lsn
+                       : last;
+    losers.emplace(t, ls);
+  }
+  // Undo touches few records; materialize them lazily from the segmented
+  // stream into a scratch record (valid until the next call).
+  AriesLogRecord scratch;
+  auto record_at = [&](uint64_t lsn) -> const AriesLogRecord* {
+    auto it = by_lsn.find(lsn);
+    if (it == by_lsn.end()) return nullptr;
+    const AriesLogRecordRef& r = *it->second;
+    scratch.kind = r.kind;
+    scratch.txn = r.txn;
+    scratch.page = r.page;
+    scratch.prev_lsn = r.prev_lsn;
+    scratch.undo_next_lsn = r.undo_next_lsn;
+    scratch.offset = r.offset;
+    scratch.before.resize(r.before_len);
+    if (r.before_len > 0) {
+      segs.CopyOut(r.before_pos, r.before_len, scratch.before.data());
+    }
+    scratch.after.clear();
+    return &scratch;
+  };
+  return FinishRestart(&images, losers, record_at, max_txn);
+}
+
+Status AriesEngine::FinishRestart(
+    std::map<txn::PageId, PageData>* images,
+    const std::map<txn::TxnId, RestartLoser>& losers,
+    const std::function<const AriesLogRecord*(uint64_t)>& record_at,
+    txn::TxnId max_txn) {
+  const size_t block_size = data_->block_size();
+  auto image_of = [&](txn::PageId page, PageData** out) -> Status {
+    auto [it, inserted] = images->try_emplace(page);
+    if (inserted) {
+      Status st = RetryDiskIo(
+          *data_, [&] { return data_->Read(page, &it->second); },
+          &io_retry_);
+      if (!st.ok()) {
+        images->erase(it);
+        return st;
+      }
+    }
+    *out = &it->second;
+    return Status::OK();
+  };
+
+  // Rebuild the auditor's pending-undo model from the durable log: the
+  // live model may still hold updates whose records never reached disk
+  // (on_restart dropped them), and a crash mid-rollback means CLRs will
+  // compensate updates this Recover() never appended.
+  if (hooks_.on_update) {
+    for (const auto& [t, ls] : losers) {
+      std::vector<uint64_t> chain;
+      for (uint64_t cur = ls.next_undo; cur != 0;) {
+        const AriesLogRecord* rec = record_at(cur);
+        if (rec == nullptr || rec->kind != LogRecordKind::kUpdate) break;
+        chain.push_back(cur);
+        cur = rec->prev_lsn;
+      }
+      for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+        hooks_.on_update(t, *it);
+      }
+    }
+  }
+
+  // UNDO: losers' in-flight page sets are disjoint (exclusive locks held
+  // to the end, and durability is a prefix of the single log stream), so
+  // ascending transaction order is both safe and deterministic across the
+  // sequential and partitioned paths.
+  for (const auto& [t, ls] : losers) {
+    uint64_t cur = ls.next_undo;
+    uint64_t last = ls.last_lsn;
+    while (cur != 0) {
+      const AriesLogRecord* rec = record_at(cur);
+      if (rec == nullptr || rec->kind != LogRecordKind::kUpdate ||
+          rec->txn != t) {
+        return Status::Corruption(
+            "aries undo chain points outside the retained log");
+      }
+      if (kPageHeader + rec->offset + rec->before.size() > block_size) {
+        return Status::Corruption("aries log image exceeds page bounds");
+      }
+      AriesLogRecord clr;
+      clr.kind = LogRecordKind::kClr;
+      clr.txn = t;
+      clr.page = rec->page;
+      clr.prev_lsn = last;
+      clr.undo_next_lsn = opts_.test_break_clr_chain ? cur : rec->prev_lsn;
+      clr.offset = rec->offset;
+      clr.after = rec->before;
+      const uint64_t lsn = AppendRecord(clr);
+      last = lsn;
+      PageData* img = nullptr;
+      DBMR_RETURN_IF_ERROR(image_of(rec->page, &img));
+      std::copy(clr.after.begin(), clr.after.end(),
+                img->begin() + kPageHeader + clr.offset);
+      SetPageLsn(*img, lsn);
+      ++undo_applied_;
+      if (hooks_.on_clr) hooks_.on_clr(t, clr.undo_next_lsn);
+      cur = rec->prev_lsn;
+    }
+    AriesLogRecord end;
+    end.kind = LogRecordKind::kAbort;
+    end.txn = t;
+    end.prev_lsn = last;
+    AppendRecord(end);
+    if (hooks_.on_txn_end) hooks_.on_txn_end(t, false);
+  }
+
+  // All restart CLRs become durable in one force before any page goes
+  // home — the WAL rule applies to recovery's own writes too.
+  DBMR_RETURN_IF_ERROR(ForceLog());
+  for (auto& [page, img] : *images) {
+    if (hooks_.on_write_back) {
+      hooks_.on_write_back(page, PageLsn(img), flushed_lsn_);
+    }
+    DBMR_RETURN_IF_ERROR(RetryDiskIo(
+        *data_, [&, page = page] { return data_->Write(page, img); },
+        &io_retry_));
+  }
+  // The recovered image is now self-contained; truncating here gives the
+  // restarted engine an empty analysis window.
+  DBMR_RETURN_IF_ERROR(TruncateLog());
+
+  pool_->DiscardAll();
+  active_.clear();
+  dpt_.clear();
+  locks_.Reset();
+  next_txn_ = max_txn + 1;
+  records_since_checkpoint_ = 0;
+  in_checkpoint_ = false;
+  media_restored_ = false;
+  return Status::OK();
+}
+
+Status AriesEngine::MediaRecover() {
+  data_->ClearCrashState();
+  log_->ClearCrashState();
+  if (archive_ != nullptr) archive_->disk()->ClearCrashState();
+  if (log_->media_lost()) {
+    // A mirrored log disk only reports media_lost once every replica is
+    // gone; at that point committed work is unrecoverable.
+    return Status::DataLoss(StrFormat("aries: log disk %s lost with no mirror",
+                                      log_->name().c_str()));
+  }
+  const bool data_lost = data_->media_lost();
+  const bool archive_lost =
+      archive_ != nullptr && archive_->disk()->media_lost();
+  if (data_lost && (archive_ == nullptr || archive_lost)) {
+    return Status::DataLoss(archive_ == nullptr
+                                ? "aries: data disk lost with no archive"
+                                : "aries: data disk and archive both lost");
+  }
+  if (data_lost) {
+    data_->ReplaceMedia();
+    Status st = archive_->Validate(data_->num_blocks(), data_->block_size());
+    if (st.ok()) st = archive_->Restore(data_, data_->num_blocks(), &io_retry_);
+    if (!st.ok()) {
+      data_->FailMedia();
+      if (archive_->disk()->media_lost()) {
+        return Status::DataLoss(
+            "aries: archive lost while restoring the data disk");
+      }
+      return st;
+    }
+    // The restored image predates the crash-time dirty-page table, so the
+    // upcoming Recover() must reconsider every retained record.  The flag
+    // survives Crash(): it describes stable storage, not volatile state.
+    media_restored_ = true;
+  } else if (archive_lost) {
+    archive_->disk()->ReplaceMedia();
+    Status st = archive_->Format(data_->num_blocks(), data_->block_size());
+    if (st.ok()) st = SweepArchive();
+    if (!st.ok()) {
+      archive_->disk()->FailMedia();
+      return st;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace dbmr::store

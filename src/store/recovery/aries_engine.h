@@ -1,0 +1,274 @@
+// ARIES recovery engine — the 1992 answer to the paper's 1985 question.
+//
+// The paper's five architectures predate the design that won: ARIES
+// (Mohan et al., TODS 1992).  This engine implements its core over the
+// same crash-able VirtualDisks as the rest of the zoo, so the original
+// comparison can be run against it:
+//
+//  * Per-page pageLSN: every data page's first 8 bytes hold the LSN of
+//    the last log record applied to it.  LSNs are byte offsets in the
+//    logical log stream and never repeat (truncation advances the epoch
+//    base), so pageLSN comparisons stay valid across the store's life.
+//  * WAL rule as an LSN inequality: a page may reach disk only once
+//    pageLSN <= flushedLSN (FlushDataPage forces the log first).  The
+//    auditor's "aries-wal-lsn" invariant observes exactly this check.
+//  * No-force / steal, like the WAL engine: commit forces the log only;
+//    dirty pages of uncommitted transactions may be evicted.
+//  * Fuzzy checkpoints: every checkpoint_interval appended records, a
+//    kCheckpoint record carrying the dirty-page table (page -> recLSN)
+//    and transaction table (txn -> lastLSN) is appended and forced, the
+//    archive (when configured) is re-swept, and the master's scan origin
+//    advances to min(active transactions' first LSN, dirty pages'
+//    recLSN) — no quiescing, transactions keep running throughout.
+//  * Three-pass restart: ANALYSIS rebuilds the tables from the last
+//    checkpoint record plus a forward scan; REDO repeats history —
+//    updates and CLRs alike are re-applied wherever pageLSN < LSN,
+//    starting from the dirty-page table's minimum recLSN (or from the
+//    retention origin after a media restore, where the disk image is
+//    older than the crash-time tables imply); UNDO rolls back losers by
+//    walking prev_lsn chains, writing CLRs whose undo_next pointers make
+//    rollback itself restartable ("aries-clr-chain" audits the pointer
+//    discipline).  All CLRs are forced before any page is written back.
+//  * recovery_jobs wires restart through the PR-7 replay planner: redo
+//    partitions by page and runs on the thread pool; jobs=0 keeps a
+//    separate, simpler sequential implementation as a cross-check — the
+//    recovered image is byte-identical at every setting.
+//  * Media recovery mirrors the WAL engine's: a lost data disk is
+//    replaced and restored from the archive sweep, and the retained log
+//    (whose origin never passes a record the archive still needs) is
+//    replayed over it by the subsequent Recover().
+
+#ifndef DBMR_STORE_RECOVERY_ARIES_ENGINE_H_
+#define DBMR_STORE_RECOVERY_ARIES_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "store/buffer_pool.h"
+#include "store/io_retry.h"
+#include "store/page_engine.h"
+#include "store/recovery/archive.h"
+#include "store/recovery/aries_log.h"
+#include "store/virtual_disk.h"
+#include "txn/lock_manager.h"
+
+namespace dbmr::store {
+
+/// Observation points for the auditor's ARIES invariants.  The engine
+/// invokes whichever callbacks are set; tests wire these to an Auditor.
+struct AriesAuditHooks {
+  /// Recover() began: volatile state — and with it any never-durable log
+  /// tail — is gone.  Restart rebuilds the auditor's pending-undo model
+  /// from the durable log by replaying `on_update` for every loser record
+  /// it is about to undo.
+  std::function<void()> on_restart;
+  /// A data page is about to be written back; the WAL rule requires
+  /// page_lsn <= flushed_lsn here.
+  std::function<void(txn::PageId page, uint64_t page_lsn,
+                     uint64_t flushed_lsn)>
+      on_write_back;
+  /// An update record was appended for `txn` at `lsn`.
+  std::function<void(txn::TxnId txn, uint64_t lsn)> on_update;
+  /// A CLR was appended for `txn` carrying `undo_next_lsn`.
+  std::function<void(txn::TxnId txn, uint64_t undo_next_lsn)> on_clr;
+  /// `txn` ended (commit record forced, or rollback's kAbort appended).
+  std::function<void(txn::TxnId txn, bool committed)> on_txn_end;
+};
+
+/// Options for AriesEngine.
+struct AriesEngineOptions {
+  size_t pool_frames = 64;
+  /// Parallel replay jobs for Recover(): >= 1 runs the partitioned
+  /// planner pipeline, 0 the sequential reference path.  Byte-identical
+  /// recovered images at every setting.
+  int recovery_jobs = 1;
+  /// Appended records between automatic fuzzy checkpoints (0 disables
+  /// them; explicit Checkpoint() calls still work).
+  uint64_t checkpoint_interval = 64;
+  /// Deliberately broken variants for auditor negative tests: skip the
+  /// log force on write-back (violates the WAL rule), or point CLRs'
+  /// undo_next at the compensated record instead of past it (breaks the
+  /// undo chain).  Never set outside tests.
+  bool test_skip_log_force = false;
+  bool test_break_clr_chain = false;
+};
+
+/// The ARIES page engine.
+class AriesEngine : public PageEngine {
+ public:
+  /// Disks are borrowed, not owned; the log disk must share the data
+  /// disk's block size.  An optional archive disk (1 + num_pages blocks
+  /// of the same size) enables fuzzy archive sweeps and MediaRecover().
+  /// The constructor performs no disk I/O (crash-sweep trials construct
+  /// engines over forked snapshots before Recover()).
+  AriesEngine(VirtualDisk* data_disk, VirtualDisk* log_disk,
+              AriesEngineOptions options = {},
+              VirtualDisk* archive_disk = nullptr);
+  ~AriesEngine() override = default;
+
+  Status Format() override;
+  Status Recover() override;
+  Result<txn::TxnId> Begin() override;
+  Status Read(txn::TxnId t, txn::PageId page, PageData* out) override;
+  Status Write(txn::TxnId t, txn::PageId page,
+               const PageData& payload) override;
+  Status Commit(txn::TxnId t) override;
+  Status Abort(txn::TxnId t) override;
+  void Crash() override;
+  size_t payload_size() const override;
+  uint64_t num_pages() const override { return data_->num_blocks(); }
+  std::string name() const override { return "aries"; }
+
+  /// Checkpoint.  With no active transactions: flushes all dirty pages
+  /// and truncates the log (a new epoch).  With active transactions it
+  /// degrades to a fuzzy checkpoint after the flush.
+  Status Checkpoint();
+
+  /// Media recovery (requires an archive disk).  A lost data disk is
+  /// replaced and restored from the archive; the subsequent Recover()
+  /// replays the full retained log over the restored image.  A lost
+  /// archive is replaced and re-swept.  A lost, unmirrored log disk —
+  /// or data and archive both lost — is kDataLoss.
+  Status MediaRecover() override;
+
+  /// --- Introspection (tests, examples, benches) ------------------------
+  uint64_t flushed_lsn() const { return flushed_lsn_; }
+  uint64_t next_lsn() const { return next_lsn_; }
+  uint64_t log_forces() const { return forces_; }
+  uint64_t records_appended() const { return records_appended_; }
+  uint64_t redo_applied() const { return redo_applied_; }
+  uint64_t undo_applied() const { return undo_applied_; }
+  uint64_t commits() const { return commits_; }
+  uint64_t aborts() const { return aborts_; }
+  uint64_t full_checkpoints() const { return full_checkpoints_; }
+  uint64_t fuzzy_checkpoints() const { return fuzzy_checkpoints_; }
+  uint64_t archive_sweeps() const { return archive_sweeps_; }
+  /// Current dirty-page table size (pages possibly newer in the pool
+  /// than on disk) — the bench crashes at its peak.
+  size_t dirty_page_count() const { return dpt_.size(); }
+  txn::LockManager& lock_manager() { return locks_; }
+  RecoveryStats last_recovery_stats() const override { return last_stats_; }
+  IoRetryStats io_retry_stats() const override { return io_retry_; }
+  void set_audit_hooks(AriesAuditHooks hooks) {
+    hooks_ = std::move(hooks);
+  }
+
+ private:
+  struct UndoEntry {
+    txn::PageId page;
+    uint32_t offset;
+    std::vector<uint8_t> before;
+    uint64_t lsn;       ///< LSN of the update this entry undoes
+    uint64_t prev_lsn;  ///< that update's prev_lsn (the CLR's undo_next)
+  };
+
+  struct ActiveTxn {
+    std::vector<UndoEntry> undo;
+    uint64_t first_lsn = 0;  ///< fuzzy horizon must not pass this
+    uint64_t last_lsn = 0;
+  };
+
+  size_t PayloadBytesPerLogBlock() const;
+  /// Appends `rec`, assigning and returning its LSN.
+  uint64_t AppendRecord(const AriesLogRecord& rec);
+  Status ForceLog();
+  Status FetchBlock(txn::PageId page, PageData* out);
+  Status FlushDataPage(txn::PageId page, const PageData& block);
+  Status WriteMaster(const AriesLogMaster& m);
+  /// Runs a fuzzy checkpoint when the append counter crosses the
+  /// interval (no-op mid-checkpoint or when disabled).
+  Status MaybeAutoCheckpoint();
+  /// Appends + forces a checkpoint record, re-sweeps the archive, and
+  /// advances the master's scan origin to the retention horizon.
+  Status FuzzyCheckpoint();
+  /// Reads and decodes the master, adopting its epoch / epoch base /
+  /// checkpoint LSN; `*retained_start_lsn` receives the LSN of the first
+  /// retained stream byte.
+  Status LoadMaster(AriesLogMaster* m, uint64_t* retained_start_lsn);
+  /// Reconstructs the stream's append state (next block, pending
+  /// partial-block prefix, LSN watermarks) after a scan whose decode
+  /// found the last complete record `end_rel` bytes into the retained
+  /// stream.  The never-fully-durable tail past it is discarded: restart
+  /// CLRs append from there, group-rewriting the partial block.
+  Status ReconstructAppendState(const AriesLogMaster& m, uint64_t end_rel);
+  /// Zero-copy scan of the retained stream into segments (stop rules
+  /// identical to LoadAppendState's walk).
+  Status CollectSegments(const AriesLogMaster& m, SegmentedBytes* out) const;
+  /// The pre-planner single-threaded restart (recovery_jobs == 0), kept
+  /// as the equivalence reference.
+  Status RecoverSequential();
+  /// The partitioned restart (recovery_jobs >= 1): zero-copy scan,
+  /// page-partitioned parallel redo, sequential undo, ordered write-back.
+  Status RecoverPartitioned();
+  /// A loser transaction's undo state at restart.
+  struct RestartLoser {
+    uint64_t next_undo = 0;  ///< LSN of the next record to undo (0 = done)
+    uint64_t last_lsn = 0;   ///< the transaction's newest record
+  };
+  /// Shared restart tail: undoes losers into `images` (writing CLRs;
+  /// `record_at` resolves an LSN to its record, valid until the next
+  /// call), forces the log once, writes every image back in ascending
+  /// page order, truncates, and resets volatile state.
+  Status FinishRestart(
+      std::map<txn::PageId, PageData>* images,
+      const std::map<txn::TxnId, RestartLoser>& losers,
+      const std::function<const AriesLogRecord*(uint64_t)>& record_at,
+      txn::TxnId max_txn);
+  Status TruncateLog();
+  /// Refreshes the archive from the data disk (no-op without one); must
+  /// run before any log records are dropped.
+  Status SweepArchive();
+
+  VirtualDisk* data_;
+  VirtualDisk* log_;
+  AriesEngineOptions opts_;
+  txn::LockManager locks_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unordered_map<txn::TxnId, ActiveTxn> active_;
+  /// Dirty-page table: page -> recLSN (earliest record possibly not yet
+  /// on disk for that page).
+  std::unordered_map<txn::PageId, uint64_t> dpt_;
+  txn::TxnId next_txn_ = 1;
+
+  // --- log stream state (volatile mirrors of the master + tail) -------
+  uint64_t epoch_ = 1;
+  /// Epoch the retained stream begins in; blocks scan as a non-decreasing
+  /// epoch run in [first_epoch_, epoch_] (see AriesLogMaster::first_epoch).
+  uint64_t first_epoch_ = 1;
+  uint64_t epoch_base_lsn_ = 1;
+  BlockId next_block_ = 1;  ///< block the pending bytes start in
+  std::vector<uint8_t> pending_;  ///< block-aligned unflushed tail
+  uint64_t next_lsn_ = 1;
+  uint64_t flushed_lsn_ = 1;
+  uint64_t checkpoint_lsn_ = 0;
+  uint64_t records_since_checkpoint_ = 0;
+  bool in_checkpoint_ = false;
+  /// Set by MediaRecover after an archive restore; survives Crash() (it
+  /// describes stable storage, not volatile state) and makes the next
+  /// restart redo from the retention origin instead of the dirty-page
+  /// table's minimum recLSN.
+  bool media_restored_ = false;
+
+  uint64_t forces_ = 0;
+  uint64_t records_appended_ = 0;
+  uint64_t redo_applied_ = 0;
+  uint64_t undo_applied_ = 0;
+  uint64_t commits_ = 0;
+  uint64_t aborts_ = 0;
+  uint64_t full_checkpoints_ = 0;
+  uint64_t fuzzy_checkpoints_ = 0;
+  uint64_t archive_sweeps_ = 0;
+  RecoveryStats last_stats_;
+  std::unique_ptr<ArchiveStore> archive_;  ///< null: archiving disabled
+  AriesAuditHooks hooks_;
+  mutable IoRetryStats io_retry_;
+};
+
+}  // namespace dbmr::store
+
+#endif  // DBMR_STORE_RECOVERY_ARIES_ENGINE_H_

@@ -1,0 +1,209 @@
+#include "store/recovery/aries_log.h"
+
+#include <cstring>
+
+#include "store/codec.h"
+#include "util/str.h"
+
+namespace dbmr::store {
+
+namespace {
+// Record wire layout (see AriesLogRecord::kFixedBytes):
+//   u32 total_len | u8 kind | u64 txn | u64 page | u64 prev_lsn |
+//   u64 undo_next_lsn | u32 offset | u32 before_len | u32 after_len |
+//   before | after
+constexpr size_t kFixed = AriesLogRecord::kFixedBytes;
+}  // namespace
+
+size_t AriesLogRecord::EncodedSize() const {
+  return kFixed + before.size() + after.size();
+}
+
+size_t EncodeAriesRecord(const AriesLogRecord& rec, PageData& buf,
+                         size_t pos) {
+  const size_t total = rec.EncodedSize();
+  DBMR_CHECK(pos + total <= buf.size());
+  PutU32(buf, pos, static_cast<uint32_t>(total));
+  buf[pos + 4] = static_cast<uint8_t>(rec.kind);
+  PutU64(buf, pos + 5, rec.txn);
+  PutU64(buf, pos + 13, rec.page);
+  PutU64(buf, pos + 21, rec.prev_lsn);
+  PutU64(buf, pos + 29, rec.undo_next_lsn);
+  PutU32(buf, pos + 37, rec.offset);
+  PutU32(buf, pos + 41, static_cast<uint32_t>(rec.before.size()));
+  PutU32(buf, pos + 45, static_cast<uint32_t>(rec.after.size()));
+  size_t p = pos + kFixed;
+  if (!rec.before.empty()) {
+    std::memcpy(buf.data() + p, rec.before.data(), rec.before.size());
+    p += rec.before.size();
+  }
+  if (!rec.after.empty()) {
+    std::memcpy(buf.data() + p, rec.after.data(), rec.after.size());
+    p += rec.after.size();
+  }
+  DBMR_CHECK(p == pos + total);
+  return p;
+}
+
+namespace {
+/// Decodes the fixed header at `hdr` into `out` and validates the length
+/// fields against `total`.  Shared by both decode paths.
+Status DecodeHeader(const uint8_t* hdr, uint32_t total,
+                    AriesLogRecordRef* out) {
+  const uint8_t kind = hdr[4];
+  if (kind < static_cast<uint8_t>(LogRecordKind::kUpdate) ||
+      kind > static_cast<uint8_t>(LogRecordKind::kCheckpoint)) {
+    return Status::Corruption(
+        StrFormat("aries record kind %u invalid", kind));
+  }
+  out->kind = static_cast<LogRecordKind>(kind);
+  out->txn = GetU64(hdr + 5);
+  out->page = GetU64(hdr + 13);
+  out->prev_lsn = GetU64(hdr + 21);
+  out->undo_next_lsn = GetU64(hdr + 29);
+  out->offset = GetU32(hdr + 37);
+  out->before_len = GetU32(hdr + 41);
+  out->after_len = GetU32(hdr + 45);
+  if (kFixed + out->before_len + out->after_len != total) {
+    return Status::Corruption("aries record image lengths inconsistent");
+  }
+  return Status::OK();
+}
+}  // namespace
+
+Status DecodeAriesRecord(const PageData& buf, size_t* pos,
+                         AriesLogRecord* out) {
+  const size_t p = *pos;
+  if (p + kFixed > buf.size()) {
+    return Status::Corruption("aries record header past buffer end");
+  }
+  const uint32_t total = GetU32(buf, p);
+  if (total < kFixed || p + total > buf.size()) {
+    return Status::Corruption(
+        StrFormat("aries record length %u invalid at offset %zu", total, p));
+  }
+  AriesLogRecordRef ref;
+  DBMR_RETURN_IF_ERROR(DecodeHeader(buf.data() + p, total, &ref));
+  out->kind = ref.kind;
+  out->txn = ref.txn;
+  out->page = ref.page;
+  out->prev_lsn = ref.prev_lsn;
+  out->undo_next_lsn = ref.undo_next_lsn;
+  out->offset = ref.offset;
+  const uint8_t* images = buf.data() + p + kFixed;
+  out->before.assign(images, images + ref.before_len);
+  out->after.assign(images + ref.before_len,
+                    images + ref.before_len + ref.after_len);
+  *pos = p + total;
+  return Status::OK();
+}
+
+Status DecodeAriesRecordRef(const SegmentedBytes& stream, uint64_t* pos,
+                            AriesLogRecordRef* out) {
+  const uint64_t p = *pos;
+  if (p + kFixed > stream.size()) {
+    return Status::Corruption("aries record header past stream end");
+  }
+  uint8_t hdr[kFixed];
+  stream.CopyOut(p, kFixed, hdr);
+  const uint32_t total = GetU32(hdr);
+  if (total < kFixed || p + total > stream.size()) {
+    return Status::Corruption(
+        StrFormat("aries record length %u invalid at offset %llu", total,
+                  static_cast<unsigned long long>(p)));
+  }
+  DBMR_RETURN_IF_ERROR(DecodeHeader(hdr, total, out));
+  out->before_pos = p + kFixed;
+  out->after_pos = out->before_pos + out->before_len;
+  *pos = p + total;
+  return Status::OK();
+}
+
+void AriesLogMaster::EncodeTo(PageData& block) const {
+  DBMR_CHECK(block.size() >= 56);
+  PutU64(block, 0, kMagic);
+  PutU64(block, 8, epoch);
+  PutU64(block, 16, start_block);
+  PutU64(block, 24, start_offset);
+  PutU64(block, 32, epoch_base_lsn);
+  PutU64(block, 40, checkpoint_lsn);
+  PutU64(block, 48, first_epoch);
+}
+
+Status AriesLogMaster::DecodeFrom(const PageData& block,
+                                  AriesLogMaster* out) {
+  if (block.size() < 56) return Status::Corruption("bad aries master block");
+  return DecodeFrom(block.data(), out);
+}
+
+Status AriesLogMaster::DecodeFrom(const uint8_t* block,
+                                  AriesLogMaster* out) {
+  if (GetU64(block) != kMagic) {
+    return Status::Corruption("bad aries master block");
+  }
+  out->epoch = GetU64(block + 8);
+  out->start_block = GetU64(block + 16);
+  out->start_offset = GetU64(block + 24);
+  out->epoch_base_lsn = GetU64(block + 32);
+  out->checkpoint_lsn = GetU64(block + 40);
+  out->first_epoch = GetU64(block + 48);
+  if (out->first_epoch == 0 || out->first_epoch > out->epoch) {
+    return Status::Corruption("bad aries master block");
+  }
+  return Status::OK();
+}
+
+std::vector<uint8_t> EncodeAriesCheckpoint(const AriesCheckpointData& data) {
+  PageData buf(4 + data.dirty_pages.size() * 16 + 4 + data.txns.size() * 16,
+               0);
+  size_t p = 0;
+  PutU32(buf, p, static_cast<uint32_t>(data.dirty_pages.size()));
+  p += 4;
+  for (const auto& d : data.dirty_pages) {
+    PutU64(buf, p, d.page);
+    PutU64(buf, p + 8, d.rec_lsn);
+    p += 16;
+  }
+  PutU32(buf, p, static_cast<uint32_t>(data.txns.size()));
+  p += 4;
+  for (const auto& t : data.txns) {
+    PutU64(buf, p, t.txn);
+    PutU64(buf, p + 8, t.last_lsn);
+    p += 16;
+  }
+  DBMR_CHECK(p == buf.size());
+  return buf;
+}
+
+Status DecodeAriesCheckpoint(const uint8_t* data, size_t len,
+                             AriesCheckpointData* out) {
+  size_t p = 0;
+  if (p + 4 > len) return Status::Corruption("aries checkpoint truncated");
+  const uint32_t n_dirty = GetU32(data + p);
+  p += 4;
+  if (p + static_cast<size_t>(n_dirty) * 16 > len) {
+    return Status::Corruption("aries checkpoint dirty-page table truncated");
+  }
+  out->dirty_pages.clear();
+  out->dirty_pages.reserve(n_dirty);
+  for (uint32_t i = 0; i < n_dirty; ++i) {
+    out->dirty_pages.push_back(
+        {GetU64(data + p), GetU64(data + p + 8)});
+    p += 16;
+  }
+  if (p + 4 > len) return Status::Corruption("aries checkpoint truncated");
+  const uint32_t n_txns = GetU32(data + p);
+  p += 4;
+  if (p + static_cast<size_t>(n_txns) * 16 != len) {
+    return Status::Corruption("aries checkpoint txn table truncated");
+  }
+  out->txns.clear();
+  out->txns.reserve(n_txns);
+  for (uint32_t i = 0; i < n_txns; ++i) {
+    out->txns.push_back({GetU64(data + p), GetU64(data + p + 8)});
+    p += 16;
+  }
+  return Status::OK();
+}
+
+}  // namespace dbmr::store

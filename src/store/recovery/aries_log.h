@@ -1,0 +1,154 @@
+// On-disk record, master, and checkpoint encoding for the ARIES engine.
+//
+// ARIES needs strictly more per record than the WAL engine's format: every
+// record carries its transaction's backward chain (prev_lsn) and CLRs carry
+// the undo-next pointer that makes rollback restartable.  Records are
+// addressed by LSN — the record's byte offset in the logical log stream,
+// assigned at append time and never reused (truncation advances the epoch
+// base instead of resetting positions), so a page's pageLSN stays
+// comparable against the log forever.
+//
+// The stream reuses the WAL block container (LogBlockHeader: {epoch,
+// used_bytes, n_records} + packed records, group-filled partial tail
+// block), but block 0 holds the richer AriesLogMaster: besides the scan
+// origin it records the LSN of the first byte of block 1 (epoch_base_lsn),
+// which ties physical block positions back to LSNs, and the LSN of the
+// most recent fuzzy checkpoint record, where restart analysis begins.
+//
+// Record kinds reuse LogRecordKind:
+//   kUpdate     — byte-range page diff; before/after images.
+//   kClr        — compensation; redo-only after image + undo_next_lsn.
+//   kCommit     — transaction commit (forced).
+//   kAbort      — rollback complete; all CLRs precede it.
+//   kCheckpoint — fuzzy checkpoint; after image holds the serialized
+//                 dirty-page and transaction tables.
+
+#ifndef DBMR_STORE_RECOVERY_ARIES_LOG_H_
+#define DBMR_STORE_RECOVERY_ARIES_LOG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "store/page.h"
+#include "store/recovery/log_format.h"
+#include "store/recovery/replay_plan.h"
+#include "txn/types.h"
+#include "util/status.h"
+
+namespace dbmr::store {
+
+/// A decoded ARIES log record with owned images (sequential recovery and
+/// the append path).
+struct AriesLogRecord {
+  LogRecordKind kind = LogRecordKind::kUpdate;
+  txn::TxnId txn = txn::kNoTxn;
+  txn::PageId page = 0;
+  /// LSN of this transaction's previous record (0 = first record).
+  uint64_t prev_lsn = 0;
+  /// CLRs only: LSN of the next record of this transaction to undo
+  /// (0 = rollback complete).  The compensated record's prev_lsn.
+  uint64_t undo_next_lsn = 0;
+  /// Byte offset of the images within the page payload.
+  uint32_t offset = 0;
+  std::vector<uint8_t> before;
+  std::vector<uint8_t> after;
+
+  /// Fixed header preceding the images:
+  ///   u32 total_len | u8 kind | u64 txn | u64 page | u64 prev_lsn |
+  ///   u64 undo_next_lsn | u32 offset | u32 before_len | u32 after_len
+  static constexpr size_t kFixedBytes = 4 + 1 + 8 + 8 + 8 + 8 + 4 + 4 + 4;
+
+  size_t EncodedSize() const;
+};
+
+/// Serializes `rec` at `pos` in `buf` (which must have room); returns the
+/// new position.
+size_t EncodeAriesRecord(const AriesLogRecord& rec, PageData& buf,
+                         size_t pos);
+
+/// Parses one record at `*pos` of `buf`, filling owned images; advances
+/// `*pos`.  Corruption on a truncated or inconsistent record (recovery
+/// treats that as the never-durable tail).
+Status DecodeAriesRecord(const PageData& buf, size_t* pos,
+                         AriesLogRecord* out);
+
+/// A decoded record whose images are logical positions within the log
+/// stream (SegmentedBytes over zero-copy block refs) — the partitioned
+/// recovery path's working form.  `lsn` is filled by the scanner.
+struct AriesLogRecordRef {
+  LogRecordKind kind = LogRecordKind::kUpdate;
+  txn::TxnId txn = txn::kNoTxn;
+  txn::PageId page = 0;
+  uint64_t lsn = 0;
+  uint64_t prev_lsn = 0;
+  uint64_t undo_next_lsn = 0;
+  uint32_t offset = 0;
+  uint64_t before_pos = 0;
+  uint32_t before_len = 0;
+  uint64_t after_pos = 0;
+  uint32_t after_len = 0;
+};
+
+/// Parses one record at `*pos` of the segmented stream; advances `*pos`.
+Status DecodeAriesRecordRef(const SegmentedBytes& stream, uint64_t* pos,
+                            AriesLogRecordRef* out);
+
+/// ARIES log master (block 0).  All fields sit within the first 56 bytes,
+/// inside the torn-write prefix the fault model preserves, so a cut-down
+/// master rewrite leaves either the old or the new master — never a
+/// half-written one.
+struct AriesLogMaster {
+  static constexpr uint64_t kMagic = 0x4442'4d52'4152'4931ULL;  // "DBMRARI1"
+
+  uint64_t epoch = 1;
+  /// Scan origin: first retained block / bytes to skip within it.
+  uint64_t start_block = 1;
+  uint64_t start_offset = 0;
+  /// LSN of the first payload byte of block 1 in this epoch.  Converts
+  /// between LSNs and physical positions; advances at truncation so LSNs
+  /// never repeat.
+  uint64_t epoch_base_lsn = 1;
+  /// LSN of the newest durable kCheckpoint record (0 = none since
+  /// truncation); restart analysis starts here.
+  uint64_t checkpoint_lsn = 0;
+  /// Epoch the retained stream begins in.  Restart bumps `epoch` before it
+  /// appends (so blocks it rewrites fence off any stale same-position
+  /// blocks a truncated-tail chop left beyond the logical end), which
+  /// makes the stream a run of non-decreasing block epochs in
+  /// [first_epoch, epoch] rather than a single value; truncation resets
+  /// first_epoch = epoch.
+  uint64_t first_epoch = 1;
+
+  void EncodeTo(PageData& block) const;
+  static Status DecodeFrom(const PageData& block, AriesLogMaster* out);
+  /// Zero-copy variant for block refs; `block` must hold >= 48 bytes.
+  static Status DecodeFrom(const uint8_t* block, AriesLogMaster* out);
+};
+
+/// The tables a fuzzy checkpoint record carries (serialized into the
+/// record's after image).  Both vectors are sorted by id so the encoding
+/// is deterministic.
+struct AriesCheckpointData {
+  struct DirtyPage {
+    txn::PageId page = 0;
+    /// LSN of the earliest record that may not be reflected on disk.
+    uint64_t rec_lsn = 0;
+  };
+  struct ActiveTxn {
+    txn::TxnId txn = txn::kNoTxn;
+    /// LSN of the transaction's most recent record.
+    uint64_t last_lsn = 0;
+  };
+  std::vector<DirtyPage> dirty_pages;
+  std::vector<ActiveTxn> txns;
+};
+
+/// Wire form: u32 n_dirty | (u64 page, u64 rec_lsn)* | u32 n_txns |
+/// (u64 txn, u64 last_lsn)*.
+std::vector<uint8_t> EncodeAriesCheckpoint(const AriesCheckpointData& data);
+Status DecodeAriesCheckpoint(const uint8_t* data, size_t len,
+                             AriesCheckpointData* out);
+
+}  // namespace dbmr::store
+
+#endif  // DBMR_STORE_RECOVERY_ARIES_LOG_H_

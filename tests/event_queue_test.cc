@@ -134,6 +134,118 @@ TEST(EventQueueDifferentialTest, DefaultThresholdStaysInHeapAtPaperScale) {
   EXPECT_EQ(r.counters.ladder_spills, 0u);
 }
 
+TEST(EventQueueBoundaryTest, SpillHappensExactlyAtThreshold) {
+  // The migration check runs before the push: the heap may hold exactly
+  // spill_threshold() entries, and the next Schedule() spills.
+  Simulator sim;
+  sim.set_spill_threshold(64);
+  uint64_t fired = 0;
+  TimeMs last = 0.0;
+  auto fire = [&] {
+    ++fired;
+    ASSERT_GE(sim.Now(), last);
+    last = sim.Now();
+  };
+  Rng rng(17);
+  for (int i = 0; i < 64; ++i) {
+    sim.Schedule(rng.UniformDouble(0.0, 100.0), fire);
+  }
+  EXPECT_FALSE(sim.ladder_active());
+  EXPECT_EQ(sim.counters().ladder_spills, 0u);
+  sim.Schedule(rng.UniformDouble(0.0, 100.0), fire);  // 65th: boundary
+  EXPECT_TRUE(sim.ladder_active());
+  EXPECT_EQ(sim.counters().ladder_spills, 1u);
+  sim.Run();
+  EXPECT_EQ(fired, 65u);
+  EXPECT_EQ(sim.PendingEvents(), 0u);
+}
+
+TEST(EventQueueBoundaryTest, ThresholdEqualToInitialBatchMatchesHeap) {
+  // The spill lands exactly on the last event of the seeding loop — the
+  // off-by-one-prone alignment — and the fire order must not notice.
+  ScriptResult heap = RunChurnScript(kHeapPinned, false, 13, 2000, 20000);
+  ScriptResult spilled = RunChurnScript(2000, false, 13, 2000, 20000);
+  EXPECT_EQ(heap.fired, spilled.fired);
+  EXPECT_EQ(heap.end_time, spilled.end_time);
+  EXPECT_EQ(spilled.counters.ladder_spills, 1u);
+}
+
+TEST(EventQueueBoundaryTest, CancelInUnsortedOverflowBand) {
+  // Events cancelled while they still sit in the unsorted overflow list
+  // are dropped lazily when they surface; none may fire, the live count
+  // must track the cancellations, and double-cancel must be a no-op.
+  Simulator sim;
+  sim.set_spill_threshold(0);  // ladder from the first event
+  Rng rng(5);
+  std::vector<EventId> ids;
+  uint64_t fired = 0;
+  TimeMs last = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(sim.Schedule(rng.UniformDouble(0.0, 500.0), [&] {
+      ++fired;
+      ASSERT_GE(sim.Now(), last);
+      last = sim.Now();
+    }));
+  }
+  ASSERT_TRUE(sim.ladder_active());
+  // No dequeue has happened: everything pending is in the overflow band.
+  uint64_t cancelled = 0;
+  for (size_t i = 0; i < ids.size(); i += 3) {
+    EXPECT_TRUE(sim.Cancel(ids[i]));
+    EXPECT_FALSE(sim.Cancel(ids[i]));  // stale id: no-op
+    ++cancelled;
+  }
+  EXPECT_EQ(sim.PendingEvents(), 1000u - cancelled);
+  sim.Run();
+  EXPECT_EQ(fired, 1000u - cancelled);
+  EXPECT_EQ(sim.counters().events_cancelled, cancelled);
+  EXPECT_EQ(sim.PendingEvents(), 0u);
+}
+
+TEST(EventQueueBoundaryTest, RescheduleLandsInPartiallyDrainedBottom) {
+  // Drain the ladder partway (so the sorted bottom run is mid-consumption),
+  // then insert events below every rung frontier: they must sort into the
+  // remaining bottom run and fire in global time order — and the same
+  // script through a heap-pinned kernel must fire identically.
+  auto run = [](size_t spill_threshold) {
+    Simulator sim;
+    sim.set_spill_threshold(spill_threshold);
+    ScriptResult out;
+    Rng rng(23);
+    // A tight cluster, so the first spread sorts straight into bottom and
+    // mid-drain inserts land in the partially-consumed run.
+    for (int i = 0; i < 48; ++i) {
+      const uint32_t label = static_cast<uint32_t>(i);
+      const TimeMs when = static_cast<TimeMs>(rng.UniformInt(0, 12));
+      sim.ScheduleAt(when, [&out, &sim, label] {
+        out.fired.push_back(label);
+        if (label % 5 == 0) {
+          // Lands between bottom_'s consumed frontier and its tail...
+          const uint32_t near_label = 1000 + label;
+          sim.Schedule(0.25, [&out, near_label] {
+            out.fired.push_back(near_label);
+          });
+          // ...and far beyond it, in the overflow band.
+          const uint32_t far_label = 2000 + label;
+          sim.Schedule(1000.0, [&out, far_label] {
+            out.fired.push_back(far_label);
+          });
+        }
+      });
+    }
+    sim.Run();
+    out.counters = sim.counters();
+    out.end_time = sim.Now();
+    return out;
+  };
+  ScriptResult heap = run(kHeapPinned);
+  ScriptResult ladder = run(0);
+  EXPECT_EQ(heap.fired, ladder.fired);
+  EXPECT_EQ(heap.end_time, ladder.end_time);
+  EXPECT_EQ(heap.counters.events_executed, ladder.counters.events_executed);
+  EXPECT_EQ(ladder.counters.ladder_spills, 1u);
+}
+
 TEST(EventQueueScaleTest, MillionOutstandingChurnAndCancel) {
   constexpr size_t kOutstanding = 1'000'000;
   Simulator sim;  // default threshold: spills on its own past 8192

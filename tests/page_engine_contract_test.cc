@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "engine_test_util.h"
+#include "store/recovery/aries_engine.h"
 #include "store/recovery/differential_page_engine.h"
 #include "store/recovery/overwrite_engine.h"
 #include "store/recovery/shadow_engine.h"
@@ -50,6 +51,19 @@ struct EngineParam {
   Factory make;
 };
 
+EngineUnderTest MakeAries(int recovery_jobs = 1) {
+  EngineUnderTest e;
+  e.disks.push_back(std::make_unique<VirtualDisk>("data", kPages, kBlock));
+  e.disks.push_back(std::make_unique<VirtualDisk>("log", 4096, kBlock));
+  AriesEngineOptions o;
+  o.pool_frames = 6;
+  o.recovery_jobs = recovery_jobs;
+  e.engine = std::make_unique<AriesEngine>(e.disks[0].get(),
+                                           e.disks[1].get(), o);
+  EXPECT_TRUE(e.engine->Format().ok());
+  return e;
+}
+
 EngineUnderTest MakeWal(size_t n_logs, int recovery_jobs = 1) {
   EngineUnderTest e;
   e.disks.push_back(std::make_unique<VirtualDisk>("data", kPages, kBlock));
@@ -70,6 +84,8 @@ std::vector<EngineParam> AllEngines() {
   return {
       {"wal1", [] { return MakeWal(1); }},
       {"wal3", [] { return MakeWal(3); }},
+      {"aries", [] { return MakeAries(); }},
+      {"aries_seq", [] { return MakeAries(/*recovery_jobs=*/0); }},
       {"shadow",
        [] {
          EngineUnderTest e;
@@ -336,6 +352,12 @@ TEST_P(PageEngineContractTest, DoubleRecoverAfterInjectedCrashIsIdempotent) {
 // exactly as survivable as on the sequential path.
 TEST(ParallelRecoveryContractTest, CrashDuringParallelRecoveryIsSurvivable) {
   SweepCrashDuringRecovery([] { return MakeWal(3, /*recovery_jobs=*/4); },
+                           /*double_recover=*/true);
+}
+
+TEST(ParallelRecoveryContractTest,
+     CrashDuringParallelAriesRecoveryIsSurvivable) {
+  SweepCrashDuringRecovery([] { return MakeAries(/*recovery_jobs=*/4); },
                            /*double_recover=*/true);
 }
 

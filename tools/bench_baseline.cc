@@ -15,7 +15,9 @@
 //   times Recover() at recovery_jobs = 0 (the engines' sequential
 //   reference path) and 1/2/4/8 (the partitioned replay planner),
 //   byte-compares every recovered disk image against the jobs=0 image,
-//   and times an end-to-end crash sweep at jobs 0 vs 4; the checked-in
+//   times an end-to-end crash sweep at jobs 0 vs 4, and finishes with an
+//   MTTR comparison across every zoo engine (all six architectures),
+//   crashed at the peak of the ARIES dirty-page table; the checked-in
 //   baseline is BENCH_recovery.json.
 //
 //   bench_baseline --out=BENCH_kernel.json
@@ -36,12 +38,14 @@
 #if defined(__GLIBC__)
 #include <malloc.h>
 #endif
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "chaos/crash_sweeper.h"
 #include "chaos/engine_zoo.h"
 #include "core/thread_pool.h"
+#include "store/recovery/aries_engine.h"
 #include "sim/server.h"
 #include "sim/simulator.h"
 #include "util/json.h"
@@ -383,16 +387,31 @@ chaos::FixtureOptions RecoveryBenchFixture(int recovery_jobs) {
   fo.num_pages = 256;
   fo.block_size = 4096;
   fo.wal_logs = 4;
+  // Room for a real dirty-page population: the torture default of 4
+  // frames caps the ARIES dirty-page table (and so the MTTR crash point)
+  // at the pool size.
+  fo.wal_pool_frames = 64;
   fo.recovery_jobs = recovery_jobs;
   return fo;
 }
 
 /// Runs `txns` committed transactions of 4 random-page writes each and
-/// crashes, leaving a recovery-heavy durable image.
-Status RunRecoveryWorkload(chaos::EngineFixture* fx, int txns) {
+/// crashes, leaving a recovery-heavy durable image.  Writes and commits
+/// count as one operation each; a non-negative `max_ops` crashes after
+/// that many (possibly mid-transaction, leaving a loser), and `after_op`
+/// observes the engine after every operation (MTTR's crash-point probe).
+Status RunRecoveryWorkload(
+    chaos::EngineFixture* fx, int txns, int64_t max_ops = -1,
+    const std::function<void(int64_t)>& after_op = nullptr) {
   Rng rng(1);
   const uint64_t pages = fx->engine->num_pages();
   store::PageData payload(fx->engine->payload_size());
+  int64_t ops = 0;
+  auto step = [&]() {
+    ++ops;
+    if (after_op) after_op(ops);
+    return max_ops >= 0 && ops >= max_ops;
+  };
   for (int i = 0; i < txns; ++i) {
     auto t = fx->engine->Begin();
     if (!t.ok()) return t.status();
@@ -402,9 +421,14 @@ Status RunRecoveryWorkload(chaos::EngineFixture* fx, int txns) {
       for (auto& b : payload) b = static_cast<uint8_t>(rng.Next());
       Status st = fx->engine->Write(*t, page, payload);
       if (!st.ok()) return st;
+      if (step()) {
+        fx->engine->Crash();
+        return Status::OK();
+      }
     }
     Status st = fx->engine->Commit(*t);
     if (!st.ok()) return st;
+    if (step()) break;
   }
   fx->engine->Crash();
   return Status::OK();
@@ -415,7 +439,8 @@ int RunRecoverySuite(const std::string& out_path, int reps,
   // Engines with a partitioned replay path (shadow and differential
   // recover by discarding, so there is nothing to parallelize).
   const std::vector<std::string> kEngines = {
-      "wal", "overwrite-noundo", "overwrite-noredo", "version-select"};
+      "wal", "overwrite-noundo", "overwrite-noredo", "version-select",
+      "aries"};
   const std::vector<int> kJobs = {0, 1, 2, 4, 8};
   // WAL replay cost scales with log volume; the in-place and two-version
   // engines scan a fixed number of scratch/copy blocks, so one size fits.
@@ -526,6 +551,69 @@ int RunRecoverySuite(const std::string& out_path, int reps,
     return 1;
   }
 
+  // MTTR across the whole zoo (all six architectures): the same seeded
+  // workload on every engine, crashed at the operation where the ARIES
+  // dirty-page table peaks — the costliest instant for a redo/undo
+  // restart, and a fixed, comparable crash point for the architectures
+  // that have no such table — then Recover() timed from forked snapshots.
+  int64_t crash_op = 0;
+  size_t peak_dirty = 0;
+  {
+    auto fxr = chaos::MakeEngineFixture("aries", RecoveryBenchFixture(0));
+    DBMR_CHECK(fxr.ok());
+    auto* aries = static_cast<store::AriesEngine*>(fxr->engine.get());
+    // >= breaks peak ties toward the latest op: the pool bounds the
+    // dirty-page table, so the peak plateaus and the most history behind
+    // it gives restart the most work.
+    Status st = RunRecoveryWorkload(&*fxr, kTxns, -1, [&](int64_t op) {
+      if (aries->dirty_page_count() >= peak_dirty) {
+        peak_dirty = aries->dirty_page_count();
+        crash_op = op;
+      }
+    });
+    DBMR_CHECK(st.ok());
+  }
+  std::printf("mttr: crash at op %lld (peak %zu dirty pages)\n",
+              static_cast<long long>(crash_op), peak_dirty);
+  JsonValue mttr = JsonValue::Array();
+  std::printf("%-18s %12s %10s\n", "engine", "records", "mttr ms");
+  for (const std::string& engine : chaos::EngineNames()) {
+    chaos::FixtureSnapshot crashed;
+    {
+      auto fxr = chaos::MakeEngineFixture(engine, RecoveryBenchFixture(1));
+      DBMR_CHECK(fxr.ok());
+      Status st = RunRecoveryWorkload(&*fxr, kTxns, crash_op);
+      if (!st.ok()) {
+        std::fprintf(stderr, "error: %s mttr workload: %s\n",
+                     engine.c_str(), st.ToString().c_str());
+        return 1;
+      }
+      crashed = fxr->TakeSnapshot();
+    }
+    double best = 0;
+    int64_t records = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      auto fxr =
+          chaos::ForkEngineFixture(engine, crashed, RecoveryBenchFixture(1));
+      DBMR_CHECK(fxr.ok());
+      chaos::EngineFixture fx = std::move(*fxr);
+      const double ms =
+          TimeNs([&] { DBMR_CHECK(fx.engine->Recover().ok()); }) / 1e6;
+      if (rep == 0 || ms < best) best = ms;
+      if (rep == 0) {
+        records = static_cast<int64_t>(
+            fx.engine->last_recovery_stats().replay_records);
+      }
+    }
+    std::printf("%-18s %12lld %10.3f\n", engine.c_str(),
+                static_cast<long long>(records), best);
+    JsonValue e = JsonValue::Object();
+    e["engine"] = engine;
+    e["replay_records"] = records;
+    e["mttr_ms"] = best;
+    mttr.Append(std::move(e));
+  }
+
   if (!out_path.empty()) {
     JsonValue doc = JsonValue::Object();
     doc["bench"] = "recovery_replay";
@@ -546,6 +634,11 @@ int RunRecoverySuite(const std::string& out_path, int reps,
     sweep["recovery_jobs4_ms"] = sweep4;
     sweep["speedup"] = sweep0 / sweep4;
     doc["crash_sweep"] = std::move(sweep);
+    JsonValue mt = JsonValue::Object();
+    mt["crash_op"] = crash_op;
+    mt["peak_dirty_pages"] = static_cast<int64_t>(peak_dirty);
+    mt["engines"] = std::move(mttr);
+    doc["mttr"] = std::move(mt);
     Status st = WriteJsonFile(out_path, doc);
     if (!st.ok()) {
       std::fprintf(stderr, "error: %s\n", st.ToString().c_str());

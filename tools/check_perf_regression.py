@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Perf gate for the event kernel (CI `scale` job).
 
-Compares a freshly measured bench_baseline kernel-suite JSON against the
+Compares freshly measured bench_baseline kernel-suite JSON against the
 committed BENCH_kernel.json and fails on two regressions:
 
   1. schedule_fire_random slower than the committed baseline by more than
@@ -10,14 +10,23 @@ committed BENCH_kernel.json and fails on two regressions:
      order-of-magnitude mistakes (a debug build, an accidental O(n) hot
      loop), not single-digit drift.
   2. The in-binary 10M-outstanding churn ratio (forced-heap ns / ladder
-     ns) below CHURN_MIN_RATIO (default 2.5).  Both sides run in the same
-     binary on the same host, so this number is host-portable.  Measured
-     ~4x on the development machine (best 4.7x); the floor sits well
-     below that to absorb virtualization noise, and well above 1.0 where
-     a broken ladder would land.
+     ns) below its floor.  Both sides run in the same binary on the same
+     host, but shared CI runners still flake: a noisy-neighbor spike
+     during either side's timed window skews the quotient.  Two defenses:
+
+       * Best-of-N: pass --current more than once (each a separate
+         bench_baseline run) and the gate takes the BEST ratio across
+         runs — one clean window suffices, N spikes in a row do not
+         happen on a working ladder.
+       * Host calibration: the floor is CHURN_MIN_RATIO (default 2.5,
+         measured ~4x on the development machine) on hosts as fast as
+         the committed baseline, relaxed in proportion to how much
+         slower this host ran the headline workload, but never below
+         CHURN_MIN_RATIO_FLOOR (default 1.5) — a broken ladder lands at
+         ~1.0x and must keep failing on any host.
 
 Usage: check_perf_regression.py --baseline=BENCH_kernel.json \
-           --current=BENCH_kernel_ci.json
+           --current=run1.json [--current=run2.json ...]
 Thresholds are overridable via the environment variables named above.
 """
 
@@ -37,44 +46,58 @@ def main():
     p = argparse.ArgumentParser()
     p.add_argument("--baseline", required=True,
                    help="committed BENCH_kernel.json")
-    p.add_argument("--current", required=True,
-                   help="freshly measured kernel-suite JSON")
+    p.add_argument("--current", required=True, action="append",
+                   help="freshly measured kernel-suite JSON (repeat for "
+                        "best-of-N)")
     args = p.parse_args()
 
     max_regression = float(os.environ.get("PERF_MAX_REGRESSION", "0.25"))
     min_ratio = float(os.environ.get("CHURN_MIN_RATIO", "2.5"))
+    ratio_floor = float(os.environ.get("CHURN_MIN_RATIO_FLOOR", "1.5"))
 
     baseline = load_workloads(args.baseline)
-    current = load_workloads(args.current)
+    runs = [load_workloads(path) for path in args.current]
     failures = []
 
-    # Gate 1: cross-run regression on the headline workload.
+    # Gate 1: cross-run regression on the headline workload (+25%
+    # absolute, best run wins).
     name = "schedule_fire_random"
-    if name in baseline and name in current:
+    cur_runs = [r[name]["best_ns_per_item"] for r in runs if name in r]
+    host_factor = 1.0
+    if name in baseline and cur_runs:
         base_ns = baseline[name]["best_ns_per_item"]
-        cur_ns = current[name]["best_ns_per_item"]
+        cur_ns = min(cur_runs)
         limit = base_ns * (1.0 + max_regression)
-        print(f"{name}: baseline {base_ns:.1f} ns, current {cur_ns:.1f} ns, "
-              f"limit {limit:.1f} ns")
+        print(f"{name}: baseline {base_ns:.1f} ns, current {cur_ns:.1f} ns "
+              f"(best of {len(cur_runs)}), limit {limit:.1f} ns")
         if cur_ns > limit:
             failures.append(
                 f"{name} regressed: {cur_ns:.1f} ns > {limit:.1f} ns "
                 f"(baseline {base_ns:.1f} ns +{max_regression:.0%})")
+        host_factor = max(1.0, cur_ns / base_ns)
     else:
         failures.append(f"{name} missing from baseline or current JSON")
 
-    # Gate 2: in-binary ladder-vs-heap churn ratio.
-    ladder = current.get("churn_10m_outstanding_ladder")
-    heap = current.get("churn_10m_outstanding_heap")
-    if ladder and heap:
-        ratio = heap["best_ns_per_item"] / ladder["best_ns_per_item"]
-        print(f"churn ratio (heap/ladder): {ratio:.2f}x "
-              f"(floor {min_ratio:.2f}x)")
-        if ratio < min_ratio:
+    # Gate 2: in-binary ladder-vs-heap churn ratio, best of N runs against
+    # a host-calibrated floor.
+    ratios = []
+    for r in runs:
+        ladder = r.get("churn_10m_outstanding_ladder")
+        heap = r.get("churn_10m_outstanding_heap")
+        if ladder and heap:
+            ratios.append(heap["best_ns_per_item"] /
+                          ladder["best_ns_per_item"])
+    if ratios:
+        ratio = max(ratios)
+        floor = max(ratio_floor, min_ratio / host_factor)
+        print(f"churn ratio (heap/ladder): best {ratio:.2f}x of "
+              f"{[f'{x:.2f}' for x in ratios]}, floor {floor:.2f}x "
+              f"(base {min_ratio:.2f}x / host factor {host_factor:.2f}, "
+              f"hard floor {ratio_floor:.2f}x)")
+        if ratio < floor:
             failures.append(
-                f"ladder speedup fell to {ratio:.2f}x "
-                f"(heap {heap['best_ns_per_item']:.1f} ns / ladder "
-                f"{ladder['best_ns_per_item']:.1f} ns), floor {min_ratio}x")
+                f"ladder speedup fell to {ratio:.2f}x (best of "
+                f"{len(ratios)} run(s)), floor {floor:.2f}x")
     else:
         failures.append("churn_10m_outstanding_{ladder,heap} missing from "
                         "current JSON")

@@ -62,8 +62,8 @@ struct Flags {
   std::fprintf(stderr, R"(usage: dbmr_torture [flags]
 
   --engine=NAME      a registry engine fixture (wal | shadow | differential |
-                     overwrite-noundo | overwrite-noredo | version-select)
-                     or all  (default: all)
+                     overwrite-noundo | overwrite-noredo | version-select |
+                     aries) or all  (default: all)
   --list-archs       print the architecture catalog and exit
   --seeds=N,N,...    seeds to sweep                     (default: 1,2,3)
   --seed=N           single seed (overrides --seeds)
@@ -80,11 +80,12 @@ struct Flags {
                      every write index (and mid-Recover), repair from the
                      mirror/archive redundancy, verify against the oracle;
                      plus a checksum scrub pass over injected silent
-                     corruptions.  Implies --log-mirroring and --archive
-                     unless those are set explicitly (=0 to refuse).
+                     corruptions.  Implies --log-mirroring and --archive;
+                     combining it with --log-mirroring=0 or --archive=0 is
+                     an error (the sweep would only prove every loss fatal).
   --scrub-trials=N   scrub-pass corruptions per (engine, seed) (default: 16)
   --log-mirroring[=0|1]  mirror the log stream across a replica pair
-  --archive[=0|1]    wal: archive disk swept at log-truncation points
+  --archive[=0|1]    wal/aries: archive disk swept at log-truncation points
   --jobs=N           worker threads for the sweep trials (0 = one per
                      hardware thread; default: 1).  Reports are identical
                      at every job count.
@@ -256,7 +257,15 @@ int main(int argc, char** argv) {
   opts.media_faults = flags.Has("media-faults");
   opts.scrub_trials = static_cast<int>(flags.GetInt("scrub-trials", 16));
   // A media sweep without redundancy would only prove every loss is fatal,
-  // so --media-faults turns the redundancy knobs on unless overridden.
+  // so --media-faults implies the redundancy knobs; disabling either one
+  // alongside it is a contradiction, not an override.
+  if (opts.media_faults && flags.GetInt("log-mirroring", 1) == 0) {
+    Usage("--media-faults implies --log-mirroring; --log-mirroring=0 "
+          "contradicts it");
+  }
+  if (opts.media_faults && flags.GetInt("archive", 1) == 0) {
+    Usage("--media-faults implies --archive; --archive=0 contradicts it");
+  }
   opts.fixture.log_mirroring =
       flags.GetInt("log-mirroring", opts.media_faults ? 1 : 0) != 0;
   opts.fixture.archive =
@@ -329,6 +338,13 @@ int main(int argc, char** argv) {
     doc["txns"] = static_cast<int64_t>(opts.txns);
     doc["max_writes_per_txn"] = static_cast<int64_t>(opts.max_writes_per_txn);
     doc["mode"] = repro ? "repro" : "sweep";
+    if (opts.media_faults) {
+      // Echo the implied redundancy so a media report is self-describing
+      // (reports without the sweep are unchanged).
+      doc["media_faults"] = true;
+      doc["log_mirroring"] = opts.fixture.log_mirroring;
+      doc["archive"] = opts.fixture.archive;
+    }
     doc["total_violations"] = static_cast<uint64_t>(total_violations);
     JsonValue arr = JsonValue::Array();
     for (const chaos::SweepReport& r : reports) arr.Append(r.ToJson(timing));
